@@ -1,0 +1,129 @@
+// Fig 6 — Speedtest1-shaped macro-benchmark, normalised against native
+// execution in the normal world. Paper: WAMR ~2.1x, native TEE ~1.31x,
+// WaTZ ~2.12x; read-heavy experiments average ~2.04x, write-heavy ~2.23x;
+// WaTZ ~= WAMR within noise.
+//
+// Native settings run minisql (the SQLite substitute); the Wasm settings
+// run the minikv guest with the same op mixes (DESIGN.md substitution
+// table). Dataset scaled to 60% like the paper (--size 60 -> scale 6).
+#include "bench/harness.hpp"
+#include "db/database.hpp"
+#include "db/kv_guest.hpp"
+#include "db/speedtest.hpp"
+
+namespace {
+
+using namespace watz;
+
+/// Maps a speedtest experiment to the minikv guest op mix.
+struct GuestMix {
+  const char* fn;
+  int arg;
+};
+
+GuestMix guest_mix_for(const db::SpeedtestExperiment& e, int scale) {
+  const int base = 40 * scale;
+  switch (e.id) {
+    case 100: case 110: case 120: case 300: case 500:
+      return {"kv_inserts", base * 6};
+    case 130: case 140: case 142: case 145: case 230: case 520:
+      return {"kv_range", scale * 2};
+    case 160: case 161: case 170: case 410: case 510:
+      return {"kv_lookups", base * 8};
+    case 180: case 190: case 210: case 290: case 990:
+      return {"kv_updates", base * 4};
+    case 400:
+      return {"kv_deletes", base * 4};
+    case 240: case 250: case 980:
+      return {"kv_range", scale * 3};
+    case 260: case 270:
+      return {"kv_range", scale * 2};
+    case 280: case 310: case 320:
+      return {"kv_lookups", base * 6};
+    case 150:
+      return {"kv_inserts", base * 2};
+    default:
+      return {"kv_lookups", base};
+  }
+}
+
+}  // namespace
+
+int main() {
+  const int kScale = 6;  // paper: --size 60 (60% of the default dataset)
+
+  net::Fabric fabric;
+  const core::Vendor vendor = core::Vendor::create(to_bytes("fig6-vendor"));
+  auto device = bench::boot_device(fabric, vendor, "board", 0x61);
+
+  std::printf("=== Fig 6: Speedtest1 (minisql/minikv), normalised (native REE = 1) ===\n");
+  std::printf("%4s %-38s %2s | %9s %9s %9s | %10s\n", "id", "description", "rw",
+              "nativeTEE", "WasmREE", "WasmTEE", "WaTZ/WAMR");
+
+  // Wasm instances: one REE, one in WaTZ; state persists across experiments
+  // (like the single database file in speedtest1).
+  static const wasm::ImportResolver kNoImports;
+  const Bytes guest = db::kv_guest_module();
+  auto ree_inst = bench::instantiate_ree(guest, kNoImports);
+  core::AppConfig app_config;
+  app_config.heap_bytes = 25 << 20;  // paper: 25 MB heap for the SQLite TA
+  auto tee_app = device->runtime().launch(guest, app_config);
+  tee_app.ok() ? void() : throw Error(tee_app.error());
+
+  const int kRows = 2000 * kScale;
+  bench::invoke_i32(*ree_inst, "kv_setup", {wasm::Value::from_i32(kRows)});
+  (void)(*tee_app)->invoke("kv_setup",
+                           std::vector<wasm::Value>{wasm::Value::from_i32(kRows)});
+
+  // Native databases (one per setting, like one DB file per run).
+  db::Database native_ree;
+  db::Database native_tee;
+  db::speedtest_setup(native_ree, kScale);
+  device->monitor().smc_call([&] {
+    db::speedtest_setup(native_tee, kScale);
+    return 0;
+  });
+
+  double read_sum = 0, write_sum = 0, watz_sum = 0, native_tee_sum = 0;
+  int read_n = 0, write_n = 0, total_n = 0;
+
+  for (const auto& experiment : db::speedtest_suite()) {
+    const std::uint64_t t_native_ree =
+        bench::time_ns([&] { experiment.run(native_ree, kScale); });
+    const std::uint64_t t_native_tee = bench::time_ns([&] {
+      device->monitor().smc_call([&] {
+        experiment.run(native_tee, kScale);
+        return 0;
+      });
+    });
+
+    const GuestMix mix = guest_mix_for(experiment, kScale);
+    const std::vector<wasm::Value> arg = {wasm::Value::from_i32(mix.arg)};
+    const std::uint64_t t_wasm_ree =
+        bench::time_ns([&] { (void)ree_inst->invoke(mix.fn, arg); });
+    const std::uint64_t t_wasm_tee =
+        bench::time_ns([&] { (void)(*tee_app)->invoke(mix.fn, arg); });
+
+    const double base = static_cast<double>(t_native_ree);
+    const double r_tee = t_native_tee / base;
+    const double r_wamr = t_wasm_ree / base;
+    const double r_watz = t_wasm_tee / base;
+    std::printf("%4d %-38s %2s | %8.2fx %8.2fx %8.2fx | %9.4f\n", experiment.id,
+                experiment.description.c_str(), experiment.write_heavy ? "W" : "R",
+                r_tee, r_wamr, r_watz,
+                static_cast<double>(t_wasm_tee) / static_cast<double>(t_wasm_ree));
+    (experiment.write_heavy ? write_sum : read_sum) += r_watz;
+    (experiment.write_heavy ? write_n : read_n) += 1;
+    watz_sum += r_watz;
+    native_tee_sum += r_tee;
+    ++total_n;
+  }
+
+  std::printf("\naverages over %d experiments:\n", total_n);
+  std::printf("  native TEE      : %.2fx (paper: 1.31x)\n", native_tee_sum / total_n);
+  std::printf("  Wasm TEE (WaTZ) : %.2fx (paper: 2.12x)\n", watz_sum / total_n);
+  std::printf("  read-heavy WaTZ : %.2fx (paper: ~2.04x)\n", read_sum / std::max(read_n, 1));
+  std::printf("  write-heavy WaTZ: %.2fx (paper: ~2.23x)\n",
+              write_sum / std::max(write_n, 1));
+  return 0;
+}

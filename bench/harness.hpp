@@ -1,0 +1,77 @@
+// Shared helpers for the evaluation harness (one binary per paper
+// table/figure; see DESIGN.md SS3 for the experiment index).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/device.hpp"
+#include "hw/clock.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/instance.hpp"
+
+namespace watz::bench {
+
+/// Wall time of one invocation, in nanoseconds.
+inline std::uint64_t time_ns(const std::function<void()>& fn) {
+  const std::uint64_t t0 = hw::monotonic_ns();
+  fn();
+  return hw::monotonic_ns() - t0;
+}
+
+/// Median of `reps` timed runs.
+inline std::uint64_t median_ns(int reps, const std::function<void()>& fn) {
+  std::vector<std::uint64_t> samples;
+  samples.reserve(reps);
+  for (int i = 0; i < reps; ++i) samples.push_back(time_ns(fn));
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+inline double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+inline double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+/// A booted attester board with the paper's latency calibration.
+inline std::unique_ptr<core::Device> boot_device(net::Fabric& fabric,
+                                                 const core::Vendor& vendor,
+                                                 const std::string& hostname,
+                                                 std::uint8_t id,
+                                                 bool charge_latency = true) {
+  core::DeviceConfig config;
+  config.hostname = hostname;
+  config.otpmk.fill(id);
+  config.latency.enabled = charge_latency;
+  auto device = core::Device::boot(fabric, vendor, config);
+  device.ok() ? void() : throw Error("bench: " + device.error());
+  return std::move(*device);
+}
+
+/// Instantiates a Wasm module outside any TEE (the "WAMR in REE" setting).
+inline std::unique_ptr<wasm::Instance> instantiate_ree(
+    ByteView binary, const wasm::ImportResolver& imports,
+    wasm::ExecMode mode = wasm::ExecMode::Aot) {
+  auto module = wasm::decode_module(binary);
+  module.ok() ? void() : throw Error("bench: " + module.error());
+  auto inst = wasm::Instance::instantiate(std::move(*module), imports, mode);
+  inst.ok() ? void() : throw Error("bench: " + inst.error());
+  return std::move(*inst);
+}
+
+inline std::int32_t invoke_i32(wasm::Instance& inst, const std::string& fn,
+                               std::vector<wasm::Value> args) {
+  auto r = inst.invoke(fn, args);
+  r.ok() ? void() : throw Error("bench: " + fn + ": " + r.error());
+  return r->empty() ? 0 : r->front().i32();
+}
+
+inline double invoke_f64(wasm::Instance& inst, const std::string& fn,
+                         std::vector<wasm::Value> args) {
+  auto r = inst.invoke(fn, args);
+  r.ok() ? void() : throw Error("bench: " + fn + ": " + r.error());
+  return r->front().f64();
+}
+
+}  // namespace watz::bench

@@ -1,0 +1,95 @@
+// Attested machine learning at the edge (the paper's SS VI-F scenario):
+// an IoT board proves — via remote attestation — that it runs an approved
+// training application inside WaTZ; only then does the data owner release
+// the (confidential) training set, which never leaves the secure channel.
+//
+//   $ ./examples/example_attested_ml
+#include <cstdio>
+
+#include "ann/dataset.hpp"
+#include "ann/guest.hpp"
+#include "core/verifier_host.hpp"
+#include "crypto/fortuna.hpp"
+
+int main() {
+  using namespace watz;
+
+  net::Fabric fabric;
+  const core::Vendor vendor = core::Vendor::create(to_bytes("ml-vendor"));
+
+  // Two boards: the edge device (attester) and the data owner's (verifier).
+  core::DeviceConfig edge_cfg;
+  edge_cfg.hostname = "edge";
+  edge_cfg.otpmk.fill(0xE1);
+  edge_cfg.latency.enabled = false;
+  auto edge = core::Device::boot(fabric, vendor, edge_cfg);
+  core::DeviceConfig owner_cfg;
+  owner_cfg.hostname = "owner";
+  owner_cfg.otpmk.fill(0x0A);
+  owner_cfg.latency.enabled = false;
+  auto owner = core::Device::boot(fabric, vendor, owner_cfg);
+  if (!edge.ok() || !owner.ok()) {
+    std::fprintf(stderr, "boot failed\n");
+    return 1;
+  }
+
+  // The data owner's verifier service.
+  crypto::Fortuna rng(to_bytes("ml-rng"));
+  core::VerifierHost verifier(**owner, rng);
+  verifier.listen(4433).check();
+
+  // The training application, with the owner's identity baked in (and
+  // therefore covered by the code measurement).
+  const Bytes app = ann::attested_training_module("owner", verifier.identity());
+
+  // Owner-side policy: endorse the edge device, approve the app hash, and
+  // prepare the confidential dataset.
+  verifier.verifier().endorse_device((*edge)->attestation_service().public_key());
+  verifier.verifier().add_reference_measurement(crypto::sha256(app));
+  const auto dataset = ann::make_iris_like(150);
+  const Bytes wire = ann::encode_dataset(dataset);
+  verifier.verifier().set_secret_provider([&wire](const crypto::Sha256Digest& claim) {
+    std::printf("[owner] releasing %zu-byte dataset to measured app %s...\n",
+                wire.size(), to_hex(claim).substr(0, 16).c_str());
+    return wire;
+  });
+
+  // Edge side: launch, attest, train — all inside the sandbox.
+  core::AppConfig config;
+  config.heap_bytes = 17 << 20;
+  auto loaded = (*edge)->runtime().launch(app, config);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "launch failed: %s\n", loaded.error().c_str());
+    return 1;
+  }
+  std::printf("[edge] app measurement: %s\n", to_hex((*loaded)->measurement()).c_str());
+
+  const std::vector<wasm::Value> args = {
+      wasm::Value::from_i32(5),     // strlen("owner")
+      wasm::Value::from_i32(4433),  // verifier port
+      wasm::Value::from_i32(60),    // training epochs
+  };
+  auto correct = (*loaded)->invoke("attest_and_train", args);
+  if (!correct.ok()) {
+    std::fprintf(stderr, "attest_and_train trapped: %s\n", correct.error().c_str());
+    return 1;
+  }
+  if (correct->front().i32() < 0) {
+    std::fprintf(stderr, "attestation refused (code %d)\n", correct->front().i32());
+    return 1;
+  }
+  std::printf("[edge] trained in-sandbox; %d/150 records classified correctly\n",
+              correct->front().i32());
+
+  // Negative control: a device the owner never endorsed gets nothing.
+  core::DeviceConfig rogue_cfg;
+  rogue_cfg.hostname = "rogue";
+  rogue_cfg.otpmk.fill(0xBA);
+  rogue_cfg.latency.enabled = false;
+  auto rogue = core::Device::boot(fabric, vendor, rogue_cfg);
+  auto rogue_app = (*rogue)->runtime().launch(app, config);
+  auto refused = (*rogue_app)->invoke("attest_and_train", args);
+  std::printf("[rogue] unendorsed device result: %d (negative = refused, as intended)\n",
+              refused.ok() ? refused->front().i32() : -1);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// A fleet scenario: one verifier provisions a per-device configuration
+// secret to many IoT boards, releasing it only to endorsed devices that
+// run the approved application — and rejecting a board whose secure boot
+// was compromised (tampered trusted-OS image).
+//
+//   $ ./examples/example_device_fleet
+#include <cstdio>
+
+#include "core/guest_builder.hpp"
+#include "core/verifier_host.hpp"
+#include "crypto/fortuna.hpp"
+
+int main() {
+  using namespace watz;
+
+  net::Fabric fabric;
+  const core::Vendor vendor = core::Vendor::create(to_bytes("fleet-vendor"));
+
+  // Verifier board.
+  core::DeviceConfig vcfg;
+  vcfg.hostname = "control";
+  vcfg.otpmk.fill(0xC0);
+  vcfg.latency.enabled = false;
+  auto control = core::Device::boot(fabric, vendor, vcfg);
+  crypto::Fortuna rng(to_bytes("fleet-rng"));
+  core::VerifierHost verifier(**control, rng);
+  verifier.listen(4433).check();
+
+  const Bytes app = core::build_attester_app(verifier.identity(), "control", 4433);
+  verifier.verifier().add_reference_measurement(crypto::sha256(app));
+  verifier.verifier().set_secret_provider([](const crypto::Sha256Digest&) {
+    return to_bytes("device-config-v7: mqtt://broker.internal");
+  });
+
+  // Boot a small fleet; endorse only the first three.
+  std::printf("provisioning a fleet of 4 devices (3 endorsed, 1 unknown):\n");
+  for (int i = 0; i < 4; ++i) {
+    core::DeviceConfig cfg;
+    cfg.hostname = "node-" + std::to_string(i);
+    cfg.otpmk.fill(static_cast<std::uint8_t>(0x10 + i));
+    cfg.latency.enabled = false;
+    auto node = core::Device::boot(fabric, vendor, cfg);
+    if (!node.ok()) {
+      std::fprintf(stderr, "  %s: boot failed\n", cfg.hostname.c_str());
+      continue;
+    }
+    const bool endorsed = i < 3;
+    if (endorsed)
+      verifier.verifier().endorse_device((*node)->attestation_service().public_key());
+
+    core::AppConfig app_cfg;
+    app_cfg.heap_bytes = 4 << 20;
+    auto loaded = (*node)->runtime().launch(app, app_cfg);
+    auto r = (*loaded)->invoke("attest", {});
+    const int rc = r.ok() ? r->front().i32() : -999;
+    std::printf("  %-7s endorsed=%-3s -> %s (rc=%d)\n", cfg.hostname.c_str(),
+                endorsed ? "yes" : "no",
+                rc > 0 ? "received config" : "REFUSED", rc);
+  }
+
+  // A compromised board: its trusted-OS image was modified, so secure boot
+  // aborts and the device never comes up (the chain-of-trust property).
+  auto chain = vendor.make_boot_chain();
+  chain[2].payload.push_back(0xEE);  // tampered OP-TEE image
+  hw::EfuseBank fuses;
+  (void)fuses.program_digest(crypto::sha256(vendor.key.pub.encode_uncompressed()));
+  std::array<std::uint8_t, 32> otpmk{};
+  otpmk.fill(0x66);
+  const hw::Caam caam(otpmk);
+  auto evil = optee::TrustedOs::boot(caam, fuses, vendor.key.pub, chain,
+                                     hw::LatencyModel::disabled());
+  std::printf("  tampered-firmware board: %s\n",
+              evil.ok() ? "BOOTED (unexpected!)" : ("refused to boot: " + evil.error()).c_str());
+  return 0;
+}

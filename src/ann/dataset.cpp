@@ -1,0 +1,95 @@
+#include "ann/dataset.hpp"
+
+#include <cstring>
+
+namespace watz::ann {
+
+namespace {
+struct Lcg {
+  std::uint64_t state;
+  double unit() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>((state >> 11) % 1000000) / 1000000.0;
+  }
+};
+
+// Iris class centroids (sepal len/width, petal len/width), UCI means.
+constexpr double kCentroids[3][4] = {
+    {5.006, 3.428, 1.462, 0.246},   // setosa
+    {5.936, 2.770, 4.260, 1.326},   // versicolor
+    {6.588, 2.974, 5.552, 2.026},   // virginica
+};
+}  // namespace
+
+std::vector<IrisRecord> make_iris_like(std::size_t records, std::uint64_t seed) {
+  std::vector<IrisRecord> out;
+  out.reserve(records);
+  Lcg rng{seed};
+  for (std::size_t i = 0; i < records; ++i) {
+    const std::int32_t label = static_cast<std::int32_t>(i % 3);
+    IrisRecord rec;
+    rec.label = label;
+    for (int f = 0; f < 4; ++f) {
+      // Uniform jitter ~N-ish around the centroid; spread 0.6.
+      const double jitter = (rng.unit() + rng.unit() - 1.0) * 0.6;
+      rec.features[f] = kCentroids[label][f] + jitter;
+    }
+    out.push_back(rec);
+  }
+  return out;
+}
+
+Bytes encode_dataset(const std::vector<IrisRecord>& records) {
+  Bytes out;
+  out.reserve(4 + records.size() * 36);
+  put_u32le(out, static_cast<std::uint32_t>(records.size()));
+  for (const IrisRecord& rec : records) {
+    for (int f = 0; f < 4; ++f) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &rec.features[f], 8);
+      put_u64le(out, bits);
+    }
+    put_u32le(out, static_cast<std::uint32_t>(rec.label));
+  }
+  return out;
+}
+
+Result<std::vector<IrisRecord>> decode_dataset(ByteView data) {
+  if (data.size() < 4) return Result<std::vector<IrisRecord>>::err("dataset: too short");
+  const std::uint32_t count = get_u32le(data.data());
+  if (data.size() != 4 + static_cast<std::size_t>(count) * 36)
+    return Result<std::vector<IrisRecord>>::err("dataset: size mismatch");
+  std::vector<IrisRecord> out;
+  out.reserve(count);
+  std::size_t off = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    IrisRecord rec;
+    for (int f = 0; f < 4; ++f) {
+      const std::uint64_t bits = get_u64le(data.data() + off);
+      std::memcpy(&rec.features[f], &bits, 8);
+      off += 8;
+    }
+    rec.label = static_cast<std::int32_t>(get_u32le(data.data() + off));
+    if (rec.label < 0 || rec.label > 2)
+      return Result<std::vector<IrisRecord>>::err("dataset: bad label");
+    off += 4;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<IrisRecord> replicate_to_size(const std::vector<IrisRecord>& base,
+                                          std::size_t target_bytes) {
+  std::vector<IrisRecord> out;
+  if (base.empty()) return out;
+  const std::size_t per_record = 36;
+  const std::size_t needed = (target_bytes + per_record - 1) / per_record;
+  out.reserve(needed);
+  while (out.size() < needed) {
+    const std::size_t take = std::min(base.size(), needed - out.size());
+    out.insert(out.end(), base.begin(), base.begin() + take);
+  }
+  return out;
+}
+
+}  // namespace watz::ann

@@ -1,0 +1,36 @@
+// Synthetic Iris-like dataset (SS VI-F).
+//
+// The paper trains on the UCI Iris set (4 features, 3 classes, 50 records
+// per class, 4.45 kB) replicated up to 1 MB. No network access exists here,
+// so an equivalent synthetic set is generated: three Gaussian-ish clusters
+// in 4-D whose centroids match the real Iris class means. The wire format
+// is what the verifier ships as the msg3 secret blob.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace watz::ann {
+
+struct IrisRecord {
+  double features[4];
+  std::int32_t label;  // 0..2
+};
+
+/// Deterministic synthetic records; class balance matches Iris (1/3 each).
+std::vector<IrisRecord> make_iris_like(std::size_t records, std::uint64_t seed = 7);
+
+/// Wire format: u32 record count, then per record 4 little-endian f64
+/// features + u32 label (36 bytes/record).
+Bytes encode_dataset(const std::vector<IrisRecord>& records);
+Result<std::vector<IrisRecord>> decode_dataset(ByteView data);
+
+/// Replicates `base` until the encoded size reaches at least `target_bytes`
+/// (the paper's 100 kB..1 MB sweep).
+std::vector<IrisRecord> replicate_to_size(const std::vector<IrisRecord>& base,
+                                          std::size_t target_bytes);
+
+}  // namespace watz::ann

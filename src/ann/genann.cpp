@@ -1,0 +1,139 @@
+#include "ann/genann.hpp"
+
+namespace watz::ann {
+
+double approx_exp(double x) {
+  if (x < -30.0) return 0.0;
+  if (x > 30.0) return 10686474581524.463;  // e^30
+  int k = static_cast<int>(x);
+  if (x < 0.0 && x != k) k = k - 1;  // floor
+  double f = x - k;
+  // Taylor series for e^f, f in [0, 1): 12 terms are plenty.
+  double term = 1.0;
+  double sum = 1.0;
+  for (int i = 1; i <= 12; ++i) {
+    term = term * f / i;
+    sum += term;
+  }
+  const double e = 2.718281828459045;
+  double scale = 1.0;
+  int reps = k < 0 ? -k : k;
+  for (int i = 0; i < reps; ++i) scale *= e;
+  if (k < 0) return sum / scale;
+  return sum * scale;
+}
+
+double sigmoid(double x) { return 1.0 / (1.0 + approx_exp(-x)); }
+
+namespace {
+/// Genann uses libc rand(); this deterministic LCG plays that role.
+struct Lcg {
+  std::uint64_t state;
+  double uniform() {  // [-0.5, 0.5), like GENANN_RANDOM
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>((state >> 11) % 1000000) / 1000000.0 - 0.5;
+  }
+};
+}  // namespace
+
+Genann::Genann(int inputs, int hidden_layers, int hidden, int outputs,
+               std::uint64_t seed)
+    : inputs_(inputs), hidden_layers_(hidden_layers), hidden_(hidden),
+      outputs_(outputs) {
+  // Weight count mirrors genann_init: each neuron has a bias + fan-in.
+  std::size_t total = 0;
+  total += static_cast<std::size_t>(hidden) * (inputs + 1);
+  for (int l = 1; l < hidden_layers; ++l)
+    total += static_cast<std::size_t>(hidden) * (hidden + 1);
+  total += static_cast<std::size_t>(outputs) * (hidden + 1);
+  weights_.resize(total);
+  Lcg rng{seed};
+  for (double& w : weights_) w = rng.uniform();
+  activations_.resize(inputs + static_cast<std::size_t>(hidden_layers) * hidden + outputs);
+  deltas_.resize(static_cast<std::size_t>(hidden_layers) * hidden + outputs);
+  output_.resize(outputs);
+}
+
+const std::vector<double>& Genann::run(const double* in) {
+  // activations_ layout: [inputs | hidden layer 0 | ... | outputs]
+  for (int i = 0; i < inputs_; ++i) activations_[i] = in[i];
+  const double* w = weights_.data();
+  const double* prev = activations_.data();
+  double* act = activations_.data() + inputs_;
+  int prev_count = inputs_;
+
+  for (int layer = 0; layer < hidden_layers_; ++layer) {
+    for (int n = 0; n < hidden_; ++n) {
+      double sum = *w++;  // bias
+      for (int i = 0; i < prev_count; ++i) sum += *w++ * prev[i];
+      act[n] = sigmoid(sum);
+    }
+    prev = act;
+    act += hidden_;
+    prev_count = hidden_;
+  }
+  for (int n = 0; n < outputs_; ++n) {
+    double sum = *w++;
+    for (int i = 0; i < prev_count; ++i) sum += *w++ * prev[i];
+    act[n] = sigmoid(sum);
+    output_[n] = act[n];
+  }
+  return output_;
+}
+
+void Genann::train(const double* in, const double* desired, double rate) {
+  run(in);
+
+  const int h = hidden_;
+  const int hl = hidden_layers_;
+  double* const acts = activations_.data();
+  double* const out_act = acts + inputs_ + static_cast<std::size_t>(hl) * h;
+  double* const out_delta = deltas_.data() + static_cast<std::size_t>(hl) * h;
+
+  // Output deltas.
+  for (int n = 0; n < outputs_; ++n) {
+    const double o = out_act[n];
+    out_delta[n] = (desired[n] - o) * o * (1.0 - o);
+  }
+
+  // Hidden deltas, back to front.
+  for (int layer = hl - 1; layer >= 0; --layer) {
+    double* const delta = deltas_.data() + static_cast<std::size_t>(layer) * h;
+    const double* const act = acts + inputs_ + static_cast<std::size_t>(layer) * h;
+    const bool next_is_output = layer == hl - 1;
+    const int next_count = next_is_output ? outputs_ : h;
+    const double* next_delta =
+        deltas_.data() + static_cast<std::size_t>(layer + 1) * h;
+    // Weights feeding the next layer.
+    std::size_t next_w_off = static_cast<std::size_t>(h) * (inputs_ + 1);
+    for (int l = 1; l <= layer; ++l) next_w_off += static_cast<std::size_t>(h) * (h + 1);
+    const double* next_w = weights_.data() + next_w_off;
+
+    for (int n = 0; n < h; ++n) {
+      double sum = 0;
+      for (int k = 0; k < next_count; ++k)
+        sum += next_delta[k] * next_w[k * (h + 1) + 1 + n];
+      delta[n] = act[n] * (1.0 - act[n]) * sum;
+    }
+  }
+
+  // Weight updates, front to back.
+  double* w = weights_.data();
+  const double* prev = acts;
+  int prev_count = inputs_;
+  for (int layer = 0; layer < hl; ++layer) {
+    const double* delta = deltas_.data() + static_cast<std::size_t>(layer) * h;
+    for (int n = 0; n < h; ++n) {
+      *w++ += rate * delta[n];  // bias
+      for (int i = 0; i < prev_count; ++i) *w++ += rate * delta[n] * prev[i];
+    }
+    prev = acts + inputs_ + static_cast<std::size_t>(layer) * h;
+    prev_count = h;
+  }
+  for (int n = 0; n < outputs_; ++n) {
+    *w++ += rate * out_delta[n];
+    for (int i = 0; i < prev_count; ++i) *w++ += rate * out_delta[n] * prev[i];
+  }
+}
+
+}  // namespace watz::ann

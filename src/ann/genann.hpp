@@ -1,0 +1,49 @@
+// Feed-forward artificial neural network, a functional clone of Genann
+// (github.com/codeplea/genann) — the library the paper's Fig 8 / SS VI-F
+// macro-benchmark trains inside WaTZ.
+//
+// Deterministic: weight initialisation uses a seeded LCG, and the sigmoid
+// uses the same portable exp approximation as the wcc guest build, so the
+// native and in-Wasm training runs are numerically comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace watz::ann {
+
+/// Portable exp: shared between the native and wcc builds (Wasm has no exp
+/// opcode; wcc emits this same algorithm from source).
+double approx_exp(double x);
+
+double sigmoid(double x);
+
+class Genann {
+ public:
+  /// `hidden_layers` >= 1; the paper's Iris model is Genann(4, 1, 4, 3).
+  Genann(int inputs, int hidden_layers, int hidden, int outputs,
+         std::uint64_t seed = 0x5eed);
+
+  /// Forward pass; returns the output activations.
+  const std::vector<double>& run(const double* inputs);
+
+  /// One backpropagation step toward `desired` (size = outputs).
+  void train(const double* inputs, const double* desired, double learning_rate);
+
+  int inputs() const noexcept { return inputs_; }
+  int outputs() const noexcept { return outputs_; }
+  std::size_t total_weights() const noexcept { return weights_.size(); }
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  int inputs_;
+  int hidden_layers_;
+  int hidden_;
+  int outputs_;
+  std::vector<double> weights_;
+  std::vector<double> activations_;  // input copy + all neuron outputs
+  std::vector<double> deltas_;
+  std::vector<double> output_;
+};
+
+}  // namespace watz::ann

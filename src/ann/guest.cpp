@@ -1,0 +1,174 @@
+#include "ann/guest.hpp"
+
+#include "wcc/compiler.hpp"
+
+namespace watz::ann {
+
+namespace {
+
+/// The ANN core in the wcc C subset. Mirrors Genann 4-4-3 exactly:
+/// approx_exp is the same algorithm as ann::approx_exp, weights are
+/// initialised with the same LCG, so host and guest training agree.
+constexpr const char* kAnnCore = R"wcc(
+double expd(double x) {
+  if (x < -30.0) return 0.0;
+  if (x > 30.0) return 10686474581524.463;
+  int k = (int)x;
+  if (x < 0.0) {
+    if ((double)k != x) k = k - 1;
+  }
+  double f = x - k;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int i = 1; i <= 12; i++) {
+    term = term * f / i;
+    sum += term;
+  }
+  double scale = 1.0;
+  int reps = k;
+  if (reps < 0) reps = -reps;
+  for (int i = 0; i < reps; i++) scale *= 2.718281828459045;
+  if (k < 0) return sum / scale;
+  return sum * scale;
+}
+
+double sigmoid(double x) { return 1.0 / (1.0 + expd(0.0 - x)); }
+
+long lcg_state = 24301;
+double lcg_uniform() {
+  lcg_state = lcg_state * 6364136223846793005 + 1442695040888963407;
+  long shifted = lcg_state >> 11;
+  long mod = shifted % 1000000;
+  if (mod < 0) mod += 1000000;
+  return (double)(int)mod / 1000000.0 - 0.5;
+}
+
+int train_at(int data, int iters) {
+  char* bytes = (char*)0;  /* absolute byte view of linear memory */
+  int count = bytes[data] + bytes[data + 1] * 256 + bytes[data + 2] * 65536;
+  /* weights: hidden 4 neurons x (4 inputs + bias), output 3 x (4 + 1) */
+  double* w = alloc(35 * 8);
+  double* hid = alloc(4 * 8);
+  double* out = alloc(3 * 8);
+  double* dout = alloc(3 * 8);
+  double* dhid = alloc(4 * 8);
+  double* want = alloc(3 * 8);
+  lcg_state = 24301;
+  for (int i = 0; i < 35; i++) w[i] = lcg_uniform();
+  double rate = 0.3;
+
+  for (int it = 0; it < iters; it++) {
+    for (int r = 0; r < count; r++) {
+      double* feat = (double*)(data + 4 + r * 36);
+      int lab = bytes[data + 4 + r * 36 + 32];
+      for (int o = 0; o < 3; o++) want[o] = 0.0;
+      want[lab] = 1.0;
+      /* forward */
+      for (int h = 0; h < 4; h++) {
+        double sum = w[h * 5];
+        for (int i = 0; i < 4; i++) sum += w[h * 5 + 1 + i] * feat[i];
+        hid[h] = sigmoid(sum);
+      }
+      for (int o = 0; o < 3; o++) {
+        double sum = w[20 + o * 5];
+        for (int h = 0; h < 4; h++) sum += w[20 + o * 5 + 1 + h] * hid[h];
+        out[o] = sigmoid(sum);
+      }
+      /* backward */
+      for (int o = 0; o < 3; o++) dout[o] = (want[o] - out[o]) * out[o] * (1.0 - out[o]);
+      for (int h = 0; h < 4; h++) {
+        double sum = 0.0;
+        for (int o = 0; o < 3; o++) sum += dout[o] * w[20 + o * 5 + 1 + h];
+        dhid[h] = hid[h] * (1.0 - hid[h]) * sum;
+      }
+      for (int h = 0; h < 4; h++) {
+        w[h * 5] += rate * dhid[h];
+        for (int i = 0; i < 4; i++) w[h * 5 + 1 + i] += rate * dhid[h] * feat[i];
+      }
+      for (int o = 0; o < 3; o++) {
+        w[20 + o * 5] += rate * dout[o];
+        for (int h = 0; h < 4; h++) w[20 + o * 5 + 1 + h] += rate * dout[o] * hid[h];
+      }
+    }
+  }
+
+  /* evaluate */
+  int correct = 0;
+  for (int r = 0; r < count; r++) {
+    double* feat = (double*)(data + 4 + r * 36);
+    int lab = bytes[data + 4 + r * 36 + 32];
+    for (int h = 0; h < 4; h++) {
+      double sum = w[h * 5];
+      for (int i = 0; i < 4; i++) sum += w[h * 5 + 1 + i] * feat[i];
+      hid[h] = sigmoid(sum);
+    }
+    int best = 0;
+    double best_v = -1.0;
+    for (int o = 0; o < 3; o++) {
+      double sum = w[20 + o * 5];
+      for (int h = 0; h < 4; h++) sum += w[20 + o * 5 + 1 + h] * hid[h];
+      double v = sigmoid(sum);
+      if (v > best_v) {
+        best_v = v;
+        best = o;
+      }
+    }
+    if (best == lab) correct++;
+  }
+  return correct;
+}
+)wcc";
+
+constexpr const char* kAttestPart = R"wcc(
+int attest_and_train(int host_len, int port, int iters) {
+  int ctx = wasi_ra_net_handshake(64, host_len, port, 128, 256);
+  if (ctx < 0) return ctx;
+  int quote = wasi_ra_collect_quote(256);
+  if (wasi_ra_net_send_quote(ctx, quote) < 0) return -100;
+  int size = wasi_ra_net_data_size(ctx);
+  wasi_ra_net_receive_data(ctx, 4096, size, 300);
+  wasi_ra_dispose_quote(quote);
+  wasi_ra_net_dispose(ctx);
+  return train_at(4096, iters);
+}
+)wcc";
+
+constexpr const char* kExterns = R"wcc(
+extern int wasi_ra_collect_quote(int anchor_ptr);
+extern int wasi_ra_dispose_quote(int quote);
+extern int wasi_ra_net_handshake(int host_ptr, int host_len, int port, int id_ptr, int anchor_out);
+extern int wasi_ra_net_send_quote(int ctx, int quote);
+extern int wasi_ra_net_data_size(int ctx);
+extern int wasi_ra_net_receive_data(int ctx, int buf, int len, int nread);
+extern int wasi_ra_net_dispose(int ctx);
+)wcc";
+
+}  // namespace
+
+std::string training_source() { return kAnnCore; }
+
+Bytes training_module() {
+  wcc::CompileOptions options;
+  options.memory_pages = 128;  // 8 MiB: dataset + heap
+  options.heap_base = GuestLayout::kHeapBase;
+  auto binary = wcc::compile(training_source(), options);
+  binary.ok() ? void() : throw Error("ann guest: " + binary.error());
+  return *binary;
+}
+
+Bytes attested_training_module(const std::string& verifier_host,
+                               const crypto::EcPoint& verifier_identity) {
+  wcc::CompileOptions options;
+  options.memory_pages = 128;
+  options.heap_base = GuestLayout::kHeapBase;
+  options.data.push_back(
+      {GuestLayout::kHostPtr, Bytes(verifier_host.begin(), verifier_host.end())});
+  options.data.push_back(
+      {GuestLayout::kIdentityPtr, verifier_identity.encode_uncompressed()});
+  const std::string source = std::string(kExterns) + kAnnCore + kAttestPart;
+  auto binary = wcc::compile(source, options);
+  binary.ok() ? void() : throw Error("ann guest: " + binary.error());
+  return *binary;
+}
+
+}  // namespace watz::ann

@@ -1,0 +1,38 @@
+// wcc guest sources for the Fig 8 scenario: an Iris classifier (Genann
+// topology 4-4-3) trained *inside* the Wasm sandbox, with the dataset
+// provisioned over the remote-attestation channel (WaTZ) or poked directly
+// into guest memory (the WAMR/normal-world baseline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/p256.hpp"
+
+namespace watz::ann {
+
+struct GuestLayout {
+  static constexpr std::uint32_t kHostPtr = 64;
+  static constexpr std::uint32_t kIdentityPtr = 128;
+  static constexpr std::uint32_t kDatasetPtr = 4096;
+  static constexpr std::uint32_t kHeapBase = 4 * 1024 * 1024;  // above max dataset
+};
+
+/// Training-only module: exports
+///   train_at(data_ptr, iters) -> correctly-classified count
+/// for a dataset in the encode_dataset() wire format.
+std::string training_source();
+
+/// Full WaTZ scenario module: training plus
+///   attest_and_train(port, iters) -> correct count (or negative error)
+/// which performs the WASI-RA flow against `verifier_host`, receives the
+/// dataset at kDatasetPtr and trains on it. Host name and verifier identity
+/// are baked into data segments (measured).
+Bytes attested_training_module(const std::string& verifier_host,
+                               const crypto::EcPoint& verifier_identity);
+
+/// The training-only module compiled for the normal-world (WAMR) baseline.
+Bytes training_module();
+
+}  // namespace watz::ann

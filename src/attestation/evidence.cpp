@@ -1,0 +1,49 @@
+#include "attestation/evidence.hpp"
+
+#include <cstring>
+
+namespace watz::attestation {
+
+Bytes Evidence::signed_payload() const {
+  Bytes out;
+  out.reserve(32 + 4 + 32 + 65);
+  append(out, anchor);
+  put_u32le(out, version);
+  append(out, claim);
+  append(out, attestation_key.encode_uncompressed());
+  return out;
+}
+
+Bytes Evidence::encode() const {
+  Bytes out = signed_payload();
+  append(out, signature);
+  return out;
+}
+
+Result<Evidence> Evidence::decode(ByteView data) {
+  if (data.size() != kEncodedSize)
+    return Result<Evidence>::err("evidence: wrong size");
+  Evidence ev;
+  std::size_t off = 0;
+  std::memcpy(ev.anchor.data(), data.data(), 32);
+  off += 32;
+  ev.version = get_u32le(data.data() + off);
+  off += 4;
+  std::memcpy(ev.claim.data(), data.data() + off, 32);
+  off += 32;
+  auto key = crypto::EcPoint::decode_uncompressed(data.subspan(off, 65));
+  if (!key.ok()) return Result<Evidence>::err("evidence: bad attestation key");
+  ev.attestation_key = *key;
+  off += 65;
+  ev.signature.assign(data.begin() + off, data.end());
+  return ev;
+}
+
+bool verify_evidence_signature(const Evidence& evidence) {
+  auto sig = crypto::EcdsaSignature::decode(evidence.signature);
+  if (!sig.ok()) return false;
+  const auto digest = crypto::sha256(evidence.signed_payload());
+  return crypto::ecdsa_verify(evidence.attestation_key, digest, *sig);
+}
+
+}  // namespace watz::attestation

@@ -1,0 +1,45 @@
+// Evidence: the cryptographically signed report WaTZ produces to prove that
+// a specific Wasm application runs on a genuine device (SS IV "Proof of
+// trust"). Contents, in order:
+//   (i)   anchor  — transport-layer binding (hash of the session keys)
+//   (ii)  version — WaTZ version, so relying parties can exclude outdated
+//                   (unpatched) runtimes
+//   (iii) claim   — SHA-256 of the loaded Wasm AOT bytecode
+//   (iv)  key     — the device's public attestation key (endorsement lookup)
+//   (v)   sig     — ECDSA over (i)-(iv) by the attestation service
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace watz::attestation {
+
+inline constexpr std::uint32_t kWatzVersion = 0x0001'0000;  // 1.0.0
+
+struct Evidence {
+  std::array<std::uint8_t, 32> anchor{};
+  std::uint32_t version = kWatzVersion;
+  crypto::Sha256Digest claim{};  // Wasm bytecode measurement
+  crypto::EcPoint attestation_key;
+  Bytes signature;  // 64 bytes, over signed_payload()
+
+  /// The byte string the attestation service signs.
+  Bytes signed_payload() const;
+
+  /// Wire encoding: fixed-size fields concatenated (197 bytes).
+  Bytes encode() const;
+  static Result<Evidence> decode(ByteView data);
+
+  static constexpr std::size_t kEncodedSize = 32 + 4 + 32 + 65 + 64;
+};
+
+/// Verifies the evidence signature against the embedded attestation key.
+/// (Endorsement of that key is the verifier's separate step.)
+bool verify_evidence_signature(const Evidence& evidence);
+
+}  // namespace watz::attestation

@@ -1,0 +1,32 @@
+#include "attestation/service.hpp"
+
+namespace watz::attestation {
+
+Result<std::shared_ptr<AttestationService>> AttestationService::create(
+    const optee::TrustedOs& os) {
+  if (!os.config().watz_extensions)
+    return Result<std::shared_ptr<AttestationService>>::err(
+        "attestation service requires the WaTZ kernel extensions "
+        "(seedable Fortuna PRNG, MKVB width fix)");
+  // Two-step derivation exactly as SS V describes: huk_subkey_derive first,
+  // then the result seeds Fortuna, from which the ECDSA key pair is drawn.
+  const auto seed = os.huk_subkey_derive("watz-attestation-key-v1");
+  crypto::Fortuna prng(seed);
+  auto key = crypto::ecdsa_keygen(prng);
+  return std::shared_ptr<AttestationService>(new AttestationService(std::move(key)));
+}
+
+Evidence AttestationService::issue_evidence(const std::array<std::uint8_t, 32>& anchor,
+                                            const crypto::Sha256Digest& claim,
+                                            std::uint32_t version) const {
+  Evidence ev;
+  ev.anchor = anchor;
+  ev.version = version;
+  ev.claim = claim;
+  ev.attestation_key = key_.pub;
+  const auto digest = crypto::sha256(ev.signed_payload());
+  ev.signature = crypto::ecdsa_sign(key_.priv, digest).encode();
+  return ev;
+}
+
+}  // namespace watz::attestation

@@ -1,0 +1,42 @@
+// The WaTZ attestation service: an OP-TEE kernel module (SS V).
+//
+// Lives in the trusted kernel so the private attestation key is never
+// exposed to user-space TAs — the Wasm runtime passes claims in, evidence
+// comes out. The key pair is derived *deterministically* at each boot from
+// the hardware root of trust: MKVB -> huk_subkey_derive -> Fortuna seed ->
+// ECDSA key pair, so OS updates never change the device identity.
+#pragma once
+
+#include "attestation/evidence.hpp"
+#include "crypto/fortuna.hpp"
+#include "optee/trusted_os.hpp"
+
+namespace watz::attestation {
+
+class AttestationService final : public optee::KernelModule {
+ public:
+  static constexpr const char* kName = "watz.attestation";
+
+  /// Derives the attestation key pair from the trusted OS's root of trust.
+  /// Requires the WaTZ kernel extensions (seedable Fortuna PRNG in
+  /// LibTomCrypt is a paper contribution; stock OP-TEE cannot do this).
+  static Result<std::shared_ptr<AttestationService>> create(const optee::TrustedOs& os);
+
+  const char* name() const override { return kName; }
+
+  /// The public half, exported as the endorsement value relying parties
+  /// register before accepting this device.
+  const crypto::EcPoint& public_key() const noexcept { return key_.pub; }
+
+  /// Issues signed evidence for a claim (the Wasm bytecode measurement)
+  /// bound to `anchor` (the transport-layer session binding).
+  Evidence issue_evidence(const std::array<std::uint8_t, 32>& anchor,
+                          const crypto::Sha256Digest& claim,
+                          std::uint32_t version = kWatzVersion) const;
+
+ private:
+  explicit AttestationService(crypto::KeyPair key) : key_(std::move(key)) {}
+  crypto::KeyPair key_;  // private part never leaves this module
+};
+
+}  // namespace watz::attestation

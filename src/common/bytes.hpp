@@ -1,0 +1,87 @@
+// Byte-buffer utilities shared by every WaTZ module.
+//
+// The whole code base passes binary data as `watz::Bytes` (owning) or
+// `watz::ByteView` (non-owning); serialisation helpers here keep wire
+// formats explicit and little-endian unless stated otherwise.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace watz {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+std::string to_hex(ByteView data);
+
+/// Decodes a hex string (upper or lower case). Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Returns the concatenation of all views, in order.
+Bytes concat(std::initializer_list<ByteView> parts);
+
+/// Constant-time equality; returns false on length mismatch.
+bool ct_equal(ByteView a, ByteView b) noexcept;
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline void append(Bytes& out, ByteView more) {
+  out.insert(out.end(), more.begin(), more.end());
+}
+
+// -- little-endian fixed-width scalar I/O ----------------------------------
+
+inline void put_u16le(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u32le(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_u64le(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline std::uint16_t get_u16le(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline std::uint32_t get_u32le(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline std::uint64_t get_u64le(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+// -- big-endian (network order, used by crypto wire formats) ---------------
+
+inline void put_u32be(Bytes& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline std::uint32_t get_u32be(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+inline void put_u64be(Bytes& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace watz

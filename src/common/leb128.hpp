@@ -1,0 +1,48 @@
+// LEB128 variable-length integers, the encoding used throughout the
+// WebAssembly binary format (and by wcc when emitting modules).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace watz {
+
+/// Streaming reader over a byte view with bounds checking. All `read_*`
+/// methods fail (Result) instead of reading past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView data) : data_(data) {}
+
+  std::size_t pos() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  Result<std::uint8_t> read_u8();
+  Result<std::uint32_t> read_u32le();
+  /// Unsigned LEB128, at most 32 bits of payload.
+  Result<std::uint32_t> read_uleb32();
+  /// Unsigned LEB128, at most 64 bits of payload.
+  Result<std::uint64_t> read_uleb64();
+  /// Signed LEB128, 32-bit.
+  Result<std::int32_t> read_sleb32();
+  /// Signed LEB128, 64-bit.
+  Result<std::int64_t> read_sleb64();
+  /// Raw byte run of exactly `n` bytes.
+  Result<ByteView> read_bytes(std::size_t n);
+
+  void seek(std::size_t pos) { pos_ = pos; }
+
+ private:
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+void write_uleb(Bytes& out, std::uint64_t value);
+void write_sleb(Bytes& out, std::int64_t value);
+
+/// Number of bytes write_uleb would emit.
+std::size_t uleb_size(std::uint64_t value);
+
+}  // namespace watz

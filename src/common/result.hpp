@@ -1,0 +1,83 @@
+// Minimal Result<T> for recoverable errors (decode failures, protocol
+// violations, resource exhaustion). Programmer errors use exceptions.
+//
+// C++20 has no std::expected; this is the small subset the code base needs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace watz {
+
+/// Thrown by Result::value() when the result holds an error, and used
+/// directly for unrecoverable conditions.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+
+  static Result err(std::string message) {
+    return Result(ErrTag{}, std::move(message));
+  }
+
+  bool ok() const noexcept { return state_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Error message; empty string when ok().
+  const std::string& error() const noexcept {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : std::get<1>(state_);
+  }
+
+  T& value() & {
+    if (!ok()) throw Error("Result::value on error: " + error());
+    return std::get<0>(state_);
+  }
+  const T& value() const& {
+    if (!ok()) throw Error("Result::value on error: " + error());
+    return std::get<0>(state_);
+  }
+  T&& value() && {
+    if (!ok()) throw Error("Result::value on error: " + error());
+    return std::move(std::get<0>(state_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  struct ErrTag {};
+  Result(ErrTag, std::string message)
+      : state_(std::in_place_index<1>, std::move(message)) {}
+  std::variant<T, std::string> state_;
+};
+
+/// A Result carrying no value.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  static Status err(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const noexcept { return message_.empty(); }
+  explicit operator bool() const noexcept { return ok(); }
+  const std::string& error() const noexcept { return message_; }
+
+  void check() const {
+    if (!ok()) throw Error(message_);
+  }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::string message_;  // empty == success
+};
+
+}  // namespace watz

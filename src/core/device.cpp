@@ -1,0 +1,93 @@
+#include "core/device.hpp"
+
+#include "crypto/fortuna.hpp"
+#include "hw/clock.hpp"
+
+namespace watz::core {
+
+namespace {
+
+/// The TEE supplicant daemon: services secure-world RPCs from the normal
+/// world (SS V). Sockets go through the fabric; each RPC pays the
+/// supplicant round-trip cost from the latency model.
+class DeviceSupplicant final : public optee::Supplicant {
+ public:
+  DeviceSupplicant(net::Fabric& fabric, hw::LatencyModel latency)
+      : fabric_(fabric), latency_(std::move(latency)) {}
+
+  std::uint64_t monotonic_time_ns() override { return hw::monotonic_ns(); }
+
+  Result<std::uint32_t> socket_connect(const std::string& host,
+                                       std::uint16_t port) override {
+    latency_.charge_supplicant_rpc();
+    auto conn = fabric_.connect(host, port);
+    if (!conn.ok()) return Result<std::uint32_t>::err(conn.error());
+    return static_cast<std::uint32_t>(*conn);
+  }
+
+  Result<Bytes> socket_send_recv(std::uint32_t handle, ByteView message) override {
+    latency_.charge_supplicant_rpc();
+    return fabric_.send_recv(handle, message);
+  }
+
+  void socket_close(std::uint32_t handle) override {
+    latency_.charge_supplicant_rpc();
+    fabric_.close(handle);
+  }
+
+ private:
+  net::Fabric& fabric_;
+  hw::LatencyModel latency_;
+};
+
+}  // namespace
+
+Vendor Vendor::create(ByteView seed) {
+  crypto::Fortuna rng(seed);
+  return Vendor{crypto::ecdsa_keygen(rng)};
+}
+
+std::vector<tz::BootImage> Vendor::make_boot_chain() const {
+  std::vector<tz::BootImage> chain = {
+      {"spl", to_bytes("WaTZ SPL (second-stage bootloader)"), {}},
+      {"u-boot+atf", to_bytes("U-Boot 2020.10-rc2 + Arm Trusted Firmware 2.3"), {}},
+      {"optee-os", to_bytes("OP-TEE 3.13 + WaTZ kernel extensions"), {}},
+  };
+  for (auto& image : chain) tz::sign_image(image, key.priv);
+  return chain;
+}
+
+Result<std::unique_ptr<Device>> Device::boot(net::Fabric& fabric, const Vendor& vendor,
+                                             DeviceConfig config) {
+  auto device = std::unique_ptr<Device>(new Device(fabric, std::move(config)));
+
+  // Manufacturing: burn the vendor verification key hash into the eFuses.
+  const auto key_digest = crypto::sha256(vendor.key.pub.encode_uncompressed());
+  const Status burned = device->fuses_.program_digest(key_digest);
+  if (!burned.ok()) return Result<std::unique_ptr<Device>>::err(burned.error());
+
+  // Secure boot into OP-TEE.
+  const hw::LatencyModel latency{device->config_.latency};
+  auto os = optee::TrustedOs::boot(device->caam_, device->fuses_, vendor.key.pub,
+                                   vendor.make_boot_chain(), latency,
+                                   device->config_.os);
+  if (!os.ok()) return Result<std::unique_ptr<Device>>::err(os.error());
+  device->os_ = std::move(*os);
+
+  // WaTZ attestation service as a kernel module.
+  auto service = attestation::AttestationService::create(*device->os_);
+  if (!service.ok()) return Result<std::unique_ptr<Device>>::err(service.error());
+  device->attestation_ = *service;
+  device->os_->register_module(device->attestation_);
+
+  // Normal-world supplicant.
+  device->supplicant_ = std::make_unique<DeviceSupplicant>(fabric, latency);
+  device->os_->attach_supplicant(device->supplicant_.get());
+
+  // The WaTZ runtime TA.
+  device->runtime_ = std::make_unique<WatzRuntime>(*device->os_, device->monitor_,
+                                                   *device->attestation_);
+  return device;
+}
+
+}  // namespace watz::core

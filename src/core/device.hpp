@@ -1,0 +1,70 @@
+// A complete simulated board: the assembly the prototype runs on.
+//
+// Mirrors Fig 1/Fig 2: SoC (eFuses + CAAM + TrustZone) -> secure boot ->
+// OP-TEE with the WaTZ extensions + attestation service kernel module ->
+// WaTZ runtime TA in the secure world, TEE supplicant in the normal world
+// bridging sockets and the monotonic clock.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/runtime.hpp"
+#include "net/fabric.hpp"
+
+namespace watz::core {
+
+/// The software vendor: signs boot images and TAs. One per deployment.
+struct Vendor {
+  crypto::KeyPair key;
+
+  static Vendor create(ByteView seed);
+  std::vector<tz::BootImage> make_boot_chain() const;
+};
+
+struct DeviceConfig {
+  std::string hostname = "device";
+  /// Device-unique OTPMK; fixed value => same device identity across
+  /// simulated power cycles.
+  std::array<std::uint8_t, 32> otpmk{};
+  hw::LatencyConfig latency{};
+  optee::TrustedOsConfig os{};
+};
+
+class Device {
+ public:
+  /// Manufactures + boots a device: burns the vendor key hash into eFuses,
+  /// runs the secure boot chain, starts OP-TEE, loads the attestation
+  /// service and wires the supplicant to the network fabric.
+  static Result<std::unique_ptr<Device>> boot(net::Fabric& fabric, const Vendor& vendor,
+                                              DeviceConfig config);
+
+  const std::string& hostname() const noexcept { return config_.hostname; }
+  optee::TrustedOs& os() noexcept { return *os_; }
+  tz::SecureMonitor& monitor() noexcept { return monitor_; }
+  WatzRuntime& runtime() noexcept { return *runtime_; }
+  const attestation::AttestationService& attestation_service() const noexcept {
+    return *attestation_;
+  }
+  net::Fabric& fabric() noexcept { return fabric_; }
+  optee::Supplicant& supplicant() noexcept { return *supplicant_; }
+
+ private:
+  Device(net::Fabric& fabric, DeviceConfig config)
+      : fabric_(fabric),
+        config_(std::move(config)),
+        caam_(config_.otpmk),
+        monitor_(hw::LatencyModel(config_.latency)) {}
+
+  net::Fabric& fabric_;
+  DeviceConfig config_;
+  hw::EfuseBank fuses_;
+  hw::Caam caam_;
+  tz::SecureMonitor monitor_;
+  std::unique_ptr<optee::TrustedOs> os_;
+  std::shared_ptr<attestation::AttestationService> attestation_;
+  std::unique_ptr<optee::Supplicant> supplicant_;
+  std::unique_ptr<WatzRuntime> runtime_;
+};
+
+}  // namespace watz::core

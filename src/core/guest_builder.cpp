@@ -1,0 +1,91 @@
+#include "core/guest_builder.hpp"
+
+#include "wasm/builder.hpp"
+
+namespace watz::core {
+
+Bytes build_attester_app(const crypto::EcPoint& verifier_identity,
+                         const std::string& verifier_host, std::uint16_t port,
+                         std::uint32_t memory_pages) {
+  using namespace wasm;
+  using L = AttesterAppLayout;
+
+  ModuleBuilder b;
+  const FuncType i32_to_i32{{ValType::I32}, {ValType::I32}};
+  const auto collect =
+      b.import_function("wasi_ra", "wasi_ra_collect_quote", i32_to_i32);
+  const auto dispose_quote =
+      b.import_function("wasi_ra", "wasi_ra_dispose_quote", i32_to_i32);
+  const auto handshake = b.import_function(
+      "wasi_ra", "wasi_ra_net_handshake",
+      {{ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32},
+       {ValType::I32}});
+  const auto send_quote = b.import_function(
+      "wasi_ra", "wasi_ra_net_send_quote", {{ValType::I32, ValType::I32}, {ValType::I32}});
+  const auto data_size =
+      b.import_function("wasi_ra", "wasi_ra_net_data_size", i32_to_i32);
+  const auto receive = b.import_function(
+      "wasi_ra", "wasi_ra_net_receive_data",
+      {{ValType::I32, ValType::I32, ValType::I32, ValType::I32}, {ValType::I32}});
+  const auto net_dispose =
+      b.import_function("wasi_ra", "wasi_ra_net_dispose", i32_to_i32);
+
+  b.add_memory(memory_pages, memory_pages);
+  b.add_data(L::kHostPtr, to_bytes(verifier_host));
+  b.add_data(L::kIdentityPtr, verifier_identity.encode_uncompressed());
+
+  // attest() -> i32
+  // locals: 0=ctx, 1=quote, 2=size
+  const auto attest =
+      b.add_function({{}, {ValType::I32}}, {ValType::I32, ValType::I32, ValType::I32});
+  {
+    CodeEmitter e;
+    // ctx = handshake(host, host_len, port, identity, anchor_out)
+    e.i32_const(static_cast<std::int32_t>(L::kHostPtr));
+    e.i32_const(static_cast<std::int32_t>(verifier_host.size()));
+    e.i32_const(port);
+    e.i32_const(static_cast<std::int32_t>(L::kIdentityPtr));
+    e.i32_const(static_cast<std::int32_t>(L::kAnchorPtr));
+    e.call(handshake).local_tee(0);
+    // if (ctx < 0) return ctx
+    e.i32_const(0).op(kI32LtS);
+    e.if_();
+    e.local_get(0).op(kReturn);
+    e.end();
+    // quote = collect_quote(anchor)
+    e.i32_const(static_cast<std::int32_t>(L::kAnchorPtr)).call(collect).local_set(1);
+    // if (send_quote(ctx, quote) < 0) return -100
+    e.local_get(0).local_get(1).call(send_quote);
+    e.i32_const(0).op(kI32LtS);
+    e.if_();
+    e.i32_const(-100).op(kReturn);
+    e.end();
+    // size = data_size(ctx)
+    e.local_get(0).call(data_size).local_set(2);
+    // receive_data(ctx, kSecretPtr, size, kNReadPtr)
+    e.local_get(0);
+    e.i32_const(static_cast<std::int32_t>(L::kSecretPtr));
+    e.local_get(2);
+    e.i32_const(static_cast<std::int32_t>(L::kNReadPtr));
+    e.call(receive).op(kDrop);
+    // cleanup
+    e.local_get(1).call(dispose_quote).op(kDrop);
+    e.local_get(0).call(net_dispose).op(kDrop);
+    e.local_get(2);
+    b.set_body(attest, e.bytes());
+  }
+  b.export_function("attest", attest);
+
+  // first_secret_byte() -> i32
+  const auto peek = b.add_function({{}, {ValType::I32}});
+  {
+    CodeEmitter e;
+    e.i32_const(static_cast<std::int32_t>(L::kSecretPtr)).load(kI32Load8U, 0);
+    b.set_body(peek, e.bytes());
+  }
+  b.export_function("first_secret_byte", peek);
+
+  return b.build();
+}
+
+}  // namespace watz::core

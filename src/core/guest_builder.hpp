@@ -1,0 +1,35 @@
+// Canonical guest applications assembled with the module builder.
+//
+// No offline Wasm toolchain exists in this environment, so the standard
+// attester application (the one the paper compiles from C with WASI-SDK) is
+// generated programmatically. The verifier's identity key is embedded in
+// the module's data segment — therefore covered by the code measurement,
+// which is the property the protocol relies on (SS IV, requirement 2).
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/p256.hpp"
+
+namespace watz::core {
+
+struct AttesterAppLayout {
+  static constexpr std::uint32_t kHostPtr = 0;      // hostname string
+  static constexpr std::uint32_t kIdentityPtr = 64;  // 65-byte SEC1 key
+  static constexpr std::uint32_t kAnchorPtr = 160;   // 32-byte anchor out
+  static constexpr std::uint32_t kNReadPtr = 200;    // u32 out
+  static constexpr std::uint32_t kSecretPtr = 256;   // received blob
+};
+
+/// Builds a Wasm application that exports:
+///   attest() -> i32 : full WASI-RA flow (handshake, collect+send quote,
+///                     receive data, dispose); returns the secret size or a
+///                     negative error code. The secret lands at kSecretPtr.
+///   first_secret_byte() -> i32 : reads the first byte of the secret.
+/// `memory_pages` sizes the guest memory (the secret must fit).
+Bytes build_attester_app(const crypto::EcPoint& verifier_identity,
+                         const std::string& verifier_host, std::uint16_t port,
+                         std::uint32_t memory_pages = 64);
+
+}  // namespace watz::core

@@ -1,0 +1,35 @@
+#include "core/verifier_host.hpp"
+
+#include "crypto/fortuna.hpp"
+
+namespace watz::core {
+
+namespace {
+crypto::KeyPair derive_identity(Device& device) {
+  crypto::Fortuna rng(device.os().huk_subkey_derive("watz-verifier-identity-v1"));
+  return crypto::ecdsa_keygen(rng);
+}
+}  // namespace
+
+VerifierHost::VerifierHost(Device& device, crypto::Rng& rng)
+    : device_(device),
+      verifier_(std::make_unique<ra::Verifier>(derive_identity(device), rng)) {}
+
+Status VerifierHost::listen(std::uint16_t port) {
+  // Each message is handled inside the TEE: the listener only shuttles
+  // buffers, so every request pays the world-switch cost (SS VI-A).
+  return device_.fabric().listen(
+      device_.hostname(), port,
+      [this](std::uint64_t conn, ByteView message) -> Result<Bytes> {
+        return device_.monitor().smc_call(
+            [&]() -> Result<Bytes> { return verifier_->handle(conn, message); });
+      },
+      [this](std::uint64_t conn) {
+        device_.monitor().smc_call([&] {
+          verifier_->end_session(conn);
+          return 0;
+        });
+      });
+}
+
+}  // namespace watz::core

@@ -1,0 +1,33 @@
+// The verifier deployment (Fig 2, right side): a normal-world listener
+// forwarding protocol messages to the verifier TA in the secure world.
+//
+// The GP sockets API cannot accept incoming connections (SS V), so the
+// listener lives in the normal world and each received message crosses the
+// boundary into the verifier TA via the secure monitor.
+#pragma once
+
+#include <memory>
+
+#include "core/device.hpp"
+#include "ra/verifier.hpp"
+
+namespace watz::core {
+
+class VerifierHost {
+ public:
+  /// Creates the verifier TA on `device`, with a long-term identity derived
+  /// from the device's root of trust.
+  VerifierHost(Device& device, crypto::Rng& rng);
+
+  ra::Verifier& verifier() noexcept { return *verifier_; }
+  const crypto::EcPoint& identity() const noexcept { return verifier_->identity_key(); }
+
+  /// Binds the normal-world listener on the device's hostname.
+  Status listen(std::uint16_t port);
+
+ private:
+  Device& device_;
+  std::unique_ptr<ra::Verifier> verifier_;
+};
+
+}  // namespace watz::core

@@ -1,0 +1,160 @@
+#include "core/wasi_ra.hpp"
+
+#include <cstring>
+
+namespace watz::core {
+
+namespace {
+
+using wasm::Instance;
+using wasm::Value;
+using wasm::ValType;
+
+wasm::FuncType sig(std::initializer_list<ValType> params,
+                   std::initializer_list<ValType> results) {
+  return wasm::FuncType{params, results};
+}
+
+Result<std::vector<Value>> ret_i32(std::int32_t v) {
+  return std::vector<Value>{Value::from_i32(v)};
+}
+
+}  // namespace
+
+class WasiRaShims {
+ public:
+  static void register_all(WasiRaEnv& env, wasm::ImportResolver& imports) {
+    const std::string kModule = "wasi_ra";
+    auto add = [&](const char* name, wasm::FuncType type, wasm::HostFn fn) {
+      imports.add_function(kModule, name, std::move(type), std::move(fn));
+    };
+
+    // quote_handle = collect_quote(anchor_ptr): issues evidence for this
+    // application's measured claim, bound to the caller-provided anchor.
+    add("wasi_ra_collect_quote", sig({ValType::I32}, {ValType::I32}),
+        [&env](Instance& inst, std::span<const Value> a) -> Result<std::vector<Value>> {
+          wasm::Memory* mem = inst.memory();
+          const std::uint32_t ptr = a[0].u32();
+          if (mem == nullptr || !mem->in_bounds(ptr, 32)) return ret_i32(-1);
+          std::array<std::uint8_t, 32> anchor;
+          std::memcpy(anchor.data(), mem->data() + ptr, 32);
+          const std::int32_t handle = env.next_handle_++;
+          env.quotes_.emplace(handle, env.service_.issue_evidence(anchor, env.claim_));
+          return ret_i32(handle);
+        });
+
+    add("wasi_ra_dispose_quote", sig({ValType::I32}, {ValType::I32}),
+        [&env](Instance&, std::span<const Value> a) -> Result<std::vector<Value>> {
+          return ret_i32(env.quotes_.erase(a[0].i32()) == 1 ? 0 : -1);
+        });
+
+    // ctx = net_handshake(host_ptr, host_len, port, identity_ptr, anchor_out):
+    // connects through the supplicant, performs msg0/msg1, writes the anchor.
+    add("wasi_ra_net_handshake",
+        sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32},
+            {ValType::I32}),
+        [&env](Instance& inst, std::span<const Value> a) -> Result<std::vector<Value>> {
+          wasm::Memory* mem = inst.memory();
+          const std::uint32_t host_ptr = a[0].u32(), host_len = a[1].u32();
+          const std::uint16_t port = static_cast<std::uint16_t>(a[2].u32());
+          const std::uint32_t id_ptr = a[3].u32(), anchor_out = a[4].u32();
+          if (mem == nullptr || !mem->in_bounds(host_ptr, host_len) ||
+              !mem->in_bounds(id_ptr, 65) || !mem->in_bounds(anchor_out, 32))
+            return ret_i32(-1);
+
+          // The verifier identity is read from the application image: its
+          // bytes are part of the code measurement, which is what lets the
+          // verifier detect a swapped key (SS IV, requirement 2).
+          auto identity = crypto::EcPoint::decode_uncompressed(
+              ByteView(mem->data() + id_ptr, 65));
+          if (!identity.ok()) return ret_i32(-2);
+
+          const std::string host(reinterpret_cast<const char*>(mem->data() + host_ptr),
+                                 host_len);
+          auto socket = env.supplicant_.socket_connect(host, port);
+          if (!socket.ok()) return ret_i32(-3);
+
+          WasiRaEnv::RaContext ctx;
+          ctx.session = std::make_unique<ra::AttesterSession>(env.rng_, *identity);
+          ctx.socket = *socket;
+          auto msg1 = env.supplicant_.socket_send_recv(ctx.socket, ctx.session->make_msg0());
+          if (!msg1.ok()) {
+            env.supplicant_.socket_close(ctx.socket);
+            return ret_i32(-4);
+          }
+          const Status processed = ctx.session->process_msg1(*msg1);
+          if (!processed.ok()) {
+            env.supplicant_.socket_close(ctx.socket);
+            return ret_i32(-5);
+          }
+          // The anchor is session-bound and returned to the guest so it can
+          // collect a quote against it (paper: "an anchor [is] returned in
+          // opaque values; the latter is used to generate evidence").
+          std::memcpy(mem->data() + anchor_out, ctx.session->anchor().data(), 32);
+
+          const std::int32_t handle = env.next_handle_++;
+          env.contexts_.emplace(handle, std::move(ctx));
+          return ret_i32(handle);
+        });
+
+    add("wasi_ra_net_send_quote", sig({ValType::I32, ValType::I32}, {ValType::I32}),
+        [&env](Instance&, std::span<const Value> a) -> Result<std::vector<Value>> {
+          const auto ctx_it = env.contexts_.find(a[0].i32());
+          if (ctx_it == env.contexts_.end()) return ret_i32(-1);
+          const auto quote_it = env.quotes_.find(a[1].i32());
+          if (quote_it == env.quotes_.end()) return ret_i32(-5);
+          WasiRaEnv::RaContext& ctx = ctx_it->second;
+          auto msg2 = ctx.session->make_msg2(quote_it->second);
+          if (!msg2.ok()) return ret_i32(-2);
+          auto msg3 = env.supplicant_.socket_send_recv(ctx.socket, *msg2);
+          if (!msg3.ok()) return ret_i32(-3);
+          auto secret = ctx.session->handle_msg3(*msg3);
+          if (!secret.ok()) return ret_i32(-4);
+          ctx.secret = std::move(*secret);
+          ctx.have_secret = true;
+          return ret_i32(0);
+        });
+
+    add("wasi_ra_net_data_size", sig({ValType::I32}, {ValType::I32}),
+        [&env](Instance&, std::span<const Value> a) -> Result<std::vector<Value>> {
+          const auto ctx_it = env.contexts_.find(a[0].i32());
+          if (ctx_it == env.contexts_.end() || !ctx_it->second.have_secret)
+            return ret_i32(-1);
+          return ret_i32(static_cast<std::int32_t>(ctx_it->second.secret.size()));
+        });
+
+    add("wasi_ra_net_receive_data",
+        sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32}, {ValType::I32}),
+        [&env](Instance& inst, std::span<const Value> a) -> Result<std::vector<Value>> {
+          const auto ctx_it = env.contexts_.find(a[0].i32());
+          if (ctx_it == env.contexts_.end() || !ctx_it->second.have_secret)
+            return ret_i32(-1);
+          wasm::Memory* mem = inst.memory();
+          const std::uint32_t buf = a[1].u32(), len = a[2].u32(), nread_ptr = a[3].u32();
+          if (mem == nullptr || !mem->in_bounds(buf, len) || !mem->in_bounds(nread_ptr, 4))
+            return ret_i32(-2);
+          const Bytes& secret = ctx_it->second.secret;
+          const std::uint32_t take =
+              std::min<std::uint32_t>(len, static_cast<std::uint32_t>(secret.size()));
+          std::memcpy(mem->data() + buf, secret.data(), take);
+          for (int i = 0; i < 4; ++i)
+            mem->data()[nread_ptr + i] = static_cast<std::uint8_t>(take >> (8 * i));
+          return ret_i32(0);
+        });
+
+    add("wasi_ra_net_dispose", sig({ValType::I32}, {ValType::I32}),
+        [&env](Instance&, std::span<const Value> a) -> Result<std::vector<Value>> {
+          const auto ctx_it = env.contexts_.find(a[0].i32());
+          if (ctx_it == env.contexts_.end()) return ret_i32(-1);
+          env.supplicant_.socket_close(ctx_it->second.socket);
+          env.contexts_.erase(ctx_it);
+          return ret_i32(0);
+        });
+  }
+};
+
+void WasiRaEnv::register_imports(wasm::ImportResolver& imports) {
+  WasiRaShims::register_all(*this, imports);
+}
+
+}  // namespace watz::core

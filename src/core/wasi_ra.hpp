@@ -1,0 +1,64 @@
+// WASI-RA: the paper's WASI extension for remote attestation (SS V).
+//
+// Exposed to guest applications under the import module "wasi_ra":
+//
+//   evidence generation (transport-agnostic):
+//     wasi_ra_collect_quote(anchor_ptr) -> quote_handle
+//     wasi_ra_dispose_quote(quote_handle) -> errno
+//
+//   attestation protocol over the runtime's socket path:
+//     wasi_ra_net_handshake(host_ptr, host_len, port,
+//                           identity_ptr /*65B SEC1*/, anchor_out_ptr) -> ctx
+//     wasi_ra_net_send_quote(ctx, quote_handle) -> errno
+//     wasi_ra_net_data_size(ctx) -> size of the received secret blob
+//     wasi_ra_net_receive_data(ctx, buf_ptr, buf_len, nread_ptr) -> errno
+//     wasi_ra_net_dispose(ctx) -> errno
+//
+// Handles are opaque non-zero i32 values; negative returns signal errors.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "attestation/service.hpp"
+#include "crypto/rng.hpp"
+#include "optee/trusted_os.hpp"
+#include "ra/attester.hpp"
+#include "wasm/instance.hpp"
+
+namespace watz::core {
+
+/// Per-application WASI-RA state: the measured claim this app was loaded
+/// with, and the live attestation sessions/quotes it created.
+class WasiRaEnv {
+ public:
+  WasiRaEnv(const attestation::AttestationService& service, optee::Supplicant& supplicant,
+            crypto::Rng& rng, crypto::Sha256Digest claim)
+      : service_(service), supplicant_(supplicant), rng_(rng), claim_(claim) {}
+
+  void register_imports(wasm::ImportResolver& imports);
+
+  const crypto::Sha256Digest& claim() const noexcept { return claim_; }
+  std::size_t open_contexts() const noexcept { return contexts_.size(); }
+  std::size_t open_quotes() const noexcept { return quotes_.size(); }
+
+ private:
+  friend class WasiRaShims;
+
+  struct RaContext {
+    std::unique_ptr<ra::AttesterSession> session;
+    std::uint32_t socket = 0;
+    Bytes secret;       // filled after send_quote (msg3 handled)
+    bool have_secret = false;
+  };
+
+  const attestation::AttestationService& service_;
+  optee::Supplicant& supplicant_;
+  crypto::Rng& rng_;
+  crypto::Sha256Digest claim_;
+  std::map<std::int32_t, attestation::Evidence> quotes_;
+  std::map<std::int32_t, RaContext> contexts_;
+  std::int32_t next_handle_ = 1;
+};
+
+}  // namespace watz::core

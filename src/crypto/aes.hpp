@@ -1,0 +1,36 @@
+// AES block cipher (FIPS 197), key sizes 128/192/256.
+//
+// Only the forward (encrypt) direction is exposed: every mode used by WaTZ
+// (CTR inside GCM, CMAC, Fortuna's counter-mode generator) needs the block
+// cipher in one direction only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace watz::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+class Aes {
+ public:
+  /// `key` must be 16, 24 or 32 bytes; throws std::invalid_argument otherwise.
+  explicit Aes(ByteView key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const noexcept;
+
+  AesBlock encrypt_block(const AesBlock& in) const noexcept {
+    AesBlock out;
+    encrypt_block(in.data(), out.data());
+    return out;
+  }
+
+ private:
+  std::array<std::uint32_t, 60> round_keys_{};
+  int rounds_ = 0;
+};
+
+}  // namespace watz::crypto

@@ -1,0 +1,60 @@
+#include "crypto/cmac.hpp"
+
+#include <cstring>
+
+namespace watz::crypto {
+
+namespace {
+
+/// Doubling in GF(2^128) with the CMAC polynomial (left shift, xor Rb).
+void gf_double(std::uint8_t block[16]) noexcept {
+  const bool msb = block[0] & 0x80;
+  for (int i = 0; i < 15; ++i)
+    block[i] = static_cast<std::uint8_t>((block[i] << 1) | (block[i + 1] >> 7));
+  block[15] = static_cast<std::uint8_t>(block[15] << 1);
+  if (msb) block[15] ^= 0x87;
+}
+
+}  // namespace
+
+CmacTag aes_cmac(const Aes& cipher, ByteView message) noexcept {
+  // Subkey generation.
+  std::uint8_t k1[16] = {};
+  cipher.encrypt_block(k1, k1);  // L = AES(0)
+  gf_double(k1);                 // K1
+  std::uint8_t k2[16];
+  std::memcpy(k2, k1, 16);
+  gf_double(k2);  // K2
+
+  const std::size_t n = message.size();
+  const std::size_t full_blocks = n == 0 ? 0 : (n - 1) / 16;
+  const bool last_complete = n > 0 && n % 16 == 0;
+
+  std::uint8_t x[16] = {};
+  for (std::size_t b = 0; b < full_blocks; ++b) {
+    for (int i = 0; i < 16; ++i) x[i] ^= message[b * 16 + i];
+    cipher.encrypt_block(x, x);
+  }
+
+  std::uint8_t last[16] = {};
+  const std::size_t tail = n - full_blocks * 16;
+  std::memcpy(last, message.data() + full_blocks * 16, tail);
+  if (last_complete) {
+    for (int i = 0; i < 16; ++i) last[i] ^= k1[i];
+  } else {
+    last[tail] = 0x80;
+    for (int i = 0; i < 16; ++i) last[i] ^= k2[i];
+  }
+
+  for (int i = 0; i < 16; ++i) x[i] ^= last[i];
+  CmacTag tag;
+  cipher.encrypt_block(x, tag.data());
+  return tag;
+}
+
+CmacTag aes_cmac(ByteView key, ByteView message) {
+  const Aes cipher(key);
+  return aes_cmac(cipher, message);
+}
+
+}  // namespace watz::crypto

@@ -1,0 +1,18 @@
+// AES-CMAC (RFC 4493 / NIST SP 800-38B). WaTZ uses CMAC both for the
+// per-message MACs of the attestation protocol and for the SGX-style key
+// derivation (KDK -> Km / Ke), as well as for huk_subkey_derive.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/aes.hpp"
+
+namespace watz::crypto {
+
+using CmacTag = std::array<std::uint8_t, 16>;
+
+CmacTag aes_cmac(const Aes& cipher, ByteView message) noexcept;
+
+/// Convenience: key must be 16 bytes (AES-128-CMAC as used by WaTZ).
+CmacTag aes_cmac(ByteView key, ByteView message);
+
+}  // namespace watz::crypto

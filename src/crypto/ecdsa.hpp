@@ -1,0 +1,48 @@
+// ECDSA (P-256/SHA-256) and ECDHE on top of the p256 group layer.
+//
+// Algorithm choices follow the paper (SS V): ECDSA-256 for the attestation
+// key pair and protocol identities, ephemeral ECDH-256 for session keys.
+// Signing uses RFC 6979 deterministic nonces, which removes the
+// nonce-reuse failure mode and makes the whole stack reproducible.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/p256.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace watz::crypto {
+
+struct EcdsaSignature {
+  Scalar32 r{};
+  Scalar32 s{};
+
+  /// Raw 64-byte encoding r || s.
+  Bytes encode() const;
+  static Result<EcdsaSignature> decode(ByteView data);
+};
+
+struct KeyPair {
+  Scalar32 priv{};
+  EcPoint pub;
+};
+
+/// Generates a key pair with rejection sampling from `rng`.
+KeyPair ecdsa_keygen(Rng& rng);
+
+/// Derives the public key for an existing private scalar.
+/// Fails if the scalar is not in [1, n-1].
+Result<KeyPair> keypair_from_private(const Scalar32& priv);
+
+/// Signs a 32-byte message digest (RFC 6979 nonce).
+EcdsaSignature ecdsa_sign(const Scalar32& priv, const Sha256Digest& digest);
+
+bool ecdsa_verify(const EcPoint& pub, const Sha256Digest& digest,
+                  const EcdsaSignature& sig);
+
+/// ECDH: x-coordinate of priv * peer_pub, as 32 big-endian bytes.
+/// Fails if the peer point is invalid or the product is the identity.
+Result<Scalar32> ecdh_shared_x(const Scalar32& priv, const EcPoint& peer_pub);
+
+}  // namespace watz::crypto

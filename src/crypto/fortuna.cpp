@@ -1,0 +1,51 @@
+#include "crypto/fortuna.hpp"
+
+#include <algorithm>
+
+#include "common/result.hpp"
+
+namespace watz::crypto {
+
+void Fortuna::reseed(ByteView seed) {
+  Sha256 hash;
+  hash.update(key_);
+  hash.update(seed);
+  const Sha256Digest digest = hash.finish();
+  std::copy(digest.begin(), digest.end(), key_.begin());
+  increment_counter();
+  seeded_ = true;
+}
+
+void Fortuna::increment_counter() noexcept {
+  // Little-endian 128-bit counter per the Fortuna specification.
+  for (auto& byte : counter_) {
+    if (++byte != 0) break;
+  }
+}
+
+void Fortuna::generate_blocks(std::uint8_t* out, std::size_t blocks) {
+  const Aes cipher(key_);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    cipher.encrypt_block(counter_.data(), out + 16 * i);
+    increment_counter();
+  }
+}
+
+void Fortuna::fill(std::span<std::uint8_t> out) {
+  if (!seeded_) throw Error("Fortuna: generate before seeding");
+  std::size_t off = 0;
+  while (off < out.size()) {
+    std::uint8_t block[16];
+    generate_blocks(block, 1);
+    const std::size_t take = std::min<std::size_t>(16, out.size() - off);
+    std::copy_n(block, take, out.data() + off);
+    off += take;
+  }
+  // Rekey after every request so a later state compromise cannot reveal
+  // previously generated output (Fortuna's "generator forward security").
+  std::array<std::uint8_t, 32> new_key;
+  generate_blocks(new_key.data(), 2);
+  key_ = new_key;
+}
+
+}  // namespace watz::crypto

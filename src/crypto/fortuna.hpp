@@ -1,0 +1,47 @@
+// Fortuna PRNG (Ferguson & Schneier), generator part with entropy pooling.
+//
+// The paper extends LibTomCrypt inside OP-TEE with Fortuna specifically
+// because the stock OP-TEE PRNG cannot be seeded: WaTZ derives the
+// attestation key pair deterministically from the hardware root of trust by
+// seeding Fortuna with a subkey of the master key (SS V, "The attestation
+// service"). This implementation mirrors that contract: same seed => same
+// byte stream => same ECDSA attestation key pair on every boot.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "crypto/aes.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace watz::crypto {
+
+class Fortuna final : public Rng {
+ public:
+  /// Creates an unseeded generator; fill() before any reseed() throws.
+  Fortuna() = default;
+
+  /// Creates a generator seeded with `seed` (deterministic stream).
+  explicit Fortuna(ByteView seed) { reseed(seed); }
+
+  /// Mixes new entropy: K = SHA-256(K || seed), counter incremented.
+  void reseed(ByteView seed);
+
+  /// Generates pseudorandom bytes (AES-256-CTR blocks, with the
+  /// rekey-after-request hardening from the Fortuna design).
+  void fill(std::span<std::uint8_t> out) override;
+
+  bool seeded() const noexcept { return seeded_; }
+
+ private:
+  void increment_counter() noexcept;
+  void generate_blocks(std::uint8_t* out, std::size_t blocks);
+
+  std::array<std::uint8_t, 32> key_{};
+  std::array<std::uint8_t, 16> counter_{};
+  bool seeded_ = false;
+};
+
+}  // namespace watz::crypto

@@ -1,0 +1,23 @@
+// AES-GCM authenticated encryption (NIST SP 800-38D) with 96-bit IVs and
+// 128-bit tags. WaTZ uses AES-128-GCM to protect msg3 (the secret blob).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/aes.hpp"
+
+namespace watz::crypto {
+
+inline constexpr std::size_t kGcmIvSize = 12;
+inline constexpr std::size_t kGcmTagSize = 16;
+using GcmIv = std::array<std::uint8_t, kGcmIvSize>;
+
+/// Encrypts `plaintext` and returns ciphertext || tag(16).
+Bytes gcm_seal(const Aes& cipher, const GcmIv& iv, ByteView aad, ByteView plaintext);
+
+/// Verifies and decrypts `ciphertext_and_tag` (ciphertext || tag(16)).
+/// Fails on tag mismatch or truncated input.
+Result<Bytes> gcm_open(const Aes& cipher, const GcmIv& iv, ByteView aad,
+                       ByteView ciphertext_and_tag);
+
+}  // namespace watz::crypto

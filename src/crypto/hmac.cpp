@@ -1,0 +1,33 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+namespace watz::crypto {
+
+Sha256Digest hmac_sha256(ByteView key, ByteView message) noexcept {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const Sha256Digest kh = sha256(key);
+    std::copy(kh.begin(), kh.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad, opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+}  // namespace watz::crypto

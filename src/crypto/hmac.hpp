@@ -1,0 +1,11 @@
+// HMAC-SHA256 (RFC 2104). Required by the RFC 6979 deterministic ECDSA
+// nonce derivation; not part of the wire protocol (which uses AES-CMAC).
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace watz::crypto {
+
+Sha256Digest hmac_sha256(ByteView key, ByteView message) noexcept;
+
+}  // namespace watz::crypto

@@ -1,0 +1,30 @@
+#include "crypto/kdf.hpp"
+
+#include <algorithm>
+
+namespace watz::crypto {
+
+Key128 derive_kdk(const Scalar32& shared_x_be) {
+  // Intel's derivation feeds the shared x-coordinate in little-endian.
+  Scalar32 le;
+  std::reverse_copy(shared_x_be.begin(), shared_x_be.end(), le.begin());
+  const Key128 zero{};
+  return aes_cmac(zero, le);
+}
+
+Key128 derive_subkey(const Key128& kdk, std::string_view label) {
+  Bytes msg;
+  msg.push_back(0x01);
+  append(msg, ByteView(reinterpret_cast<const std::uint8_t*>(label.data()), label.size()));
+  msg.push_back(0x00);
+  msg.push_back(0x80);  // output length: 128 bits, little-endian u16
+  msg.push_back(0x00);
+  return aes_cmac(kdk, msg);
+}
+
+SessionKeys derive_session_keys(const Scalar32& shared_x_be) {
+  const Key128 kdk = derive_kdk(shared_x_be);
+  return SessionKeys{derive_subkey(kdk, "SMK"), derive_subkey(kdk, "SEK")};
+}
+
+}  // namespace watz::crypto

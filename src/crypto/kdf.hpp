@@ -1,0 +1,33 @@
+// SGX-style key derivation for the WaTZ remote-attestation protocol.
+//
+// The paper (SS IV, msg1) states the ECDHE shared secret is derived into a
+// key-derivation key (KDK) and then into Km (MAC key) and Ke (encryption
+// key) "the same as in Intel SGX". This reproduces Intel's scheme:
+//   KDK    = AES-CMAC(0^16, g_ab.x in little-endian)
+//   subkey = AES-CMAC(KDK, 0x01 || label || 0x00 || 0x80 || 0x00)
+#pragma once
+
+#include <string_view>
+
+#include "crypto/cmac.hpp"
+#include "crypto/p256.hpp"
+
+namespace watz::crypto {
+
+using Key128 = std::array<std::uint8_t, 16>;
+
+/// Derives the KDK from the big-endian ECDH shared x-coordinate.
+Key128 derive_kdk(const Scalar32& shared_x_be);
+
+/// Derives a labelled subkey from the KDK (e.g. "SMK" for Km, "SEK" for Ke).
+Key128 derive_subkey(const Key128& kdk, std::string_view label);
+
+/// Session keys used by the WaTZ protocol.
+struct SessionKeys {
+  Key128 km;  ///< MAC key for msg1/msg2 authentication.
+  Key128 ke;  ///< AES-128-GCM key protecting msg3.
+};
+
+SessionKeys derive_session_keys(const Scalar32& shared_x_be);
+
+}  // namespace watz::crypto

@@ -1,0 +1,369 @@
+#include "crypto/p256.hpp"
+
+#include <cstring>
+
+namespace watz::crypto {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+/// 256-bit unsigned integer, little-endian limb order.
+struct U256 {
+  u64 w[4] = {0, 0, 0, 0};
+
+  bool operator==(const U256&) const = default;
+};
+
+constexpr U256 kZero{};
+
+U256 from_be(const Scalar32& b) noexcept {
+  U256 v;
+  for (int limb = 0; limb < 4; ++limb) {
+    u64 x = 0;
+    for (int i = 0; i < 8; ++i) x = (x << 8) | b[(3 - limb) * 8 + i];
+    v.w[limb] = x;
+  }
+  return v;
+}
+
+Scalar32 to_be(const U256& v) noexcept {
+  Scalar32 b;
+  for (int limb = 0; limb < 4; ++limb)
+    for (int i = 0; i < 8; ++i)
+      b[(3 - limb) * 8 + i] = static_cast<std::uint8_t>(v.w[limb] >> (56 - 8 * i));
+  return b;
+}
+
+bool is_zero(const U256& v) noexcept {
+  return (v.w[0] | v.w[1] | v.w[2] | v.w[3]) == 0;
+}
+
+/// Returns -1/0/1 for a<b / a==b / a>b.
+int cmp(const U256& a, const U256& b) noexcept {
+  for (int i = 3; i >= 0; --i) {
+    if (a.w[i] < b.w[i]) return -1;
+    if (a.w[i] > b.w[i]) return 1;
+  }
+  return 0;
+}
+
+/// a + b; returns carry out.
+u64 add(U256& out, const U256& a, const U256& b) noexcept {
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 cur = static_cast<u128>(a.w[i]) + b.w[i] + carry;
+    out.w[i] = static_cast<u64>(cur);
+    carry = cur >> 64;
+  }
+  return static_cast<u64>(carry);
+}
+
+/// a - b; returns borrow out (1 if a < b).
+u64 sub(U256& out, const U256& a, const U256& b) noexcept {
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 cur = static_cast<u128>(a.w[i]) - b.w[i] - borrow;
+    out.w[i] = static_cast<u64>(cur);
+    borrow = (cur >> 64) & 1;
+  }
+  return static_cast<u64>(borrow);
+}
+
+int bit(const U256& v, int i) noexcept { return (v.w[i / 64] >> (i % 64)) & 1; }
+
+/// Montgomery arithmetic modulo a fixed 256-bit modulus (R = 2^256).
+class MontCtx {
+ public:
+  constexpr MontCtx(U256 modulus, U256 rr, u64 n0) : m_(modulus), rr_(rr), n0_(n0) {}
+
+  const U256& modulus() const noexcept { return m_; }
+
+  /// a*b*R^-1 mod m (operands in Montgomery domain -> result in domain).
+  U256 mul(const U256& a, const U256& b) const noexcept {
+    // Schoolbook 512-bit product.
+    u64 prod[9] = {};
+    for (int i = 0; i < 4; ++i) {
+      u128 carry = 0;
+      for (int j = 0; j < 4; ++j) {
+        const u128 cur = static_cast<u128>(a.w[i]) * b.w[j] + prod[i + j] + carry;
+        prod[i + j] = static_cast<u64>(cur);
+        carry = cur >> 64;
+      }
+      prod[i + 4] = static_cast<u64>(carry);
+    }
+    // Montgomery reduction (SOS).
+    for (int i = 0; i < 4; ++i) {
+      const u64 q = prod[i] * n0_;
+      u128 carry = 0;
+      for (int j = 0; j < 4; ++j) {
+        const u128 cur = static_cast<u128>(q) * m_.w[j] + prod[i + j] + carry;
+        prod[i + j] = static_cast<u64>(cur);
+        carry = cur >> 64;
+      }
+      int k = i + 4;
+      while (carry != 0) {
+        const u128 cur = static_cast<u128>(prod[k]) + carry;
+        prod[k] = static_cast<u64>(cur);
+        carry = cur >> 64;
+        ++k;
+      }
+    }
+    U256 r{prod[4], prod[5], prod[6], prod[7]};
+    if (prod[8] != 0 || cmp(r, m_) >= 0) sub(r, r, m_);
+    return r;
+  }
+
+  U256 to_mont(const U256& a) const noexcept { return mul(a, rr_); }
+  U256 from_mont(const U256& a) const noexcept { return mul(a, U256{1, 0, 0, 0}); }
+
+  U256 add_mod(const U256& a, const U256& b) const noexcept {
+    U256 r;
+    const u64 carry = add(r, a, b);
+    if (carry != 0 || cmp(r, m_) >= 0) sub(r, r, m_);
+    return r;
+  }
+
+  U256 sub_mod(const U256& a, const U256& b) const noexcept {
+    U256 r;
+    if (sub(r, a, b) != 0) add(r, r, m_);
+    return r;
+  }
+
+  /// a^e mod m (a in Montgomery domain, result in domain).
+  U256 pow(const U256& a, const U256& e) const noexcept {
+    U256 result = to_mont(U256{1, 0, 0, 0});
+    for (int i = 255; i >= 0; --i) {
+      result = mul(result, result);
+      if (bit(e, i)) result = mul(result, a);
+    }
+    return result;
+  }
+
+  /// Modular inverse via Fermat (m prime). Input/output in Montgomery domain.
+  U256 inv(const U256& a) const noexcept {
+    U256 e;
+    sub(e, m_, U256{2, 0, 0, 0});
+    return pow(a, e);
+  }
+
+ private:
+  U256 m_;
+  U256 rr_;  // R^2 mod m
+  u64 n0_;   // -m^-1 mod 2^64
+};
+
+// Curve parameters (big-endian source, stored as LE limbs).
+// p  = ffffffff00000001 0000000000000000 00000000ffffffff ffffffffffffffff
+// n  = ffffffff00000000 ffffffffffffffff bce6faada7179e84 f3b9cac2fc632551
+// b  = 5ac635d8aa3a93e7 b3ebbd55769886bc 651d06b0cc53b0f6 3bce3c3e27d2604b
+// Gx = 6b17d1f2e12c4247 f8bce6e563a440f2 77037d812deb33a0 f4a13945d898c296
+// Gy = 4fe342e2fe1a7f9b 8ee7eb4a7c0f9e16 2bce33576b315ece cbb6406837bf51f5
+constexpr U256 kP{0xffffffffffffffffULL, 0x00000000ffffffffULL, 0x0000000000000000ULL,
+                  0xffffffff00000001ULL};
+constexpr U256 kN{0xf3b9cac2fc632551ULL, 0xbce6faada7179e84ULL, 0xffffffffffffffffULL,
+                  0xffffffff00000000ULL};
+constexpr U256 kB{0x3bce3c3e27d2604bULL, 0x651d06b0cc53b0f6ULL, 0xb3ebbd55769886bcULL,
+                  0x5ac635d8aa3a93e7ULL};
+constexpr U256 kGx{0xf4a13945d898c296ULL, 0x77037d812deb33a0ULL, 0xf8bce6e563a440f2ULL,
+                   0x6b17d1f2e12c4247ULL};
+constexpr U256 kGy{0xcbb6406837bf51f5ULL, 0x2bce33576b315eceULL, 0x8ee7eb4a7c0f9e16ULL,
+                   0x4fe342e2fe1a7f9bULL};
+
+// Precomputed Montgomery constants.
+// R^2 mod p = 00000004fffffffd fffffffffffffffe fffffffbffffffff 0000000000000003
+constexpr U256 kRRp{0x0000000000000003ULL, 0xfffffffbffffffffULL, 0xfffffffffffffffeULL,
+                    0x00000004fffffffdULL};
+// -p^-1 mod 2^64 = 1 (since p mod 2^64 = 2^64 - 1).
+constexpr u64 kN0p = 1;
+// R^2 mod n = 66e12d94f3d95620 2845b2392b6bec59 4699799c49bd6fa6 83244c95be79eea2
+constexpr U256 kRRn{0x83244c95be79eea2ULL, 0x4699799c49bd6fa6ULL, 0x2845b2392b6bec59ULL,
+                    0x66e12d94f3d95620ULL};
+// -n^-1 mod 2^64 = 0xccd1c8aaee00bc4f
+constexpr u64 kN0n = 0xccd1c8aaee00bc4fULL;
+
+const MontCtx& fp() {
+  static const MontCtx ctx(kP, kRRp, kN0p);
+  return ctx;
+}
+
+const MontCtx& fn() {
+  static const MontCtx ctx(kN, kRRn, kN0n);
+  return ctx;
+}
+
+/// Jacobian point, coordinates in the Montgomery domain of F_p.
+struct JPoint {
+  U256 x, y, z;  // z == 0 -> infinity
+  bool is_infinity() const noexcept { return is_zero(z); }
+};
+
+JPoint jacobian_infinity() { return JPoint{kZero, kZero, kZero}; }
+
+JPoint to_jacobian(const EcPoint& p) {
+  if (p.infinity) return jacobian_infinity();
+  const auto& f = fp();
+  return JPoint{f.to_mont(from_be(p.x)), f.to_mont(from_be(p.y)),
+                f.to_mont(U256{1, 0, 0, 0})};
+}
+
+EcPoint to_affine(const JPoint& p) {
+  if (p.is_infinity()) return EcPoint{};
+  const auto& f = fp();
+  const U256 zinv = f.inv(p.z);
+  const U256 zinv2 = f.mul(zinv, zinv);
+  const U256 zinv3 = f.mul(zinv2, zinv);
+  EcPoint out;
+  out.infinity = false;
+  out.x = to_be(f.from_mont(f.mul(p.x, zinv2)));
+  out.y = to_be(f.from_mont(f.mul(p.y, zinv3)));
+  return out;
+}
+
+/// Point doubling, dbl-2001-b formulas for a = -3.
+JPoint jdouble(const JPoint& p) {
+  if (p.is_infinity() || is_zero(p.y)) return jacobian_infinity();
+  const auto& f = fp();
+  const U256 delta = f.mul(p.z, p.z);
+  const U256 gamma = f.mul(p.y, p.y);
+  const U256 beta = f.mul(p.x, gamma);
+  const U256 t0 = f.sub_mod(p.x, delta);
+  const U256 t1 = f.add_mod(p.x, delta);
+  U256 alpha = f.mul(t0, t1);
+  alpha = f.add_mod(f.add_mod(alpha, alpha), alpha);  // 3*(x-d)*(x+d)
+  U256 beta4 = f.add_mod(beta, beta);
+  beta4 = f.add_mod(beta4, beta4);
+  const U256 beta8 = f.add_mod(beta4, beta4);
+  JPoint r;
+  r.x = f.sub_mod(f.mul(alpha, alpha), beta8);
+  const U256 yz = f.add_mod(p.y, p.z);
+  r.z = f.sub_mod(f.sub_mod(f.mul(yz, yz), gamma), delta);
+  const U256 g2 = f.mul(gamma, gamma);
+  U256 g8 = f.add_mod(g2, g2);
+  g8 = f.add_mod(g8, g8);
+  g8 = f.add_mod(g8, g8);
+  r.y = f.sub_mod(f.mul(alpha, f.sub_mod(beta4, r.x)), g8);
+  return r;
+}
+
+/// General Jacobian addition.
+JPoint jadd(const JPoint& a, const JPoint& b) {
+  if (a.is_infinity()) return b;
+  if (b.is_infinity()) return a;
+  const auto& f = fp();
+  const U256 z1z1 = f.mul(a.z, a.z);
+  const U256 z2z2 = f.mul(b.z, b.z);
+  const U256 u1 = f.mul(a.x, z2z2);
+  const U256 u2 = f.mul(b.x, z1z1);
+  const U256 s1 = f.mul(f.mul(a.y, b.z), z2z2);
+  const U256 s2 = f.mul(f.mul(b.y, a.z), z1z1);
+  const U256 h = f.sub_mod(u2, u1);
+  const U256 r = f.sub_mod(s2, s1);
+  if (is_zero(h)) {
+    if (is_zero(r)) return jdouble(a);
+    return jacobian_infinity();
+  }
+  const U256 hh = f.mul(h, h);
+  const U256 hhh = f.mul(h, hh);
+  const U256 v = f.mul(u1, hh);
+  JPoint out;
+  out.x = f.sub_mod(f.sub_mod(f.mul(r, r), hhh), f.add_mod(v, v));
+  out.y = f.sub_mod(f.mul(r, f.sub_mod(v, out.x)), f.mul(s1, hhh));
+  out.z = f.mul(f.mul(a.z, b.z), h);
+  return out;
+}
+
+JPoint jmul(const JPoint& p, const U256& k) {
+  JPoint acc = jacobian_infinity();
+  for (int i = 255; i >= 0; --i) {
+    acc = jdouble(acc);
+    if (bit(k, i)) acc = jadd(acc, p);
+  }
+  return acc;
+}
+
+JPoint base_point() {
+  const auto& f = fp();
+  return JPoint{f.to_mont(kGx), f.to_mont(kGy), f.to_mont(U256{1, 0, 0, 0})};
+}
+
+}  // namespace
+
+Bytes EcPoint::encode_uncompressed() const {
+  Bytes out;
+  out.reserve(65);
+  out.push_back(0x04);
+  append(out, x);
+  append(out, y);
+  return out;
+}
+
+Result<EcPoint> EcPoint::decode_uncompressed(ByteView data) {
+  if (data.size() != 65 || data[0] != 0x04)
+    return Result<EcPoint>::err("EcPoint: expected 65-byte uncompressed encoding");
+  EcPoint p;
+  p.infinity = false;
+  std::memcpy(p.x.data(), data.data() + 1, 32);
+  std::memcpy(p.y.data(), data.data() + 33, 32);
+  if (!p256_on_curve(p)) return Result<EcPoint>::err("EcPoint: not on curve");
+  return p;
+}
+
+EcPoint p256_base_mul(const Scalar32& k) {
+  return to_affine(jmul(base_point(), from_be(k)));
+}
+
+EcPoint p256_mul(const EcPoint& p, const Scalar32& k) {
+  return to_affine(jmul(to_jacobian(p), from_be(k)));
+}
+
+EcPoint p256_add(const EcPoint& a, const EcPoint& b) {
+  return to_affine(jadd(to_jacobian(a), to_jacobian(b)));
+}
+
+bool p256_on_curve(const EcPoint& p) {
+  if (p.infinity) return true;
+  const auto& f = fp();
+  const U256 x = from_be(p.x);
+  const U256 y = from_be(p.y);
+  if (cmp(x, kP) >= 0 || cmp(y, kP) >= 0) return false;
+  const U256 xm = f.to_mont(x);
+  const U256 ym = f.to_mont(y);
+  // y^2 == x^3 - 3x + b
+  const U256 lhs = f.mul(ym, ym);
+  const U256 x2 = f.mul(xm, xm);
+  const U256 x3 = f.mul(x2, xm);
+  const U256 three_x = f.add_mod(f.add_mod(xm, xm), xm);
+  const U256 rhs = f.add_mod(f.sub_mod(x3, three_x), f.to_mont(kB));
+  return lhs == rhs;
+}
+
+bool p256_scalar_valid(const Scalar32& k) {
+  const U256 v = from_be(k);
+  return !is_zero(v) && cmp(v, kN) < 0;
+}
+
+Scalar32 scalar_mod_n(const Scalar32& v) {
+  U256 x = from_be(v);
+  if (cmp(x, kN) >= 0) sub(x, x, kN);
+  return to_be(x);
+}
+
+Scalar32 scalar_add_mod_n(const Scalar32& a, const Scalar32& b) {
+  return to_be(fn().add_mod(from_be(a), from_be(b)));
+}
+
+Scalar32 scalar_mul_mod_n(const Scalar32& a, const Scalar32& b) {
+  const auto& f = fn();
+  return to_be(f.from_mont(f.mul(f.to_mont(from_be(a)), f.to_mont(from_be(b)))));
+}
+
+Scalar32 scalar_inv_mod_n(const Scalar32& a) {
+  const auto& f = fn();
+  return to_be(f.from_mont(f.inv(f.to_mont(from_be(a)))));
+}
+
+bool scalar_is_zero(const Scalar32& a) { return is_zero(from_be(a)); }
+
+}  // namespace watz::crypto

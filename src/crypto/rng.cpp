@@ -1,0 +1,17 @@
+#include "crypto/rng.hpp"
+
+#include <random>
+
+namespace watz::crypto {
+
+void SystemRng::fill(std::span<std::uint8_t> out) {
+  static thread_local std::random_device device;
+  std::size_t i = 0;
+  while (i < out.size()) {
+    const unsigned int word = device();
+    for (std::size_t b = 0; b < sizeof(word) && i < out.size(); ++b, ++i)
+      out[i] = static_cast<std::uint8_t>(word >> (8 * b));
+  }
+}
+
+}  // namespace watz::crypto

@@ -1,0 +1,34 @@
+// Random number source abstraction.
+//
+// The simulated hardware injects deterministic or system-entropy RNGs here;
+// the attestation key derivation seeds a Fortuna instance from the root of
+// trust (SS V), so determinism of the whole pipeline is testable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+
+namespace watz::crypto {
+
+class Rng {
+ public:
+  virtual ~Rng() = default;
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+  }
+};
+
+/// Non-deterministic RNG backed by std::random_device (stand-in for the
+/// platform hardware TRNG that OP-TEE's default PRNG consumes).
+class SystemRng final : public Rng {
+ public:
+  void fill(std::span<std::uint8_t> out) override;
+};
+
+}  // namespace watz::crypto

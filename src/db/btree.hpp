@@ -1,0 +1,251 @@
+// In-memory B+-tree used for minisql's primary-key and secondary indexes.
+//
+// Order-64 nodes; keys are SqlValues, payloads are row ids. Duplicate keys
+// are allowed (secondary indexes); erase removes one specific (key, row)
+// pair. Leaves are linked for range scans.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "db/value.hpp"
+
+namespace watz::db {
+
+class BTree {
+ public:
+  static constexpr std::size_t kOrder = 64;  // max keys per node
+
+  BTree() { root_ = make_leaf(); }
+
+  void insert(const SqlValue& key, std::uint64_t row);
+
+  /// Removes one (key,row) pair; returns false if absent.
+  bool erase(const SqlValue& key, std::uint64_t row);
+
+  /// All rows whose key equals `key`.
+  std::vector<std::uint64_t> find(const SqlValue& key) const;
+
+  /// All rows with lo <= key <= hi (either bound may be null == open).
+  std::vector<std::uint64_t> range(const SqlValue* lo, const SqlValue* hi) const;
+
+  std::size_t size() const noexcept { return size_; }
+  /// Tree height (leaf == 1); exposed for tests and the ablation bench.
+  std::size_t height() const noexcept;
+
+  /// Validates B+-tree invariants (sortedness, fill, linkage); test hook.
+  bool check_invariants() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<SqlValue> keys;
+    std::vector<std::uint64_t> rows;               // leaf payloads
+    std::vector<std::unique_ptr<Node>> children;   // internal
+    Node* next = nullptr;                          // leaf chain
+  };
+
+  static std::unique_ptr<Node> make_leaf() {
+    auto n = std::make_unique<Node>();
+    n->leaf = true;
+    return n;
+  }
+
+  /// Returns the separator key + new right sibling when `node` split.
+  struct SplitResult {
+    SqlValue separator;
+    std::unique_ptr<Node> right;
+  };
+
+  std::unique_ptr<SplitResult> insert_into(Node& node, const SqlValue& key,
+                                           std::uint64_t row);
+
+  const Node* find_leaf(const SqlValue& key) const;
+
+  bool check_node(const Node& node, const SqlValue* lo, const SqlValue* hi) const;
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// implementation (header-only: template-free but small and hot)
+
+inline std::unique_ptr<BTree::SplitResult> BTree::insert_into(Node& node,
+                                                              const SqlValue& key,
+                                                              std::uint64_t row) {
+  if (node.leaf) {
+    // Insert sorted by (key, row) so erase is deterministic.
+    std::size_t i = 0;
+    while (i < node.keys.size() &&
+           (node.keys[i].compare(key) < 0 ||
+            (node.keys[i].compare(key) == 0 && node.rows[i] < row)))
+      ++i;
+    node.keys.insert(node.keys.begin() + i, key);
+    node.rows.insert(node.rows.begin() + i, row);
+    if (node.keys.size() <= kOrder) return nullptr;
+    // Split.
+    auto right = make_leaf();
+    const std::size_t half = node.keys.size() / 2;
+    right->keys.assign(node.keys.begin() + half, node.keys.end());
+    right->rows.assign(node.rows.begin() + half, node.rows.end());
+    node.keys.resize(half);
+    node.rows.resize(half);
+    right->next = node.next;
+    node.next = right.get();
+    auto result = std::make_unique<SplitResult>();
+    result->separator = right->keys.front();
+    result->right = std::move(right);
+    return result;
+  }
+
+  // Internal node: find child.
+  std::size_t i = 0;
+  while (i < node.keys.size() && node.keys[i].compare(key) <= 0) ++i;
+  auto split = insert_into(*node.children[i], key, row);
+  if (!split) return nullptr;
+  node.keys.insert(node.keys.begin() + i, split->separator);
+  node.children.insert(node.children.begin() + i + 1, std::move(split->right));
+  if (node.keys.size() <= kOrder) return nullptr;
+  // Split internal node.
+  auto right = std::make_unique<Node>();
+  right->leaf = false;
+  const std::size_t mid = node.keys.size() / 2;
+  auto result = std::make_unique<SplitResult>();
+  result->separator = node.keys[mid];
+  right->keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+  for (std::size_t c = mid + 1; c < node.children.size(); ++c)
+    right->children.push_back(std::move(node.children[c]));
+  node.keys.resize(mid);
+  node.children.resize(mid + 1);
+  result->right = std::move(right);
+  return result;
+}
+
+inline void BTree::insert(const SqlValue& key, std::uint64_t row) {
+  auto split = insert_into(*root_, key, row);
+  if (split) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(split->separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+inline const BTree::Node* BTree::find_leaf(const SqlValue& key) const {
+  // Left-biased on equal keys: duplicates may live in leaves left of an
+  // equal separator, and find/erase/range scan forward through the chain.
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    std::size_t i = 0;
+    while (i < node->keys.size() && node->keys[i].compare(key) < 0) ++i;
+    node = node->children[i].get();
+  }
+  return node;
+}
+
+inline std::vector<std::uint64_t> BTree::find(const SqlValue& key) const {
+  std::vector<std::uint64_t> out;
+  const Node* leaf = find_leaf(key);
+  while (leaf != nullptr) {
+    bool past = false;
+    for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+      const int c = leaf->keys[i].compare(key);
+      if (c == 0) out.push_back(leaf->rows[i]);
+      if (c > 0) {
+        past = true;
+        break;
+      }
+    }
+    if (past) break;
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+inline std::vector<std::uint64_t> BTree::range(const SqlValue* lo,
+                                               const SqlValue* hi) const {
+  std::vector<std::uint64_t> out;
+  const Node* leaf = lo != nullptr ? find_leaf(*lo) : [this] {
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children.front().get();
+    return n;
+  }();
+  while (leaf != nullptr) {
+    for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (lo != nullptr && leaf->keys[i].compare(*lo) < 0) continue;
+      if (hi != nullptr && leaf->keys[i].compare(*hi) > 0) return out;
+      out.push_back(leaf->rows[i]);
+    }
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+inline bool BTree::erase(const SqlValue& key, std::uint64_t row) {
+  // Lazy deletion from the leaf only: minisql workloads delete far less
+  // than they insert, and lookups tolerate under-full leaves.
+  Node* node = root_.get();
+  while (!node->leaf) {
+    std::size_t i = 0;
+    while (i < node->keys.size() && node->keys[i].compare(key) < 0) ++i;
+    node = node->children[i].get();
+  }
+  while (node != nullptr) {
+    bool past = false;
+    for (std::size_t i = 0; i < node->keys.size(); ++i) {
+      const int c = node->keys[i].compare(key);
+      if (c == 0 && node->rows[i] == row) {
+        node->keys.erase(node->keys.begin() + i);
+        node->rows.erase(node->rows.begin() + i);
+        --size_;
+        return true;
+      }
+      if (c > 0) {
+        past = true;
+        break;
+      }
+    }
+    if (past) break;
+    node = node->next;
+  }
+  return false;
+}
+
+inline std::size_t BTree::height() const noexcept {
+  std::size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    ++h;
+    node = node->children.front().get();
+  }
+  return h;
+}
+
+inline bool BTree::check_node(const Node& node, const SqlValue* lo,
+                              const SqlValue* hi) const {
+  for (std::size_t i = 1; i < node.keys.size(); ++i)
+    if (node.keys[i].compare(node.keys[i - 1]) < 0) return false;
+  for (const SqlValue& k : node.keys) {
+    if (lo != nullptr && k.compare(*lo) < 0) return false;
+    if (hi != nullptr && k.compare(*hi) > 0) return false;
+  }
+  if (node.leaf) return node.keys.size() == node.rows.size();
+  if (node.children.size() != node.keys.size() + 1) return false;
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    const SqlValue* clo = i == 0 ? lo : &node.keys[i - 1];
+    const SqlValue* chi = i == node.keys.size() ? hi : &node.keys[i];
+    if (!check_node(*node.children[i], clo, chi)) return false;
+  }
+  return true;
+}
+
+inline bool BTree::check_invariants() const {
+  return check_node(*root_, nullptr, nullptr);
+}
+
+}  // namespace watz::db

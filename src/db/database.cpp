@@ -1,0 +1,383 @@
+#include "db/database.hpp"
+
+#include <algorithm>
+
+namespace watz::db {
+
+std::string unqualify(const std::string& column) {
+  const auto dot = column.find('.');
+  return dot == std::string::npos ? column : column.substr(dot + 1);
+}
+
+int Database::Table::column_index(const std::string& name) const {
+  const std::string bare = unqualify(name);
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    if (columns[i].name == bare) return static_cast<int>(i);
+  return -1;
+}
+
+Result<ResultSet> Database::execute(std::string_view sql) {
+  auto stmt = parse_sql(sql);
+  if (!stmt.ok()) return Result<ResultSet>::err(stmt.error());
+  ++stats_.statements;
+  return std::visit(
+      [this](auto&& s) -> Result<ResultSet> {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, CreateTableStmt>) return exec_create_table(s);
+        else if constexpr (std::is_same_v<T, CreateIndexStmt>) return exec_create_index(s);
+        else if constexpr (std::is_same_v<T, InsertStmt>) return exec_insert(s);
+        else if constexpr (std::is_same_v<T, SelectStmt>) return exec_select(s);
+        else if constexpr (std::is_same_v<T, UpdateStmt>) return exec_update(s);
+        else if constexpr (std::is_same_v<T, DeleteStmt>) return exec_delete(s);
+        else return ResultSet{};  // BEGIN/COMMIT
+      },
+      *stmt);
+}
+
+Result<ResultSet> Database::exec_create_table(const CreateTableStmt& stmt) {
+  if (tables_.contains(stmt.table))
+    return Result<ResultSet>::err("table " + stmt.table + " already exists");
+  Table table;
+  table.columns = stmt.columns;
+  tables_[stmt.table] = std::move(table);
+  return ResultSet{};
+}
+
+Result<ResultSet> Database::exec_create_index(const CreateIndexStmt& stmt) {
+  const auto it = tables_.find(stmt.table);
+  if (it == tables_.end()) return Result<ResultSet>::err("no such table " + stmt.table);
+  Table& table = it->second;
+  const int col = table.column_index(stmt.column);
+  if (col < 0) return Result<ResultSet>::err("no such column " + stmt.column);
+  if (table.indexes.contains(stmt.column))
+    return Result<ResultSet>::err("index on " + stmt.column + " already exists");
+  BTree index;
+  for (std::size_t row = 0; row < table.rows.size(); ++row)
+    if (table.live[row]) index.insert(table.rows[row][col], row);
+  table.indexes.emplace(stmt.column, std::move(index));
+  return ResultSet{};
+}
+
+Result<ResultSet> Database::exec_insert(const InsertStmt& stmt) {
+  const auto it = tables_.find(stmt.table);
+  if (it == tables_.end()) return Result<ResultSet>::err("no such table " + stmt.table);
+  Table& table = it->second;
+  ResultSet rs;
+  for (const auto& row : stmt.rows) {
+    if (row.size() != table.columns.size())
+      return Result<ResultSet>::err("column count mismatch in INSERT");
+    const std::uint64_t id = table.rows.size();
+    table.rows.push_back(row);
+    table.live.push_back(true);
+    for (auto& [col_name, index] : table.indexes) {
+      const int col = table.column_index(col_name);
+      index.insert(row[col], id);
+    }
+    ++rs.affected;
+  }
+  return rs;
+}
+
+namespace {
+
+bool matches(const SqlValue& value, CmpOp op, const SqlValue& rhs) {
+  const int c = value.compare(rhs);
+  switch (op) {
+    case CmpOp::Eq: return c == 0;
+    case CmpOp::Ne: return c != 0;
+    case CmpOp::Lt: return c < 0;
+    case CmpOp::Le: return c <= 0;
+    case CmpOp::Gt: return c > 0;
+    case CmpOp::Ge: return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<std::uint64_t>> Database::plan_matches(
+    Table& table, const std::vector<Condition>& where) {
+  // Validate every referenced column up front (a scan over an empty table
+  // must still reject unknown columns).
+  for (const Condition& cond : where)
+    if (table.column_index(cond.column) < 0)
+      return Result<std::vector<std::uint64_t>>::err("no such column " + cond.column);
+
+  // Pick the first condition whose column has an index and is sargable.
+  int chosen = -1;
+  for (std::size_t i = 0; i < where.size(); ++i) {
+    if (where[i].op == CmpOp::Ne) continue;
+    if (table.indexes.contains(unqualify(where[i].column))) {
+      chosen = static_cast<int>(i);
+      break;
+    }
+  }
+
+  std::vector<std::uint64_t> candidates;
+  if (chosen >= 0) {
+    const Condition& cond = where[chosen];
+    BTree& index = table.indexes.at(unqualify(cond.column));
+    ++stats_.index_lookups;
+    switch (cond.op) {
+      case CmpOp::Eq:
+        candidates = index.find(cond.value);
+        break;
+      case CmpOp::Lt:
+      case CmpOp::Le:
+        candidates = index.range(nullptr, &cond.value);
+        if (cond.op == CmpOp::Lt)
+          std::erase_if(candidates, [&](std::uint64_t row) {
+            const int col = table.column_index(cond.column);
+            return table.rows[row][col].compare(cond.value) == 0;
+          });
+        break;
+      case CmpOp::Gt:
+      case CmpOp::Ge:
+        candidates = index.range(&cond.value, nullptr);
+        if (cond.op == CmpOp::Gt)
+          std::erase_if(candidates, [&](std::uint64_t row) {
+            const int col = table.column_index(cond.column);
+            return table.rows[row][col].compare(cond.value) == 0;
+          });
+        break;
+      default:
+        break;
+    }
+  } else {
+    candidates.reserve(table.rows.size());
+    for (std::uint64_t row = 0; row < table.rows.size(); ++row) candidates.push_back(row);
+    stats_.rows_scanned += table.rows.size();
+  }
+
+  // Residual filter (also drops tombstones).
+  std::vector<std::uint64_t> out;
+  for (const std::uint64_t row : candidates) {
+    if (!table.live[row]) continue;
+    bool ok = true;
+    for (const Condition& cond : where) {
+      const int col = table.column_index(cond.column);
+      if (col < 0) return Result<std::vector<std::uint64_t>>::err("no such column " + cond.column);
+      if (!matches(table.rows[row][col], cond.op, cond.value)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(row);
+  }
+  return out;
+}
+
+Result<ResultSet> Database::exec_select(const SelectStmt& stmt) {
+  const auto it = tables_.find(stmt.table);
+  if (it == tables_.end()) return Result<ResultSet>::err("no such table " + stmt.table);
+  Table& left = it->second;
+
+  // Split conditions between the two sides of a join.
+  std::vector<Condition> left_where;
+  std::vector<Condition> right_where;
+  Table* right = nullptr;
+  if (stmt.join) {
+    const auto rit = tables_.find(stmt.join->table);
+    if (rit == tables_.end())
+      return Result<ResultSet>::err("no such table " + stmt.join->table);
+    right = &rit->second;
+    for (const Condition& cond : stmt.where) {
+      if (right->column_index(cond.column) >= 0 && left.column_index(cond.column) < 0)
+        right_where.push_back(cond);
+      else
+        left_where.push_back(cond);
+    }
+  } else {
+    left_where = stmt.where;
+  }
+
+  auto left_rows = plan_matches(left, left_where);
+  if (!left_rows.ok()) return Result<ResultSet>::err(left_rows.error());
+
+  // Assemble (possibly joined) result tuples as row-id pairs.
+  struct Tuple {
+    std::uint64_t left;
+    std::uint64_t right;  // unused when no join
+  };
+  std::vector<Tuple> tuples;
+  if (stmt.join) {
+    const int lcol = left.column_index(stmt.join->left_column);
+    const int rcol = right->column_index(stmt.join->right_column);
+    if (lcol < 0 || rcol < 0) return Result<ResultSet>::err("bad join columns");
+    const std::string rcol_name = unqualify(stmt.join->right_column);
+    const bool use_index = right->indexes.contains(rcol_name);
+    // Residual right-side filter closure.
+    auto right_ok = [&](std::uint64_t row) {
+      if (!right->live[row]) return false;
+      for (const Condition& cond : right_where) {
+        const int col = right->column_index(cond.column);
+        if (col < 0 || !matches(right->rows[row][col], cond.op, cond.value)) return false;
+      }
+      return true;
+    };
+    if (use_index) {
+      BTree& index = right->indexes.at(rcol_name);
+      for (const std::uint64_t lrow : *left_rows) {
+        ++stats_.index_lookups;
+        for (const std::uint64_t rrow : index.find(left.rows[lrow][lcol]))
+          if (right_ok(rrow)) tuples.push_back({lrow, rrow});
+      }
+    } else {
+      // Hash-join via ordered multimap on the comparable SqlValue.
+      std::multimap<SqlValue, std::uint64_t> build;
+      for (std::uint64_t row = 0; row < right->rows.size(); ++row)
+        if (right_ok(row)) build.emplace(right->rows[row][rcol], row);
+      stats_.rows_scanned += right->rows.size();
+      for (const std::uint64_t lrow : *left_rows) {
+        auto [lo, hi] = build.equal_range(left.rows[lrow][lcol]);
+        for (auto m = lo; m != hi; ++m) tuples.push_back({lrow, m->second});
+      }
+    }
+  } else {
+    for (const std::uint64_t lrow : *left_rows) tuples.push_back({lrow, 0});
+  }
+
+  // Resolve a (possibly qualified) output column to (side, index).
+  auto resolve = [&](const std::string& name) -> std::pair<const Table*, int> {
+    const auto dot = name.find('.');
+    if (dot != std::string::npos && stmt.join) {
+      const std::string qualifier = name.substr(0, dot);
+      if (qualifier == stmt.join->table) return {right, right->column_index(name)};
+      return {&left, left.column_index(name)};
+    }
+    const int lcol = left.column_index(name);
+    if (lcol >= 0) return {&left, lcol};
+    if (right != nullptr) return {right, right->column_index(name)};
+    return {&left, -1};
+  };
+
+  // Aggregates short-circuit projection.
+  if (stmt.agg != Aggregate::None) {
+    ResultSet rs;
+    if (stmt.agg == Aggregate::Count) {
+      rs.columns = {"count"};
+      rs.rows = {{SqlValue(static_cast<std::int64_t>(tuples.size()))}};
+      return rs;
+    }
+    const auto [table, col] = resolve(stmt.agg_column);
+    if (col < 0) return Result<ResultSet>::err("no such column " + stmt.agg_column);
+    double sum = 0;
+    for (const Tuple& t : tuples) {
+      const std::uint64_t row = table == &left ? t.left : t.right;
+      sum += table->rows[row][col].as_real();
+    }
+    rs.columns = {stmt.agg == Aggregate::Sum ? "sum" : "avg"};
+    const double value = stmt.agg == Aggregate::Avg && !tuples.empty()
+                             ? sum / static_cast<double>(tuples.size())
+                             : sum;
+    rs.rows = {{SqlValue(value)}};
+    return rs;
+  }
+
+  // ORDER BY before projection (the sort key may not be projected).
+  if (stmt.order_by) {
+    const auto [table, col] = resolve(*stmt.order_by);
+    if (col < 0) return Result<ResultSet>::err("no such column " + *stmt.order_by);
+    std::stable_sort(tuples.begin(), tuples.end(), [&](const Tuple& a, const Tuple& b) {
+      const std::uint64_t ra = table == &left ? a.left : a.right;
+      const std::uint64_t rb = table == &left ? b.left : b.right;
+      const int c = table->rows[ra][col].compare(table->rows[rb][col]);
+      return stmt.order_desc ? c > 0 : c < 0;
+    });
+  }
+  if (stmt.limit && tuples.size() > static_cast<std::size_t>(*stmt.limit))
+    tuples.resize(static_cast<std::size_t>(*stmt.limit));
+
+  ResultSet rs;
+  std::vector<std::pair<const Table*, int>> projection;
+  if (stmt.star) {
+    for (std::size_t i = 0; i < left.columns.size(); ++i) {
+      projection.emplace_back(&left, static_cast<int>(i));
+      rs.columns.push_back(left.columns[i].name);
+    }
+    if (right != nullptr) {
+      for (std::size_t i = 0; i < right->columns.size(); ++i) {
+        projection.emplace_back(right, static_cast<int>(i));
+        rs.columns.push_back(right->columns[i].name);
+      }
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      const auto resolved = resolve(name);
+      if (resolved.second < 0) return Result<ResultSet>::err("no such column " + name);
+      projection.push_back(resolved);
+      rs.columns.push_back(unqualify(name));
+    }
+  }
+
+  rs.rows.reserve(tuples.size());
+  for (const Tuple& t : tuples) {
+    std::vector<SqlValue> out;
+    out.reserve(projection.size());
+    for (const auto& [table, col] : projection) {
+      const std::uint64_t row = table == &left ? t.left : t.right;
+      out.push_back(table->rows[row][col]);
+    }
+    rs.rows.push_back(std::move(out));
+  }
+  return rs;
+}
+
+Result<ResultSet> Database::exec_update(const UpdateStmt& stmt) {
+  const auto it = tables_.find(stmt.table);
+  if (it == tables_.end()) return Result<ResultSet>::err("no such table " + stmt.table);
+  Table& table = it->second;
+  auto rows = plan_matches(table, stmt.where);
+  if (!rows.ok()) return Result<ResultSet>::err(rows.error());
+
+  ResultSet rs;
+  for (const std::uint64_t row : *rows) {
+    for (const auto& [col_name, value] : stmt.sets) {
+      const int col = table.column_index(col_name);
+      if (col < 0) return Result<ResultSet>::err("no such column " + col_name);
+      // Keep affected indexes coherent.
+      const auto index = table.indexes.find(unqualify(col_name));
+      if (index != table.indexes.end()) {
+        index->second.erase(table.rows[row][col], row);
+        index->second.insert(value, row);
+      }
+      table.rows[row][col] = value;
+    }
+    ++rs.affected;
+  }
+  return rs;
+}
+
+Result<ResultSet> Database::exec_delete(const DeleteStmt& stmt) {
+  const auto it = tables_.find(stmt.table);
+  if (it == tables_.end()) return Result<ResultSet>::err("no such table " + stmt.table);
+  Table& table = it->second;
+  auto rows = plan_matches(table, stmt.where);
+  if (!rows.ok()) return Result<ResultSet>::err(rows.error());
+
+  ResultSet rs;
+  for (const std::uint64_t row : *rows) {
+    table.live[row] = false;
+    for (auto& [col_name, index] : table.indexes) {
+      const int col = table.column_index(col_name);
+      index.erase(table.rows[row][col], row);
+    }
+    ++rs.affected;
+  }
+  return rs;
+}
+
+std::size_t Database::approx_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, table] : tables_) {
+    for (const auto& row : table.rows) {
+      total += row.size() * sizeof(SqlValue);
+      for (const auto& value : row)
+        if (value.is_text()) total += value.as_text().size();
+    }
+    total += table.indexes.size() * table.rows.size() * 48;  // rough B+-tree cost
+  }
+  return total;
+}
+
+}  // namespace watz::db

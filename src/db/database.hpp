@@ -1,0 +1,73 @@
+// minisql: an embeddable in-memory SQL database engine.
+//
+// The SQLite-3.36 substitute for the Fig 6 macro-benchmark (see DESIGN.md).
+// Storage: dense row vectors with tombstones; B+-tree indexes (primary and
+// secondary) drive equality and range access paths; the planner is a
+// one-rule optimiser (use an index when a WHERE/JOIN column has one).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/btree.hpp"
+#include "db/sql.hpp"
+
+namespace watz::db {
+
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<SqlValue>> rows;
+
+  /// For INSERT/UPDATE/DELETE: affected row count.
+  std::size_t affected = 0;
+};
+
+struct ExecStats {
+  std::uint64_t rows_scanned = 0;   ///< rows touched by table scans
+  std::uint64_t index_lookups = 0;  ///< access paths served by a B+-tree
+  std::uint64_t statements = 0;
+};
+
+class Database {
+ public:
+  /// Parses and executes one statement.
+  Result<ResultSet> execute(std::string_view sql);
+
+  const ExecStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Approximate resident size (used to respect the secure-heap budget when
+  /// minisql runs inside the TEE).
+  std::size_t approx_bytes() const;
+
+ private:
+  struct Table {
+    std::vector<ColumnDef> columns;
+    std::vector<std::vector<SqlValue>> rows;
+    std::vector<bool> live;
+    std::map<std::string, BTree> indexes;  // column -> index
+
+    int column_index(const std::string& name) const;
+  };
+
+  Result<ResultSet> exec_create_table(const CreateTableStmt& stmt);
+  Result<ResultSet> exec_create_index(const CreateIndexStmt& stmt);
+  Result<ResultSet> exec_insert(const InsertStmt& stmt);
+  Result<ResultSet> exec_select(const SelectStmt& stmt);
+  Result<ResultSet> exec_update(const UpdateStmt& stmt);
+  Result<ResultSet> exec_delete(const DeleteStmt& stmt);
+
+  /// Row ids of `table` matching all conditions (index-accelerated).
+  Result<std::vector<std::uint64_t>> plan_matches(Table& table,
+                                                  const std::vector<Condition>& where);
+
+  std::map<std::string, Table> tables_;
+  ExecStats stats_;
+};
+
+/// Strips an optional "table." qualifier.
+std::string unqualify(const std::string& column);
+
+}  // namespace watz::db

@@ -1,0 +1,175 @@
+#include "db/kv_guest.hpp"
+
+#include "common/result.hpp"
+#include "wcc/compiler.hpp"
+
+namespace watz::db {
+
+std::string kv_guest_source() {
+  return R"wcc(
+/* minikv: hash-indexed key/value store over linear memory.
+   slots: capacity entries of (key, value, state) ints;
+   state: 0 empty, 1 live, 2 tombstone. */
+
+int cap = 0;
+int* keys = 0;
+int* vals = 0;
+int* state = 0;
+long rng = 88172645463325252;
+
+int rnd(int below) {
+  rng = rng ^ (rng << 13);
+  rng = rng ^ (rng >> 7);
+  rng = rng ^ (rng << 17);
+  int r = (int)(rng % below);
+  if (r < 0) r += below;
+  return r;
+}
+
+int hash_slot(int key) {
+  int h = key * 2654435761;
+  if (h < 0) h = -h;
+  return h % cap;
+}
+
+void kv_put(int key, int value) {
+  int slot = hash_slot(key);
+  for (int probe = 0; probe < cap; probe++) {
+    int s = state[slot];
+    if (s == 0 || s == 2) {
+      keys[slot] = key;
+      vals[slot] = value;
+      state[slot] = 1;
+      return;
+    }
+    if (keys[slot] == key) {
+      vals[slot] = value;
+      return;
+    }
+    slot = slot + 1;
+    if (slot == cap) slot = 0;
+  }
+}
+
+int kv_get(int key) {
+  int slot = hash_slot(key);
+  for (int probe = 0; probe < cap; probe++) {
+    int s = state[slot];
+    if (s == 0) return -1;
+    if (s == 1 && keys[slot] == key) return vals[slot];
+    slot = slot + 1;
+    if (slot == cap) slot = 0;
+  }
+  return -1;
+}
+
+int kv_delete(int key) {
+  int slot = hash_slot(key);
+  for (int probe = 0; probe < cap; probe++) {
+    int s = state[slot];
+    if (s == 0) return 0;
+    if (s == 1 && keys[slot] == key) {
+      state[slot] = 2;
+      return 1;
+    }
+    slot = slot + 1;
+    if (slot == cap) slot = 0;
+  }
+  return 0;
+}
+
+int kv_setup(int rows) {
+  cap = rows * 4;
+  keys = alloc(cap * 4);
+  vals = alloc(cap * 4);
+  state = alloc(cap * 4);
+  rng = 88172645463325252;
+  for (int i = 0; i < rows; i++) kv_put(rnd(rows * 4), i);
+  return cap;
+}
+
+int kv_inserts(int count) {
+  int done = 0;
+  for (int i = 0; i < count; i++) {
+    kv_put(rnd(cap), i);
+    done++;
+  }
+  return done;
+}
+
+int kv_lookups(int count) {
+  int hits = 0;
+  for (int i = 0; i < count; i++) {
+    if (kv_get(rnd(cap)) >= 0) hits++;
+  }
+  return hits;
+}
+
+int kv_range(int reps) {
+  /* ordered sweep: copy live keys, insertion-sort a window, sum it */
+  int total = 0;
+  for (int r = 0; r < reps; r++) {
+    int* window = alloc(256 * 4);
+    int found = 0;
+    int start = rnd(cap);
+    for (int i = 0; i < cap; i++) {
+      if (found >= 256) break;
+      int slot = start + i;
+      if (slot >= cap) slot -= cap;
+      if (state[slot] == 1) {
+        window[found] = keys[slot];
+        found++;
+      }
+    }
+    for (int i = 1; i < found; i++) {
+      int v = window[i];
+      int j = i - 1;
+      while (j >= 0 && window[j] > v) {
+        window[j + 1] = window[j];
+        j--;
+      }
+      window[j + 1] = v;
+    }
+    for (int i = 0; i < found; i++) total += window[i] & 1023;
+  }
+  return total;
+}
+
+int kv_updates(int count) {
+  int done = 0;
+  for (int i = 0; i < count; i++) {
+    int key = rnd(cap);
+    int old = kv_get(key);
+    if (old >= 0) {
+      kv_put(key, old + 1);
+      done++;
+    }
+  }
+  return done;
+}
+
+int kv_deletes(int count) {
+  int done = 0;
+  for (int i = 0; i < count; i++) done += kv_delete(rnd(cap));
+  return done;
+}
+
+int kv_checksum() {
+  int sum = 0;
+  for (int i = 0; i < cap; i++) {
+    if (state[i] == 1) sum = sum * 31 + (keys[i] ^ vals[i]);
+  }
+  return sum;
+}
+)wcc";
+}
+
+Bytes kv_guest_module() {
+  wcc::CompileOptions options;
+  options.memory_pages = 256;
+  auto binary = wcc::compile(kv_guest_source(), options);
+  binary.ok() ? void() : throw Error("kv guest: " + binary.error());
+  return *binary;
+}
+
+}  // namespace watz::db

@@ -1,0 +1,30 @@
+// minikv: the Wasm-side counterpart of the Fig 6 macro-benchmark.
+//
+// The paper compiles SQLite itself to Wasm with WASI-SDK; compiling minisql
+// (C++) through wcc is out of scope, so the guest runs a storage-engine
+// workload of the same *shape* written in the wcc C subset: an open-
+// addressing hash index plus an append log, exercised with the same op
+// mixes (bulk inserts, point lookups, range scans, updates, deletes) as the
+// corresponding speedtest experiments. DESIGN.md documents the substitution.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace watz::db {
+
+/// Operation kinds the guest exports (one function each):
+///   kv_setup(rows)            populate the store
+///   kv_inserts(count)         random-key inserts
+///   kv_lookups(count)         point queries (hash index)
+///   kv_range(reps)            ordered scans (sort + sweep)
+///   kv_updates(count)         read-modify-write
+///   kv_deletes(count)         tombstone deletes
+///   kv_checksum()             state digest (cross-checked in tests)
+std::string kv_guest_source();
+
+/// Compiled module (AOT-ready Wasm binary).
+Bytes kv_guest_module();
+
+}  // namespace watz::db

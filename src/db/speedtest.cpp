@@ -1,0 +1,230 @@
+#include "db/speedtest.hpp"
+
+#include <vector>
+
+namespace watz::db {
+
+namespace {
+
+/// Deterministic pseudo-random stream (xorshift), same on every run.
+struct Rand {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  std::int64_t below(std::int64_t n) { return static_cast<std::int64_t>(next() % n); }
+};
+
+std::string text_payload(std::int64_t seed) {
+  static const char* words[] = {"alpha", "bravo", "charlie", "delta", "echo",
+                                "foxtrot", "golf", "hotel", "india", "juliet"};
+  return std::string(words[seed % 10]) + "-" + std::to_string(seed % 997);
+}
+
+void exec(Database& db, const std::string& sql) {
+  auto r = db.execute(sql);
+  r.ok() ? void() : throw Error("speedtest: " + r.error() + " in: " + sql);
+}
+
+void insert_batch(Database& db, const std::string& table, int count, Rand& rng,
+                  std::int64_t key_space) {
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t k = rng.below(key_space);
+    exec(db, "INSERT INTO " + table + " VALUES (" + std::to_string(k) + ", " +
+                 std::to_string(k % 1000) + ", '" + text_payload(k) + "')");
+  }
+}
+
+}  // namespace
+
+void speedtest_setup(Database& db, int scale) {
+  const int base_rows = 50 * scale;
+  exec(db, "CREATE TABLE t1 (a INTEGER, b INTEGER, c TEXT)");
+  exec(db, "CREATE TABLE t2 (a INTEGER, b INTEGER, c TEXT)");
+  exec(db, "CREATE INDEX i2a ON t2 (a)");
+  exec(db, "CREATE TABLE t3 (k INTEGER, v TEXT)");
+  exec(db, "CREATE INDEX i3k ON t3 (k)");
+  Rand rng;
+  insert_batch(db, "t1", base_rows, rng, base_rows * 4);
+  insert_batch(db, "t2", base_rows, rng, base_rows * 4);
+  for (int i = 0; i < base_rows / 2; ++i)
+    exec(db, "INSERT INTO t3 VALUES (" + std::to_string(i * 4 % (base_rows * 4)) +
+                 ", '" + text_payload(i) + "')");
+}
+
+namespace {
+
+using Runner = std::function<void(Database&, int)>;
+
+Runner inserts_plain(int per_scale) {
+  return [per_scale](Database& db, int scale) {
+    Rand rng{0x1111};
+    insert_batch(db, "t1", per_scale * scale, rng, 100000);
+  };
+}
+
+Runner inserts_indexed(int per_scale) {
+  return [per_scale](Database& db, int scale) {
+    Rand rng{0x2222};
+    insert_batch(db, "t2", per_scale * scale, rng, 100000);
+  };
+}
+
+Runner point_lookups_indexed(int per_scale) {
+  return [per_scale](Database& db, int scale) {
+    Rand rng{0x3333};
+    for (int i = 0; i < per_scale * scale; ++i)
+      exec(db, "SELECT b FROM t2 WHERE a = " + std::to_string(rng.below(200 * scale)));
+  };
+}
+
+Runner range_unindexed(int per_scale) {
+  return [per_scale](Database& db, int scale) {
+    Rand rng{0x4444};
+    for (int i = 0; i < per_scale; ++i) {
+      const std::int64_t lo = rng.below(150 * scale);
+      exec(db, "SELECT COUNT(*) FROM t1 WHERE a >= " + std::to_string(lo) +
+                   " AND a <= " + std::to_string(lo + 100));
+    }
+  };
+}
+
+Runner range_indexed(int per_scale) {
+  return [per_scale](Database& db, int scale) {
+    Rand rng{0x5555};
+    for (int i = 0; i < per_scale; ++i) {
+      const std::int64_t lo = rng.below(150 * scale);
+      exec(db, "SELECT COUNT(*) FROM t2 WHERE a >= " + std::to_string(lo) +
+                   " AND a <= " + std::to_string(lo + 100));
+    }
+  };
+}
+
+Runner aggregate_sum(int repeats) {
+  return [repeats](Database& db, int) {
+    for (int i = 0; i < repeats; ++i) exec(db, "SELECT SUM(b) FROM t1");
+  };
+}
+
+Runner order_by_limit(int repeats) {
+  return [repeats](Database& db, int) {
+    for (int i = 0; i < repeats; ++i)
+      exec(db, "SELECT a, b FROM t1 ORDER BY b DESC LIMIT 50");
+  };
+}
+
+Runner join_indexed(int per_scale) {
+  return [per_scale](Database& db, int scale) {
+    Rand rng{0x6666};
+    for (int i = 0; i < per_scale; ++i) {
+      const std::int64_t lo = rng.below(100 * scale);
+      exec(db, "SELECT t1.c, t3.v FROM t1 JOIN t3 ON t1.a = t3.k WHERE t1.a >= " +
+                   std::to_string(lo) + " AND t1.a <= " + std::to_string(lo + 50));
+    }
+  };
+}
+
+Runner updates_unindexed(int per_scale) {
+  return [per_scale](Database& db, int scale) {
+    Rand rng{0x7777};
+    for (int i = 0; i < per_scale * scale; ++i) {
+      const std::int64_t key = rng.below(200 * scale);
+      exec(db, "UPDATE t1 SET b = " + std::to_string(i % 1000) +
+                   " WHERE a = " + std::to_string(key));
+    }
+  };
+}
+
+Runner updates_indexed(int per_scale) {
+  return [per_scale](Database& db, int scale) {
+    Rand rng{0x8888};
+    for (int i = 0; i < per_scale * scale; ++i) {
+      const std::int64_t key = rng.below(200 * scale);
+      exec(db, "UPDATE t2 SET b = " + std::to_string(i % 1000) +
+                   " WHERE a = " + std::to_string(key));
+    }
+  };
+}
+
+Runner text_updates(int per_scale) {
+  return [per_scale](Database& db, int scale) {
+    Rand rng{0x9999};
+    for (int i = 0; i < per_scale * scale; ++i) {
+      const std::int64_t key = rng.below(200 * scale);
+      exec(db, "UPDATE t2 SET c = '" + text_payload(i) +
+                   "' WHERE a = " + std::to_string(key));
+    }
+  };
+}
+
+Runner deletes_indexed(int per_scale) {
+  return [per_scale](Database& db, int scale) {
+    Rand rng{0xaaaa};
+    for (int i = 0; i < per_scale * scale; ++i)
+      exec(db, "DELETE FROM t2 WHERE a = " + std::to_string(rng.below(400 * scale)));
+  };
+}
+
+Runner create_index_run() {
+  return [](Database& db, int) { exec(db, "CREATE INDEX i1b ON t1 (b)"); };
+}
+
+Runner insert_then_scan(int per_scale) {
+  return [per_scale](Database& db, int scale) {
+    Rand rng{0xbbbb};
+    for (int i = 0; i < per_scale * scale / 2; ++i) {
+      const std::int64_t k = rng.below(100000);
+      exec(db, "INSERT INTO t3 VALUES (" + std::to_string(k) + ", '" +
+                   text_payload(k) + "')");
+    }
+    for (int i = 0; i < per_scale / 4 + 1; ++i)
+      exec(db, "SELECT COUNT(*) FROM t3 WHERE k >= 0");
+  };
+}
+
+}  // namespace
+
+std::span<const SpeedtestExperiment> speedtest_suite() {
+  // Ids and read/write split follow Fig 6: the read-heavy group averages
+  // ~2.04x (ids 130-145, 160-170, 260, 310, 320, 410, 510, 520), the
+  // write-heavy group ~2.23x (ids 100-120, 180-210, 290, 300, 400, 500).
+  static const std::vector<SpeedtestExperiment> experiments = {
+      {100, "50000 INSERTs into unindexed table", true, inserts_plain(28)},
+      {110, "50000 ordered INSERTs", true, inserts_plain(24)},
+      {120, "50000 INSERTs into indexed table", true, inserts_indexed(24)},
+      {130, "unindexed range scans", false, range_unindexed(16)},
+      {140, "indexed range scans", false, range_indexed(80)},
+      {142, "indexed range scans with text", false, range_indexed(64)},
+      {145, "indexed range scans, narrow", false, range_indexed(48)},
+      {150, "CREATE INDEX on populated table", true, create_index_run()},
+      {160, "indexed point queries", false, point_lookups_indexed(10)},
+      {161, "indexed point queries, repeat", false, point_lookups_indexed(10)},
+      {170, "indexed point queries, wide", false, point_lookups_indexed(12)},
+      {180, "unindexed UPDATEs", true, updates_unindexed(4)},
+      {190, "unindexed DELETE-shaped updates", true, updates_unindexed(5)},
+      {210, "indexed UPDATEs", true, updates_indexed(10)},
+      {230, "mixed read/update", false, range_indexed(32)},
+      {240, "aggregate SUM scans", false, aggregate_sum(24)},
+      {250, "aggregate SUM scans, repeat", true, aggregate_sum(30)},
+      {260, "ORDER BY ... LIMIT", false, order_by_limit(12)},
+      {270, "ORDER BY ... LIMIT, repeat", true, order_by_limit(16)},
+      {280, "indexed joins", false, join_indexed(12)},
+      {290, "indexed text UPDATEs", true, text_updates(8)},
+      {300, "bulk inserts + scans", true, insert_then_scan(20)},
+      {310, "indexed joins, narrow", false, join_indexed(10)},
+      {320, "indexed joins, wide", false, join_indexed(14)},
+      {400, "indexed DELETEs", true, deletes_indexed(9)},
+      {410, "point queries after churn", false, point_lookups_indexed(9)},
+      {500, "reinsert after deletes", true, inserts_indexed(20)},
+      {510, "point queries, final", false, point_lookups_indexed(9)},
+      {520, "range scans, final", false, range_indexed(56)},
+      {980, "integrity-style full scans", true, aggregate_sum(36)},
+      {990, "final churn", true, updates_indexed(9)},
+  };
+  return experiments;
+}
+
+}  // namespace watz::db

@@ -1,0 +1,34 @@
+// Speedtest1-shaped workload suite for minisql (Fig 6).
+//
+// SQLite's speedtest1 numbers its experiments (100, 110, ..., 990); each
+// exercises one engine aspect (bulk inserts, indexed point/range queries,
+// joins, updates, deletes, schema changes). This module reproduces the
+// same *experiment ids and op mixes* against minisql so the Fig 6 harness
+// can print the same 31 series the paper plots, split into the paper's
+// read-heavy and write-heavy groups.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "db/database.hpp"
+
+namespace watz::db {
+
+struct SpeedtestExperiment {
+  int id;                    ///< speedtest1 experiment number
+  std::string description;
+  bool write_heavy;          ///< paper: writes average 2.23x, reads 2.04x
+  /// Runs the experiment body; `scale` plays speedtest1's --size knob
+  /// (the paper uses --size 60 to fit OP-TEE's memory cap).
+  std::function<void(Database& db, int scale)> run;
+};
+
+/// The 31 experiments of Fig 6, ascending by id.
+std::span<const SpeedtestExperiment> speedtest_suite();
+
+/// Creates the schema + base data every experiment assumes.
+void speedtest_setup(Database& db, int scale);
+
+}  // namespace watz::db

@@ -1,0 +1,336 @@
+#include "db/sql.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace watz::db {
+
+namespace {
+
+struct SqlToken {
+  enum Kind { Word, Number, Float, String, Punct, End } kind = End;
+  std::string text;        // uppercased for Word, raw for String
+  std::string raw;         // original spelling
+  std::int64_t int_value = 0;
+  double float_value = 0;
+  char punct = 0;
+};
+
+class SqlLexer {
+ public:
+  explicit SqlLexer(std::string_view sql) : sql_(sql) { next(); }
+
+  const SqlToken& cur() const { return cur_; }
+
+  void next() {
+    while (pos_ < sql_.size() && std::isspace(static_cast<unsigned char>(sql_[pos_])))
+      ++pos_;
+    cur_ = SqlToken{};
+    if (pos_ >= sql_.size()) return;
+    const char c = sql_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < sql_.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql_[pos_])) || sql_[pos_] == '_' ||
+              sql_[pos_] == '.'))
+        ++pos_;
+      cur_.kind = SqlToken::Word;
+      cur_.raw = std::string(sql_.substr(start, pos_ - start));
+      cur_.text = cur_.raw;
+      std::transform(cur_.text.begin(), cur_.text.end(), cur_.text.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < sql_.size() &&
+         std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+      std::size_t start = pos_;
+      if (c == '-') ++pos_;
+      bool is_float = false;
+      while (pos_ < sql_.size() && (std::isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+                                    sql_[pos_] == '.')) {
+        if (sql_[pos_] == '.') is_float = true;
+        ++pos_;
+      }
+      const std::string text(sql_.substr(start, pos_ - start));
+      if (is_float) {
+        cur_.kind = SqlToken::Float;
+        cur_.float_value = std::stod(text);
+      } else {
+        cur_.kind = SqlToken::Number;
+        cur_.int_value = std::stoll(text);
+      }
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string out;
+      while (pos_ < sql_.size() && sql_[pos_] != '\'') out.push_back(sql_[pos_++]);
+      ++pos_;  // closing quote (tolerate EOF)
+      cur_.kind = SqlToken::String;
+      cur_.text = std::move(out);
+      return;
+    }
+    cur_.kind = SqlToken::Punct;
+    cur_.punct = c;
+    ++pos_;
+    // two-char comparators
+    if ((c == '<' || c == '>' || c == '!') && pos_ < sql_.size() && sql_[pos_] == '=') {
+      cur_.raw = std::string(1, c) + "=";
+      ++pos_;
+    } else if (c == '<' && pos_ < sql_.size() && sql_[pos_] == '>') {
+      cur_.raw = "<>";
+      ++pos_;
+    } else {
+      cur_.raw = std::string(1, c);
+    }
+  }
+
+ private:
+  std::string_view sql_;
+  std::size_t pos_ = 0;
+  SqlToken cur_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view sql) : lex_(sql) {}
+
+  Result<Statement> parse() {
+    try {
+      return parse_statement();
+    } catch (const Error& e) {
+      return Result<Statement>::err(e.what());
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) { throw Error("sql: " + why); }
+
+  bool word(const char* kw) {
+    if (lex_.cur().kind == SqlToken::Word && lex_.cur().text == kw) {
+      lex_.next();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_word(const char* kw) {
+    if (!word(kw)) fail(std::string("expected ") + kw);
+  }
+
+  bool punct(char c) {
+    if (lex_.cur().kind == SqlToken::Punct && lex_.cur().punct == c &&
+        lex_.cur().raw.size() == 1) {
+      lex_.next();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_punct(char c) {
+    if (!punct(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  std::string identifier() {
+    if (lex_.cur().kind != SqlToken::Word) fail("expected identifier");
+    std::string name = lex_.cur().raw;
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    lex_.next();
+    return name;
+  }
+
+  SqlValue literal() {
+    const SqlToken& t = lex_.cur();
+    switch (t.kind) {
+      case SqlToken::Number: {
+        const SqlValue v(t.int_value);
+        lex_.next();
+        return v;
+      }
+      case SqlToken::Float: {
+        const SqlValue v(t.float_value);
+        lex_.next();
+        return v;
+      }
+      case SqlToken::String: {
+        const SqlValue v(t.text);
+        lex_.next();
+        return v;
+      }
+      case SqlToken::Word:
+        if (t.text == "NULL") {
+          lex_.next();
+          return SqlValue{};
+        }
+        [[fallthrough]];
+      default:
+        fail("expected literal");
+    }
+  }
+
+  Statement parse_statement() {
+    if (word("CREATE")) {
+      if (word("TABLE")) return parse_create_table();
+      if (word("INDEX")) return parse_create_index();
+      fail("expected TABLE or INDEX after CREATE");
+    }
+    if (word("INSERT")) return parse_insert();
+    if (word("SELECT")) return parse_select();
+    if (word("UPDATE")) return parse_update();
+    if (word("DELETE")) return parse_delete();
+    if (word("BEGIN") || word("COMMIT")) return NoOpStmt{};
+    fail("unknown statement");
+  }
+
+  Statement parse_create_table() {
+    CreateTableStmt stmt;
+    stmt.table = identifier();
+    expect_punct('(');
+    do {
+      ColumnDef col;
+      col.name = identifier();
+      if (word("INTEGER") || word("INT")) col.type = ColumnType::Integer;
+      else if (word("REAL") || word("DOUBLE")) col.type = ColumnType::Real;
+      else if (word("TEXT") || word("VARCHAR")) col.type = ColumnType::Text;
+      else fail("expected column type");
+      // tolerated column modifiers
+      while (word("PRIMARY") || word("KEY") || word("NOT") || word("UNIQUE")) {
+      }
+      stmt.columns.push_back(std::move(col));
+    } while (punct(','));
+    expect_punct(')');
+    return stmt;
+  }
+
+  Statement parse_create_index() {
+    CreateIndexStmt stmt;
+    stmt.index = identifier();
+    expect_word("ON");
+    stmt.table = identifier();
+    expect_punct('(');
+    stmt.column = identifier();
+    expect_punct(')');
+    return stmt;
+  }
+
+  Statement parse_insert() {
+    expect_word("INTO");
+    InsertStmt stmt;
+    stmt.table = identifier();
+    expect_word("VALUES");
+    do {
+      expect_punct('(');
+      std::vector<SqlValue> row;
+      do {
+        row.push_back(literal());
+      } while (punct(','));
+      expect_punct(')');
+      stmt.rows.push_back(std::move(row));
+    } while (punct(','));
+    return stmt;
+  }
+
+  CmpOp comparator() {
+    const SqlToken& t = lex_.cur();
+    if (t.kind != SqlToken::Punct) fail("expected comparison operator");
+    const std::string op = t.raw;
+    lex_.next();
+    if (op == "=") return CmpOp::Eq;
+    if (op == "!=" || op == "<>") return CmpOp::Ne;
+    if (op == "<") return CmpOp::Lt;
+    if (op == "<=") return CmpOp::Le;
+    if (op == ">") return CmpOp::Gt;
+    if (op == ">=") return CmpOp::Ge;
+    fail("bad comparison operator " + op);
+  }
+
+  std::vector<Condition> parse_where() {
+    std::vector<Condition> out;
+    if (!word("WHERE")) return out;
+    do {
+      Condition cond;
+      cond.column = identifier();
+      cond.op = comparator();
+      cond.value = literal();
+      out.push_back(std::move(cond));
+    } while (word("AND"));
+    return out;
+  }
+
+  Statement parse_select() {
+    SelectStmt stmt;
+    if (punct('*')) {
+      stmt.star = true;
+    } else if (word("COUNT")) {
+      expect_punct('(');
+      expect_punct('*');
+      expect_punct(')');
+      stmt.agg = Aggregate::Count;
+    } else if (word("SUM") || (lex_.cur().kind == SqlToken::Word && lex_.cur().text == "AVG")) {
+      const bool is_avg = word("AVG");
+      stmt.agg = is_avg ? Aggregate::Avg : Aggregate::Sum;
+      expect_punct('(');
+      stmt.agg_column = identifier();
+      expect_punct(')');
+    } else {
+      do {
+        stmt.columns.push_back(identifier());
+      } while (punct(','));
+    }
+    expect_word("FROM");
+    stmt.table = identifier();
+    if (word("JOIN")) {
+      JoinClause join;
+      join.table = identifier();
+      expect_word("ON");
+      join.left_column = identifier();
+      expect_punct('=');
+      join.right_column = identifier();
+      stmt.join = std::move(join);
+    }
+    stmt.where = parse_where();
+    if (word("ORDER")) {
+      expect_word("BY");
+      stmt.order_by = identifier();
+      if (word("DESC")) stmt.order_desc = true;
+      else (void)word("ASC");
+    }
+    if (word("LIMIT")) {
+      if (lex_.cur().kind != SqlToken::Number) fail("expected LIMIT count");
+      stmt.limit = lex_.cur().int_value;
+      lex_.next();
+    }
+    return stmt;
+  }
+
+  Statement parse_update() {
+    UpdateStmt stmt;
+    stmt.table = identifier();
+    expect_word("SET");
+    do {
+      std::string col = identifier();
+      expect_punct('=');
+      stmt.sets.emplace_back(std::move(col), literal());
+    } while (punct(','));
+    stmt.where = parse_where();
+    return stmt;
+  }
+
+  Statement parse_delete() {
+    expect_word("FROM");
+    DeleteStmt stmt;
+    stmt.table = identifier();
+    stmt.where = parse_where();
+    return stmt;
+  }
+
+  SqlLexer lex_;
+};
+
+}  // namespace
+
+Result<Statement> parse_sql(std::string_view sql) { return Parser(sql).parse(); }
+
+}  // namespace watz::db

@@ -1,0 +1,92 @@
+// SQL subset grammar for minisql.
+//
+// Supported statements (the Speedtest1-shaped workload surface):
+//   CREATE TABLE t (col INTEGER|REAL|TEXT, ...)
+//   CREATE INDEX idx ON t (col)
+//   INSERT INTO t VALUES (lit, ...) [, (lit, ...)]...
+//   SELECT */cols/COUNT(*)/SUM(c)/AVG(c) FROM t [JOIN u ON t.a = u.b]
+//          [WHERE cond [AND cond]...] [ORDER BY col [DESC]] [LIMIT n]
+//   UPDATE t SET col = lit [, ...] [WHERE ...]
+//   DELETE FROM t [WHERE ...]
+//   BEGIN / COMMIT (accepted no-ops; minisql is in-memory autocommit)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.hpp"
+#include "db/value.hpp"
+
+namespace watz::db {
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::Integer;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnDef> columns;
+};
+
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::string column;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<SqlValue>> rows;
+};
+
+enum class CmpOp : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+struct Condition {
+  std::string column;  // possibly qualified: "t.col"
+  CmpOp op = CmpOp::Eq;
+  SqlValue value;
+};
+
+enum class Aggregate : std::uint8_t { None, Count, Sum, Avg };
+
+struct JoinClause {
+  std::string table;
+  std::string left_column;   // qualified
+  std::string right_column;  // qualified
+};
+
+struct SelectStmt {
+  bool star = false;
+  Aggregate agg = Aggregate::None;
+  std::string agg_column;  // for SUM/AVG
+  std::vector<std::string> columns;
+  std::string table;
+  std::optional<JoinClause> join;
+  std::vector<Condition> where;
+  std::optional<std::string> order_by;
+  bool order_desc = false;
+  std::optional<std::int64_t> limit;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, SqlValue>> sets;
+  std::vector<Condition> where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::vector<Condition> where;
+};
+
+struct NoOpStmt {};  // BEGIN / COMMIT
+
+using Statement = std::variant<CreateTableStmt, CreateIndexStmt, InsertStmt, SelectStmt,
+                               UpdateStmt, DeleteStmt, NoOpStmt>;
+
+Result<Statement> parse_sql(std::string_view sql);
+
+}  // namespace watz::db

@@ -1,0 +1,44 @@
+#include "db/value.hpp"
+
+namespace watz::db {
+
+namespace {
+int type_rank(const SqlValue& v) {
+  if (v.is_null()) return 0;
+  if (v.is_int() || v.is_real()) return 1;
+  return 2;
+}
+}  // namespace
+
+int SqlValue::compare(const SqlValue& other) const {
+  const int ra = type_rank(*this);
+  const int rb = type_rank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;  // NULL == NULL for ordering purposes
+    case 1: {
+      if (is_int() && other.is_int()) {
+        const std::int64_t a = as_int();
+        const std::int64_t b = other.as_int();
+        return a < b ? -1 : a > b ? 1 : 0;
+      }
+      const double a = as_real();
+      const double b = other.as_real();
+      return a < b ? -1 : a > b ? 1 : 0;
+    }
+    default: {
+      const int c = as_text().compare(other.as_text());
+      return c < 0 ? -1 : c > 0 ? 1 : 0;
+    }
+  }
+}
+
+std::string SqlValue::to_string() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(as_int());
+  if (is_real()) return std::to_string(as_real());
+  return as_text();
+}
+
+}  // namespace watz::db

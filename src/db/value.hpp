@@ -1,0 +1,48 @@
+// SQL value model for minisql (the SQLite 3.36 substitute, see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.hpp"
+
+namespace watz::db {
+
+enum class ColumnType : std::uint8_t { Integer, Real, Text };
+
+/// A dynamically typed SQL value (NULL, INTEGER, REAL or TEXT).
+class SqlValue {
+ public:
+  SqlValue() = default;  // NULL
+  explicit SqlValue(std::int64_t v) : v_(v) {}
+  explicit SqlValue(double v) : v_(v) {}
+  explicit SqlValue(std::string v) : v_(std::move(v)) {}
+
+  bool is_null() const noexcept { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const noexcept { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_real() const noexcept { return std::holds_alternative<double>(v_); }
+  bool is_text() const noexcept { return std::holds_alternative<std::string>(v_); }
+
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  double as_real() const {
+    if (is_int()) return static_cast<double>(as_int());
+    return std::get<double>(v_);
+  }
+  const std::string& as_text() const { return std::get<std::string>(v_); }
+
+  /// SQL three-valued-ish comparison collapsed to an ordering: NULL sorts
+  /// first, then numerics (INTEGER and REAL compare numerically), then TEXT.
+  /// Returns <0, 0, >0.
+  int compare(const SqlValue& other) const;
+
+  bool operator==(const SqlValue& other) const { return compare(other) == 0; }
+  bool operator<(const SqlValue& other) const { return compare(other) < 0; }
+
+  std::string to_string() const;
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, std::string> v_;
+};
+
+}  // namespace watz::db

@@ -1,0 +1,16 @@
+#include "hw/caam.hpp"
+
+namespace watz::hw {
+
+Caam::Caam(crypto::Rng& rng) { rng.fill(otpmk_); }
+
+crypto::Sha256Digest Caam::mkvb(SecurityState world) const {
+  crypto::Sha256 hash;
+  hash.update(otpmk_);
+  const std::string_view tag =
+      world == SecurityState::Secure ? "mkvb-secure" : "mkvb-normal";
+  hash.update(ByteView(reinterpret_cast<const std::uint8_t*>(tag.data()), tag.size()));
+  return hash.finish();
+}
+
+}  // namespace watz::hw

@@ -1,0 +1,38 @@
+// Cryptographic Accelerator and Assurance Module (CAAM) simulation.
+//
+// On the i.MX 8MQ the root of trust is OTPMK, a unique 256-bit one-time-
+// programmable key fused at manufacturing. Software never reads OTPMK; the
+// CAAM only exposes the "master key verification blob" (MKVB), a hash of
+// OTPMK that *differs between the normal and secure worlds* (SS V "The
+// attestation service"). This class reproduces exactly that contract.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace watz::hw {
+
+enum class SecurityState { Normal, Secure };
+
+class Caam {
+ public:
+  /// Fuses a fresh random OTPMK (manufacturing step).
+  explicit Caam(crypto::Rng& rng);
+
+  /// Fuses a caller-supplied OTPMK; used by tests that need a fixed device
+  /// identity across simulated "power cycles".
+  explicit Caam(const std::array<std::uint8_t, 32>& otpmk) : otpmk_(otpmk) {}
+
+  /// Master key verification blob for the requesting world. Secure and
+  /// normal world observe different values; the OTPMK itself never leaves
+  /// the module.
+  crypto::Sha256Digest mkvb(SecurityState world) const;
+
+ private:
+  std::array<std::uint8_t, 32> otpmk_{};
+};
+
+}  // namespace watz::hw

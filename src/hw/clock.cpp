@@ -1,0 +1,14 @@
+#include "hw/clock.hpp"
+
+#include <chrono>
+
+namespace watz::hw {
+
+std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace watz::hw

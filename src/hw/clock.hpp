@@ -1,0 +1,16 @@
+// Monotonic time source for the simulated board.
+//
+// The paper (SS VI-A) extends OP-TEE so the secure world can observe the
+// normal-world Linux monotonic clock with nanosecond precision; here both
+// worlds read the same host steady clock, and the *cost* of the secure-world
+// read (an RPC to the normal world) is modelled by hw::LatencyModel.
+#pragma once
+
+#include <cstdint>
+
+namespace watz::hw {
+
+/// Nanoseconds from the host monotonic clock.
+std::uint64_t monotonic_ns() noexcept;
+
+}  // namespace watz::hw

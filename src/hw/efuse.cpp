@@ -1,0 +1,36 @@
+#include "hw/efuse.hpp"
+
+namespace watz::hw {
+
+Status EfuseBank::program(std::size_t index, std::uint32_t value) {
+  if (index >= kWords) return Status::err("efuse: index out of range");
+  if (words_[index].has_value()) return Status::err("efuse: word already programmed");
+  words_[index] = value;
+  return {};
+}
+
+std::uint32_t EfuseBank::read(std::size_t index) const {
+  if (index >= kWords) return 0;
+  return words_[index].value_or(0);
+}
+
+bool EfuseBank::is_programmed(std::size_t index) const {
+  return index < kWords && words_[index].has_value();
+}
+
+Status EfuseBank::program_digest(ByteView digest32) {
+  if (digest32.size() != 32) return Status::err("efuse: digest must be 32 bytes");
+  for (std::size_t i = 0; i < 8; ++i) {
+    const Status st = program(i, get_u32be(digest32.data() + 4 * i));
+    if (!st.ok()) return st;
+  }
+  return {};
+}
+
+Bytes EfuseBank::read_digest() const {
+  Bytes out;
+  for (std::size_t i = 0; i < 8; ++i) put_u32be(out, read(i));
+  return out;
+}
+
+}  // namespace watz::hw

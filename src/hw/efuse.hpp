@@ -1,0 +1,39 @@
+// One-time-programmable eFuse bank.
+//
+// The i.MX 8MQ stores the hash of the vendor's secure-boot public key in
+// eFuses (SS IV "Secure boot"); once a word is blown it cannot be rewritten,
+// which is what anchors the chain of trust. This simulation enforces the
+// write-once property.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace watz::hw {
+
+class EfuseBank {
+ public:
+  static constexpr std::size_t kWords = 16;  // 16 x 32-bit words = 512 bits
+
+  /// Programs word `index`. Fails if already programmed (OTP semantics).
+  Status program(std::size_t index, std::uint32_t value);
+
+  /// Reads word `index` (unprogrammed words read as zero).
+  std::uint32_t read(std::size_t index) const;
+
+  bool is_programmed(std::size_t index) const;
+
+  /// Convenience: burns a 32-byte digest into words 0..7.
+  Status program_digest(ByteView digest32);
+  /// Reads back words 0..7 as a 32-byte digest.
+  Bytes read_digest() const;
+
+ private:
+  std::array<std::optional<std::uint32_t>, kWords> words_{};
+};
+
+}  // namespace watz::hw

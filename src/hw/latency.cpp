@@ -1,0 +1,15 @@
+#include "hw/latency.hpp"
+
+#include "hw/clock.hpp"
+
+namespace watz::hw {
+
+void LatencyModel::spin(std::uint64_t ns) const {
+  if (!config_.enabled || ns == 0) return;
+  const std::uint64_t deadline = monotonic_ns() + ns;
+  while (monotonic_ns() < deadline) {
+    // busy-wait: models the CPU being occupied by the world switch
+  }
+}
+
+}  // namespace watz::hw

@@ -1,0 +1,48 @@
+// Calibrated world-switch cost model.
+//
+// TrustZone's SMC transitions cost real time on silicon; the paper measures
+// 86 us to enter the secure world and 20 us to leave (Fig 3b), and ~10 us to
+// fetch the time from inside a TA (Fig 3a). The simulation charges these
+// costs with a busy-wait on the host clock so that benchmark *shapes*
+// (boundary-crossing amplification, syscall overhead) match the paper.
+// Tests construct a disabled model so functional behaviour is instant.
+#pragma once
+
+#include <cstdint>
+
+namespace watz::hw {
+
+struct LatencyConfig {
+  std::uint64_t smc_enter_ns = 86'000;  ///< normal -> secure (Fig 3b)
+  std::uint64_t smc_leave_ns = 20'000;  ///< secure -> normal (Fig 3b)
+  std::uint64_t time_rpc_ns = 10'000;   ///< secure-world time query RPC (Fig 3a)
+  std::uint64_t supplicant_rpc_ns = 30'000;  ///< socket RPC through the supplicant
+  bool enabled = true;
+};
+
+class LatencyModel {
+ public:
+  LatencyModel() = default;
+  explicit LatencyModel(LatencyConfig config) : config_(config) {}
+
+  static LatencyModel disabled() {
+    LatencyConfig c;
+    c.enabled = false;
+    return LatencyModel(c);
+  }
+
+  const LatencyConfig& config() const noexcept { return config_; }
+
+  void charge_enter() const { spin(config_.smc_enter_ns); }
+  void charge_leave() const { spin(config_.smc_leave_ns); }
+  void charge_time_rpc() const { spin(config_.time_rpc_ns); }
+  void charge_supplicant_rpc() const { spin(config_.supplicant_rpc_ns); }
+
+  /// Busy-waits for `ns` on the host monotonic clock (no-op when disabled).
+  void spin(std::uint64_t ns) const;
+
+ private:
+  LatencyConfig config_{};
+};
+
+}  // namespace watz::hw

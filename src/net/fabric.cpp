@@ -1,0 +1,50 @@
+#include "net/fabric.hpp"
+
+namespace watz::net {
+
+namespace {
+std::string endpoint_key(const std::string& host, std::uint16_t port) {
+  return host + ":" + std::to_string(port);
+}
+}  // namespace
+
+Status Fabric::listen(const std::string& host, std::uint16_t port, Service service,
+                      CloseHook on_close) {
+  const std::string key = endpoint_key(host, port);
+  if (endpoints_.contains(key)) return Status::err("fabric: " + key + " already bound");
+  endpoints_[key] = Endpoint{std::move(service), std::move(on_close)};
+  return {};
+}
+
+Result<std::uint64_t> Fabric::connect(const std::string& host, std::uint16_t port) {
+  const std::string key = endpoint_key(host, port);
+  if (!endpoints_.contains(key))
+    return Result<std::uint64_t>::err("fabric: connection refused to " + key);
+  const std::uint64_t id = next_conn_id_++;
+  connections_[id] = Connection{key};
+  return id;
+}
+
+Result<Bytes> Fabric::send_recv(std::uint64_t conn_id, ByteView message) {
+  const auto conn = connections_.find(conn_id);
+  if (conn == connections_.end()) return Result<Bytes>::err("fabric: bad connection");
+  const auto endpoint = endpoints_.find(conn->second.key);
+  if (endpoint == endpoints_.end()) return Result<Bytes>::err("fabric: peer gone");
+  bytes_sent_ += message.size();
+  ++messages_;
+  auto response = endpoint->second.service(conn_id, message);
+  if (!response.ok()) return response;
+  bytes_received_ += response->size();
+  return response;
+}
+
+void Fabric::close(std::uint64_t conn_id) {
+  const auto conn = connections_.find(conn_id);
+  if (conn == connections_.end()) return;
+  const auto endpoint = endpoints_.find(conn->second.key);
+  if (endpoint != endpoints_.end() && endpoint->second.on_close)
+    endpoint->second.on_close(conn_id);
+  connections_.erase(conn);
+}
+
+}  // namespace watz::net

@@ -1,0 +1,60 @@
+// In-process network fabric.
+//
+// Stands in for the TCP path of the prototype (SS V): the attester's
+// secure-world socket calls are relayed by the TEE supplicant to the normal
+// world, cross the "network", and land in the verifier's normal-world
+// listener, which forwards each message to the verifier TA. The fabric
+// models connection-oriented, synchronous request/response exchanges (the
+// RA protocol is strictly ping-pong) and counts traffic for the harness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace watz::net {
+
+/// Per-connection message handler: (connection id, request) -> response.
+using Service = std::function<Result<Bytes>(std::uint64_t conn_id, ByteView request)>;
+/// Invoked when a connection closes, so services can drop session state.
+using CloseHook = std::function<void(std::uint64_t conn_id)>;
+
+class Fabric {
+ public:
+  /// Binds `service` to host:port; fails if already bound.
+  Status listen(const std::string& host, std::uint16_t port, Service service,
+                CloseHook on_close = nullptr);
+
+  Result<std::uint64_t> connect(const std::string& host, std::uint16_t port);
+
+  /// Sends a message on a connection and returns the peer's response.
+  Result<Bytes> send_recv(std::uint64_t conn_id, ByteView message);
+
+  void close(std::uint64_t conn_id);
+
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  std::uint64_t bytes_received() const noexcept { return bytes_received_; }
+  std::uint64_t messages() const noexcept { return messages_; }
+
+ private:
+  struct Endpoint {
+    Service service;
+    CloseHook on_close;
+  };
+  struct Connection {
+    std::string key;
+  };
+
+  std::map<std::string, Endpoint> endpoints_;
+  std::map<std::uint64_t, Connection> connections_;
+  std::uint64_t next_conn_id_ = 1;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace watz::net

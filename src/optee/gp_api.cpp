@@ -1,0 +1,18 @@
+#include "optee/gp_api.hpp"
+
+namespace watz::optee {
+
+const char* tee_result_name(TeeResult r) {
+  switch (r) {
+    case TeeResult::Success: return "TEE_SUCCESS";
+    case TeeResult::Generic: return "TEE_ERROR_GENERIC";
+    case TeeResult::AccessDenied: return "TEE_ERROR_ACCESS_DENIED";
+    case TeeResult::OutOfMemory: return "TEE_ERROR_OUT_OF_MEMORY";
+    case TeeResult::BadParameters: return "TEE_ERROR_BAD_PARAMETERS";
+    case TeeResult::NotSupported: return "TEE_ERROR_NOT_SUPPORTED";
+    case TeeResult::SecurityViolation: return "TEE_ERROR_SECURITY";
+  }
+  return "TEE_ERROR_UNKNOWN";
+}
+
+}  // namespace watz::optee

@@ -1,0 +1,40 @@
+// GlobalPlatform Internal Core API subset, as exposed by the simulated
+// OP-TEE to trusted applications. Only the surface WaTZ's WASI adaptation
+// layer needs is present (SS V: 45 WASI functions stubbed, the ones used by
+// the benchmarks implemented on top of GP).
+#pragma once
+
+#include <cstdint>
+
+namespace watz::optee {
+
+enum class TeeResult : std::uint32_t {
+  Success = 0x00000000,
+  Generic = 0xFFFF0000,
+  AccessDenied = 0xFFFF0001,
+  OutOfMemory = 0xFFFF000C,
+  BadParameters = 0xFFFF0006,
+  NotSupported = 0xFFFF000A,
+  SecurityViolation = 0xFFFF000F,
+};
+
+const char* tee_result_name(TeeResult r);
+
+/// GP TEE_Time, extended with a nanoseconds field as the paper does
+/// (SS VI-A: "We also extended the GP's type TEE_Time to measure our
+/// experiments with a nanosecond precision").
+struct TeeTime {
+  std::uint32_t seconds = 0;
+  std::uint32_t millis = 0;
+  std::uint64_t nanos = 0;  ///< WaTZ extension: full ns-precision value
+
+  static TeeTime from_ns(std::uint64_t ns) {
+    TeeTime t;
+    t.seconds = static_cast<std::uint32_t>(ns / 1'000'000'000ULL);
+    t.millis = static_cast<std::uint32_t>((ns / 1'000'000ULL) % 1000);
+    t.nanos = ns;
+    return t;
+  }
+};
+
+}  // namespace watz::optee

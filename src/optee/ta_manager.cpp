@@ -1,0 +1,46 @@
+#include "optee/ta_manager.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace watz::optee {
+
+namespace {
+
+crypto::Sha256Digest ta_digest(const TaImage& image) {
+  crypto::Sha256 hash;
+  hash.update(ByteView(reinterpret_cast<const std::uint8_t*>(image.uuid.data()),
+                       image.uuid.size()));
+  hash.update(image.payload);
+  return hash.finish();
+}
+
+}  // namespace
+
+void sign_ta(TaImage& image, const crypto::Scalar32& vendor_priv) {
+  image.signature = crypto::ecdsa_sign(vendor_priv, ta_digest(image)).encode();
+}
+
+Result<InstalledTa> TaManager::install(const TaImage& image) {
+  if (is_installed(image.uuid))
+    return Result<InstalledTa>::err("TA with UUID " + image.uuid +
+                                    " already installed (impersonation guard)");
+  auto sig = crypto::EcdsaSignature::decode(image.signature);
+  if (!sig.ok())
+    return Result<InstalledTa>::err("TA " + image.uuid + ": malformed signature");
+  const auto digest = ta_digest(image);
+  if (!crypto::ecdsa_verify(vendor_pub_, digest, *sig))
+    return Result<InstalledTa>::err(
+        "TA " + image.uuid +
+        ": signature verification failed; OP-TEE refuses unsigned trusted applications");
+  InstalledTa installed{image.uuid, digest};
+  installed_.push_back(installed);
+  return installed;
+}
+
+bool TaManager::is_installed(const std::string& uuid) const {
+  for (const auto& ta : installed_)
+    if (ta.uuid == uuid) return true;
+  return false;
+}
+
+}  // namespace watz::optee

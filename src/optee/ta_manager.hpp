@@ -1,0 +1,56 @@
+// Trusted-application deployment policy.
+//
+// Stock OP-TEE only loads TAs signed with the vendor key (SS II: "OP-TEE
+// requires every TA to be signed to be trusted and executable"). The paper
+// identifies this as the impediment WaTZ removes for *Wasm* applications:
+// the Wasm sandbox isolates them instead, so arbitrary third-party bytecode
+// can run without holding the signing key. This manager enforces the
+// native-TA policy; the WaTZ runtime (itself a signed TA) loads Wasm
+// applications through its own measured path.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/ecdsa.hpp"
+
+namespace watz::optee {
+
+/// A native trusted application image, as shipped to the device.
+struct TaImage {
+  std::string uuid;   // e.g. "8aaaf200-2450-11e4-abe2-0002a5d5c51b"
+  Bytes payload;      // the TA binary
+  Bytes signature;    // vendor ECDSA over SHA-256(uuid || payload)
+};
+
+/// Signs a TA image (vendor release step).
+void sign_ta(TaImage& image, const crypto::Scalar32& vendor_priv);
+
+struct InstalledTa {
+  std::string uuid;
+  crypto::Sha256Digest measurement;
+};
+
+class TaManager {
+ public:
+  explicit TaManager(crypto::EcPoint vendor_pub) : vendor_pub_(std::move(vendor_pub)) {}
+
+  /// Verifies the signature and installs; unsigned or tampered TAs are
+  /// rejected (the OP-TEE security property WaTZ must preserve).
+  Result<InstalledTa> install(const TaImage& image);
+
+  /// Installing a second TA with the same UUID is rejected: the paper's
+  /// SS VII notes UUID reuse enables impersonation of another TA's storage.
+  bool is_installed(const std::string& uuid) const;
+
+  const std::vector<InstalledTa>& installed() const noexcept { return installed_; }
+
+ private:
+  crypto::EcPoint vendor_pub_;
+  std::vector<InstalledTa> installed_;
+};
+
+}  // namespace watz::optee

@@ -1,0 +1,362 @@
+// PolyBench kernels, part A: 2mm 3mm adi atax bicg cholesky correlation
+// covariance deriche doitgen.
+//
+// Bodies are in the wcc C subset (see registry.hpp for the single-source
+// mechanics); initialisation formulas follow the PolyBench conventions.
+#include "polybench/registry.hpp"
+
+WATZ_POLY_KERNEL(k2mm, 48,
+double run(int n) {
+  double* A = alloc(n * n * 8);
+  double* B = alloc(n * n * 8);
+  double* C = alloc(n * n * 8);
+  double* D = alloc(n * n * 8);
+  double* tmp = alloc(n * n * 8);
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i * n + j] = ((i * j + 1) % n) / (double)n;
+      B[i * n + j] = ((i * (j + 1)) % n) / (double)n;
+      C[i * n + j] = ((i * (j + 3) + 1) % n) / (double)n;
+      D[i * n + j] = ((i * (j + 2)) % n) / (double)n;
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      tmp[i * n + j] = 0.0;
+      for (int k = 0; k < n; k++) tmp[i * n + j] += alpha * A[i * n + k] * B[k * n + j];
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      D[i * n + j] *= beta;
+      for (int k = 0; k < n; k++) D[i * n + j] += tmp[i * n + k] * C[k * n + j];
+    }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += D[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(k3mm, 44,
+double run(int n) {
+  double* A = alloc(n * n * 8);
+  double* B = alloc(n * n * 8);
+  double* C = alloc(n * n * 8);
+  double* D = alloc(n * n * 8);
+  double* E = alloc(n * n * 8);
+  double* F = alloc(n * n * 8);
+  double* G = alloc(n * n * 8);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i * n + j] = ((i * j + 1) % n) / (5.0 * n);
+      B[i * n + j] = ((i * (j + 1) + 2) % n) / (5.0 * n);
+      C[i * n + j] = (i * (j + 3) % n) / (5.0 * n);
+      D[i * n + j] = ((i * (j + 2) + 2) % n) / (5.0 * n);
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      E[i * n + j] = 0.0;
+      for (int k = 0; k < n; k++) E[i * n + j] += A[i * n + k] * B[k * n + j];
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      F[i * n + j] = 0.0;
+      for (int k = 0; k < n; k++) F[i * n + j] += C[i * n + k] * D[k * n + j];
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      G[i * n + j] = 0.0;
+      for (int k = 0; k < n; k++) G[i * n + j] += E[i * n + k] * F[k * n + j];
+    }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += G[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(adi, 40,
+double run(int n) {
+  double* u = alloc(n * n * 8);
+  double* v = alloc(n * n * 8);
+  double* p = alloc(n * n * 8);
+  double* q = alloc(n * n * 8);
+  int tsteps = 10;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) u[i * n + j] = (i + n - j) / (double)n;
+  double DX = 1.0 / n;
+  double DT = 1.0 / tsteps;
+  double B1 = 2.0;
+  double mul1 = B1 * DT / (DX * DX);
+  double a = -mul1 / 2.0;
+  double b = 1.0 + mul1;
+  double c = a;
+  for (int t = 1; t <= tsteps; t++) {
+    for (int i = 1; i < n - 1; i++) {
+      v[0 * n + i] = 1.0;
+      p[i * n + 0] = 0.0;
+      q[i * n + 0] = v[0 * n + i];
+      for (int j = 1; j < n - 1; j++) {
+        p[i * n + j] = -c / (a * p[i * n + j - 1] + b);
+        q[i * n + j] = (-a * u[j * n + i - 1] + (1.0 + 2.0 * a) * u[j * n + i] - c * u[j * n + i + 1] - a * q[i * n + j - 1]) / (a * p[i * n + j - 1] + b);
+      }
+      v[(n - 1) * n + i] = 1.0;
+      for (int j = n - 2; j >= 1; j--) v[j * n + i] = p[i * n + j] * v[(j + 1) * n + i] + q[i * n + j];
+    }
+    for (int i = 1; i < n - 1; i++) {
+      u[i * n + 0] = 1.0;
+      p[i * n + 0] = 0.0;
+      q[i * n + 0] = u[i * n + 0];
+      for (int j = 1; j < n - 1; j++) {
+        p[i * n + j] = -c / (a * p[i * n + j - 1] + b);
+        q[i * n + j] = (-a * v[(i - 1) * n + j] + (1.0 + 2.0 * a) * v[i * n + j] - c * v[(i + 1) * n + j] - a * q[i * n + j - 1]) / (a * p[i * n + j - 1] + b);
+      }
+      u[i * n + n - 1] = 1.0;
+      for (int j = n - 2; j >= 1; j--) u[i * n + j] = p[i * n + j] * u[i * n + j + 1] + q[i * n + j];
+    }
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += u[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(atax, 160,
+double run(int n) {
+  double* A = alloc(n * n * 8);
+  double* x = alloc(n * 8);
+  double* y = alloc(n * 8);
+  double* tmp = alloc(n * 8);
+  for (int i = 0; i < n; i++) {
+    x[i] = 1.0 + i / (double)n;
+    for (int j = 0; j < n; j++) A[i * n + j] = ((i + j) % n) / (5.0 * n);
+  }
+  for (int i = 0; i < n; i++) y[i] = 0.0;
+  for (int i = 0; i < n; i++) {
+    tmp[i] = 0.0;
+    for (int j = 0; j < n; j++) tmp[i] += A[i * n + j] * x[j];
+    for (int j = 0; j < n; j++) y[j] += A[i * n + j] * tmp[i];
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s += y[i];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(bicg, 160,
+double run(int n) {
+  double* A = alloc(n * n * 8);
+  double* r = alloc(n * 8);
+  double* p = alloc(n * 8);
+  double* s = alloc(n * 8);
+  double* q = alloc(n * 8);
+  for (int i = 0; i < n; i++) {
+    p[i] = (i % n) / (double)n;
+    r[i] = (i % n) / (double)n;
+    for (int j = 0; j < n; j++) A[i * n + j] = (i * (j + 1) % n) / (double)n;
+  }
+  for (int i = 0; i < n; i++) {
+    s[i] = 0.0;
+    q[i] = 0.0;
+  }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      s[j] += r[i] * A[i * n + j];
+      q[i] += A[i * n + j] * p[j];
+    }
+  }
+  double acc = 0.0;
+  for (int i = 0; i < n; i++) acc += s[i] + q[i];
+  return acc;
+}
+)
+
+WATZ_POLY_KERNEL(cho, 48,
+double run(int n) {
+  double* A = alloc(n * n * 8);
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j <= i; j++) A[i * n + j] = (-(j % n)) / (double)n + 1.0;
+    for (int j = i + 1; j < n; j++) A[i * n + j] = 0.0;
+    A[i * n + i] = 1.0;
+  }
+  /* make positive semi-definite: A = B * B^T */
+  double* B = alloc(n * n * 8);
+  for (int t = 0; t < n; t++)
+    for (int r2 = 0; r2 < n; r2++) {
+      B[t * n + r2] = 0.0;
+      for (int s2 = 0; s2 < n; s2++) B[t * n + r2] += A[t * n + s2] * A[r2 * n + s2];
+    }
+  for (int t = 0; t < n; t++)
+    for (int r2 = 0; r2 < n; r2++) A[t * n + r2] = B[t * n + r2];
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < i; j++) {
+      for (int k = 0; k < j; k++) A[i * n + j] -= A[i * n + k] * A[j * n + k];
+      A[i * n + j] /= A[j * n + j];
+    }
+    for (int k = 0; k < i; k++) A[i * n + i] -= A[i * n + k] * A[i * n + k];
+    A[i * n + i] = sqrt(A[i * n + i]);
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j <= i; j++) s += A[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(cor, 48,
+double run(int n) {
+  double* data = alloc(n * n * 8);
+  double* mean = alloc(n * 8);
+  double* stddev = alloc(n * 8);
+  double* corr = alloc(n * n * 8);
+  double float_n = (double)n;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) data[i * n + j] = (i * j) / (double)n + i;
+  for (int j = 0; j < n; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < n; i++) mean[j] += data[i * n + j];
+    mean[j] /= float_n;
+  }
+  for (int j = 0; j < n; j++) {
+    stddev[j] = 0.0;
+    for (int i = 0; i < n; i++)
+      stddev[j] += (data[i * n + j] - mean[j]) * (data[i * n + j] - mean[j]);
+    stddev[j] = sqrt(stddev[j] / float_n);
+    if (stddev[j] <= 0.1) stddev[j] = 1.0;
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      data[i * n + j] -= mean[j];
+      data[i * n + j] /= sqrt(float_n) * stddev[j];
+    }
+  for (int i = 0; i < n - 1; i++) {
+    corr[i * n + i] = 1.0;
+    for (int j = i + 1; j < n; j++) {
+      corr[i * n + j] = 0.0;
+      for (int k = 0; k < n; k++) corr[i * n + j] += data[k * n + i] * data[k * n + j];
+      corr[j * n + i] = corr[i * n + j];
+    }
+  }
+  corr[(n - 1) * n + n - 1] = 1.0;
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += corr[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(cov, 48,
+double run(int n) {
+  double* data = alloc(n * n * 8);
+  double* mean = alloc(n * 8);
+  double* cov = alloc(n * n * 8);
+  double float_n = (double)n;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) data[i * n + j] = (i * j) / (double)n;
+  for (int j = 0; j < n; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < n; i++) mean[j] += data[i * n + j];
+    mean[j] /= float_n;
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) data[i * n + j] -= mean[j];
+  for (int i = 0; i < n; i++)
+    for (int j = i; j < n; j++) {
+      cov[i * n + j] = 0.0;
+      for (int k = 0; k < n; k++) cov[i * n + j] += data[k * n + i] * data[k * n + j];
+      cov[i * n + j] /= float_n - 1.0;
+      cov[j * n + i] = cov[i * n + j];
+    }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += cov[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(der, 96,
+double run(int n) {
+  /* Deriche recursive edge filter, horizontal + vertical passes */
+  double* img = alloc(n * n * 8);
+  double* y1 = alloc(n * n * 8);
+  double* y2 = alloc(n * n * 8);
+  double* out = alloc(n * n * 8);
+  double alpha = 0.25;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      img[i * n + j] = ((313 * i + 991 * j) % 65536) / 65535.0;
+  double k = (1.0 - 0.7788007830714049) * (1.0 - 0.7788007830714049) /
+             (1.0 + 2.0 * alpha * 0.7788007830714049 - 0.6065306597126334);
+  double a1 = k;
+  double a2 = k * 0.7788007830714049 * (alpha - 1.0);
+  double b1 = 2.0 * 0.7788007830714049;
+  double b2 = -0.6065306597126334;
+  for (int i = 0; i < n; i++) {
+    double ym1 = 0.0;
+    double ym2 = 0.0;
+    double xm1 = 0.0;
+    for (int j = 0; j < n; j++) {
+      y1[i * n + j] = a1 * img[i * n + j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+      xm1 = img[i * n + j];
+      ym2 = ym1;
+      ym1 = y1[i * n + j];
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    double yp1 = 0.0;
+    double yp2 = 0.0;
+    double xp1 = 0.0;
+    double xp2 = 0.0;
+    for (int j = n - 1; j >= 0; j--) {
+      y2[i * n + j] = a1 * xp1 + a2 * xp2 + b1 * yp1 + b2 * yp2;
+      xp2 = xp1;
+      xp1 = img[i * n + j];
+      yp2 = yp1;
+      yp1 = y2[i * n + j];
+    }
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) out[i * n + j] = y1[i * n + j] + y2[i * n + j];
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += out[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(doi, 24,
+double run(int n) {
+  /* doitgen: nr = nq = np = n */
+  double* A = alloc(n * n * n * 8);
+  double* C4 = alloc(n * n * 8);
+  double* sum = alloc(n * 8);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      C4[i * n + j] = (i * j % n) / (double)n;
+      for (int k = 0; k < n; k++)
+        A[(i * n + j) * n + k] = ((i * j + k) % n) / (double)n;
+    }
+  for (int r = 0; r < n; r++)
+    for (int q = 0; q < n; q++) {
+      for (int p = 0; p < n; p++) {
+        sum[p] = 0.0;
+        for (int s2 = 0; s2 < n; s2++) sum[p] += A[(r * n + q) * n + s2] * C4[s2 * n + p];
+      }
+      for (int p = 0; p < n; p++) A[(r * n + q) * n + p] = sum[p];
+    }
+  double s = 0.0;
+  for (int r = 0; r < n; r++)
+    for (int q = 0; q < n; q++)
+      for (int p = 0; p < n; p++) s += A[(r * n + q) * n + p];
+  return s;
+}
+)
+
+namespace watz::polybench {
+std::vector<KernelDef> kernels_part_a() {
+  return {def_k2mm(), def_k3mm(), def_adi(), def_atax(), def_bicg(),
+          def_cho(),  def_cor(),  def_cov(), def_der(),  def_doi()};
+}
+}  // namespace watz::polybench

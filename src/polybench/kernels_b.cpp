@@ -1,0 +1,296 @@
+// PolyBench kernels, part B: durbin fdtd-2d floyd-warshall gemm gemver
+// gesummv gramschmidt heat-3d jacobi-1d jacobi-2d.
+#include "polybench/registry.hpp"
+
+WATZ_POLY_KERNEL(dur, 200,
+double run(int n) {
+  /* Levinson-Durbin recursion */
+  double* r = alloc(n * 8);
+  double* y = alloc(n * 8);
+  double* z = alloc(n * 8);
+  for (int i = 0; i < n; i++) r[i] = n + 1 - i;
+  y[0] = -r[0];
+  double beta = 1.0;
+  double alpha = -r[0];
+  for (int k = 1; k < n; k++) {
+    beta = (1.0 - alpha * alpha) * beta;
+    double sum = 0.0;
+    for (int i = 0; i < k; i++) sum += r[k - i - 1] * y[i];
+    alpha = -(r[k] + sum) / beta;
+    for (int i = 0; i < k; i++) z[i] = y[i] + alpha * y[k - i - 1];
+    for (int i = 0; i < k; i++) y[i] = z[i];
+    y[k] = alpha;
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s += y[i];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(f2d, 60,
+double run(int n) {
+  int tmax = 20;
+  double* ex = alloc(n * n * 8);
+  double* ey = alloc(n * n * 8);
+  double* hz = alloc(n * n * 8);
+  double* fict = alloc(tmax * 8);
+  for (int i = 0; i < tmax; i++) fict[i] = (double)i;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      ex[i * n + j] = ((double)i * (j + 1)) / n;
+      ey[i * n + j] = ((double)i * (j + 2)) / n;
+      hz[i * n + j] = ((double)i * (j + 3)) / n;
+    }
+  for (int t = 0; t < tmax; t++) {
+    for (int j = 0; j < n; j++) ey[0 * n + j] = fict[t];
+    for (int i = 1; i < n; i++)
+      for (int j = 0; j < n; j++)
+        ey[i * n + j] = ey[i * n + j] - 0.5 * (hz[i * n + j] - hz[(i - 1) * n + j]);
+    for (int i = 0; i < n; i++)
+      for (int j = 1; j < n; j++)
+        ex[i * n + j] = ex[i * n + j] - 0.5 * (hz[i * n + j] - hz[i * n + j - 1]);
+    for (int i = 0; i < n - 1; i++)
+      for (int j = 0; j < n - 1; j++)
+        hz[i * n + j] = hz[i * n + j] - 0.7 * (ex[i * n + j + 1] - ex[i * n + j] + ey[(i + 1) * n + j] - ey[i * n + j]);
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += hz[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(flo, 60,
+double run(int n) {
+  /* Floyd-Warshall all-pairs shortest paths (integer weights) */
+  int* path = alloc(n * n * 4);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      path[i * n + j] = i * j % 7 + 1;
+      if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0)
+        path[i * n + j] = 999;
+    }
+  for (int k = 0; k < n; k++)
+    for (int i = 0; i < n; i++)
+      for (int j = 0; j < n; j++) {
+        int via = path[i * n + k] + path[k * n + j];
+        if (via < path[i * n + j]) path[i * n + j] = via;
+      }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += path[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(gem, 52,
+double run(int n) {
+  double* A = alloc(n * n * 8);
+  double* B = alloc(n * n * 8);
+  double* C = alloc(n * n * 8);
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i * n + j] = (i * (j + 1) % n) / (double)n;
+      B[i * n + j] = (i * (j + 2) % n) / (double)n;
+      C[i * n + j] = (i * (j + 3) % n) / (double)n;
+    }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) C[i * n + j] *= beta;
+    for (int k = 0; k < n; k++)
+      for (int j = 0; j < n; j++) C[i * n + j] += alpha * A[i * n + k] * B[k * n + j];
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += C[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(gev, 120,
+double run(int n) {
+  double* A = alloc(n * n * 8);
+  double* u1 = alloc(n * 8);
+  double* v1 = alloc(n * 8);
+  double* u2 = alloc(n * 8);
+  double* v2 = alloc(n * 8);
+  double* w = alloc(n * 8);
+  double* x = alloc(n * 8);
+  double* y = alloc(n * 8);
+  double* z = alloc(n * 8);
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < n; i++) {
+    u1[i] = i;
+    u2[i] = ((i + 1) / (double)n) / 2.0;
+    v1[i] = ((i + 1) / (double)n) / 4.0;
+    v2[i] = ((i + 1) / (double)n) / 6.0;
+    y[i] = ((i + 1) / (double)n) / 8.0;
+    z[i] = ((i + 1) / (double)n) / 9.0;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (int j = 0; j < n; j++) A[i * n + j] = (i * j % n) / (double)n;
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      A[i * n + j] = A[i * n + j] + u1[i] * v1[j] + u2[i] * v2[j];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) x[i] = x[i] + beta * A[j * n + i] * y[j];
+  for (int i = 0; i < n; i++) x[i] = x[i] + z[i];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) w[i] = w[i] + alpha * A[i * n + j] * x[j];
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s += w[i];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(ges, 120,
+double run(int n) {
+  double* A = alloc(n * n * 8);
+  double* B = alloc(n * n * 8);
+  double* x = alloc(n * 8);
+  double* y = alloc(n * 8);
+  double* tmp = alloc(n * 8);
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < n; i++) {
+    x[i] = (i % n) / (double)n;
+    for (int j = 0; j < n; j++) {
+      A[i * n + j] = ((i * j + 1) % n) / (double)n;
+      B[i * n + j] = ((i * j + 2) % n) / (double)n;
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (int j = 0; j < n; j++) {
+      tmp[i] = A[i * n + j] * x[j] + tmp[i];
+      y[i] = B[i * n + j] * x[j] + y[i];
+    }
+    y[i] = alpha * tmp[i] + beta * y[i];
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s += y[i];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(gra, 44,
+double run(int n) {
+  /* Gram-Schmidt QR decomposition */
+  double* A = alloc(n * n * 8);
+  double* R = alloc(n * n * 8);
+  double* Q = alloc(n * n * 8);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i * n + j] = ((i * j % n) / (double)n) * 100.0 + 10.0;
+      Q[i * n + j] = 0.0;
+      R[i * n + j] = 0.0;
+    }
+  for (int k = 0; k < n; k++) {
+    double nrm = 0.0;
+    for (int i = 0; i < n; i++) nrm += A[i * n + k] * A[i * n + k];
+    R[k * n + k] = sqrt(nrm);
+    for (int i = 0; i < n; i++) Q[i * n + k] = A[i * n + k] / R[k * n + k];
+    for (int j = k + 1; j < n; j++) {
+      R[k * n + j] = 0.0;
+      for (int i = 0; i < n; i++) R[k * n + j] += Q[i * n + k] * A[i * n + j];
+      for (int i = 0; i < n; i++) A[i * n + j] = A[i * n + j] - Q[i * n + k] * R[k * n + j];
+    }
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += R[i * n + j] + Q[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(h3d, 16,
+double run(int n) {
+  int tsteps = 10;
+  double* A = alloc(n * n * n * 8);
+  double* B = alloc(n * n * n * 8);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      for (int k = 0; k < n; k++) {
+        A[(i * n + j) * n + k] = ((double)(i + j + (n - k))) * 10.0 / n;
+        B[(i * n + j) * n + k] = A[(i * n + j) * n + k];
+      }
+  for (int t = 1; t <= tsteps; t++) {
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        for (int k = 1; k < n - 1; k++)
+          B[(i * n + j) * n + k] =
+              0.125 * (A[((i + 1) * n + j) * n + k] - 2.0 * A[(i * n + j) * n + k] + A[((i - 1) * n + j) * n + k]) +
+              0.125 * (A[(i * n + j + 1) * n + k] - 2.0 * A[(i * n + j) * n + k] + A[(i * n + j - 1) * n + k]) +
+              0.125 * (A[(i * n + j) * n + k + 1] - 2.0 * A[(i * n + j) * n + k] + A[(i * n + j) * n + k - 1]) +
+              A[(i * n + j) * n + k];
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        for (int k = 1; k < n - 1; k++)
+          A[(i * n + j) * n + k] =
+              0.125 * (B[((i + 1) * n + j) * n + k] - 2.0 * B[(i * n + j) * n + k] + B[((i - 1) * n + j) * n + k]) +
+              0.125 * (B[(i * n + j + 1) * n + k] - 2.0 * B[(i * n + j) * n + k] + B[(i * n + j - 1) * n + k]) +
+              0.125 * (B[(i * n + j) * n + k + 1] - 2.0 * B[(i * n + j) * n + k] + B[(i * n + j) * n + k - 1]) +
+              B[(i * n + j) * n + k];
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      for (int k = 0; k < n; k++) s += A[(i * n + j) * n + k];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(j1d, 2000,
+double run(int n) {
+  int tsteps = 100;
+  double* A = alloc(n * 8);
+  double* B = alloc(n * 8);
+  for (int i = 0; i < n; i++) {
+    A[i] = ((double)i + 2) / n;
+    B[i] = ((double)i + 3) / n;
+  }
+  for (int t = 0; t < tsteps; t++) {
+    for (int i = 1; i < n - 1; i++) B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+    for (int i = 1; i < n - 1; i++) A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s += A[i];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(j2d, 56,
+double run(int n) {
+  int tsteps = 20;
+  double* A = alloc(n * n * 8);
+  double* B = alloc(n * n * 8);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i * n + j] = ((double)i * (j + 2) + 2) / n;
+      B[i * n + j] = ((double)i * (j + 3) + 3) / n;
+    }
+  for (int t = 0; t < tsteps; t++) {
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        B[i * n + j] = 0.2 * (A[i * n + j] + A[i * n + j - 1] + A[i * n + j + 1] + A[(i + 1) * n + j] + A[(i - 1) * n + j]);
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        A[i * n + j] = 0.2 * (B[i * n + j] + B[i * n + j - 1] + B[i * n + j + 1] + B[(i + 1) * n + j] + B[(i - 1) * n + j]);
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += A[i * n + j];
+  return s;
+}
+)
+
+namespace watz::polybench {
+std::vector<KernelDef> kernels_part_b() {
+  return {def_dur(), def_f2d(), def_flo(), def_gem(), def_gev(),
+          def_ges(), def_gra(), def_h3d(), def_j1d(), def_j2d()};
+}
+}  // namespace watz::polybench

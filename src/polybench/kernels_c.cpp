@@ -1,0 +1,305 @@
+// PolyBench kernels, part C: lu ludcmp mvt nussinov seidel-2d symm syr2k
+// syrk trisolv trmm.
+#include "polybench/registry.hpp"
+
+WATZ_POLY_KERNEL(lu, 48,
+double run(int n) {
+  double* A = alloc(n * n * 8);
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j <= i; j++) A[i * n + j] = (-(j % n)) / (double)n + 1.0;
+    for (int j = i + 1; j < n; j++) A[i * n + j] = 0.0;
+    A[i * n + i] = 1.0;
+  }
+  double* B = alloc(n * n * 8);
+  for (int t = 0; t < n; t++)
+    for (int r = 0; r < n; r++) {
+      B[t * n + r] = 0.0;
+      for (int s2 = 0; s2 < n; s2++) B[t * n + r] += A[t * n + s2] * A[r * n + s2];
+    }
+  for (int t = 0; t < n; t++)
+    for (int r = 0; r < n; r++) A[t * n + r] = B[t * n + r];
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < i; j++) {
+      for (int k = 0; k < j; k++) A[i * n + j] -= A[i * n + k] * A[k * n + j];
+      A[i * n + j] /= A[j * n + j];
+    }
+    for (int j = i; j < n; j++)
+      for (int k = 0; k < i; k++) A[i * n + j] -= A[i * n + k] * A[k * n + j];
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += A[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(lud, 48,
+double run(int n) {
+  /* LU decomposition followed by forward and backward substitution */
+  double* A = alloc(n * n * 8);
+  double* b = alloc(n * 8);
+  double* x = alloc(n * 8);
+  double* y = alloc(n * 8);
+  double fn = (double)n;
+  for (int i = 0; i < n; i++) {
+    x[i] = 0.0;
+    y[i] = 0.0;
+    b[i] = (i + 1) / fn / 2.0 + 4.0;
+  }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j <= i; j++) A[i * n + j] = (-(j % n)) / fn + 1.0;
+    for (int j = i + 1; j < n; j++) A[i * n + j] = 0.0;
+    A[i * n + i] = 1.0;
+  }
+  double* B2 = alloc(n * n * 8);
+  for (int t = 0; t < n; t++)
+    for (int r = 0; r < n; r++) {
+      B2[t * n + r] = 0.0;
+      for (int s2 = 0; s2 < n; s2++) B2[t * n + r] += A[t * n + s2] * A[r * n + s2];
+    }
+  for (int t = 0; t < n; t++)
+    for (int r = 0; r < n; r++) A[t * n + r] = B2[t * n + r];
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < i; j++) {
+      double w = A[i * n + j];
+      for (int k = 0; k < j; k++) w -= A[i * n + k] * A[k * n + j];
+      A[i * n + j] = w / A[j * n + j];
+    }
+    for (int j = i; j < n; j++) {
+      double w = A[i * n + j];
+      for (int k = 0; k < i; k++) w -= A[i * n + k] * A[k * n + j];
+      A[i * n + j] = w;
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    double w = b[i];
+    for (int j = 0; j < i; j++) w -= A[i * n + j] * y[j];
+    y[i] = w;
+  }
+  for (int i = n - 1; i >= 0; i--) {
+    double w = y[i];
+    for (int j = i + 1; j < n; j++) w -= A[i * n + j] * x[j];
+    x[i] = w / A[i * n + i];
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s += x[i];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(mvt, 130,
+double run(int n) {
+  double* A = alloc(n * n * 8);
+  double* x1 = alloc(n * 8);
+  double* x2 = alloc(n * 8);
+  double* y1 = alloc(n * 8);
+  double* y2 = alloc(n * 8);
+  for (int i = 0; i < n; i++) {
+    x1[i] = (i % n) / (double)n;
+    x2[i] = ((i + 1) % n) / (double)n;
+    y1[i] = ((i + 3) % n) / (double)n;
+    y2[i] = ((i + 4) % n) / (double)n;
+    for (int j = 0; j < n; j++) A[i * n + j] = (i * j % n) / (double)n;
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) x1[i] = x1[i] + A[i * n + j] * y1[j];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) x2[i] = x2[i] + A[j * n + i] * y2[j];
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s += x1[i] + x2[i];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(nus, 60,
+double run(int n) {
+  /* Nussinov RNA folding dynamic program (integer scores) */
+  int* seq = alloc(n * 4);
+  int* table = alloc(n * n * 4);
+  for (int i = 0; i < n; i++) seq[i] = (i + 1) % 4;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) table[i * n + j] = 0;
+  for (int i = n - 1; i >= 0; i--) {
+    for (int j = i + 1; j < n; j++) {
+      if (j - 1 >= 0) {
+        if (table[i * n + j] < table[i * n + j - 1]) table[i * n + j] = table[i * n + j - 1];
+      }
+      if (i + 1 < n) {
+        if (table[i * n + j] < table[(i + 1) * n + j]) table[i * n + j] = table[(i + 1) * n + j];
+      }
+      if (j - 1 >= 0 && i + 1 < n) {
+        if (i < j - 1) {
+          int match = 0;
+          if (seq[i] + seq[j] == 3) match = 1;
+          int cand = table[(i + 1) * n + j - 1] + match;
+          if (table[i * n + j] < cand) table[i * n + j] = cand;
+        } else {
+          if (table[i * n + j] < table[(i + 1) * n + j - 1])
+            table[i * n + j] = table[(i + 1) * n + j - 1];
+        }
+      }
+      for (int k = i + 1; k < j; k++) {
+        int cand = table[i * n + k] + table[(k + 1) * n + j];
+        if (table[i * n + j] < cand) table[i * n + j] = cand;
+      }
+    }
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += table[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(s2d, 56,
+double run(int n) {
+  int tsteps = 20;
+  double* A = alloc(n * n * 8);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) A[i * n + j] = ((double)i * (j + 2) + 2) / n;
+  for (int t = 0; t <= tsteps - 1; t++)
+    for (int i = 1; i <= n - 2; i++)
+      for (int j = 1; j <= n - 2; j++)
+        A[i * n + j] = (A[(i - 1) * n + j - 1] + A[(i - 1) * n + j] + A[(i - 1) * n + j + 1] + A[i * n + j - 1] + A[i * n + j] + A[i * n + j + 1] + A[(i + 1) * n + j - 1] + A[(i + 1) * n + j] + A[(i + 1) * n + j + 1]) / 9.0;
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += A[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(sym, 48,
+double run(int n) {
+  /* symm: C = alpha*A*B + beta*C with A symmetric (lower stored) */
+  double* A = alloc(n * n * 8);
+  double* B = alloc(n * n * 8);
+  double* C = alloc(n * n * 8);
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      C[i * n + j] = ((i + j) % 100) / (double)n;
+      B[i * n + j] = ((n + i - j) % 100) / (double)n;
+    }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j <= i; j++) A[i * n + j] = ((i + j) % 100) / (double)n;
+    for (int j = i + 1; j < n; j++) A[i * n + j] = -999.0;
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      double temp2 = 0.0;
+      for (int k = 0; k < i; k++) {
+        C[k * n + j] += alpha * B[i * n + j] * A[i * n + k];
+        temp2 += B[k * n + j] * A[i * n + k];
+      }
+      C[i * n + j] = beta * C[i * n + j] + alpha * B[i * n + j] * A[i * n + i] + alpha * temp2;
+    }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += C[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(s2k, 44,
+double run(int n) {
+  /* syr2k: C = alpha*(A*B^T + B*A^T) + beta*C, C symmetric */
+  double* A = alloc(n * n * 8);
+  double* B = alloc(n * n * 8);
+  double* C = alloc(n * n * 8);
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i * n + j] = ((i * j + 1) % n) / (double)n;
+      B[i * n + j] = ((i * j + 2) % n) / (double)n;
+      C[i * n + j] = ((i * j + 3) % n) / (double)n;
+    }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j <= i; j++) C[i * n + j] *= beta;
+    for (int k = 0; k < n; k++)
+      for (int j = 0; j <= i; j++)
+        C[i * n + j] += A[j * n + k] * alpha * B[i * n + k] + B[j * n + k] * alpha * A[i * n + k];
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j <= i; j++) s += C[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(syr, 48,
+double run(int n) {
+  /* syrk: C = alpha*A*A^T + beta*C, C symmetric */
+  double* A = alloc(n * n * 8);
+  double* C = alloc(n * n * 8);
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i * n + j] = ((i * j + 1) % n) / (double)n;
+      C[i * n + j] = ((i * j + 2) % n) / (double)n;
+    }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j <= i; j++) C[i * n + j] *= beta;
+    for (int k = 0; k < n; k++)
+      for (int j = 0; j <= i; j++) C[i * n + j] += alpha * A[i * n + k] * A[j * n + k];
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j <= i; j++) s += C[i * n + j];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(tri, 400,
+double run(int n) {
+  /* trisolv: lower-triangular solve L x = b */
+  double* L = alloc(n * n * 8);
+  double* x = alloc(n * 8);
+  double* b = alloc(n * 8);
+  for (int i = 0; i < n; i++) {
+    x[i] = -999.0;
+    b[i] = (double)i;
+    for (int j = 0; j <= i; j++) L[i * n + j] = ((double)(i + n - j) + 1) * 2.0 / n;
+  }
+  for (int i = 0; i < n; i++) {
+    x[i] = b[i];
+    for (int j = 0; j < i; j++) x[i] -= L[i * n + j] * x[j];
+    x[i] /= L[i * n + i];
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s += x[i];
+  return s;
+}
+)
+
+WATZ_POLY_KERNEL(trm, 52,
+double run(int n) {
+  /* trmm: B = alpha * A^T * B, A unit lower triangular */
+  double* A = alloc(n * n * 8);
+  double* B = alloc(n * n * 8);
+  double alpha = 1.5;
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < i; j++) A[i * n + j] = ((i + j) % n) / (double)n;
+    A[i * n + i] = 1.0;
+    for (int j = 0; j < n; j++) B[i * n + j] = ((n + i - j) % n) / (double)n;
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      for (int k = i + 1; k < n; k++) B[i * n + j] += A[k * n + i] * B[k * n + j];
+      B[i * n + j] = alpha * B[i * n + j];
+    }
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) s += B[i * n + j];
+  return s;
+}
+)
+
+namespace watz::polybench {
+std::vector<KernelDef> kernels_part_c() {
+  return {def_lu(),  def_lud(), def_mvt(), def_nus(), def_s2d(),
+          def_sym(), def_s2k(), def_syr(), def_tri(), def_trm()};
+}
+}  // namespace watz::polybench

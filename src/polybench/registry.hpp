@@ -1,0 +1,32 @@
+// Internal kernel-definition machinery.
+//
+// WATZ_POLY_KERNEL defines a kernel once: the body (wcc C subset, also
+// valid C++ against the AllocProxy shim) is compiled into namespace k_<id>
+// for the native baseline and stringified for the wcc/Wasm build. Kernel
+// files export an explicit collector function (static-initialiser
+// registration would be stripped from a static library).
+#pragma once
+
+#include <vector>
+
+#include "polybench/suite.hpp"
+
+namespace watz::polybench {
+
+std::vector<KernelDef> kernels_part_a();
+std::vector<KernelDef> kernels_part_b();
+std::vector<KernelDef> kernels_part_c();
+
+}  // namespace watz::polybench
+
+#define WATZ_POLY_KERNEL(id, N, ...)                                  \
+  namespace k_##id {                                                  \
+  using watz::polybench::alloc;                                       \
+  using std::fabs;                                                    \
+  using std::floor;                                                   \
+  using std::sqrt;                                                    \
+  __VA_ARGS__                                                         \
+  }                                                                   \
+  static watz::polybench::KernelDef def_##id() {                      \
+    return watz::polybench::KernelDef{#id, #__VA_ARGS__, &k_##id::run, (N)}; \
+  }

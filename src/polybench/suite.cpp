@@ -1,0 +1,51 @@
+#include "polybench/suite.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "polybench/registry.hpp"
+
+namespace watz::polybench {
+
+namespace {
+std::vector<std::uint8_t>& arena() {
+  static thread_local std::vector<std::uint8_t> buf;
+  return buf;
+}
+thread_local std::size_t arena_off = 0;
+}  // namespace
+
+void arena_reset() { arena_off = 0; }
+
+AllocProxy alloc(int bytes) {
+  auto& buf = arena();
+  const std::size_t aligned = (static_cast<std::size_t>(bytes) + 15) & ~std::size_t{15};
+  if (arena_off + aligned > buf.size()) buf.resize(std::max(buf.size() * 2, arena_off + aligned + (1u << 20)));
+  void* p = buf.data() + arena_off;
+  std::memset(p, 0, aligned);
+  arena_off += aligned;
+  return AllocProxy{p};
+}
+
+std::span<const KernelDef> suite() {
+  // Stable presentation order (Fig 5 order == alphabetical by label).
+  static const std::vector<KernelDef> sorted = [] {
+    std::vector<KernelDef> all;
+    for (auto part : {kernels_part_a(), kernels_part_b(), kernels_part_c()})
+      all.insert(all.end(), part.begin(), part.end());
+    std::sort(all.begin(), all.end(), [](const KernelDef& a, const KernelDef& b) {
+      return std::string_view(a.name) < std::string_view(b.name);
+    });
+    return all;
+  }();
+  return sorted;
+}
+
+const KernelDef* find_kernel(std::string_view name) {
+  for (const KernelDef& k : suite())
+    if (name == k.name) return &k;
+  return nullptr;
+}
+
+}  // namespace watz::polybench

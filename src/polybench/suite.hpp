@@ -1,0 +1,47 @@
+// PolyBench/C kernel suite (v4.2.1b shapes), used by the Fig 5 benchmark.
+//
+// Single-source approach: every kernel body is written once in the wcc C
+// subset. The same text is (a) compiled natively through the AllocProxy
+// arena shim below — the "native" baseline — and (b) stringified and fed to
+// wcc, producing the Wasm guest. Both sides therefore execute the *same*
+// algorithm with the same operation order, and the harness cross-checks
+// their checksums.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace watz::polybench {
+
+/// Bump arena backing the native compilation of the kernels (the Wasm side
+/// uses wcc's alloc() over linear memory, which is zero-initialised; the
+/// arena matches that).
+void arena_reset();
+
+struct AllocProxy {
+  void* p;
+  operator double*() const { return static_cast<double*>(p); }
+  operator int*() const { return static_cast<int*>(p); }
+  operator long*() const { return static_cast<long*>(p); }
+  operator char*() const { return static_cast<char*>(p); }
+};
+
+AllocProxy alloc(int bytes);
+
+struct KernelDef {
+  const char* name;        ///< paper's label (2mm, adi, ...)
+  const char* source;      ///< wcc source text; exports double run(int n)
+  double (*native)(int n); ///< the same code compiled natively
+  int n;                   ///< dataset parameter (medium-style, scaled to
+                           ///< fit the 27 MB secure-heap ceiling)
+};
+
+/// All 30 kernels, in the order of Fig 5.
+std::span<const KernelDef> suite();
+
+/// Looks a kernel up by name; nullptr when unknown.
+const KernelDef* find_kernel(std::string_view name);
+
+}  // namespace watz::polybench

@@ -1,0 +1,74 @@
+#include "ra/attester.hpp"
+
+namespace watz::ra {
+
+AttesterSession::AttesterSession(crypto::Rng& rng, crypto::EcPoint expected_verifier)
+    : session_key_(crypto::ecdsa_keygen(rng)),
+      expected_verifier_(std::move(expected_verifier)) {}
+
+Bytes AttesterSession::make_msg0() {
+  msg0_sent_ = true;
+  return Msg0{session_key_.pub}.encode();
+}
+
+Status AttesterSession::process_msg1(ByteView msg1_bytes) {
+  if (!msg0_sent_) return Status::err("ra attester: msg1 before msg0");
+  auto msg1 = Msg1::decode(msg1_bytes);
+  if (!msg1.ok()) return Status::err(msg1.error());
+
+  // Entity authentication: the verifier's identity must match the key
+  // hardcoded in the (measured) application.
+  if (!(msg1->identity == expected_verifier_))
+    return Status::err("ra attester: verifier identity mismatch");
+
+  // Derive the shared session keys (same derivation as the verifier).
+  auto shared = crypto::ecdh_shared_x(session_key_.priv, msg1->gv);
+  if (!shared.ok()) return Status::err("ra attester: " + shared.error());
+  keys_ = crypto::derive_session_keys(*shared);
+  keys_ready_ = true;
+
+  // Integrity of msg1 under Km.
+  const auto expected_mac = crypto::aes_cmac(keys_.km, msg1->content());
+  if (!ct_equal(expected_mac, msg1->mac))
+    return Status::err("ra attester: msg1 MAC mismatch");
+
+  // Signature over both session keys: detects masquerading/replay (a replayed
+  // msg1 carries a stale Gv signed against a different Ga).
+  auto sig = crypto::EcdsaSignature::decode(msg1->signature);
+  if (!sig.ok()) return Status::err("ra attester: bad msg1 signature encoding");
+  const auto payload = msg1_signed_payload(msg1->gv, session_key_.pub);
+  if (!crypto::ecdsa_verify(msg1->identity, crypto::sha256(payload), *sig))
+    return Status::err("ra attester: msg1 signature invalid (possible replay)");
+
+  // Anchor binds the evidence to this key-agreement session.
+  anchor_ = session_anchor(session_key_.pub, msg1->gv);
+  return {};
+}
+
+Result<Bytes> AttesterSession::make_msg2(const attestation::Evidence& evidence) {
+  if (!keys_ready_) return Result<Bytes>::err("ra attester: msg2 before key agreement");
+  Msg2 msg2;
+  msg2.ga = session_key_.pub;
+  msg2.evidence = evidence;
+  msg2.mac = crypto::aes_cmac(keys_.km, msg2.content());
+  return msg2.encode();
+}
+
+Result<Bytes> AttesterSession::handle_msg1(ByteView msg1_bytes, const QuoteFn& quote) {
+  const Status st = process_msg1(msg1_bytes);
+  if (!st.ok()) return Result<Bytes>::err(st.error());
+  return make_msg2(quote(anchor_));
+}
+
+Result<Bytes> AttesterSession::handle_msg3(ByteView msg3_bytes) {
+  if (!keys_ready_) return Result<Bytes>::err("ra attester: msg3 before key agreement");
+  auto msg3 = Msg3::decode(msg3_bytes);
+  if (!msg3.ok()) return Result<Bytes>::err(msg3.error());
+  const crypto::Aes cipher(keys_.ke);
+  auto plain = crypto::gcm_open(cipher, msg3->iv, {}, msg3->ciphertext_and_tag);
+  if (!plain.ok())
+    return Result<Bytes>::err("ra attester: secret blob authentication failed");
+  return plain;
+}
+
+}  // namespace watz::ra

@@ -1,0 +1,58 @@
+// Attester-side state machine of the WaTZ protocol (SS IV, messages a-d).
+//
+// The attester (i) generates fresh ECDHE session keys (freshness + forward
+// secrecy), (ii) authenticates the verifier against the identity hardcoded
+// in the Wasm application (mutual entity authentication — the hardcoded key
+// is covered by the code measurement, so tampering with it changes the
+// claim), and (iii) has the attestation service issue evidence bound to the
+// session anchor.
+#pragma once
+
+#include <functional>
+
+#include "crypto/kdf.hpp"
+#include "crypto/rng.hpp"
+#include "ra/messages.hpp"
+
+namespace watz::ra {
+
+/// Callback into the attestation service: anchor + claim -> signed evidence.
+using QuoteFn = std::function<attestation::Evidence(
+    const std::array<std::uint8_t, 32>& anchor)>;
+
+class AttesterSession {
+ public:
+  /// `expected_verifier` is the long-term verifier key baked into the
+  /// application (its bytes are part of the code measurement).
+  AttesterSession(crypto::Rng& rng, crypto::EcPoint expected_verifier);
+
+  /// Step (a): produce msg0 with the fresh public session key.
+  Bytes make_msg0();
+
+  /// Step (c), first half: consume msg1, authenticate the verifier and
+  /// derive the session keys + anchor. After this, anchor() is valid and a
+  /// quote can be collected out-of-band (the WASI-RA handshake/send split).
+  Status process_msg1(ByteView msg1_bytes);
+
+  /// Step (c), second half: wrap externally collected evidence into msg2.
+  Result<Bytes> make_msg2(const attestation::Evidence& evidence);
+
+  /// Convenience: process_msg1 + make_msg2(quote(anchor())).
+  Result<Bytes> handle_msg1(ByteView msg1_bytes, const QuoteFn& quote);
+
+  /// Step (d receive): consume msg3 and return the decrypted secret blob.
+  Result<Bytes> handle_msg3(ByteView msg3_bytes);
+
+  /// The transport anchor (valid after handle_msg1).
+  const std::array<std::uint8_t, 32>& anchor() const noexcept { return anchor_; }
+
+ private:
+  crypto::KeyPair session_key_;               // <a, Ga>
+  crypto::EcPoint expected_verifier_;
+  crypto::SessionKeys keys_{};                // Km, Ke
+  std::array<std::uint8_t, 32> anchor_{};
+  bool keys_ready_ = false;
+  bool msg0_sent_ = false;
+};
+
+}  // namespace watz::ra

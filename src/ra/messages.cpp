@@ -1,0 +1,133 @@
+#include "ra/messages.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace watz::ra {
+
+namespace {
+
+Result<crypto::EcPoint> read_point(ByteView data, std::size_t offset) {
+  if (data.size() < offset + 65)
+    return Result<crypto::EcPoint>::err("ra: truncated point");
+  return crypto::EcPoint::decode_uncompressed(data.subspan(offset, 65));
+}
+
+}  // namespace
+
+Bytes Msg0::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(MsgTag::Msg0));
+  append(out, ga.encode_uncompressed());
+  return out;
+}
+
+Result<Msg0> Msg0::decode(ByteView data) {
+  if (data.size() != 66 || data[0] != static_cast<std::uint8_t>(MsgTag::Msg0))
+    return Result<Msg0>::err("ra: malformed msg0");
+  auto ga = read_point(data, 1);
+  if (!ga.ok()) return Result<Msg0>::err(ga.error());
+  return Msg0{*ga};
+}
+
+Bytes Msg1::content() const {
+  Bytes out;
+  append(out, gv.encode_uncompressed());
+  append(out, identity.encode_uncompressed());
+  append(out, signature);
+  return out;
+}
+
+Bytes Msg1::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(MsgTag::Msg1));
+  append(out, content());
+  append(out, mac);
+  return out;
+}
+
+Result<Msg1> Msg1::decode(ByteView data) {
+  constexpr std::size_t kSize = 1 + 65 + 65 + 64 + 16;
+  if (data.size() != kSize || data[0] != static_cast<std::uint8_t>(MsgTag::Msg1))
+    return Result<Msg1>::err("ra: malformed msg1");
+  Msg1 msg;
+  auto gv = read_point(data, 1);
+  if (!gv.ok()) return Result<Msg1>::err(gv.error());
+  msg.gv = *gv;
+  auto identity = read_point(data, 66);
+  if (!identity.ok()) return Result<Msg1>::err(identity.error());
+  msg.identity = *identity;
+  msg.signature.assign(data.begin() + 131, data.begin() + 195);
+  std::memcpy(msg.mac.data(), data.data() + 195, 16);
+  return msg;
+}
+
+Bytes Msg2::content() const {
+  Bytes out;
+  append(out, ga.encode_uncompressed());
+  append(out, evidence.encode());
+  return out;
+}
+
+Bytes Msg2::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(MsgTag::Msg2));
+  append(out, content());
+  append(out, mac);
+  return out;
+}
+
+Result<Msg2> Msg2::decode(ByteView data) {
+  constexpr std::size_t kSize = 1 + 65 + attestation::Evidence::kEncodedSize + 16;
+  if (data.size() != kSize || data[0] != static_cast<std::uint8_t>(MsgTag::Msg2))
+    return Result<Msg2>::err("ra: malformed msg2");
+  Msg2 msg;
+  auto ga = read_point(data, 1);
+  if (!ga.ok()) return Result<Msg2>::err(ga.error());
+  msg.ga = *ga;
+  auto evidence =
+      attestation::Evidence::decode(data.subspan(66, attestation::Evidence::kEncodedSize));
+  if (!evidence.ok()) return Result<Msg2>::err(evidence.error());
+  msg.evidence = *evidence;
+  std::memcpy(msg.mac.data(), data.data() + 66 + attestation::Evidence::kEncodedSize, 16);
+  return msg;
+}
+
+Bytes Msg3::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(MsgTag::Msg3));
+  append(out, iv);
+  put_u32le(out, static_cast<std::uint32_t>(ciphertext_and_tag.size()));
+  append(out, ciphertext_and_tag);
+  return out;
+}
+
+Result<Msg3> Msg3::decode(ByteView data) {
+  if (data.size() < 1 + crypto::kGcmIvSize + 4 ||
+      data[0] != static_cast<std::uint8_t>(MsgTag::Msg3))
+    return Result<Msg3>::err("ra: malformed msg3");
+  Msg3 msg;
+  std::memcpy(msg.iv.data(), data.data() + 1, crypto::kGcmIvSize);
+  const std::uint32_t len = get_u32le(data.data() + 1 + crypto::kGcmIvSize);
+  if (data.size() != 1 + crypto::kGcmIvSize + 4 + len)
+    return Result<Msg3>::err("ra: msg3 length mismatch");
+  msg.ciphertext_and_tag.assign(data.begin() + 1 + crypto::kGcmIvSize + 4, data.end());
+  return msg;
+}
+
+std::array<std::uint8_t, 32> session_anchor(const crypto::EcPoint& ga,
+                                            const crypto::EcPoint& gv) {
+  crypto::Sha256 hash;
+  const Bytes a = ga.encode_uncompressed();
+  const Bytes v = gv.encode_uncompressed();
+  hash.update(a);
+  hash.update(v);
+  return hash.finish();
+}
+
+Bytes msg1_signed_payload(const crypto::EcPoint& gv, const crypto::EcPoint& ga) {
+  return concat({gv.encode_uncompressed(), ga.encode_uncompressed()});
+}
+
+}  // namespace watz::ra

@@ -1,0 +1,67 @@
+// Wire format of the WaTZ remote-attestation protocol (Table II):
+//
+//   msg0 := Ga
+//   msg1 := content1 || MAC_Km(content1),  content1 := Gv || V || SIGN_V(Gv || Ga)
+//   msg2 := content2 || MAC_Km(content2),  content2 := Ga || evidence || SIGN_A(evidence)
+//   msg3 := iv || AES-GCM_Ke(data)
+//
+// Each frame starts with a one-byte tag so the verifier's listener can
+// dispatch without session context. Points travel SEC1-uncompressed (65 B),
+// signatures as raw r||s (64 B), MACs as AES-CMAC (16 B).
+#pragma once
+
+#include "attestation/evidence.hpp"
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/cmac.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/gcm.hpp"
+
+namespace watz::ra {
+
+enum class MsgTag : std::uint8_t { Msg0 = 0xA0, Msg1 = 0xA1, Msg2 = 0xA2, Msg3 = 0xA3 };
+
+struct Msg0 {
+  crypto::EcPoint ga;  // attester's ephemeral public session key
+
+  Bytes encode() const;
+  static Result<Msg0> decode(ByteView data);
+};
+
+struct Msg1 {
+  crypto::EcPoint gv;        // verifier's ephemeral public session key
+  crypto::EcPoint identity;  // V: the verifier's long-term ECDSA public key
+  Bytes signature;           // SIGN_V(Gv || Ga), 64 B
+  crypto::CmacTag mac{};     // MAC_Km(content1)
+
+  Bytes content() const;  // content1 (MAC input)
+  Bytes encode() const;
+  static Result<Msg1> decode(ByteView data);
+};
+
+struct Msg2 {
+  crypto::EcPoint ga;               // echoed attester session key
+  attestation::Evidence evidence;   // includes the attestation signature
+  crypto::CmacTag mac{};            // MAC_Km(content2)
+
+  Bytes content() const;  // content2 (MAC input)
+  Bytes encode() const;
+  static Result<Msg2> decode(ByteView data);
+};
+
+struct Msg3 {
+  crypto::GcmIv iv{};
+  Bytes ciphertext_and_tag;  // AES-128-GCM(Ke, secret blob)
+
+  Bytes encode() const;
+  static Result<Msg3> decode(ByteView data);
+};
+
+/// The transport anchor binding evidence to this session: HASH(Ga || Gv).
+std::array<std::uint8_t, 32> session_anchor(const crypto::EcPoint& ga,
+                                            const crypto::EcPoint& gv);
+
+/// The byte string the verifier signs in msg1: Gv || Ga.
+Bytes msg1_signed_payload(const crypto::EcPoint& gv, const crypto::EcPoint& ga);
+
+}  // namespace watz::ra

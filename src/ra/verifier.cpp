@@ -1,0 +1,107 @@
+#include "ra/verifier.hpp"
+
+namespace watz::ra {
+
+void Verifier::endorse_device(const crypto::EcPoint& attestation_key) {
+  endorsed_.push_back(attestation_key);
+}
+
+void Verifier::add_reference_measurement(const crypto::Sha256Digest& claim) {
+  references_.push_back(claim);
+}
+
+void Verifier::end_session(std::uint64_t conn_id) { sessions_.erase(conn_id); }
+
+Result<Bytes> Verifier::handle(std::uint64_t conn_id, ByteView message) {
+  if (message.empty()) return Result<Bytes>::err("ra verifier: empty message");
+  switch (static_cast<MsgTag>(message[0])) {
+    case MsgTag::Msg0:
+      return handle_msg0(conn_id, message);
+    case MsgTag::Msg2:
+      return handle_msg2(conn_id, message);
+    default:
+      return Result<Bytes>::err("ra verifier: unexpected message tag");
+  }
+}
+
+Result<Bytes> Verifier::handle_msg0(std::uint64_t conn_id, ByteView message) {
+  auto msg0 = Msg0::decode(message);
+  if (!msg0.ok()) return Result<Bytes>::err(msg0.error());
+
+  Session session;
+  session.session_key = crypto::ecdsa_keygen(rng_);  // fresh ephemeral <v, Gv>
+  session.ga = msg0->ga;
+
+  auto shared = crypto::ecdh_shared_x(session.session_key.priv, msg0->ga);
+  if (!shared.ok()) return Result<Bytes>::err("ra verifier: " + shared.error());
+  session.keys = crypto::derive_session_keys(*shared);
+
+  Msg1 msg1;
+  msg1.gv = session.session_key.pub;
+  msg1.identity = identity_.pub;
+  const auto payload = msg1_signed_payload(msg1.gv, msg0->ga);
+  msg1.signature = crypto::ecdsa_sign(identity_.priv, crypto::sha256(payload)).encode();
+  msg1.mac = crypto::aes_cmac(session.keys.km, msg1.content());
+
+  sessions_[conn_id] = std::move(session);
+  return msg1.encode();
+}
+
+Result<Bytes> Verifier::handle_msg2(std::uint64_t conn_id, ByteView message) {
+  const auto it = sessions_.find(conn_id);
+  if (it == sessions_.end())
+    return Result<Bytes>::err("ra verifier: msg2 without handshake");
+  Session& session = it->second;
+
+  auto fail = [&](const std::string& why) {
+    sessions_.erase(it);
+    return Result<Bytes>::err("ra verifier: " + why);
+  };
+
+  auto msg2 = Msg2::decode(message);
+  if (!msg2.ok()) return fail(msg2.error());
+
+  // MAC under Km proves the sender completed the same key agreement.
+  const auto expected_mac = crypto::aes_cmac(session.keys.km, msg2->content());
+  if (!ct_equal(expected_mac, msg2->mac)) return fail("msg2 MAC mismatch");
+
+  // Ga must match msg0 (masquerading/replay detection)...
+  if (!(msg2->ga == session.ga)) return fail("msg2 Ga does not match msg0");
+
+  // ...and the evidence anchor must bind to this exact session.
+  const auto expected_anchor = session_anchor(session.ga, session.session_key.pub);
+  if (!ct_equal(expected_anchor, msg2->evidence.anchor))
+    return fail("evidence anchor does not match session (replay?)");
+
+  // Version policy: exclude outdated runtimes.
+  if (msg2->evidence.version < policy_.min_watz_version)
+    return fail("evidence from outdated WaTZ version rejected");
+
+  // Endorsement: is this a device we know?
+  bool endorsed = false;
+  for (const auto& key : endorsed_)
+    if (key == msg2->evidence.attestation_key) endorsed = true;
+  if (!endorsed) return fail("attestation key is not endorsed (unknown device)");
+
+  // Hardware genuineness: the attestation signature must verify.
+  if (!attestation::verify_evidence_signature(msg2->evidence))
+    return fail("evidence signature invalid");
+
+  // Software appraisal: the code measurement must match a reference value.
+  bool trusted_code = false;
+  for (const auto& ref : references_)
+    if (ct_equal(ref, msg2->evidence.claim)) trusted_code = true;
+  if (!trusted_code) return fail("code measurement does not match any reference value");
+
+  if (!provider_) return fail("no secret provider configured");
+  const Bytes secret = provider_(msg2->evidence.claim);
+
+  Msg3 msg3;
+  rng_.fill(msg3.iv);
+  const crypto::Aes cipher(session.keys.ke);
+  msg3.ciphertext_and_tag = crypto::gcm_seal(cipher, msg3.iv, {}, secret);
+  session.handshake_done = true;
+  return msg3.encode();
+}
+
+}  // namespace watz::ra

@@ -1,0 +1,75 @@
+// Verifier-side of the WaTZ protocol (SS IV, messages b and d).
+//
+// The verifier holds: a long-term ECDSA identity, the set of *endorsed*
+// device attestation keys, the set of *reference values* (acceptable Wasm
+// code measurements), and the secret blob released upon successful
+// appraisal. It is session-oriented: one AttesterSession peer per
+// connection, serviced strictly msg0 -> msg1, msg2 -> msg3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "crypto/kdf.hpp"
+#include "crypto/rng.hpp"
+#include "ra/messages.hpp"
+
+namespace watz::ra {
+
+/// Maps an accepted claim to the confidential payload provisioned to the
+/// application (e.g. a dataset or configuration key).
+using SecretProvider = std::function<Bytes(const crypto::Sha256Digest& claim)>;
+
+struct VerifierPolicy {
+  /// Evidence from runtimes older than this is rejected (SS VII: rollback /
+  /// unpatched-runtime mitigation).
+  std::uint32_t min_watz_version = 0;
+};
+
+class Verifier {
+ public:
+  Verifier(crypto::KeyPair identity, crypto::Rng& rng)
+      : identity_(std::move(identity)), rng_(rng) {}
+
+  const crypto::EcPoint& identity_key() const noexcept { return identity_.pub; }
+
+  /// Endorsement step: register a device's public attestation key.
+  void endorse_device(const crypto::EcPoint& attestation_key);
+  /// Reference-value step: register an acceptable code measurement.
+  void add_reference_measurement(const crypto::Sha256Digest& claim);
+  void set_secret_provider(SecretProvider provider) { provider_ = std::move(provider); }
+  void set_policy(VerifierPolicy policy) { policy_ = policy; }
+
+  /// Handles one protocol message for connection `conn_id` and produces the
+  /// reply (msg0 -> msg1, msg2 -> msg3). Any verification failure aborts
+  /// the session with an error (and the session state is dropped).
+  Result<Bytes> handle(std::uint64_t conn_id, ByteView message);
+
+  /// Drops per-connection session state.
+  void end_session(std::uint64_t conn_id);
+
+  std::size_t active_sessions() const noexcept { return sessions_.size(); }
+
+ private:
+  struct Session {
+    crypto::KeyPair session_key;  // <v, Gv>
+    crypto::EcPoint ga;           // attester session key from msg0
+    crypto::SessionKeys keys{};
+    bool handshake_done = false;
+  };
+
+  Result<Bytes> handle_msg0(std::uint64_t conn_id, ByteView message);
+  Result<Bytes> handle_msg2(std::uint64_t conn_id, ByteView message);
+
+  crypto::KeyPair identity_;
+  crypto::Rng& rng_;
+  std::vector<crypto::EcPoint> endorsed_;
+  std::vector<crypto::Sha256Digest> references_;
+  SecretProvider provider_;
+  VerifierPolicy policy_{};
+  std::map<std::uint64_t, Session> sessions_;
+};
+
+}  // namespace watz::ra

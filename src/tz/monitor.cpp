@@ -1,0 +1,5 @@
+#include "tz/monitor.hpp"
+
+// SecureMonitor is header-only today; this translation unit anchors the
+// library target and keeps a stable home for future non-inline logic.
+namespace watz::tz {}

@@ -1,0 +1,57 @@
+// Secure monitor: the SMC world-switch boundary.
+//
+// Every entry into the secure world and every return to the normal world
+// goes through this object, which (a) flips the CPU security state visible
+// to the CAAM and (b) charges the calibrated transition latency (Fig 3b).
+// Transition counters feed the evaluation harness.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "hw/caam.hpp"
+#include "hw/latency.hpp"
+
+namespace watz::tz {
+
+class SecureMonitor {
+ public:
+  explicit SecureMonitor(hw::LatencyModel latency) : latency_(std::move(latency)) {}
+
+  hw::SecurityState state() const noexcept { return state_; }
+  std::uint64_t enter_count() const noexcept { return enters_; }
+  std::uint64_t leave_count() const noexcept { return leaves_; }
+  const hw::LatencyModel& latency() const noexcept { return latency_; }
+
+  /// Runs `fn` in the secure world, charging enter/leave costs. Nested
+  /// invocations while already secure do not re-cross the boundary.
+  template <typename Fn>
+  auto smc_call(Fn&& fn) -> decltype(fn()) {
+    if (state_ == hw::SecurityState::Secure) return fn();
+    enter();
+    struct Leave {
+      SecureMonitor* m;
+      ~Leave() { m->leave(); }
+    } leave_guard{this};
+    return fn();
+  }
+
+ private:
+  void enter() {
+    latency_.charge_enter();
+    state_ = hw::SecurityState::Secure;
+    ++enters_;
+  }
+  void leave() {
+    latency_.charge_leave();
+    state_ = hw::SecurityState::Normal;
+    ++leaves_;
+  }
+
+  hw::LatencyModel latency_;
+  hw::SecurityState state_ = hw::SecurityState::Normal;
+  std::uint64_t enters_ = 0;
+  std::uint64_t leaves_ = 0;
+};
+
+}  // namespace watz::tz

@@ -1,0 +1,38 @@
+#include "tz/secure_boot.hpp"
+
+namespace watz::tz {
+
+void sign_image(BootImage& image, const crypto::Scalar32& vendor_priv) {
+  const auto digest = crypto::sha256(image.payload);
+  image.signature = crypto::ecdsa_sign(vendor_priv, digest).encode();
+}
+
+Result<BootReport> secure_boot(const hw::EfuseBank& fuses,
+                               const crypto::EcPoint& vendor_pub,
+                               const std::vector<BootImage>& chain) {
+  // ROM step: the presented verification key must hash to the fused digest,
+  // otherwise an attacker could substitute their own key.
+  const Bytes fused = fuses.read_digest();
+  const auto key_digest = crypto::sha256(vendor_pub.encode_uncompressed());
+  if (!ct_equal(fused, key_digest))
+    return Result<BootReport>::err("secure_boot: verification key does not match eFuses");
+
+  if (chain.empty()) return Result<BootReport>::err("secure_boot: empty boot chain");
+
+  BootReport report;
+  for (const BootImage& image : chain) {
+    const auto digest = crypto::sha256(image.payload);
+    auto sig = crypto::EcdsaSignature::decode(image.signature);
+    if (!sig.ok())
+      return Result<BootReport>::err("secure_boot: stage '" + image.name +
+                                     "' has malformed signature");
+    if (!crypto::ecdsa_verify(vendor_pub, digest, *sig))
+      return Result<BootReport>::err("secure_boot: stage '" + image.name +
+                                     "' failed verification, boot aborted");
+    report.measurements.push_back(digest);
+    report.stage_names.push_back(image.name);
+  }
+  return report;
+}
+
+}  // namespace watz::tz

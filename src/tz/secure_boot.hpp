@@ -1,0 +1,45 @@
+// Secure boot chain-of-trust simulation.
+//
+// Reproduces the boot flow of SS IV: the ROM verifies the second-stage
+// bootloader against the public key whose hash is burnt into eFuses; each
+// stage then verifies the next (SPL -> U-Boot/ATF -> trusted OS). A stage
+// whose signature does not verify aborts the boot, so only vendor-signed
+// software ever reaches the root of trust. The chain also records per-stage
+// code measurements (the "measured boot" extension discussed in SS VII).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/ecdsa.hpp"
+#include "hw/efuse.hpp"
+
+namespace watz::tz {
+
+/// One boot stage: an image plus the vendor signature over its payload.
+struct BootImage {
+  std::string name;   // e.g. "spl", "u-boot", "optee-os"
+  Bytes payload;
+  Bytes signature;    // 64-byte ECDSA over SHA-256(payload)
+};
+
+/// Signs a boot image in place (the vendor's build/release step).
+void sign_image(BootImage& image, const crypto::Scalar32& vendor_priv);
+
+struct BootReport {
+  /// SHA-256 of each verified stage, boot order preserved. These are the
+  /// claims a measured-boot TPM would accumulate.
+  std::vector<crypto::Sha256Digest> measurements;
+  std::vector<std::string> stage_names;
+};
+
+/// Executes the chain: verifies every image against the vendor public key
+/// (whose SHA-256 must match the eFuse digest) and returns the measured
+/// report, or the stage that failed.
+Result<BootReport> secure_boot(const hw::EfuseBank& fuses,
+                               const crypto::EcPoint& vendor_pub,
+                               const std::vector<BootImage>& chain);
+
+}  // namespace watz::tz

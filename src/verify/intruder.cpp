@@ -1,0 +1,73 @@
+#include "verify/intruder.hpp"
+
+namespace watz::verify {
+
+void IntruderKnowledge::observe(const Term& term) {
+  known_.insert(term);
+  saturate_decompose();
+}
+
+void IntruderKnowledge::saturate_decompose() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Term> additions;
+    for (const Term& t : known_) {
+      switch (t.op()) {
+        case Op::Pair:
+          additions.push_back(t.children()[0]);
+          additions.push_back(t.children()[1]);
+          break;
+        case Op::Sign:
+          // Signatures do not hide the signed message.
+          additions.push_back(t.children()[1]);
+          break;
+        case Op::Enc:
+          // Decrypt only with the key.
+          if (known_.contains(t.children()[0])) additions.push_back(t.children()[1]);
+          break;
+        default:
+          break;
+      }
+    }
+    for (const Term& t : additions) {
+      if (known_.insert(t).second) changed = true;
+    }
+  }
+}
+
+bool IntruderKnowledge::derivable(const Term& target) const {
+  if (known_.contains(target)) return true;
+  if (target.depth() > max_depth_) return false;
+  switch (target.op()) {
+    case Op::Atom:
+      return false;  // fresh atoms cannot be guessed
+    case Op::Pub:
+      // Pub(x) derivable by computing it from x (or already observed).
+      return derivable(target.children()[0]);
+    case Op::Dh: {
+      // Dh(x, y) (normalised over scalars): derivable from either scalar
+      // plus the other party's public key.
+      const Term& x = target.children()[0];
+      const Term& y = target.children()[1];
+      const bool via_x = derivable(x) && derivable(Term::pub(y));
+      const bool via_y = derivable(y) && derivable(Term::pub(x));
+      return via_x || via_y;
+    }
+    case Op::Kdf:
+      return derivable(target.children()[0]);
+    case Op::Sign:
+      // Forging requires the signing scalar (and the message).
+      return derivable(target.children()[0]) && derivable(target.children()[1]);
+    case Op::Mac:
+    case Op::Enc:
+      return derivable(target.children()[0]) && derivable(target.children()[1]);
+    case Op::Hash:
+      return derivable(target.children()[0]);
+    case Op::Pair:
+      return derivable(target.children()[0]) && derivable(target.children()[1]);
+  }
+  return false;
+}
+
+}  // namespace watz::verify

@@ -1,0 +1,45 @@
+// Dolev-Yao intruder knowledge: saturation closure over observed terms.
+//
+// The intruder can do everything except break cryptography:
+//   decompose  pairs; read the message inside a signature; decrypt Enc(k,m)
+//              and verify Mac(k,m) only with k
+//   compose    pairs, hashes, MACs, encryptions, KDFs from known terms;
+//              signatures only with the signing scalar; Pub(x) from x;
+//              Dh(e, P) from an own scalar e and any known public key P
+//   never      invert Hash/Kdf, recover x from Pub(x) or from Dh
+#pragma once
+
+#include <set>
+
+#include "verify/term.hpp"
+
+namespace watz::verify {
+
+class IntruderKnowledge {
+ public:
+  /// `max_depth` bounds composed-term size during saturation (composition
+  /// is only needed to *derive* targets, so the bound is the deepest
+  /// target + 1).
+  explicit IntruderKnowledge(std::size_t max_depth = 6) : max_depth_(max_depth) {}
+
+  /// Adds an observed term and re-saturates (decomposition is unbounded;
+  /// composition is driven lazily by derivable()).
+  void observe(const Term& term);
+
+  /// True if the intruder can derive `target` from current knowledge using
+  /// decomposition + bounded composition.
+  bool derivable(const Term& target) const;
+
+  std::size_t size() const noexcept { return known_.size(); }
+  bool knows_atom(const std::string& name) const {
+    return known_.contains(Term::atom(name));
+  }
+
+ private:
+  void saturate_decompose();
+
+  std::set<Term> known_;
+  std::size_t max_depth_;
+};
+
+}  // namespace watz::verify

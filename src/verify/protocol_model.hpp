@@ -1,0 +1,35 @@
+// Symbolic model of the WaTZ remote-attestation protocol (Table II) and
+// the security claims the paper checks with Scyther (SS VII):
+//   secrecy      of the private session keys, the shared secret / derived
+//                keys, and the secret blob
+//   aliveness /  (weak & non-injective) agreement: a completing attester
+//   agreement    implies the intended verifier ran a matching session
+//   reachability both roles can complete (the protocol is not vacuous)
+//
+// The model runs an honest session observed by the intruder, lets an
+// *active* intruder attempt message substitutions, and reports which
+// claims hold.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/intruder.hpp"
+
+namespace watz::verify {
+
+struct ClaimResult {
+  std::string claim;
+  bool holds = false;
+  std::string detail;
+};
+
+/// Runs the full analysis and returns one result per claim (all must hold).
+std::vector<ClaimResult> analyse_watz_protocol();
+
+/// Sanity check of the analyser itself: a deliberately broken variant of
+/// the protocol (msg1 without the signature over the session keys) must
+/// FAIL the agreement claim — proving the checker can detect attacks.
+std::vector<ClaimResult> analyse_broken_protocol();
+
+}  // namespace watz::verify

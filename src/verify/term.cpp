@@ -1,0 +1,81 @@
+#include "verify/term.hpp"
+
+#include <algorithm>
+
+namespace watz::verify {
+
+Term Term::atom(std::string name) { return Term(Op::Atom, std::move(name), {}); }
+
+Term Term::pub(const Term& scalar) { return Term(Op::Pub, "", {scalar}); }
+
+Term Term::dh(const Term& scalar, const Term& pub_key) {
+  // Normalise: Dh over the two *scalars* in canonical order, so that
+  // dh(a, Pub(b)) == dh(b, Pub(a)). A Dh over a non-Pub right operand keeps
+  // the raw shape (it cannot be computed by honest agents anyway).
+  if (pub_key.op() == Op::Pub) {
+    Term x = scalar;
+    Term y = pub_key.children()[0];
+    if (y < x) std::swap(x, y);
+    return Term(Op::Dh, "", {x, y});
+  }
+  return Term(Op::Dh, "", {scalar, pub_key});
+}
+
+Term Term::kdf(const Term& secret, const std::string& label) {
+  return Term(Op::Kdf, label, {secret});
+}
+
+Term Term::sign(const Term& key, const Term& message) {
+  return Term(Op::Sign, "", {key, message});
+}
+
+Term Term::mac(const Term& key, const Term& message) {
+  return Term(Op::Mac, "", {key, message});
+}
+
+Term Term::enc(const Term& key, const Term& message) {
+  return Term(Op::Enc, "", {key, message});
+}
+
+Term Term::hash(const Term& message) { return Term(Op::Hash, "", {message}); }
+
+Term Term::pair(const Term& a, const Term& b) { return Term(Op::Pair, "", {a, b}); }
+
+bool Term::operator==(const Term& other) const {
+  return op_ == other.op_ && name_ == other.name_ && children_ == other.children_;
+}
+
+bool Term::operator<(const Term& other) const {
+  if (op_ != other.op_) return op_ < other.op_;
+  if (name_ != other.name_) return name_ < other.name_;
+  return std::lexicographical_compare(children_.begin(), children_.end(),
+                                      other.children_.begin(), other.children_.end());
+}
+
+std::string Term::to_string() const {
+  switch (op_) {
+    case Op::Atom: return name_;
+    case Op::Pub: return "Pub(" + children_[0].to_string() + ")";
+    case Op::Dh:
+      return "Dh(" + children_[0].to_string() + "," + children_[1].to_string() + ")";
+    case Op::Kdf: return "Kdf(" + children_[0].to_string() + "," + name_ + ")";
+    case Op::Sign:
+      return "Sign(" + children_[0].to_string() + "," + children_[1].to_string() + ")";
+    case Op::Mac:
+      return "Mac(" + children_[0].to_string() + "," + children_[1].to_string() + ")";
+    case Op::Enc:
+      return "Enc(" + children_[0].to_string() + "," + children_[1].to_string() + ")";
+    case Op::Hash: return "Hash(" + children_[0].to_string() + ")";
+    case Op::Pair:
+      return "<" + children_[0].to_string() + "," + children_[1].to_string() + ">";
+  }
+  return "?";
+}
+
+std::size_t Term::depth() const {
+  std::size_t best = 0;
+  for (const Term& child : children_) best = std::max(best, child.depth());
+  return best + 1;
+}
+
+}  // namespace watz::verify

@@ -1,0 +1,62 @@
+// Symbolic terms for the Dolev-Yao analysis of the WaTZ protocol.
+//
+// The paper verifies the protocol with Scyther under the Dolev-Yao intruder
+// model (SS VII): the adversary controls the channel completely but cannot
+// break cryptography. This module is an executable stand-in: the same
+// perfect-cryptography term algebra, with an intruder-knowledge saturation
+// engine (intruder.hpp) and the protocol roles modelled on top
+// (protocol_model.hpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace watz::verify {
+
+enum class Op : std::uint8_t {
+  Atom,   ///< named constant (scalar, nonce, identity, payload)
+  Pub,    ///< Pub(x): public half of scalar x (g^x); one child
+  Dh,     ///< Dh(x, Pub(y)) == Dh(y, Pub(x)): the ECDH shared secret
+  Kdf,    ///< Kdf(secret, label-atom)
+  Sign,   ///< Sign(x, m): signature by scalar x over m (reveals m)
+  Mac,    ///< Mac(k, m)
+  Enc,    ///< Enc(k, m): authenticated encryption
+  Hash,   ///< Hash(m)
+  Pair,   ///< Pair(a, b)
+};
+
+/// Immutable symbolic term. Terms are compared structurally; Dh normalises
+/// its operands so g^xy == g^yx.
+class Term {
+ public:
+  static Term atom(std::string name);
+  static Term pub(const Term& scalar);
+  static Term dh(const Term& scalar, const Term& pub_key);
+  static Term kdf(const Term& secret, const std::string& label);
+  static Term sign(const Term& key, const Term& message);
+  static Term mac(const Term& key, const Term& message);
+  static Term enc(const Term& key, const Term& message);
+  static Term hash(const Term& message);
+  static Term pair(const Term& a, const Term& b);
+
+  Op op() const noexcept { return op_; }
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<Term>& children() const noexcept { return children_; }
+
+  bool operator==(const Term& other) const;
+  bool operator<(const Term& other) const;  // canonical ordering
+
+  std::string to_string() const;
+  std::size_t depth() const;
+
+ private:
+  Term(Op op, std::string name, std::vector<Term> children)
+      : op_(op), name_(std::move(name)), children_(std::move(children)) {}
+
+  Op op_ = Op::Atom;
+  std::string name_;           // Atom name or Kdf label
+  std::vector<Term> children_;
+};
+
+}  // namespace watz::verify

@@ -1,0 +1,216 @@
+#include "wasi/wasi.hpp"
+
+#include <cstring>
+
+namespace watz::wasi {
+
+namespace {
+
+using wasm::Instance;
+using wasm::Value;
+using wasm::ValType;
+
+wasm::FuncType sig(std::initializer_list<ValType> params,
+                   std::initializer_list<ValType> results) {
+  return wasm::FuncType{params, results};
+}
+
+Result<std::vector<Value>> ret_errno(std::uint32_t err) {
+  return std::vector<Value>{Value::from_u32(err)};
+}
+
+/// Reads guest memory or returns nullopt when out of bounds.
+bool write_u32(Instance& inst, std::uint32_t addr, std::uint32_t value) {
+  wasm::Memory* mem = inst.memory();
+  if (mem == nullptr || !mem->in_bounds(addr, 4)) return false;
+  for (int i = 0; i < 4; ++i)
+    mem->data()[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  return true;
+}
+
+bool write_u64(Instance& inst, std::uint32_t addr, std::uint64_t value) {
+  wasm::Memory* mem = inst.memory();
+  if (mem == nullptr || !mem->in_bounds(addr, 8)) return false;
+  for (int i = 0; i < 8; ++i)
+    mem->data()[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  return true;
+}
+
+}  // namespace
+
+WasiEnv::WasiEnv(std::vector<std::string> args, std::function<std::uint64_t()> clock_ns,
+                 crypto::Rng* rng)
+    : args_(std::move(args)), clock_ns_(std::move(clock_ns)), rng_(rng) {}
+
+/// Access helper granted friendship by WasiEnv.
+class Shims {
+ public:
+  static void register_all(WasiEnv& env, wasm::ImportResolver& imports) {
+    const std::string kModule = "wasi_snapshot_preview1";
+    auto add = [&](const char* name, wasm::FuncType type, wasm::HostFn fn) {
+      imports.add_function(kModule, name, std::move(type), std::move(fn));
+    };
+
+    // ---- fully implemented subset ----------------------------------------
+
+    add("args_sizes_get", sig({ValType::I32, ValType::I32}, {ValType::I32}),
+        [&env](Instance& inst, std::span<const Value> a) -> Result<std::vector<Value>> {
+          ++env.calls_;
+          std::size_t buf_size = 0;
+          for (const auto& arg : env.args_) buf_size += arg.size() + 1;
+          if (!write_u32(inst, a[0].u32(), static_cast<std::uint32_t>(env.args_.size())) ||
+              !write_u32(inst, a[1].u32(), static_cast<std::uint32_t>(buf_size)))
+            return ret_errno(kErrnoInval);
+          return ret_errno(kErrnoSuccess);
+        });
+
+    add("args_get", sig({ValType::I32, ValType::I32}, {ValType::I32}),
+        [&env](Instance& inst, std::span<const Value> a) -> Result<std::vector<Value>> {
+          ++env.calls_;
+          std::uint32_t argv = a[0].u32();
+          std::uint32_t buf = a[1].u32();
+          wasm::Memory* mem = inst.memory();
+          if (mem == nullptr) return ret_errno(kErrnoInval);
+          for (const auto& arg : env.args_) {
+            if (!write_u32(inst, argv, buf)) return ret_errno(kErrnoInval);
+            argv += 4;
+            if (!mem->in_bounds(buf, arg.size() + 1)) return ret_errno(kErrnoInval);
+            std::memcpy(mem->data() + buf, arg.data(), arg.size());
+            mem->data()[buf + arg.size()] = 0;
+            buf += static_cast<std::uint32_t>(arg.size()) + 1;
+          }
+          return ret_errno(kErrnoSuccess);
+        });
+
+    add("environ_sizes_get", sig({ValType::I32, ValType::I32}, {ValType::I32}),
+        [&env](Instance& inst, std::span<const Value> a) -> Result<std::vector<Value>> {
+          ++env.calls_;
+          if (!write_u32(inst, a[0].u32(), 0) || !write_u32(inst, a[1].u32(), 0))
+            return ret_errno(kErrnoInval);
+          return ret_errno(kErrnoSuccess);
+        });
+
+    add("environ_get", sig({ValType::I32, ValType::I32}, {ValType::I32}),
+        [&env](Instance&, std::span<const Value>) -> Result<std::vector<Value>> {
+          ++env.calls_;
+          return ret_errno(kErrnoSuccess);
+        });
+
+    add("clock_time_get", sig({ValType::I32, ValType::I64, ValType::I32}, {ValType::I32}),
+        [&env](Instance& inst, std::span<const Value> a) -> Result<std::vector<Value>> {
+          ++env.calls_;
+          // clock ids: realtime(0) and monotonic(1) both map onto the
+          // board's monotonic source, as the paper's driver extension does.
+          if (a[0].u32() > 3) return ret_errno(kErrnoInval);
+          if (!write_u64(inst, a[2].u32(), env.clock_ns_()))
+            return ret_errno(kErrnoInval);
+          return ret_errno(kErrnoSuccess);
+        });
+
+    add("fd_write",
+        sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32}, {ValType::I32}),
+        [&env](Instance& inst, std::span<const Value> a) -> Result<std::vector<Value>> {
+          ++env.calls_;
+          const std::uint32_t fd = a[0].u32();
+          if (fd != 1 && fd != 2) return ret_errno(kErrnoBadf);
+          wasm::Memory* mem = inst.memory();
+          if (mem == nullptr) return ret_errno(kErrnoInval);
+          std::uint32_t iovs = a[1].u32();
+          const std::uint32_t iovs_len = a[2].u32();
+          std::uint32_t written = 0;
+          std::string& out = fd == 1 ? env.stdout_ : env.stderr_;
+          for (std::uint32_t i = 0; i < iovs_len; ++i) {
+            if (!mem->in_bounds(iovs, 8)) return ret_errno(kErrnoInval);
+            const std::uint32_t ptr = get_u32le(mem->data() + iovs);
+            const std::uint32_t len = get_u32le(mem->data() + iovs + 4);
+            if (!mem->in_bounds(ptr, len)) return ret_errno(kErrnoInval);
+            out.append(reinterpret_cast<const char*>(mem->data() + ptr), len);
+            written += len;
+            iovs += 8;
+          }
+          if (!write_u32(inst, a[3].u32(), written)) return ret_errno(kErrnoInval);
+          return ret_errno(kErrnoSuccess);
+        });
+
+    add("random_get", sig({ValType::I32, ValType::I32}, {ValType::I32}),
+        [&env](Instance& inst, std::span<const Value> a) -> Result<std::vector<Value>> {
+          ++env.calls_;
+          wasm::Memory* mem = inst.memory();
+          if (mem == nullptr || env.rng_ == nullptr) return ret_errno(kErrnoInval);
+          const std::uint32_t ptr = a[0].u32();
+          const std::uint32_t len = a[1].u32();
+          if (!mem->in_bounds(ptr, len)) return ret_errno(kErrnoInval);
+          env.rng_->fill(std::span<std::uint8_t>(mem->data() + ptr, len));
+          return ret_errno(kErrnoSuccess);
+        });
+
+    add("proc_exit", sig({ValType::I32}, {}),
+        [&env](Instance&, std::span<const Value> a) -> Result<std::vector<Value>> {
+          ++env.calls_;
+          env.exited_ = true;
+          env.exit_code_ = a[0].u32();
+          return Result<std::vector<Value>>::err(kProcExitTrap);
+        });
+
+    // ---- the remaining surface: ENOSYS stubs ------------------------------
+    // (the paper: "we first manually coded dummy functions for all 45 WASI
+    // API functions, throwing exceptions when called")
+    struct Stub {
+      const char* name;
+      wasm::FuncType type;
+    };
+    const Stub stubs[] = {
+        {"clock_res_get", sig({ValType::I32, ValType::I32}, {ValType::I32})},
+        {"fd_advise", sig({ValType::I32, ValType::I64, ValType::I64, ValType::I32}, {ValType::I32})},
+        {"fd_allocate", sig({ValType::I32, ValType::I64, ValType::I64}, {ValType::I32})},
+        {"fd_close", sig({ValType::I32}, {ValType::I32})},
+        {"fd_datasync", sig({ValType::I32}, {ValType::I32})},
+        {"fd_fdstat_get", sig({ValType::I32, ValType::I32}, {ValType::I32})},
+        {"fd_fdstat_set_flags", sig({ValType::I32, ValType::I32}, {ValType::I32})},
+        {"fd_fdstat_set_rights", sig({ValType::I32, ValType::I64, ValType::I64}, {ValType::I32})},
+        {"fd_filestat_get", sig({ValType::I32, ValType::I32}, {ValType::I32})},
+        {"fd_filestat_set_size", sig({ValType::I32, ValType::I64}, {ValType::I32})},
+        {"fd_filestat_set_times", sig({ValType::I32, ValType::I64, ValType::I64, ValType::I32}, {ValType::I32})},
+        {"fd_pread", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I64, ValType::I32}, {ValType::I32})},
+        {"fd_prestat_get", sig({ValType::I32, ValType::I32}, {ValType::I32})},
+        {"fd_prestat_dir_name", sig({ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"fd_pwrite", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I64, ValType::I32}, {ValType::I32})},
+        {"fd_read", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"fd_readdir", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I64, ValType::I32}, {ValType::I32})},
+        {"fd_renumber", sig({ValType::I32, ValType::I32}, {ValType::I32})},
+        {"fd_seek", sig({ValType::I32, ValType::I64, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"fd_sync", sig({ValType::I32}, {ValType::I32})},
+        {"fd_tell", sig({ValType::I32, ValType::I32}, {ValType::I32})},
+        {"path_create_directory", sig({ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"path_filestat_get", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"path_filestat_set_times", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I64, ValType::I64, ValType::I32}, {ValType::I32})},
+        {"path_link", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"path_open", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I64, ValType::I64, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"path_readlink", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"path_remove_directory", sig({ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"path_rename", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"path_symlink", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"path_unlink_file", sig({ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"poll_oneoff", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"proc_raise", sig({ValType::I32}, {ValType::I32})},
+        {"sched_yield", sig({}, {ValType::I32})},
+        {"sock_accept", sig({ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"sock_recv", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"sock_send", sig({ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32}, {ValType::I32})},
+        {"sock_shutdown", sig({ValType::I32, ValType::I32}, {ValType::I32})},
+    };
+    for (const Stub& stub : stubs) {
+      add(stub.name, stub.type,
+          [&env](Instance&, std::span<const Value>) -> Result<std::vector<Value>> {
+            ++env.calls_;
+            return ret_errno(kErrnoNosys);
+          });
+    }
+  }
+};
+
+void WasiEnv::register_imports(wasm::ImportResolver& imports) {
+  Shims::register_all(*this, imports);
+}
+
+}  // namespace watz::wasi

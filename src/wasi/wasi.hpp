@@ -1,0 +1,71 @@
+// WASI adaptation layer (SS III / SS V).
+//
+// Wasm applications talk POSIX-like WASI; WaTZ maps those calls onto the
+// facilities the trusted environment offers (GP API in the secure world,
+// plain host services in the normal world). Following the paper's approach,
+// *all 45* wasi_snapshot_preview1 functions are registered — unimplemented
+// ones return ENOSYS ("dummy functions, throwing exceptions when called") —
+// and the subset the benchmarks need is fully implemented:
+// args_*/environ_*, clock_time_get, fd_write (stdout/stderr), random_get,
+// proc_exit.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "wasm/instance.hpp"
+
+namespace watz::wasi {
+
+/// WASI errno values used by the shims.
+inline constexpr std::uint32_t kErrnoSuccess = 0;
+inline constexpr std::uint32_t kErrnoBadf = 8;
+inline constexpr std::uint32_t kErrnoInval = 28;
+inline constexpr std::uint32_t kErrnoNosys = 52;
+
+/// Per-application WASI state. One WasiEnv per sandboxed Wasm instance.
+class WasiEnv {
+ public:
+  /// `clock_ns` abstracts where the time comes from: direct host clock in
+  /// the normal world, the supplicant RPC (with its Fig 3a latency) in the
+  /// secure world.
+  WasiEnv(std::vector<std::string> args, std::function<std::uint64_t()> clock_ns,
+          crypto::Rng* rng);
+
+  /// Registers the full wasi_snapshot_preview1 surface on `imports`.
+  void register_imports(wasm::ImportResolver& imports);
+
+  const std::string& stdout_data() const noexcept { return stdout_; }
+  const std::string& stderr_data() const noexcept { return stderr_; }
+  void clear_output() {
+    stdout_.clear();
+    stderr_.clear();
+  }
+
+  /// Set after the guest calls proc_exit.
+  bool exited() const noexcept { return exited_; }
+  std::uint32_t exit_code() const noexcept { return exit_code_; }
+
+  /// Number of WASI calls serviced (used by the evaluation harness to count
+  /// boundary crossings).
+  std::uint64_t call_count() const noexcept { return calls_; }
+
+ private:
+  friend class Shims;
+  std::vector<std::string> args_;
+  std::function<std::uint64_t()> clock_ns_;
+  crypto::Rng* rng_;
+  std::string stdout_;
+  std::string stderr_;
+  bool exited_ = false;
+  std::uint32_t exit_code_ = 0;
+  std::uint64_t calls_ = 0;
+};
+
+/// The trap message prefix used to unwind on proc_exit. invoke() callers
+/// can detect voluntary exits via WasiEnv::exited().
+inline constexpr const char* kProcExitTrap = "wasi proc_exit";
+
+}  // namespace watz::wasi

@@ -1,0 +1,280 @@
+#include "wasm/builder.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace watz::wasm {
+
+CodeEmitter& CodeEmitter::f32_const(float v) {
+  code_.push_back(kF32Const);
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  put_u32le(code_, bits);
+  return *this;
+}
+
+CodeEmitter& CodeEmitter::f64_const(double v) {
+  code_.push_back(kF64Const);
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  put_u64le(code_, bits);
+  return *this;
+}
+
+std::uint32_t ModuleBuilder::add_type(FuncType type) {
+  for (std::uint32_t i = 0; i < types_.size(); ++i)
+    if (types_[i] == type) return i;
+  types_.push_back(std::move(type));
+  return static_cast<std::uint32_t>(types_.size() - 1);
+}
+
+std::uint32_t ModuleBuilder::import_function(std::string module, std::string name,
+                                             FuncType type) {
+  if (!funcs_.empty())
+    throw std::logic_error("ModuleBuilder: declare imports before local functions");
+  const std::uint32_t ti = add_type(std::move(type));
+  imports_.push_back(ImportFunc{std::move(module), std::move(name), ti});
+  return static_cast<std::uint32_t>(imports_.size() - 1);
+}
+
+std::uint32_t ModuleBuilder::add_function(FuncType type, std::vector<ValType> locals) {
+  const std::uint32_t ti = add_type(std::move(type));
+  funcs_.push_back(LocalFunc{ti, std::move(locals), {}});
+  return static_cast<std::uint32_t>(imports_.size() + funcs_.size() - 1);
+}
+
+void ModuleBuilder::set_body(std::uint32_t func_index, Bytes code) {
+  const std::size_t local = func_index - imports_.size();
+  if (local >= funcs_.size()) throw std::out_of_range("set_body: bad function index");
+  // The function-terminating `end` is always appended here; bodies contain
+  // instruction code only.
+  code.push_back(kEnd);
+  funcs_[local].body = std::move(code);
+}
+
+void ModuleBuilder::set_locals(std::uint32_t func_index, std::vector<ValType> locals) {
+  const std::size_t local = func_index - imports_.size();
+  if (local >= funcs_.size()) throw std::out_of_range("set_locals: bad function index");
+  funcs_[local].locals = std::move(locals);
+}
+
+void ModuleBuilder::add_memory(std::uint32_t min_pages, std::uint32_t max_pages) {
+  has_memory_ = true;
+  memory_.min = min_pages;
+  memory_.has_max = max_pages != 0;
+  memory_.max = max_pages;
+}
+
+void ModuleBuilder::add_table(std::uint32_t min, std::uint32_t max) {
+  has_table_ = true;
+  table_.min = min;
+  table_.has_max = max != 0;
+  table_.max = max;
+}
+
+std::uint32_t ModuleBuilder::add_global(ValType type, bool mutable_, std::int64_t init) {
+  globals_.push_back(GlobalDef{type, mutable_, init, 0});
+  return static_cast<std::uint32_t>(globals_.size() - 1);
+}
+
+std::uint32_t ModuleBuilder::add_global_f64(bool mutable_, double init) {
+  globals_.push_back(GlobalDef{ValType::F64, mutable_, 0, init});
+  return static_cast<std::uint32_t>(globals_.size() - 1);
+}
+
+void ModuleBuilder::add_export(std::string name, ImportKind kind, std::uint32_t index) {
+  exports_.push_back(ExportDef{std::move(name), kind, index});
+}
+
+void ModuleBuilder::add_element(std::uint32_t offset, std::vector<std::uint32_t> funcs) {
+  elements_.push_back(ElemDef{offset, std::move(funcs)});
+}
+
+void ModuleBuilder::add_data(std::uint32_t offset, Bytes data) {
+  data_.push_back(DataDef{offset, std::move(data)});
+}
+
+void ModuleBuilder::add_custom(std::string name, Bytes payload) {
+  custom_.push_back(CustomDef{std::move(name), std::move(payload)});
+}
+
+namespace {
+
+void write_name(Bytes& out, const std::string& name) {
+  write_uleb(out, name.size());
+  append(out, ByteView(reinterpret_cast<const std::uint8_t*>(name.data()), name.size()));
+}
+
+void write_section(Bytes& out, std::uint8_t id, const Bytes& payload) {
+  out.push_back(id);
+  write_uleb(out, payload.size());
+  append(out, payload);
+}
+
+void write_limits(Bytes& out, const Limits& lim) {
+  out.push_back(lim.has_max ? 1 : 0);
+  write_uleb(out, lim.min);
+  if (lim.has_max) write_uleb(out, lim.max);
+}
+
+}  // namespace
+
+Bytes ModuleBuilder::build() const {
+  Bytes out;
+  put_u32le(out, 0x6d736100);
+  put_u32le(out, 1);
+
+  if (!types_.empty()) {
+    Bytes s;
+    write_uleb(s, types_.size());
+    for (const FuncType& t : types_) {
+      s.push_back(0x60);
+      write_uleb(s, t.params.size());
+      for (ValType p : t.params) s.push_back(static_cast<std::uint8_t>(p));
+      write_uleb(s, t.results.size());
+      for (ValType r : t.results) s.push_back(static_cast<std::uint8_t>(r));
+    }
+    write_section(out, 1, s);
+  }
+
+  if (!imports_.empty()) {
+    Bytes s;
+    write_uleb(s, imports_.size());
+    for (const ImportFunc& imp : imports_) {
+      write_name(s, imp.module);
+      write_name(s, imp.name);
+      s.push_back(0);  // function
+      write_uleb(s, imp.type_index);
+    }
+    write_section(out, 2, s);
+  }
+
+  if (!funcs_.empty()) {
+    Bytes s;
+    write_uleb(s, funcs_.size());
+    for (const LocalFunc& f : funcs_) write_uleb(s, f.type_index);
+    write_section(out, 3, s);
+  }
+
+  if (has_table_) {
+    Bytes s;
+    write_uleb(s, 1);
+    s.push_back(0x70);
+    write_limits(s, table_);
+    write_section(out, 4, s);
+  }
+
+  if (has_memory_) {
+    Bytes s;
+    write_uleb(s, 1);
+    write_limits(s, memory_);
+    write_section(out, 5, s);
+  }
+
+  if (!globals_.empty()) {
+    Bytes s;
+    write_uleb(s, globals_.size());
+    for (const GlobalDef& g : globals_) {
+      s.push_back(static_cast<std::uint8_t>(g.type));
+      s.push_back(g.mutable_ ? 1 : 0);
+      if (g.type == ValType::I64) {
+        s.push_back(kI64Const);
+        write_sleb(s, g.init);
+      } else if (g.type == ValType::F64) {
+        s.push_back(kF64Const);
+        std::uint64_t bits;
+        std::memcpy(&bits, &g.f64_init, 8);
+        put_u64le(s, bits);
+      } else {
+        s.push_back(kI32Const);
+        write_sleb(s, static_cast<std::int32_t>(g.init));
+      }
+      s.push_back(kEnd);
+    }
+    write_section(out, 6, s);
+  }
+
+  if (!exports_.empty()) {
+    Bytes s;
+    write_uleb(s, exports_.size());
+    for (const ExportDef& e : exports_) {
+      write_name(s, e.name);
+      s.push_back(static_cast<std::uint8_t>(e.kind));
+      write_uleb(s, e.index);
+    }
+    write_section(out, 7, s);
+  }
+
+  if (start_) {
+    Bytes s;
+    write_uleb(s, *start_);
+    write_section(out, 8, s);
+  }
+
+  if (!elements_.empty()) {
+    Bytes s;
+    write_uleb(s, elements_.size());
+    for (const ElemDef& e : elements_) {
+      write_uleb(s, 0);
+      s.push_back(kI32Const);
+      write_sleb(s, static_cast<std::int32_t>(e.offset));
+      s.push_back(kEnd);
+      write_uleb(s, e.funcs.size());
+      for (std::uint32_t f : e.funcs) write_uleb(s, f);
+    }
+    write_section(out, 9, s);
+  }
+
+  if (!funcs_.empty()) {
+    Bytes s;
+    write_uleb(s, funcs_.size());
+    for (const LocalFunc& f : funcs_) {
+      Bytes body;
+      // Compress locals into (count, type) runs.
+      std::vector<std::pair<std::uint32_t, ValType>> runs;
+      for (ValType t : f.locals) {
+        if (!runs.empty() && runs.back().second == t) {
+          ++runs.back().first;
+        } else {
+          runs.push_back({1, t});
+        }
+      }
+      write_uleb(body, runs.size());
+      for (const auto& [count, type] : runs) {
+        write_uleb(body, count);
+        body.push_back(static_cast<std::uint8_t>(type));
+      }
+      Bytes code = f.body;
+      if (code.empty()) code.push_back(kEnd);
+      append(body, code);
+      write_uleb(s, body.size());
+      append(s, body);
+    }
+    write_section(out, 10, s);
+  }
+
+  if (!data_.empty()) {
+    Bytes s;
+    write_uleb(s, data_.size());
+    for (const DataDef& d : data_) {
+      write_uleb(s, 0);
+      s.push_back(kI32Const);
+      write_sleb(s, static_cast<std::int32_t>(d.offset));
+      s.push_back(kEnd);
+      write_uleb(s, d.data.size());
+      append(s, d.data);
+    }
+    write_section(out, 11, s);
+  }
+
+  for (const CustomDef& c : custom_) {
+    Bytes s;
+    write_name(s, c.name);
+    append(s, c.payload);
+    write_section(out, 0, s);
+  }
+
+  return out;
+}
+
+}  // namespace watz::wasm

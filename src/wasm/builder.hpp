@@ -1,0 +1,205 @@
+// Programmatic construction of WebAssembly binaries.
+//
+// The environment has no offline Wasm toolchain (the paper uses WASI-SDK /
+// Clang 11), so every guest binary in this repository is produced either by
+// this builder directly or by the wcc C-subset compiler sitting on top of it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/leb128.hpp"
+#include "wasm/module.hpp"
+#include "wasm/opcodes.hpp"
+
+namespace watz::wasm {
+
+/// Instruction-level emitter for one function body.
+class CodeEmitter {
+ public:
+  Bytes& bytes() noexcept { return code_; }
+
+  CodeEmitter& op(Op opcode) {
+    code_.push_back(opcode);
+    return *this;
+  }
+  CodeEmitter& i32_const(std::int32_t v) {
+    code_.push_back(kI32Const);
+    write_sleb(code_, v);
+    return *this;
+  }
+  CodeEmitter& i64_const(std::int64_t v) {
+    code_.push_back(kI64Const);
+    write_sleb(code_, v);
+    return *this;
+  }
+  CodeEmitter& f32_const(float v);
+  CodeEmitter& f64_const(double v);
+  CodeEmitter& local_get(std::uint32_t i) { return op_idx(kLocalGet, i); }
+  CodeEmitter& local_set(std::uint32_t i) { return op_idx(kLocalSet, i); }
+  CodeEmitter& local_tee(std::uint32_t i) { return op_idx(kLocalTee, i); }
+  CodeEmitter& global_get(std::uint32_t i) { return op_idx(kGlobalGet, i); }
+  CodeEmitter& global_set(std::uint32_t i) { return op_idx(kGlobalSet, i); }
+  CodeEmitter& call(std::uint32_t i) { return op_idx(kCall, i); }
+  CodeEmitter& call_indirect(std::uint32_t type_index) {
+    code_.push_back(kCallIndirect);
+    write_uleb(code_, type_index);
+    code_.push_back(0);
+    return *this;
+  }
+  CodeEmitter& br(std::uint32_t depth) { return op_idx(kBr, depth); }
+  CodeEmitter& br_if(std::uint32_t depth) { return op_idx(kBrIf, depth); }
+  CodeEmitter& br_table(const std::vector<std::uint32_t>& targets, std::uint32_t def) {
+    code_.push_back(kBrTable);
+    write_uleb(code_, targets.size());
+    for (std::uint32_t t : targets) write_uleb(code_, t);
+    write_uleb(code_, def);
+    return *this;
+  }
+  /// block_type: 0x40 (void) or a ValType byte.
+  CodeEmitter& block(std::uint8_t block_type = 0x40) {
+    code_.push_back(kBlock);
+    code_.push_back(block_type);
+    return *this;
+  }
+  CodeEmitter& loop(std::uint8_t block_type = 0x40) {
+    code_.push_back(kLoop);
+    code_.push_back(block_type);
+    return *this;
+  }
+  CodeEmitter& if_(std::uint8_t block_type = 0x40) {
+    code_.push_back(kIf);
+    code_.push_back(block_type);
+    return *this;
+  }
+  CodeEmitter& else_() { return op(kElse); }
+  CodeEmitter& end() { return op(kEnd); }
+  CodeEmitter& load(Op opcode, std::uint32_t offset, std::uint32_t align = 0) {
+    code_.push_back(opcode);
+    write_uleb(code_, align);
+    write_uleb(code_, offset);
+    return *this;
+  }
+  CodeEmitter& store(Op opcode, std::uint32_t offset, std::uint32_t align = 0) {
+    return load(opcode, offset, align);
+  }
+  CodeEmitter& memory_size() {
+    code_.push_back(kMemorySize);
+    code_.push_back(0);
+    return *this;
+  }
+  CodeEmitter& memory_grow() {
+    code_.push_back(kMemoryGrow);
+    code_.push_back(0);
+    return *this;
+  }
+  CodeEmitter& memory_copy() {
+    code_.push_back(kPrefixFC);
+    write_uleb(code_, kMemoryCopy);
+    code_.push_back(0);
+    code_.push_back(0);
+    return *this;
+  }
+  CodeEmitter& memory_fill() {
+    code_.push_back(kPrefixFC);
+    write_uleb(code_, kMemoryFill);
+    code_.push_back(0);
+    return *this;
+  }
+
+ private:
+  CodeEmitter& op_idx(Op opcode, std::uint32_t i) {
+    code_.push_back(opcode);
+    write_uleb(code_, i);
+    return *this;
+  }
+  Bytes code_;
+};
+
+/// Whole-module builder producing a spec-conformant binary.
+class ModuleBuilder {
+ public:
+  /// Returns the type index (deduplicated).
+  std::uint32_t add_type(FuncType type);
+
+  /// Declares an imported function; imports always precede local functions
+  /// in the index space, so declare all imports first.
+  std::uint32_t import_function(std::string module, std::string name, FuncType type);
+
+  /// Declares a local function, returning its unified function index. The
+  /// body may be filled in later via set_body().
+  std::uint32_t add_function(FuncType type, std::vector<ValType> locals = {});
+
+  void set_body(std::uint32_t func_index, Bytes code);
+
+  /// Replaces the declared locals of a function (single-pass compilers
+  /// discover locals while emitting the body).
+  void set_locals(std::uint32_t func_index, std::vector<ValType> locals);
+
+  void add_memory(std::uint32_t min_pages, std::uint32_t max_pages = 0);
+  void add_table(std::uint32_t min, std::uint32_t max = 0);
+  std::uint32_t add_global(ValType type, bool mutable_, std::int64_t init);
+  std::uint32_t add_global_f64(bool mutable_, double init);
+  void add_export(std::string name, ImportKind kind, std::uint32_t index);
+  void export_function(std::string name, std::uint32_t func_index) {
+    add_export(std::move(name), ImportKind::Func, func_index);
+  }
+  void add_element(std::uint32_t offset, std::vector<std::uint32_t> funcs);
+  void add_data(std::uint32_t offset, Bytes data);
+  void set_start(std::uint32_t func_index) { start_ = func_index; }
+  void add_custom(std::string name, Bytes payload);
+
+  /// Serialises to the binary format.
+  Bytes build() const;
+
+ private:
+  struct LocalFunc {
+    std::uint32_t type_index;
+    std::vector<ValType> locals;
+    Bytes body;
+  };
+  struct ImportFunc {
+    std::string module, name;
+    std::uint32_t type_index;
+  };
+  struct GlobalDef {
+    ValType type;
+    bool mutable_;
+    std::int64_t init;
+    double f64_init = 0;
+  };
+  struct ElemDef {
+    std::uint32_t offset;
+    std::vector<std::uint32_t> funcs;
+  };
+  struct DataDef {
+    std::uint32_t offset;
+    Bytes data;
+  };
+  struct ExportDef {
+    std::string name;
+    ImportKind kind;
+    std::uint32_t index;
+  };
+  struct CustomDef {
+    std::string name;
+    Bytes payload;
+  };
+
+  std::vector<FuncType> types_;
+  std::vector<ImportFunc> imports_;
+  std::vector<LocalFunc> funcs_;
+  bool has_memory_ = false;
+  Limits memory_{};
+  bool has_table_ = false;
+  Limits table_{};
+  std::vector<GlobalDef> globals_;
+  std::vector<ExportDef> exports_;
+  std::vector<ElemDef> elements_;
+  std::vector<DataDef> data_;
+  std::vector<CustomDef> custom_;
+  std::optional<std::uint32_t> start_;
+};
+
+}  // namespace watz::wasm

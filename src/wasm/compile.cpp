@@ -1,0 +1,523 @@
+#include "wasm/compile.hpp"
+
+#include <cstring>
+
+#include "common/leb128.hpp"
+#include "wasm/opcodes.hpp"
+
+namespace watz::wasm {
+
+Status skip_immediates(ByteReader& r, std::uint8_t op) {
+  auto skip_uleb = [&]() -> Status {
+    auto v = r.read_uleb64();
+    return v.ok() ? Status{} : Status::err(v.error());
+  };
+  auto skip_sleb = [&]() -> Status {
+    auto v = r.read_sleb64();
+    return v.ok() ? Status{} : Status::err(v.error());
+  };
+  auto skip_bytes = [&](std::size_t n) -> Status {
+    auto v = r.read_bytes(n);
+    return v.ok() ? Status{} : Status::err(v.error());
+  };
+
+  switch (op) {
+    case kBlock:
+    case kLoop:
+    case kIf:
+      return skip_bytes(1);  // block type
+    case kBr:
+    case kBrIf:
+    case kCall:
+    case kLocalGet:
+    case kLocalSet:
+    case kLocalTee:
+    case kGlobalGet:
+    case kGlobalSet:
+      return skip_uleb();
+    case kBrTable: {
+      auto count = r.read_uleb32();
+      if (!count.ok()) return Status::err(count.error());
+      for (std::uint32_t i = 0; i <= *count; ++i) {
+        const Status st = skip_uleb();
+        if (!st.ok()) return st;
+      }
+      return {};
+    }
+    case kCallIndirect: {
+      Status st = skip_uleb();
+      if (!st.ok()) return st;
+      return skip_bytes(1);
+    }
+    case kI32Const:
+    case kI64Const:
+      return skip_sleb();
+    case kF32Const:
+      return skip_bytes(4);
+    case kF64Const:
+      return skip_bytes(8);
+    case kMemorySize:
+    case kMemoryGrow:
+      return skip_bytes(1);
+    case kPrefixFC: {
+      auto sub = r.read_uleb32();
+      if (!sub.ok()) return Status::err(sub.error());
+      if (*sub == kMemoryCopy) return skip_bytes(2);
+      if (*sub == kMemoryFill) return skip_bytes(1);
+      return {};  // trunc-sat: no immediates
+    }
+    default:
+      if (op >= kI32Load && op <= kI64Store32) {
+        const Status st = skip_uleb();
+        if (!st.ok()) return st;
+        return skip_uleb();
+      }
+      return {};  // no immediates
+  }
+}
+
+Result<std::size_t> find_block_end(ByteView code, std::size_t pos,
+                                   std::size_t* else_pos) {
+  ByteReader r(code);
+  r.seek(pos);
+  int depth = 0;
+  while (true) {
+    auto op = r.read_u8();
+    if (!op.ok()) return Result<std::size_t>::err("scan: unterminated block");
+    switch (*op) {
+      case kBlock:
+      case kLoop:
+      case kIf:
+        ++depth;
+        break;
+      case kElse:
+        if (depth == 0 && else_pos != nullptr) *else_pos = r.pos();
+        continue;
+      case kEnd:
+        if (depth == 0) return r.pos();
+        --depth;
+        continue;
+      default:
+        break;
+    }
+    const Status st = skip_immediates(r, *op);
+    if (!st.ok()) return Result<std::size_t>::err(st.error());
+  }
+}
+
+namespace {
+
+constexpr std::uint32_t kFixupTableFlag = 0x80000000u;
+
+struct Frame {
+  std::uint8_t kind;  // kBlock / kLoop / kIf / kElse
+  std::uint32_t entry_height = 0;
+  std::uint32_t arity = 0;
+  std::uint32_t loop_target = 0;
+  std::vector<std::uint32_t> end_fixups;  // instr index, or table index | flag
+  std::uint32_t else_fixup = UINT32_MAX;
+};
+
+class Compiler {
+ public:
+  Compiler(const Module& module, std::uint32_t func_index)
+      : module_(module),
+        body_(module.code[func_index]),
+        type_(module.types[module.functions[func_index]]),
+        reader_(body_.code) {}
+
+  Result<CompiledFunc> run() {
+    out_.num_params = static_cast<std::uint32_t>(type_.params.size());
+    out_.num_locals = out_.num_params + static_cast<std::uint32_t>(body_.locals.size());
+    out_.result_arity = static_cast<std::uint32_t>(type_.results.size());
+
+    frames_.push_back(Frame{kBlock, 0, out_.result_arity, 0, {}, UINT32_MAX});
+
+    while (!frames_.empty()) {
+      auto op = reader_.read_u8();
+      if (!op.ok()) return Result<CompiledFunc>::err("compile: truncated body");
+      const Status st = compile_op(*op);
+      if (!st.ok()) return Result<CompiledFunc>::err(st.error());
+    }
+    return std::move(out_);
+  }
+
+ private:
+  std::uint32_t emit(std::uint16_t op, std::uint16_t aux = 0, std::uint32_t a = 0,
+                     std::uint64_t imm = 0) {
+    out_.code.push_back(Instr{op, aux, a, imm});
+    return static_cast<std::uint32_t>(out_.code.size() - 1);
+  }
+
+  void adjust_height(int delta) {
+    height_ = static_cast<std::uint32_t>(static_cast<int>(height_) + delta);
+    if (height_ > out_.max_operand_height) out_.max_operand_height = height_;
+  }
+
+  void patch_frame(Frame& frame, std::uint32_t end_pc) {
+    for (std::uint32_t fixup : frame.end_fixups) {
+      if (fixup & kFixupTableFlag) {
+        out_.tables[fixup & ~kFixupTableFlag].target = end_pc;
+      } else {
+        out_.code[fixup].a = end_pc;
+      }
+    }
+    if (frame.else_fixup != UINT32_MAX) out_.code[frame.else_fixup].a = end_pc;
+  }
+
+  /// After an unconditional transfer, skip raw bytecode until the `else` or
+  /// `end` that re-activates this frame. Returns the op that ended the skip.
+  Result<std::uint8_t> skip_dead_code() {
+    int depth = 0;
+    while (true) {
+      auto op = reader_.read_u8();
+      if (!op.ok()) return Result<std::uint8_t>::err("compile: unterminated dead code");
+      switch (*op) {
+        case kBlock:
+        case kLoop:
+        case kIf:
+          ++depth;
+          break;
+        case kElse:
+          if (depth == 0) return *op;
+          continue;
+        case kEnd:
+          if (depth == 0) return *op;
+          --depth;
+          continue;
+        default:
+          break;
+      }
+      const Status st = skip_immediates(reader_, *op);
+      if (!st.ok()) return Result<std::uint8_t>::err(st.error());
+    }
+  }
+
+  Result<std::uint32_t> read_block_arity() {
+    auto b = reader_.read_u8();
+    if (!b.ok()) return Result<std::uint32_t>::err(b.error());
+    return *b == 0x40 ? 0u : 1u;
+  }
+
+  /// Emits the keep/drop branch to relative depth `d`. Returns the emitted
+  /// instruction's fixup registration.
+  Status emit_branch(std::uint16_t opcode, std::uint32_t d) {
+    if (d >= frames_.size()) return Status::err("compile: branch depth oob");
+    Frame& target = frames_[frames_.size() - 1 - d];
+    const bool to_loop = target.kind == kLoop;
+    const std::uint32_t keep = to_loop ? 0 : target.arity;
+    const std::uint32_t drop = height_ - target.entry_height - keep;
+    const std::uint32_t idx =
+        emit(opcode, static_cast<std::uint16_t>(keep), to_loop ? target.loop_target : 0,
+             drop);
+    if (!to_loop) target.end_fixups.push_back(idx);
+    return {};
+  }
+
+  Status handle_block_terminator(std::uint8_t op);
+
+  Status compile_op(std::uint8_t op);
+
+  const Module& module_;
+  const FunctionBody& body_;
+  const FuncType& type_;
+  ByteReader reader_;
+  CompiledFunc out_;
+  std::vector<Frame> frames_;
+  std::uint32_t height_ = 0;
+};
+
+Status Compiler::handle_block_terminator(std::uint8_t op) {
+  Frame& frame = frames_.back();
+  if (op == kElse) {
+    if (frame.kind != kIf) return Status::err("compile: else without if");
+    // Jump over the else arm at the end of the then arm.
+    const std::uint32_t br_idx = emit(kBr, 0, 0, 0);
+    frame.end_fixups.push_back(br_idx);
+    // The false branch of the `if` lands here.
+    if (frame.else_fixup != UINT32_MAX) {
+      out_.code[frame.else_fixup].a = static_cast<std::uint32_t>(out_.code.size());
+      frame.else_fixup = UINT32_MAX;
+    }
+    frame.kind = kElse;
+    height_ = frame.entry_height;
+    return {};
+  }
+
+  // kEnd.
+  const std::uint32_t end_pc = static_cast<std::uint32_t>(out_.code.size());
+  Frame done = std::move(frames_.back());
+  frames_.pop_back();
+  patch_frame(done, end_pc);
+  height_ = done.entry_height + done.arity;
+  if (frames_.empty()) {
+    emit(kReturn, static_cast<std::uint16_t>(out_.result_arity));
+  }
+  return {};
+}
+
+Status Compiler::compile_op(std::uint8_t op) {
+  switch (op) {
+    case kNop:
+      return {};
+    case kUnreachable: {
+      emit(kUnreachable);
+      auto term = skip_dead_code();
+      if (!term.ok()) return Status::err(term.error());
+      return handle_block_terminator(*term);
+    }
+
+    case kBlock: {
+      auto arity = read_block_arity();
+      if (!arity.ok()) return Status::err(arity.error());
+      frames_.push_back(Frame{kBlock, height_, *arity, 0, {}, UINT32_MAX});
+      return {};
+    }
+    case kLoop: {
+      auto arity = read_block_arity();
+      if (!arity.ok()) return Status::err(arity.error());
+      frames_.push_back(Frame{kLoop, height_, *arity,
+                              static_cast<std::uint32_t>(out_.code.size()), {},
+                              UINT32_MAX});
+      return {};
+    }
+    case kIf: {
+      auto arity = read_block_arity();
+      if (!arity.ok()) return Status::err(arity.error());
+      adjust_height(-1);  // condition
+      const std::uint32_t idx = emit(kInstrBrIfFalse, 0, 0, 0);
+      frames_.push_back(Frame{kIf, height_, *arity, 0, {}, idx});
+      return {};
+    }
+    case kElse:
+    case kEnd:
+      return handle_block_terminator(op);
+
+    case kBr: {
+      auto d = reader_.read_uleb32();
+      if (!d.ok()) return Status::err(d.error());
+      const Status st = emit_branch(kBr, *d);
+      if (!st.ok()) return st;
+      auto term = skip_dead_code();
+      if (!term.ok()) return Status::err(term.error());
+      return handle_block_terminator(*term);
+    }
+    case kBrIf: {
+      auto d = reader_.read_uleb32();
+      if (!d.ok()) return Status::err(d.error());
+      adjust_height(-1);  // condition
+      return emit_branch(kBrIf, *d);
+    }
+    case kBrTable: {
+      auto count = reader_.read_uleb32();
+      if (!count.ok()) return Status::err(count.error());
+      adjust_height(-1);  // index operand
+      const std::uint32_t base = static_cast<std::uint32_t>(out_.tables.size());
+      const std::uint32_t n = *count;
+      for (std::uint32_t i = 0; i <= n; ++i) {
+        auto d = reader_.read_uleb32();
+        if (!d.ok()) return Status::err(d.error());
+        if (*d >= frames_.size()) return Status::err("compile: br_table depth oob");
+        Frame& target = frames_[frames_.size() - 1 - *d];
+        const bool to_loop = target.kind == kLoop;
+        const std::uint16_t keep = static_cast<std::uint16_t>(to_loop ? 0 : target.arity);
+        const std::uint32_t drop = height_ - target.entry_height - keep;
+        out_.tables.push_back(
+            BrTableEntry{to_loop ? target.loop_target : 0, keep, drop});
+        if (!to_loop)
+          target.end_fixups.push_back(
+              static_cast<std::uint32_t>(out_.tables.size() - 1) | kFixupTableFlag);
+      }
+      emit(kBrTable, 0, base, n);
+      auto term = skip_dead_code();
+      if (!term.ok()) return Status::err(term.error());
+      return handle_block_terminator(*term);
+    }
+    case kReturn: {
+      emit(kReturn, static_cast<std::uint16_t>(out_.result_arity));
+      auto term = skip_dead_code();
+      if (!term.ok()) return Status::err(term.error());
+      return handle_block_terminator(*term);
+    }
+    case kCall: {
+      auto idx = reader_.read_uleb32();
+      if (!idx.ok()) return Status::err(idx.error());
+      const FuncType& ft = module_.func_type(*idx);
+      adjust_height(-static_cast<int>(ft.params.size()));
+      adjust_height(static_cast<int>(ft.results.size()));
+      emit(kCall, 0, *idx);
+      return {};
+    }
+    case kCallIndirect: {
+      auto ti = reader_.read_uleb32();
+      if (!ti.ok()) return Status::err(ti.error());
+      auto table = reader_.read_u8();
+      if (!table.ok()) return Status::err(table.error());
+      const FuncType& ft = module_.types[*ti];
+      adjust_height(-1);  // table index
+      adjust_height(-static_cast<int>(ft.params.size()));
+      adjust_height(static_cast<int>(ft.results.size()));
+      emit(kCallIndirect, 0, *ti);
+      return {};
+    }
+
+    case kDrop:
+      adjust_height(-1);
+      emit(kDrop);
+      return {};
+    case kSelect:
+      adjust_height(-2);
+      emit(kSelect);
+      return {};
+
+    case kLocalGet: {
+      auto idx = reader_.read_uleb32();
+      if (!idx.ok()) return Status::err(idx.error());
+      adjust_height(1);
+      emit(kLocalGet, 0, *idx);
+      return {};
+    }
+    case kLocalSet: {
+      auto idx = reader_.read_uleb32();
+      if (!idx.ok()) return Status::err(idx.error());
+      adjust_height(-1);
+      emit(kLocalSet, 0, *idx);
+      return {};
+    }
+    case kLocalTee: {
+      auto idx = reader_.read_uleb32();
+      if (!idx.ok()) return Status::err(idx.error());
+      emit(kLocalTee, 0, *idx);
+      return {};
+    }
+    case kGlobalGet: {
+      auto idx = reader_.read_uleb32();
+      if (!idx.ok()) return Status::err(idx.error());
+      adjust_height(1);
+      emit(kGlobalGet, 0, *idx);
+      return {};
+    }
+    case kGlobalSet: {
+      auto idx = reader_.read_uleb32();
+      if (!idx.ok()) return Status::err(idx.error());
+      adjust_height(-1);
+      emit(kGlobalSet, 0, *idx);
+      return {};
+    }
+
+    case kMemorySize: {
+      auto zero = reader_.read_u8();
+      if (!zero.ok()) return Status::err(zero.error());
+      adjust_height(1);
+      emit(kMemorySize);
+      return {};
+    }
+    case kMemoryGrow: {
+      auto zero = reader_.read_u8();
+      if (!zero.ok()) return Status::err(zero.error());
+      emit(kMemoryGrow);
+      return {};
+    }
+
+    case kI32Const: {
+      auto v = reader_.read_sleb32();
+      if (!v.ok()) return Status::err(v.error());
+      adjust_height(1);
+      emit(kI32Const, 0, 0, static_cast<std::uint32_t>(*v));
+      return {};
+    }
+    case kI64Const: {
+      auto v = reader_.read_sleb64();
+      if (!v.ok()) return Status::err(v.error());
+      adjust_height(1);
+      emit(kI64Const, 0, 0, static_cast<std::uint64_t>(*v));
+      return {};
+    }
+    case kF32Const: {
+      auto v = reader_.read_bytes(4);
+      if (!v.ok()) return Status::err(v.error());
+      adjust_height(1);
+      emit(kF32Const, 0, 0, get_u32le(v->data()));
+      return {};
+    }
+    case kF64Const: {
+      auto v = reader_.read_bytes(8);
+      if (!v.ok()) return Status::err(v.error());
+      adjust_height(1);
+      emit(kF64Const, 0, 0, get_u64le(v->data()));
+      return {};
+    }
+
+    case kPrefixFC: {
+      auto sub = reader_.read_uleb32();
+      if (!sub.ok()) return Status::err(sub.error());
+      if (*sub <= kI64TruncSatF64U) {
+        emit(static_cast<std::uint16_t>(kInstrTruncSatBase + *sub));
+        return {};
+      }
+      if (*sub == kMemoryCopy) {
+        auto a = reader_.read_u8();
+        auto b = reader_.read_u8();
+        if (!a.ok() || !b.ok()) return Status::err("compile: memory.copy");
+        adjust_height(-3);
+        emit(kInstrMemCopy);
+        return {};
+      }
+      if (*sub == kMemoryFill) {
+        auto a = reader_.read_u8();
+        if (!a.ok()) return Status::err("compile: memory.fill");
+        adjust_height(-3);
+        emit(kInstrMemFill);
+        return {};
+      }
+      return Status::err("compile: unsupported 0xFC opcode");
+    }
+
+    default:
+      break;
+  }
+
+  // Loads/stores.
+  if (op >= kI32Load && op <= kI64Load32U) {
+    auto align = reader_.read_uleb32();
+    if (!align.ok()) return Status::err(align.error());
+    auto offset = reader_.read_uleb32();
+    if (!offset.ok()) return Status::err(offset.error());
+    emit(op, 0, 0, *offset);  // height: pop addr, push value -> net 0
+    return {};
+  }
+  if (op >= kI32Store && op <= kI64Store32) {
+    auto align = reader_.read_uleb32();
+    if (!align.ok()) return Status::err(align.error());
+    auto offset = reader_.read_uleb32();
+    if (!offset.ok()) return Status::err(offset.error());
+    adjust_height(-2);
+    emit(op, 0, 0, *offset);
+    return {};
+  }
+
+  // Pure numeric ops: height effect.
+  const bool is_unary =
+      op == kI32Eqz || op == kI64Eqz || (op >= kI32Clz && op <= kI32Popcnt) ||
+      (op >= kI64Clz && op <= kI64Popcnt) || (op >= kF32Abs && op <= kF32Sqrt) ||
+      (op >= kF64Abs && op <= kF64Sqrt) || (op >= kI32WrapI64 && op <= kI64Extend32S);
+  const bool is_binary =
+      (op >= kI32Eq && op <= kF64Ge && op != kI64Eqz) ||
+      (op >= kI32Add && op <= kI32Rotr) || (op >= kI64Add && op <= kI64Rotr) ||
+      (op >= kF32Add && op <= kF32Copysign) || (op >= kF64Add && op <= kF64Copysign);
+  if (is_binary) {
+    adjust_height(-1);
+  } else if (!is_unary) {
+    return Status::err("compile: unknown opcode " + std::to_string(op));
+  }
+  emit(op);
+  return {};
+}
+
+}  // namespace
+
+Result<CompiledFunc> compile_function(const Module& module, std::uint32_t func_index) {
+  return Compiler(module, func_index).run();
+}
+
+}  // namespace watz::wasm

@@ -1,0 +1,437 @@
+#include "wasm/decoder.hpp"
+
+#include "common/leb128.hpp"
+#include "wasm/opcodes.hpp"
+
+namespace watz::wasm {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x6d736100;  // "\0asm"
+constexpr std::uint32_t kVersion = 1;
+
+#define TRY(var, expr)                                   \
+  auto var##_res = (expr);                               \
+  if (!var##_res.ok()) return Result<Module>::err(var##_res.error()); \
+  auto var = *var##_res
+
+/// Helper that threads a ByteReader through section parsing and collects the
+/// first error. Sub-parsers return Status.
+class Decoder {
+ public:
+  explicit Decoder(ByteView binary) : reader_(binary) {}
+
+  Result<Module> run() {
+    auto magic = reader_.read_u32le();
+    if (!magic.ok() || *magic != kMagic)
+      return Result<Module>::err("decode: bad magic");
+    auto version = reader_.read_u32le();
+    if (!version.ok() || *version != kVersion)
+      return Result<Module>::err("decode: unsupported version");
+
+    int last_section = -1;
+    while (!reader_.at_end()) {
+      auto id = reader_.read_u8();
+      if (!id.ok()) return Result<Module>::err(id.error());
+      auto size = reader_.read_uleb32();
+      if (!size.ok()) return Result<Module>::err(size.error());
+      auto payload = reader_.read_bytes(*size);
+      if (!payload.ok()) return Result<Module>::err("decode: truncated section");
+
+      if (*id != 0) {
+        if (*id <= last_section)
+          return Result<Module>::err("decode: out-of-order section");
+        if (*id > 11) return Result<Module>::err("decode: unknown section id");
+        last_section = *id;
+      }
+
+      ByteReader section(*payload);
+      const Status st = parse_section(*id, section);
+      if (!st.ok()) return Result<Module>::err(st.error());
+      if (*id != 0 && !section.at_end())
+        return Result<Module>::err("decode: trailing bytes in section");
+    }
+
+    if (module_.code.size() != module_.functions.size())
+      return Result<Module>::err("decode: function/code section count mismatch");
+    return std::move(module_);
+  }
+
+ private:
+  Status parse_section(std::uint8_t id, ByteReader& r) {
+    switch (id) {
+      case 0: return parse_custom(r);
+      case 1: return parse_types(r);
+      case 2: return parse_imports(r);
+      case 3: return parse_functions(r);
+      case 4: return parse_tables(r);
+      case 5: return parse_memories(r);
+      case 6: return parse_globals(r);
+      case 7: return parse_exports(r);
+      case 8: return parse_start(r);
+      case 9: return parse_elements(r);
+      case 10: return parse_code(r);
+      case 11: return parse_data(r);
+      default: return Status::err("decode: unknown section");
+    }
+  }
+
+  Result<std::string> read_name(ByteReader& r) {
+    auto len = r.read_uleb32();
+    if (!len.ok()) return Result<std::string>::err(len.error());
+    auto bytes = r.read_bytes(*len);
+    if (!bytes.ok()) return Result<std::string>::err(bytes.error());
+    return std::string(bytes->begin(), bytes->end());
+  }
+
+  Result<ValType> read_val_type(ByteReader& r) {
+    auto b = r.read_u8();
+    if (!b.ok()) return Result<ValType>::err(b.error());
+    switch (*b) {
+      case 0x7f: return ValType::I32;
+      case 0x7e: return ValType::I64;
+      case 0x7d: return ValType::F32;
+      case 0x7c: return ValType::F64;
+      case 0x70: return ValType::FuncRef;
+      default: return Result<ValType>::err("decode: invalid value type");
+    }
+  }
+
+  Result<Limits> read_limits(ByteReader& r) {
+    auto flags = r.read_u8();
+    if (!flags.ok()) return Result<Limits>::err(flags.error());
+    if (*flags > 1) return Result<Limits>::err("decode: invalid limits flags");
+    Limits lim;
+    auto min = r.read_uleb32();
+    if (!min.ok()) return Result<Limits>::err(min.error());
+    lim.min = *min;
+    if (*flags == 1) {
+      auto max = r.read_uleb32();
+      if (!max.ok()) return Result<Limits>::err(max.error());
+      lim.max = *max;
+      lim.has_max = true;
+      if (lim.max < lim.min) return Result<Limits>::err("decode: limits max < min");
+    }
+    return lim;
+  }
+
+  /// Copies a constant initialiser expression up to (not including) the
+  /// terminating `end`, validating it is one of the allowed shapes.
+  Result<Bytes> read_const_expr(ByteReader& r) {
+    Bytes expr;
+    auto op = r.read_u8();
+    if (!op.ok()) return Result<Bytes>::err(op.error());
+    expr.push_back(*op);
+    switch (*op) {
+      case kI32Const: {
+        auto v = r.read_sleb32();
+        if (!v.ok()) return Result<Bytes>::err(v.error());
+        write_sleb(expr, *v);
+        break;
+      }
+      case kI64Const: {
+        auto v = r.read_sleb64();
+        if (!v.ok()) return Result<Bytes>::err(v.error());
+        write_sleb(expr, *v);
+        break;
+      }
+      case kF32Const: {
+        auto v = r.read_bytes(4);
+        if (!v.ok()) return Result<Bytes>::err(v.error());
+        append(expr, *v);
+        break;
+      }
+      case kF64Const: {
+        auto v = r.read_bytes(8);
+        if (!v.ok()) return Result<Bytes>::err(v.error());
+        append(expr, *v);
+        break;
+      }
+      case kGlobalGet: {
+        auto v = r.read_uleb32();
+        if (!v.ok()) return Result<Bytes>::err(v.error());
+        write_uleb(expr, *v);
+        break;
+      }
+      default:
+        return Result<Bytes>::err("decode: unsupported constant expression");
+    }
+    auto end = r.read_u8();
+    if (!end.ok() || *end != kEnd)
+      return Result<Bytes>::err("decode: constant expression missing end");
+    return expr;
+  }
+
+  Status parse_custom(ByteReader& r) {
+    CustomSection cs;
+    auto name = read_name(r);
+    if (!name.ok()) return Status::err(name.error());
+    cs.name = *name;
+    auto rest = r.read_bytes(r.remaining());
+    cs.payload.assign(rest->begin(), rest->end());
+    module_.custom.push_back(std::move(cs));
+    return {};
+  }
+
+  Status parse_types(ByteReader& r) {
+    auto count = r.read_uleb32();
+    if (!count.ok()) return Status::err(count.error());
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto form = r.read_u8();
+      if (!form.ok() || *form != 0x60) return Status::err("decode: expected func type");
+      FuncType ft;
+      auto np = r.read_uleb32();
+      if (!np.ok()) return Status::err(np.error());
+      for (std::uint32_t j = 0; j < *np; ++j) {
+        auto t = read_val_type(r);
+        if (!t.ok()) return Status::err(t.error());
+        if (*t == ValType::FuncRef) return Status::err("decode: funcref param");
+        ft.params.push_back(*t);
+      }
+      auto nr = r.read_uleb32();
+      if (!nr.ok()) return Status::err(nr.error());
+      if (*nr > 1) return Status::err("decode: multi-value results unsupported");
+      for (std::uint32_t j = 0; j < *nr; ++j) {
+        auto t = read_val_type(r);
+        if (!t.ok()) return Status::err(t.error());
+        if (*t == ValType::FuncRef) return Status::err("decode: funcref result");
+        ft.results.push_back(*t);
+      }
+      module_.types.push_back(std::move(ft));
+    }
+    return {};
+  }
+
+  Status parse_imports(ByteReader& r) {
+    auto count = r.read_uleb32();
+    if (!count.ok()) return Status::err(count.error());
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      Import imp;
+      auto mod = read_name(r);
+      if (!mod.ok()) return Status::err(mod.error());
+      imp.module = *mod;
+      auto name = read_name(r);
+      if (!name.ok()) return Status::err(name.error());
+      imp.name = *name;
+      auto kind = r.read_u8();
+      if (!kind.ok() || *kind > 3) return Status::err("decode: bad import kind");
+      imp.kind = static_cast<ImportKind>(*kind);
+      switch (imp.kind) {
+        case ImportKind::Func: {
+          auto ti = r.read_uleb32();
+          if (!ti.ok()) return Status::err(ti.error());
+          if (*ti >= module_.types.size()) return Status::err("decode: import type oob");
+          imp.type_index = *ti;
+          break;
+        }
+        case ImportKind::Table: {
+          auto et = r.read_u8();
+          if (!et.ok() || *et != 0x70) return Status::err("decode: bad table elem type");
+          auto lim = read_limits(r);
+          if (!lim.ok()) return Status::err(lim.error());
+          imp.limits = *lim;
+          break;
+        }
+        case ImportKind::Memory: {
+          auto lim = read_limits(r);
+          if (!lim.ok()) return Status::err(lim.error());
+          imp.limits = *lim;
+          break;
+        }
+        case ImportKind::Global: {
+          auto t = read_val_type(r);
+          if (!t.ok()) return Status::err(t.error());
+          imp.global_type = *t;
+          auto mut = r.read_u8();
+          if (!mut.ok() || *mut > 1) return Status::err("decode: bad global mutability");
+          imp.global_mutable = *mut == 1;
+          break;
+        }
+      }
+      module_.imports.push_back(std::move(imp));
+    }
+    return {};
+  }
+
+  Status parse_functions(ByteReader& r) {
+    auto count = r.read_uleb32();
+    if (!count.ok()) return Status::err(count.error());
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto ti = r.read_uleb32();
+      if (!ti.ok()) return Status::err(ti.error());
+      if (*ti >= module_.types.size()) return Status::err("decode: func type oob");
+      module_.functions.push_back(*ti);
+    }
+    return {};
+  }
+
+  Status parse_tables(ByteReader& r) {
+    auto count = r.read_uleb32();
+    if (!count.ok()) return Status::err(count.error());
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto et = r.read_u8();
+      if (!et.ok() || *et != 0x70) return Status::err("decode: bad table elem type");
+      auto lim = read_limits(r);
+      if (!lim.ok()) return Status::err(lim.error());
+      module_.tables.push_back(*lim);
+    }
+    if (module_.tables.size() > 1) return Status::err("decode: multiple tables");
+    return {};
+  }
+
+  Status parse_memories(ByteReader& r) {
+    auto count = r.read_uleb32();
+    if (!count.ok()) return Status::err(count.error());
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto lim = read_limits(r);
+      if (!lim.ok()) return Status::err(lim.error());
+      module_.memories.push_back(*lim);
+    }
+    if (module_.memories.size() > 1) return Status::err("decode: multiple memories");
+    return {};
+  }
+
+  Status parse_globals(ByteReader& r) {
+    auto count = r.read_uleb32();
+    if (!count.ok()) return Status::err(count.error());
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      Global g;
+      auto t = read_val_type(r);
+      if (!t.ok()) return Status::err(t.error());
+      g.type = *t;
+      auto mut = r.read_u8();
+      if (!mut.ok() || *mut > 1) return Status::err("decode: bad global mutability");
+      g.mutable_ = *mut == 1;
+      auto expr = read_const_expr(r);
+      if (!expr.ok()) return Status::err(expr.error());
+      g.init_expr = *expr;
+      module_.globals.push_back(std::move(g));
+    }
+    return {};
+  }
+
+  Status parse_exports(ByteReader& r) {
+    auto count = r.read_uleb32();
+    if (!count.ok()) return Status::err(count.error());
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      Export ex;
+      auto name = read_name(r);
+      if (!name.ok()) return Status::err(name.error());
+      ex.name = *name;
+      auto kind = r.read_u8();
+      if (!kind.ok() || *kind > 3) return Status::err("decode: bad export kind");
+      ex.kind = static_cast<ImportKind>(*kind);
+      auto idx = r.read_uleb32();
+      if (!idx.ok()) return Status::err(idx.error());
+      ex.index = *idx;
+      for (const auto& other : module_.exports)
+        if (other.name == ex.name) return Status::err("decode: duplicate export name");
+      module_.exports.push_back(std::move(ex));
+    }
+    return {};
+  }
+
+  Status parse_start(ByteReader& r) {
+    auto idx = r.read_uleb32();
+    if (!idx.ok()) return Status::err(idx.error());
+    module_.start = *idx;
+    return {};
+  }
+
+  Status parse_elements(ByteReader& r) {
+    auto count = r.read_uleb32();
+    if (!count.ok()) return Status::err(count.error());
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      ElementSegment seg;
+      auto ti = r.read_uleb32();
+      if (!ti.ok()) return Status::err(ti.error());
+      if (*ti != 0) return Status::err("decode: only active table-0 elements supported");
+      seg.table_index = *ti;
+      auto expr = read_const_expr(r);
+      if (!expr.ok()) return Status::err(expr.error());
+      seg.offset_expr = *expr;
+      auto n = r.read_uleb32();
+      if (!n.ok()) return Status::err(n.error());
+      for (std::uint32_t j = 0; j < *n; ++j) {
+        auto fi = r.read_uleb32();
+        if (!fi.ok()) return Status::err(fi.error());
+        seg.func_indices.push_back(*fi);
+      }
+      module_.elements.push_back(std::move(seg));
+    }
+    return {};
+  }
+
+  Status parse_code(ByteReader& r) {
+    auto count = r.read_uleb32();
+    if (!count.ok()) return Status::err(count.error());
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto body_size = r.read_uleb32();
+      if (!body_size.ok()) return Status::err(body_size.error());
+      auto body = r.read_bytes(*body_size);
+      if (!body.ok()) return Status::err("decode: truncated function body");
+
+      ByteReader br(*body);
+      FunctionBody fb;
+      auto local_groups = br.read_uleb32();
+      if (!local_groups.ok()) return Status::err(local_groups.error());
+      for (std::uint32_t g = 0; g < *local_groups; ++g) {
+        auto n = br.read_uleb32();
+        if (!n.ok()) return Status::err(n.error());
+        auto t = read_val_type(br);
+        if (!t.ok()) return Status::err(t.error());
+        if (fb.locals.size() + *n > 65536) return Status::err("decode: too many locals");
+        fb.locals.insert(fb.locals.end(), *n, *t);
+      }
+      auto code = br.read_bytes(br.remaining());
+      fb.code.assign(code->begin(), code->end());
+      if (fb.code.empty() || fb.code.back() != kEnd)
+        return Status::err("decode: function body missing end");
+      module_.code.push_back(std::move(fb));
+    }
+    return {};
+  }
+
+  Status parse_data(ByteReader& r) {
+    auto count = r.read_uleb32();
+    if (!count.ok()) return Status::err(count.error());
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      DataSegment seg;
+      auto mi = r.read_uleb32();
+      if (!mi.ok()) return Status::err(mi.error());
+      if (*mi != 0) return Status::err("decode: only memory 0 data supported");
+      seg.memory_index = *mi;
+      auto expr = read_const_expr(r);
+      if (!expr.ok()) return Status::err(expr.error());
+      seg.offset_expr = *expr;
+      auto n = r.read_uleb32();
+      if (!n.ok()) return Status::err(n.error());
+      auto data = r.read_bytes(*n);
+      if (!data.ok()) return Status::err("decode: truncated data segment");
+      seg.data.assign(data->begin(), data->end());
+      module_.data.push_back(std::move(seg));
+    }
+    return {};
+  }
+
+  ByteReader reader_;
+  Module module_;
+};
+
+#undef TRY
+
+}  // namespace
+
+const FuncType& Module::func_type(std::uint32_t index) const {
+  std::uint32_t i = 0;
+  for (const auto& imp : imports) {
+    if (imp.kind != ImportKind::Func) continue;
+    if (i == index) return types[imp.type_index];
+    ++i;
+  }
+  return types[functions[index - i]];
+}
+
+Result<Module> decode_module(ByteView binary) { return Decoder(binary).run(); }
+
+}  // namespace watz::wasm

@@ -1,0 +1,13 @@
+// WebAssembly binary format decoder (spec 1.0 core, sections 0-11).
+#pragma once
+
+#include "common/result.hpp"
+#include "wasm/module.hpp"
+
+namespace watz::wasm {
+
+/// Decodes a binary module. Structural errors (bad magic, truncated
+/// sections, malformed LEB) are reported; type errors are left to validate().
+Result<Module> decode_module(ByteView binary);
+
+}  // namespace watz::wasm

@@ -1,0 +1,99 @@
+// In-memory representation of a decoded WebAssembly module (the output of
+// the binary decoder, the input of the validator and executors).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "wasm/types.hpp"
+
+namespace watz::wasm {
+
+enum class ImportKind : std::uint8_t { Func = 0, Table = 1, Memory = 2, Global = 3 };
+
+struct Import {
+  std::string module;
+  std::string name;
+  ImportKind kind = ImportKind::Func;
+  std::uint32_t type_index = 0;  // Func: index into Module::types
+  Limits limits;                 // Table/Memory
+  ValType global_type = ValType::I32;
+  bool global_mutable = false;
+};
+
+struct Export {
+  std::string name;
+  ImportKind kind = ImportKind::Func;
+  std::uint32_t index = 0;
+};
+
+struct Global {
+  ValType type = ValType::I32;
+  bool mutable_ = false;
+  Bytes init_expr;  // constant expression bytecode (without the final 0x0b)
+};
+
+struct ElementSegment {
+  std::uint32_t table_index = 0;
+  Bytes offset_expr;
+  std::vector<std::uint32_t> func_indices;
+};
+
+struct DataSegment {
+  std::uint32_t memory_index = 0;
+  Bytes offset_expr;
+  Bytes data;
+};
+
+struct FunctionBody {
+  /// Expanded local declarations (params NOT included).
+  std::vector<ValType> locals;
+  /// Raw instruction bytes, including the terminating 0x0b end.
+  Bytes code;
+};
+
+struct CustomSection {
+  std::string name;
+  Bytes payload;
+};
+
+struct Module {
+  std::vector<FuncType> types;
+  std::vector<Import> imports;
+  /// Type index per module-defined function (imported funcs excluded).
+  std::vector<std::uint32_t> functions;
+  std::vector<Limits> tables;
+  std::vector<Limits> memories;
+  std::vector<Global> globals;
+  std::vector<Export> exports;
+  std::optional<std::uint32_t> start;
+  std::vector<ElementSegment> elements;
+  std::vector<FunctionBody> code;
+  std::vector<DataSegment> data;
+  std::vector<CustomSection> custom;
+
+  std::uint32_t num_imported_funcs() const {
+    std::uint32_t n = 0;
+    for (const auto& imp : imports)
+      if (imp.kind == ImportKind::Func) ++n;
+    return n;
+  }
+
+  std::uint32_t num_imported_globals() const {
+    std::uint32_t n = 0;
+    for (const auto& imp : imports)
+      if (imp.kind == ImportKind::Global) ++n;
+    return n;
+  }
+
+  std::uint32_t total_funcs() const {
+    return num_imported_funcs() + static_cast<std::uint32_t>(functions.size());
+  }
+
+  /// Type of function `index` in the unified (imports-first) index space.
+  const FuncType& func_type(std::uint32_t index) const;
+};
+
+}  // namespace watz::wasm

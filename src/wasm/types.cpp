@@ -1,0 +1,43 @@
+#include "wasm/types.hpp"
+
+#include <cstring>
+
+namespace watz::wasm {
+
+const char* val_type_name(ValType t) {
+  switch (t) {
+    case ValType::I32: return "i32";
+    case ValType::I64: return "i64";
+    case ValType::F32: return "f32";
+    case ValType::F64: return "f64";
+    case ValType::FuncRef: return "funcref";
+  }
+  return "?";
+}
+
+Value Value::from_f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  return {ValType::F32, bits};
+}
+
+Value Value::from_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  return {ValType::F64, bits};
+}
+
+float Value::f32() const {
+  float v;
+  const std::uint32_t b = static_cast<std::uint32_t>(bits);
+  std::memcpy(&v, &b, 4);
+  return v;
+}
+
+double Value::f64() const {
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+}  // namespace watz::wasm

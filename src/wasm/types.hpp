@@ -1,0 +1,69 @@
+// Core WebAssembly type definitions (value types, function types, limits)
+// shared by the decoder, validator and executors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace watz::wasm {
+
+enum class ValType : std::uint8_t {
+  I32 = 0x7f,
+  I64 = 0x7e,
+  F32 = 0x7d,
+  F64 = 0x7c,
+  FuncRef = 0x70,
+};
+
+const char* val_type_name(ValType t);
+
+struct FuncType {
+  std::vector<ValType> params;
+  std::vector<ValType> results;
+
+  bool operator==(const FuncType&) const = default;
+};
+
+struct Limits {
+  std::uint32_t min = 0;
+  std::uint32_t max = UINT32_MAX;  // UINT32_MAX == unbounded
+  bool has_max = false;
+};
+
+/// A runtime value. Numeric payloads are stored in a 64-bit slot; floats are
+/// bit-cast in and out, so NaN payloads survive round trips.
+struct Value {
+  ValType type = ValType::I32;
+  std::uint64_t bits = 0;
+
+  static Value from_i32(std::int32_t v) {
+    return {ValType::I32, static_cast<std::uint32_t>(v)};
+  }
+  static Value from_u32(std::uint32_t v) { return {ValType::I32, v}; }
+  static Value from_i64(std::int64_t v) {
+    return {ValType::I64, static_cast<std::uint64_t>(v)};
+  }
+  static Value from_f32(float v);
+  static Value from_f64(double v);
+
+  std::int32_t i32() const { return static_cast<std::int32_t>(bits); }
+  std::uint32_t u32() const { return static_cast<std::uint32_t>(bits); }
+  std::int64_t i64() const { return static_cast<std::int64_t>(bits); }
+  std::uint64_t u64() const { return bits; }
+  float f32() const;
+  double f64() const;
+
+  bool operator==(const Value&) const = default;
+};
+
+inline constexpr std::uint32_t kPageSize = 65536;
+
+/// A trap: the Wasm sandbox stopped the program (out-of-bounds access,
+/// div-by-zero, unreachable, stack exhaustion...). Traps never corrupt the
+/// host: they unwind to the invoke() boundary.
+struct TrapInfo {
+  std::string message;
+};
+
+}  // namespace watz::wasm

@@ -1,0 +1,14 @@
+// WebAssembly module validation: full type checking of function bodies with
+// the spec's stack-polymorphic algorithm, plus index-space and segment
+// checks. A validated module cannot make the executors read out of bounds
+// of their own structures (linear-memory accesses are checked at run time).
+#pragma once
+
+#include "common/result.hpp"
+#include "wasm/module.hpp"
+
+namespace watz::wasm {
+
+Status validate_module(const Module& module);
+
+}  // namespace watz::wasm

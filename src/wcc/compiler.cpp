@@ -1,0 +1,1007 @@
+#include "wcc/compiler.hpp"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "wasm/builder.hpp"
+#include "wcc/lexer.hpp"
+
+namespace watz::wcc {
+
+namespace {
+
+using wasm::CodeEmitter;
+using wasm::ModuleBuilder;
+using wasm::ValType;
+namespace ops = watz::wasm;
+
+enum class Ty : std::uint8_t { Void, I32, I64, F64, PtrChar, PtrInt, PtrLong, PtrDouble };
+
+bool is_ptr(Ty t) { return t >= Ty::PtrChar; }
+
+Ty elem_type(Ty ptr) {
+  switch (ptr) {
+    case Ty::PtrChar: return Ty::I32;  // chars widen to i32
+    case Ty::PtrInt: return Ty::I32;
+    case Ty::PtrLong: return Ty::I64;
+    case Ty::PtrDouble: return Ty::F64;
+    default: return Ty::Void;
+  }
+}
+
+int elem_size(Ty ptr) {
+  switch (ptr) {
+    case Ty::PtrChar: return 1;
+    case Ty::PtrInt: return 4;
+    case Ty::PtrLong: return 8;
+    case Ty::PtrDouble: return 8;
+    default: return 0;
+  }
+}
+
+ValType val_type(Ty t) {
+  switch (t) {
+    case Ty::I64: return ValType::I64;
+    case Ty::F64: return ValType::F64;
+    default: return ValType::I32;  // i32, char and all pointers
+  }
+}
+
+const char* ty_name(Ty t) {
+  switch (t) {
+    case Ty::Void: return "void";
+    case Ty::I32: return "int";
+    case Ty::I64: return "long";
+    case Ty::F64: return "double";
+    case Ty::PtrChar: return "char*";
+    case Ty::PtrInt: return "int*";
+    case Ty::PtrLong: return "long*";
+    case Ty::PtrDouble: return "double*";
+  }
+  return "?";
+}
+
+struct CompileError {
+  std::string message;
+};
+
+[[noreturn]] void fail(const std::string& message, int line) {
+  throw CompileError{"wcc: " + message + " (line " + std::to_string(line) + ")"};
+}
+
+struct FuncInfo {
+  std::uint32_t index = 0;
+  Ty ret = Ty::Void;
+  std::vector<Ty> params;
+};
+
+struct GlobalInfo {
+  std::uint32_t index = 0;
+  Ty type = Ty::I32;
+};
+
+struct LocalInfo {
+  std::uint32_t index = 0;
+  Ty type = Ty::I32;
+};
+
+class Compiler {
+ public:
+  Compiler(std::vector<Token> tokens, CompileOptions options)
+      : tokens_(std::move(tokens)), options_(options) {}
+
+  Bytes run() {
+    // The bump-allocator pointer global must exist before user globals so
+    // its index is stable regardless of the program.
+    heap_ptr_global_ = builder_.add_global(ValType::I32, true,
+                                           static_cast<std::int64_t>(options_.heap_base));
+    collect_signatures();
+    pos_ = 0;
+    compile_program();
+    builder_.add_memory(options_.memory_pages, options_.memory_pages);
+    for (const DataSegment& seg : options_.data) builder_.add_data(seg.offset, seg.data);
+    builder_.add_export("memory", wasm::ImportKind::Memory, 0);
+    return builder_.build();
+  }
+
+ private:
+  // -- token helpers ---------------------------------------------------------
+
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool check(Tok kind) const { return peek().kind == kind; }
+  bool match(Tok kind) {
+    if (!check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  const Token& expect(Tok kind, const char* what) {
+    if (!check(kind)) fail(std::string("expected ") + what, peek().line);
+    return advance();
+  }
+  int line() const { return peek().line; }
+
+  bool at_type_keyword() const {
+    const Tok k = peek().kind;
+    return k == Tok::KwInt || k == Tok::KwLong || k == Tok::KwDouble ||
+           k == Tok::KwChar || k == Tok::KwVoid;
+  }
+
+  Ty parse_type() {
+    Ty base;
+    switch (advance().kind) {
+      case Tok::KwInt: base = Ty::I32; break;
+      case Tok::KwLong: base = Ty::I64; break;
+      case Tok::KwDouble: base = Ty::F64; break;
+      case Tok::KwChar: base = Ty::I32; break;  // char rvalues are i32
+      case Tok::KwVoid: base = Ty::Void; break;
+      default: fail("expected type", peek().line);
+    }
+    if (match(Tok::Star)) {
+      switch (base) {
+        case Ty::I32: return tokens_[pos_ - 2].kind == Tok::KwChar ? Ty::PtrChar : Ty::PtrInt;
+        case Ty::I64: return Ty::PtrLong;
+        case Ty::F64: return Ty::PtrDouble;
+        default: fail("cannot form pointer to this type", line());
+      }
+    }
+    return base;
+  }
+
+  // -- pass 1: signatures ------------------------------------------------------
+
+  /// Import-module resolution for extern declarations: WASI-RA names map
+  /// to the "wasi_ra" module, everything else to wasi_snapshot_preview1.
+  static std::string import_module_for(const std::string& name) {
+    return name.rfind("wasi_ra_", 0) == 0 ? "wasi_ra" : "wasi_snapshot_preview1";
+  }
+
+  void collect_signatures() {
+    // Extern (host import) declarations must precede all definitions so
+    // their function indices come first (Wasm's imports-first index space).
+    while (match(Tok::KwExtern)) {
+      FuncInfo info;
+      info.ret = parse_type();
+      const std::string name = expect(Tok::Ident, "identifier").text;
+      expect(Tok::LParen, "(");
+      std::vector<ValType> wasm_params;
+      if (!check(Tok::RParen)) {
+        do {
+          const Ty pt = parse_type();
+          if (check(Tok::Ident)) advance();  // parameter name optional
+          info.params.push_back(pt);
+          wasm_params.push_back(val_type(pt));
+        } while (match(Tok::Comma));
+      }
+      expect(Tok::RParen, ")");
+      expect(Tok::Semi, ";");
+      std::vector<ValType> results;
+      if (info.ret != Ty::Void) results.push_back(val_type(info.ret));
+      info.index = builder_.import_function(import_module_for(name), name,
+                                            {wasm_params, results});
+      funcs_[name] = std::move(info);
+    }
+    while (!check(Tok::End)) {
+      const Ty type = parse_type();
+      const std::string name = expect(Tok::Ident, "identifier").text;
+      if (match(Tok::LParen)) {
+        FuncInfo info;
+        info.ret = type;
+        std::vector<ValType> wasm_params;
+        if (!check(Tok::RParen)) {
+          do {
+            const Ty pt = parse_type();
+            expect(Tok::Ident, "parameter name");
+            info.params.push_back(pt);
+            wasm_params.push_back(val_type(pt));
+          } while (match(Tok::Comma));
+        }
+        expect(Tok::RParen, ")");
+        std::vector<ValType> results;
+        if (type != Ty::Void) results.push_back(val_type(type));
+        info.index = builder_.add_function({wasm_params, results});
+        builder_.export_function(name, info.index);
+        if (funcs_.contains(name)) fail("duplicate function " + name, line());
+        funcs_[name] = std::move(info);
+        skip_braced_block();
+      } else {
+        // Global declaration.
+        GlobalInfo info;
+        info.type = type;
+        if (match(Tok::Assign)) {
+          const Token& init = advance();
+          if (type == Ty::F64) {
+            const double v = init.kind == Tok::FloatLit
+                                 ? init.float_value
+                                 : static_cast<double>(init.int_value);
+            info.index = builder_.add_global_f64(true, v);
+          } else if (init.kind == Tok::IntLit) {
+            info.index = builder_.add_global(val_type(type), true,
+                                             static_cast<std::int64_t>(init.int_value));
+          } else {
+            fail("global initialiser must be a constant literal", init.line);
+          }
+        } else {
+          info.index = type == Ty::F64 ? builder_.add_global_f64(true, 0)
+                                       : builder_.add_global(val_type(type), true, 0);
+        }
+        expect(Tok::Semi, ";");
+        globals_[name] = info;
+      }
+    }
+  }
+
+  void skip_braced_block() {
+    expect(Tok::LBrace, "{");
+    int depth = 1;
+    while (depth > 0) {
+      const Tok k = advance().kind;
+      if (k == Tok::LBrace) ++depth;
+      if (k == Tok::RBrace) --depth;
+      if (k == Tok::End) fail("unterminated function body", line());
+    }
+  }
+
+  // -- pass 2: code generation --------------------------------------------------
+
+  void compile_program() {
+    while (match(Tok::KwExtern)) {  // skip extern declarations in pass 2
+      while (!match(Tok::Semi)) advance();
+    }
+    while (!check(Tok::End)) {
+      const Ty type = parse_type();
+      const std::string name = expect(Tok::Ident, "identifier").text;
+      if (match(Tok::LParen)) {
+        compile_function(name, type);
+      } else {
+        // Global; already registered in pass 1.
+        while (!match(Tok::Semi)) advance();
+      }
+    }
+  }
+
+  struct LoopContext {
+    std::uint32_t break_depth;     // block depth of the exit block
+    std::uint32_t continue_depth;  // block depth of the continue target
+  };
+
+  void compile_function(const std::string& name, Ty /*ret*/) {
+    current_ = &funcs_.at(name);
+    scopes_.clear();
+    scopes_.emplace_back();
+    local_types_.clear();
+    next_local_ = 0;
+    scratch_.clear();
+    scratch2_.clear();
+    emitter_ = CodeEmitter{};
+    block_depth_ = 0;
+    loops_.clear();
+
+    // Parameters occupy the first local slots.
+    std::size_t param_i = 0;
+    if (!check(Tok::RParen)) {
+      do {
+        parse_type();
+        const std::string pname = expect(Tok::Ident, "parameter name").text;
+        scopes_.back()[pname] = LocalInfo{next_local_++, current_->params[param_i++]};
+      } while (match(Tok::Comma));
+    }
+    expect(Tok::RParen, ")");
+
+    expect(Tok::LBrace, "{");
+    while (!check(Tok::RBrace)) compile_statement();
+    expect(Tok::RBrace, "}");
+
+    // Falling off the end of a non-void function traps (C UB surfaced as a
+    // sandbox trap); for void functions the implicit end suffices.
+    if (current_->ret != Ty::Void) emitter_.op(ops::kUnreachable);
+
+    builder_.set_locals(current_->index, local_types_);
+    builder_.set_body(current_->index, emitter_.bytes());
+  }
+
+  std::uint32_t new_local(Ty type) {
+    local_types_.push_back(val_type(type));
+    return next_local_++;
+  }
+
+  /// Per-function scratch locals for compound assignment / alloc sequences.
+  std::uint32_t scratch(ValType vt) {
+    auto it = scratch_.find(vt);
+    if (it != scratch_.end()) return it->second;
+    local_types_.push_back(vt);
+    const std::uint32_t idx = next_local_++;
+    scratch_[vt] = idx;
+    return idx;
+  }
+  std::uint32_t scratch2(ValType vt) {
+    auto it = scratch2_.find(vt);
+    if (it != scratch2_.end()) return it->second;
+    local_types_.push_back(vt);
+    const std::uint32_t idx = next_local_++;
+    scratch2_[vt] = idx;
+    return idx;
+  }
+
+  const LocalInfo* find_local(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  // -- statements ---------------------------------------------------------------
+
+  void compile_statement() {
+    if (match(Tok::LBrace)) {
+      scopes_.emplace_back();
+      while (!check(Tok::RBrace)) compile_statement();
+      expect(Tok::RBrace, "}");
+      scopes_.pop_back();
+      return;
+    }
+    if (at_type_keyword()) {
+      compile_local_decl();
+      return;
+    }
+    if (match(Tok::KwIf)) {
+      compile_if();
+      return;
+    }
+    if (match(Tok::KwWhile)) {
+      compile_while();
+      return;
+    }
+    if (match(Tok::KwFor)) {
+      compile_for();
+      return;
+    }
+    if (match(Tok::KwReturn)) {
+      if (current_->ret == Ty::Void) {
+        expect(Tok::Semi, ";");
+        emitter_.op(ops::kReturn);
+        return;
+      }
+      const Ty ty = compile_expression();
+      convert(ty, current_->ret);
+      expect(Tok::Semi, ";");
+      emitter_.op(ops::kReturn);
+      return;
+    }
+    if (match(Tok::KwBreak)) {
+      expect(Tok::Semi, ";");
+      if (loops_.empty()) fail("break outside loop", line());
+      emitter_.br(block_depth_ - loops_.back().break_depth);
+      return;
+    }
+    if (match(Tok::KwContinue)) {
+      expect(Tok::Semi, ";");
+      if (loops_.empty()) fail("continue outside loop", line());
+      emitter_.br(block_depth_ - loops_.back().continue_depth);
+      return;
+    }
+    if (match(Tok::Semi)) return;  // empty statement
+    // Expression statement: discard any produced value.
+    const Ty ty = compile_expression();
+    if (ty != Ty::Void) emitter_.op(ops::kDrop);
+    expect(Tok::Semi, ";");
+  }
+
+  void compile_local_decl() {
+    const Ty type = parse_type();
+    if (type == Ty::Void) fail("void local", line());
+    const std::string name = expect(Tok::Ident, "local name").text;
+    const std::uint32_t idx = new_local(type);
+    if (match(Tok::Assign)) {
+      const Ty vt = compile_expression();
+      convert(vt, type);
+      emitter_.local_set(idx);
+    }
+    scopes_.back()[name] = LocalInfo{idx, type};
+    expect(Tok::Semi, ";");
+  }
+
+  void compile_condition() {
+    expect(Tok::LParen, "(");
+    const Ty ty = compile_expression();
+    to_bool(ty);
+    expect(Tok::RParen, ")");
+  }
+
+  void compile_if() {
+    compile_condition();
+    emitter_.if_();
+    ++block_depth_;
+    compile_statement();
+    if (match(Tok::KwElse)) {
+      emitter_.else_();
+      compile_statement();
+    }
+    emitter_.end();
+    --block_depth_;
+  }
+
+  void compile_while() {
+    emitter_.block();  // exit
+    ++block_depth_;
+    const std::uint32_t exit_depth = block_depth_;
+    emitter_.loop();  // top
+    ++block_depth_;
+    const std::uint32_t top_depth = block_depth_;
+    compile_condition();
+    emitter_.op(ops::kI32Eqz).br_if(block_depth_ - exit_depth);
+    loops_.push_back(LoopContext{exit_depth, top_depth});
+    compile_statement();
+    loops_.pop_back();
+    emitter_.br(block_depth_ - top_depth);
+    emitter_.end();  // loop
+    --block_depth_;
+    emitter_.end();  // exit block
+    --block_depth_;
+  }
+
+  void compile_for() {
+    expect(Tok::LParen, "(");
+    scopes_.emplace_back();
+    // init
+    if (!check(Tok::Semi)) {
+      if (at_type_keyword()) {
+        compile_local_decl();  // consumes ';'
+      } else {
+        const Ty ty = compile_expression();
+        if (ty != Ty::Void) emitter_.op(ops::kDrop);
+        expect(Tok::Semi, ";");
+      }
+    } else {
+      expect(Tok::Semi, ";");
+    }
+
+    emitter_.block();  // exit
+    ++block_depth_;
+    const std::uint32_t exit_depth = block_depth_;
+    emitter_.loop();  // top
+    ++block_depth_;
+    const std::uint32_t top_depth = block_depth_;
+
+    // condition (empty == true)
+    if (!check(Tok::Semi)) {
+      const Ty ty = compile_expression();
+      to_bool(ty);
+      emitter_.op(ops::kI32Eqz).br_if(block_depth_ - exit_depth);
+    }
+    expect(Tok::Semi, ";");
+
+    // increment: captured as tokens, emitted after the body.
+    const std::size_t inc_start = pos_;
+    int paren = 0;
+    while (paren > 0 || !check(Tok::RParen)) {
+      if (check(Tok::LParen)) ++paren;
+      if (check(Tok::RParen)) --paren;
+      if (check(Tok::End)) fail("unterminated for header", line());
+      ++pos_;
+    }
+    const std::size_t inc_end = pos_;
+    expect(Tok::RParen, ")");
+
+    // continue lands on a block wrapping the body, so the increment runs.
+    emitter_.block();  // continue target
+    ++block_depth_;
+    const std::uint32_t cont_depth = block_depth_;
+    loops_.push_back(LoopContext{exit_depth, cont_depth});
+    compile_statement();
+    loops_.pop_back();
+    emitter_.end();
+    --block_depth_;
+
+    if (inc_end > inc_start) {
+      const std::size_t after_body = pos_;
+      pos_ = inc_start;
+      const Ty ty = compile_expression();
+      if (ty != Ty::Void) emitter_.op(ops::kDrop);
+      if (pos_ != inc_end) fail("bad for-increment expression", line());
+      pos_ = after_body;
+    }
+    emitter_.br(block_depth_ - top_depth);
+    emitter_.end();  // loop
+    --block_depth_;
+    emitter_.end();  // exit
+    --block_depth_;
+    scopes_.pop_back();
+  }
+
+  // -- type plumbing -------------------------------------------------------------
+
+  /// Emits a conversion of the stack top from `from` to `to`.
+  void convert(Ty from, Ty to) {
+    if (from == to) return;
+    if (is_ptr(from) && (to == Ty::I32 || is_ptr(to))) return;  // ptrs are i32
+    if (from == Ty::I32 && is_ptr(to)) return;
+    switch (to) {
+      case Ty::I32:
+        if (from == Ty::I64) { emitter_.op(ops::kI32WrapI64); return; }
+        if (from == Ty::F64) { emitter_.op(ops::kI32TruncF64S); return; }
+        break;
+      case Ty::I64:
+        if (from == Ty::I32) { emitter_.op(ops::kI64ExtendI32S); return; }
+        if (from == Ty::F64) { emitter_.op(ops::kI64TruncF64S); return; }
+        break;
+      case Ty::F64:
+        if (from == Ty::I32) { emitter_.op(ops::kF64ConvertI32S); return; }
+        if (from == Ty::I64) { emitter_.op(ops::kF64ConvertI64S); return; }
+        break;
+      default:
+        break;
+    }
+    fail(std::string("cannot convert ") + ty_name(from) + " to " + ty_name(to), line());
+  }
+
+  /// Normalises the stack top to an i32 boolean.
+  void to_bool(Ty ty) {
+    switch (ty) {
+      case Ty::I64:
+        emitter_.i64_const(0).op(ops::kI64Ne);
+        return;
+      case Ty::F64:
+        emitter_.f64_const(0).op(ops::kF64Ne);
+        return;
+      case Ty::Void:
+        fail("void value used as condition", line());
+      default:
+        emitter_.i32_const(0).op(ops::kI32Ne);
+        return;  // i32 / pointer
+    }
+  }
+
+  /// Promotes binary operands to a common type. The right operand is on top
+  /// of the stack; converting the *left* operand spills the right to a
+  /// scratch local.
+  Ty promote(Ty lhs, Ty rhs) {
+    Ty common;
+    if (lhs == Ty::F64 || rhs == Ty::F64) common = Ty::F64;
+    else if (lhs == Ty::I64 || rhs == Ty::I64) common = Ty::I64;
+    else common = Ty::I32;
+    if (rhs != common) convert(rhs, common);
+    if (lhs != common) {
+      const std::uint32_t spill = scratch(val_type(common));
+      emitter_.local_set(spill);
+      convert(lhs, common);
+      emitter_.local_get(spill);
+    }
+    return common;
+  }
+
+  // -- expressions -----------------------------------------------------------------
+
+  struct Operand {
+    enum class Kind { RValue, Var, Addr } kind = Kind::RValue;
+    Ty type = Ty::Void;           // value type (element type for Addr)
+    bool is_global = false;       // for Var
+    std::uint32_t index = 0;      // local/global index for Var
+    ops::Op load_op = ops::kI32Load;   // for Addr (char* uses byte access)
+    ops::Op store_op = ops::kI32Store;
+  };
+
+  /// Forces the operand into a value on the stack.
+  Ty materialize(const Operand& op) {
+    switch (op.kind) {
+      case Operand::Kind::RValue:
+        return op.type;
+      case Operand::Kind::Var:
+        if (op.is_global) emitter_.global_get(op.index);
+        else emitter_.local_get(op.index);
+        return op.type;
+      case Operand::Kind::Addr:
+        emitter_.load(op.load_op, 0);
+        return op.type;
+    }
+    return Ty::Void;
+  }
+
+  Ty compile_expression() { return compile_assignment(); }
+
+  Ty compile_assignment() {
+    const std::size_t save = pos_;
+    Operand lhs = compile_unary();
+    const Tok k = peek().kind;
+    const bool is_assign = k == Tok::Assign || k == Tok::PlusAssign ||
+                           k == Tok::MinusAssign || k == Tok::StarAssign ||
+                           k == Tok::SlashAssign;
+    if (!is_assign) {
+      // Not an assignment: materialize and continue with binary operators.
+      const Ty ty = materialize(lhs);
+      return compile_binary_rest(ty, 0);
+    }
+    if (lhs.kind == Operand::Kind::RValue) fail("assignment to rvalue", line());
+    advance();  // consume the operator
+    (void)save;
+
+    if (lhs.kind == Operand::Kind::Var) {
+      if (k != Tok::Assign) {
+        // x op= v  =>  x = x op v
+        if (lhs.is_global) emitter_.global_get(lhs.index);
+        else emitter_.local_get(lhs.index);
+        const Ty rt = compile_assignment();
+        const Ty common = promote(lhs.type, rt);
+        emit_arith(k, common);
+        convert(common, lhs.type);
+      } else {
+        const Ty rt = compile_assignment();
+        convert(rt, lhs.type);
+      }
+      if (lhs.is_global) emitter_.global_set(lhs.index);
+      else emitter_.local_set(lhs.index);
+      return Ty::Void;
+    }
+
+    // Addr lvalue: address is on the stack. A *fresh* local holds the
+    // address: the RHS may itself use the shared scratch slots.
+    if (k != Tok::Assign) {
+      const std::uint32_t addr_spill = new_local(Ty::I32);
+      emitter_.local_tee(addr_spill);
+      emitter_.load(lhs.load_op, 0);
+      const Ty rt = compile_assignment();
+      const Ty common = promote(lhs.type, rt);
+      emit_arith(k, common);
+      convert(common, lhs.type);
+      const std::uint32_t val_spill = new_local(lhs.type);
+      emitter_.local_set(val_spill);
+      emitter_.local_get(addr_spill);
+      emitter_.local_get(val_spill);
+      emitter_.store(lhs.store_op, 0);
+    } else {
+      const Ty rt = compile_assignment();
+      convert(rt, lhs.type);
+      emitter_.store(lhs.store_op, 0);
+    }
+    return Ty::Void;
+  }
+
+  void emit_arith(Tok op, Ty ty) {
+    switch (op) {
+      case Tok::PlusAssign: emit_binop(Tok::Plus, ty); return;
+      case Tok::MinusAssign: emit_binop(Tok::Minus, ty); return;
+      case Tok::StarAssign: emit_binop(Tok::Star, ty); return;
+      case Tok::SlashAssign: emit_binop(Tok::Slash, ty); return;
+      default: fail("bad compound assignment", line());
+    }
+  }
+
+  static int precedence(Tok k) {
+    switch (k) {
+      case Tok::OrOr: return 1;
+      case Tok::AndAnd: return 2;
+      case Tok::Pipe: return 3;
+      case Tok::Caret: return 4;
+      case Tok::Amp: return 5;
+      case Tok::EqEq: case Tok::NotEq: return 6;
+      case Tok::Lt: case Tok::Gt: case Tok::Le: case Tok::Ge: return 7;
+      case Tok::Shl: case Tok::Shr: return 8;
+      case Tok::Plus: case Tok::Minus: return 9;
+      case Tok::Star: case Tok::Slash: case Tok::Percent: return 10;
+      default: return -1;
+    }
+  }
+
+  Ty compile_binary_rest(Ty lhs_ty, int min_prec) {
+    for (;;) {
+      const Tok op = peek().kind;
+      const int prec = precedence(op);
+      if (prec < min_prec || prec < 0) return lhs_ty;
+      advance();
+
+      if (op == Tok::AndAnd || op == Tok::OrOr) {
+        to_bool(lhs_ty);
+        emitter_.if_(0x7f);
+        ++block_depth_;
+        if (op == Tok::AndAnd) {
+          const Ty rhs = compile_operand(prec + 1);
+          to_bool(rhs);
+          emitter_.else_();
+          emitter_.i32_const(0);
+        } else {
+          emitter_.i32_const(1);
+          emitter_.else_();
+          const Ty rhs = compile_operand(prec + 1);
+          to_bool(rhs);
+        }
+        emitter_.end();
+        --block_depth_;
+        lhs_ty = Ty::I32;
+        continue;
+      }
+
+      const Ty rhs_ty = compile_operand(prec + 1);
+      const Ty common = promote(lhs_ty, rhs_ty);
+      lhs_ty = emit_binop(op, common);
+    }
+  }
+
+  /// Parses and materializes one operand at the given precedence floor.
+  Ty compile_operand(int min_prec) {
+    const Ty ty = materialize(compile_unary());
+    return compile_binary_rest(ty, min_prec);
+  }
+
+  /// Emits the operator; returns the result type.
+  Ty emit_binop(Tok op, Ty ty) {
+    const bool f = ty == Ty::F64;
+    const bool l = ty == Ty::I64;
+    switch (op) {
+      case Tok::Plus: emitter_.op(f ? ops::kF64Add : l ? ops::kI64Add : ops::kI32Add); return ty;
+      case Tok::Minus: emitter_.op(f ? ops::kF64Sub : l ? ops::kI64Sub : ops::kI32Sub); return ty;
+      case Tok::Star: emitter_.op(f ? ops::kF64Mul : l ? ops::kI64Mul : ops::kI32Mul); return ty;
+      case Tok::Slash: emitter_.op(f ? ops::kF64Div : l ? ops::kI64DivS : ops::kI32DivS); return ty;
+      case Tok::Percent:
+        if (f) fail("%% on double", line());
+        emitter_.op(l ? ops::kI64RemS : ops::kI32RemS);
+        return ty;
+      case Tok::Amp:
+        if (f) fail("& on double", line());
+        emitter_.op(l ? ops::kI64And : ops::kI32And);
+        return ty;
+      case Tok::Pipe:
+        if (f) fail("| on double", line());
+        emitter_.op(l ? ops::kI64Or : ops::kI32Or);
+        return ty;
+      case Tok::Caret:
+        if (f) fail("^ on double", line());
+        emitter_.op(l ? ops::kI64Xor : ops::kI32Xor);
+        return ty;
+      case Tok::Shl:
+        if (f) fail("<< on double", line());
+        emitter_.op(l ? ops::kI64Shl : ops::kI32Shl);
+        return ty;
+      case Tok::Shr:
+        if (f) fail(">> on double", line());
+        emitter_.op(l ? ops::kI64ShrS : ops::kI32ShrS);
+        return ty;
+      case Tok::EqEq: emitter_.op(f ? ops::kF64Eq : l ? ops::kI64Eq : ops::kI32Eq); return Ty::I32;
+      case Tok::NotEq: emitter_.op(f ? ops::kF64Ne : l ? ops::kI64Ne : ops::kI32Ne); return Ty::I32;
+      case Tok::Lt: emitter_.op(f ? ops::kF64Lt : l ? ops::kI64LtS : ops::kI32LtS); return Ty::I32;
+      case Tok::Gt: emitter_.op(f ? ops::kF64Gt : l ? ops::kI64GtS : ops::kI32GtS); return Ty::I32;
+      case Tok::Le: emitter_.op(f ? ops::kF64Le : l ? ops::kI64LeS : ops::kI32LeS); return Ty::I32;
+      case Tok::Ge: emitter_.op(f ? ops::kF64Ge : l ? ops::kI64GeS : ops::kI32GeS); return Ty::I32;
+      default: fail("bad binary operator", line());
+    }
+  }
+
+  Operand compile_unary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case Tok::IntLit: {
+        advance();
+        if (t.int_value <= 0x7fffffffULL) {
+          emitter_.i32_const(static_cast<std::int32_t>(t.int_value));
+          return Operand{Operand::Kind::RValue, Ty::I32, false, 0};
+        }
+        emitter_.i64_const(static_cast<std::int64_t>(t.int_value));
+        return Operand{Operand::Kind::RValue, Ty::I64, false, 0};
+      }
+      case Tok::FloatLit:
+        advance();
+        emitter_.f64_const(t.float_value);
+        return Operand{Operand::Kind::RValue, Ty::F64, false, 0};
+      case Tok::Minus: {
+        advance();
+        const Ty ty = materialize(compile_unary());
+        switch (ty) {
+          case Ty::F64: emitter_.op(ops::kF64Neg); break;
+          case Ty::I64: {
+            const std::uint32_t spill = scratch(ValType::I64);
+            emitter_.local_set(spill).i64_const(0).local_get(spill).op(ops::kI64Sub);
+            break;
+          }
+          default: {
+            const std::uint32_t spill = scratch(ValType::I32);
+            emitter_.local_set(spill).i32_const(0).local_get(spill).op(ops::kI32Sub);
+            break;
+          }
+        }
+        return Operand{Operand::Kind::RValue, ty, false, 0};
+      }
+      case Tok::Not: {
+        advance();
+        const Ty ty = materialize(compile_unary());
+        to_bool(ty);
+        emitter_.op(ops::kI32Eqz);
+        return Operand{Operand::Kind::RValue, Ty::I32, false, 0};
+      }
+      case Tok::Tilde: {
+        advance();
+        const Ty ty = materialize(compile_unary());
+        if (ty == Ty::I64)
+          emitter_.i64_const(-1).op(ops::kI64Xor);
+        else
+          emitter_.i32_const(-1).op(ops::kI32Xor);
+        return Operand{Operand::Kind::RValue, ty, false, 0};
+      }
+      case Tok::LParen: {
+        // Cast or parenthesised expression.
+        if (peek(1).kind == Tok::KwInt || peek(1).kind == Tok::KwLong ||
+            peek(1).kind == Tok::KwDouble || peek(1).kind == Tok::KwChar) {
+          advance();
+          const Ty target = parse_type();
+          expect(Tok::RParen, ")");
+          const Ty from = materialize(compile_unary());
+          convert(from, is_ptr(target) ? Ty::I32 : target);
+          return Operand{Operand::Kind::RValue, target, false, 0};
+        }
+        advance();
+        const Ty ty = compile_expression();
+        expect(Tok::RParen, ")");
+        return Operand{Operand::Kind::RValue, ty, false, 0};
+      }
+      case Tok::PlusPlus:
+      case Tok::MinusMinus: {
+        advance();
+        const std::string name = expect(Tok::Ident, "identifier").text;
+        emit_incdec(name, t.kind == Tok::PlusPlus);
+        return Operand{Operand::Kind::RValue, Ty::Void, false, 0};
+      }
+      case Tok::Ident:
+        return compile_postfix();
+      default:
+        fail("unexpected token in expression", t.line);
+    }
+  }
+
+  void emit_incdec(const std::string& name, bool inc) {
+    const LocalInfo* local = find_local(name);
+    if (local != nullptr) {
+      emitter_.local_get(local->index);
+      emit_one(local->type, inc);
+      emitter_.local_set(local->index);
+      return;
+    }
+    const auto g = globals_.find(name);
+    if (g == globals_.end()) fail("unknown variable " + name, line());
+    emitter_.global_get(g->second.index);
+    emit_one(g->second.type, inc);
+    emitter_.global_set(g->second.index);
+  }
+
+  void emit_one(Ty ty, bool inc) {
+    switch (ty) {
+      case Ty::F64:
+        emitter_.f64_const(1).op(inc ? ops::kF64Add : ops::kF64Sub);
+        break;
+      case Ty::I64:
+        emitter_.i64_const(1).op(inc ? ops::kI64Add : ops::kI64Sub);
+        break;
+      default:
+        emitter_.i32_const(1).op(inc ? ops::kI32Add : ops::kI32Sub);
+        break;
+    }
+  }
+
+  Operand compile_postfix() {
+    const std::string name = expect(Tok::Ident, "identifier").text;
+
+    if (check(Tok::LParen)) return compile_call(name);
+
+    // Variable reference.
+    Operand var;
+    const LocalInfo* local = find_local(name);
+    if (local != nullptr) {
+      var = Operand{Operand::Kind::Var, local->type, false, local->index};
+    } else {
+      const auto g = globals_.find(name);
+      if (g == globals_.end()) fail("unknown identifier " + name, line());
+      var = Operand{Operand::Kind::Var, g->second.type, true, g->second.index};
+    }
+
+    if (check(Tok::PlusPlus) || check(Tok::MinusMinus)) {
+      const bool inc = advance().kind == Tok::PlusPlus;
+      emit_incdec(name, inc);
+      return Operand{Operand::Kind::RValue, Ty::Void, false, 0};
+    }
+
+    if (match(Tok::LBracket)) {
+      if (!is_ptr(var.type)) fail(name + " is not a pointer", line());
+      const Ty elem = elem_type(var.type);
+      const int size = elem_size(var.type);
+      materialize(var);  // base address
+      const Ty idx_ty = compile_expression();
+      convert(idx_ty, Ty::I32);
+      if (size > 1) emitter_.i32_const(size).op(ops::kI32Mul);
+      emitter_.op(ops::kI32Add);
+      expect(Tok::RBracket, "]");
+      ops::Op lop, sop;
+      switch (var.type) {
+        case Ty::PtrChar: lop = ops::kI32Load8U; sop = ops::kI32Store8; break;
+        case Ty::PtrLong: lop = ops::kI64Load; sop = ops::kI64Store; break;
+        case Ty::PtrDouble: lop = ops::kF64Load; sop = ops::kF64Store; break;
+        default: lop = ops::kI32Load; sop = ops::kI32Store; break;
+      }
+      return Operand{Operand::Kind::Addr, elem, false, 0, lop, sop};
+    }
+
+    return var;
+  }
+
+  Operand compile_call(const std::string& name) {
+    expect(Tok::LParen, "(");
+
+    // Builtins.
+    if (name == "sqrt" || name == "fabs" || name == "floor") {
+      const Ty ty = compile_expression();
+      convert(ty, Ty::F64);
+      expect(Tok::RParen, ")");
+      emitter_.op(name == "sqrt" ? ops::kF64Sqrt
+                                 : name == "fabs" ? ops::kF64Abs : ops::kF64Floor);
+      return Operand{Operand::Kind::RValue, Ty::F64, false, 0};
+    }
+    if (name == "alloc") {
+      const Ty ty = compile_expression();
+      convert(ty, Ty::I32);
+      expect(Tok::RParen, ")");
+      // old = heap_ptr; heap_ptr = old + ((n + 7) & ~7); yield old.
+      const std::uint32_t n = scratch(ValType::I32);
+      const std::uint32_t old = scratch2(ValType::I32);
+      emitter_.local_set(n);
+      emitter_.global_get(heap_ptr_global_).local_tee(old);
+      emitter_.local_get(n).i32_const(7).op(ops::kI32Add).i32_const(-8).op(ops::kI32And);
+      emitter_.op(ops::kI32Add).global_set(heap_ptr_global_);
+      emitter_.local_get(old);
+      return Operand{Operand::Kind::RValue, Ty::I32, false, 0};
+    }
+
+    const auto it = funcs_.find(name);
+    if (it == funcs_.end()) fail("unknown function " + name, line());
+    const FuncInfo& fn = it->second;
+    std::size_t arg_i = 0;
+    if (!check(Tok::RParen)) {
+      do {
+        if (arg_i >= fn.params.size()) fail("too many arguments to " + name, line());
+        const Ty ty = compile_expression();
+        const Ty target = fn.params[arg_i];
+        convert(ty, is_ptr(target) ? Ty::I32 : target);
+        ++arg_i;
+      } while (match(Tok::Comma));
+    }
+    if (arg_i != fn.params.size()) fail("too few arguments to " + name, line());
+    expect(Tok::RParen, ")");
+    emitter_.call(fn.index);
+    return Operand{Operand::Kind::RValue, fn.ret, false, 0};
+  }
+
+  std::vector<Token> tokens_;
+  CompileOptions options_;
+  std::size_t pos_ = 0;
+
+  ModuleBuilder builder_;
+  std::map<std::string, FuncInfo> funcs_;
+  std::map<std::string, GlobalInfo> globals_;
+  std::uint32_t heap_ptr_global_ = 0;
+
+  // per-function state
+  FuncInfo* current_ = nullptr;
+  CodeEmitter emitter_;
+  std::vector<std::map<std::string, LocalInfo>> scopes_;
+  std::vector<ValType> local_types_;
+  std::uint32_t next_local_ = 0;
+  std::map<ValType, std::uint32_t> scratch_;
+  std::map<ValType, std::uint32_t> scratch2_;
+  std::uint32_t block_depth_ = 0;
+  std::vector<LoopContext> loops_;
+};
+
+}  // namespace
+
+Result<Bytes> compile(std::string_view source, CompileOptions options) {
+  auto tokens = tokenize(source);
+  if (!tokens.ok()) return Result<Bytes>::err(tokens.error());
+  try {
+    Compiler compiler(std::move(*tokens), options);
+    return compiler.run();
+  } catch (const CompileError& e) {
+    return Result<Bytes>::err(e.message);
+  }
+}
+
+}  // namespace watz::wcc

@@ -1,0 +1,49 @@
+// wcc: a single-pass compiler from a C subset to WebAssembly.
+//
+// The paper builds its guest workloads with WASI-SDK (Clang 11 targeting
+// wasm32-wasi); no such toolchain exists in this offline environment, so
+// wcc fills the role for every Wasm benchmark and example in this repo.
+//
+// Supported language:
+//   types        int (i32), long (i64), double (f64), char (byte, loads as
+//                i32), pointers thereof (int*, long*, double*, char*), void
+//   declarations globals with constant initialisers; block-scoped locals
+//   statements   if/else, while, for, return, break, continue, blocks,
+//                expression statements
+//   expressions  full C operator set minus ?:, comma and address-of;
+//                assignment (=, +=, -=, *=, /=), ++/-- (statement value),
+//                array indexing on pointers, casts, calls
+//   builtins     alloc(n)   bump allocator over linear memory (no free)
+//                sqrt(x), fabs(x), floor(x)   map to Wasm f64 opcodes
+//
+// Every function is exported under its own name; memory is exported as
+// "memory". Strings and structs are out of scope (workloads use numeric
+// buffers, as the PolyBench/minikv/ANN sources do).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace watz::wcc {
+
+struct DataSegment {
+  std::uint32_t offset = 0;
+  Bytes data;
+};
+
+struct CompileOptions {
+  std::uint32_t memory_pages = 256;   ///< 16 MiB default guest memory
+  std::uint32_t heap_base = 1024;     ///< where alloc() starts handing out
+  /// Initialised memory regions (wcc has no string literals; embedders use
+  /// these for baked-in constants — notably the verifier identity, which
+  /// must be covered by the code measurement).
+  std::vector<DataSegment> data;
+};
+
+/// Compiles `source` into a Wasm binary module.
+Result<Bytes> compile(std::string_view source, CompileOptions options = {});
+
+}  // namespace watz::wcc

@@ -1,0 +1,203 @@
+#include "wcc/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace watz::wcc {
+
+namespace {
+
+const std::map<std::string, Tok, std::less<>>& keywords() {
+  static const std::map<std::string, Tok, std::less<>> kw = {
+      {"int", Tok::KwInt},       {"long", Tok::KwLong},   {"double", Tok::KwDouble},
+      {"char", Tok::KwChar},     {"void", Tok::KwVoid},   {"if", Tok::KwIf},
+      {"else", Tok::KwElse},     {"while", Tok::KwWhile}, {"for", Tok::KwFor},
+      {"return", Tok::KwReturn}, {"break", Tok::KwBreak}, {"continue", Tok::KwContinue},
+      {"extern", Tok::KwExtern},
+  };
+  return kw;
+}
+
+}  // namespace
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::End: return "<eof>";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBrace: return "{";
+    case Tok::RBrace: return "}";
+    case Tok::LBracket: return "[";
+    case Tok::RBracket: return "]";
+    case Tok::Semi: return ";";
+    case Tok::Comma: return ",";
+    case Tok::Assign: return "=";
+    default: return "token";
+  }
+}
+
+Result<std::vector<Token>> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = src.size();
+
+  auto push = [&](Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // comments
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n)
+        return Result<std::vector<Token>>::err("wcc: unterminated comment");
+      i += 2;
+      continue;
+    }
+    // identifiers / keywords
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) || src[i] == '_'))
+        ++i;
+      const std::string_view word = src.substr(start, i - start);
+      const auto kw = keywords().find(word);
+      if (kw != keywords().end()) {
+        push(kw->second);
+      } else {
+        Token t;
+        t.kind = Tok::Ident;
+        t.text = std::string(word);
+        t.line = line;
+        out.push_back(std::move(t));
+      }
+      continue;
+    }
+    // numbers
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      bool is_float = false;
+      bool is_hex = c == '0' && i + 1 < n && (src[i + 1] == 'x' || src[i + 1] == 'X');
+      if (is_hex) {
+        i += 2;
+        while (i < n && std::isxdigit(static_cast<unsigned char>(src[i]))) ++i;
+      } else {
+        while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        if (i < n && src[i] == '.') {
+          is_float = true;
+          ++i;
+          while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        }
+        if (i < n && (src[i] == 'e' || src[i] == 'E')) {
+          is_float = true;
+          ++i;
+          if (i < n && (src[i] == '+' || src[i] == '-')) ++i;
+          while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        }
+      }
+      const std::string text(src.substr(start, i - start));
+      Token t;
+      t.line = line;
+      if (is_float) {
+        t.kind = Tok::FloatLit;
+        t.float_value = std::stod(text);
+      } else {
+        t.kind = Tok::IntLit;
+        t.int_value = std::stoull(text, nullptr, 0);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    // operators
+    auto two = [&](char next) { return i + 1 < n && src[i + 1] == next; };
+    switch (c) {
+      case '(': push(Tok::LParen); ++i; break;
+      case ')': push(Tok::RParen); ++i; break;
+      case '{': push(Tok::LBrace); ++i; break;
+      case '}': push(Tok::RBrace); ++i; break;
+      case '[': push(Tok::LBracket); ++i; break;
+      case ']': push(Tok::RBracket); ++i; break;
+      case ';': push(Tok::Semi); ++i; break;
+      case ',': push(Tok::Comma); ++i; break;
+      case '+':
+        if (two('=')) { push(Tok::PlusAssign); i += 2; }
+        else if (two('+')) { push(Tok::PlusPlus); i += 2; }
+        else { push(Tok::Plus); ++i; }
+        break;
+      case '-':
+        if (two('=')) { push(Tok::MinusAssign); i += 2; }
+        else if (two('-')) { push(Tok::MinusMinus); i += 2; }
+        else { push(Tok::Minus); ++i; }
+        break;
+      case '*':
+        if (two('=')) { push(Tok::StarAssign); i += 2; }
+        else { push(Tok::Star); ++i; }
+        break;
+      case '/':
+        if (two('=')) { push(Tok::SlashAssign); i += 2; }
+        else { push(Tok::Slash); ++i; }
+        break;
+      case '%': push(Tok::Percent); ++i; break;
+      case '<':
+        if (two('=')) { push(Tok::Le); i += 2; }
+        else if (two('<')) { push(Tok::Shl); i += 2; }
+        else { push(Tok::Lt); ++i; }
+        break;
+      case '>':
+        if (two('=')) { push(Tok::Ge); i += 2; }
+        else if (two('>')) { push(Tok::Shr); i += 2; }
+        else { push(Tok::Gt); ++i; }
+        break;
+      case '=':
+        if (two('=')) { push(Tok::EqEq); i += 2; }
+        else { push(Tok::Assign); ++i; }
+        break;
+      case '!':
+        if (two('=')) { push(Tok::NotEq); i += 2; }
+        else { push(Tok::Not); ++i; }
+        break;
+      case '&':
+        if (two('&')) { push(Tok::AndAnd); i += 2; }
+        else { push(Tok::Amp); ++i; }
+        break;
+      case '|':
+        if (two('|')) { push(Tok::OrOr); i += 2; }
+        else { push(Tok::Pipe); ++i; }
+        break;
+      case '^': push(Tok::Caret); ++i; break;
+      case '~': push(Tok::Tilde); ++i; break;
+      default:
+        return Result<std::vector<Token>>::err("wcc: unexpected character '" +
+                                               std::string(1, c) + "' at line " +
+                                               std::to_string(line));
+    }
+  }
+  push(Tok::End);
+  return out;
+}
+
+}  // namespace watz::wcc

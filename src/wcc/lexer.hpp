@@ -1,0 +1,42 @@
+// Tokenizer for the wcc C subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace watz::wcc {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,
+  IntLit,
+  FloatLit,
+  // keywords
+  KwInt, KwLong, KwDouble, KwChar, KwVoid, KwIf, KwElse, KwWhile, KwFor,
+  KwReturn, KwBreak, KwContinue, KwExtern,
+  // punctuation / operators
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket, Semi, Comma,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+  Plus, Minus, Star, Slash, Percent,
+  Lt, Gt, Le, Ge, EqEq, NotEq,
+  Amp, Pipe, Caret, Shl, Shr, AndAnd, OrOr, Not, Tilde,
+  PlusPlus, MinusMinus,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;       // identifier spelling
+  std::uint64_t int_value = 0;
+  double float_value = 0;
+  int line = 0;
+};
+
+/// Tokenizes `source`; fails on unknown characters or malformed literals.
+Result<std::vector<Token>> tokenize(std::string_view source);
+
+const char* tok_name(Tok t);
+
+}  // namespace watz::wcc

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ann/dataset.hpp"
+#include "ann/genann.hpp"
+#include "ann/guest.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/instance.hpp"
+
+namespace watz::ann {
+namespace {
+
+TEST(ApproxExp, CloseToStdExp) {
+  for (double x : {-20.0, -5.0, -1.0, -0.1, 0.0, 0.1, 1.0, 2.5, 5.0, 10.0}) {
+    EXPECT_NEAR(approx_exp(x), std::exp(x), std::exp(x) * 1e-9) << x;
+  }
+  EXPECT_EQ(approx_exp(-100.0), 0.0);
+}
+
+TEST(Sigmoid, Shape) {
+  EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_GT(sigmoid(4.0), 0.95);
+  EXPECT_LT(sigmoid(-4.0), 0.05);
+  EXPECT_GT(sigmoid(1.0), sigmoid(0.5));
+}
+
+TEST(Genann, TopologyMatchesGenannFormula) {
+  // genann_init(4, 1, 4, 3): (4+1)*4 + (4+1)*3 = 35 weights.
+  Genann net(4, 1, 4, 3);
+  EXPECT_EQ(net.total_weights(), 35u);
+  // Two hidden layers: 4->4->4->3.
+  Genann deep(4, 2, 4, 3);
+  EXPECT_EQ(deep.total_weights(), 35u + 20u);
+}
+
+TEST(Genann, LearnsXor) {
+  Genann net(2, 1, 4, 1, 1234);
+  const double inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const double desired[4] = {0, 1, 1, 0};
+  for (int epoch = 0; epoch < 4000; ++epoch)
+    for (int i = 0; i < 4; ++i) net.train(inputs[i], &desired[i], 3.0);
+  for (int i = 0; i < 4; ++i) {
+    const double out = net.run(inputs[i])[0];
+    EXPECT_NEAR(out, desired[i], 0.2) << "case " << i;
+  }
+}
+
+TEST(Genann, DeterministicForSeed) {
+  Genann a(4, 1, 4, 3, 99);
+  Genann b(4, 1, 4, 3, 99);
+  EXPECT_EQ(a.weights(), b.weights());
+  Genann c(4, 1, 4, 3, 100);
+  EXPECT_NE(a.weights(), c.weights());
+}
+
+TEST(Genann, LearnsIrisLike) {
+  const auto data = make_iris_like(150);
+  Genann net(4, 1, 4, 3);
+  for (int epoch = 0; epoch < 150; ++epoch) {
+    for (const IrisRecord& rec : data) {
+      double desired[3] = {0, 0, 0};
+      desired[rec.label] = 1.0;
+      net.train(rec.features, desired, 0.3);
+    }
+  }
+  int correct = 0;
+  for (const IrisRecord& rec : data) {
+    const auto& out = net.run(rec.features);
+    const int best = static_cast<int>(std::max_element(out.begin(), out.end()) - out.begin());
+    if (best == rec.label) ++correct;
+  }
+  EXPECT_GT(correct, 120) << "should classify most of the synthetic Iris set";
+}
+
+TEST(Dataset, EncodeDecodeRoundTrip) {
+  const auto data = make_iris_like(50);
+  const Bytes wire = encode_dataset(data);
+  EXPECT_EQ(wire.size(), 4u + 50u * 36u);
+  auto back = decode_dataset(wire);
+  ASSERT_TRUE(back.ok()) << back.error();
+  ASSERT_EQ(back->size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ((*back)[i].label, data[i].label);
+    for (int f = 0; f < 4; ++f)
+      EXPECT_EQ((*back)[i].features[f], data[i].features[f]);
+  }
+}
+
+TEST(Dataset, DecodeRejectsCorruptInput) {
+  EXPECT_FALSE(decode_dataset(Bytes{1, 2}).ok());
+  Bytes wire = encode_dataset(make_iris_like(3));
+  wire.pop_back();
+  EXPECT_FALSE(decode_dataset(wire).ok());
+  Bytes bad_label = encode_dataset(make_iris_like(3));
+  bad_label[4 + 32] = 77;  // label out of range
+  EXPECT_FALSE(decode_dataset(bad_label).ok());
+}
+
+TEST(Dataset, ReplicationReachesTargetSize) {
+  const auto base = make_iris_like(150);
+  for (std::size_t target : {100u * 1024u, 1024u * 1024u}) {
+    const auto big = replicate_to_size(base, target);
+    EXPECT_GE(encode_dataset(big).size(), target);
+    EXPECT_LT(encode_dataset(big).size(), target + 64);
+  }
+}
+
+TEST(Guest, TrainingModuleClassifiesInsideWasm) {
+  const Bytes module_bytes = training_module();
+  auto module = wasm::decode_module(module_bytes);
+  ASSERT_TRUE(module.ok()) << module.error();
+  static const wasm::ImportResolver kNoImports;
+  auto inst = wasm::Instance::instantiate(std::move(*module), kNoImports,
+                                          wasm::ExecMode::Aot);
+  ASSERT_TRUE(inst.ok()) << inst.error();
+
+  const auto data = make_iris_like(150);
+  const Bytes wire = encode_dataset(data);
+  ASSERT_TRUE((*inst)->memory()->copy_in(GuestLayout::kDatasetPtr, wire).ok());
+
+  const wasm::Value args[] = {wasm::Value::from_i32(GuestLayout::kDatasetPtr),
+                              wasm::Value::from_i32(60)};
+  auto r = (*inst)->invoke("train_at", args);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_GT(r->front().i32(), 120) << "in-sandbox training should classify most records";
+  EXPECT_LE(r->front().i32(), 150);
+}
+
+TEST(Guest, AttestedModuleBuildsAndValidates) {
+  crypto::Scalar32 priv{};
+  priv[31] = 7;
+  const auto identity = crypto::p256_base_mul(priv);
+  const Bytes module_bytes = attested_training_module("verifier", identity);
+  auto module = wasm::decode_module(module_bytes);
+  ASSERT_TRUE(module.ok()) << module.error();
+  // 7 wasi_ra imports expected.
+  EXPECT_EQ(module->num_imported_funcs(), 7u);
+}
+
+}  // namespace
+}  // namespace watz::ann

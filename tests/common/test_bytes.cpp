@@ -1,0 +1,81 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace watz {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsBadDigit) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  const Bytes c = {};
+  EXPECT_EQ(concat({a, b, c}), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(concat({}).empty());
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, LittleEndianScalars) {
+  Bytes out;
+  put_u16le(out, 0x1234);
+  put_u32le(out, 0xdeadbeef);
+  put_u64le(out, 0x0102030405060708ULL);
+  ASSERT_EQ(out.size(), 14u);
+  EXPECT_EQ(get_u16le(out.data()), 0x1234);
+  EXPECT_EQ(get_u32le(out.data() + 2), 0xdeadbeefu);
+  EXPECT_EQ(get_u64le(out.data() + 6), 0x0102030405060708ULL);
+}
+
+TEST(Bytes, BigEndianScalars) {
+  Bytes out;
+  put_u32be(out, 0x01020304);
+  EXPECT_EQ(out, (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(get_u32be(out.data()), 0x01020304u);
+  Bytes out64;
+  put_u64be(out64, 0x0102030405060708ULL);
+  EXPECT_EQ(out64.front(), 1);
+  EXPECT_EQ(out64.back(), 8);
+}
+
+TEST(Bytes, ToBytesFromString) {
+  EXPECT_EQ(to_bytes("ab"), (Bytes{'a', 'b'}));
+}
+
+TEST(Bytes, Append) {
+  Bytes out = {1};
+  const Bytes more = {2, 3};
+  append(out, more);
+  EXPECT_EQ(out, (Bytes{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace watz

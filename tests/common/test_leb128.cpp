@@ -1,0 +1,93 @@
+#include "common/leb128.hpp"
+
+#include <gtest/gtest.h>
+
+namespace watz {
+namespace {
+
+TEST(Leb128, UnsignedRoundTrip) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 624485ULL, 0xffffffffULL,
+                          0xffffffffffffffffULL}) {
+    Bytes out;
+    write_uleb(out, v);
+    EXPECT_EQ(out.size(), uleb_size(v));
+    ByteReader reader(out);
+    auto back = reader.read_uleb64();
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(*back, v);
+    EXPECT_TRUE(reader.at_end());
+  }
+}
+
+TEST(Leb128, SignedRoundTrip) {
+  const std::int64_t values[] = {0,       1,        -1,        63,        64,
+                                 -64,     -65,      624485,    -624485,   INT64_MAX,
+                                 INT64_MIN};
+  for (std::int64_t v : values) {
+    Bytes out;
+    write_sleb(out, v);
+    ByteReader reader(out);
+    auto back = reader.read_sleb64();
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(Leb128, KnownEncodings) {
+  // Classic DWARF/Wasm examples.
+  Bytes out;
+  write_uleb(out, 624485);
+  EXPECT_EQ(out, (Bytes{0xe5, 0x8e, 0x26}));
+  out.clear();
+  write_sleb(out, -123456);
+  EXPECT_EQ(out, (Bytes{0xc0, 0xbb, 0x78}));
+}
+
+TEST(Leb128, Sleb32Range) {
+  Bytes out;
+  write_sleb(out, static_cast<std::int64_t>(INT32_MIN));
+  ByteReader reader(out);
+  auto v = reader.read_sleb32();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, INT32_MIN);
+
+  out.clear();
+  write_sleb(out, static_cast<std::int64_t>(INT32_MAX) + 1);
+  ByteReader reader2(out);
+  EXPECT_FALSE(reader2.read_sleb32().ok());
+}
+
+TEST(Leb128, Uleb32Overflow) {
+  const Bytes too_big = {0xff, 0xff, 0xff, 0xff, 0x7f};  // 35 bits set
+  ByteReader reader(too_big);
+  EXPECT_FALSE(reader.read_uleb32().ok());
+}
+
+TEST(Leb128, TruncatedInput) {
+  const Bytes truncated = {0x80};  // continuation bit, no next byte
+  ByteReader reader(truncated);
+  EXPECT_FALSE(reader.read_uleb32().ok());
+}
+
+TEST(ByteReader, ReadPrimitives) {
+  const Bytes data = {0xaa, 0x01, 0x02, 0x03, 0x04, 0x10, 0x11};
+  ByteReader reader(data);
+  EXPECT_EQ(*reader.read_u8(), 0xaa);
+  EXPECT_EQ(*reader.read_u32le(), 0x04030201u);
+  auto run = reader.read_bytes(2);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ((*run)[0], 0x10);
+  EXPECT_TRUE(reader.at_end());
+  EXPECT_FALSE(reader.read_u8().ok());
+}
+
+TEST(ByteReader, BoundsChecks) {
+  const Bytes data = {1, 2};
+  ByteReader reader(data);
+  EXPECT_FALSE(reader.read_u32le().ok());
+  EXPECT_FALSE(reader.read_bytes(3).ok());
+  EXPECT_EQ(reader.remaining(), 2u);
+}
+
+}  // namespace
+}  // namespace watz

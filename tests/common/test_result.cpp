@@ -1,0 +1,43 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace watz {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.error().empty());
+}
+
+TEST(Result, HoldsError) {
+  auto r = Result<int>::err("boom");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "boom");
+  EXPECT_THROW(r.value(), Error);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_NO_THROW(s.check());
+}
+
+TEST(Status, ErrorPropagates) {
+  auto s = Status::err("bad state");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error(), "bad state");
+  EXPECT_THROW(s.check(), Error);
+}
+
+}  // namespace
+}  // namespace watz

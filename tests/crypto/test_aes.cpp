@@ -1,0 +1,60 @@
+#include "crypto/aes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace watz::crypto {
+namespace {
+
+// FIPS 197 Appendix C example vectors: same plaintext, three key sizes.
+const Bytes kPlain = from_hex("00112233445566778899aabbccddeeff");
+
+Bytes encrypt(const Bytes& key, const Bytes& pt) {
+  const Aes cipher(key);
+  Bytes out(16);
+  cipher.encrypt_block(pt.data(), out.data());
+  return out;
+}
+
+TEST(Aes, Fips197Aes128) {
+  EXPECT_EQ(to_hex(encrypt(from_hex("000102030405060708090a0b0c0d0e0f"), kPlain)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, Fips197Aes192) {
+  EXPECT_EQ(to_hex(encrypt(from_hex("000102030405060708090a0b0c0d0e0f1011121314151617"),
+                           kPlain)),
+            "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(Aes, Fips197Aes256) {
+  EXPECT_EQ(to_hex(encrypt(
+                from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"),
+                kPlain)),
+            "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes, Sp800_38aVector) {
+  // NIST SP 800-38A F.1.1 ECB-AES128 block #1.
+  EXPECT_EQ(to_hex(encrypt(from_hex("2b7e151628aed2a6abf7158809cf4f3c"),
+                           from_hex("6bc1bee22e409f96e93d7e117393172a"))),
+            "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes, InPlaceEncryption) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Aes cipher(key);
+  Bytes buf = kPlain;
+  cipher.encrypt_block(buf.data(), buf.data());
+  EXPECT_EQ(to_hex(buf), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, RejectsBadKeySizes) {
+  EXPECT_THROW(Aes(Bytes(15)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(17)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace watz::crypto

@@ -1,0 +1,62 @@
+#include "crypto/cmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace watz::crypto {
+namespace {
+
+// RFC 4493 test vectors.
+const Bytes kKey = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+const Bytes kMsg64 = from_hex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710");
+
+TEST(Cmac, Rfc4493EmptyMessage) {
+  EXPECT_EQ(to_hex(aes_cmac(kKey, {})), "bb1d6929e95937287fa37d129b756746");
+}
+
+TEST(Cmac, Rfc4493Block16) {
+  EXPECT_EQ(to_hex(aes_cmac(kKey, ByteView(kMsg64).first(16))),
+            "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST(Cmac, Rfc4493Bytes40) {
+  EXPECT_EQ(to_hex(aes_cmac(kKey, ByteView(kMsg64).first(40))),
+            "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST(Cmac, Rfc4493Bytes64) {
+  EXPECT_EQ(to_hex(aes_cmac(kKey, kMsg64)), "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+TEST(Cmac, ReusableCipherObject) {
+  const Aes cipher(kKey);
+  EXPECT_EQ(aes_cmac(cipher, kMsg64), aes_cmac(kKey, kMsg64));
+}
+
+TEST(Cmac, SensitiveToEveryByte) {
+  Bytes msg = kMsg64;
+  const CmacTag base = aes_cmac(kKey, msg);
+  for (std::size_t i : {0u, 15u, 16u, 63u}) {
+    msg[i] ^= 1;
+    EXPECT_NE(aes_cmac(kKey, msg), base) << "byte " << i;
+    msg[i] ^= 1;
+  }
+}
+
+TEST(Cmac, PaddingBoundaryLengths) {
+  // 15/16/17 bytes exercise the complete/incomplete final block paths.
+  const CmacTag t15 = aes_cmac(kKey, Bytes(15, 0xab));
+  const CmacTag t16 = aes_cmac(kKey, Bytes(16, 0xab));
+  const CmacTag t17 = aes_cmac(kKey, Bytes(17, 0xab));
+  EXPECT_NE(t15, t16);
+  EXPECT_NE(t16, t17);
+  EXPECT_NE(t15, t17);
+}
+
+}  // namespace
+}  // namespace watz::crypto

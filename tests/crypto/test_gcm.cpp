@@ -1,0 +1,110 @@
+#include "crypto/gcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace watz::crypto {
+namespace {
+
+GcmIv make_iv(const Bytes& bytes) {
+  GcmIv iv{};
+  std::copy(bytes.begin(), bytes.end(), iv.begin());
+  return iv;
+}
+
+// NIST GCM test vectors (AES-128).
+TEST(Gcm, NistCase1EmptyPlaintext) {
+  const Aes cipher(Bytes(16, 0));
+  const auto out = gcm_seal(cipher, make_iv(Bytes(12, 0)), {}, {});
+  EXPECT_EQ(to_hex(out), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(Gcm, NistCase2SingleBlock) {
+  const Aes cipher(Bytes(16, 0));
+  const auto out = gcm_seal(cipher, make_iv(Bytes(12, 0)), {}, Bytes(16, 0));
+  EXPECT_EQ(to_hex(out),
+            "0388dace60b6a392f328c2b971b2fe78"
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(Gcm, NistCase3FourBlocks) {
+  const Aes cipher(from_hex("feffe9928665731c6d6a8f9467308308"));
+  const GcmIv iv = make_iv(from_hex("cafebabefacedbaddecaf888"));
+  const Bytes pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+  const auto out = gcm_seal(cipher, iv, {}, pt);
+  EXPECT_EQ(to_hex(out),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+            "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(Gcm, NistCase4WithAad) {
+  const Aes cipher(from_hex("feffe9928665731c6d6a8f9467308308"));
+  const GcmIv iv = make_iv(from_hex("cafebabefacedbaddecaf888"));
+  const Bytes pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const Bytes aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const auto out = gcm_seal(cipher, iv, aad, pt);
+  EXPECT_EQ(to_hex(out),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            "5bc94fbc3221a5db94fae95ae7121a47");
+}
+
+TEST(Gcm, SealOpenRoundTrip) {
+  const Aes cipher(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const GcmIv iv = make_iv(from_hex("0102030405060708090a0b0c"));
+  const Bytes pt = to_bytes("confidential data blob for the attester");
+  const Bytes aad = to_bytes("header");
+  const Bytes sealed = gcm_seal(cipher, iv, aad, pt);
+  auto opened = gcm_open(cipher, iv, aad, sealed);
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(Gcm, OpenDetectsCiphertextTampering) {
+  const Aes cipher(Bytes(16, 1));
+  const GcmIv iv{};
+  Bytes sealed = gcm_seal(cipher, iv, {}, to_bytes("hello world"));
+  sealed[0] ^= 0x01;
+  EXPECT_FALSE(gcm_open(cipher, iv, {}, sealed).ok());
+}
+
+TEST(Gcm, OpenDetectsTagTampering) {
+  const Aes cipher(Bytes(16, 1));
+  const GcmIv iv{};
+  Bytes sealed = gcm_seal(cipher, iv, {}, to_bytes("hello world"));
+  sealed.back() ^= 0x80;
+  EXPECT_FALSE(gcm_open(cipher, iv, {}, sealed).ok());
+}
+
+TEST(Gcm, OpenDetectsAadMismatch) {
+  const Aes cipher(Bytes(16, 1));
+  const GcmIv iv{};
+  const Bytes sealed = gcm_seal(cipher, iv, to_bytes("aad-a"), to_bytes("payload"));
+  EXPECT_FALSE(gcm_open(cipher, iv, to_bytes("aad-b"), sealed).ok());
+}
+
+TEST(Gcm, OpenRejectsTruncatedInput) {
+  const Aes cipher(Bytes(16, 1));
+  EXPECT_FALSE(gcm_open(cipher, GcmIv{}, {}, Bytes(15)).ok());
+}
+
+TEST(Gcm, LargePayloadRoundTrip) {
+  const Aes cipher(Bytes(16, 9));
+  GcmIv iv{};
+  iv[0] = 0x42;
+  Bytes pt(1 << 20);  // 1 MiB, like a msg3 secret blob
+  for (std::size_t i = 0; i < pt.size(); ++i) pt[i] = static_cast<std::uint8_t>(i * 31);
+  const Bytes sealed = gcm_seal(cipher, iv, {}, pt);
+  auto opened = gcm_open(cipher, iv, {}, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, pt);
+}
+
+}  // namespace
+}  // namespace watz::crypto

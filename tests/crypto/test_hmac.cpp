@@ -1,0 +1,49 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace watz::crypto {
+namespace {
+
+// Test vectors from RFC 4231.
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto mac = hmac_sha256(key, to_bytes("Hi There"));
+  EXPECT_EQ(to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto mac = hmac_sha256(to_bytes("Jefe"), to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  const auto mac = hmac_sha256(key, data);
+  EXPECT_EQ(to_hex(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const auto mac = hmac_sha256(key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, KeyExactlyBlockSize) {
+  const Bytes key(64, 0x42);
+  const auto a = hmac_sha256(key, to_bytes("msg"));
+  const auto b = hmac_sha256(key, to_bytes("msg"));
+  EXPECT_EQ(a, b);
+  const auto c = hmac_sha256(key, to_bytes("msh"));
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace watz::crypto

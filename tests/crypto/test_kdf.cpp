@@ -1,0 +1,58 @@
+#include "crypto/kdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+
+namespace watz::crypto {
+namespace {
+
+Scalar32 test_shared_x() {
+  Scalar32 x;
+  for (int i = 0; i < 32; ++i) x[i] = static_cast<std::uint8_t>(i + 1);
+  return x;
+}
+
+TEST(Kdf, KdkMatchesManualComputation) {
+  const Scalar32 x = test_shared_x();
+  // KDK = CMAC(0^16, reverse(x)) per the SGX derivation.
+  Scalar32 le;
+  std::reverse_copy(x.begin(), x.end(), le.begin());
+  const Key128 zero{};
+  EXPECT_EQ(derive_kdk(x), aes_cmac(zero, le));
+}
+
+TEST(Kdf, SubkeyMatchesManualComputation) {
+  const Key128 kdk = derive_kdk(test_shared_x());
+  const Bytes msg = concat({ByteView((const std::uint8_t*)"\x01", 1), to_bytes("SMK"),
+                            ByteView((const std::uint8_t*)"\x00\x80\x00", 3)});
+  EXPECT_EQ(derive_subkey(kdk, "SMK"), aes_cmac(kdk, msg));
+}
+
+TEST(Kdf, SessionKeysAreDistinct) {
+  const SessionKeys keys = derive_session_keys(test_shared_x());
+  EXPECT_NE(keys.km, keys.ke);
+}
+
+TEST(Kdf, Deterministic) {
+  EXPECT_EQ(derive_session_keys(test_shared_x()).km,
+            derive_session_keys(test_shared_x()).km);
+}
+
+TEST(Kdf, DifferentSecretsGiveDifferentKeys) {
+  Scalar32 other = test_shared_x();
+  other[0] ^= 1;
+  EXPECT_NE(derive_session_keys(test_shared_x()).km, derive_session_keys(other).km);
+  EXPECT_NE(derive_session_keys(test_shared_x()).ke, derive_session_keys(other).ke);
+}
+
+TEST(Kdf, LabelsSeparateKeys) {
+  const Key128 kdk = derive_kdk(test_shared_x());
+  EXPECT_NE(derive_subkey(kdk, "SMK"), derive_subkey(kdk, "SEK"));
+  EXPECT_NE(derive_subkey(kdk, "SMK"), derive_subkey(kdk, "SMJ"));
+}
+
+}  // namespace
+}  // namespace watz::crypto

@@ -1,0 +1,158 @@
+#include "crypto/p256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace watz::crypto {
+namespace {
+
+Scalar32 scalar_from_hex(std::string_view hex) {
+  const Bytes raw = from_hex(hex);
+  Scalar32 s{};
+  std::copy(raw.begin(), raw.end(), s.begin() + (32 - raw.size()));
+  return s;
+}
+
+Scalar32 small_scalar(std::uint64_t v) {
+  Scalar32 s{};
+  for (int i = 0; i < 8; ++i) s[31 - i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return s;
+}
+
+const Scalar32 kGx = scalar_from_hex(
+    "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+const Scalar32 kGy = scalar_from_hex(
+    "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5");
+const Scalar32 kOrderN = scalar_from_hex(
+    "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+
+EcPoint generator() { return EcPoint{kGx, kGy, false}; }
+
+TEST(P256, GeneratorOnCurve) { EXPECT_TRUE(p256_on_curve(generator())); }
+
+TEST(P256, MulByOneIsGenerator) {
+  const EcPoint g1 = p256_base_mul(small_scalar(1));
+  EXPECT_EQ(g1, generator());
+}
+
+TEST(P256, KnownMultiples) {
+  // Vectors from the standard P-256 point multiplication tables.
+  const EcPoint g2 = p256_base_mul(small_scalar(2));
+  EXPECT_EQ(to_hex(g2.x), "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978");
+  EXPECT_EQ(to_hex(g2.y), "07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1");
+
+  const EcPoint g3 = p256_base_mul(small_scalar(3));
+  EXPECT_EQ(to_hex(g3.x), "5ecbe4d1a6330a44c8f7ef951d4bf165e6c6b721efada985fb41661bc6e7fd6c");
+  EXPECT_EQ(to_hex(g3.y), "8734640c4998ff7e374b06ce1a64a2ecd82ab036384fb83d9a79b127a27d5032");
+
+  const EcPoint g20 = p256_base_mul(small_scalar(20));
+  EXPECT_EQ(to_hex(g20.x), "83a01a9378395bab9bcd6a0ad03cc56d56e6b19250465a94a234dc4c6b28da9a");
+}
+
+TEST(P256, AdditionMatchesMultiplication) {
+  const EcPoint g2 = p256_add(generator(), generator());
+  EXPECT_EQ(g2, p256_base_mul(small_scalar(2)));
+  const EcPoint g5 = p256_add(p256_base_mul(small_scalar(2)), p256_base_mul(small_scalar(3)));
+  EXPECT_EQ(g5, p256_base_mul(small_scalar(5)));
+}
+
+TEST(P256, AdditiveIdentity) {
+  const EcPoint inf;  // default = infinity
+  EXPECT_TRUE(inf.infinity);
+  EXPECT_EQ(p256_add(generator(), inf), generator());
+  EXPECT_EQ(p256_add(inf, generator()), generator());
+  EXPECT_TRUE(p256_add(inf, inf).infinity);
+}
+
+TEST(P256, InverseSumsToInfinity) {
+  // (n-1)G = -G, so G + (n-1)G = infinity.
+  Scalar32 n_minus_1 = kOrderN;
+  n_minus_1[31] -= 1;
+  const EcPoint neg_g = p256_base_mul(n_minus_1);
+  EXPECT_EQ(neg_g.x, kGx);
+  EXPECT_NE(neg_g.y, kGy);
+  EXPECT_TRUE(p256_add(generator(), neg_g).infinity);
+}
+
+TEST(P256, ScalarMulDistributes) {
+  // (a+b)G == aG + bG for a few scalar pairs.
+  for (std::uint64_t a : {5ull, 1234567ull}) {
+    for (std::uint64_t b : {7ull, 987654321ull}) {
+      const EcPoint lhs = p256_base_mul(small_scalar(a + b));
+      const EcPoint rhs = p256_add(p256_base_mul(small_scalar(a)), p256_base_mul(small_scalar(b)));
+      EXPECT_EQ(lhs, rhs) << a << "+" << b;
+    }
+  }
+}
+
+TEST(P256, MulAssociatesThroughPoint) {
+  // (ab)G == a(bG).
+  const Scalar32 a = small_scalar(0xdeadbeef);
+  const Scalar32 b = small_scalar(0x1234567);
+  const Scalar32 ab = scalar_mul_mod_n(a, b);
+  EXPECT_EQ(p256_base_mul(ab), p256_mul(p256_base_mul(b), a));
+}
+
+TEST(P256, OffCurvePointRejected) {
+  EcPoint bogus = generator();
+  bogus.y[31] ^= 1;
+  EXPECT_FALSE(p256_on_curve(bogus));
+}
+
+TEST(P256, EncodeDecodeRoundTrip) {
+  const EcPoint g5 = p256_base_mul(small_scalar(5));
+  const Bytes enc = g5.encode_uncompressed();
+  ASSERT_EQ(enc.size(), 65u);
+  EXPECT_EQ(enc[0], 0x04);
+  auto back = EcPoint::decode_uncompressed(enc);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(*back, g5);
+}
+
+TEST(P256, DecodeRejectsGarbage) {
+  EXPECT_FALSE(EcPoint::decode_uncompressed(Bytes(64)).ok());
+  Bytes wrong_prefix(65, 0);
+  wrong_prefix[0] = 0x02;
+  EXPECT_FALSE(EcPoint::decode_uncompressed(wrong_prefix).ok());
+  Bytes off_curve = generator().encode_uncompressed();
+  off_curve[64] ^= 1;
+  EXPECT_FALSE(EcPoint::decode_uncompressed(off_curve).ok());
+}
+
+TEST(P256, ScalarValidity) {
+  EXPECT_FALSE(p256_scalar_valid(Scalar32{}));  // zero
+  EXPECT_TRUE(p256_scalar_valid(small_scalar(1)));
+  EXPECT_FALSE(p256_scalar_valid(kOrderN));  // == n
+  Scalar32 n_minus_1 = kOrderN;
+  n_minus_1[31] -= 1;
+  EXPECT_TRUE(p256_scalar_valid(n_minus_1));
+  Scalar32 all_ff;
+  all_ff.fill(0xff);
+  EXPECT_FALSE(p256_scalar_valid(all_ff));
+}
+
+TEST(P256, ScalarFieldArithmetic) {
+  const Scalar32 a = small_scalar(10);
+  const Scalar32 b = small_scalar(250);
+  EXPECT_EQ(scalar_add_mod_n(a, b), small_scalar(260));
+  EXPECT_EQ(scalar_mul_mod_n(a, b), small_scalar(2500));
+  // a * a^-1 == 1 mod n.
+  const Scalar32 inv = scalar_inv_mod_n(a);
+  EXPECT_EQ(scalar_mul_mod_n(a, inv), small_scalar(1));
+  // Reduction: n + 5 mod n == 5.
+  Scalar32 over = kOrderN;
+  over[31] += 5;
+  EXPECT_EQ(scalar_mod_n(over), small_scalar(5));
+  EXPECT_TRUE(scalar_is_zero(Scalar32{}));
+  EXPECT_FALSE(scalar_is_zero(a));
+}
+
+TEST(P256, LargeScalarInverseProperty) {
+  const Scalar32 k = scalar_from_hex(
+      "a6e3c57dd01abe90086538398355dd4c3b17aa873382b0f24d6129493d8aad60");
+  EXPECT_EQ(scalar_mul_mod_n(k, scalar_inv_mod_n(k)), small_scalar(1));
+}
+
+}  // namespace
+}  // namespace watz::crypto

@@ -1,0 +1,97 @@
+// Parameterised property sweeps over the crypto layer.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/fortuna.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/kdf.hpp"
+
+namespace watz::crypto {
+namespace {
+
+// --- AES-GCM round trip across payload sizes (block boundaries included) ---
+
+class GcmSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GcmSizeSweep, SealOpenRoundTrip) {
+  const std::size_t size = GetParam();
+  Fortuna rng(to_bytes("gcm-sweep"));
+  const Aes cipher(rng.bytes(16));
+  GcmIv iv{};
+  rng.fill(iv);
+  Bytes plaintext = rng.bytes(size);
+  const Bytes aad = rng.bytes(size % 32);
+
+  const Bytes sealed = gcm_seal(cipher, iv, aad, plaintext);
+  EXPECT_EQ(sealed.size(), size + kGcmTagSize);
+  auto opened = gcm_open(cipher, iv, aad, sealed);
+  ASSERT_TRUE(opened.ok()) << "size=" << size;
+  EXPECT_EQ(*opened, plaintext);
+
+  if (size > 0) {
+    Bytes corrupted = sealed;
+    corrupted[size / 2] ^= 0x01;
+    EXPECT_FALSE(gcm_open(cipher, iv, aad, corrupted).ok()) << "size=" << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GcmSizeSweep,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 255, 256,
+                                           1000, 4096, 65537));
+
+// --- ECDSA sign/verify across message inputs -------------------------------
+
+class EcdsaMessageSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EcdsaMessageSweep, SignVerifyAndCrossRejection) {
+  Fortuna rng(to_bytes("ecdsa-sweep-" + std::to_string(GetParam())));
+  const KeyPair key = ecdsa_keygen(rng);
+  const Bytes message = rng.bytes(GetParam() * 13 + 1);
+  const Sha256Digest digest = sha256(message);
+
+  const EcdsaSignature sig = ecdsa_sign(key.priv, digest);
+  EXPECT_TRUE(ecdsa_verify(key.pub, digest, sig));
+
+  // A different message under the same signature must fail.
+  Bytes other = message;
+  other[0] ^= 1;
+  EXPECT_FALSE(ecdsa_verify(key.pub, sha256(other), sig));
+
+  // A different key must fail.
+  const KeyPair stranger = ecdsa_keygen(rng);
+  EXPECT_FALSE(ecdsa_verify(stranger.pub, digest, sig));
+
+  // Determinism (RFC 6979): same key+digest, same signature.
+  const EcdsaSignature again = ecdsa_sign(key.priv, digest);
+  EXPECT_EQ(sig.r, again.r);
+  EXPECT_EQ(sig.s, again.s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Messages, EcdsaMessageSweep, ::testing::Range(0, 12));
+
+// --- ECDH agreement across key pairs ---------------------------------------
+
+class EcdhSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EcdhSweep, AgreementAndKeySeparation) {
+  Fortuna rng(to_bytes("ecdh-sweep-" + std::to_string(GetParam())));
+  const KeyPair alice = ecdsa_keygen(rng);
+  const KeyPair bob = ecdsa_keygen(rng);
+  auto ab = ecdh_shared_x(alice.priv, bob.pub);
+  auto ba = ecdh_shared_x(bob.priv, alice.pub);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_EQ(*ab, *ba);
+
+  // Session keys derived from distinct secrets must differ.
+  const KeyPair carol = ecdsa_keygen(rng);
+  auto ac = ecdh_shared_x(alice.priv, carol.pub);
+  ASSERT_TRUE(ac.ok());
+  EXPECT_NE(*ab, *ac);
+  EXPECT_NE(derive_session_keys(*ab).ke, derive_session_keys(*ac).ke);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, EcdhSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace watz::crypto

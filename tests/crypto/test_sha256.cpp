@@ -1,0 +1,72 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace watz::crypto {
+namespace {
+
+std::string hex_digest(ByteView data) {
+  const Sha256Digest d = sha256(data);
+  return to_hex(d);
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_digest({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_digest(to_bytes("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_digest(to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  const Bytes data(1000000, 'a');
+  EXPECT_EQ(hex_digest(data),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes data = to_bytes("the quick brown fox jumps over the lazy dog repeatedly");
+  // Feed in irregular chunk sizes crossing block boundaries.
+  for (std::size_t chunk : {1u, 3u, 7u, 19u, 63u, 64u, 65u}) {
+    Sha256 ctx;
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const std::size_t take = std::min(chunk, data.size() - off);
+      ctx.update(ByteView(data.data() + off, take));
+      off += take;
+    }
+    EXPECT_EQ(ctx.finish(), sha256(data)) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55/56/64 byte inputs hit the padding edge cases.
+  for (std::size_t n : {55u, 56u, 63u, 64u, 119u, 120u, 128u}) {
+    const Bytes data(n, 0x5a);
+    Sha256 ctx;
+    ctx.update(data);
+    EXPECT_EQ(ctx.finish(), sha256(data)) << n;
+  }
+}
+
+TEST(Sha256, ResetReusesObject) {
+  Sha256 ctx;
+  ctx.update(to_bytes("abc"));
+  (void)ctx.finish();
+  ctx.reset();
+  ctx.update(to_bytes("abc"));
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+}  // namespace
+}  // namespace watz::crypto

@@ -1,0 +1,68 @@
+// minikv guest: functional checks + executor-mode equivalence.
+#include <gtest/gtest.h>
+
+#include "db/kv_guest.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/instance.hpp"
+
+namespace watz::db {
+namespace {
+
+std::unique_ptr<wasm::Instance> make_kv(wasm::ExecMode mode) {
+  static const wasm::ImportResolver kEmpty;
+  auto module = wasm::decode_module(kv_guest_module());
+  EXPECT_TRUE(module.ok()) << module.error();
+  auto inst = wasm::Instance::instantiate(std::move(*module), kEmpty, mode);
+  EXPECT_TRUE(inst.ok()) << inst.error();
+  return std::move(*inst);
+}
+
+std::int32_t call(wasm::Instance& inst, const char* fn, std::int32_t arg) {
+  auto r = inst.invoke(fn, std::vector<wasm::Value>{wasm::Value::from_i32(arg)});
+  EXPECT_TRUE(r.ok()) << fn << ": " << r.error();
+  return r->front().i32();
+}
+
+std::int32_t call0(wasm::Instance& inst, const char* fn) {
+  auto r = inst.invoke(fn, {});
+  EXPECT_TRUE(r.ok()) << fn << ": " << r.error();
+  return r->front().i32();
+}
+
+TEST(KvGuest, BasicWorkloadRuns) {
+  auto inst = make_kv(wasm::ExecMode::Aot);
+  EXPECT_GT(call(*inst, "kv_setup", 1000), 0);
+  EXPECT_EQ(call(*inst, "kv_inserts", 500), 500);
+  const int hits = call(*inst, "kv_lookups", 500);
+  EXPECT_GT(hits, 0);
+  EXPECT_LE(hits, 500);
+  EXPECT_GE(call(*inst, "kv_updates", 200), 0);
+  EXPECT_GE(call(*inst, "kv_deletes", 100), 0);
+  EXPECT_GT(call(*inst, "kv_range", 3), 0);
+}
+
+TEST(KvGuest, ModesAgreeOnChecksum) {
+  // The whole op sequence must produce identical state in both executors.
+  auto aot = make_kv(wasm::ExecMode::Aot);
+  auto interp = make_kv(wasm::ExecMode::Interp);
+  for (auto* inst : {aot.get(), interp.get()}) {
+    call(*inst, "kv_setup", 800);
+    call(*inst, "kv_inserts", 300);
+    call(*inst, "kv_updates", 150);
+    call(*inst, "kv_deletes", 80);
+  }
+  EXPECT_EQ(call0(*aot, "kv_checksum"), call0(*interp, "kv_checksum"));
+}
+
+TEST(KvGuest, ChecksumChangesWithWorkload) {
+  auto a = make_kv(wasm::ExecMode::Aot);
+  auto b = make_kv(wasm::ExecMode::Aot);
+  call(*a, "kv_setup", 500);
+  call(*b, "kv_setup", 500);
+  EXPECT_EQ(call0(*a, "kv_checksum"), call0(*b, "kv_checksum"));
+  call(*b, "kv_inserts", 10);
+  EXPECT_NE(call0(*a, "kv_checksum"), call0(*b, "kv_checksum"));
+}
+
+}  // namespace
+}  // namespace watz::db

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "db/btree.hpp"
+#include "db/database.hpp"
+#include "db/speedtest.hpp"
+
+namespace watz::db {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SqlValue
+
+TEST(SqlValue, OrderingAcrossTypes) {
+  EXPECT_LT(SqlValue{}, SqlValue(std::int64_t{1}));        // NULL < numbers
+  EXPECT_LT(SqlValue(std::int64_t{5}), SqlValue("text"));  // numbers < text
+  EXPECT_EQ(SqlValue(std::int64_t{2}).compare(SqlValue(2.0)), 0);  // numeric equality
+  EXPECT_LT(SqlValue(1.5), SqlValue(std::int64_t{2}));
+  EXPECT_LT(SqlValue("abc"), SqlValue("abd"));
+}
+
+// ---------------------------------------------------------------------------
+// BTree
+
+TEST(BTree, InsertFindSmall) {
+  BTree tree;
+  for (int i = 0; i < 10; ++i) tree.insert(SqlValue(std::int64_t{i}), i * 100);
+  EXPECT_EQ(tree.size(), 10u);
+  auto hits = tree.find(SqlValue(std::int64_t{7}));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 700u);
+  EXPECT_TRUE(tree.find(SqlValue(std::int64_t{55})).empty());
+  EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(BTree, SplitsGrowHeight) {
+  BTree tree;
+  EXPECT_EQ(tree.height(), 1u);
+  for (int i = 0; i < 5000; ++i) tree.insert(SqlValue(std::int64_t{i}), i);
+  EXPECT_GE(tree.height(), 2u);
+  EXPECT_TRUE(tree.check_invariants());
+  for (int i = 0; i < 5000; i += 37) {
+    auto hits = tree.find(SqlValue(std::int64_t{i}));
+    ASSERT_EQ(hits.size(), 1u) << i;
+    EXPECT_EQ(hits[0], static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(BTree, RandomInsertLookupProperty) {
+  BTree tree;
+  std::mt19937_64 rng(42);
+  std::vector<std::pair<std::int64_t, std::uint64_t>> inserted;
+  for (int i = 0; i < 3000; ++i) {
+    const std::int64_t key = static_cast<std::int64_t>(rng() % 1000);
+    tree.insert(SqlValue(key), i);
+    inserted.emplace_back(key, i);
+  }
+  EXPECT_TRUE(tree.check_invariants());
+  // Every inserted pair must be findable.
+  for (const auto& [key, row] : inserted) {
+    auto hits = tree.find(SqlValue(key));
+    EXPECT_NE(std::find(hits.begin(), hits.end(), row), hits.end());
+  }
+}
+
+TEST(BTree, RangeQueries) {
+  BTree tree;
+  for (int i = 0; i < 1000; ++i) tree.insert(SqlValue(std::int64_t{i * 2}), i);
+  const SqlValue lo(std::int64_t{100});
+  const SqlValue hi(std::int64_t{120});
+  auto rows = tree.range(&lo, &hi);
+  EXPECT_EQ(rows.size(), 11u);  // 100,102,...,120
+  auto all = tree.range(nullptr, nullptr);
+  EXPECT_EQ(all.size(), 1000u);
+  auto below = tree.range(nullptr, &lo);
+  EXPECT_EQ(below.size(), 51u);  // 0..100 step 2
+}
+
+TEST(BTree, EraseSpecificPairs) {
+  BTree tree;
+  tree.insert(SqlValue(std::int64_t{5}), 1);
+  tree.insert(SqlValue(std::int64_t{5}), 2);
+  tree.insert(SqlValue(std::int64_t{5}), 3);
+  EXPECT_TRUE(tree.erase(SqlValue(std::int64_t{5}), 2));
+  EXPECT_FALSE(tree.erase(SqlValue(std::int64_t{5}), 2));
+  auto hits = tree.find(SqlValue(std::int64_t{5}));
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(BTree, MassEraseProperty) {
+  BTree tree;
+  for (int i = 0; i < 2000; ++i) tree.insert(SqlValue(std::int64_t{i}), i);
+  for (int i = 0; i < 2000; i += 2) EXPECT_TRUE(tree.erase(SqlValue(std::int64_t{i}), i));
+  EXPECT_EQ(tree.size(), 1000u);
+  for (int i = 0; i < 2000; ++i)
+    EXPECT_EQ(tree.find(SqlValue(std::int64_t{i})).size(), i % 2 == 0 ? 0u : 1u);
+  EXPECT_TRUE(tree.check_invariants());
+}
+
+// ---------------------------------------------------------------------------
+// SQL + execution
+
+class MiniSqlTest : public ::testing::Test {
+ protected:
+  ResultSet exec(const std::string& sql) {
+    auto r = db_.execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.error();
+    return r.ok() ? *r : ResultSet{};
+  }
+  Database db_;
+};
+
+TEST_F(MiniSqlTest, CreateInsertSelect) {
+  exec("CREATE TABLE users (id INTEGER, name TEXT, score REAL)");
+  exec("INSERT INTO users VALUES (1, 'ada', 99.5)");
+  exec("INSERT INTO users VALUES (2, 'bob', 42.0), (3, 'eve', 77.0)");
+  auto rs = exec("SELECT * FROM users");
+  EXPECT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"id", "name", "score"}));
+  auto one = exec("SELECT name FROM users WHERE id = 2");
+  ASSERT_EQ(one.rows.size(), 1u);
+  EXPECT_EQ(one.rows[0][0].as_text(), "bob");
+}
+
+TEST_F(MiniSqlTest, WhereComparatorsAndAnd) {
+  exec("CREATE TABLE t (a INTEGER, b INTEGER)");
+  for (int i = 0; i < 20; ++i)
+    exec("INSERT INTO t VALUES (" + std::to_string(i) + ", " + std::to_string(i * i) + ")");
+  EXPECT_EQ(exec("SELECT a FROM t WHERE a >= 5 AND a < 8").rows.size(), 3u);
+  EXPECT_EQ(exec("SELECT a FROM t WHERE a != 0").rows.size(), 19u);
+  EXPECT_EQ(exec("SELECT a FROM t WHERE b > 100 AND a <= 15").rows.size(), 5u);
+}
+
+TEST_F(MiniSqlTest, OrderByAndLimit) {
+  exec("CREATE TABLE t (a INTEGER, b TEXT)");
+  exec("INSERT INTO t VALUES (3, 'c'), (1, 'a'), (2, 'b')");
+  auto asc = exec("SELECT b FROM t ORDER BY a");
+  ASSERT_EQ(asc.rows.size(), 3u);
+  EXPECT_EQ(asc.rows[0][0].as_text(), "a");
+  EXPECT_EQ(asc.rows[2][0].as_text(), "c");
+  auto desc = exec("SELECT b FROM t ORDER BY a DESC LIMIT 2");
+  ASSERT_EQ(desc.rows.size(), 2u);
+  EXPECT_EQ(desc.rows[0][0].as_text(), "c");
+}
+
+TEST_F(MiniSqlTest, Aggregates) {
+  exec("CREATE TABLE t (v INTEGER)");
+  for (int i = 1; i <= 10; ++i) exec("INSERT INTO t VALUES (" + std::to_string(i) + ")");
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM t").rows[0][0].as_int(), 10);
+  EXPECT_DOUBLE_EQ(exec("SELECT SUM(v) FROM t").rows[0][0].as_real(), 55.0);
+  EXPECT_DOUBLE_EQ(exec("SELECT AVG(v) FROM t").rows[0][0].as_real(), 5.5);
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM t WHERE v > 7").rows[0][0].as_int(), 3);
+}
+
+TEST_F(MiniSqlTest, UpdateAndDelete) {
+  exec("CREATE TABLE t (k INTEGER, v INTEGER)");
+  for (int i = 0; i < 10; ++i) exec("INSERT INTO t VALUES (" + std::to_string(i) + ", 0)");
+  auto upd = exec("UPDATE t SET v = 7 WHERE k >= 5");
+  EXPECT_EQ(upd.affected, 5u);
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM t WHERE v = 7").rows[0][0].as_int(), 5);
+  auto del = exec("DELETE FROM t WHERE k < 3");
+  EXPECT_EQ(del.affected, 3u);
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM t").rows[0][0].as_int(), 7);
+}
+
+TEST_F(MiniSqlTest, IndexAcceleratesEquality) {
+  exec("CREATE TABLE t (k INTEGER, v TEXT)");
+  for (int i = 0; i < 500; ++i)
+    exec("INSERT INTO t VALUES (" + std::to_string(i) + ", 'x')");
+  db_.reset_stats();
+  exec("SELECT v FROM t WHERE k = 250");
+  EXPECT_GT(db_.stats().rows_scanned, 0u);  // no index yet: full scan
+
+  exec("CREATE INDEX ik ON t (k)");
+  db_.reset_stats();
+  auto rs = exec("SELECT v FROM t WHERE k = 250");
+  EXPECT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(db_.stats().rows_scanned, 0u) << "index path must avoid the scan";
+  EXPECT_EQ(db_.stats().index_lookups, 1u);
+}
+
+TEST_F(MiniSqlTest, IndexRangeAndMaintenance) {
+  exec("CREATE TABLE t (k INTEGER, v INTEGER)");
+  exec("CREATE INDEX ik ON t (k)");
+  for (int i = 0; i < 100; ++i)
+    exec("INSERT INTO t VALUES (" + std::to_string(i) + ", " + std::to_string(i) + ")");
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM t WHERE k >= 10 AND k <= 19").rows[0][0].as_int(), 10);
+  // Index must follow updates of the indexed column.
+  exec("UPDATE t SET k = 1000 WHERE k = 15");
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM t WHERE k = 15").rows[0][0].as_int(), 0);
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM t WHERE k = 1000").rows[0][0].as_int(), 1);
+  // ...and deletes.
+  exec("DELETE FROM t WHERE k = 1000");
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM t WHERE k = 1000").rows[0][0].as_int(), 0);
+}
+
+TEST_F(MiniSqlTest, JoinWithAndWithoutIndex) {
+  exec("CREATE TABLE orders (id INTEGER, user_id INTEGER)");
+  exec("CREATE TABLE users (uid INTEGER, name TEXT)");
+  for (int i = 0; i < 20; ++i)
+    exec("INSERT INTO users VALUES (" + std::to_string(i) + ", 'user" +
+         std::to_string(i) + "')");
+  for (int i = 0; i < 60; ++i)
+    exec("INSERT INTO orders VALUES (" + std::to_string(i) + ", " +
+         std::to_string(i % 20) + ")");
+  auto rs = exec("SELECT orders.id, users.name FROM orders JOIN users "
+                 "ON orders.user_id = users.uid WHERE users.uid = 3");
+  EXPECT_EQ(rs.rows.size(), 3u);
+  for (const auto& row : rs.rows) EXPECT_EQ(row[1].as_text(), "user3");
+
+  // Same result with an index on the join column.
+  exec("CREATE INDEX iu ON users (uid)");
+  auto rs2 = exec("SELECT orders.id, users.name FROM orders JOIN users "
+                  "ON orders.user_id = users.uid WHERE users.uid = 3");
+  EXPECT_EQ(rs2.rows.size(), rs.rows.size());
+}
+
+TEST_F(MiniSqlTest, ErrorsAreReported) {
+  EXPECT_FALSE(db_.execute("SELECT * FROM missing").ok());
+  EXPECT_FALSE(db_.execute("GARBAGE QUERY").ok());
+  exec("CREATE TABLE t (a INTEGER)");
+  EXPECT_FALSE(db_.execute("CREATE TABLE t (a INTEGER)").ok());
+  EXPECT_FALSE(db_.execute("INSERT INTO t VALUES (1, 2)").ok());
+  EXPECT_FALSE(db_.execute("SELECT nope FROM t").ok());
+  EXPECT_FALSE(db_.execute("SELECT a FROM t WHERE nope = 1").ok());
+}
+
+TEST_F(MiniSqlTest, BeginCommitAreAccepted) {
+  exec("BEGIN");
+  exec("COMMIT");
+}
+
+TEST(Speedtest, SuiteRunsAtSmallScale) {
+  Database db;
+  speedtest_setup(db, 2);
+  for (const auto& experiment : speedtest_suite()) {
+    EXPECT_NO_THROW(experiment.run(db, 2)) << experiment.id;
+  }
+  EXPECT_GT(db.stats().statements, 100u);
+}
+
+TEST(Speedtest, HasThe31PaperExperiments) {
+  auto suite = speedtest_suite();
+  EXPECT_EQ(suite.size(), 31u);
+  int reads = 0;
+  int writes = 0;
+  for (const auto& e : suite) (e.write_heavy ? writes : reads)++;
+  EXPECT_GT(reads, 10);
+  EXPECT_GT(writes, 10);
+  for (std::size_t i = 1; i < suite.size(); ++i) EXPECT_LT(suite[i - 1].id, suite[i].id);
+}
+
+}  // namespace
+}  // namespace watz::db

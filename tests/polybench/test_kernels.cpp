@@ -1,0 +1,84 @@
+// Cross-validation of the PolyBench suite: each kernel's wcc/Wasm build
+// must produce the same checksum as its native compilation (identical
+// algorithm text, so results should agree to tight tolerance).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "polybench/suite.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/instance.hpp"
+#include "wcc/compiler.hpp"
+
+namespace watz::polybench {
+namespace {
+
+TEST(PolybenchSuite, HasAll30Kernels) {
+  EXPECT_EQ(suite().size(), 30u);
+  EXPECT_NE(find_kernel("gem"), nullptr);
+  EXPECT_NE(find_kernel("nus"), nullptr);
+  EXPECT_EQ(find_kernel("bogus"), nullptr);
+}
+
+TEST(PolybenchSuite, NamesAreUniqueAndSorted) {
+  auto kernels = suite();
+  for (std::size_t i = 1; i < kernels.size(); ++i)
+    EXPECT_LT(std::string_view(kernels[i - 1].name), std::string_view(kernels[i].name));
+}
+
+class KernelTest : public ::testing::TestWithParam<const KernelDef*> {};
+
+TEST_P(KernelTest, NativeRunsAndIsFinite) {
+  const KernelDef& k = *GetParam();
+  arena_reset();
+  const double result = k.native(k.n);
+  EXPECT_TRUE(std::isfinite(result)) << k.name;
+}
+
+TEST_P(KernelTest, NativeIsDeterministic) {
+  const KernelDef& k = *GetParam();
+  arena_reset();
+  const double a = k.native(k.n);
+  arena_reset();
+  const double b = k.native(k.n);
+  EXPECT_EQ(a, b) << k.name;
+}
+
+TEST_P(KernelTest, WasmMatchesNative) {
+  const KernelDef& k = *GetParam();
+  wcc::CompileOptions options;
+  options.memory_pages = 512;  // up to 32 MiB for the 3D kernels
+  auto binary = wcc::compile(k.source, options);
+  ASSERT_TRUE(binary.ok()) << k.name << ": " << binary.error();
+  auto module = wasm::decode_module(*binary);
+  ASSERT_TRUE(module.ok()) << k.name << ": " << module.error();
+  static const wasm::ImportResolver kNoImports;
+  auto inst = wasm::Instance::instantiate(std::move(*module), kNoImports,
+                                          wasm::ExecMode::Aot);
+  ASSERT_TRUE(inst.ok()) << k.name << ": " << inst.error();
+
+  // Use a reduced n for the Wasm cross-check so the whole suite stays fast.
+  const int n = std::max(8, k.n / 3);
+  arena_reset();
+  const double native = k.native(n);
+  const wasm::Value arg = wasm::Value::from_i32(n);
+  auto wasm_result = (*inst)->invoke("run", std::span<const wasm::Value>(&arg, 1));
+  ASSERT_TRUE(wasm_result.ok()) << k.name << ": " << wasm_result.error();
+  const double wasm_val = wasm_result->front().f64();
+  const double tolerance = 1e-9 * std::max(1.0, std::fabs(native));
+  EXPECT_NEAR(wasm_val, native, tolerance) << k.name;
+}
+
+std::vector<const KernelDef*> all_kernels() {
+  std::vector<const KernelDef*> out;
+  for (const KernelDef& k : suite()) out.push_back(&k);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, KernelTest, ::testing::ValuesIn(all_kernels()),
+                         [](const ::testing::TestParamInfo<const KernelDef*>& info) {
+                           return std::string(info.param->name);
+                         });
+
+}  // namespace
+}  // namespace watz::polybench

@@ -1,0 +1,283 @@
+// End-to-end and adversarial tests of the WaTZ remote-attestation protocol.
+#include <gtest/gtest.h>
+
+#include "crypto/fortuna.hpp"
+#include "ra/attester.hpp"
+#include "ra/verifier.hpp"
+
+namespace watz::ra {
+namespace {
+
+struct Fixture {
+  crypto::Fortuna rng{to_bytes("protocol-test")};
+  crypto::KeyPair verifier_identity = crypto::ecdsa_keygen(rng);
+  crypto::KeyPair device_key = crypto::ecdsa_keygen(rng);
+  crypto::Sha256Digest app_claim = crypto::sha256(to_bytes("wasm aot bytecode"));
+  Bytes secret = to_bytes("the confidential dataset");
+
+  Verifier make_verifier() {
+    Verifier verifier(verifier_identity, rng);
+    verifier.endorse_device(device_key.pub);
+    verifier.add_reference_measurement(app_claim);
+    verifier.set_secret_provider([this](const crypto::Sha256Digest&) { return secret; });
+    return verifier;
+  }
+
+  attestation::Evidence make_evidence(const std::array<std::uint8_t, 32>& anchor,
+                                      std::uint32_t version = attestation::kWatzVersion) {
+    attestation::Evidence ev;
+    ev.anchor = anchor;
+    ev.version = version;
+    ev.claim = app_claim;
+    ev.attestation_key = device_key.pub;
+    ev.signature =
+        crypto::ecdsa_sign(device_key.priv, crypto::sha256(ev.signed_payload())).encode();
+    return ev;
+  }
+
+  QuoteFn quoter() {
+    return [this](const std::array<std::uint8_t, 32>& anchor) {
+      return make_evidence(anchor);
+    };
+  }
+};
+
+TEST(Protocol, HappyPathDeliversSecret) {
+  Fixture fx;
+  Verifier verifier = fx.make_verifier();
+  AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+
+  const Bytes msg0 = attester.make_msg0();
+  auto msg1 = verifier.handle(1, msg0);
+  ASSERT_TRUE(msg1.ok()) << msg1.error();
+  auto msg2 = attester.handle_msg1(*msg1, fx.quoter());
+  ASSERT_TRUE(msg2.ok()) << msg2.error();
+  auto msg3 = verifier.handle(1, *msg2);
+  ASSERT_TRUE(msg3.ok()) << msg3.error();
+  auto secret = attester.handle_msg3(*msg3);
+  ASSERT_TRUE(secret.ok()) << secret.error();
+  EXPECT_EQ(*secret, fx.secret);
+}
+
+TEST(Protocol, SessionsUseFreshKeys) {
+  Fixture fx;
+  AttesterSession a1(fx.rng, fx.verifier_identity.pub);
+  AttesterSession a2(fx.rng, fx.verifier_identity.pub);
+  EXPECT_NE(a1.make_msg0(), a2.make_msg0());  // ECDHE freshness
+}
+
+TEST(Protocol, AttesterRejectsWrongVerifierIdentity) {
+  Fixture fx;
+  Verifier verifier = fx.make_verifier();
+  // The application hardcodes a different service key (e.g. the attacker
+  // re-pointed the app at their own verifier; the measurement would differ,
+  // but the attester-side check fires first).
+  const auto other = crypto::ecdsa_keygen(fx.rng);
+  AttesterSession attester(fx.rng, other.pub);
+  const Bytes msg0 = attester.make_msg0();
+  auto msg1 = verifier.handle(1, msg0);
+  ASSERT_TRUE(msg1.ok());
+  auto msg2 = attester.handle_msg1(*msg1, fx.quoter());
+  ASSERT_FALSE(msg2.ok());
+  EXPECT_NE(msg2.error().find("identity mismatch"), std::string::npos);
+}
+
+TEST(Protocol, AttesterRejectsTamperedMsg1) {
+  Fixture fx;
+  Verifier verifier = fx.make_verifier();
+  AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+  auto msg1 = verifier.handle(1, attester.make_msg0());
+  ASSERT_TRUE(msg1.ok());
+  for (std::size_t i : {std::size_t{5}, msg1->size() - 1, std::size_t{70}}) {
+    Bytes bad = *msg1;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(attester.handle_msg1(bad, fx.quoter()).ok()) << "byte " << i;
+  }
+}
+
+TEST(Protocol, AttesterDetectsReplayedMsg1) {
+  Fixture fx;
+  Verifier verifier = fx.make_verifier();
+  // Record a legitimate msg1 from a previous session...
+  AttesterSession old_session(fx.rng, fx.verifier_identity.pub);
+  auto old_msg1 = verifier.handle(1, old_session.make_msg0());
+  ASSERT_TRUE(old_msg1.ok());
+  // ...and replay it against a fresh session with a different Ga. The
+  // signature covers (Gv || Ga), so the stale signature cannot verify.
+  AttesterSession fresh(fx.rng, fx.verifier_identity.pub);
+  fresh.make_msg0();
+  auto msg2 = fresh.handle_msg1(*old_msg1, fx.quoter());
+  ASSERT_FALSE(msg2.ok());
+}
+
+TEST(Protocol, VerifierRejectsUnknownDevice) {
+  Fixture fx;
+  Verifier verifier(fx.verifier_identity, fx.rng);  // no endorsements
+  verifier.add_reference_measurement(fx.app_claim);
+  verifier.set_secret_provider([&](const crypto::Sha256Digest&) { return fx.secret; });
+  AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+  auto msg1 = verifier.handle(1, attester.make_msg0());
+  ASSERT_TRUE(msg1.ok());
+  auto msg2 = attester.handle_msg1(*msg1, fx.quoter());
+  ASSERT_TRUE(msg2.ok());
+  auto msg3 = verifier.handle(1, *msg2);
+  ASSERT_FALSE(msg3.ok());
+  EXPECT_NE(msg3.error().find("not endorsed"), std::string::npos);
+}
+
+TEST(Protocol, VerifierRejectsUnknownMeasurement) {
+  Fixture fx;
+  Verifier verifier(fx.verifier_identity, fx.rng);
+  verifier.endorse_device(fx.device_key.pub);
+  verifier.add_reference_measurement(crypto::sha256(to_bytes("some other app")));
+  verifier.set_secret_provider([&](const crypto::Sha256Digest&) { return fx.secret; });
+  AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+  auto msg1 = verifier.handle(1, attester.make_msg0());
+  auto msg2 = attester.handle_msg1(*msg1, fx.quoter());
+  ASSERT_TRUE(msg2.ok());
+  auto msg3 = verifier.handle(1, *msg2);
+  ASSERT_FALSE(msg3.ok());
+  EXPECT_NE(msg3.error().find("reference value"), std::string::npos);
+}
+
+TEST(Protocol, VerifierRejectsForgedEvidence) {
+  Fixture fx;
+  Verifier verifier = fx.make_verifier();
+  // Attacker holds the *public* attestation key but not the private one.
+  crypto::Fortuna attacker_rng(to_bytes("attacker"));
+  const auto attacker_key = crypto::ecdsa_keygen(attacker_rng);
+  QuoteFn forged = [&](const std::array<std::uint8_t, 32>& anchor) {
+    attestation::Evidence ev;
+    ev.anchor = anchor;
+    ev.claim = fx.app_claim;
+    ev.attestation_key = fx.device_key.pub;  // impersonate the device
+    ev.signature =
+        crypto::ecdsa_sign(attacker_key.priv, crypto::sha256(ev.signed_payload())).encode();
+    return ev;
+  };
+  AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+  auto msg1 = verifier.handle(1, attester.make_msg0());
+  auto msg2 = attester.handle_msg1(*msg1, forged);
+  ASSERT_TRUE(msg2.ok());
+  auto msg3 = verifier.handle(1, *msg2);
+  ASSERT_FALSE(msg3.ok());
+  EXPECT_NE(msg3.error().find("signature invalid"), std::string::npos);
+}
+
+TEST(Protocol, VerifierRejectsOutdatedRuntime) {
+  Fixture fx;
+  Verifier verifier = fx.make_verifier();
+  VerifierPolicy policy;
+  policy.min_watz_version = attestation::kWatzVersion + 1;
+  verifier.set_policy(policy);
+  AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+  auto msg1 = verifier.handle(1, attester.make_msg0());
+  auto msg2 = attester.handle_msg1(*msg1, fx.quoter());
+  ASSERT_TRUE(msg2.ok());
+  auto msg3 = verifier.handle(1, *msg2);
+  ASSERT_FALSE(msg3.ok());
+  EXPECT_NE(msg3.error().find("outdated"), std::string::npos);
+}
+
+TEST(Protocol, VerifierRejectsCrossSessionEvidence) {
+  Fixture fx;
+  Verifier verifier = fx.make_verifier();
+  // Run session A fully to capture its msg2, then replay that msg2 into
+  // session B: the anchor (and MAC key) are session-bound, so it must fail.
+  AttesterSession attester_a(fx.rng, fx.verifier_identity.pub);
+  auto msg1_a = verifier.handle(1, attester_a.make_msg0());
+  auto msg2_a = attester_a.handle_msg1(*msg1_a, fx.quoter());
+  ASSERT_TRUE(msg2_a.ok());
+
+  AttesterSession attester_b(fx.rng, fx.verifier_identity.pub);
+  auto msg1_b = verifier.handle(2, attester_b.make_msg0());
+  ASSERT_TRUE(msg1_b.ok());
+  auto msg3 = verifier.handle(2, *msg2_a);
+  ASSERT_FALSE(msg3.ok());
+}
+
+TEST(Protocol, VerifierRejectsMsg2WithoutHandshake) {
+  Fixture fx;
+  Verifier verifier = fx.make_verifier();
+  AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+  auto msg1 = verifier.handle(1, attester.make_msg0());
+  auto msg2 = attester.handle_msg1(*msg1, fx.quoter());
+  ASSERT_TRUE(msg2.ok());
+  auto msg3 = verifier.handle(99, *msg2);  // different connection
+  ASSERT_FALSE(msg3.ok());
+  EXPECT_NE(msg3.error().find("without handshake"), std::string::npos);
+}
+
+TEST(Protocol, AttesterRejectsTamperedSecretBlob) {
+  Fixture fx;
+  Verifier verifier = fx.make_verifier();
+  AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+  auto msg1 = verifier.handle(1, attester.make_msg0());
+  auto msg2 = attester.handle_msg1(*msg1, fx.quoter());
+  auto msg3 = verifier.handle(1, *msg2);
+  ASSERT_TRUE(msg3.ok());
+  Bytes bad = *msg3;
+  bad[bad.size() / 2] ^= 0x40;
+  auto secret = attester.handle_msg3(bad);
+  ASSERT_FALSE(secret.ok());
+  EXPECT_NE(secret.error().find("authentication failed"), std::string::npos);
+}
+
+TEST(Protocol, SessionStateCleanup) {
+  Fixture fx;
+  Verifier verifier = fx.make_verifier();
+  AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+  (void)verifier.handle(7, attester.make_msg0());
+  EXPECT_EQ(verifier.active_sessions(), 1u);
+  verifier.end_session(7);
+  EXPECT_EQ(verifier.active_sessions(), 0u);
+}
+
+TEST(Protocol, MessageOrderingEnforced) {
+  Fixture fx;
+  AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+  // msg3 before handshake.
+  EXPECT_FALSE(attester.handle_msg3(Bytes{0xA3}).ok());
+  Verifier verifier = fx.make_verifier();
+  // Garbage tag.
+  EXPECT_FALSE(verifier.handle(1, Bytes{0x00, 0x01}).ok());
+  EXPECT_FALSE(verifier.handle(1, Bytes{}).ok());
+}
+
+TEST(Messages, EvidenceEncodeDecodeRoundTrip) {
+  Fixture fx;
+  std::array<std::uint8_t, 32> anchor{};
+  anchor.fill(0x11);
+  const auto ev = fx.make_evidence(anchor);
+  auto back = attestation::Evidence::decode(ev.encode());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back->anchor, ev.anchor);
+  EXPECT_EQ(back->version, ev.version);
+  EXPECT_EQ(back->claim, ev.claim);
+  EXPECT_EQ(back->attestation_key, ev.attestation_key);
+  EXPECT_EQ(back->signature, ev.signature);
+  EXPECT_TRUE(attestation::verify_evidence_signature(*back));
+}
+
+TEST(Messages, AllFramesRejectTruncation) {
+  Fixture fx;
+  Verifier verifier = fx.make_verifier();
+  AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+  const Bytes msg0 = attester.make_msg0();
+  auto msg1 = verifier.handle(1, msg0);
+  auto msg2 = attester.handle_msg1(*msg1, fx.quoter());
+  auto msg3 = verifier.handle(1, *msg2);
+  const Bytes* frames[] = {&msg0, &*msg1, &*msg2, &*msg3};
+  for (const Bytes* frame : frames) {
+    Bytes cut(frame->begin(), frame->end() - 1);
+    switch (static_cast<MsgTag>((*frame)[0])) {
+      case MsgTag::Msg0: EXPECT_FALSE(Msg0::decode(cut).ok()); break;
+      case MsgTag::Msg1: EXPECT_FALSE(Msg1::decode(cut).ok()); break;
+      case MsgTag::Msg2: EXPECT_FALSE(Msg2::decode(cut).ok()); break;
+      case MsgTag::Msg3: EXPECT_FALSE(Msg3::decode(cut).ok()); break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace watz::ra

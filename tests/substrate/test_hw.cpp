@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "crypto/fortuna.hpp"
+#include "hw/caam.hpp"
+#include "hw/clock.hpp"
+#include "hw/efuse.hpp"
+#include "hw/latency.hpp"
+
+namespace watz::hw {
+namespace {
+
+TEST(Clock, MonotonicIncreases) {
+  const auto a = monotonic_ns();
+  const auto b = monotonic_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(Latency, SpinWaitsRoughlyRequestedTime) {
+  LatencyModel model{LatencyConfig{}};
+  const auto start = monotonic_ns();
+  model.spin(200'000);  // 200 us
+  const auto elapsed = monotonic_ns() - start;
+  EXPECT_GE(elapsed, 200'000u);
+  EXPECT_LT(elapsed, 20'000'000u);  // sanity: far less than 20 ms
+}
+
+TEST(Latency, DisabledModelIsFree) {
+  const LatencyModel model = LatencyModel::disabled();
+  const auto start = monotonic_ns();
+  model.spin(50'000'000);  // would be 50 ms if enabled
+  EXPECT_LT(monotonic_ns() - start, 5'000'000u);
+}
+
+TEST(Efuse, WriteOnceSemantics) {
+  EfuseBank fuses;
+  EXPECT_FALSE(fuses.is_programmed(0));
+  EXPECT_TRUE(fuses.program(0, 0xdeadbeef).ok());
+  EXPECT_EQ(fuses.read(0), 0xdeadbeefu);
+  EXPECT_TRUE(fuses.is_programmed(0));
+  // A second burn of the same word must fail.
+  EXPECT_FALSE(fuses.program(0, 0x11111111).ok());
+  EXPECT_EQ(fuses.read(0), 0xdeadbeefu);
+}
+
+TEST(Efuse, UnprogrammedReadsZero) {
+  EfuseBank fuses;
+  EXPECT_EQ(fuses.read(3), 0u);
+  EXPECT_EQ(fuses.read(999), 0u);  // out of range also reads zero
+}
+
+TEST(Efuse, RejectsOutOfRange) {
+  EfuseBank fuses;
+  EXPECT_FALSE(fuses.program(EfuseBank::kWords, 1).ok());
+}
+
+TEST(Efuse, DigestRoundTrip) {
+  EfuseBank fuses;
+  Bytes digest(32);
+  for (int i = 0; i < 32; ++i) digest[i] = static_cast<std::uint8_t>(i * 7);
+  ASSERT_TRUE(fuses.program_digest(digest).ok());
+  EXPECT_EQ(fuses.read_digest(), digest);
+  // The digest words are now locked.
+  EXPECT_FALSE(fuses.program_digest(digest).ok());
+}
+
+TEST(Efuse, RejectsWrongDigestSize) {
+  EfuseBank fuses;
+  EXPECT_FALSE(fuses.program_digest(Bytes(31)).ok());
+}
+
+TEST(Caam, MkvbDiffersBetweenWorlds) {
+  crypto::Fortuna rng(to_bytes("device-seed"));
+  const Caam caam(rng);
+  EXPECT_NE(caam.mkvb(SecurityState::Secure), caam.mkvb(SecurityState::Normal));
+}
+
+TEST(Caam, MkvbStablePerWorld) {
+  crypto::Fortuna rng(to_bytes("device-seed"));
+  const Caam caam(rng);
+  EXPECT_EQ(caam.mkvb(SecurityState::Secure), caam.mkvb(SecurityState::Secure));
+}
+
+TEST(Caam, DistinctDevicesHaveDistinctRoots) {
+  crypto::Fortuna rng(to_bytes("factory"));
+  const Caam a(rng);
+  const Caam b(rng);
+  EXPECT_NE(a.mkvb(SecurityState::Secure), b.mkvb(SecurityState::Secure));
+}
+
+TEST(Caam, FixedOtpmkReproducesIdentity) {
+  std::array<std::uint8_t, 32> otpmk{};
+  otpmk.fill(0x5a);
+  const Caam a(otpmk);
+  const Caam b(otpmk);  // "same silicon" across simulated power cycles
+  EXPECT_EQ(a.mkvb(SecurityState::Secure), b.mkvb(SecurityState::Secure));
+}
+
+}  // namespace
+}  // namespace watz::hw

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "attestation/service.hpp"
+#include "crypto/fortuna.hpp"
+#include "net/fabric.hpp"
+#include "optee/trusted_os.hpp"
+
+namespace watz {
+namespace {
+
+TEST(Fabric, ConnectRefusedWithoutListener) {
+  net::Fabric fabric;
+  EXPECT_FALSE(fabric.connect("nowhere", 4433).ok());
+}
+
+TEST(Fabric, RequestResponseRoundTrip) {
+  net::Fabric fabric;
+  ASSERT_TRUE(fabric
+                  .listen("verifier", 4433,
+                          [](std::uint64_t, ByteView req) -> Result<Bytes> {
+                            Bytes reply = to_bytes("echo:");
+                            append(reply, req);
+                            return reply;
+                          })
+                  .ok());
+  auto conn = fabric.connect("verifier", 4433);
+  ASSERT_TRUE(conn.ok());
+  auto reply = fabric.send_recv(*conn, to_bytes("hello"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, to_bytes("echo:hello"));
+  EXPECT_EQ(fabric.bytes_sent(), 5u);
+  EXPECT_EQ(fabric.bytes_received(), 10u);
+  EXPECT_EQ(fabric.messages(), 1u);
+}
+
+TEST(Fabric, DoubleBindRejected) {
+  net::Fabric fabric;
+  auto svc = [](std::uint64_t, ByteView) -> Result<Bytes> { return Bytes{}; };
+  ASSERT_TRUE(fabric.listen("host", 1, svc).ok());
+  EXPECT_FALSE(fabric.listen("host", 1, svc).ok());
+  EXPECT_TRUE(fabric.listen("host", 2, svc).ok());
+}
+
+TEST(Fabric, CloseInvalidatesConnectionAndFiresHook) {
+  net::Fabric fabric;
+  std::uint64_t closed = 0;
+  ASSERT_TRUE(fabric
+                  .listen(
+                      "host", 1,
+                      [](std::uint64_t, ByteView) -> Result<Bytes> { return Bytes{}; },
+                      [&](std::uint64_t id) { closed = id; })
+                  .ok());
+  auto conn = fabric.connect("host", 1);
+  ASSERT_TRUE(conn.ok());
+  fabric.close(*conn);
+  EXPECT_EQ(closed, *conn);
+  EXPECT_FALSE(fabric.send_recv(*conn, to_bytes("x")).ok());
+}
+
+TEST(Fabric, ConnectionsAreIndependent) {
+  net::Fabric fabric;
+  ASSERT_TRUE(fabric
+                  .listen("host", 1,
+                          [](std::uint64_t id, ByteView) -> Result<Bytes> {
+                            Bytes out;
+                            put_u64le(out, id);
+                            return out;
+                          })
+                  .ok());
+  auto c1 = fabric.connect("host", 1);
+  auto c2 = fabric.connect("host", 1);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE(*c1, *c2);
+}
+
+class AttestationServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    crypto::Fortuna vendor_rng(to_bytes("vendor"));
+    vendor_ = crypto::ecdsa_keygen(vendor_rng);
+    fuses_ = {};
+    fuses_.program_digest(crypto::sha256(vendor_.pub.encode_uncompressed())).check();
+    chain_ = {{"spl", to_bytes("spl"), {}}, {"optee", to_bytes("os"), {}}};
+    for (auto& image : chain_) tz::sign_image(image, vendor_.priv);
+
+    std::array<std::uint8_t, 32> otpmk{};
+    otpmk.fill(0x77);
+    caam_ = std::make_unique<hw::Caam>(otpmk);
+    boot();
+  }
+
+  void boot() {
+    auto os = optee::TrustedOs::boot(*caam_, fuses_, vendor_.pub, chain_,
+                                     hw::LatencyModel::disabled());
+    ASSERT_TRUE(os.ok()) << os.error();
+    os_ = std::move(*os);
+    auto service = attestation::AttestationService::create(*os_);
+    ASSERT_TRUE(service.ok()) << service.error();
+    service_ = *service;
+    os_->register_module(service_);
+  }
+
+  crypto::KeyPair vendor_;
+  hw::EfuseBank fuses_;
+  std::vector<tz::BootImage> chain_;
+  std::unique_ptr<hw::Caam> caam_;
+  std::unique_ptr<optee::TrustedOs> os_;
+  std::shared_ptr<attestation::AttestationService> service_;
+};
+
+TEST_F(AttestationServiceTest, KeyPairStableAcrossReboots) {
+  const auto key_before = service_->public_key();
+  boot();  // simulate a power cycle: OS + service re-created
+  EXPECT_EQ(service_->public_key(), key_before);
+}
+
+TEST_F(AttestationServiceTest, DistinctDevicesDistinctKeys) {
+  std::array<std::uint8_t, 32> other_otpmk{};
+  other_otpmk.fill(0x88);
+  const hw::Caam other_caam(other_otpmk);
+  auto other_os = optee::TrustedOs::boot(other_caam, fuses_, vendor_.pub, chain_,
+                                         hw::LatencyModel::disabled());
+  ASSERT_TRUE(other_os.ok());
+  auto other_service = attestation::AttestationService::create(**other_os);
+  ASSERT_TRUE(other_service.ok());
+  EXPECT_NE((*other_service)->public_key(), service_->public_key());
+}
+
+TEST_F(AttestationServiceTest, EvidenceVerifies) {
+  std::array<std::uint8_t, 32> anchor{};
+  anchor.fill(0xaa);
+  const auto claim = crypto::sha256(to_bytes("app"));
+  const auto evidence = service_->issue_evidence(anchor, claim);
+  EXPECT_EQ(evidence.anchor, anchor);
+  EXPECT_EQ(evidence.claim, claim);
+  EXPECT_EQ(evidence.attestation_key, service_->public_key());
+  EXPECT_TRUE(attestation::verify_evidence_signature(evidence));
+}
+
+TEST_F(AttestationServiceTest, TamperedEvidenceFailsVerification) {
+  std::array<std::uint8_t, 32> anchor{};
+  const auto evidence = service_->issue_evidence(anchor, crypto::sha256(to_bytes("app")));
+  auto tampered = evidence;
+  tampered.claim[0] ^= 1;
+  EXPECT_FALSE(attestation::verify_evidence_signature(tampered));
+  tampered = evidence;
+  tampered.version ^= 1;
+  EXPECT_FALSE(attestation::verify_evidence_signature(tampered));
+  tampered = evidence;
+  tampered.anchor[31] ^= 1;
+  EXPECT_FALSE(attestation::verify_evidence_signature(tampered));
+}
+
+TEST_F(AttestationServiceTest, RequiresWatzExtensions) {
+  optee::TrustedOsConfig stock;
+  stock.watz_extensions = false;
+  auto os = optee::TrustedOs::boot(*caam_, fuses_, vendor_.pub, chain_,
+                                   hw::LatencyModel::disabled(), stock);
+  ASSERT_TRUE(os.ok());
+  EXPECT_FALSE(attestation::AttestationService::create(**os).ok());
+}
+
+TEST_F(AttestationServiceTest, RegisteredAsKernelModule) {
+  auto* found = os_->find_module<attestation::AttestationService>(
+      attestation::AttestationService::kName);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->public_key(), service_->public_key());
+}
+
+}  // namespace
+}  // namespace watz

@@ -1,0 +1,292 @@
+// wcc compiler tests: each program is compiled to Wasm, validated, run in
+// both engine modes, and checked against the expected C semantics.
+#include <gtest/gtest.h>
+
+#include "wasm/decoder.hpp"
+#include "wasm/instance.hpp"
+#include "wcc/compiler.hpp"
+
+namespace watz::wcc {
+namespace {
+
+using wasm::ExecMode;
+using wasm::Value;
+
+class WccTest : public ::testing::TestWithParam<ExecMode> {
+ protected:
+  std::unique_ptr<wasm::Instance> build(std::string_view source) {
+    auto binary = compile(source);
+    EXPECT_TRUE(binary.ok()) << binary.error();
+    auto module = wasm::decode_module(*binary);
+    EXPECT_TRUE(module.ok()) << module.error();
+    static const wasm::ImportResolver kNoImports;
+    auto inst = wasm::Instance::instantiate(std::move(*module), kNoImports, GetParam());
+    EXPECT_TRUE(inst.ok()) << inst.error();
+    return std::move(*inst);
+  }
+
+  std::int32_t run_i32(wasm::Instance& inst, const std::string& fn,
+                       std::vector<Value> args = {}) {
+    auto r = inst.invoke(fn, args);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r->front().i32();
+  }
+
+  double run_f64(wasm::Instance& inst, const std::string& fn,
+                 std::vector<Value> args = {}) {
+    auto r = inst.invoke(fn, args);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r->front().f64();
+  }
+};
+
+TEST_P(WccTest, ArithmeticAndPrecedence) {
+  auto inst = build("int f(int a, int b) { return a + b * 3 - (a - b) / 2; }");
+  EXPECT_EQ(run_i32(*inst, "f", {Value::from_i32(10), Value::from_i32(4)}), 10 + 12 - 3);
+}
+
+TEST_P(WccTest, RecursiveFibonacci) {
+  auto inst = build(R"(
+    int fib(int n) {
+      if (n < 2) return n;
+      return fib(n - 1) + fib(n - 2);
+    }
+  )");
+  EXPECT_EQ(run_i32(*inst, "fib", {Value::from_i32(15)}), 610);
+}
+
+TEST_P(WccTest, WhileLoopAndCompoundAssign) {
+  auto inst = build(R"(
+    int sum_squares(int n) {
+      int acc = 0;
+      int i = 1;
+      while (i <= n) {
+        acc += i * i;
+        i += 1;
+      }
+      return acc;
+    }
+  )");
+  EXPECT_EQ(run_i32(*inst, "sum_squares", {Value::from_i32(10)}), 385);
+}
+
+TEST_P(WccTest, ForLoopBreakContinue) {
+  auto inst = build(R"(
+    int f(int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i++) {
+        if (i % 3 == 0) continue;
+        if (i > 20) break;
+        acc += i;
+      }
+      return acc;
+    }
+  )");
+  // sum of i in [0,21) where i%3 != 0 == 0+..: total below.
+  int expected = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 3 == 0) continue;
+    if (i > 20) break;
+    expected += i;
+  }
+  EXPECT_EQ(run_i32(*inst, "f", {Value::from_i32(100)}), expected);
+}
+
+TEST_P(WccTest, PointersAndAlloc) {
+  auto inst = build(R"(
+    int sum_array(int n) {
+      int* a = alloc(n * 4);
+      for (int i = 0; i < n; i++) a[i] = i * 2;
+      int acc = 0;
+      for (int i = 0; i < n; i++) acc += a[i];
+      return acc;
+    }
+  )");
+  EXPECT_EQ(run_i32(*inst, "sum_array", {Value::from_i32(100)}), 9900);
+}
+
+TEST_P(WccTest, DistinctAllocations) {
+  auto inst = build(R"(
+    int f() {
+      int* a = alloc(40);
+      int* b = alloc(40);
+      a[0] = 1;
+      b[0] = 2;
+      return a[0] * 10 + b[0];
+    }
+  )");
+  EXPECT_EQ(run_i32(*inst, "f"), 12);
+}
+
+TEST_P(WccTest, DoubleArithmeticAndBuiltins) {
+  auto inst = build(R"(
+    double hypot2(double a, double b) { return sqrt(a * a + b * b); }
+    double absval(double x) { return fabs(x); }
+  )");
+  EXPECT_DOUBLE_EQ(run_f64(*inst, "hypot2", {Value::from_f64(3), Value::from_f64(4)}), 5.0);
+  EXPECT_DOUBLE_EQ(run_f64(*inst, "absval", {Value::from_f64(-2.5)}), 2.5);
+}
+
+TEST_P(WccTest, MixedIntDoublePromotion) {
+  auto inst = build(R"(
+    double f(int n) {
+      double acc = 0.0;
+      for (int i = 1; i <= n; i++) acc = acc + 1.0 / i;
+      return acc;
+    }
+  )");
+  const double h4 = 1 + 0.5 + 1.0 / 3 + 0.25;
+  EXPECT_NEAR(run_f64(*inst, "f", {Value::from_i32(4)}), h4, 1e-12);
+}
+
+TEST_P(WccTest, DoubleArrays) {
+  auto inst = build(R"(
+    double dot(int n) {
+      double* x = alloc(n * 8);
+      double* y = alloc(n * 8);
+      for (int i = 0; i < n; i++) { x[i] = i; y[i] = 2.0; }
+      double acc = 0.0;
+      for (int i = 0; i < n; i++) acc += x[i] * y[i];
+      return acc;
+    }
+  )");
+  EXPECT_DOUBLE_EQ(run_f64(*inst, "dot", {Value::from_i32(10)}), 90.0);
+}
+
+TEST_P(WccTest, CharArraysAreByteWide) {
+  auto inst = build(R"(
+    int f() {
+      char* s = alloc(8);
+      s[0] = 300;   /* truncates to 44 */
+      s[1] = 1;
+      return s[0] + s[1];
+    }
+  )");
+  EXPECT_EQ(run_i32(*inst, "f"), 45);
+}
+
+TEST_P(WccTest, LongArithmetic) {
+  auto inst = build(R"(
+    long mul(long a, long b) { return a * b; }
+    int high_bits(long v) { return (int)(v >> 32); }
+  )");
+  auto r = inst->invoke("mul", std::vector<Value>{Value::from_i64(1LL << 33),
+                                                  Value::from_i64(3)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->front().i64(), 3LL << 33);
+  EXPECT_EQ(run_i32(*inst, "high_bits", {Value::from_i64(0xabcd00000000LL)}), 0xabcd);
+}
+
+TEST_P(WccTest, LogicalOperatorsShortCircuit) {
+  auto inst = build(R"(
+    int calls;
+    int bump() { calls = calls + 1; return 1; }
+    int and_false(int x) { return x && bump(); }
+    int or_true(int x) { return x || bump(); }
+    int get_calls() { return calls; }
+  )");
+  EXPECT_EQ(run_i32(*inst, "and_false", {Value::from_i32(0)}), 0);
+  EXPECT_EQ(run_i32(*inst, "get_calls"), 0) << "&& must not evaluate rhs";
+  EXPECT_EQ(run_i32(*inst, "or_true", {Value::from_i32(5)}), 1);
+  EXPECT_EQ(run_i32(*inst, "get_calls"), 0) << "|| must not evaluate rhs";
+  EXPECT_EQ(run_i32(*inst, "and_false", {Value::from_i32(1)}), 1);
+  EXPECT_EQ(run_i32(*inst, "get_calls"), 1);
+}
+
+TEST_P(WccTest, GlobalsPersistAcrossCalls) {
+  auto inst = build(R"(
+    int counter = 100;
+    int next() { counter = counter + 1; return counter; }
+  )");
+  EXPECT_EQ(run_i32(*inst, "next"), 101);
+  EXPECT_EQ(run_i32(*inst, "next"), 102);
+}
+
+TEST_P(WccTest, CastsAndTruncation) {
+  auto inst = build(R"(
+    int trunc_div(double a, double b) { return (int)(a / b); }
+    double widen(int x) { return (double)x / 2; }
+  )");
+  EXPECT_EQ(run_i32(*inst, "trunc_div", {Value::from_f64(7.0), Value::from_f64(2.0)}), 3);
+  EXPECT_DOUBLE_EQ(run_f64(*inst, "widen", {Value::from_i32(7)}), 3.5);
+}
+
+TEST_P(WccTest, BitwiseOps) {
+  auto inst = build(R"(
+    int f(int a, int b) { return ((a & b) | (a ^ b)) + (a << 2) + (b >> 1) + (~a & 255); }
+  )");
+  const int a = 0x5a, b = 0x33;
+  EXPECT_EQ(run_i32(*inst, "f", {Value::from_i32(a), Value::from_i32(b)}),
+            ((a & b) | (a ^ b)) + (a << 2) + (b >> 1) + (~a & 255));
+}
+
+TEST_P(WccTest, NestedLoopsMatrixMultiply) {
+  auto inst = build(R"(
+    double matmul_trace(int n) {
+      double* a = alloc(n * n * 8);
+      double* b = alloc(n * n * 8);
+      double* c = alloc(n * n * 8);
+      for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++) {
+          a[i * n + j] = i + j;
+          b[i * n + j] = i - j;
+          c[i * n + j] = 0.0;
+        }
+      for (int i = 0; i < n; i++)
+        for (int k = 0; k < n; k++)
+          for (int j = 0; j < n; j++)
+            c[i * n + j] += a[i * n + k] * b[k * n + j];
+      double trace = 0.0;
+      for (int i = 0; i < n; i++) trace += c[i * n + i];
+      return trace;
+    }
+  )");
+  // Reference computation in C++.
+  const int n = 8;
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      a[i * n + j] = i + j;
+      b[i * n + j] = i - j;
+    }
+  for (int i = 0; i < n; ++i)
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j) c[i * n + j] += a[i * n + k] * b[k * n + j];
+  double trace = 0;
+  for (int i = 0; i < n; ++i) trace += c[i * n + i];
+  EXPECT_DOUBLE_EQ(run_f64(*inst, "matmul_trace", {Value::from_i32(n)}), trace);
+}
+
+TEST_P(WccTest, FunctionCallsWithMixedTypes) {
+  auto inst = build(R"(
+    double scale(double x, int k) { return x * k; }
+    double f(int n) { return scale(1.5, n) + scale(n, 2); }
+  )");
+  EXPECT_DOUBLE_EQ(run_f64(*inst, "f", {Value::from_i32(4)}), 1.5 * 4 + 4.0 * 2);
+}
+
+TEST_P(WccTest, ErrorsAreReported) {
+  EXPECT_FALSE(compile("int f( { return 0; }").ok());
+  EXPECT_FALSE(compile("int f() { return undeclared_var; }").ok());
+  EXPECT_FALSE(compile("int f() { unknown_fn(); return 0; }").ok());
+  EXPECT_FALSE(compile("int f() { int x = 1; x[0] = 2; return x; }").ok());
+  EXPECT_FALSE(compile("int f() { break; }").ok());
+  EXPECT_FALSE(compile("@").ok());
+}
+
+TEST_P(WccTest, FallingOffNonVoidTraps) {
+  auto inst = build("int f(int x) { if (x) return 1; }");
+  auto ok = inst->invoke("f", std::vector<Value>{Value::from_i32(1)});
+  EXPECT_TRUE(ok.ok());
+  auto bad = inst->invoke("f", std::vector<Value>{Value::from_i32(0)});
+  EXPECT_FALSE(bad.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, WccTest,
+                         ::testing::Values(ExecMode::Interp, ExecMode::Aot),
+                         [](const ::testing::TestParamInfo<ExecMode>& info) {
+                           return info.param == ExecMode::Aot ? "Aot" : "Interp";
+                         });
+
+}  // namespace
+}  // namespace watz::wcc

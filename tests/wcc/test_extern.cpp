@@ -1,0 +1,93 @@
+// extern (host import) declarations in wcc.
+#include <gtest/gtest.h>
+
+#include "wasm/decoder.hpp"
+#include "wasm/instance.hpp"
+#include "wcc/compiler.hpp"
+
+namespace watz::wcc {
+namespace {
+
+using wasm::Value;
+using wasm::ValType;
+
+TEST(WccExtern, ImportsResolveAndDispatch) {
+  auto binary = compile(R"(
+    extern int host_add(int a, int b);
+    extern void host_note(int code);
+    int f(int x) {
+      host_note(x);
+      return host_add(x, 10);
+    }
+  )");
+  ASSERT_TRUE(binary.ok()) << binary.error();
+
+  int noted = 0;
+  wasm::ImportResolver imports;
+  imports.add_function("wasi_snapshot_preview1", "host_add",
+                       {{ValType::I32, ValType::I32}, {ValType::I32}},
+                       [](wasm::Instance&, std::span<const Value> a)
+                           -> Result<std::vector<Value>> {
+                         return std::vector<Value>{Value::from_i32(a[0].i32() + a[1].i32())};
+                       });
+  imports.add_function("wasi_snapshot_preview1", "host_note", {{ValType::I32}, {}},
+                       [&noted](wasm::Instance&, std::span<const Value> a)
+                           -> Result<std::vector<Value>> {
+                         noted = a[0].i32();
+                         return std::vector<Value>{};
+                       });
+
+  auto module = wasm::decode_module(*binary);
+  ASSERT_TRUE(module.ok());
+  EXPECT_EQ(module->num_imported_funcs(), 2u);
+  auto inst = wasm::Instance::instantiate(std::move(*module), imports, wasm::ExecMode::Aot);
+  ASSERT_TRUE(inst.ok()) << inst.error();
+  auto r = (*inst)->invoke("f", std::vector<Value>{Value::from_i32(7)});
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r->front().i32(), 17);
+  EXPECT_EQ(noted, 7);
+}
+
+TEST(WccExtern, WasiRaPrefixMapsToWasiRaModule) {
+  auto binary = compile(R"(
+    extern int wasi_ra_net_data_size(int ctx);
+    int f(int c) { return wasi_ra_net_data_size(c); }
+  )");
+  ASSERT_TRUE(binary.ok()) << binary.error();
+  auto module = wasm::decode_module(*binary);
+  ASSERT_TRUE(module.ok());
+  ASSERT_EQ(module->imports.size(), 1u);
+  EXPECT_EQ(module->imports[0].module, "wasi_ra");
+}
+
+TEST(WccExtern, MissingImportFailsInstantiation) {
+  auto binary = compile(R"(
+    extern int nowhere(int x);
+    int f() { return nowhere(1); }
+  )");
+  ASSERT_TRUE(binary.ok()) << binary.error();
+  auto module = wasm::decode_module(*binary);
+  ASSERT_TRUE(module.ok());
+  static const wasm::ImportResolver kEmpty;
+  EXPECT_FALSE(wasm::Instance::instantiate(std::move(*module), kEmpty,
+                                           wasm::ExecMode::Aot)
+                   .ok());
+}
+
+TEST(WccExtern, DataSegmentsAreEmitted) {
+  CompileOptions options;
+  options.data.push_back({64, to_bytes("hello")});
+  auto binary = compile("int first() { char* m = (char*)0; return m[64]; }", options);
+  ASSERT_TRUE(binary.ok()) << binary.error();
+  static const wasm::ImportResolver kEmpty;
+  auto module = wasm::decode_module(*binary);
+  ASSERT_TRUE(module.ok());
+  auto inst = wasm::Instance::instantiate(std::move(*module), kEmpty, wasm::ExecMode::Aot);
+  ASSERT_TRUE(inst.ok()) << inst.error();
+  auto r = (*inst)->invoke("first", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->front().i32(), 'h');
+}
+
+}  // namespace
+}  // namespace watz::wcc
