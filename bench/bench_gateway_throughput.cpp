@@ -1,0 +1,216 @@
+// Gateway throughput: what the service layer amortises.
+//
+// Phase 1 (launch latency, warm pool disabled so every launch is honest):
+//   cold  = first invoke of a ~1 MB module on a device (full pipeline:
+//           staging, secure copy, hashing, decode+validate+AOT, link);
+//   warm  = same module again (module-cache hit: Transition + heap
+//           allocation + Instantiate only).
+// The paper's Fig 4 says Loading is ~73% of startup, so warm should be
+// several times cheaper -- the acceptance bar is >= 2x.
+//
+// Phase 2 (session amortisation): every invoke after attach must ride the
+// cached evidence -- zero RA message exchanges on the wire.
+//
+// Phase 3 (sustained throughput, pooling on, 2 devices): invocations/sec
+// of a small module dispatched least-loaded across the fleet.
+//
+//   $ ./bench_gateway_throughput [--json]
+#include "bench/harness.hpp"
+#include "gateway/gateway.hpp"
+#include "wasm/builder.hpp"
+
+namespace {
+
+using namespace watz;
+
+/// ~`target_kb` KiB of unrolled arithmetic, exporting entry() -> i64.
+Bytes sized_module(int target_kb) {
+  wasm::ModuleBuilder b;
+  b.add_memory(1);
+  const int kAddsPerFunc = 6000;
+  std::uint32_t first = 0;
+  std::size_t emitted = 0;
+  int index = 0;
+  while (emitted < static_cast<std::size_t>(target_kb) * 1024) {
+    wasm::CodeEmitter e;
+    e.i64_const(index + 1);
+    for (int i = 0; i < kAddsPerFunc; ++i)
+      e.i64_const(0x0102030405060708LL + i).op(wasm::kI64Add);
+    const auto f = b.add_function({{}, {wasm::ValType::I64}});
+    if (index == 0) first = f;
+    b.set_body(f, e.bytes());
+    emitted += kAddsPerFunc * 11;
+    ++index;
+  }
+  const auto entry = b.add_function({{}, {wasm::ValType::I64}});
+  wasm::CodeEmitter e;
+  e.call(first);
+  b.set_body(entry, e.bytes());
+  b.export_function("entry", entry);
+  return b.build();
+}
+
+/// Small guest for the sustained-throughput phase: add(a, b) -> a + b.
+Bytes adder_module() {
+  wasm::ModuleBuilder b;
+  b.add_memory(1);
+  const auto f = b.add_function({{wasm::ValType::I32, wasm::ValType::I32},
+                                 {wasm::ValType::I32}});
+  wasm::CodeEmitter e;
+  e.local_get(0).local_get(1).op(wasm::kI32Add);
+  b.set_body(f, e.bytes());
+  b.export_function("add", f);
+  return b.build();
+}
+
+gateway::InvokeRequest invoke_request(std::uint64_t session,
+                                      const crypto::Sha256Digest& measurement,
+                                      std::string entry,
+                                      std::vector<wasm::Value> args = {}) {
+  gateway::InvokeRequest req;
+  req.session_id = session;
+  req.measurement = measurement;
+  req.entry = std::move(entry);
+  req.args = std::move(args);
+  req.heap_bytes = 1 << 20;
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchReport report("gateway_throughput", argc, argv);
+  const bool tables = !report.json();
+
+  net::Fabric fabric;
+  const core::Vendor vendor = core::Vendor::create(to_bytes("gw-bench-vendor"));
+  auto node0 = bench::boot_device(fabric, vendor, "node-0", 0x70);
+  auto node1 = bench::boot_device(fabric, vendor, "node-1", 0x71);
+
+  // ---- phase 1: cold vs warm launch latency ------------------------------
+  gateway::GatewayConfig latency_config;
+  latency_config.hostname = "gw-latency";
+  latency_config.port = 7000;
+  latency_config.ra_port = 7001;
+  latency_config.cache.max_pool_per_module = 0;  // every launch instantiates
+  gateway::Gateway latency_gw(fabric, latency_config, to_bytes("gw-bench-id-1"));
+  latency_gw.start().check();
+  latency_gw.add_device(*node0).check();
+
+  gateway::GatewayClient client(fabric);
+  client.connect("gw-latency", 7000).check();
+  auto attach = client.attach("bench-tenant");
+  attach.ok() ? void() : throw Error("bench: " + attach.error());
+
+  const Bytes big = sized_module(1024);
+  auto load = client.load_module(attach->session_id, big);
+  load.ok() ? void() : throw Error("bench: " + load.error());
+
+  if (tables)
+    std::printf("=== Gateway: cold vs warm launch (%.2f MB module) ===\n",
+                static_cast<double>(big.size()) / (1024.0 * 1024.0));
+
+  auto cold = client.invoke(invoke_request(attach->session_id, load->measurement, "entry"));
+  cold.ok() ? void() : throw Error("bench: " + cold.error());
+  if (cold->module_cache_hit) throw Error("bench: first launch unexpectedly warm");
+
+  // Median warm launch over a few repetitions.
+  std::vector<std::uint64_t> warm_samples;
+  std::uint32_t warm_ra_exchanges = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto warm = client.invoke(
+        invoke_request(attach->session_id, load->measurement, "entry"));
+    warm.ok() ? void() : throw Error("bench: " + warm.error());
+    if (!warm->module_cache_hit || warm->pool_hit)
+      throw Error("bench: expected a pure module-cache hit");
+    warm_samples.push_back(warm->launch_ns);
+    warm_ra_exchanges += warm->ra_exchanges;
+  }
+  std::sort(warm_samples.begin(), warm_samples.end());
+  const std::uint64_t warm_ns = warm_samples[warm_samples.size() / 2];
+  const double speedup =
+      static_cast<double>(cold->launch_ns) / static_cast<double>(warm_ns);
+
+  if (tables) {
+    std::printf("  cold launch (miss: full pipeline) : %9.2f ms\n",
+                bench::ms(cold->launch_ns));
+    std::printf("  warm launch (hit: no Loading)     : %9.2f ms  (%.1fx faster)\n",
+                bench::ms(warm_ns), speedup);
+    std::printf("  RA exchanges after attach         : %u (session evidence cached)\n",
+                warm_ra_exchanges);
+  }
+  report.metric("cold_launch_ns", static_cast<double>(cold->launch_ns), "ns");
+  report.metric("warm_launch_ns", static_cast<double>(warm_ns), "ns");
+  report.metric("warm_speedup", speedup, "x");
+  report.metric("post_attach_ra_exchanges", warm_ra_exchanges, "msgs");
+
+  // ---- phase 2: sustained invocations/sec across the fleet ---------------
+  gateway::GatewayConfig fleet_config;
+  fleet_config.hostname = "gw-fleet";
+  fleet_config.port = 7010;
+  fleet_config.ra_port = 7011;
+  gateway::Gateway fleet_gw(fabric, fleet_config, to_bytes("gw-bench-id-2"));
+  fleet_gw.start().check();
+  fleet_gw.add_device(*node0).check();
+  fleet_gw.add_device(*node1).check();
+
+  gateway::GatewayClient fleet_client(fabric);
+  fleet_client.connect("gw-fleet", 7010).check();
+  auto fleet_attach = fleet_client.attach("bench-tenant");
+  fleet_attach.ok() ? void() : throw Error("bench: " + fleet_attach.error());
+  const Bytes small = adder_module();
+  auto small_load = fleet_client.load_module(fleet_attach->session_id, small);
+  small_load.ok() ? void() : throw Error("bench: " + small_load.error());
+
+  const auto add_args = [](int i) {
+    return std::vector<wasm::Value>{wasm::Value::from_i32(i),
+                                    wasm::Value::from_i32(1)};
+  };
+  // Warm both devices (cold miss once per device), then time.
+  for (int i = 0; i < 4; ++i) {
+    auto r = fleet_client.invoke(invoke_request(
+        fleet_attach->session_id, small_load->measurement, "add", add_args(i)));
+    r.ok() ? void() : throw Error("bench: " + r.error());
+  }
+  const int kInvocations = 2000;
+  const std::uint64_t elapsed = bench::time_ns([&] {
+    for (int i = 0; i < kInvocations; ++i) {
+      auto r = fleet_client.invoke(invoke_request(
+          fleet_attach->session_id, small_load->measurement, "add", add_args(i)));
+      r.ok() ? void() : throw Error("bench: " + r.error());
+    }
+  });
+  const double per_sec =
+      kInvocations / (static_cast<double>(elapsed) / 1e9);
+
+  auto stats = fleet_client.stats(fleet_attach->session_id);
+  stats.ok() ? void() : throw Error("bench: " + stats.error());
+  const double pool_rate =
+      stats->invocations
+          ? static_cast<double>(stats->devices[0].pool_hits +
+                                stats->devices[1].pool_hits) /
+                static_cast<double>(stats->invocations)
+          : 0.0;
+
+  if (tables) {
+    std::printf("\n=== Gateway: sustained dispatch over %zu devices ===\n",
+                stats->devices.size());
+    std::printf("  %d invocations in %.1f ms -> %.0f invokes/sec\n", kInvocations,
+                bench::ms(elapsed), per_sec);
+    std::printf("  warm-pool hit rate: %.1f%%\n", 100.0 * pool_rate);
+    for (const gateway::DeviceStats& d : stats->devices)
+      std::printf("  %-8s invocations=%-6llu busy=%.1f ms  queue-depth peak=%u\n",
+                  d.hostname.c_str(),
+                  static_cast<unsigned long long>(d.invocations),
+                  bench::ms(d.busy_ns), d.queue_depth_peak);
+    if (speedup >= 2.0)
+      std::printf("\nwarm launch is %.1fx cheaper than cold (>= 2x bar met)\n",
+                  speedup);
+    else
+      std::printf("\nWARNING: warm launch only %.1fx cheaper than cold\n", speedup);
+  }
+  report.metric("sustained_invokes_per_sec", per_sec, "1/s");
+  report.metric("pool_hit_rate", pool_rate, "ratio");
+  report.metric("fleet_devices", static_cast<double>(stats->devices.size()), "");
+  return 0;
+}

@@ -34,6 +34,53 @@ inline std::uint64_t median_ns(int reps, const std::function<void()>& fn) {
 inline double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
 inline double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
 
+/// Machine-readable results for the BENCH_*.json perf trajectory.
+///
+/// Construct one per bench binary; record metrics alongside the human
+/// tables. When the binary was run with `--json`, flush() (or the
+/// destructor) emits a single JSON object on stdout:
+///
+///   {"bench":"<name>","metrics":{"<key>":{"value":<v>,"unit":"<u>"},...}}
+///
+/// Callers that want table-free output can gate their printf on json().
+class BenchReport {
+ public:
+  BenchReport(std::string name, int argc, char** argv) : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i)
+      if (std::string(argv[i]) == "--json") json_ = true;
+  }
+  ~BenchReport() { flush(); }
+
+  bool json() const noexcept { return json_; }
+
+  void metric(const std::string& key, double value, const std::string& unit = "") {
+    metrics_.emplace_back(Metric{key, value, unit});
+  }
+
+  void flush() {
+    if (!json_ || flushed_) return;
+    flushed_ = true;
+    std::printf("{\"bench\":\"%s\",\"metrics\":{", name_.c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::printf("%s\"%s\":{\"value\":%.6g,\"unit\":\"%s\"}", i ? "," : "",
+                  m.key.c_str(), m.value, m.unit.c_str());
+    }
+    std::printf("}}\n");
+  }
+
+ private:
+  struct Metric {
+    std::string key;
+    double value;
+    std::string unit;
+  };
+  std::string name_;
+  bool json_ = false;
+  bool flushed_ = false;
+  std::vector<Metric> metrics_;
+};
+
 /// A booted attester board with the paper's latency calibration.
 inline std::unique_ptr<core::Device> boot_device(net::Fabric& fabric,
                                                  const core::Vendor& vendor,

@@ -1,65 +1,127 @@
-// A fleet scenario: one verifier provisions a per-device configuration
-// secret to many IoT boards, releasing it only to endorsed devices that
-// run the approved application — and rejecting a board whose secure boot
-// was compromised (tampered trusted-OS image).
+// A fleet scenario, served through the attested execution gateway: a small
+// IoT fleet is enrolled behind the gateway, tenants attach (one RA
+// handshake per device, then never again), load a Wasm module once and
+// invoke it many times -- dispatched least-loaded across the boards, with
+// warm module-cache launches after the first touch of each device. A board
+// whose secure boot was compromised (tampered trusted-OS image) never
+// comes up, so it can never join the fleet.
 //
 //   $ ./examples/example_device_fleet
 #include <cstdio>
 
-#include "core/guest_builder.hpp"
-#include "core/verifier_host.hpp"
-#include "crypto/fortuna.hpp"
+#include "gateway/gateway.hpp"
+#include "wasm/builder.hpp"
+
+namespace {
+
+using namespace watz;
+
+/// Telemetry-style guest: score(reading) -> reading * 3 + 1.
+Bytes telemetry_app() {
+  wasm::ModuleBuilder b;
+  b.add_memory(1);
+  const auto f = b.add_function({{wasm::ValType::I32}, {wasm::ValType::I32}});
+  wasm::CodeEmitter e;
+  e.local_get(0).i32_const(3).op(wasm::kI32Mul).i32_const(1).op(wasm::kI32Add);
+  b.set_body(f, e.bytes());
+  b.export_function("score", f);
+  return b.build();
+}
+
+}  // namespace
 
 int main() {
-  using namespace watz;
-
   net::Fabric fabric;
   const core::Vendor vendor = core::Vendor::create(to_bytes("fleet-vendor"));
 
-  // Verifier board.
-  core::DeviceConfig vcfg;
-  vcfg.hostname = "control";
-  vcfg.otpmk.fill(0xC0);
-  vcfg.latency.enabled = false;
-  auto control = core::Device::boot(fabric, vendor, vcfg);
-  crypto::Fortuna rng(to_bytes("fleet-rng"));
-  core::VerifierHost verifier(**control, rng);
-  verifier.listen(4433).check();
+  // The gateway: the fleet's single front door.
+  gateway::GatewayConfig config;
+  gateway::Gateway gw(fabric, config, to_bytes("fleet-gateway-identity"));
+  gw.start().check();
 
-  const Bytes app = core::build_attester_app(verifier.identity(), "control", 4433);
-  verifier.verifier().add_reference_measurement(crypto::sha256(app));
-  verifier.verifier().set_secret_provider([](const crypto::Sha256Digest&) {
-    return to_bytes("device-config-v7: mqtt://broker.internal");
-  });
-
-  // Boot a small fleet; endorse only the first three.
-  std::printf("provisioning a fleet of 4 devices (3 endorsed, 1 unknown):\n");
-  for (int i = 0; i < 4; ++i) {
+  std::printf("enrolling a fleet of 3 devices behind the gateway:\n");
+  std::vector<std::unique_ptr<core::Device>> fleet;
+  for (int i = 0; i < 3; ++i) {
     core::DeviceConfig cfg;
     cfg.hostname = "node-" + std::to_string(i);
     cfg.otpmk.fill(static_cast<std::uint8_t>(0x10 + i));
     cfg.latency.enabled = false;
     auto node = core::Device::boot(fabric, vendor, cfg);
     if (!node.ok()) {
-      std::fprintf(stderr, "  %s: boot failed\n", cfg.hostname.c_str());
+      std::fprintf(stderr, "  %s: boot failed: %s\n", cfg.hostname.c_str(),
+                   node.error().c_str());
       continue;
     }
-    const bool endorsed = i < 3;
-    if (endorsed)
-      verifier.verifier().endorse_device((*node)->attestation_service().public_key());
+    gw.add_device(**node).check();
+    std::printf("  %s enrolled (attestation key endorsed, platform claim "
+                "registered)\n",
+                cfg.hostname.c_str());
+    fleet.push_back(std::move(*node));
+  }
 
-    core::AppConfig app_cfg;
-    app_cfg.heap_bytes = 4 << 20;
-    auto loaded = (*node)->runtime().launch(app, app_cfg);
-    auto r = (*loaded)->invoke("attest", {});
-    const int rc = r.ok() ? r->front().i32() : -999;
-    std::printf("  %-7s endorsed=%-3s -> %s (rc=%d)\n", cfg.hostname.c_str(),
-                endorsed ? "yes" : "no",
-                rc > 0 ? "received config" : "REFUSED", rc);
+  // A tenant attaches: the whole fleet proves itself once, up front.
+  gateway::GatewayClient client(fabric);
+  client.connect(config.hostname, config.port).check();
+  auto session = client.attach("tenant-telemetry");
+  if (!session.ok()) {
+    std::fprintf(stderr, "attach failed: %s\n", session.error().c_str());
+    return 1;
+  }
+  std::printf("\ntenant attached: session %llu, %u devices attested "
+              "(%u RA exchanges)\n",
+              static_cast<unsigned long long>(session->session_id),
+              session->devices_attested, session->ra_exchanges);
+
+  const Bytes app = telemetry_app();
+  auto load = client.load_module(session->session_id, app);
+  if (!load.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", load.error().c_str());
+    return 1;
+  }
+  std::printf("module registered: %s\n", to_hex(load->measurement).c_str());
+
+  // Invocations ride the session: no further attestation, and each device
+  // pays the Loading phase only on its first touch.
+  std::printf("\ndispatching 9 invocations across the fleet:\n");
+  for (int reading = 0; reading < 9; ++reading) {
+    gateway::InvokeRequest req;
+    req.session_id = session->session_id;
+    req.measurement = load->measurement;
+    req.entry = "score";
+    req.args = {wasm::Value::from_i32(reading)};
+    req.heap_bytes = 1 << 20;
+    auto r = client.invoke(req);
+    if (!r.ok()) {
+      std::fprintf(stderr, "  invoke failed: %s\n", r.error().c_str());
+      return 1;
+    }
+    std::printf("  score(%d) = %-3d on %-7s %-21s ra-exchanges=%u\n", reading,
+                r->results.front().i32(), r->device.c_str(),
+                r->pool_hit          ? "[pool hit]"
+                : r->module_cache_hit ? "[module-cache hit]"
+                                      : "[cold: full pipeline]",
+                r->ra_exchanges);
+  }
+
+  auto stats = client.stats(session->session_id);
+  if (stats.ok()) {
+    std::printf("\ngateway stats: %llu invocations, %llu handshakes run, "
+                "%llu reused\n",
+                static_cast<unsigned long long>(stats->invocations),
+                static_cast<unsigned long long>(stats->handshakes_run),
+                static_cast<unsigned long long>(stats->handshakes_reused));
+    for (const gateway::DeviceStats& d : stats->devices)
+      std::printf("  %-7s invocations=%llu cache: %llu hit / %llu miss, "
+                  "pool hits=%llu\n",
+                  d.hostname.c_str(),
+                  static_cast<unsigned long long>(d.invocations),
+                  static_cast<unsigned long long>(d.cache_hits),
+                  static_cast<unsigned long long>(d.cache_misses),
+                  static_cast<unsigned long long>(d.pool_hits));
   }
 
   // A compromised board: its trusted-OS image was modified, so secure boot
-  // aborts and the device never comes up (the chain-of-trust property).
+  // aborts and the device never comes up -- it can never enrol.
   auto chain = vendor.make_boot_chain();
   chain[2].payload.push_back(0xEE);  // tampered OP-TEE image
   hw::EfuseBank fuses;
@@ -69,7 +131,8 @@ int main() {
   const hw::Caam caam(otpmk);
   auto evil = optee::TrustedOs::boot(caam, fuses, vendor.key.pub, chain,
                                      hw::LatencyModel::disabled());
-  std::printf("  tampered-firmware board: %s\n",
-              evil.ok() ? "BOOTED (unexpected!)" : ("refused to boot: " + evil.error()).c_str());
+  std::printf("\ntampered-firmware board: %s\n",
+              evil.ok() ? "BOOTED (unexpected!)"
+                        : ("refused to boot: " + evil.error()).c_str());
   return 0;
 }

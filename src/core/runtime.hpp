@@ -12,6 +12,12 @@
 //      symbols are registered (Initialisation);
 //   5. the module is decoded, validated and AOT-translated (Loading);
 //   6. linking + segment evaluation (Instantiate); then execution.
+//
+// The pipeline is split at the cacheable boundary: phases 1-3+5 produce a
+// PreparedModule (everything derivable from the bytes alone), phases 4+6
+// consume one and produce a LoadedApp. launch() composes both; the gateway
+// module cache keeps PreparedModules so repeat launches of the same
+// measurement skip the dominant Loading phase entirely.
 #pragma once
 
 #include <memory>
@@ -51,14 +57,49 @@ struct AppConfig {
   wasm::ExecMode mode = wasm::ExecMode::Aot;
 };
 
+/// The cacheable product of the expensive launch phases: measured bytecode
+/// in executable secure pages plus its decoded + validated + AOT-translated
+/// form. Immutable once built; instantiation copies out of it, so one
+/// PreparedModule serves any number of concurrent LoadedApps.
+class PreparedModule {
+ public:
+  const crypto::Sha256Digest& measurement() const noexcept { return measurement_; }
+  const wasm::Module& module() const noexcept { return module_; }
+  const std::vector<wasm::CompiledFunc>& compiled() const noexcept { return compiled_; }
+  wasm::ExecMode mode() const noexcept { return mode_; }
+  /// Secure-heap footprint of the retained executable pages (what a module
+  /// cache charges against its budget).
+  std::size_t code_bytes() const noexcept { return code_memory_.size(); }
+  /// Cost of the cold phases (Transition + Memory allocation + Hashing +
+  /// Loading) paid when this module was prepared.
+  const StartupBreakdown& load_cost() const noexcept { return load_cost_; }
+
+ private:
+  friend class WatzRuntime;
+  crypto::Sha256Digest measurement_{};
+  wasm::Module module_;
+  std::vector<wasm::CompiledFunc> compiled_;
+  wasm::ExecMode mode_ = wasm::ExecMode::Aot;
+  optee::SecureAlloc code_memory_;  // executable pages holding the bytecode
+  StartupBreakdown load_cost_{};
+};
+
 /// One sandboxed Wasm application loaded in the secure world.
 class LoadedApp {
  public:
-  const crypto::Sha256Digest& measurement() const noexcept { return measurement_; }
+  const crypto::Sha256Digest& measurement() const noexcept {
+    return prepared_->measurement();
+  }
   const StartupBreakdown& startup() const noexcept { return startup_; }
   wasm::Instance& instance() noexcept { return *instance_; }
   wasi::WasiEnv& wasi() noexcept { return *wasi_env_; }
   WasiRaEnv& wasi_ra() noexcept { return *wasi_ra_env_; }
+  /// The shared prepared form this app was instantiated from.
+  const std::shared_ptr<const PreparedModule>& prepared() const noexcept {
+    return prepared_;
+  }
+  /// Secure-heap charge of the guest heap reservation (pool accounting).
+  std::size_t heap_bytes() const noexcept { return heap_memory_.size(); }
 
   /// Invokes an exported function inside the sandbox, crossing the world
   /// boundary (charged by the monitor).
@@ -67,9 +108,8 @@ class LoadedApp {
 
  private:
   friend class WatzRuntime;
-  crypto::Sha256Digest measurement_{};
   StartupBreakdown startup_{};
-  optee::SecureAlloc code_memory_;  // executable pages holding the bytecode
+  std::shared_ptr<const PreparedModule> prepared_;
   optee::SecureAlloc heap_memory_;  // guest heap reservation
   std::unique_ptr<wasi::WasiEnv> wasi_env_;
   std::unique_ptr<WasiRaEnv> wasi_ra_env_;
@@ -83,13 +123,29 @@ class WatzRuntime {
   WatzRuntime(optee::TrustedOs& os, tz::SecureMonitor& monitor,
               const attestation::AttestationService& attestation_service);
 
+  /// Cold half of the pipeline: stages the binary through the shared
+  /// buffer, copies it into executable secure pages, measures it and runs
+  /// decode + validate (+ AOT translation). The result is immutable and
+  /// shareable across launches.
+  Result<std::shared_ptr<const PreparedModule>> prepare(
+      ByteView wasm_binary, wasm::ExecMode mode = wasm::ExecMode::Aot);
+
+  /// Warm half: allocates the guest heap, builds the runtime environment
+  /// and instantiates the module. Only Transition + Memory allocation +
+  /// Initialisation + Instantiate appear in the resulting startup()
+  /// breakdown -- the Loading phase was paid once, in prepare().
+  Result<std::unique_ptr<LoadedApp>> instantiate(
+      std::shared_ptr<const PreparedModule> prepared, AppConfig config);
+
   /// Launches a Wasm application from a normal-world binary. The full
   /// paper flow: shared buffer -> secure copy -> measure -> load -> run
   /// until the first instruction (the start/_start entry is NOT invoked;
-  /// call LoadedApp::invoke for that).
+  /// call LoadedApp::invoke for that). Equivalent to prepare() +
+  /// instantiate() with the phase costs merged.
   Result<std::unique_ptr<LoadedApp>> launch(ByteView wasm_binary, AppConfig config);
 
   std::uint64_t apps_launched() const noexcept { return apps_launched_; }
+  std::uint64_t modules_prepared() const noexcept { return modules_prepared_; }
 
  private:
   optee::TrustedOs& os_;
@@ -97,6 +153,7 @@ class WatzRuntime {
   const attestation::AttestationService& attestation_;
   crypto::Fortuna app_rng_;
   std::uint64_t apps_launched_ = 0;
+  std::uint64_t modules_prepared_ = 0;
 };
 
 }  // namespace watz::core

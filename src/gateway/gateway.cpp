@@ -1,0 +1,377 @@
+#include "gateway/gateway.hpp"
+
+#include <algorithm>
+
+#include "hw/clock.hpp"
+#include "ra/attester.hpp"
+
+namespace watz::gateway {
+
+namespace {
+
+/// The platform claim a device attests to: the hash of its measured boot
+/// chain (SPL, U-Boot/ATF, trusted OS), i.e. what a measured-boot TPM
+/// would have accumulated by the time the runtime is up.
+crypto::Sha256Digest platform_claim(core::Device& device) {
+  crypto::Sha256 hasher;
+  for (const crypto::Sha256Digest& stage : device.os().boot_report().measurements)
+    hasher.update(stage);
+  return hasher.finish();
+}
+
+}  // namespace
+
+Gateway::Gateway(net::Fabric& fabric, GatewayConfig config, ByteView identity_seed)
+    : fabric_(fabric),
+      config_(std::move(config)),
+      rng_(identity_seed),
+      sessions_(config_.session_policy) {
+  verifier_ = std::make_unique<ra::Verifier>(crypto::ecdsa_keygen(rng_), rng_);
+  // The blob msg3 provisions: a gateway session ticket. The appraisal side
+  // effects (endorsement, reference value, MAC and signature checks) are
+  // what the handshake is run for.
+  verifier_->set_secret_provider(
+      [](const crypto::Sha256Digest&) { return to_bytes("watz-gateway-ticket-v1"); });
+}
+
+Status Gateway::start() {
+  if (started_) return Status::err("gateway: already started");
+
+  // RA endpoint: the gateway's verifier, appraising devices.
+  Status ra = fabric_.listen(
+      config_.hostname, config_.ra_port,
+      [this](std::uint64_t conn, ByteView message) -> Result<Bytes> {
+        return verifier_->handle(conn, message);
+      },
+      [this](std::uint64_t conn) { verifier_->end_session(conn); });
+  if (!ra.ok()) return ra;
+
+  // Client-facing dispatcher. Application failures travel inside the
+  // response envelope; the transport only fails on malformed frames.
+  Status dispatcher = fabric_.listen(
+      config_.hostname, config_.port,
+      [this](std::uint64_t, ByteView request) -> Result<Bytes> {
+        auto response = handle_request(request);
+        return response.ok() ? std::move(*response) : err_envelope(response.error());
+      });
+  if (!dispatcher.ok()) return dispatcher;
+
+  started_ = true;
+  return {};
+}
+
+Status Gateway::add_device(core::Device& device) {
+  Backend& backend = backends_[device.hostname()];
+  backend.device = &device;
+  backend.cache = std::make_unique<ModuleCache>(device.runtime(), config_.cache);
+  backend.attester_rng = std::make_unique<crypto::Fortuna>(
+      device.os().huk_subkey_derive("watz-gateway-attester-v1"));
+  backend.platform_claim = platform_claim(device);
+  ++backend.boot_count;  // re-enrolment == reboot: cached evidence goes stale
+  backend.inflight = 0;
+
+  verifier_->endorse_device(device.attestation_service().public_key());
+  verifier_->add_reference_measurement(backend.platform_claim);
+  return {};
+}
+
+Result<attestation::Evidence> Gateway::run_handshake(const std::string& hostname,
+                                                     Backend& backend) {
+  using Ev = Result<attestation::Evidence>;
+  core::Device& device = *backend.device;
+  // The attester state machine runs inside the device's TEE; its socket
+  // calls are relayed by the supplicant across the fabric to the gateway's
+  // RA endpoint (exactly the SS V deployment, with the gateway as relying
+  // party).
+  return device.monitor().smc_call([&]() -> Ev {
+    optee::Supplicant* supplicant = device.os().supplicant();
+    if (!supplicant) return Ev::err("gateway: " + hostname + ": no supplicant");
+
+    ra::AttesterSession attester(*backend.attester_rng, verifier_->identity_key());
+    auto conn = supplicant->socket_connect(config_.hostname, config_.ra_port);
+    if (!conn.ok()) return Ev::err(conn.error());
+    struct CloseGuard {
+      optee::Supplicant* s;
+      std::uint32_t handle;
+      ~CloseGuard() { s->socket_close(handle); }
+    } guard{supplicant, *conn};
+
+    auto msg1 = supplicant->socket_send_recv(*conn, attester.make_msg0());
+    if (!msg1.ok()) return Ev::err(msg1.error());
+
+    attestation::Evidence evidence;
+    auto msg2 = attester.handle_msg1(
+        *msg1, [&](const std::array<std::uint8_t, 32>& anchor) {
+          evidence = device.attestation_service().issue_evidence(
+              anchor, backend.platform_claim);
+          return evidence;
+        });
+    if (!msg2.ok()) return Ev::err(msg2.error());
+
+    auto msg3 = supplicant->socket_send_recv(*conn, *msg2);
+    if (!msg3.ok()) return Ev::err(msg3.error());  // verifier rejected the device
+    auto ticket = attester.handle_msg3(*msg3);
+    if (!ticket.ok()) return Ev::err(ticket.error());
+    return evidence;
+  });
+}
+
+std::vector<Gateway::Backend*> Gateway::backends_by_load() {
+  std::vector<Backend*> order;
+  order.reserve(backends_.size());
+  for (auto& [name, backend] : backends_) order.push_back(&backend);
+  std::stable_sort(order.begin(), order.end(), [](const Backend* a, const Backend* b) {
+    return a->inflight != b->inflight ? a->inflight < b->inflight
+                                      : a->busy_ns < b->busy_ns;
+  });
+  return order;
+}
+
+Result<Bytes> Gateway::handle_request(ByteView request) {
+  auto op = peek_op(request);
+  if (!op.ok()) return Result<Bytes>::err(op.error());
+  switch (*op) {
+    case Op::Attach: return handle_attach(request);
+    case Op::LoadModule: return handle_load_module(request);
+    case Op::Invoke: return handle_invoke(request);
+    case Op::Stats: return handle_stats(request);
+    case Op::Detach: return handle_detach(request);
+  }
+  return Result<Bytes>::err("gateway: unknown opcode");
+}
+
+Result<Bytes> Gateway::handle_attach(ByteView request) {
+  auto req = AttachRequest::decode(request);
+  if (!req.ok()) return Result<Bytes>::err(req.error());
+  if (backends_.empty()) return Result<Bytes>::err("gateway: no devices enrolled");
+
+  const std::uint64_t now = hw::monotonic_ns();
+  Session& session = sessions_.attach(req->client, now);
+
+  // Attest the whole fleet up front so invokes on this session are RA-free
+  // until the policy invalidates the evidence.
+  AttachResponse resp;
+  resp.session_id = session.id;
+  std::string last_error;
+  for (auto& [name, backend] : backends_) {
+    auto exchanges = sessions_.ensure_attested(
+        session, name, backend.boot_count, now,
+        [&]() { return run_handshake(name, backend); });
+    if (!exchanges.ok()) {
+      last_error = exchanges.error();
+      continue;
+    }
+    ++resp.devices_attested;
+    resp.ra_exchanges += *exchanges;
+  }
+  if (resp.devices_attested == 0) {
+    sessions_.detach(session.id);
+    return Result<Bytes>::err("gateway: no device passed appraisal: " + last_error);
+  }
+  return ok_envelope(resp.encode());
+}
+
+Result<Bytes> Gateway::handle_load_module(ByteView request) {
+  auto req = LoadModuleRequest::decode(request);
+  if (!req.ok()) return Result<Bytes>::err(req.error());
+  if (!sessions_.find(req->session_id))
+    return Result<Bytes>::err("gateway: unknown session");
+
+  LoadModuleResponse resp;
+  resp.measurement = crypto::sha256(req->binary);
+  resp.already_registered = binaries_.contains(resp.measurement);
+  if (!resp.already_registered)
+    register_binary(resp.measurement, std::move(req->binary));
+  return ok_envelope(resp.encode());
+}
+
+Result<Bytes> Gateway::handle_invoke(ByteView request) {
+  auto req = InvokeRequest::decode(request);
+  if (!req.ok()) return Result<Bytes>::err(req.error());
+  Session* session = sessions_.find(req->session_id);
+  if (!session) return Result<Bytes>::err("gateway: unknown session");
+
+  // Trust first: the session must hold fresh evidence for the device the
+  // invocation lands on (free when cached; a TTL/boot-count miss re-runs
+  // the handshake). A device failing appraisal is skipped in favour of the
+  // next least-loaded one rather than wedging the session.
+  Backend* backend = nullptr;
+  std::uint32_t ra_exchanges = 0;
+  std::string last_error = "gateway: no devices enrolled";
+  for (Backend* candidate : backends_by_load()) {
+    const std::string& name = candidate->device->hostname();
+    auto exchanges = sessions_.ensure_attested(
+        *session, name, candidate->boot_count, hw::monotonic_ns(),
+        [&]() { return run_handshake(name, *candidate); });
+    if (!exchanges.ok()) {
+      last_error = exchanges.error();
+      continue;
+    }
+    backend = candidate;
+    ra_exchanges = *exchanges;
+    break;
+  }
+  if (!backend) return Result<Bytes>::err(last_error);
+  const std::string& hostname = backend->device->hostname();
+
+  ++backend->inflight;
+  backend->queue_depth_peak = std::max(backend->queue_depth_peak, backend->inflight);
+  struct Depart {
+    Backend* b;
+    ~Depart() { --b->inflight; }
+  } depart{backend};
+
+  const ByteView binary = find_binary(req->measurement);
+  core::AppConfig app_config;
+  app_config.heap_bytes =
+      req->heap_bytes ? static_cast<std::size_t>(req->heap_bytes)
+                      : config_.default_heap_bytes;
+  auto lease = backend->cache->acquire(req->measurement, binary, app_config);
+  if (!lease.ok()) return Result<Bytes>::err(lease.error());
+
+  const std::uint64_t t0 = hw::monotonic_ns();
+  auto result = lease->app->invoke(req->entry, req->args);
+  const std::uint64_t invoke_ns = hw::monotonic_ns() - t0;
+
+  backend->busy_ns += lease->launch_ns + invoke_ns;
+  ++backend->invocations;
+  ++invocations_;
+  ++session->invocations;
+
+  if (!result.ok()) return Result<Bytes>::err("gateway: " + result.error());
+  // Only clean exits go back to the warm pool; trapped instances are torn
+  // down with their sandbox state.
+  backend->cache->release(std::move(lease->app));
+
+  InvokeResponse resp;
+  resp.results = std::move(*result);
+  resp.device = hostname;
+  resp.module_cache_hit = lease->module_cache_hit;
+  resp.pool_hit = lease->pool_hit;
+  resp.launch_ns = lease->launch_ns;
+  resp.invoke_ns = invoke_ns;
+  resp.ra_exchanges = ra_exchanges;
+  return ok_envelope(resp.encode());
+}
+
+ByteView Gateway::find_binary(const crypto::Sha256Digest& measurement) {
+  const auto it = binaries_.find(measurement);
+  if (it == binaries_.end()) return {};
+  it->second.last_used = ++binaries_tick_;
+  return it->second.bytes;
+}
+
+void Gateway::register_binary(const crypto::Sha256Digest& measurement, Bytes binary) {
+  // The normal-world registry is budgeted like the secure-side caches:
+  // least-recently-used binaries are dropped to make room (an evicted
+  // binary simply has to be re-uploaded before its next cold miss).
+  while (!binaries_.empty() &&
+         binaries_bytes_ + binary.size() > config_.binary_registry_budget_bytes) {
+    auto victim = binaries_.begin();
+    for (auto it = binaries_.begin(); it != binaries_.end(); ++it)
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    binaries_bytes_ -= victim->second.bytes.size();
+    binaries_.erase(victim);
+  }
+  binaries_bytes_ += binary.size();
+  binaries_.emplace(measurement,
+                    RegisteredBinary{std::move(binary), ++binaries_tick_});
+}
+
+Result<Bytes> Gateway::handle_stats(ByteView request) {
+  auto req = StatsRequest::decode(request);
+  if (!req.ok()) return Result<Bytes>::err(req.error());
+  if (!sessions_.find(req->session_id))
+    return Result<Bytes>::err("gateway: unknown session");
+  return ok_envelope(stats().encode());
+}
+
+Result<Bytes> Gateway::handle_detach(ByteView request) {
+  auto req = DetachRequest::decode(request);
+  if (!req.ok()) return Result<Bytes>::err(req.error());
+  if (!sessions_.detach(req->session_id))
+    return Result<Bytes>::err("gateway: unknown session");
+  return ok_envelope({});
+}
+
+GatewayStats Gateway::stats() const {
+  GatewayStats stats;
+  stats.sessions_active = sessions_.active();
+  stats.sessions_total = sessions_.sessions_total();
+  stats.handshakes_run = sessions_.handshakes_run();
+  stats.handshakes_reused = sessions_.handshakes_reused();
+  stats.modules_registered = binaries_.size();
+  stats.invocations = invocations_;
+  for (const auto& [name, backend] : backends_) {
+    DeviceStats d;
+    d.hostname = name;
+    d.boot_count = backend.boot_count;
+    d.invocations = backend.invocations;
+    d.busy_ns = backend.busy_ns;
+    d.queue_depth_peak = backend.queue_depth_peak;
+    d.secure_heap_in_use = backend.device->os().heap_in_use();
+    d.cache_hits = backend.cache->hits();
+    d.cache_misses = backend.cache->misses();
+    d.cache_evictions = backend.cache->evictions();
+    d.pool_hits = backend.cache->pool_hits();
+    stats.devices.push_back(std::move(d));
+  }
+  return stats;
+}
+
+// -- GatewayClient -----------------------------------------------------------
+
+Status GatewayClient::connect(const std::string& host, std::uint16_t port) {
+  auto conn = fabric_.connect(host, port);
+  if (!conn.ok()) return Status::err(conn.error());
+  conn_ = *conn;
+  connected_ = true;
+  return {};
+}
+
+void GatewayClient::close() {
+  if (connected_) fabric_.close(conn_);
+  connected_ = false;
+}
+
+Result<Bytes> GatewayClient::call(ByteView request) {
+  if (!connected_) return Result<Bytes>::err("gateway client: not connected");
+  auto response = fabric_.send_recv(conn_, request);
+  if (!response.ok()) return response;
+  return open_envelope(*response);
+}
+
+Result<AttachResponse> GatewayClient::attach(const std::string& client_name) {
+  auto payload = call(AttachRequest{client_name}.encode());
+  if (!payload.ok()) return Result<AttachResponse>::err(payload.error());
+  return AttachResponse::decode(*payload);
+}
+
+Result<LoadModuleResponse> GatewayClient::load_module(std::uint64_t session_id,
+                                                      ByteView binary) {
+  LoadModuleRequest request;
+  request.session_id = session_id;
+  request.binary.assign(binary.begin(), binary.end());
+  auto payload = call(request.encode());
+  if (!payload.ok()) return Result<LoadModuleResponse>::err(payload.error());
+  return LoadModuleResponse::decode(*payload);
+}
+
+Result<InvokeResponse> GatewayClient::invoke(const InvokeRequest& request) {
+  auto payload = call(request.encode());
+  if (!payload.ok()) return Result<InvokeResponse>::err(payload.error());
+  return InvokeResponse::decode(*payload);
+}
+
+Result<GatewayStats> GatewayClient::stats(std::uint64_t session_id) {
+  auto payload = call(StatsRequest{session_id}.encode());
+  if (!payload.ok()) return Result<GatewayStats>::err(payload.error());
+  return GatewayStats::decode(*payload);
+}
+
+Status GatewayClient::detach(std::uint64_t session_id) {
+  auto payload = call(DetachRequest{session_id}.encode());
+  return payload.ok() ? Status{} : Status::err(payload.error());
+}
+
+}  // namespace watz::gateway

@@ -1,0 +1,150 @@
+// The attested execution gateway: a multi-tenant service layer in front of
+// a fleet of WaTZ devices.
+//
+// The gateway binds two fabric endpoints:
+//   * a client-facing dispatcher (GatewayConfig::port) speaking the framed
+//     protocol of protocol.hpp;
+//   * an RA endpoint (GatewayConfig::ra_port) where the gateway's
+//     ra::Verifier listens and enrolled devices prove themselves — the
+//     same four-message WaTZ protocol of SS IV, with the device's
+//     *platform claim* (hash of its measured boot chain) as the claim.
+//
+// Amortisation happens in two layers, one per expensive path:
+//   * SessionManager — the RA handshake runs once per (session, device)
+//     and its verified evidence is cached until the policy (TTL or a
+//     boot-count change) invalidates it;
+//   * ModuleCache (one per device) — the Loading phase runs once per
+//     (device, measurement); warm invokes reuse the prepared module or a
+//     pooled instance outright.
+//
+// The dispatcher routes each invocation to the least-loaded device
+// (minimum in-flight depth, then accumulated busy time) and keeps
+// per-device queue-depth accounting for the stats endpoint.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/device.hpp"
+#include "gateway/module_cache.hpp"
+#include "gateway/protocol.hpp"
+#include "gateway/session_manager.hpp"
+#include "ra/verifier.hpp"
+
+namespace watz::gateway {
+
+struct GatewayConfig {
+  std::string hostname = "gateway";
+  std::uint16_t port = 7000;     ///< client-facing dispatcher endpoint
+  std::uint16_t ra_port = 7001;  ///< attestation endpoint devices prove to
+  SessionPolicy session_policy{};
+  ModuleCacheConfig cache{};
+  /// Guest heap for invokes that do not specify one.
+  std::size_t default_heap_bytes = 2 * 1024 * 1024;
+  /// Normal-world budget for the LOAD_MODULE binary registry;
+  /// least-recently-used binaries are dropped beyond it (clients re-upload
+  /// on the resulting cold miss).
+  std::size_t binary_registry_budget_bytes = 64 * 1024 * 1024;
+};
+
+class Gateway {
+ public:
+  Gateway(net::Fabric& fabric, GatewayConfig config, ByteView identity_seed);
+
+  /// Binds the dispatcher and RA endpoints on the fabric.
+  Status start();
+
+  /// Enrols a device: endorses its attestation key, registers its platform
+  /// claim as a reference value, and gives it a module cache. Re-enrolling
+  /// the same hostname models a reboot/board swap: the boot count bumps,
+  /// which invalidates every session's cached evidence for that device.
+  Status add_device(core::Device& device);
+
+  GatewayStats stats() const;
+  SessionManager& sessions() noexcept { return sessions_; }
+  ra::Verifier& verifier() noexcept { return *verifier_; }
+  const crypto::EcPoint& identity() const noexcept { return verifier_->identity_key(); }
+  const GatewayConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Backend {
+    core::Device* device = nullptr;
+    std::unique_ptr<ModuleCache> cache;
+    std::unique_ptr<crypto::Fortuna> attester_rng;
+    crypto::Sha256Digest platform_claim{};
+    std::uint64_t boot_count = 0;
+    std::uint32_t inflight = 0;
+    std::uint32_t queue_depth_peak = 0;
+    std::uint64_t busy_ns = 0;
+    std::uint64_t invocations = 0;
+  };
+
+  Result<Bytes> handle_request(ByteView request);
+  Result<Bytes> handle_attach(ByteView request);
+  Result<Bytes> handle_load_module(ByteView request);
+  Result<Bytes> handle_invoke(ByteView request);
+  Result<Bytes> handle_stats(ByteView request);
+  Result<Bytes> handle_detach(ByteView request);
+
+  /// Backends in least-loaded order: minimum in-flight depth, then
+  /// accumulated busy time, then enrolment order. The dispatcher walks the
+  /// list so a device that fails appraisal doesn't wedge the session while
+  /// healthy devices sit idle.
+  std::vector<Backend*> backends_by_load();
+
+  /// Drives the attester side of the WaTZ protocol inside the device's TEE
+  /// against this gateway's RA endpoint. The returned evidence has already
+  /// been appraised by verifier_ en route.
+  Result<attestation::Evidence> run_handshake(const std::string& hostname,
+                                              Backend& backend);
+
+  struct RegisteredBinary {
+    Bytes bytes;
+    std::uint64_t last_used = 0;
+  };
+
+  /// Returns the registered binary for `measurement`, or empty when never
+  /// uploaded / already evicted.
+  ByteView find_binary(const crypto::Sha256Digest& measurement);
+  /// Inserts under the registry budget, evicting LRU binaries to fit.
+  void register_binary(const crypto::Sha256Digest& measurement, Bytes binary);
+
+  net::Fabric& fabric_;
+  GatewayConfig config_;
+  crypto::Fortuna rng_;  // must outlive verifier_, which holds a reference
+  std::unique_ptr<ra::Verifier> verifier_;
+  SessionManager sessions_;
+  std::map<std::string, Backend> backends_;  // keyed by device hostname
+  std::map<crypto::Sha256Digest, RegisteredBinary> binaries_;  // LOAD_MODULE registry
+  std::size_t binaries_bytes_ = 0;
+  std::uint64_t binaries_tick_ = 0;
+  std::uint64_t invocations_ = 0;
+  bool started_ = false;
+};
+
+/// Client-side convenience wrapper: frames requests, opens envelopes.
+class GatewayClient {
+ public:
+  explicit GatewayClient(net::Fabric& fabric) : fabric_(fabric) {}
+  ~GatewayClient() { close(); }
+  GatewayClient(const GatewayClient&) = delete;
+  GatewayClient& operator=(const GatewayClient&) = delete;
+
+  Status connect(const std::string& host, std::uint16_t port);
+  void close();
+
+  Result<AttachResponse> attach(const std::string& client_name);
+  Result<LoadModuleResponse> load_module(std::uint64_t session_id, ByteView binary);
+  Result<InvokeResponse> invoke(const InvokeRequest& request);
+  Result<GatewayStats> stats(std::uint64_t session_id);
+  Status detach(std::uint64_t session_id);
+
+ private:
+  Result<Bytes> call(ByteView request);
+
+  net::Fabric& fabric_;
+  std::uint64_t conn_ = 0;
+  bool connected_ = false;
+};
+
+}  // namespace watz::gateway

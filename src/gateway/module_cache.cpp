@@ -1,0 +1,111 @@
+#include "gateway/module_cache.hpp"
+
+#include "hw/clock.hpp"
+
+namespace watz::gateway {
+
+Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
+                                      ByteView binary, const core::AppConfig& config) {
+  auto it = entries_.find(measurement);
+
+  // Cold miss: run the full pipeline and retain the prepared form.
+  if (it == entries_.end()) {
+    if (binary.empty())
+      return Result<AppLease>::err("module cache: measurement unknown and no binary");
+    ++misses_;
+    const std::uint64_t t0 = hw::monotonic_ns();  // cold launch pays it all
+    auto prepared = runtime_.prepare(binary, config.mode);
+    if (!prepared.ok()) return Result<AppLease>::err(prepared.error());
+    if ((*prepared)->measurement() != measurement)
+      return Result<AppLease>::err("module cache: binary does not match measurement");
+    make_room((*prepared)->code_bytes(), nullptr);
+    Entry entry;
+    entry.prepared = std::move(*prepared);
+    entry.last_used = ++tick_;
+    charged_bytes_ += entry.prepared->code_bytes();
+    it = entries_.emplace(measurement, std::move(entry)).first;
+
+    auto app = runtime_.instantiate(it->second.prepared, config);
+    if (!app.ok()) return Result<AppLease>::err(app.error());
+    AppLease lease;
+    lease.app = std::move(*app);
+    lease.launch_ns = hw::monotonic_ns() - t0;
+    return lease;
+  }
+
+  Entry& entry = it->second;
+  entry.last_used = ++tick_;
+  ++hits_;
+
+  // The cached prepared form dictates the execution mode, as on the
+  // instantiate path (which rejects a mismatch rather than silently
+  // switching modes).
+  if (entry.prepared->mode() != config.mode)
+    return Result<AppLease>::err(
+        "module cache: cached module mode does not match AppConfig.mode");
+
+  // Warmest path: a parked instance of this module whose guest heap
+  // matches what the caller asked for (a smaller or larger reservation
+  // than requested would silently change the app's memory ceiling).
+  for (auto pooled = entry.pool.begin(); pooled != entry.pool.end(); ++pooled) {
+    if ((*pooled)->heap_bytes() != config.heap_bytes) continue;
+    ++pool_hits_;
+    AppLease lease;
+    lease.app = std::move(*pooled);
+    entry.pool.erase(pooled);
+    const std::size_t freed = lease.app->heap_bytes();
+    entry.pooled_bytes -= freed;
+    charged_bytes_ -= freed;
+    lease.module_cache_hit = true;
+    lease.pool_hit = true;
+    return lease;
+  }
+
+  // Warm path: instantiate from the cached prepared form (no Loading).
+  const std::uint64_t t0 = hw::monotonic_ns();
+  auto app = runtime_.instantiate(entry.prepared, config);
+  if (!app.ok()) return Result<AppLease>::err(app.error());
+  AppLease lease;
+  lease.app = std::move(*app);
+  lease.launch_ns = hw::monotonic_ns() - t0;
+  lease.module_cache_hit = true;
+  return lease;
+}
+
+void ModuleCache::release(std::unique_ptr<core::LoadedApp> app) {
+  if (!app) return;
+  const auto it = entries_.find(app->measurement());
+  if (it == entries_.end()) return;  // module was evicted meanwhile: drop
+  Entry& entry = it->second;
+  if (entry.pool.size() >= config_.max_pool_per_module) return;
+  // Scrub the sandbox before the next tenant sees it: rebuild memory,
+  // globals, table and segments to the freshly-instantiated state, and
+  // clear the WASI output buffers. An instance that cannot be reset is
+  // dropped rather than pooled.
+  if (!app->instance().reinitialize().ok()) return;
+  app->wasi().clear_output();
+  const std::size_t cost = app->heap_bytes();
+  if (charged_bytes_ + cost > config_.budget_bytes)
+    make_room(cost, &it->first);
+  if (charged_bytes_ + cost > config_.budget_bytes) return;  // still no room
+  entry.pooled_bytes += cost;
+  charged_bytes_ += cost;
+  entry.pool.push_back(std::move(app));
+}
+
+void ModuleCache::make_room(std::size_t incoming, const crypto::Sha256Digest* keep) {
+  while (charged_bytes_ + incoming > config_.budget_bytes) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (keep && it->first == *keep) continue;
+      if (victim == entries_.end() || it->second.last_used < victim->second.last_used)
+        victim = it;
+    }
+    if (victim == entries_.end()) return;  // nothing evictable
+    charged_bytes_ -= entry_bytes(victim->second);
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+}  // namespace watz::gateway

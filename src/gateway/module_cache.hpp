@@ -1,0 +1,93 @@
+// Per-device module cache for the attested execution gateway.
+//
+// Fig 4 shows the Loading phase (decode + validate + AOT translation)
+// dominating launch cost at ~73%. It depends only on the module bytes, so
+// the cache keeps the PreparedModule of every measurement it has seen and
+// repeat launches pay only Transition + heap allocation + Instantiate. On
+// top of that sits a warm pool of ready LoadedApp instances per
+// measurement: releasing an app parks it for the next invocation of the
+// same module, which then skips instantiation entirely.
+//
+// Both live in the device's secure heap (27 MB ceiling), so the cache
+// enforces a byte budget: retained code pages plus pooled guest heaps are
+// charged, and least-recently-used measurements are evicted whole when a
+// newcomer would overflow the budget.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace watz::gateway {
+
+struct ModuleCacheConfig {
+  /// Secure-heap budget for retained code pages + pooled instances.
+  std::size_t budget_bytes = 8 * 1024 * 1024;
+  /// Warm LoadedApp instances retained per measurement.
+  std::size_t max_pool_per_module = 2;
+};
+
+/// What acquire() hands out; give the app back via release() to warm the
+/// pool for the next caller.
+struct AppLease {
+  std::unique_ptr<core::LoadedApp> app;
+  bool module_cache_hit = false;  ///< prepared module reused (Loading skipped)
+  bool pool_hit = false;          ///< whole instance reused (nothing launched)
+  std::uint64_t launch_ns = 0;    ///< instantiation cost paid by this acquire
+};
+
+class ModuleCache {
+ public:
+  ModuleCache(core::WatzRuntime& runtime, ModuleCacheConfig config = {})
+      : runtime_(runtime), config_(config) {}
+
+  /// Acquires a ready instance for `measurement`. Pool hit: pops a parked
+  /// instance. Module hit: instantiates from the cached prepared form.
+  /// Miss: runs the full cold pipeline on `binary` (an error if empty).
+  Result<AppLease> acquire(const crypto::Sha256Digest& measurement, ByteView binary,
+                           const core::AppConfig& config);
+
+  /// Parks the instance in the warm pool of its measurement (subject to
+  /// pool-size and budget limits; dropped otherwise).
+  void release(std::unique_ptr<core::LoadedApp> app);
+
+  bool contains(const crypto::Sha256Digest& measurement) const {
+    return entries_.contains(measurement);
+  }
+
+  std::size_t charged_bytes() const noexcept { return charged_bytes_; }
+  std::size_t cached_modules() const noexcept { return entries_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t pool_hits() const noexcept { return pool_hits_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::PreparedModule> prepared;
+    std::vector<std::unique_ptr<core::LoadedApp>> pool;
+    std::size_t pooled_bytes = 0;  // guest heaps parked in the pool
+    std::uint64_t last_used = 0;
+  };
+
+  std::size_t entry_bytes(const Entry& entry) const {
+    return entry.prepared->code_bytes() + entry.pooled_bytes;
+  }
+
+  /// Evicts LRU entries (sparing `keep`) until `incoming` more bytes fit
+  /// the budget. Best effort: stops when nothing evictable remains.
+  void make_room(std::size_t incoming, const crypto::Sha256Digest* keep);
+
+  core::WatzRuntime& runtime_;
+  ModuleCacheConfig config_;
+  std::map<crypto::Sha256Digest, Entry> entries_;
+  std::uint64_t tick_ = 0;
+  std::size_t charged_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t pool_hits_ = 0;
+};
+
+}  // namespace watz::gateway

@@ -1,0 +1,371 @@
+#include "gateway/protocol.hpp"
+
+namespace watz::gateway {
+
+namespace {
+
+void put_string(Bytes& out, std::string_view s) {
+  write_uleb(out, s.size());
+  append(out, to_bytes(s));
+}
+
+Result<std::string> read_string(ByteReader& r) {
+  auto len = r.read_uleb32();
+  if (!len.ok()) return Result<std::string>::err(len.error());
+  auto raw = r.read_bytes(*len);
+  if (!raw.ok()) return Result<std::string>::err(raw.error());
+  return std::string(raw->begin(), raw->end());
+}
+
+void put_blob(Bytes& out, ByteView blob) {
+  write_uleb(out, blob.size());
+  append(out, blob);
+}
+
+Result<Bytes> read_blob(ByteReader& r) {
+  auto len = r.read_uleb32();
+  if (!len.ok()) return Result<Bytes>::err(len.error());
+  auto raw = r.read_bytes(*len);
+  if (!raw.ok()) return Result<Bytes>::err(raw.error());
+  return Bytes(raw->begin(), raw->end());
+}
+
+Result<std::uint64_t> read_u64(ByteReader& r) {
+  auto raw = r.read_bytes(8);
+  if (!raw.ok()) return Result<std::uint64_t>::err(raw.error());
+  return get_u64le(raw->data());
+}
+
+void put_digest(Bytes& out, const crypto::Sha256Digest& d) { append(out, d); }
+
+Result<crypto::Sha256Digest> read_digest(ByteReader& r) {
+  auto raw = r.read_bytes(crypto::kSha256DigestSize);
+  if (!raw.ok()) return Result<crypto::Sha256Digest>::err(raw.error());
+  crypto::Sha256Digest d;
+  std::copy(raw->begin(), raw->end(), d.begin());
+  return d;
+}
+
+void put_values(Bytes& out, const std::vector<wasm::Value>& values) {
+  write_uleb(out, values.size());
+  for (const wasm::Value& v : values) {
+    out.push_back(static_cast<std::uint8_t>(v.type));
+    put_u64le(out, v.bits);
+  }
+}
+
+Result<std::vector<wasm::Value>> read_values(ByteReader& r) {
+  using Values = std::vector<wasm::Value>;
+  auto count = r.read_uleb32();
+  if (!count.ok()) return Result<Values>::err(count.error());
+  // Each value occupies 9 bytes on the wire; a count that cannot possibly
+  // fit the remaining frame is malformed (and must not drive a reserve).
+  if (*count > r.remaining() / 9)
+    return Result<Values>::err("gateway: value count exceeds frame");
+  Values values;
+  values.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto type = r.read_u8();
+    if (!type.ok()) return Result<Values>::err(type.error());
+    auto bits = read_u64(r);
+    if (!bits.ok()) return Result<Values>::err(bits.error());
+    values.push_back(wasm::Value{static_cast<wasm::ValType>(*type), *bits});
+  }
+  return values;
+}
+
+Result<ByteReader> open_request(ByteView data, Op expected) {
+  ByteReader r(data);
+  auto op = r.read_u8();
+  if (!op.ok()) return Result<ByteReader>::err(op.error());
+  if (*op != static_cast<std::uint8_t>(expected))
+    return Result<ByteReader>::err("gateway: unexpected opcode");
+  return r;
+}
+
+}  // namespace
+
+Result<Op> peek_op(ByteView request) {
+  if (request.empty()) return Result<Op>::err("gateway: empty request");
+  const std::uint8_t op = request[0];
+  if (op < static_cast<std::uint8_t>(Op::Attach) ||
+      op > static_cast<std::uint8_t>(Op::Detach))
+    return Result<Op>::err("gateway: unknown opcode " + std::to_string(op));
+  return static_cast<Op>(op);
+}
+
+Bytes ok_envelope(ByteView payload) {
+  Bytes out;
+  out.reserve(payload.size() + 1);
+  out.push_back(0x00);
+  append(out, payload);
+  return out;
+}
+
+Bytes err_envelope(const std::string& message) {
+  Bytes out;
+  out.push_back(0x01);
+  put_string(out, message);
+  return out;
+}
+
+Result<Bytes> open_envelope(ByteView response) {
+  ByteReader r(response);
+  auto status = r.read_u8();
+  if (!status.ok()) return Result<Bytes>::err(status.error());
+  if (*status == 0x00)
+    return Bytes(response.begin() + 1, response.end());
+  auto message = read_string(r);
+  if (!message.ok()) return Result<Bytes>::err(message.error());
+  return Result<Bytes>::err(*message);
+}
+
+// -- Attach ------------------------------------------------------------------
+
+Bytes AttachRequest::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(Op::Attach));
+  put_string(out, client);
+  return out;
+}
+
+Result<AttachRequest> AttachRequest::decode(ByteView data) {
+  auto r = open_request(data, Op::Attach);
+  if (!r.ok()) return Result<AttachRequest>::err(r.error());
+  auto client = read_string(*r);
+  if (!client.ok()) return Result<AttachRequest>::err(client.error());
+  return AttachRequest{std::move(*client)};
+}
+
+Bytes AttachResponse::encode() const {
+  Bytes out;
+  put_u64le(out, session_id);
+  put_u32le(out, devices_attested);
+  put_u32le(out, ra_exchanges);
+  return out;
+}
+
+Result<AttachResponse> AttachResponse::decode(ByteView data) {
+  if (data.size() != 16) return Result<AttachResponse>::err("gateway: bad attach response");
+  AttachResponse resp;
+  resp.session_id = get_u64le(data.data());
+  resp.devices_attested = get_u32le(data.data() + 8);
+  resp.ra_exchanges = get_u32le(data.data() + 12);
+  return resp;
+}
+
+// -- LoadModule --------------------------------------------------------------
+
+Bytes LoadModuleRequest::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(Op::LoadModule));
+  put_u64le(out, session_id);
+  put_blob(out, binary);
+  return out;
+}
+
+Result<LoadModuleRequest> LoadModuleRequest::decode(ByteView data) {
+  auto r = open_request(data, Op::LoadModule);
+  if (!r.ok()) return Result<LoadModuleRequest>::err(r.error());
+  LoadModuleRequest req;
+  auto session = read_u64(*r);
+  if (!session.ok()) return Result<LoadModuleRequest>::err(session.error());
+  req.session_id = *session;
+  auto binary = read_blob(*r);
+  if (!binary.ok()) return Result<LoadModuleRequest>::err(binary.error());
+  req.binary = std::move(*binary);
+  return req;
+}
+
+Bytes LoadModuleResponse::encode() const {
+  Bytes out;
+  put_digest(out, measurement);
+  out.push_back(already_registered ? 1 : 0);
+  return out;
+}
+
+Result<LoadModuleResponse> LoadModuleResponse::decode(ByteView data) {
+  ByteReader r(data);
+  LoadModuleResponse resp;
+  auto digest = read_digest(r);
+  if (!digest.ok()) return Result<LoadModuleResponse>::err(digest.error());
+  resp.measurement = *digest;
+  auto flag = r.read_u8();
+  if (!flag.ok()) return Result<LoadModuleResponse>::err(flag.error());
+  resp.already_registered = *flag != 0;
+  return resp;
+}
+
+// -- Invoke ------------------------------------------------------------------
+
+Bytes InvokeRequest::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(Op::Invoke));
+  put_u64le(out, session_id);
+  put_digest(out, measurement);
+  put_string(out, entry);
+  put_values(out, args);
+  put_u64le(out, heap_bytes);
+  return out;
+}
+
+Result<InvokeRequest> InvokeRequest::decode(ByteView data) {
+  auto r = open_request(data, Op::Invoke);
+  if (!r.ok()) return Result<InvokeRequest>::err(r.error());
+  InvokeRequest req;
+  auto session = read_u64(*r);
+  if (!session.ok()) return Result<InvokeRequest>::err(session.error());
+  req.session_id = *session;
+  auto digest = read_digest(*r);
+  if (!digest.ok()) return Result<InvokeRequest>::err(digest.error());
+  req.measurement = *digest;
+  auto entry = read_string(*r);
+  if (!entry.ok()) return Result<InvokeRequest>::err(entry.error());
+  req.entry = std::move(*entry);
+  auto args = read_values(*r);
+  if (!args.ok()) return Result<InvokeRequest>::err(args.error());
+  req.args = std::move(*args);
+  auto heap = read_u64(*r);
+  if (!heap.ok()) return Result<InvokeRequest>::err(heap.error());
+  req.heap_bytes = *heap;
+  return req;
+}
+
+Bytes InvokeResponse::encode() const {
+  Bytes out;
+  put_values(out, results);
+  put_string(out, device);
+  out.push_back(module_cache_hit ? 1 : 0);
+  out.push_back(pool_hit ? 1 : 0);
+  put_u64le(out, launch_ns);
+  put_u64le(out, invoke_ns);
+  put_u32le(out, ra_exchanges);
+  return out;
+}
+
+Result<InvokeResponse> InvokeResponse::decode(ByteView data) {
+  ByteReader r(data);
+  InvokeResponse resp;
+  auto results = read_values(r);
+  if (!results.ok()) return Result<InvokeResponse>::err(results.error());
+  resp.results = std::move(*results);
+  auto device = read_string(r);
+  if (!device.ok()) return Result<InvokeResponse>::err(device.error());
+  resp.device = std::move(*device);
+  auto hit = r.read_u8();
+  if (!hit.ok()) return Result<InvokeResponse>::err(hit.error());
+  resp.module_cache_hit = *hit != 0;
+  auto pool = r.read_u8();
+  if (!pool.ok()) return Result<InvokeResponse>::err(pool.error());
+  resp.pool_hit = *pool != 0;
+  auto launch = read_u64(r);
+  if (!launch.ok()) return Result<InvokeResponse>::err(launch.error());
+  resp.launch_ns = *launch;
+  auto invoke = read_u64(r);
+  if (!invoke.ok()) return Result<InvokeResponse>::err(invoke.error());
+  resp.invoke_ns = *invoke;
+  auto ra = r.read_u32le();
+  if (!ra.ok()) return Result<InvokeResponse>::err(ra.error());
+  resp.ra_exchanges = *ra;
+  return resp;
+}
+
+// -- Stats -------------------------------------------------------------------
+
+Bytes StatsRequest::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(Op::Stats));
+  put_u64le(out, session_id);
+  return out;
+}
+
+Result<StatsRequest> StatsRequest::decode(ByteView data) {
+  auto r = open_request(data, Op::Stats);
+  if (!r.ok()) return Result<StatsRequest>::err(r.error());
+  auto session = read_u64(*r);
+  if (!session.ok()) return Result<StatsRequest>::err(session.error());
+  return StatsRequest{*session};
+}
+
+Bytes GatewayStats::encode() const {
+  Bytes out;
+  put_u64le(out, sessions_active);
+  put_u64le(out, sessions_total);
+  put_u64le(out, handshakes_run);
+  put_u64le(out, handshakes_reused);
+  put_u64le(out, modules_registered);
+  put_u64le(out, invocations);
+  write_uleb(out, devices.size());
+  for (const DeviceStats& d : devices) {
+    put_string(out, d.hostname);
+    put_u64le(out, d.boot_count);
+    put_u64le(out, d.invocations);
+    put_u64le(out, d.busy_ns);
+    put_u32le(out, d.queue_depth_peak);
+    put_u64le(out, d.secure_heap_in_use);
+    put_u64le(out, d.cache_hits);
+    put_u64le(out, d.cache_misses);
+    put_u64le(out, d.cache_evictions);
+    put_u64le(out, d.pool_hits);
+  }
+  return out;
+}
+
+Result<GatewayStats> GatewayStats::decode(ByteView data) {
+  ByteReader r(data);
+  GatewayStats stats;
+  for (std::uint64_t* field :
+       {&stats.sessions_active, &stats.sessions_total, &stats.handshakes_run,
+        &stats.handshakes_reused, &stats.modules_registered, &stats.invocations}) {
+    auto v = read_u64(r);
+    if (!v.ok()) return Result<GatewayStats>::err(v.error());
+    *field = *v;
+  }
+  auto count = r.read_uleb32();
+  if (!count.ok()) return Result<GatewayStats>::err(count.error());
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    DeviceStats d;
+    auto hostname = read_string(r);
+    if (!hostname.ok()) return Result<GatewayStats>::err(hostname.error());
+    d.hostname = std::move(*hostname);
+    auto boot = read_u64(r);
+    if (!boot.ok()) return Result<GatewayStats>::err(boot.error());
+    d.boot_count = *boot;
+    auto inv = read_u64(r);
+    if (!inv.ok()) return Result<GatewayStats>::err(inv.error());
+    d.invocations = *inv;
+    auto busy = read_u64(r);
+    if (!busy.ok()) return Result<GatewayStats>::err(busy.error());
+    d.busy_ns = *busy;
+    auto peak = r.read_u32le();
+    if (!peak.ok()) return Result<GatewayStats>::err(peak.error());
+    d.queue_depth_peak = *peak;
+    for (std::uint64_t* field : {&d.secure_heap_in_use, &d.cache_hits, &d.cache_misses,
+                                 &d.cache_evictions, &d.pool_hits}) {
+      auto v = read_u64(r);
+      if (!v.ok()) return Result<GatewayStats>::err(v.error());
+      *field = *v;
+    }
+    stats.devices.push_back(std::move(d));
+  }
+  return stats;
+}
+
+// -- Detach ------------------------------------------------------------------
+
+Bytes DetachRequest::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(Op::Detach));
+  put_u64le(out, session_id);
+  return out;
+}
+
+Result<DetachRequest> DetachRequest::decode(ByteView data) {
+  auto r = open_request(data, Op::Detach);
+  if (!r.ok()) return Result<DetachRequest>::err(r.error());
+  auto session = read_u64(*r);
+  if (!session.ok()) return Result<DetachRequest>::err(session.error());
+  return DetachRequest{*session};
+}
+
+}  // namespace watz::gateway

@@ -1,0 +1,154 @@
+// Wire protocol of the attested execution gateway.
+//
+// Clients talk to the gateway dispatcher over the fabric with framed,
+// tagged requests (one byte of opcode, then opcode-specific fields; strings
+// and blobs are ULEB-length-prefixed, scalars little-endian). Every
+// response is an envelope: a status byte (0 = ok) followed by either the
+// opcode-specific payload or an error string — so application failures
+// travel in-band instead of tearing down the connection.
+//
+//   ATTACH      client attaches; the gateway runs the RA handshake against
+//               every enrolled device and caches the verified evidence
+//               under the returned session id.
+//   LOAD_MODULE registers a Wasm binary; returns its SHA-256 measurement,
+//               the key for every later INVOKE and for the module cache.
+//   INVOKE      routes one invocation to the least-loaded device; the
+//               response reports where it ran and what the caches saved.
+//   STATS       gateway-wide and per-device counters.
+//   DETACH      drops the session (evidence cache included).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/leb128.hpp"
+#include "common/result.hpp"
+#include "crypto/sha256.hpp"
+#include "wasm/types.hpp"
+
+namespace watz::gateway {
+
+enum class Op : std::uint8_t {
+  Attach = 0x01,
+  LoadModule = 0x02,
+  Invoke = 0x03,
+  Stats = 0x04,
+  Detach = 0x05,
+};
+
+/// Reads the opcode of a raw request frame.
+Result<Op> peek_op(ByteView request);
+
+// -- response envelope -------------------------------------------------------
+
+/// Wraps a successful payload: 0x00 || payload.
+Bytes ok_envelope(ByteView payload);
+/// Wraps an application error: 0x01 || uleb(len) || message.
+Bytes err_envelope(const std::string& message);
+/// Unwraps an envelope: the payload on success, the error otherwise.
+Result<Bytes> open_envelope(ByteView response);
+
+// -- requests / responses ----------------------------------------------------
+
+struct AttachRequest {
+  std::string client;
+
+  Bytes encode() const;
+  static Result<AttachRequest> decode(ByteView data);
+};
+
+struct AttachResponse {
+  std::uint64_t session_id = 0;
+  std::uint32_t devices_attested = 0;
+  /// RA message exchanges spent attesting (2 per fresh handshake).
+  std::uint32_t ra_exchanges = 0;
+
+  Bytes encode() const;
+  static Result<AttachResponse> decode(ByteView data);
+};
+
+struct LoadModuleRequest {
+  std::uint64_t session_id = 0;
+  Bytes binary;
+
+  Bytes encode() const;
+  static Result<LoadModuleRequest> decode(ByteView data);
+};
+
+struct LoadModuleResponse {
+  crypto::Sha256Digest measurement{};
+  bool already_registered = false;
+
+  Bytes encode() const;
+  static Result<LoadModuleResponse> decode(ByteView data);
+};
+
+struct InvokeRequest {
+  std::uint64_t session_id = 0;
+  crypto::Sha256Digest measurement{};
+  std::string entry;
+  std::vector<wasm::Value> args;
+  /// Guest heap for a fresh instantiation; 0 = gateway default.
+  std::uint64_t heap_bytes = 0;
+
+  Bytes encode() const;
+  static Result<InvokeRequest> decode(ByteView data);
+};
+
+struct InvokeResponse {
+  std::vector<wasm::Value> results;
+  std::string device;             ///< hostname the invocation ran on
+  bool module_cache_hit = false;  ///< prepared module reused (Loading skipped)
+  bool pool_hit = false;          ///< warm instance reused (launch skipped)
+  std::uint64_t launch_ns = 0;    ///< instantiation cost paid for this call
+  std::uint64_t invoke_ns = 0;    ///< sandbox execution cost
+  /// RA message exchanges spent on this request (0 == session evidence was
+  /// still fresh; the amortisation the session manager exists for).
+  std::uint32_t ra_exchanges = 0;
+
+  Bytes encode() const;
+  static Result<InvokeResponse> decode(ByteView data);
+};
+
+struct StatsRequest {
+  std::uint64_t session_id = 0;
+
+  Bytes encode() const;
+  static Result<StatsRequest> decode(ByteView data);
+};
+
+struct DeviceStats {
+  std::string hostname;
+  std::uint64_t boot_count = 0;
+  std::uint64_t invocations = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint32_t queue_depth_peak = 0;
+  std::uint64_t secure_heap_in_use = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t pool_hits = 0;
+};
+
+struct GatewayStats {
+  std::uint64_t sessions_active = 0;
+  std::uint64_t sessions_total = 0;
+  std::uint64_t handshakes_run = 0;
+  std::uint64_t handshakes_reused = 0;
+  std::uint64_t modules_registered = 0;
+  std::uint64_t invocations = 0;
+  std::vector<DeviceStats> devices;
+
+  Bytes encode() const;
+  static Result<GatewayStats> decode(ByteView data);
+};
+
+struct DetachRequest {
+  std::uint64_t session_id = 0;
+
+  Bytes encode() const;
+  static Result<DetachRequest> decode(ByteView data);
+};
+
+}  // namespace watz::gateway

@@ -1,0 +1,52 @@
+#include "gateway/session_manager.hpp"
+
+namespace watz::gateway {
+
+Session& SessionManager::attach(std::string client, std::uint64_t now_ns) {
+  const std::uint64_t id = next_id_++;
+  Session& session = sessions_[id];
+  session.id = id;
+  session.client = std::move(client);
+  session.created_at_ns = now_ns;
+  ++sessions_total_;
+  return session;
+}
+
+Session* SessionManager::find(std::uint64_t session_id) {
+  const auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+bool SessionManager::detach(std::uint64_t session_id) {
+  return sessions_.erase(session_id) > 0;
+}
+
+Result<std::uint32_t> SessionManager::ensure_attested(Session& session,
+                                                      const std::string& device_name,
+                                                      std::uint64_t boot_count,
+                                                      std::uint64_t now_ns,
+                                                      const HandshakeFn& handshake) {
+  const auto it = session.attested.find(device_name);
+  if (it != session.attested.end()) {
+    const DeviceAttestation& cached = it->second;
+    const bool rebooted = cached.boot_count != boot_count;
+    const bool expired = policy_.evidence_ttl_ns != ~0ull &&
+                         now_ns - cached.attested_at_ns > policy_.evidence_ttl_ns;
+    if (!rebooted && !expired) {
+      ++handshakes_reused_;
+      return std::uint32_t{0};
+    }
+    session.attested.erase(it);  // stale: re-prove below
+  }
+
+  auto evidence = handshake();
+  if (!evidence.ok())
+    return Result<std::uint32_t>::err("gateway: " + device_name +
+                                      " failed appraisal: " + evidence.error());
+  ++handshakes_run_;
+  session.attested[device_name] =
+      DeviceAttestation{std::move(*evidence), now_ns, boot_count};
+  return kRaExchangesPerHandshake;
+}
+
+}  // namespace watz::gateway

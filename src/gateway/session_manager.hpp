@@ -1,0 +1,84 @@
+// Client sessions for the attested execution gateway.
+//
+// The expensive part of trusting a device is the RA handshake (Tab 3: four
+// protocol messages, two network round-trips, ECDHE + ECDSA on both ends).
+// The session manager amortises it: the handshake runs once per
+// (client session, device) pair and the verified evidence is cached under
+// the session id. Policy decides when the cache goes stale — a TTL on the
+// evidence, or the device's boot count moving (a rebooted or swapped board
+// has a new trusted-OS state and must re-prove itself).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "attestation/evidence.hpp"
+#include "common/result.hpp"
+
+namespace watz::gateway {
+
+struct SessionPolicy {
+  /// Evidence older than this is re-collected. Default: never expires by
+  /// age (boot-count changes still force re-attestation).
+  std::uint64_t evidence_ttl_ns = ~0ull;
+};
+
+/// Cached appraisal result for one device under one session.
+struct DeviceAttestation {
+  attestation::Evidence evidence;
+  std::uint64_t attested_at_ns = 0;
+  std::uint64_t boot_count = 0;
+};
+
+struct Session {
+  std::uint64_t id = 0;
+  std::string client;
+  std::uint64_t created_at_ns = 0;
+  std::uint64_t invocations = 0;
+  std::map<std::string, DeviceAttestation> attested;  // keyed by device hostname
+};
+
+/// Runs the full RA exchange against one device and returns its evidence
+/// (already appraised by the gateway's verifier en route — an error means
+/// the device failed appraisal).
+using HandshakeFn = std::function<Result<attestation::Evidence>()>;
+
+/// Fabric round-trips one WaTZ handshake costs (msg0->msg1, msg2->msg3).
+inline constexpr std::uint32_t kRaExchangesPerHandshake = 2;
+
+class SessionManager {
+ public:
+  explicit SessionManager(SessionPolicy policy = {}) : policy_(policy) {}
+
+  Session& attach(std::string client, std::uint64_t now_ns);
+  Session* find(std::uint64_t session_id);
+  bool detach(std::uint64_t session_id);
+
+  /// Ensures `session` holds fresh evidence for `device_name` at
+  /// `boot_count`. Runs `handshake` only when the cached evidence is
+  /// missing or stale under the policy. Returns the number of RA message
+  /// exchanges this call performed (0 == evidence cache hit).
+  Result<std::uint32_t> ensure_attested(Session& session, const std::string& device_name,
+                                        std::uint64_t boot_count, std::uint64_t now_ns,
+                                        const HandshakeFn& handshake);
+
+  const SessionPolicy& policy() const noexcept { return policy_; }
+  void set_policy(SessionPolicy policy) noexcept { policy_ = policy; }
+
+  std::size_t active() const noexcept { return sessions_.size(); }
+  std::uint64_t sessions_total() const noexcept { return sessions_total_; }
+  std::uint64_t handshakes_run() const noexcept { return handshakes_run_; }
+  std::uint64_t handshakes_reused() const noexcept { return handshakes_reused_; }
+
+ private:
+  SessionPolicy policy_;
+  std::map<std::uint64_t, Session> sessions_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t sessions_total_ = 0;
+  std::uint64_t handshakes_run_ = 0;
+  std::uint64_t handshakes_reused_ = 0;
+};
+
+}  // namespace watz::gateway

@@ -108,22 +108,33 @@ Result<std::vector<CompiledFunc>> precompile_module(const Module& module) {
 
 Result<std::unique_ptr<Instance>> Instance::instantiate(
     Module module, const ImportResolver& imports, ExecMode mode,
-    std::vector<CompiledFunc> precompiled) {
-  using InstancePtr = std::unique_ptr<Instance>;
+    std::vector<CompiledFunc> precompiled, bool already_validated) {
+  auto shared_module = std::make_shared<const Module>(std::move(module));
+  std::shared_ptr<const std::vector<CompiledFunc>> shared_compiled;
+  if (!precompiled.empty())
+    shared_compiled =
+        std::make_shared<const std::vector<CompiledFunc>>(std::move(precompiled));
+  return instantiate_shared(std::move(shared_module), imports, mode,
+                            std::move(shared_compiled), already_validated);
+}
 
-  const Status valid = validate_module(module);
-  if (!valid.ok()) return Result<InstancePtr>::err(valid.error());
+Result<std::unique_ptr<Instance>> Instance::instantiate_shared(
+    std::shared_ptr<const Module> module_ptr, const ImportResolver& imports,
+    ExecMode mode, std::shared_ptr<const std::vector<CompiledFunc>> precompiled,
+    bool already_validated) {
+  using InstancePtr = std::unique_ptr<Instance>;
+  const Module& module = *module_ptr;
+
+  if (!already_validated) {
+    const Status valid = validate_module(module);
+    if (!valid.ok()) return Result<InstancePtr>::err(valid.error());
+  }
 
   auto inst = std::unique_ptr<Instance>(new Instance());
   inst->mode_ = mode;
 
   // Link imports. Only function imports are supported (WaTZ apps import the
   // WASI surface; memories/tables/globals are module-defined).
-  Limits memory_limits{};
-  bool has_memory = false;
-  Limits table_limits{};
-  bool has_table = false;
-
   for (const Import& imp : module.imports) {
     switch (imp.kind) {
       case ImportKind::Func: {
@@ -149,68 +160,83 @@ Result<std::unique_ptr<Instance>> Instance::instantiate(
         FuncSlot{module.types[module.functions[i]], false, nullptr, i});
   }
 
-  if (!module.memories.empty()) {
-    memory_limits = module.memories[0];
-    has_memory = true;
-  }
-  if (!module.tables.empty()) {
-    table_limits = module.tables[0];
-    has_table = true;
-  }
-  if (has_memory) inst->memory_ = std::make_unique<Memory>(memory_limits);
-  if (has_table) inst->table.assign(table_limits.min, -1);
-
-  // Globals (imports excluded -> index space starts at module globals).
-  for (const Global& g : module.globals) {
-    auto bits = eval_const_expr(g.init_expr, inst->globals);
-    if (!bits.ok()) return Result<InstancePtr>::err(bits.error());
-    inst->globals.push_back(GlobalSlot{g.type, g.mutable_, *bits});
-  }
-
-  // Element segments.
-  for (const ElementSegment& seg : module.elements) {
-    auto offset = eval_const_expr(seg.offset_expr, inst->globals);
-    if (!offset.ok()) return Result<InstancePtr>::err(offset.error());
-    const std::uint64_t off = static_cast<std::uint32_t>(*offset);
-    if (off + seg.func_indices.size() > inst->table.size())
-      return Result<InstancePtr>::err("element segment out of bounds");
-    for (std::size_t i = 0; i < seg.func_indices.size(); ++i)
-      inst->table[off + i] = seg.func_indices[i];
-  }
-
-  // Data segments.
-  for (const DataSegment& seg : module.data) {
-    auto offset = eval_const_expr(seg.offset_expr, inst->globals);
-    if (!offset.ok()) return Result<InstancePtr>::err(offset.error());
-    if (inst->memory_ == nullptr)
-      return Result<InstancePtr>::err("data segment without memory");
-    const Status st = inst->memory_->copy_in(static_cast<std::uint32_t>(*offset), seg.data);
-    if (!st.ok()) return Result<InstancePtr>::err("data segment out of bounds");
-  }
+  inst->module_ = std::move(module_ptr);
+  const Status state = inst->reset_state();
+  if (!state.ok()) return Result<InstancePtr>::err(state.error());
 
   // AOT pre-translation of every function (the "loading" phase of Fig 4),
-  // unless the embedder already ran precompile_module().
+  // unless the embedder already ran precompile_module(). The compiled image
+  // is immutable at run time, so a caller-provided store is shared, not
+  // copied.
   if (mode == ExecMode::Aot) {
-    if (precompiled.size() == module.code.size() && !module.code.empty()) {
-      inst->compiled = std::move(precompiled);
+    if (precompiled && precompiled->size() == module.code.size() &&
+        !module.code.empty()) {
+      inst->compiled_store_ = std::move(precompiled);
     } else {
       auto compiled = precompile_module(module);
       if (!compiled.ok()) return Result<InstancePtr>::err(compiled.error());
-      inst->compiled = std::move(*compiled);
+      inst->compiled_store_ =
+          std::make_shared<const std::vector<CompiledFunc>>(std::move(*compiled));
     }
+    inst->compiled = *inst->compiled_store_;
   }
 
-  inst->module_ = std::move(module);
-
-  if (inst->module_.start) {
-    auto r = inst->invoke_index(*inst->module_.start, {});
+  if (inst->module_->start) {
+    auto r = inst->invoke_index(*inst->module_->start, {});
     if (!r.ok()) return Result<InstancePtr>::err("start function trapped: " + r.error());
   }
   return inst;
 }
 
+Status Instance::reset_state() {
+  const Module& module = *module_;
+
+  if (!module.memories.empty())
+    memory_ = std::make_unique<Memory>(module.memories[0]);
+  if (!module.tables.empty()) table.assign(module.tables[0].min, -1);
+
+  // Globals (imports excluded -> index space starts at module globals).
+  globals.clear();
+  for (const Global& g : module.globals) {
+    auto bits = eval_const_expr(g.init_expr, globals);
+    if (!bits.ok()) return Status::err(bits.error());
+    globals.push_back(GlobalSlot{g.type, g.mutable_, *bits});
+  }
+
+  // Element segments.
+  for (const ElementSegment& seg : module.elements) {
+    auto offset = eval_const_expr(seg.offset_expr, globals);
+    if (!offset.ok()) return Status::err(offset.error());
+    const std::uint64_t off = static_cast<std::uint32_t>(*offset);
+    if (off + seg.func_indices.size() > table.size())
+      return Status::err("element segment out of bounds");
+    for (std::size_t i = 0; i < seg.func_indices.size(); ++i)
+      table[off + i] = seg.func_indices[i];
+  }
+
+  // Data segments.
+  for (const DataSegment& seg : module.data) {
+    auto offset = eval_const_expr(seg.offset_expr, globals);
+    if (!offset.ok()) return Status::err(offset.error());
+    if (memory_ == nullptr) return Status::err("data segment without memory");
+    const Status st = memory_->copy_in(static_cast<std::uint32_t>(*offset), seg.data);
+    if (!st.ok()) return Status::err("data segment out of bounds");
+  }
+  return {};
+}
+
+Status Instance::reinitialize() {
+  const Status state = reset_state();
+  if (!state.ok()) return state;
+  if (module_->start) {
+    auto r = invoke_index(*module_->start, {});
+    if (!r.ok()) return Status::err("start function trapped: " + r.error());
+  }
+  return {};
+}
+
 Result<std::uint32_t> Instance::find_exported_func(const std::string& name) const {
-  for (const Export& ex : module_.exports) {
+  for (const Export& ex : module_->exports) {
     if (ex.kind == ImportKind::Func && ex.name == name) return ex.index;
   }
   return Result<std::uint32_t>::err("no exported function named '" + name + "'");

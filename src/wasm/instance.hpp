@@ -120,20 +120,44 @@ class Instance {
   /// phase in the paper's Fig 4 breakdown) separately via
   /// precompile_module() and hand the result in; when empty and mode==Aot,
   /// translation happens inside instantiate().
+  ///
+  /// `already_validated` skips the validation pass for modules the embedder
+  /// has run through validate_module() before (e.g. a cached prepared
+  /// module being re-instantiated); passing an unvalidated module with the
+  /// flag set is undefined behaviour at execution time.
   static Result<std::unique_ptr<Instance>> instantiate(
       Module module, const ImportResolver& imports, ExecMode mode,
-      std::vector<CompiledFunc> precompiled = {});
+      std::vector<CompiledFunc> precompiled = {}, bool already_validated = false);
+
+  /// Zero-copy variant: the module (and its AOT form) stay owned by the
+  /// caller -- typically a module cache -- and are only referenced. Both
+  /// are immutable during execution, so any number of instances can share
+  /// one prepared image; per-instance state (memory, globals, table) is
+  /// still private. `precompiled` may be null (required for Aot mode
+  /// unless the module has no code).
+  static Result<std::unique_ptr<Instance>> instantiate_shared(
+      std::shared_ptr<const Module> module, const ImportResolver& imports,
+      ExecMode mode,
+      std::shared_ptr<const std::vector<CompiledFunc>> precompiled = nullptr,
+      bool already_validated = false);
 
   /// Invokes an exported function by name.
   Result<std::vector<Value>> invoke(const std::string& export_name,
                                     std::span<const Value> args);
+
+  /// Resets all per-instance sandbox state -- linear memory (re-created at
+  /// its initial size), globals, table, element/data segments, start
+  /// function -- to the freshly-instantiated state. Instance pools call
+  /// this before handing a sandbox to the next caller so no guest state
+  /// leaks between invocations.
+  Status reinitialize();
 
   /// Invokes by unified function index (used by call opcodes and tests).
   Result<std::vector<Value>> invoke_index(std::uint32_t func_index,
                                           std::span<const Value> args);
 
   Memory* memory() noexcept { return memory_ ? memory_.get() : nullptr; }
-  const Module& module() const noexcept { return module_; }
+  const Module& module() const noexcept { return *module_; }
   ExecMode mode() const noexcept { return mode_; }
 
   Result<std::uint32_t> find_exported_func(const std::string& name) const;
@@ -147,12 +171,18 @@ class Instance {
   std::vector<FuncSlot> funcs;
   std::vector<GlobalSlot> globals;
   std::vector<std::int64_t> table;  // -1 == null, otherwise func index
-  std::vector<CompiledFunc> compiled;  // parallel to module_.code (AOT mode)
+  /// Parallel to module().code (AOT mode). A view into the shared compiled
+  /// store: instances of one prepared module all read the same image.
+  std::span<const CompiledFunc> compiled;
 
  private:
   Instance() = default;
 
-  Module module_;
+  /// (Re)builds memory/globals/table and evaluates segments from module_.
+  Status reset_state();
+
+  std::shared_ptr<const Module> module_;
+  std::shared_ptr<const std::vector<CompiledFunc>> compiled_store_;
   std::unique_ptr<Memory> memory_;
   ExecMode mode_ = ExecMode::Aot;
   void* user_data_ = nullptr;

@@ -1,0 +1,452 @@
+// Gateway subsystem tests: session reuse (no re-attestation), module-cache
+// hit/miss startup behaviour, LRU eviction under secure-heap pressure, and
+// invoke dispatch across a multi-device fleet.
+#include <gtest/gtest.h>
+
+#include "core/device.hpp"
+#include "gateway/gateway.hpp"
+#include "wasm/builder.hpp"
+
+namespace watz::gateway {
+namespace {
+
+core::DeviceConfig device_config(const std::string& hostname, std::uint8_t id) {
+  core::DeviceConfig config;
+  config.hostname = hostname;
+  config.otpmk.fill(id);
+  config.latency.enabled = false;
+  return config;
+}
+
+/// Guest exporting add(a, b) -> a + b.
+Bytes adder_app() {
+  wasm::ModuleBuilder b;
+  b.add_memory(1);
+  const auto f = b.add_function({{wasm::ValType::I32, wasm::ValType::I32},
+                                 {wasm::ValType::I32}});
+  wasm::CodeEmitter e;
+  e.local_get(0).local_get(1).op(wasm::kI32Add);
+  b.set_body(f, e.bytes());
+  b.export_function("add", f);
+  return b.build();
+}
+
+/// Guest of ~`code_kb` KiB of unrolled arithmetic, exporting run() -> i64.
+/// `salt` differentiates measurements.
+Bytes sized_app(int code_kb, std::int64_t salt) {
+  wasm::ModuleBuilder b;
+  b.add_memory(1);
+  wasm::CodeEmitter e;
+  e.i64_const(salt);
+  for (int i = 0; i < code_kb * 93; ++i)  // ~11 bytes per const+add pair
+    e.i64_const(0x0102030405060708LL + i).op(wasm::kI64Add);
+  const auto f = b.add_function({{}, {wasm::ValType::I64}});
+  b.set_body(f, e.bytes());
+  b.export_function("run", f);
+  return b.build();
+}
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetUpFleet(2); }
+
+  void SetUpFleet(int devices, GatewayConfig config = {}) {
+    vendor_ = core::Vendor::create(to_bytes("gw-vendor"));
+    for (int i = 0; i < devices; ++i) {
+      auto device = core::Device::boot(
+          fabric_, vendor_, device_config("node-" + std::to_string(i),
+                                          static_cast<std::uint8_t>(0x50 + i)));
+      ASSERT_TRUE(device.ok()) << device.error();
+      devices_.push_back(std::move(*device));
+    }
+    gateway_ = std::make_unique<Gateway>(fabric_, config, to_bytes("gw-identity"));
+    ASSERT_TRUE(gateway_->start().ok());
+    for (auto& device : devices_) ASSERT_TRUE(gateway_->add_device(*device).ok());
+    client_ = std::make_unique<GatewayClient>(fabric_);
+    ASSERT_TRUE(client_->connect(config.hostname, config.port).ok());
+  }
+
+  InvokeRequest add_request(std::uint64_t session, const crypto::Sha256Digest& m,
+                            std::int32_t a, std::int32_t b) {
+    InvokeRequest req;
+    req.session_id = session;
+    req.measurement = m;
+    req.entry = "add";
+    req.args = {wasm::Value::from_i32(a), wasm::Value::from_i32(b)};
+    req.heap_bytes = 1 << 20;
+    return req;
+  }
+
+  net::Fabric fabric_;
+  core::Vendor vendor_;
+  std::vector<std::unique_ptr<core::Device>> devices_;
+  std::unique_ptr<Gateway> gateway_;
+  std::unique_ptr<GatewayClient> client_;
+};
+
+TEST_F(GatewayTest, AttachAttestsFleetOnce) {
+  auto attach = client_->attach("tenant-a");
+  ASSERT_TRUE(attach.ok()) << attach.error();
+  EXPECT_EQ(attach->devices_attested, 2u);
+  // One fresh handshake per device, two fabric exchanges each.
+  EXPECT_EQ(attach->ra_exchanges, 2 * kRaExchangesPerHandshake);
+  EXPECT_EQ(gateway_->sessions().handshakes_run(), 2u);
+}
+
+TEST_F(GatewayTest, SessionReuseSkipsReattestation) {
+  auto attach = client_->attach("tenant-a");
+  ASSERT_TRUE(attach.ok()) << attach.error();
+  const Bytes app = adder_app();
+  auto load = client_->load_module(attach->session_id, app);
+  ASSERT_TRUE(load.ok()) << load.error();
+
+  const std::uint64_t handshakes_after_attach = gateway_->sessions().handshakes_run();
+  const std::uint64_t fabric_messages_before = fabric_.messages();
+
+  // Every invoke on the attached session rides the cached evidence: zero
+  // additional RA exchanges, and the only fabric message is the request.
+  for (int i = 0; i < 4; ++i) {
+    auto r = client_->invoke(add_request(attach->session_id, load->measurement, i, 10));
+    ASSERT_TRUE(r.ok()) << r.error();
+    EXPECT_EQ(r->results.front().i32(), i + 10);
+    EXPECT_EQ(r->ra_exchanges, 0u);
+  }
+  EXPECT_EQ(gateway_->sessions().handshakes_run(), handshakes_after_attach);
+  EXPECT_EQ(fabric_.messages() - fabric_messages_before, 4u);
+}
+
+TEST_F(GatewayTest, SecondClientAttestsItsOwnSession) {
+  auto a = client_->attach("tenant-a");
+  ASSERT_TRUE(a.ok());
+  GatewayClient other(fabric_);
+  ASSERT_TRUE(other.connect("gateway", 7000).ok());
+  auto b = other.attach("tenant-b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->session_id, b->session_id);
+  // Trust is per tenant session, not ambient: the second attach re-proves.
+  EXPECT_EQ(gateway_->sessions().handshakes_run(), 4u);
+}
+
+/// Single-device fleet: deterministic placement for staleness tests.
+class GatewaySingleDeviceTest : public GatewayTest {
+ protected:
+  void SetUp() override { SetUpFleet(1); }
+};
+
+TEST_F(GatewaySingleDeviceTest, RebootedDeviceIsReattested) {
+  auto attach = client_->attach("tenant-a");
+  ASSERT_TRUE(attach.ok());
+  auto load = client_->load_module(attach->session_id, adder_app());
+  ASSERT_TRUE(load.ok());
+
+  // Simulate a board swap/reboot: the boot count bumps, so the session's
+  // cached evidence is stale and the next invoke re-proves the device.
+  ASSERT_TRUE(gateway_->add_device(*devices_[0]).ok());
+  auto r = client_->invoke(add_request(attach->session_id, load->measurement, 2, 3));
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r->ra_exchanges, kRaExchangesPerHandshake);
+  auto again = client_->invoke(add_request(attach->session_id, load->measurement, 2, 3));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ra_exchanges, 0u);  // fresh evidence cached again
+}
+
+TEST_F(GatewaySingleDeviceTest, EvidenceTtlForcesReattestation) {
+  // A second gateway on the same fabric, with instant evidence expiry.
+  GatewayConfig config;
+  config.hostname = "gateway-ttl";
+  config.port = 7100;
+  config.ra_port = 7101;
+  config.session_policy.evidence_ttl_ns = 1;
+  Gateway gateway(fabric_, config, to_bytes("gw-ttl-identity"));
+  ASSERT_TRUE(gateway.start().ok());
+  ASSERT_TRUE(gateway.add_device(*devices_[0]).ok());
+  GatewayClient client(fabric_);
+  ASSERT_TRUE(client.connect("gateway-ttl", 7100).ok());
+
+  auto attach = client.attach("tenant-a");
+  ASSERT_TRUE(attach.ok());
+  auto load = client.load_module(attach->session_id, adder_app());
+  ASSERT_TRUE(load.ok());
+  auto r = client.invoke(add_request(attach->session_id, load->measurement, 1, 1));
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r->ra_exchanges, kRaExchangesPerHandshake)
+      << "expired evidence must be re-collected";
+}
+
+TEST_F(GatewayTest, InvokeDispatchesAcrossDevices) {
+  auto attach = client_->attach("tenant-a");
+  ASSERT_TRUE(attach.ok());
+  auto load = client_->load_module(attach->session_id, adder_app());
+  ASSERT_TRUE(load.ok());
+
+  std::map<std::string, int> placements;
+  for (int i = 0; i < 8; ++i) {
+    auto r = client_->invoke(add_request(attach->session_id, load->measurement, i, i));
+    ASSERT_TRUE(r.ok()) << r.error();
+    ++placements[r->device];
+  }
+  // Least-loaded placement spreads the work over the whole fleet.
+  EXPECT_EQ(placements.size(), 2u);
+  for (const auto& [device, count] : placements) EXPECT_GT(count, 0) << device;
+
+  auto stats = client_->stats(attach->session_id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->invocations, 8u);
+  ASSERT_EQ(stats->devices.size(), 2u);
+  for (const DeviceStats& d : stats->devices) {
+    EXPECT_GT(d.invocations, 0u);
+    EXPECT_GE(d.queue_depth_peak, 1u);
+  }
+}
+
+TEST_F(GatewayTest, UnknownSessionAndModuleAreRejected) {
+  auto attach = client_->attach("tenant-a");
+  ASSERT_TRUE(attach.ok());
+  auto load = client_->load_module(attach->session_id, adder_app());
+  ASSERT_TRUE(load.ok());
+
+  auto bad_session = client_->invoke(add_request(999, load->measurement, 1, 1));
+  EXPECT_FALSE(bad_session.ok());
+
+  crypto::Sha256Digest unknown{};
+  auto bad_module = client_->invoke(add_request(attach->session_id, unknown, 1, 1));
+  EXPECT_FALSE(bad_module.ok());
+
+  ASSERT_TRUE(client_->detach(attach->session_id).ok());
+  auto after_detach =
+      client_->invoke(add_request(attach->session_id, load->measurement, 1, 1));
+  EXPECT_FALSE(after_detach.ok());
+}
+
+/// Module cache unit coverage against a real device runtime.
+class ModuleCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vendor_ = core::Vendor::create(to_bytes("cache-vendor"));
+    auto device = core::Device::boot(fabric_, vendor_, device_config("cache", 0x61));
+    ASSERT_TRUE(device.ok()) << device.error();
+    device_ = std::move(*device);
+  }
+
+  core::AppConfig small_heap() {
+    core::AppConfig config;
+    config.heap_bytes = 64 * 1024;
+    return config;
+  }
+
+  net::Fabric fabric_;
+  core::Vendor vendor_;
+  std::unique_ptr<core::Device> device_;
+};
+
+TEST_F(ModuleCacheTest, HitSkipsLoadingPhase) {
+  ModuleCache cache(device_->runtime());
+  const Bytes app = adder_app();
+  const crypto::Sha256Digest m = crypto::sha256(app);
+
+  auto cold = cache.acquire(m, app, small_heap());
+  ASSERT_TRUE(cold.ok()) << cold.error();
+  EXPECT_FALSE(cold->module_cache_hit);
+  // Cold startup paid the full pipeline, Loading included.
+  const core::StartupBreakdown& prepared_cost = cold->app->prepared()->load_cost();
+  EXPECT_GT(prepared_cost.loading_ns, 0u);
+  EXPECT_GT(prepared_cost.hashing_ns, 0u);
+
+  auto warm = cache.acquire(m, {}, small_heap());
+  ASSERT_TRUE(warm.ok()) << warm.error();
+  EXPECT_TRUE(warm->module_cache_hit);
+  EXPECT_FALSE(warm->pool_hit);
+  // Warm startup never re-entered the Loading/Hashing phases.
+  EXPECT_EQ(warm->app->startup().loading_ns, 0u);
+  EXPECT_EQ(warm->app->startup().hashing_ns, 0u);
+  EXPECT_GT(warm->app->startup().instantiate_ns, 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Both instances are live and isolated; invoking works on each.
+  auto args = std::vector<wasm::Value>{wasm::Value::from_i32(20),
+                                       wasm::Value::from_i32(3)};
+  auto r = warm->app->invoke("add", args);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->front().i32(), 23);
+}
+
+TEST_F(ModuleCacheTest, ReleaseWarmsThePool) {
+  ModuleCache cache(device_->runtime());
+  const Bytes app = adder_app();
+  const crypto::Sha256Digest m = crypto::sha256(app);
+
+  auto first = cache.acquire(m, app, small_heap());
+  ASSERT_TRUE(first.ok());
+  cache.release(std::move(first->app));
+
+  auto pooled = cache.acquire(m, {}, small_heap());
+  ASSERT_TRUE(pooled.ok());
+  EXPECT_TRUE(pooled->pool_hit);
+  EXPECT_EQ(pooled->launch_ns, 0u);  // nothing was launched at all
+  EXPECT_EQ(cache.pool_hits(), 1u);
+}
+
+TEST_F(ModuleCacheTest, LruEvictionUnderHeapPressure) {
+  ModuleCacheConfig config;
+  config.budget_bytes = 150 * 1024;  // fits one ~100 KiB module, not two
+  ModuleCache cache(device_->runtime(), config);
+
+  const Bytes app_a = sized_app(96, 1);
+  const Bytes app_b = sized_app(96, 2);
+  const crypto::Sha256Digest ma = crypto::sha256(app_a);
+  const crypto::Sha256Digest mb = crypto::sha256(app_b);
+  ASSERT_GT(app_a.size(), 90u * 1024);
+
+  ASSERT_TRUE(cache.acquire(ma, app_a, small_heap()).ok());
+  EXPECT_TRUE(cache.contains(ma));
+
+  // B does not fit next to A: the LRU entry (A) is evicted.
+  ASSERT_TRUE(cache.acquire(mb, app_b, small_heap()).ok());
+  EXPECT_TRUE(cache.contains(mb));
+  EXPECT_FALSE(cache.contains(ma));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.charged_bytes(), config.budget_bytes);
+
+  // A comes back on demand -- a cold miss again, evicting B in turn.
+  ASSERT_TRUE(cache.acquire(ma, app_a, small_heap()).ok());
+  EXPECT_FALSE(cache.contains(mb));
+  EXPECT_EQ(cache.evictions(), 2u);
+
+  // Touch order decides the victim: with a budget for two small modules,
+  // the least recently used one goes.
+  ModuleCacheConfig roomy;
+  roomy.budget_bytes = 210 * 1024;  // fits two ~100 KiB modules, not three
+  ModuleCache lru(device_->runtime(), roomy);
+  const Bytes small_a = sized_app(96, 3);
+  const Bytes small_b = sized_app(96, 4);
+  const Bytes small_c = sized_app(96, 5);
+  ASSERT_TRUE(lru.acquire(crypto::sha256(small_a), small_a, small_heap()).ok());
+  ASSERT_TRUE(lru.acquire(crypto::sha256(small_b), small_b, small_heap()).ok());
+  ASSERT_TRUE(lru.acquire(crypto::sha256(small_a), {}, small_heap()).ok());  // touch A
+  ASSERT_TRUE(lru.acquire(crypto::sha256(small_c), small_c, small_heap()).ok());
+  EXPECT_TRUE(lru.contains(crypto::sha256(small_a)));
+  EXPECT_FALSE(lru.contains(crypto::sha256(small_b)));  // LRU victim
+}
+
+TEST_F(ModuleCacheTest, PooledInstancesAreScrubbedBetweenTenants) {
+  // poke(v) writes v to mem[0]; peek() reads mem[0]. A pooled instance
+  // must not carry one tenant's writes to the next.
+  wasm::ModuleBuilder b;
+  b.add_memory(1);
+  const auto poke = b.add_function({{wasm::ValType::I32}, {}});
+  {
+    wasm::CodeEmitter e;
+    e.i32_const(0).local_get(0).store(wasm::kI32Store, 0);
+    b.set_body(poke, e.bytes());
+  }
+  b.export_function("poke", poke);
+  const auto peek = b.add_function({{}, {wasm::ValType::I32}});
+  {
+    wasm::CodeEmitter e;
+    e.i32_const(0).load(wasm::kI32Load, 0);
+    b.set_body(peek, e.bytes());
+  }
+  b.export_function("peek", peek);
+  const Bytes app = b.build();
+  const crypto::Sha256Digest m = crypto::sha256(app);
+
+  ModuleCache cache(device_->runtime());
+  auto first = cache.acquire(m, app, small_heap());
+  ASSERT_TRUE(first.ok()) << first.error();
+  const wasm::Value v = wasm::Value::from_i32(1234);
+  ASSERT_TRUE(first->app->invoke("poke", std::span<const wasm::Value>(&v, 1)).ok());
+  cache.release(std::move(first->app));
+
+  auto second = cache.acquire(m, {}, small_heap());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->pool_hit);
+  auto r = second->app->invoke("peek", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->front().i32(), 0) << "guest state leaked through the warm pool";
+}
+
+TEST_F(ModuleCacheTest, PoolHitRequiresMatchingHeap) {
+  ModuleCache cache(device_->runtime());
+  const Bytes app = adder_app();
+  const crypto::Sha256Digest m = crypto::sha256(app);
+
+  auto first = cache.acquire(m, app, small_heap());
+  ASSERT_TRUE(first.ok());
+  cache.release(std::move(first->app));
+
+  core::AppConfig bigger;
+  bigger.heap_bytes = 256 * 1024;  // differs from the pooled 64 KiB instance
+  auto mismatch = cache.acquire(m, {}, bigger);
+  ASSERT_TRUE(mismatch.ok());
+  EXPECT_FALSE(mismatch->pool_hit) << "pooled instance has the wrong heap size";
+  EXPECT_TRUE(mismatch->module_cache_hit);
+  EXPECT_EQ(mismatch->app->heap_bytes(), bigger.heap_bytes);
+
+  auto match = cache.acquire(m, {}, small_heap());
+  ASSERT_TRUE(match.ok());
+  EXPECT_TRUE(match->pool_hit);
+}
+
+TEST_F(ModuleCacheTest, ColdMissWithoutBinaryFails) {
+  ModuleCache cache(device_->runtime());
+  crypto::Sha256Digest unknown{};
+  auto r = cache.acquire(unknown, {}, small_heap());
+  EXPECT_FALSE(r.ok());
+}
+
+/// Wire protocol round-trips.
+TEST(GatewayProtocolTest, RoundTrips) {
+  InvokeRequest req;
+  req.session_id = 42;
+  req.measurement.fill(0xAB);
+  req.entry = "add";
+  req.args = {wasm::Value::from_i32(-7), wasm::Value::from_i64(1LL << 40)};
+  req.heap_bytes = 123456;
+  auto req2 = InvokeRequest::decode(req.encode());
+  ASSERT_TRUE(req2.ok()) << req2.error();
+  EXPECT_EQ(req2->session_id, 42u);
+  EXPECT_EQ(req2->measurement, req.measurement);
+  EXPECT_EQ(req2->entry, "add");
+  ASSERT_EQ(req2->args.size(), 2u);
+  EXPECT_EQ(req2->args[0].i32(), -7);
+  EXPECT_EQ(req2->args[1].i64(), 1LL << 40);
+  EXPECT_EQ(req2->heap_bytes, 123456u);
+
+  InvokeResponse resp;
+  resp.results = {wasm::Value::from_i32(9)};
+  resp.device = "node-1";
+  resp.module_cache_hit = true;
+  resp.launch_ns = 777;
+  resp.invoke_ns = 888;
+  resp.ra_exchanges = 2;
+  auto resp2 = InvokeResponse::decode(resp.encode());
+  ASSERT_TRUE(resp2.ok()) << resp2.error();
+  EXPECT_EQ(resp2->results.front().i32(), 9);
+  EXPECT_EQ(resp2->device, "node-1");
+  EXPECT_TRUE(resp2->module_cache_hit);
+  EXPECT_FALSE(resp2->pool_hit);
+  EXPECT_EQ(resp2->launch_ns, 777u);
+  EXPECT_EQ(resp2->ra_exchanges, 2u);
+
+  GatewayStats stats;
+  stats.sessions_active = 1;
+  stats.handshakes_run = 4;
+  stats.devices.push_back(DeviceStats{"node-0", 1, 10, 999, 3, 4096, 5, 6, 7, 8});
+  auto stats2 = GatewayStats::decode(stats.encode());
+  ASSERT_TRUE(stats2.ok()) << stats2.error();
+  EXPECT_EQ(stats2->sessions_active, 1u);
+  EXPECT_EQ(stats2->handshakes_run, 4u);
+  ASSERT_EQ(stats2->devices.size(), 1u);
+  EXPECT_EQ(stats2->devices[0].hostname, "node-0");
+  EXPECT_EQ(stats2->devices[0].queue_depth_peak, 3u);
+  EXPECT_EQ(stats2->devices[0].pool_hits, 8u);
+
+  // Error envelopes surface the message.
+  auto err = open_envelope(err_envelope("boom"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), "boom");
+}
+
+}  // namespace
+}  // namespace watz::gateway
