@@ -82,15 +82,21 @@ class BenchReport {
 };
 
 /// A booted attester board with the paper's latency calibration.
+/// `device_side_latency` makes the charges sleep instead of busy-wait:
+/// the board is remote, so its world-switch time must not occupy a CPU of
+/// the host driving the fleet (fleet-scaling benches set it; single-board
+/// latency benches keep the on-SoC busy-wait).
 inline std::unique_ptr<core::Device> boot_device(net::Fabric& fabric,
                                                  const core::Vendor& vendor,
                                                  const std::string& hostname,
                                                  std::uint8_t id,
-                                                 bool charge_latency = true) {
+                                                 bool charge_latency = true,
+                                                 bool device_side_latency = false) {
   core::DeviceConfig config;
   config.hostname = hostname;
   config.otpmk.fill(id);
   config.latency.enabled = charge_latency;
+  config.latency.device_side = device_side_latency;
   auto device = core::Device::boot(fabric, vendor, config);
   device.ok() ? void() : throw Error("bench: " + device.error());
   return std::move(*device);

@@ -2,12 +2,18 @@
 // IoT fleet is enrolled behind the gateway, tenants attach (one RA
 // handshake per device, then never again), load a Wasm module once and
 // invoke it many times -- dispatched least-loaded across the boards, with
-// warm module-cache launches after the first touch of each device. A board
+// warm module-cache launches after the first touch of each device. The
+// tenant drives the fleet from several client threads at once (each
+// device's worker executes in parallel behind the admission layer) and
+// then pipelines a batch through the async SUBMIT/POLL path. A board
 // whose secure boot was compromised (tampered trusted-OS image) never
 // comes up, so it can never join the fleet.
 //
 //   $ ./examples/example_device_fleet
 #include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "gateway/gateway.hpp"
 #include "wasm/builder.hpp"
@@ -80,27 +86,63 @@ int main() {
   }
   std::printf("module registered: %s\n", to_hex(load->measurement).c_str());
 
-  // Invocations ride the session: no further attestation, and each device
-  // pays the Loading phase only on its first touch.
-  std::printf("\ndispatching 9 invocations across the fleet:\n");
-  for (int reading = 0; reading < 9; ++reading) {
+  const auto score_request = [&](int reading) {
     gateway::InvokeRequest req;
     req.session_id = session->session_id;
     req.measurement = load->measurement;
     req.entry = "score";
     req.args = {wasm::Value::from_i32(reading)};
     req.heap_bytes = 1 << 20;
-    auto r = client.invoke(req);
-    if (!r.ok()) {
-      std::fprintf(stderr, "  invoke failed: %s\n", r.error().c_str());
-      return 1;
+    return req;
+  };
+
+  // Invocations ride the session: no further attestation, and each device
+  // pays the Loading phase only on its first touch. Three tenant threads
+  // (one GatewayClient each) drive the fleet concurrently -- every
+  // device's worker runs their invocations in parallel.
+  std::printf("\n3 client threads dispatching 9 invocations across the fleet:\n");
+  std::mutex print_mu;
+  std::vector<std::thread> tenants;
+  for (int t = 0; t < 3; ++t) {
+    tenants.emplace_back([&, t] {
+      gateway::GatewayClient worker_client(fabric);
+      if (!worker_client.connect(config.hostname, config.port).ok()) return;
+      for (int i = 0; i < 3; ++i) {
+        const int reading = 3 * t + i;
+        auto r = worker_client.invoke(score_request(reading));
+        std::lock_guard<std::mutex> lock(print_mu);
+        if (!r.ok()) {
+          std::fprintf(stderr, "  invoke failed: %s\n", r.error().c_str());
+          continue;
+        }
+        std::printf("  [thread %d] score(%d) = %-3d on %-7s %-21s "
+                    "ra-exchanges=%u\n",
+                    t, reading, r->results.front().i32(), r->device.c_str(),
+                    r->pool_hit          ? "[pool hit]"
+                    : r->module_cache_hit ? "[module-cache hit]"
+                                          : "[cold: full pipeline]",
+                    r->ra_exchanges);
+      }
+    });
+  }
+  for (std::thread& tenant : tenants) tenant.join();
+
+  // The async path: a batch of readings pipelined through SUBMIT/POLL on
+  // one connection -- the client keeps the fleet's run queues fed without
+  // blocking on each result in turn.
+  std::vector<gateway::InvokeRequest> batch;
+  for (int reading = 9; reading < 15; ++reading)
+    batch.push_back(score_request(reading));
+  auto batched = client.invoke_batch(batch);
+  std::printf("\nbatch of %zu pipelined via SUBMIT/POLL:\n", batch.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    if (!batched[i].ok()) {
+      std::fprintf(stderr, "  batch[%zu] failed: %s\n", i,
+                   batched[i].error().c_str());
+      continue;
     }
-    std::printf("  score(%d) = %-3d on %-7s %-21s ra-exchanges=%u\n", reading,
-                r->results.front().i32(), r->device.c_str(),
-                r->pool_hit          ? "[pool hit]"
-                : r->module_cache_hit ? "[module-cache hit]"
-                                      : "[cold: full pipeline]",
-                r->ra_exchanges);
+    std::printf("  score(%zu) = %-3d on %s\n", i + 9,
+                batched[i]->results.front().i32(), batched[i]->device.c_str());
   }
 
   auto stats = client.stats(session->session_id);

@@ -4,6 +4,13 @@
 // OP-TEE with the WaTZ extensions + attestation service kernel module ->
 // WaTZ runtime TA in the secure world, TEE supplicant in the normal world
 // bridging sockets and the monotonic clock.
+//
+// Threading contract: a Device is an ACTOR. Its mutable state (secure
+// monitor world-state, runtime, trusted-OS heap bookkeeping) is not
+// locked; instead every TEE entry — launches, invokes, RA handshakes —
+// must happen on the one thread that owns the device (in the gateway:
+// the backend's worker thread). Cross-thread reads are limited to the
+// few counters explicitly made atomic (e.g. TrustedOs::heap_in_use).
 #pragma once
 
 #include <memory>

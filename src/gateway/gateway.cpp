@@ -1,6 +1,8 @@
 #include "gateway/gateway.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "hw/clock.hpp"
 #include "ra/attester.hpp"
@@ -19,6 +21,10 @@ crypto::Sha256Digest platform_claim(core::Device& device) {
   return hasher.finish();
 }
 
+bool is_appraisal_failure(const std::string& error) {
+  return error.find("failed appraisal") != std::string::npos;
+}
+
 }  // namespace
 
 Gateway::Gateway(net::Fabric& fabric, GatewayConfig config, ByteView identity_seed)
@@ -34,26 +40,54 @@ Gateway::Gateway(net::Fabric& fabric, GatewayConfig config, ByteView identity_se
       [](const crypto::Sha256Digest&) { return to_bytes("watz-gateway-ticket-v1"); });
 }
 
+Gateway::~Gateway() {
+  // Unbind from the fabric FIRST so no new request can reach a handler
+  // capturing a dying `this` (clients that outlive the gateway then get
+  // "peer gone" instead of a dangling callback), then drain the workers.
+  if (started_) {
+    fabric_.unlisten(config_.hostname, config_.port);
+    fabric_.unlisten(config_.hostname, config_.ra_port);
+  }
+  stopping_.store(true, std::memory_order_release);
+  for (auto& [name, backend] : backends_) {
+    {
+      std::lock_guard<std::mutex> lock(backend.queue_mu);
+      backend.stop = true;
+    }
+    backend.queue_cv.notify_all();
+    if (backend.worker.joinable()) backend.worker.join();
+  }
+}
+
 Status Gateway::start() {
   if (started_) return Status::err("gateway: already started");
 
-  // RA endpoint: the gateway's verifier, appraising devices.
+  // RA endpoint: the gateway's verifier, appraising devices. Handshakes
+  // arrive concurrently from every backend worker, so the shared verifier
+  // state machine is serialised under ra_mu_.
   Status ra = fabric_.listen(
       config_.hostname, config_.ra_port,
       [this](std::uint64_t conn, ByteView message) -> Result<Bytes> {
+        std::lock_guard<std::mutex> lock(ra_mu_);
         return verifier_->handle(conn, message);
       },
-      [this](std::uint64_t conn) { verifier_->end_session(conn); });
+      [this](std::uint64_t conn) {
+        std::lock_guard<std::mutex> lock(ra_mu_);
+        verifier_->end_session(conn);
+      });
   if (!ra.ok()) return ra;
 
   // Client-facing dispatcher. Application failures travel inside the
-  // response envelope; the transport only fails on malformed frames.
+  // response envelope; the transport only fails on malformed frames. The
+  // close hook detaches every session attached over the dropped
+  // connection, failing its queued work before its state goes away.
   Status dispatcher = fabric_.listen(
       config_.hostname, config_.port,
-      [this](std::uint64_t, ByteView request) -> Result<Bytes> {
-        auto response = handle_request(request);
+      [this](std::uint64_t conn, ByteView request) -> Result<Bytes> {
+        auto response = handle_request(conn, request);
         return response.ok() ? std::move(*response) : err_envelope(response.error());
-      });
+      },
+      [this](std::uint64_t conn) { on_client_close(conn); });
   if (!dispatcher.ok()) return dispatcher;
 
   started_ = true;
@@ -61,24 +95,416 @@ Status Gateway::start() {
 }
 
 Status Gateway::add_device(core::Device& device) {
-  Backend& backend = backends_[device.hostname()];
-  backend.device = &device;
-  backend.cache = std::make_unique<ModuleCache>(device.runtime(), config_.cache);
-  backend.attester_rng = std::make_unique<crypto::Fortuna>(
-      device.os().huk_subkey_derive("watz-gateway-attester-v1"));
-  backend.platform_claim = platform_claim(device);
-  ++backend.boot_count;  // re-enrolment == reboot: cached evidence goes stale
-  backend.inflight = 0;
+  Backend* backend = nullptr;
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(backends_mu_);
+    backend = &backends_[device.hostname()];
+    fresh = backend->hostname.empty();
+    if (fresh) {
+      backend->hostname = device.hostname();
+      backend->enrol_index = backend_order_.size();
+      backend_order_.push_back(backend);
+    }
+  }
+  {
+    // Re-enrolment == reboot/board swap: swap in the (possibly new) device
+    // plus a fresh cache + attester RNG, and bump the boot count so cached
+    // evidence goes stale. Workers snapshot all of these under state_mu,
+    // so an invoke mid-flight across the "reboot" finishes on the old
+    // device + cache instead of racing the swap.
+    std::lock_guard<std::mutex> lock(backend->state_mu);
+    backend->device = &device;
+    backend->cache = std::make_shared<ModuleCache>(device.runtime(), config_.cache);
+    backend->attester_rng = std::make_shared<crypto::Fortuna>(
+        device.os().huk_subkey_derive("watz-gateway-attester-v1"));
+    backend->platform_claim = platform_claim(device);
+    ++backend->boot_count;
+  }
+  if (fresh) backend->worker = std::thread([this, backend] { worker_loop(*backend); });
 
+  std::lock_guard<std::mutex> lock(ra_mu_);
   verifier_->endorse_device(device.attestation_service().public_key());
-  verifier_->add_reference_measurement(backend.platform_claim);
+  verifier_->add_reference_measurement(backend->platform_claim);
   return {};
 }
 
-Result<attestation::Evidence> Gateway::run_handshake(const std::string& hostname,
-                                                     Backend& backend) {
+// -- worker fabric -----------------------------------------------------------
+
+Status Gateway::post(Backend& backend, std::function<void()> task, bool force) {
+  {
+    std::lock_guard<std::mutex> lock(backend.queue_mu);
+    if (backend.stop) return Status::err("gateway: shutting down");
+    const std::uint32_t depth = backend.inflight.load(std::memory_order_relaxed);
+    if (!force && depth >= config_.worker_queue_capacity)
+      return Status::err(std::string(kQueueFullPrefix) + ": " + backend.hostname +
+                         " run queue at capacity (" + std::to_string(depth) + ")");
+    const std::uint32_t now_inflight = depth + 1;
+    backend.inflight.store(now_inflight, std::memory_order_relaxed);
+    std::uint32_t peak = backend.queue_depth_peak.load(std::memory_order_relaxed);
+    while (now_inflight > peak &&
+           !backend.queue_depth_peak.compare_exchange_weak(peak, now_inflight)) {
+    }
+    backend.queue.push_back(std::move(task));
+  }
+  backend.queue_cv.notify_one();
+  return {};
+}
+
+void Gateway::worker_loop(Backend& backend) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(backend.queue_mu);
+      backend.queue_cv.wait(lock,
+                            [&] { return backend.stop || !backend.queue.empty(); });
+      if (backend.queue.empty()) return;  // stop requested and queue drained
+      task = std::move(backend.queue.front());
+      backend.queue.pop_front();
+    }
+    // On shutdown the loop still drains every queued item: each one
+    // observes stopping_ and fails fast, fulfilling its promise so no
+    // admitted request is ever left dangling. Each task decrements
+    // inflight itself, just BEFORE publishing its result — so admission
+    // capacity is provably free by the time a waiter observes completion
+    // (decrementing here, after task(), would let a hot client see the
+    // completion and get bounced before this thread is rescheduled).
+    task();
+  }
+}
+
+std::vector<Gateway::Backend*> Gateway::placement_candidates() {
+  std::vector<Backend*> order;
+  {
+    std::lock_guard<std::mutex> lock(backends_mu_);
+    order = backend_order_;
+  }
+  const std::size_t n = order.size();
+  if (n < 2) return order;
+
+  // Sampled two-choice: probe two distinct backends round-robin and take
+  // the less loaded (queue depth, then accumulated busy time, then
+  // enrolment order) — O(1) instead of the former rebuild-and-sort per
+  // request, and provably near-optimal balance under load.
+  const std::uint64_t tick = placement_tick_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t i = static_cast<std::size_t>(tick % n);
+  const std::size_t j = (i + 1 + static_cast<std::size_t>((tick / n) % (n - 1))) % n;
+  Backend* a = order[i];
+  Backend* b = order[j];
+  const auto less_loaded = [](Backend* x, Backend* y) {
+    const std::uint32_t xd = x->inflight.load(std::memory_order_relaxed);
+    const std::uint32_t yd = y->inflight.load(std::memory_order_relaxed);
+    if (xd != yd) return xd < yd;
+    const std::uint64_t xb = x->busy_ns.load(std::memory_order_relaxed);
+    const std::uint64_t yb = y->busy_ns.load(std::memory_order_relaxed);
+    if (xb != yb) return xb < yb;
+    return x->enrol_index < y->enrol_index;
+  };
+  if (less_loaded(b, a)) std::swap(a, b);
+
+  // Spill-over tail in enrolment order, so appraisal failures and full
+  // queues walk the whole fleet rather than wedging the request.
+  std::vector<Backend*> candidates;
+  candidates.reserve(n);
+  candidates.push_back(a);
+  candidates.push_back(b);
+  for (Backend* rest : order)
+    if (rest != a && rest != b) candidates.push_back(rest);
+  return candidates;
+}
+
+// -- request handling --------------------------------------------------------
+
+Result<Bytes> Gateway::handle_request(std::uint64_t conn, ByteView request) {
+  auto op = peek_op(request);
+  if (!op.ok()) return Result<Bytes>::err(op.error());
+  switch (*op) {
+    case Op::Attach: return handle_attach(conn, request);
+    case Op::LoadModule: return handle_load_module(request);
+    case Op::Invoke: return handle_invoke(request);
+    case Op::Stats: return handle_stats(request);
+    case Op::Detach: return handle_detach(request);
+    case Op::Submit: return handle_submit(request);
+    case Op::Poll: return handle_poll(request);
+  }
+  return Result<Bytes>::err("gateway: unknown opcode");
+}
+
+Result<Bytes> Gateway::handle_attach(std::uint64_t conn, ByteView request) {
+  auto req = AttachRequest::decode(request);
+  if (!req.ok()) return Result<Bytes>::err(req.error());
+  std::vector<Backend*> fleet;
+  {
+    std::lock_guard<std::mutex> lock(backends_mu_);
+    fleet = backend_order_;
+  }
+  if (fleet.empty()) return Result<Bytes>::err("gateway: no devices enrolled");
+
+  const std::uint64_t now = hw::monotonic_ns();
+  SessionPtr session = sessions_.attach(req->client, now);
+
+  // Attest the whole fleet up front so invokes on this session are RA-free
+  // until the policy invalidates the evidence. Each handshake is a work
+  // item on its device's worker (forced past the bound: attach is control
+  // plane), so the fleet proves itself in parallel.
+  struct Attested {
+    std::shared_ptr<std::promise<Result<std::uint32_t>>> promise;
+    std::future<Result<std::uint32_t>> future;
+  };
+  std::vector<Attested> pending;
+  for (Backend* backend : fleet) {
+    auto promise = std::make_shared<std::promise<Result<std::uint32_t>>>();
+    auto future = promise->get_future();
+    Status admitted = post(
+        *backend,
+        [this, backend, session, promise]() {
+          auto outcome = [&]() -> Result<std::uint32_t> {
+            if (stopping_.load(std::memory_order_acquire))
+              return Result<std::uint32_t>::err("gateway: shutting down");
+            std::uint64_t boot_count = 0;
+            {
+              std::lock_guard<std::mutex> lock(backend->state_mu);
+              boot_count = backend->boot_count;
+            }
+            return sessions_.ensure_attested(
+                *session, backend->hostname, boot_count, hw::monotonic_ns(),
+                [&] { return run_handshake(*backend); });
+          }();
+          backend->inflight.fetch_sub(1, std::memory_order_release);
+          promise->set_value(std::move(outcome));
+        },
+        /*force=*/true);
+    if (!admitted.ok()) {
+      promise->set_value(Result<std::uint32_t>::err(admitted.error()));
+    }
+    pending.push_back(Attested{std::move(promise), std::move(future)});
+  }
+
+  AttachResponse resp;
+  resp.session_id = session->id;
+  std::string last_error;
+  for (Attested& attested : pending) {
+    auto exchanges = attested.future.get();
+    if (!exchanges.ok()) {
+      last_error = exchanges.error();
+      continue;
+    }
+    ++resp.devices_attested;
+    resp.ra_exchanges += *exchanges;
+  }
+  if (resp.devices_attested == 0) {
+    sessions_.detach(session->id);
+    return Result<Bytes>::err("gateway: no device passed appraisal: " + last_error);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_sessions_[conn].push_back(session->id);
+  }
+  return ok_envelope(resp.encode());
+}
+
+Result<Bytes> Gateway::handle_load_module(ByteView request) {
+  auto req = LoadModuleRequest::decode(request);
+  if (!req.ok()) return Result<Bytes>::err(req.error());
+  if (!sessions_.find(req->session_id))
+    return Result<Bytes>::err("gateway: unknown session");
+
+  LoadModuleResponse resp;
+  resp.measurement = crypto::sha256(req->binary);
+  std::lock_guard<std::mutex> lock(binaries_mu_);
+  resp.already_registered = binaries_.contains(resp.measurement);
+  if (!resp.already_registered)
+    register_binary(resp.measurement, std::move(req->binary));
+  return ok_envelope(resp.encode());
+}
+
+Result<std::future<Result<InvokeResponse>>> Gateway::post_invoke(
+    Backend& backend, const SessionPtr& session, const InvokeRequest& request) {
+  auto promise = std::make_shared<std::promise<Result<InvokeResponse>>>();
+  auto future = promise->get_future();
+  Status admitted =
+      post(backend, [this, backend = &backend, session, request, promise]() {
+        auto outcome = execute_invoke(*backend, session, request);
+        backend->inflight.fetch_sub(1, std::memory_order_release);
+        promise->set_value(std::move(outcome));
+      });
+  if (!admitted.ok())
+    return Result<std::future<Result<InvokeResponse>>>::err(admitted.error());
+  return future;
+}
+
+Result<InvokeResponse> Gateway::dispatch_invoke_sync(const SessionPtr& session,
+                                                     const InvokeRequest& request) {
+  std::string last_error = "gateway: no devices enrolled";
+  for (Backend* backend : placement_candidates()) {
+    auto future = post_invoke(*backend, session, request);
+    if (!future.ok()) {
+      last_error = future.error();
+      continue;  // spill to the next candidate
+    }
+    auto result = future->get();
+    if (result.ok()) return result;
+    last_error = result.error();
+    // Trust decides placement: a device failing appraisal is skipped in
+    // favour of the next candidate rather than wedging the session.
+    if (!is_appraisal_failure(last_error))
+      return Result<InvokeResponse>::err(last_error);
+  }
+  // Whatever the spill path visited, a QUEUE_FULL terminal answer means
+  // the client was bounced with backpressure: count it.
+  if (is_queue_full(last_error))
+    queue_full_rejections_.fetch_add(1, std::memory_order_relaxed);
+  return Result<InvokeResponse>::err(last_error);
+}
+
+Result<Bytes> Gateway::handle_invoke(ByteView request) {
+  auto req = InvokeRequest::decode(request);
+  if (!req.ok()) return Result<Bytes>::err(req.error());
+  SessionPtr session = sessions_.find(req->session_id);
+  if (!session) return Result<Bytes>::err("gateway: unknown session");
+
+  auto result = dispatch_invoke_sync(session, *req);
+  if (!result.ok()) {
+    if (is_queue_full(result.error())) return busy_envelope(result.error());
+    return Result<Bytes>::err(result.error());
+  }
+  return ok_envelope(result->encode());
+}
+
+Result<Bytes> Gateway::handle_submit(ByteView request) {
+  auto req = SubmitRequest::decode(request);
+  if (!req.ok()) return Result<Bytes>::err(req.error());
+  SessionPtr session = sessions_.find(req->invoke.session_id);
+  if (!session) return Result<Bytes>::err("gateway: unknown session");
+
+  std::string last_error = "gateway: no devices enrolled";
+  for (Backend* backend : placement_candidates()) {
+    auto future = post_invoke(*backend, session, req->invoke);
+    if (!future.ok()) {
+      last_error = future.error();
+      continue;  // spill past full queues
+    }
+    const std::uint64_t ticket =
+        next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_[ticket] = PendingInvoke{session->id, std::move(*future)};
+    }
+    SubmitResponse resp;
+    resp.ticket = ticket;
+    return ok_envelope(resp.encode());
+  }
+  if (is_queue_full(last_error)) {
+    queue_full_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return busy_envelope(last_error);
+  }
+  return Result<Bytes>::err(last_error);
+}
+
+Result<Bytes> Gateway::handle_poll(ByteView request) {
+  auto req = PollRequest::decode(request);
+  if (!req.ok()) return Result<Bytes>::err(req.error());
+
+  PollResponse resp;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    const auto it = pending_.find(req->ticket);
+    if (it == pending_.end())
+      return Result<Bytes>::err("gateway: unknown ticket");
+    if (it->second.session_id != req->session_id)
+      return Result<Bytes>::err("gateway: ticket belongs to another session");
+    if (it->second.result.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready)
+      return ok_envelope(resp.encode());  // ready == false: poll again
+    auto result = it->second.result.get();
+    pending_.erase(it);
+    resp.ready = true;
+    if (result.ok())
+      resp.result = std::move(*result);
+    else
+      resp.error = result.error();
+  }
+  return ok_envelope(resp.encode());
+}
+
+// Runs on the backend's worker thread: the only thread that ever enters
+// this device's TEE. Lock discipline (DESIGN.md §2): session.mu and
+// cache.mu are leaves; neither is held across the guest invoke below.
+Result<InvokeResponse> Gateway::execute_invoke(Backend& backend,
+                                               const SessionPtr& session,
+                                               const InvokeRequest& request) {
+  using R = Result<InvokeResponse>;
+  if (stopping_.load(std::memory_order_acquire)) return R::err("gateway: shutting down");
+  if (session->closed.load(std::memory_order_acquire))
+    return R::err("gateway: session detached");
+
+  std::shared_ptr<ModuleCache> cache;
+  std::uint64_t boot_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(backend.state_mu);
+    cache = backend.cache;
+    boot_count = backend.boot_count;
+  }
+  const std::string& hostname = backend.hostname;
+
+  // Trust first: the session must hold fresh evidence for this device
+  // (free when cached; a TTL/boot-count miss re-runs the handshake).
+  auto exchanges = sessions_.ensure_attested(
+      *session, hostname, boot_count, hw::monotonic_ns(),
+      [&] { return run_handshake(backend); });
+  if (!exchanges.ok()) return R::err(exchanges.error());
+
+  // The registry is only consulted on a cold cache miss, and the binary is
+  // copied out so the worker never holds a view into a registry another
+  // client may be evicting.
+  Bytes binary;
+  if (!cache->contains(request.measurement)) binary = copy_binary(request.measurement);
+
+  core::AppConfig app_config;
+  app_config.heap_bytes = request.heap_bytes
+                              ? static_cast<std::size_t>(request.heap_bytes)
+                              : config_.default_heap_bytes;
+  auto lease = cache->acquire(request.measurement, binary, app_config);
+  if (!lease.ok()) return R::err(lease.error());
+
+  const std::uint64_t t0 = hw::monotonic_ns();
+  auto result = lease->app->invoke(request.entry, request.args);
+  const std::uint64_t invoke_ns = hw::monotonic_ns() - t0;
+
+  backend.busy_ns.fetch_add(lease->launch_ns + invoke_ns, std::memory_order_relaxed);
+  backend.invocations.fetch_add(1, std::memory_order_relaxed);
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+  session->invocations.fetch_add(1, std::memory_order_relaxed);
+
+  if (!result.ok()) return R::err("gateway: " + result.error());
+  // Only clean exits go back to the warm pool; trapped instances are torn
+  // down with their sandbox state.
+  cache->release(std::move(lease->app));
+
+  InvokeResponse resp;
+  resp.results = std::move(*result);
+  resp.device = hostname;
+  resp.module_cache_hit = lease->module_cache_hit;
+  resp.pool_hit = lease->pool_hit;
+  resp.launch_ns = lease->launch_ns;
+  resp.invoke_ns = invoke_ns;
+  resp.ra_exchanges = *exchanges;
+  return resp;
+}
+
+Result<attestation::Evidence> Gateway::run_handshake(Backend& backend) {
   using Ev = Result<attestation::Evidence>;
-  core::Device& device = *backend.device;
+  const std::string& hostname = backend.hostname;
+  core::Device* device_snapshot = nullptr;
+  std::shared_ptr<crypto::Fortuna> rng;
+  crypto::Sha256Digest claim;
+  {
+    std::lock_guard<std::mutex> lock(backend.state_mu);
+    device_snapshot = backend.device;
+    rng = backend.attester_rng;
+    claim = backend.platform_claim;
+  }
+  core::Device& device = *device_snapshot;
   // The attester state machine runs inside the device's TEE; its socket
   // calls are relayed by the supplicant across the fabric to the gateway's
   // RA endpoint (exactly the SS V deployment, with the gateway as relying
@@ -87,7 +513,7 @@ Result<attestation::Evidence> Gateway::run_handshake(const std::string& hostname
     optee::Supplicant* supplicant = device.os().supplicant();
     if (!supplicant) return Ev::err("gateway: " + hostname + ": no supplicant");
 
-    ra::AttesterSession attester(*backend.attester_rng, verifier_->identity_key());
+    ra::AttesterSession attester(*rng, verifier_->identity_key());
     auto conn = supplicant->socket_connect(config_.hostname, config_.ra_port);
     if (!conn.ok()) return Ev::err(conn.error());
     struct CloseGuard {
@@ -102,8 +528,7 @@ Result<attestation::Evidence> Gateway::run_handshake(const std::string& hostname
     attestation::Evidence evidence;
     auto msg2 = attester.handle_msg1(
         *msg1, [&](const std::array<std::uint8_t, 32>& anchor) {
-          evidence = device.attestation_service().issue_evidence(
-              anchor, backend.platform_claim);
+          evidence = device.attestation_service().issue_evidence(anchor, claim);
           return evidence;
         });
     if (!msg2.ok()) return Ev::err(msg2.error());
@@ -116,145 +541,10 @@ Result<attestation::Evidence> Gateway::run_handshake(const std::string& hostname
   });
 }
 
-std::vector<Gateway::Backend*> Gateway::backends_by_load() {
-  std::vector<Backend*> order;
-  order.reserve(backends_.size());
-  for (auto& [name, backend] : backends_) order.push_back(&backend);
-  std::stable_sort(order.begin(), order.end(), [](const Backend* a, const Backend* b) {
-    return a->inflight != b->inflight ? a->inflight < b->inflight
-                                      : a->busy_ns < b->busy_ns;
-  });
-  return order;
-}
+// -- binary registry ---------------------------------------------------------
 
-Result<Bytes> Gateway::handle_request(ByteView request) {
-  auto op = peek_op(request);
-  if (!op.ok()) return Result<Bytes>::err(op.error());
-  switch (*op) {
-    case Op::Attach: return handle_attach(request);
-    case Op::LoadModule: return handle_load_module(request);
-    case Op::Invoke: return handle_invoke(request);
-    case Op::Stats: return handle_stats(request);
-    case Op::Detach: return handle_detach(request);
-  }
-  return Result<Bytes>::err("gateway: unknown opcode");
-}
-
-Result<Bytes> Gateway::handle_attach(ByteView request) {
-  auto req = AttachRequest::decode(request);
-  if (!req.ok()) return Result<Bytes>::err(req.error());
-  if (backends_.empty()) return Result<Bytes>::err("gateway: no devices enrolled");
-
-  const std::uint64_t now = hw::monotonic_ns();
-  Session& session = sessions_.attach(req->client, now);
-
-  // Attest the whole fleet up front so invokes on this session are RA-free
-  // until the policy invalidates the evidence.
-  AttachResponse resp;
-  resp.session_id = session.id;
-  std::string last_error;
-  for (auto& [name, backend] : backends_) {
-    auto exchanges = sessions_.ensure_attested(
-        session, name, backend.boot_count, now,
-        [&]() { return run_handshake(name, backend); });
-    if (!exchanges.ok()) {
-      last_error = exchanges.error();
-      continue;
-    }
-    ++resp.devices_attested;
-    resp.ra_exchanges += *exchanges;
-  }
-  if (resp.devices_attested == 0) {
-    sessions_.detach(session.id);
-    return Result<Bytes>::err("gateway: no device passed appraisal: " + last_error);
-  }
-  return ok_envelope(resp.encode());
-}
-
-Result<Bytes> Gateway::handle_load_module(ByteView request) {
-  auto req = LoadModuleRequest::decode(request);
-  if (!req.ok()) return Result<Bytes>::err(req.error());
-  if (!sessions_.find(req->session_id))
-    return Result<Bytes>::err("gateway: unknown session");
-
-  LoadModuleResponse resp;
-  resp.measurement = crypto::sha256(req->binary);
-  resp.already_registered = binaries_.contains(resp.measurement);
-  if (!resp.already_registered)
-    register_binary(resp.measurement, std::move(req->binary));
-  return ok_envelope(resp.encode());
-}
-
-Result<Bytes> Gateway::handle_invoke(ByteView request) {
-  auto req = InvokeRequest::decode(request);
-  if (!req.ok()) return Result<Bytes>::err(req.error());
-  Session* session = sessions_.find(req->session_id);
-  if (!session) return Result<Bytes>::err("gateway: unknown session");
-
-  // Trust first: the session must hold fresh evidence for the device the
-  // invocation lands on (free when cached; a TTL/boot-count miss re-runs
-  // the handshake). A device failing appraisal is skipped in favour of the
-  // next least-loaded one rather than wedging the session.
-  Backend* backend = nullptr;
-  std::uint32_t ra_exchanges = 0;
-  std::string last_error = "gateway: no devices enrolled";
-  for (Backend* candidate : backends_by_load()) {
-    const std::string& name = candidate->device->hostname();
-    auto exchanges = sessions_.ensure_attested(
-        *session, name, candidate->boot_count, hw::monotonic_ns(),
-        [&]() { return run_handshake(name, *candidate); });
-    if (!exchanges.ok()) {
-      last_error = exchanges.error();
-      continue;
-    }
-    backend = candidate;
-    ra_exchanges = *exchanges;
-    break;
-  }
-  if (!backend) return Result<Bytes>::err(last_error);
-  const std::string& hostname = backend->device->hostname();
-
-  ++backend->inflight;
-  backend->queue_depth_peak = std::max(backend->queue_depth_peak, backend->inflight);
-  struct Depart {
-    Backend* b;
-    ~Depart() { --b->inflight; }
-  } depart{backend};
-
-  const ByteView binary = find_binary(req->measurement);
-  core::AppConfig app_config;
-  app_config.heap_bytes =
-      req->heap_bytes ? static_cast<std::size_t>(req->heap_bytes)
-                      : config_.default_heap_bytes;
-  auto lease = backend->cache->acquire(req->measurement, binary, app_config);
-  if (!lease.ok()) return Result<Bytes>::err(lease.error());
-
-  const std::uint64_t t0 = hw::monotonic_ns();
-  auto result = lease->app->invoke(req->entry, req->args);
-  const std::uint64_t invoke_ns = hw::monotonic_ns() - t0;
-
-  backend->busy_ns += lease->launch_ns + invoke_ns;
-  ++backend->invocations;
-  ++invocations_;
-  ++session->invocations;
-
-  if (!result.ok()) return Result<Bytes>::err("gateway: " + result.error());
-  // Only clean exits go back to the warm pool; trapped instances are torn
-  // down with their sandbox state.
-  backend->cache->release(std::move(lease->app));
-
-  InvokeResponse resp;
-  resp.results = std::move(*result);
-  resp.device = hostname;
-  resp.module_cache_hit = lease->module_cache_hit;
-  resp.pool_hit = lease->pool_hit;
-  resp.launch_ns = lease->launch_ns;
-  resp.invoke_ns = invoke_ns;
-  resp.ra_exchanges = ra_exchanges;
-  return ok_envelope(resp.encode());
-}
-
-ByteView Gateway::find_binary(const crypto::Sha256Digest& measurement) {
+Bytes Gateway::copy_binary(const crypto::Sha256Digest& measurement) {
+  std::lock_guard<std::mutex> lock(binaries_mu_);
   const auto it = binaries_.find(measurement);
   if (it == binaries_.end()) return {};
   it->second.last_used = ++binaries_tick_;
@@ -278,6 +568,43 @@ void Gateway::register_binary(const crypto::Sha256Digest& measurement, Bytes bin
                     RegisteredBinary{std::move(binary), ++binaries_tick_});
 }
 
+// -- session teardown --------------------------------------------------------
+
+bool Gateway::detach_session(std::uint64_t session_id, bool drop_tickets) {
+  // Order matters: mark the session closed FIRST so queued work items fail
+  // fast instead of executing against a half-dropped session. Workers
+  // fulfilling an erased ticket's promise are harmless — the promise's
+  // shared state outlives the table entry.
+  if (!sessions_.detach(session_id)) return false;
+  if (drop_tickets) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.session_id == session_id)
+        it = pending_.erase(it);
+      else
+        ++it;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [conn, ids] : conn_sessions_)
+      std::erase(ids, session_id);
+  }
+  return true;
+}
+
+void Gateway::on_client_close(std::uint64_t conn) {
+  std::vector<std::uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    const auto it = conn_sessions_.find(conn);
+    if (it == conn_sessions_.end()) return;
+    ids = std::move(it->second);
+    conn_sessions_.erase(it);
+  }
+  for (std::uint64_t id : ids) detach_session(id, /*drop_tickets=*/true);
+}
+
 Result<Bytes> Gateway::handle_stats(ByteView request) {
   auto req = StatsRequest::decode(request);
   if (!req.ok()) return Result<Bytes>::err(req.error());
@@ -289,31 +616,41 @@ Result<Bytes> Gateway::handle_stats(ByteView request) {
 Result<Bytes> Gateway::handle_detach(ByteView request) {
   auto req = DetachRequest::decode(request);
   if (!req.ok()) return Result<Bytes>::err(req.error());
-  if (!sessions_.detach(req->session_id))
+  if (!detach_session(req->session_id, /*drop_tickets=*/false))
     return Result<Bytes>::err("gateway: unknown session");
   return ok_envelope({});
 }
 
-GatewayStats Gateway::stats() const {
+GatewayStats Gateway::stats() {
   GatewayStats stats;
   stats.sessions_active = sessions_.active();
   stats.sessions_total = sessions_.sessions_total();
   stats.handshakes_run = sessions_.handshakes_run();
   stats.handshakes_reused = sessions_.handshakes_reused();
-  stats.modules_registered = binaries_.size();
-  stats.invocations = invocations_;
-  for (const auto& [name, backend] : backends_) {
+  stats.invocations = invocations_.load(std::memory_order_relaxed);
+  stats.queue_full_rejections =
+      queue_full_rejections_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(binaries_mu_);
+    stats.modules_registered = binaries_.size();
+  }
+  std::lock_guard<std::mutex> lock(backends_mu_);
+  for (auto& [name, backend] : backends_) {
     DeviceStats d;
     d.hostname = name;
-    d.boot_count = backend.boot_count;
-    d.invocations = backend.invocations;
-    d.busy_ns = backend.busy_ns;
-    d.queue_depth_peak = backend.queue_depth_peak;
-    d.secure_heap_in_use = backend.device->os().heap_in_use();
-    d.cache_hits = backend.cache->hits();
-    d.cache_misses = backend.cache->misses();
-    d.cache_evictions = backend.cache->evictions();
-    d.pool_hits = backend.cache->pool_hits();
+    d.invocations = backend.invocations.load(std::memory_order_relaxed);
+    d.busy_ns = backend.busy_ns.load(std::memory_order_relaxed);
+    d.queue_depth_peak = backend.queue_depth_peak.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> state(backend.state_mu);
+      d.secure_heap_in_use = backend.device->os().heap_in_use();
+      d.boot_count = backend.boot_count;
+      const ModuleCache& cache = *backend.cache;
+      d.cache_hits = cache.hits();
+      d.cache_misses = cache.misses();
+      d.cache_evictions = cache.evictions();
+      d.pool_hits = cache.pool_hits();
+    }
     stats.devices.push_back(std::move(d));
   }
   return stats;
@@ -361,6 +698,75 @@ Result<InvokeResponse> GatewayClient::invoke(const InvokeRequest& request) {
   auto payload = call(request.encode());
   if (!payload.ok()) return Result<InvokeResponse>::err(payload.error());
   return InvokeResponse::decode(*payload);
+}
+
+Result<SubmitResponse> GatewayClient::submit(const InvokeRequest& request) {
+  auto payload = call(SubmitRequest{request}.encode());
+  if (!payload.ok()) return Result<SubmitResponse>::err(payload.error());
+  return SubmitResponse::decode(*payload);
+}
+
+Result<PollResponse> GatewayClient::poll(std::uint64_t session_id,
+                                         std::uint64_t ticket) {
+  PollRequest request;
+  request.session_id = session_id;
+  request.ticket = ticket;
+  auto payload = call(request.encode());
+  if (!payload.ok()) return Result<PollResponse>::err(payload.error());
+  return PollResponse::decode(*payload);
+}
+
+std::vector<Result<InvokeResponse>> GatewayClient::invoke_batch(
+    const std::vector<InvokeRequest>& requests) {
+  std::vector<Result<InvokeResponse>> results(
+      requests.size(), Result<InvokeResponse>::err("gateway client: not submitted"));
+  std::map<std::uint64_t, std::size_t> outstanding;  // ticket -> request index
+
+  // Polls every outstanding ticket once, recording completions. Returns
+  // whether anything completed (progress for the backpressure loop).
+  const auto drain = [&]() {
+    bool progressed = false;
+    for (auto it = outstanding.begin(); it != outstanding.end();) {
+      const std::size_t index = it->second;
+      auto polled = poll(requests[index].session_id, it->first);
+      if (!polled.ok()) {
+        results[index] = Result<InvokeResponse>::err(polled.error());
+        it = outstanding.erase(it);
+        progressed = true;
+        continue;
+      }
+      if (!polled->ready) {
+        ++it;
+        continue;
+      }
+      results[index] = polled->error.empty()
+                           ? Result<InvokeResponse>(std::move(polled->result))
+                           : Result<InvokeResponse>::err(polled->error);
+      it = outstanding.erase(it);
+      progressed = true;
+    }
+    return progressed;
+  };
+
+  std::size_t next = 0;
+  while (next < requests.size() || !outstanding.empty()) {
+    if (next < requests.size()) {
+      auto submitted = submit(requests[next]);
+      if (submitted.ok()) {
+        outstanding[submitted->ticket] = next++;
+        continue;  // pipeline: keep submitting while the gateway admits
+      }
+      if (!is_queue_full(submitted.error())) {
+        results[next++] = Result<InvokeResponse>::err(submitted.error());
+        continue;
+      }
+      // QUEUE_FULL backpressure: fall through and drain before retrying.
+    }
+    // Yield whenever nothing completed — including when outstanding is
+    // empty but SUBMIT keeps bouncing (other clients own every slot).
+    if (!drain()) std::this_thread::yield();
+  }
+  return results;
 }
 
 Result<GatewayStats> GatewayClient::stats(std::uint64_t session_id) {

@@ -17,13 +17,27 @@
 //     (device, measurement); warm invokes reuse the prepared module or a
 //     pooled instance outright.
 //
-// The dispatcher routes each invocation to the least-loaded device
-// (minimum in-flight depth, then accumulated busy time) and keeps
-// per-device queue-depth accounting for the stats endpoint.
+// Execution model (see DESIGN.md §2 "Concurrency model"): every enrolled
+// device is an actor. Its Backend owns a dedicated worker thread draining
+// a bounded run queue; all TEE entry — handshakes and guest invokes — for
+// that device happens on that one thread, so no device state is ever
+// shared mutably. Dispatcher handlers run on the calling client's thread
+// and only ADMIT work: they pick a backend by sampled two-choice load
+// (queue depth, then busy time), enqueue a work item, and either wait for
+// the result (INVOKE) or hand back a ticket (SUBMIT/POLL). When every
+// eligible queue is at its bound the request is bounced with QUEUE_FULL
+// backpressure instead of being admitted unbounded.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "core/device.hpp"
 #include "gateway/module_cache.hpp"
@@ -45,84 +59,177 @@ struct GatewayConfig {
   /// least-recently-used binaries are dropped beyond it (clients re-upload
   /// on the resulting cold miss).
   std::size_t binary_registry_budget_bytes = 64 * 1024 * 1024;
+  /// Bound of each backend's run queue (queued + executing work items).
+  /// INVOKE/SUBMIT admission past it answers QUEUE_FULL.
+  std::size_t worker_queue_capacity = 64;
 };
 
 class Gateway {
  public:
   Gateway(net::Fabric& fabric, GatewayConfig config, ByteView identity_seed);
+  ~Gateway();
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
 
   /// Binds the dispatcher and RA endpoints on the fabric.
   Status start();
 
   /// Enrols a device: endorses its attestation key, registers its platform
-  /// claim as a reference value, and gives it a module cache. Re-enrolling
-  /// the same hostname models a reboot/board swap: the boot count bumps,
-  /// which invalidates every session's cached evidence for that device.
+  /// claim as a reference value, gives it a module cache and starts its
+  /// worker thread. Re-enrolling the same hostname models a reboot/board
+  /// swap: the boot count bumps, which invalidates every session's cached
+  /// evidence for that device (the worker survives the reboot).
   Status add_device(core::Device& device);
 
-  GatewayStats stats() const;
+  GatewayStats stats();
   SessionManager& sessions() noexcept { return sessions_; }
   ra::Verifier& verifier() noexcept { return *verifier_; }
   const crypto::EcPoint& identity() const noexcept { return verifier_->identity_key(); }
   const GatewayConfig& config() const noexcept { return config_; }
 
  private:
+  /// One enrolled device: an actor with a dedicated worker thread. Only
+  /// that thread enters the device's TEE (handshakes + invokes); the
+  /// dispatcher threads merely enqueue.
   struct Backend {
+    std::string hostname;         ///< immutable after first enrolment
+    std::size_t enrol_index = 0;  ///< stable placement tie-break
+
+    /// Re-enrolment swaps these under state_mu; workers snapshot them so
+    /// a mid-flight invoke keeps the pre-reboot cache (and, on a board
+    /// swap, the pre-swap device) alive instead of racing the swap.
+    std::mutex state_mu;
     core::Device* device = nullptr;
-    std::unique_ptr<ModuleCache> cache;
-    std::unique_ptr<crypto::Fortuna> attester_rng;
+    std::shared_ptr<ModuleCache> cache;
+    std::shared_ptr<crypto::Fortuna> attester_rng;
     crypto::Sha256Digest platform_claim{};
     std::uint64_t boot_count = 0;
-    std::uint32_t inflight = 0;
-    std::uint32_t queue_depth_peak = 0;
-    std::uint64_t busy_ns = 0;
-    std::uint64_t invocations = 0;
+
+    /// Bounded MPSC run queue: any dispatcher thread posts, the one worker
+    /// drains. inflight counts queued + executing and is what admission
+    /// bounds and placement compares.
+    std::mutex queue_mu;
+    std::condition_variable queue_cv;
+    std::deque<std::function<void()>> queue;
+    bool stop = false;
+    std::thread worker;
+
+    std::atomic<std::uint32_t> inflight{0};
+    std::atomic<std::uint32_t> queue_depth_peak{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> invocations{0};
   };
 
-  Result<Bytes> handle_request(ByteView request);
-  Result<Bytes> handle_attach(ByteView request);
+  Result<Bytes> handle_request(std::uint64_t conn, ByteView request);
+  Result<Bytes> handle_attach(std::uint64_t conn, ByteView request);
   Result<Bytes> handle_load_module(ByteView request);
   Result<Bytes> handle_invoke(ByteView request);
+  Result<Bytes> handle_submit(ByteView request);
+  Result<Bytes> handle_poll(ByteView request);
   Result<Bytes> handle_stats(ByteView request);
   Result<Bytes> handle_detach(ByteView request);
 
-  /// Backends in least-loaded order: minimum in-flight depth, then
-  /// accumulated busy time, then enrolment order. The dispatcher walks the
-  /// list so a device that fails appraisal doesn't wedge the session while
-  /// healthy devices sit idle.
-  std::vector<Backend*> backends_by_load();
+  /// Fabric close hook for the dispatcher endpoint: a client that drops
+  /// its connection implicitly detaches every session it attached over it,
+  /// failing that session's queued work instead of racing it.
+  void on_client_close(std::uint64_t conn);
+  /// Detach + unlink the conn mapping. `drop_tickets` additionally purges
+  /// the session's pending SUBMIT tickets: set on connection loss (nobody
+  /// is left to poll them), clear on explicit DETACH so the client can
+  /// still redeem the failures of its drained work items.
+  bool detach_session(std::uint64_t session_id, bool drop_tickets);
+
+  /// Placement candidates, best first: a sampled two-choice pick (lower
+  /// queue depth, then lower accumulated busy time, then enrolment order)
+  /// followed by the remaining backends as spill-over, so a device that
+  /// fails appraisal or a full queue doesn't wedge the request. O(1)
+  /// comparisons in the common case — no per-request sort.
+  std::vector<Backend*> placement_candidates();
+
+  /// Enqueues a work item on the backend's run queue. Fails QUEUE_FULL at
+  /// the bound unless `force` (control-plane items: attach attestation).
+  Status post(Backend& backend, std::function<void()> task, bool force = false);
+  void worker_loop(Backend& backend);
+
+  /// The INVOKE work item body. Runs ON the backend's worker thread:
+  /// attests the session if needed, acquires a cached instance, invokes,
+  /// and releases clean exits back to the warm pool.
+  Result<InvokeResponse> execute_invoke(Backend& backend, const SessionPtr& session,
+                                        const InvokeRequest& request);
+
+  /// Admits an invoke to the best backend and returns its future, walking
+  /// spill-over candidates past full queues. On total backpressure returns
+  /// a QUEUE_FULL error. `sync` also re-admits to the next candidate when
+  /// a device fails appraisal (the async path reports the failure through
+  /// the ticket instead).
+  Result<InvokeResponse> dispatch_invoke_sync(const SessionPtr& session,
+                                              const InvokeRequest& request);
+
+  /// Posts an invoke work item to `backend` and returns the future its
+  /// worker will fulfil (QUEUE_FULL Status at the admission bound).
+  /// Shared by the sync INVOKE and async SUBMIT paths.
+  Result<std::future<Result<InvokeResponse>>> post_invoke(
+      Backend& backend, const SessionPtr& session, const InvokeRequest& request);
 
   /// Drives the attester side of the WaTZ protocol inside the device's TEE
-  /// against this gateway's RA endpoint. The returned evidence has already
-  /// been appraised by verifier_ en route.
-  Result<attestation::Evidence> run_handshake(const std::string& hostname,
-                                              Backend& backend);
+  /// against this gateway's RA endpoint. Runs on the backend's worker
+  /// thread. The returned evidence has already been appraised by verifier_
+  /// en route.
+  Result<attestation::Evidence> run_handshake(Backend& backend);
 
   struct RegisteredBinary {
     Bytes bytes;
     std::uint64_t last_used = 0;
   };
 
-  /// Returns the registered binary for `measurement`, or empty when never
-  /// uploaded / already evicted.
-  ByteView find_binary(const crypto::Sha256Digest& measurement);
+  /// Copies the registered binary for `measurement` out of the registry
+  /// (empty when never uploaded / already evicted). A copy, not a view:
+  /// the worker consuming it must not race registry eviction.
+  Bytes copy_binary(const crypto::Sha256Digest& measurement);
   /// Inserts under the registry budget, evicting LRU binaries to fit.
+  /// Caller holds binaries_mu_.
   void register_binary(const crypto::Sha256Digest& measurement, Bytes binary);
 
   net::Fabric& fabric_;
   GatewayConfig config_;
   crypto::Fortuna rng_;  // must outlive verifier_, which holds a reference
   std::unique_ptr<ra::Verifier> verifier_;
+  /// Serialises the shared verifier: RA-endpoint messages arrive from
+  /// every backend worker concurrently during parallel attach.
+  std::mutex ra_mu_;
   SessionManager sessions_;
+
+  mutable std::mutex backends_mu_;  // guards backends_ / backend_order_ shape
   std::map<std::string, Backend> backends_;  // keyed by device hostname
-  std::map<crypto::Sha256Digest, RegisteredBinary> binaries_;  // LOAD_MODULE registry
+  std::vector<Backend*> backend_order_;      // enrolment order (stable ptrs)
+  std::atomic<std::uint64_t> placement_tick_{0};
+
+  std::mutex binaries_mu_;  // guards the LOAD_MODULE registry
+  std::map<crypto::Sha256Digest, RegisteredBinary> binaries_;
   std::size_t binaries_bytes_ = 0;
   std::uint64_t binaries_tick_ = 0;
-  std::uint64_t invocations_ = 0;
+
+  /// SUBMIT tickets awaiting POLL.
+  struct PendingInvoke {
+    std::uint64_t session_id = 0;
+    std::future<Result<InvokeResponse>> result;
+  };
+  std::mutex pending_mu_;
+  std::map<std::uint64_t, PendingInvoke> pending_;
+  std::atomic<std::uint64_t> next_ticket_{1};
+
+  std::mutex conn_mu_;  // guards conn_sessions_
+  std::map<std::uint64_t, std::vector<std::uint64_t>> conn_sessions_;
+
+  std::atomic<std::uint64_t> invocations_{0};
+  std::atomic<std::uint64_t> queue_full_rejections_{0};
+  std::atomic<bool> stopping_{false};
   bool started_ = false;
 };
 
 /// Client-side convenience wrapper: frames requests, opens envelopes.
+/// One instance per client thread — the wrapper itself is not locked, but
+/// any number of GatewayClients may drive the same gateway concurrently.
 class GatewayClient {
  public:
   explicit GatewayClient(net::Fabric& fabric) : fabric_(fabric) {}
@@ -136,6 +243,15 @@ class GatewayClient {
   Result<AttachResponse> attach(const std::string& client_name);
   Result<LoadModuleResponse> load_module(std::uint64_t session_id, ByteView binary);
   Result<InvokeResponse> invoke(const InvokeRequest& request);
+  /// Async pair: submit returns a ticket immediately (or QUEUE_FULL, see
+  /// is_queue_full); poll redeems it.
+  Result<SubmitResponse> submit(const InvokeRequest& request);
+  Result<PollResponse> poll(std::uint64_t session_id, std::uint64_t ticket);
+  /// Pipelined batch: keeps up to the gateway's admission bound in flight
+  /// via SUBMIT, absorbing QUEUE_FULL backpressure by draining completed
+  /// tickets, and returns one result per request, in order.
+  std::vector<Result<InvokeResponse>> invoke_batch(
+      const std::vector<InvokeRequest>& requests);
   Result<GatewayStats> stats(std::uint64_t session_id);
   Status detach(std::uint64_t session_id);
 

@@ -6,13 +6,14 @@ namespace watz::gateway {
 
 Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
                                       ByteView binary, const core::AppConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(measurement);
 
   // Cold miss: run the full pipeline and retain the prepared form.
   if (it == entries_.end()) {
     if (binary.empty())
       return Result<AppLease>::err("module cache: measurement unknown and no binary");
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t t0 = hw::monotonic_ns();  // cold launch pays it all
     auto prepared = runtime_.prepare(binary, config.mode);
     if (!prepared.ok()) return Result<AppLease>::err(prepared.error());
@@ -22,7 +23,7 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
     Entry entry;
     entry.prepared = std::move(*prepared);
     entry.last_used = ++tick_;
-    charged_bytes_ += entry.prepared->code_bytes();
+    charged_bytes_.fetch_add(entry.prepared->code_bytes(), std::memory_order_relaxed);
     it = entries_.emplace(measurement, std::move(entry)).first;
 
     auto app = runtime_.instantiate(it->second.prepared, config);
@@ -35,7 +36,7 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
 
   Entry& entry = it->second;
   entry.last_used = ++tick_;
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
 
   // The cached prepared form dictates the execution mode, as on the
   // instantiate path (which rejects a mismatch rather than silently
@@ -49,13 +50,13 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
   // than requested would silently change the app's memory ceiling).
   for (auto pooled = entry.pool.begin(); pooled != entry.pool.end(); ++pooled) {
     if ((*pooled)->heap_bytes() != config.heap_bytes) continue;
-    ++pool_hits_;
+    pool_hits_.fetch_add(1, std::memory_order_relaxed);
     AppLease lease;
     lease.app = std::move(*pooled);
     entry.pool.erase(pooled);
     const std::size_t freed = lease.app->heap_bytes();
     entry.pooled_bytes -= freed;
-    charged_bytes_ -= freed;
+    charged_bytes_.fetch_sub(freed, std::memory_order_relaxed);
     lease.module_cache_hit = true;
     lease.pool_hit = true;
     return lease;
@@ -74,6 +75,7 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
 
 void ModuleCache::release(std::unique_ptr<core::LoadedApp> app) {
   if (!app) return;
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(app->measurement());
   if (it == entries_.end()) return;  // module was evicted meanwhile: drop
   Entry& entry = it->second;
@@ -85,16 +87,18 @@ void ModuleCache::release(std::unique_ptr<core::LoadedApp> app) {
   if (!app->instance().reinitialize().ok()) return;
   app->wasi().clear_output();
   const std::size_t cost = app->heap_bytes();
-  if (charged_bytes_ + cost > config_.budget_bytes)
+  if (charged_bytes_.load(std::memory_order_relaxed) + cost > config_.budget_bytes)
     make_room(cost, &it->first);
-  if (charged_bytes_ + cost > config_.budget_bytes) return;  // still no room
+  if (charged_bytes_.load(std::memory_order_relaxed) + cost > config_.budget_bytes)
+    return;  // still no room
   entry.pooled_bytes += cost;
-  charged_bytes_ += cost;
+  charged_bytes_.fetch_add(cost, std::memory_order_relaxed);
   entry.pool.push_back(std::move(app));
 }
 
 void ModuleCache::make_room(std::size_t incoming, const crypto::Sha256Digest* keep) {
-  while (charged_bytes_ + incoming > config_.budget_bytes) {
+  while (charged_bytes_.load(std::memory_order_relaxed) + incoming >
+         config_.budget_bytes) {
     auto victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
       if (keep && it->first == *keep) continue;
@@ -102,9 +106,9 @@ void ModuleCache::make_room(std::size_t incoming, const crypto::Sha256Digest* ke
         victim = it;
     }
     if (victim == entries_.end()) return;  // nothing evictable
-    charged_bytes_ -= entry_bytes(victim->second);
+    charged_bytes_.fetch_sub(entry_bytes(victim->second), std::memory_order_relaxed);
     entries_.erase(victim);
-    ++evictions_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

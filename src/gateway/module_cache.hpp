@@ -12,9 +12,21 @@
 // enforces a byte budget: retained code pages plus pooled guest heaps are
 // charged, and least-recently-used measurements are evicted whole when a
 // newcomer would overflow the budget.
+//
+// Concurrency: acquire/release/contains are serialised by a per-cache
+// mutex, held for the whole operation (including prepare/instantiate —
+// the secure world of one device is single-threaded anyway, and holding it
+// is what guarantees a pooled instance is never handed to two tenants and
+// the budget is never overshot by a racing insert). The mutex is a leaf:
+// no fabric, session or gateway lock is ever taken under it, and it is
+// never held across a guest invoke (invokes happen on the lease, outside
+// the cache). Counters are atomic so fleet stats can sample them from
+// other threads without taking the lock.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "core/runtime.hpp"
@@ -53,15 +65,27 @@ class ModuleCache {
   void release(std::unique_ptr<core::LoadedApp> app);
 
   bool contains(const crypto::Sha256Digest& measurement) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return entries_.contains(measurement);
   }
 
-  std::size_t charged_bytes() const noexcept { return charged_bytes_; }
-  std::size_t cached_modules() const noexcept { return entries_.size(); }
-  std::uint64_t hits() const noexcept { return hits_; }
-  std::uint64_t misses() const noexcept { return misses_; }
-  std::uint64_t evictions() const noexcept { return evictions_; }
-  std::uint64_t pool_hits() const noexcept { return pool_hits_; }
+  std::size_t charged_bytes() const noexcept {
+    return charged_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t cached_modules() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  std::uint64_t hits() const noexcept { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pool_hits() const noexcept {
+    return pool_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
@@ -77,17 +101,19 @@ class ModuleCache {
 
   /// Evicts LRU entries (sparing `keep`) until `incoming` more bytes fit
   /// the budget. Best effort: stops when nothing evictable remains.
+  /// Caller holds mu_.
   void make_room(std::size_t incoming, const crypto::Sha256Digest* keep);
 
   core::WatzRuntime& runtime_;
   ModuleCacheConfig config_;
+  mutable std::mutex mu_;  // guards entries_ and tick_
   std::map<crypto::Sha256Digest, Entry> entries_;
   std::uint64_t tick_ = 0;
-  std::size_t charged_bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t pool_hits_ = 0;
+  std::atomic<std::size_t> charged_bytes_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> pool_hits_{0};
 };
 
 }  // namespace watz::gateway

@@ -89,7 +89,7 @@ Result<Op> peek_op(ByteView request) {
   if (request.empty()) return Result<Op>::err("gateway: empty request");
   const std::uint8_t op = request[0];
   if (op < static_cast<std::uint8_t>(Op::Attach) ||
-      op > static_cast<std::uint8_t>(Op::Detach))
+      op > static_cast<std::uint8_t>(Op::Poll))
     return Result<Op>::err("gateway: unknown opcode " + std::to_string(op));
   return static_cast<Op>(op);
 }
@@ -109,6 +109,17 @@ Bytes err_envelope(const std::string& message) {
   return out;
 }
 
+Bytes busy_envelope(const std::string& message) {
+  Bytes out;
+  out.push_back(0x02);
+  put_string(out, message);
+  return out;
+}
+
+bool is_queue_full(const std::string& error) {
+  return error.rfind(kQueueFullPrefix, 0) == 0;
+}
+
 Result<Bytes> open_envelope(ByteView response) {
   ByteReader r(response);
   auto status = r.read_u8();
@@ -117,6 +128,10 @@ Result<Bytes> open_envelope(ByteView response) {
     return Bytes(response.begin() + 1, response.end());
   auto message = read_string(r);
   if (!message.ok()) return Result<Bytes>::err(message.error());
+  // Prefix the busy status for is_queue_full(), unless the producer's
+  // message already carries it.
+  if (*status == 0x02 && !is_queue_full(*message))
+    return Result<Bytes>::err(std::string(kQueueFullPrefix) + ": " + *message);
   return Result<Bytes>::err(*message);
 }
 
@@ -198,37 +213,45 @@ Result<LoadModuleResponse> LoadModuleResponse::decode(ByteView data) {
 
 // -- Invoke ------------------------------------------------------------------
 
-Bytes InvokeRequest::encode() const {
-  Bytes out;
-  out.push_back(static_cast<std::uint8_t>(Op::Invoke));
+void InvokeRequest::encode_fields(Bytes& out) const {
   put_u64le(out, session_id);
   put_digest(out, measurement);
   put_string(out, entry);
   put_values(out, args);
   put_u64le(out, heap_bytes);
+}
+
+Result<InvokeRequest> InvokeRequest::decode_fields(ByteReader& r) {
+  InvokeRequest req;
+  auto session = read_u64(r);
+  if (!session.ok()) return Result<InvokeRequest>::err(session.error());
+  req.session_id = *session;
+  auto digest = read_digest(r);
+  if (!digest.ok()) return Result<InvokeRequest>::err(digest.error());
+  req.measurement = *digest;
+  auto entry = read_string(r);
+  if (!entry.ok()) return Result<InvokeRequest>::err(entry.error());
+  req.entry = std::move(*entry);
+  auto args = read_values(r);
+  if (!args.ok()) return Result<InvokeRequest>::err(args.error());
+  req.args = std::move(*args);
+  auto heap = read_u64(r);
+  if (!heap.ok()) return Result<InvokeRequest>::err(heap.error());
+  req.heap_bytes = *heap;
+  return req;
+}
+
+Bytes InvokeRequest::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(Op::Invoke));
+  encode_fields(out);
   return out;
 }
 
 Result<InvokeRequest> InvokeRequest::decode(ByteView data) {
   auto r = open_request(data, Op::Invoke);
   if (!r.ok()) return Result<InvokeRequest>::err(r.error());
-  InvokeRequest req;
-  auto session = read_u64(*r);
-  if (!session.ok()) return Result<InvokeRequest>::err(session.error());
-  req.session_id = *session;
-  auto digest = read_digest(*r);
-  if (!digest.ok()) return Result<InvokeRequest>::err(digest.error());
-  req.measurement = *digest;
-  auto entry = read_string(*r);
-  if (!entry.ok()) return Result<InvokeRequest>::err(entry.error());
-  req.entry = std::move(*entry);
-  auto args = read_values(*r);
-  if (!args.ok()) return Result<InvokeRequest>::err(args.error());
-  req.args = std::move(*args);
-  auto heap = read_u64(*r);
-  if (!heap.ok()) return Result<InvokeRequest>::err(heap.error());
-  req.heap_bytes = *heap;
-  return req;
+  return decode_fields(*r);
 }
 
 Bytes InvokeResponse::encode() const {
@@ -270,6 +293,83 @@ Result<InvokeResponse> InvokeResponse::decode(ByteView data) {
   return resp;
 }
 
+// -- Submit / Poll -----------------------------------------------------------
+
+Bytes SubmitRequest::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(Op::Submit));
+  invoke.encode_fields(out);
+  return out;
+}
+
+Result<SubmitRequest> SubmitRequest::decode(ByteView data) {
+  auto r = open_request(data, Op::Submit);
+  if (!r.ok()) return Result<SubmitRequest>::err(r.error());
+  auto invoke = InvokeRequest::decode_fields(*r);
+  if (!invoke.ok()) return Result<SubmitRequest>::err(invoke.error());
+  return SubmitRequest{std::move(*invoke)};
+}
+
+Bytes SubmitResponse::encode() const {
+  Bytes out;
+  put_u64le(out, ticket);
+  return out;
+}
+
+Result<SubmitResponse> SubmitResponse::decode(ByteView data) {
+  if (data.size() != 8) return Result<SubmitResponse>::err("gateway: bad submit response");
+  return SubmitResponse{get_u64le(data.data())};
+}
+
+Bytes PollRequest::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(Op::Poll));
+  put_u64le(out, session_id);
+  put_u64le(out, ticket);
+  return out;
+}
+
+Result<PollRequest> PollRequest::decode(ByteView data) {
+  auto r = open_request(data, Op::Poll);
+  if (!r.ok()) return Result<PollRequest>::err(r.error());
+  PollRequest req;
+  auto session = read_u64(*r);
+  if (!session.ok()) return Result<PollRequest>::err(session.error());
+  req.session_id = *session;
+  auto ticket = read_u64(*r);
+  if (!ticket.ok()) return Result<PollRequest>::err(ticket.error());
+  req.ticket = *ticket;
+  return req;
+}
+
+Bytes PollResponse::encode() const {
+  Bytes out;
+  out.push_back(ready ? 1 : 0);
+  put_string(out, error);
+  // The result rides as the trailing payload, present only on success.
+  if (ready && error.empty()) append(out, result.encode());
+  return out;
+}
+
+Result<PollResponse> PollResponse::decode(ByteView data) {
+  ByteReader r(data);
+  PollResponse resp;
+  auto ready = r.read_u8();
+  if (!ready.ok()) return Result<PollResponse>::err(ready.error());
+  resp.ready = *ready != 0;
+  auto error = read_string(r);
+  if (!error.ok()) return Result<PollResponse>::err(error.error());
+  resp.error = std::move(*error);
+  if (resp.ready && resp.error.empty()) {
+    auto rest = r.read_bytes(r.remaining());
+    if (!rest.ok()) return Result<PollResponse>::err(rest.error());
+    auto result = InvokeResponse::decode(*rest);
+    if (!result.ok()) return Result<PollResponse>::err(result.error());
+    resp.result = std::move(*result);
+  }
+  return resp;
+}
+
 // -- Stats -------------------------------------------------------------------
 
 Bytes StatsRequest::encode() const {
@@ -295,6 +395,7 @@ Bytes GatewayStats::encode() const {
   put_u64le(out, handshakes_reused);
   put_u64le(out, modules_registered);
   put_u64le(out, invocations);
+  put_u64le(out, queue_full_rejections);
   write_uleb(out, devices.size());
   for (const DeviceStats& d : devices) {
     put_string(out, d.hostname);
@@ -316,7 +417,8 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
   GatewayStats stats;
   for (std::uint64_t* field :
        {&stats.sessions_active, &stats.sessions_total, &stats.handshakes_run,
-        &stats.handshakes_reused, &stats.modules_registered, &stats.invocations}) {
+        &stats.handshakes_reused, &stats.modules_registered, &stats.invocations,
+        &stats.queue_full_rejections}) {
     auto v = read_u64(r);
     if (!v.ok()) return Result<GatewayStats>::err(v.error());
     *field = *v;

@@ -12,10 +12,19 @@
 //               under the returned session id.
 //   LOAD_MODULE registers a Wasm binary; returns its SHA-256 measurement,
 //               the key for every later INVOKE and for the module cache.
-//   INVOKE      routes one invocation to the least-loaded device; the
-//               response reports where it ran and what the caches saved.
+//   INVOKE      routes one invocation to the least-loaded device and waits
+//               for the result; the response reports where it ran and what
+//               the caches saved.
 //   STATS       gateway-wide and per-device counters.
-//   DETACH      drops the session (evidence cache included).
+//   DETACH      drops the session (evidence cache included); queued work
+//               for the session fails rather than executing detached.
+//   SUBMIT      async INVOKE: admits the work item to a backend queue and
+//               returns a ticket immediately (or QUEUE_FULL backpressure).
+//   POLL        redeems a ticket: pending, or the completed result/error.
+//
+// Backpressure travels in the envelope status byte: when every eligible
+// backend run queue is at its bound, INVOKE/SUBMIT answer with status 0x02
+// (QUEUE_FULL) instead of admitting unbounded work.
 #pragma once
 
 #include <string>
@@ -35,6 +44,8 @@ enum class Op : std::uint8_t {
   Invoke = 0x03,
   Stats = 0x04,
   Detach = 0x05,
+  Submit = 0x06,
+  Poll = 0x07,
 };
 
 /// Reads the opcode of a raw request frame.
@@ -42,12 +53,23 @@ Result<Op> peek_op(ByteView request);
 
 // -- response envelope -------------------------------------------------------
 
+/// Error-string prefix carried by a QUEUE_FULL envelope; clients test it
+/// with is_queue_full() and retry/back off instead of treating the
+/// rejection as a hard failure.
+inline constexpr const char* kQueueFullPrefix = "QUEUE_FULL";
+
 /// Wraps a successful payload: 0x00 || payload.
 Bytes ok_envelope(ByteView payload);
 /// Wraps an application error: 0x01 || uleb(len) || message.
 Bytes err_envelope(const std::string& message);
-/// Unwraps an envelope: the payload on success, the error otherwise.
+/// Wraps a backpressure rejection: 0x02 || uleb(len) || message. The
+/// request was NOT admitted; the client should retry after draining.
+Bytes busy_envelope(const std::string& message);
+/// Unwraps an envelope: the payload on success, the error otherwise
+/// (QUEUE_FULL rejections surface as errors satisfying is_queue_full()).
 Result<Bytes> open_envelope(ByteView response);
+/// True when `error` came from a busy_envelope rejection.
+bool is_queue_full(const std::string& error);
 
 // -- requests / responses ----------------------------------------------------
 
@@ -94,6 +116,9 @@ struct InvokeRequest {
 
   Bytes encode() const;
   static Result<InvokeRequest> decode(ByteView data);
+  /// Opcode-independent field serialisation, shared with SubmitRequest.
+  void encode_fields(Bytes& out) const;
+  static Result<InvokeRequest> decode_fields(ByteReader& r);
 };
 
 struct InvokeResponse {
@@ -109,6 +134,40 @@ struct InvokeResponse {
 
   Bytes encode() const;
   static Result<InvokeResponse> decode(ByteView data);
+};
+
+/// Async submission: same fields as INVOKE, answered with a ticket instead
+/// of the result. The invocation itself completes on a backend worker and
+/// is redeemed with POLL.
+struct SubmitRequest {
+  InvokeRequest invoke;
+
+  Bytes encode() const;
+  static Result<SubmitRequest> decode(ByteView data);
+};
+
+struct SubmitResponse {
+  std::uint64_t ticket = 0;
+
+  Bytes encode() const;
+  static Result<SubmitResponse> decode(ByteView data);
+};
+
+struct PollRequest {
+  std::uint64_t session_id = 0;
+  std::uint64_t ticket = 0;
+
+  Bytes encode() const;
+  static Result<PollRequest> decode(ByteView data);
+};
+
+struct PollResponse {
+  bool ready = false;   ///< false: still queued/executing — poll again
+  std::string error;    ///< non-empty when the work item failed
+  InvokeResponse result;  ///< valid iff ready && error.empty()
+
+  Bytes encode() const;
+  static Result<PollResponse> decode(ByteView data);
 };
 
 struct StatsRequest {
@@ -138,6 +197,8 @@ struct GatewayStats {
   std::uint64_t handshakes_reused = 0;
   std::uint64_t modules_registered = 0;
   std::uint64_t invocations = 0;
+  /// INVOKE/SUBMIT requests bounced with QUEUE_FULL backpressure.
+  std::uint64_t queue_full_rejections = 0;
   std::vector<DeviceStats> devices;
 
   Bytes encode() const;

@@ -2,23 +2,36 @@
 
 namespace watz::gateway {
 
-Session& SessionManager::attach(std::string client, std::uint64_t now_ns) {
-  const std::uint64_t id = next_id_++;
-  Session& session = sessions_[id];
-  session.id = id;
-  session.client = std::move(client);
-  session.created_at_ns = now_ns;
-  ++sessions_total_;
+SessionPtr SessionManager::attach(std::string client, std::uint64_t now_ns) {
+  auto session = std::make_shared<Session>();
+  session->client = std::move(client);
+  session->created_at_ns = now_ns;
+  std::lock_guard<std::mutex> lock(mu_);
+  session->id = next_id_++;
+  sessions_[session->id] = session;
+  sessions_total_.fetch_add(1, std::memory_order_relaxed);
   return session;
 }
 
-Session* SessionManager::find(std::uint64_t session_id) {
+SessionPtr SessionManager::find(std::uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = sessions_.find(session_id);
-  return it == sessions_.end() ? nullptr : &it->second;
+  return it == sessions_.end() ? nullptr : it->second;
 }
 
 bool SessionManager::detach(std::uint64_t session_id) {
-  return sessions_.erase(session_id) > 0;
+  SessionPtr session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return false;
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Queued/in-flight work holding the shared_ptr observes the flag and
+  // fails instead of executing against a detached session.
+  session->closed.store(true, std::memory_order_release);
+  return true;
 }
 
 Result<std::uint32_t> SessionManager::ensure_attested(Session& session,
@@ -26,24 +39,36 @@ Result<std::uint32_t> SessionManager::ensure_attested(Session& session,
                                                       std::uint64_t boot_count,
                                                       std::uint64_t now_ns,
                                                       const HandshakeFn& handshake) {
-  const auto it = session.attested.find(device_name);
-  if (it != session.attested.end()) {
-    const DeviceAttestation& cached = it->second;
-    const bool rebooted = cached.boot_count != boot_count;
-    const bool expired = policy_.evidence_ttl_ns != ~0ull &&
-                         now_ns - cached.attested_at_ns > policy_.evidence_ttl_ns;
-    if (!rebooted && !expired) {
-      ++handshakes_reused_;
-      return std::uint32_t{0};
+  using R = Result<std::uint32_t>;
+  if (session.closed.load(std::memory_order_acquire))
+    return R::err("gateway: session detached");
+  {
+    std::lock_guard<std::mutex> lock(session.mu);
+    const auto it = session.attested.find(device_name);
+    if (it != session.attested.end()) {
+      const DeviceAttestation& cached = it->second;
+      const bool rebooted = cached.boot_count != boot_count;
+      const bool expired = policy_.evidence_ttl_ns != ~0ull &&
+                           now_ns - cached.attested_at_ns > policy_.evidence_ttl_ns;
+      if (!rebooted && !expired) {
+        handshakes_reused_.fetch_add(1, std::memory_order_relaxed);
+        return std::uint32_t{0};
+      }
+      session.attested.erase(it);  // stale: re-prove below
     }
-    session.attested.erase(it);  // stale: re-prove below
   }
 
+  // The handshake crosses the fabric and drives the device's TEE; it runs
+  // with no session lock held so other devices attest this session in
+  // parallel. A rare duplicate handshake (two workers racing the same
+  // (session, device) key) is benign: last writer wins.
   auto evidence = handshake();
   if (!evidence.ok())
-    return Result<std::uint32_t>::err("gateway: " + device_name +
-                                      " failed appraisal: " + evidence.error());
-  ++handshakes_run_;
+    return R::err("gateway: " + device_name + " failed appraisal: " + evidence.error());
+  handshakes_run_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(session.mu);
+  if (session.closed.load(std::memory_order_acquire))
+    return R::err("gateway: session detached");
   session.attested[device_name] =
       DeviceAttestation{std::move(*evidence), now_ns, boot_count};
   return kRaExchangesPerHandshake;

@@ -7,11 +7,22 @@
 // the session id. Policy decides when the cache goes stale — a TTL on the
 // evidence, or the device's boot count moving (a rebooted or swapped board
 // has a new trusted-OS state and must re-prove itself).
+//
+// Concurrency: sessions are handed out as shared_ptr so a work item queued
+// on a backend worker can outlive a concurrent detach. detach() marks the
+// session closed (checked by every worker before touching it) and unlinks
+// it from the table; the state itself is freed when the last in-flight
+// reference drops. The per-session evidence map has its own mutex, and the
+// lock is NEVER held across a handshake — two workers attesting the same
+// session against different devices proceed in parallel.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "attestation/evidence.hpp"
@@ -36,9 +47,14 @@ struct Session {
   std::uint64_t id = 0;
   std::string client;
   std::uint64_t created_at_ns = 0;
-  std::uint64_t invocations = 0;
+  std::atomic<std::uint64_t> invocations{0};
+  /// Set by detach; queued work observing it fails instead of executing.
+  std::atomic<bool> closed{false};
+  std::mutex mu;  ///< guards `attested` (leaf lock; never held across I/O)
   std::map<std::string, DeviceAttestation> attested;  // keyed by device hostname
 };
+
+using SessionPtr = std::shared_ptr<Session>;
 
 /// Runs the full RA exchange against one device and returns its evidence
 /// (already appraised by the gateway's verifier en route — an error means
@@ -52,14 +68,19 @@ class SessionManager {
  public:
   explicit SessionManager(SessionPolicy policy = {}) : policy_(policy) {}
 
-  Session& attach(std::string client, std::uint64_t now_ns);
-  Session* find(std::uint64_t session_id);
+  SessionPtr attach(std::string client, std::uint64_t now_ns);
+  SessionPtr find(std::uint64_t session_id);
+
+  /// Unlinks the session and marks it closed. Work already queued against
+  /// it holds its own reference and fails fast on the closed flag, so no
+  /// worker ever dereferences freed session state.
   bool detach(std::uint64_t session_id);
 
   /// Ensures `session` holds fresh evidence for `device_name` at
   /// `boot_count`. Runs `handshake` only when the cached evidence is
-  /// missing or stale under the policy. Returns the number of RA message
-  /// exchanges this call performed (0 == evidence cache hit).
+  /// missing or stale under the policy (without holding the session lock
+  /// across the exchange). Returns the number of RA message exchanges this
+  /// call performed (0 == evidence cache hit).
   Result<std::uint32_t> ensure_attested(Session& session, const std::string& device_name,
                                         std::uint64_t boot_count, std::uint64_t now_ns,
                                         const HandshakeFn& handshake);
@@ -67,18 +88,28 @@ class SessionManager {
   const SessionPolicy& policy() const noexcept { return policy_; }
   void set_policy(SessionPolicy policy) noexcept { policy_ = policy; }
 
-  std::size_t active() const noexcept { return sessions_.size(); }
-  std::uint64_t sessions_total() const noexcept { return sessions_total_; }
-  std::uint64_t handshakes_run() const noexcept { return handshakes_run_; }
-  std::uint64_t handshakes_reused() const noexcept { return handshakes_reused_; }
+  std::size_t active() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sessions_.size();
+  }
+  std::uint64_t sessions_total() const noexcept {
+    return sessions_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t handshakes_run() const noexcept {
+    return handshakes_run_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t handshakes_reused() const noexcept {
+    return handshakes_reused_.load(std::memory_order_relaxed);
+  }
 
  private:
   SessionPolicy policy_;
-  std::map<std::uint64_t, Session> sessions_;
+  mutable std::mutex mu_;  // guards sessions_ and next_id_
+  std::map<std::uint64_t, SessionPtr> sessions_;
   std::uint64_t next_id_ = 1;
-  std::uint64_t sessions_total_ = 0;
-  std::uint64_t handshakes_run_ = 0;
-  std::uint64_t handshakes_reused_ = 0;
+  std::atomic<std::uint64_t> sessions_total_{0};
+  std::atomic<std::uint64_t> handshakes_run_{0};
+  std::atomic<std::uint64_t> handshakes_reused_{0};
 };
 
 }  // namespace watz::gateway

@@ -1,11 +1,20 @@
 #include "hw/latency.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "hw/clock.hpp"
 
 namespace watz::hw {
 
 void LatencyModel::spin(std::uint64_t ns) const {
   if (!config_.enabled || ns == 0) return;
+  if (config_.device_side) {
+    // The time passes on the device, not on this host's CPU: a gateway
+    // thread waiting on a remote board overlaps with other boards' work.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    return;
+  }
   const std::uint64_t deadline = monotonic_ns() + ns;
   while (monotonic_ns() < deadline) {
     // busy-wait: models the CPU being occupied by the world switch

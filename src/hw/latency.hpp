@@ -18,6 +18,12 @@ struct LatencyConfig {
   std::uint64_t time_rpc_ns = 10'000;   ///< secure-world time query RPC (Fig 3a)
   std::uint64_t supplicant_rpc_ns = 30'000;  ///< socket RPC through the supplicant
   bool enabled = true;
+  /// When true the charge sleeps instead of busy-waiting: the latency is
+  /// *device-side* (a remote board crossing its own world boundary) and
+  /// must not occupy a CPU of the host driving the fleet. Single-board
+  /// benches keep the default busy-wait so their timing shapes match the
+  /// paper's on-SoC measurements.
+  bool device_side = false;
 };
 
 class LatencyModel {
@@ -38,7 +44,8 @@ class LatencyModel {
   void charge_time_rpc() const { spin(config_.time_rpc_ns); }
   void charge_supplicant_rpc() const { spin(config_.supplicant_rpc_ns); }
 
-  /// Busy-waits for `ns` on the host monotonic clock (no-op when disabled).
+  /// Charges `ns` of simulated latency: a busy-wait on the host monotonic
+  /// clock, or a sleep when the model is device-side (no-op when disabled).
   void spin(std::uint64_t ns) const;
 
  private:

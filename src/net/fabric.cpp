@@ -11,13 +11,28 @@ std::string endpoint_key(const std::string& host, std::uint16_t port) {
 Status Fabric::listen(const std::string& host, std::uint16_t port, Service service,
                       CloseHook on_close) {
   const std::string key = endpoint_key(host, port);
+  std::lock_guard<std::mutex> lock(mu_);
   if (endpoints_.contains(key)) return Status::err("fabric: " + key + " already bound");
-  endpoints_[key] = Endpoint{std::move(service), std::move(on_close)};
+  endpoints_[key] =
+      std::make_shared<const Endpoint>(Endpoint{std::move(service), std::move(on_close)});
   return {};
+}
+
+void Fabric::unlisten(const std::string& host, std::uint16_t port) {
+  const std::string key = endpoint_key(host, port);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (endpoints_.erase(key) == 0) return;
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->second.key == key)
+      it = connections_.erase(it);
+    else
+      ++it;
+  }
 }
 
 Result<std::uint64_t> Fabric::connect(const std::string& host, std::uint16_t port) {
   const std::string key = endpoint_key(host, port);
+  std::lock_guard<std::mutex> lock(mu_);
   if (!endpoints_.contains(key))
     return Result<std::uint64_t>::err("fabric: connection refused to " + key);
   const std::uint64_t id = next_conn_id_++;
@@ -25,26 +40,56 @@ Result<std::uint64_t> Fabric::connect(const std::string& host, std::uint16_t por
   return id;
 }
 
-Result<Bytes> Fabric::send_recv(std::uint64_t conn_id, ByteView message) {
+std::shared_ptr<const Fabric::Endpoint> Fabric::endpoint_for(std::uint64_t conn_id,
+                                                             std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto conn = connections_.find(conn_id);
-  if (conn == connections_.end()) return Result<Bytes>::err("fabric: bad connection");
+  if (conn == connections_.end()) {
+    *error = "fabric: bad connection";
+    return nullptr;
+  }
   const auto endpoint = endpoints_.find(conn->second.key);
-  if (endpoint == endpoints_.end()) return Result<Bytes>::err("fabric: peer gone");
-  bytes_sent_ += message.size();
-  ++messages_;
-  auto response = endpoint->second.service(conn_id, message);
+  if (endpoint == endpoints_.end()) {
+    *error = "fabric: peer gone";
+    return nullptr;
+  }
+  return endpoint->second;
+}
+
+Result<Bytes> Fabric::send_recv(std::uint64_t conn_id, ByteView message) {
+  std::string error;
+  const std::shared_ptr<const Endpoint> endpoint = endpoint_for(conn_id, &error);
+  if (!endpoint) return Result<Bytes>::err(error);
+  bytes_sent_.fetch_add(message.size(), std::memory_order_relaxed);
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  // The service runs outside the fabric lock: it may re-enter the fabric
+  // (the gateway relays RA handshakes through device supplicant sockets).
+  auto response = endpoint->service(conn_id, message);
   if (!response.ok()) return response;
-  bytes_received_ += response->size();
+  bytes_received_.fetch_add(response->size(), std::memory_order_relaxed);
   return response;
 }
 
+std::future<Result<Bytes>> Fabric::send_async(std::uint64_t conn_id, Bytes message) {
+  return std::async(std::launch::async,
+                    [this, conn_id, message = std::move(message)]() {
+                      return send_recv(conn_id, message);
+                    });
+}
+
 void Fabric::close(std::uint64_t conn_id) {
-  const auto conn = connections_.find(conn_id);
-  if (conn == connections_.end()) return;
-  const auto endpoint = endpoints_.find(conn->second.key);
-  if (endpoint != endpoints_.end() && endpoint->second.on_close)
-    endpoint->second.on_close(conn_id);
-  connections_.erase(conn);
+  std::shared_ptr<const Endpoint> endpoint;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto conn = connections_.find(conn_id);
+    if (conn == connections_.end()) return;
+    const auto it = endpoints_.find(conn->second.key);
+    if (it != endpoints_.end()) endpoint = it->second;
+    connections_.erase(conn);
+  }
+  // The hook runs outside the lock (it may detach gateway sessions, which
+  // in turn fail queued work; none of that may re-enter under mu_).
+  if (endpoint && endpoint->on_close) endpoint->on_close(conn_id);
 }
 
 }  // namespace watz::net

@@ -4,13 +4,25 @@
 // secure-world socket calls are relayed by the TEE supplicant to the normal
 // world, cross the "network", and land in the verifier's normal-world
 // listener, which forwards each message to the verifier TA. The fabric
-// models connection-oriented, synchronous request/response exchanges (the
-// RA protocol is strictly ping-pong) and counts traffic for the harness.
+// models connection-oriented request/response exchanges (the RA protocol is
+// strictly ping-pong) and counts traffic for the harness.
+//
+// Thread safety: every public method may be called from any thread. The
+// endpoint/connection tables are mutex-guarded and the traffic counters are
+// atomic; a bound service (and its close hook) is always invoked OUTSIDE
+// the fabric lock, so handlers are free to re-enter the fabric (connect,
+// send, close) — e.g. a gateway worker relaying an RA handshake through a
+// device supplicant. Consequently a service must provide its own locking
+// when several connections hit it concurrently.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/bytes.hpp"
@@ -29,18 +41,38 @@ class Fabric {
   Status listen(const std::string& host, std::uint16_t port, Service service,
                 CloseHook on_close = nullptr);
 
+  /// Unbinds an endpoint and drops its connections (no close hooks fire:
+  /// the service is going away). A dying service calls this so the fabric
+  /// never invokes a dangling handler; later sends fail with "peer gone".
+  void unlisten(const std::string& host, std::uint16_t port);
+
   Result<std::uint64_t> connect(const std::string& host, std::uint16_t port);
 
   /// Sends a message on a connection and returns the peer's response.
+  /// Blocks the calling thread for the duration of the service call.
   Result<Bytes> send_recv(std::uint64_t conn_id, ByteView message);
+
+  /// Asynchronous counterpart of send_recv: the exchange runs on its own
+  /// thread and the response arrives through the returned future. Lets a
+  /// client pipeline several in-flight requests over independent
+  /// connections without blocking between them.
+  std::future<Result<Bytes>> send_async(std::uint64_t conn_id, Bytes message);
 
   void close(std::uint64_t conn_id);
 
-  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
-  std::uint64_t bytes_received() const noexcept { return bytes_received_; }
-  std::uint64_t messages() const noexcept { return messages_; }
+  std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_received() const noexcept {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages() const noexcept {
+    return messages_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Shared so a handler stays alive while a concurrent close/send still
+  /// holds a reference to it outside the lock.
   struct Endpoint {
     Service service;
     CloseHook on_close;
@@ -49,12 +81,16 @@ class Fabric {
     std::string key;
   };
 
-  std::map<std::string, Endpoint> endpoints_;
+  std::shared_ptr<const Endpoint> endpoint_for(std::uint64_t conn_id,
+                                               std::string* error);
+
+  mutable std::mutex mu_;  // guards endpoints_, connections_, next_conn_id_
+  std::map<std::string, std::shared_ptr<const Endpoint>> endpoints_;
   std::map<std::uint64_t, Connection> connections_;
   std::uint64_t next_conn_id_ = 1;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t bytes_received_ = 0;
-  std::uint64_t messages_ = 0;
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> messages_{0};
 };
 
 }  // namespace watz::net

@@ -7,6 +7,7 @@
 // page allocation, nanosecond time passthrough).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -104,7 +105,11 @@ class TrustedOs {
   /// this returns TEE_ERROR_NOT_SUPPORTED semantics.
   Result<SecureAlloc> allocate_executable(std::size_t size);
 
-  std::size_t heap_in_use() const noexcept { return heap_in_use_; }
+  /// Atomic so fleet-level stats collectors may sample it from outside the
+  /// device's owning worker thread while apps launch and retire.
+  std::size_t heap_in_use() const noexcept {
+    return heap_in_use_.load(std::memory_order_relaxed);
+  }
 
   // -- root of trust ---------------------------------------------------------
 
@@ -142,7 +147,9 @@ class TrustedOs {
         boot_report_(std::move(report)),
         shm_(config_.shared_memory_cap) {}
 
-  void release(std::size_t size) noexcept { heap_in_use_ -= size; }
+  void release(std::size_t size) noexcept {
+    heap_in_use_.fetch_sub(size, std::memory_order_relaxed);
+  }
   Result<SecureAlloc> allocate_impl(std::size_t size, bool executable);
 
   hw::LatencyModel latency_;
@@ -150,7 +157,7 @@ class TrustedOs {
   crypto::Sha256Digest mkvb_secure_{};
   tz::BootReport boot_report_;
   SharedMemoryPool shm_;
-  std::size_t heap_in_use_ = 0;
+  std::atomic<std::size_t> heap_in_use_{0};
   std::unordered_map<std::string, std::shared_ptr<KernelModule>> modules_;
   Supplicant* supplicant_ = nullptr;
 };

@@ -218,6 +218,187 @@ TEST_F(GatewayTest, UnknownSessionAndModuleAreRejected) {
   EXPECT_FALSE(after_detach.ok());
 }
 
+TEST_F(GatewayTest, SubmitPollDeliversAsyncResult) {
+  auto attach = client_->attach("tenant-a");
+  ASSERT_TRUE(attach.ok());
+  auto load = client_->load_module(attach->session_id, adder_app());
+  ASSERT_TRUE(load.ok());
+
+  auto submitted = client_->submit(add_request(attach->session_id, load->measurement, 20, 3));
+  ASSERT_TRUE(submitted.ok()) << submitted.error();
+  ASSERT_NE(submitted->ticket, 0u);
+
+  PollResponse done;
+  for (;;) {
+    auto polled = client_->poll(attach->session_id, submitted->ticket);
+    ASSERT_TRUE(polled.ok()) << polled.error();
+    if (polled->ready) {
+      done = std::move(*polled);
+      break;
+    }
+  }
+  EXPECT_TRUE(done.error.empty()) << done.error;
+  ASSERT_FALSE(done.result.results.empty());
+  EXPECT_EQ(done.result.results.front().i32(), 23);
+
+  // A ticket is redeemed exactly once.
+  auto again = client_->poll(attach->session_id, submitted->ticket);
+  EXPECT_FALSE(again.ok());
+}
+
+TEST_F(GatewayTest, InvokeBatchPipelinesInOrder) {
+  auto attach = client_->attach("tenant-a");
+  ASSERT_TRUE(attach.ok());
+  auto load = client_->load_module(attach->session_id, adder_app());
+  ASSERT_TRUE(load.ok());
+
+  std::vector<InvokeRequest> batch;
+  for (int i = 0; i < 12; ++i)
+    batch.push_back(add_request(attach->session_id, load->measurement, i, 100));
+  auto results = client_->invoke_batch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].error();
+    EXPECT_EQ(results[i]->results.front().i32(), i + 100);  // order preserved
+  }
+  auto stats = client_->stats(attach->session_id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->invocations, 12u);
+}
+
+TEST_F(GatewayTest, CloseHookDetachesConnectionSessions) {
+  auto keeper = client_->attach("tenant-keeper");
+  ASSERT_TRUE(keeper.ok());
+
+  std::uint64_t dropped_session = 0;
+  {
+    GatewayClient doomed(fabric_);
+    ASSERT_TRUE(doomed.connect("gateway", 7000).ok());
+    auto attach = doomed.attach("tenant-doomed");
+    ASSERT_TRUE(attach.ok());
+    dropped_session = attach->session_id;
+    EXPECT_EQ(gateway_->sessions().active(), 2u);
+  }  // destructor closes the connection -> fabric CloseHook fires
+
+  // The dropped connection took its session with it; the other survives.
+  EXPECT_EQ(gateway_->sessions().active(), 1u);
+  auto load = client_->load_module(keeper->session_id, adder_app());
+  ASSERT_TRUE(load.ok());
+  auto orphaned =
+      client_->invoke(add_request(dropped_session, load->measurement, 1, 1));
+  EXPECT_FALSE(orphaned.ok());
+  auto kept = client_->invoke(add_request(keeper->session_id, load->measurement, 1, 1));
+  EXPECT_TRUE(kept.ok()) << kept.error();
+}
+
+/// One device whose world-switch latency is 2 ms and device-side (the
+/// worker sleeps through it): the run queue drains at a bounded, known
+/// pace, giving admission-bound and detach races a deterministic window.
+class GatewaySlowDeviceTest : public GatewayTest {
+ protected:
+  void SetUp() override {
+    GatewayConfig config;
+    config.worker_queue_capacity = 2;
+    vendor_ = core::Vendor::create(to_bytes("gw-vendor"));
+    core::DeviceConfig cfg = device_config("slow-0", 0x70);
+    cfg.latency.enabled = true;
+    cfg.latency.device_side = true;
+    cfg.latency.smc_enter_ns = 2'000'000;
+    cfg.latency.smc_leave_ns = 0;
+    cfg.latency.supplicant_rpc_ns = 0;
+    cfg.latency.time_rpc_ns = 0;
+    auto device = core::Device::boot(fabric_, vendor_, cfg);
+    ASSERT_TRUE(device.ok()) << device.error();
+    devices_.push_back(std::move(*device));
+    gateway_ = std::make_unique<Gateway>(fabric_, config, to_bytes("gw-identity"));
+    ASSERT_TRUE(gateway_->start().ok());
+    ASSERT_TRUE(gateway_->add_device(*devices_[0]).ok());
+    client_ = std::make_unique<GatewayClient>(fabric_);
+    ASSERT_TRUE(client_->connect(config.hostname, config.port).ok());
+  }
+
+  /// Polls `ticket` to completion and returns the terminal response.
+  PollResponse redeem(std::uint64_t session, std::uint64_t ticket) {
+    for (;;) {
+      auto polled = client_->poll(session, ticket);
+      if (!polled.ok()) {
+        PollResponse failed;
+        failed.ready = true;
+        failed.error = polled.error();
+        return failed;
+      }
+      if (polled->ready) return std::move(*polled);
+    }
+  }
+};
+
+TEST_F(GatewaySlowDeviceTest, QueueFullBackpressure) {
+  auto attach = client_->attach("tenant-a");
+  ASSERT_TRUE(attach.ok()) << attach.error();
+  auto load = client_->load_module(attach->session_id, adder_app());
+  ASSERT_TRUE(load.ok());
+
+  // Capacity 2 == queued + executing: the third admission must bounce.
+  // The worker needs >= 2 ms per item while a submit takes microseconds,
+  // so the queue cannot drain under us.
+  auto first = client_->submit(add_request(attach->session_id, load->measurement, 1, 1));
+  ASSERT_TRUE(first.ok()) << first.error();
+  auto second = client_->submit(add_request(attach->session_id, load->measurement, 2, 2));
+  ASSERT_TRUE(second.ok()) << second.error();
+
+  auto bounced = client_->submit(add_request(attach->session_id, load->measurement, 3, 3));
+  ASSERT_FALSE(bounced.ok());
+  EXPECT_TRUE(is_queue_full(bounced.error())) << bounced.error();
+  auto bounced_sync =
+      client_->invoke(add_request(attach->session_id, load->measurement, 4, 4));
+  ASSERT_FALSE(bounced_sync.ok());
+  EXPECT_TRUE(is_queue_full(bounced_sync.error())) << bounced_sync.error();
+
+  // Draining the queue reopens admission.
+  EXPECT_TRUE(redeem(attach->session_id, first->ticket).error.empty());
+  EXPECT_TRUE(redeem(attach->session_id, second->ticket).error.empty());
+  auto admitted =
+      client_->invoke(add_request(attach->session_id, load->measurement, 5, 5));
+  EXPECT_TRUE(admitted.ok()) << admitted.error();
+
+  auto stats = client_->stats(attach->session_id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->queue_full_rejections, 2u);
+}
+
+TEST_F(GatewaySlowDeviceTest, DetachFailsQueuedWorkInsteadOfRacingIt) {
+  auto attach = client_->attach("tenant-a");
+  ASSERT_TRUE(attach.ok()) << attach.error();
+  auto load = client_->load_module(attach->session_id, adder_app());
+  ASSERT_TRUE(load.ok());
+
+  // Fill the queue (one executing, one queued), then detach while both
+  // are in flight: the queued item must observe the closed session and
+  // fail instead of executing against dropped state.
+  auto first = client_->submit(add_request(attach->session_id, load->measurement, 1, 1));
+  ASSERT_TRUE(first.ok());
+  auto second = client_->submit(add_request(attach->session_id, load->measurement, 2, 2));
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(client_->detach(attach->session_id).ok());
+
+  // The session is gone for new work immediately...
+  auto rejected =
+      client_->invoke(add_request(attach->session_id, load->measurement, 3, 3));
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(gateway_->sessions().active(), 0u);
+
+  // ...but the drained tickets stay redeemable: the executing item may
+  // complete, the queued one fails with the detach (never crashes or
+  // touches freed session state — the worker holds its own reference).
+  const PollResponse first_done = redeem(attach->session_id, first->ticket);
+  const PollResponse second_done = redeem(attach->session_id, second->ticket);
+  EXPECT_NE(second_done.error.find("session detached"), std::string::npos)
+      << second_done.error;
+  if (!first_done.error.empty()) {
+    EXPECT_NE(first_done.error.find("session detached"), std::string::npos);
+  }
+}
+
 /// Module cache unit coverage against a real device runtime.
 class ModuleCacheTest : public ::testing::Test {
  protected:
@@ -446,6 +627,60 @@ TEST(GatewayProtocolTest, RoundTrips) {
   auto err = open_envelope(err_envelope("boom"));
   EXPECT_FALSE(err.ok());
   EXPECT_EQ(err.error(), "boom");
+
+  // Backpressure rides its own status byte and is client-detectable.
+  auto busy = open_envelope(busy_envelope("node-0 run queue at capacity"));
+  ASSERT_FALSE(busy.ok());
+  EXPECT_TRUE(is_queue_full(busy.error())) << busy.error();
+  EXPECT_FALSE(is_queue_full(err.error()));
+
+  // Async submit/poll round-trips.
+  SubmitRequest sub{req};
+  auto sub2 = SubmitRequest::decode(sub.encode());
+  ASSERT_TRUE(sub2.ok()) << sub2.error();
+  EXPECT_EQ(sub2->invoke.session_id, 42u);
+  EXPECT_EQ(sub2->invoke.entry, "add");
+  EXPECT_EQ(sub2->invoke.args.size(), 2u);
+
+  auto ticket = SubmitResponse::decode(SubmitResponse{777}.encode());
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_EQ(ticket->ticket, 777u);
+
+  PollRequest poll_req{9, 777};
+  auto poll2 = PollRequest::decode(poll_req.encode());
+  ASSERT_TRUE(poll2.ok());
+  EXPECT_EQ(poll2->session_id, 9u);
+  EXPECT_EQ(poll2->ticket, 777u);
+
+  PollResponse pending;
+  auto pending2 = PollResponse::decode(pending.encode());
+  ASSERT_TRUE(pending2.ok());
+  EXPECT_FALSE(pending2->ready);
+
+  PollResponse completed;
+  completed.ready = true;
+  completed.result = resp;
+  auto completed2 = PollResponse::decode(completed.encode());
+  ASSERT_TRUE(completed2.ok()) << completed2.error();
+  EXPECT_TRUE(completed2->ready);
+  EXPECT_TRUE(completed2->error.empty());
+  EXPECT_EQ(completed2->result.device, "node-1");
+  EXPECT_EQ(completed2->result.results.front().i32(), 9);
+
+  PollResponse failed;
+  failed.ready = true;
+  failed.error = "gateway: session detached";
+  auto failed2 = PollResponse::decode(failed.encode());
+  ASSERT_TRUE(failed2.ok());
+  EXPECT_TRUE(failed2->ready);
+  EXPECT_EQ(failed2->error, "gateway: session detached");
+
+  // The stats wire format carries the backpressure counter.
+  GatewayStats busy_stats;
+  busy_stats.queue_full_rejections = 5;
+  auto busy_stats2 = GatewayStats::decode(busy_stats.encode());
+  ASSERT_TRUE(busy_stats2.ok());
+  EXPECT_EQ(busy_stats2->queue_full_rejections, 5u);
 }
 
 }  // namespace
