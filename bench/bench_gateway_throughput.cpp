@@ -307,5 +307,100 @@ int main(int argc, char** argv) {
     std::printf("  8-worker speedup over 1 worker : %.1fx %s\n", scaling,
                 scaling >= 3.0 ? "(>= 3x bar met)" : "(below the 3x bar)");
   report.metric("worker_scaling_8x_over_1x", scaling, "x");
+
+  // ---- phase 4: attach-storm shard scaling -------------------------------
+  // A fleet-wide attach storm is verifier-bound: every handshake's
+  // appraisal runs on the gateway's RA endpoint. The verifier charges its
+  // per-appraisal cost (policy engine / HSM signing in a production
+  // deployment) as wall-clock latency under the owning SHARD lock
+  // (GatewayConfig::ra_appraisal_latency_ns — the same convention as the
+  // device-side world-switch sleeps of phase 3), so with one shard the
+  // whole fleet's appraisals serialise and with N shards they overlap.
+  // Four client threads batch-attach sessions (ATTACH_BATCH) against 8
+  // devices at 1/2/4/8 shards; the metric is attached sessions per second.
+  if (tables) std::printf("\n=== Gateway: attach-storm shard scaling ===\n");
+  constexpr int kStormDevices = 8;
+  constexpr int kStormThreads = 4;
+  constexpr int kStormBatch = 4;  // sessions per ATTACH_BATCH
+  constexpr std::uint64_t kAppraisalNs = 20'000'000;  // ~6x one handshake's crypto
+  double storm_at_1 = 0.0;
+  double storm_at_8 = 0.0;
+  std::uint8_t storm_otpmk = 0xB0;
+  int storm_tier = 0;
+  double fabric_exchanges_per_attach = 0.0;
+  std::vector<std::unique_ptr<core::Device>> storm_fleet;  // outlives gateways
+  for (const int shards : {1, 2, 4, 8}) {
+    gateway::GatewayConfig config;
+    config.hostname = "gw-storm-" + std::to_string(shards);
+    config.port = static_cast<std::uint16_t>(7200 + 2 * storm_tier);
+    config.ra_port = static_cast<std::uint16_t>(7201 + 2 * storm_tier);
+    config.ra_shards = static_cast<std::size_t>(shards);
+    config.ra_appraisal_latency_ns = kAppraisalNs;
+    ++storm_tier;
+    gateway::Gateway gw(fabric, config,
+                        to_bytes("gw-bench-storm-" + std::to_string(shards)));
+    gw.start().check();
+    const std::size_t fleet_base = storm_fleet.size();
+    for (int i = 0; i < kStormDevices; ++i) {
+      storm_fleet.push_back(bench::boot_device(
+          fabric, vendor, config.hostname + "-node-" + std::to_string(i),
+          storm_otpmk++, /*charge_latency=*/false));
+      gw.add_device(*storm_fleet[fleet_base + i]).check();
+    }
+
+    // Long-lived connections (dropping one detaches its sessions).
+    std::vector<std::unique_ptr<gateway::GatewayClient>> connections;
+    for (int t = 0; t < kStormThreads; ++t) {
+      connections.push_back(std::make_unique<gateway::GatewayClient>(fabric));
+      connections.back()->connect(config.hostname, config.port).check();
+    }
+    std::atomic<int> failures{0};
+    std::atomic<std::uint64_t> wire_exchanges{0};
+    std::vector<std::thread> stormers;
+    const std::uint64_t elapsed_storm = bench::time_ns([&] {
+      for (int t = 0; t < kStormThreads; ++t) {
+        stormers.emplace_back([&, t] {
+          std::vector<std::string> names;
+          for (int n = 0; n < kStormBatch; ++n)
+            names.push_back("storm-" + std::to_string(shards) + "-" +
+                            std::to_string(t) + "-" + std::to_string(n));
+          auto batch = connections[t]->attach_all(names);
+          if (!batch.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          wire_exchanges.fetch_add(batch->ra_fabric_exchanges);
+          for (const gateway::AttachBatchResult& result : batch->results)
+            if (!result.ok()) failures.fetch_add(1);
+        });
+      }
+      for (std::thread& thread : stormers) thread.join();
+    });
+    if (failures.load() != 0) throw Error("bench: attach-storm failures");
+    const int attaches = kStormThreads * kStormBatch;
+    const double per_sec_storm =
+        attaches / (static_cast<double>(elapsed_storm) / 1e9);
+    fabric_exchanges_per_attach = static_cast<double>(wire_exchanges.load()) /
+                                  static_cast<double>(kStormThreads);
+    if (shards == 1) storm_at_1 = per_sec_storm;
+    if (shards == 8) storm_at_8 = per_sec_storm;
+    if (tables)
+      std::printf("  %d shard%s : %2d sessions x %d devices in %7.1f ms -> %6.1f attaches/sec\n",
+                  shards, shards == 1 ? " " : "s", attaches, kStormDevices,
+                  bench::ms(elapsed_storm), per_sec_storm);
+    report.metric("attaches_per_sec_at_" + std::to_string(shards),
+                  per_sec_storm, "1/s");
+  }
+  const double storm_scaling = storm_at_1 > 0 ? storm_at_8 / storm_at_1 : 0.0;
+  if (tables) {
+    std::printf("  8-shard speedup over 1 shard : %.1fx %s\n", storm_scaling,
+                storm_scaling >= 3.0 ? "(>= 3x bar met)" : "(below the 3x bar)");
+    std::printf("  RA wire round-trips per ATTACH_BATCH : %.0f (2 x %d devices, "
+                "independent of the %d sessions)\n",
+                fabric_exchanges_per_attach, kStormDevices, kStormBatch);
+  }
+  report.metric("attach_scaling_8x_over_1x", storm_scaling, "x");
+  report.metric("storm_ra_fabric_exchanges_per_batch", fabric_exchanges_per_attach,
+                "msgs");
   return 0;
 }

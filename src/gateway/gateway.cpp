@@ -32,7 +32,12 @@ Gateway::Gateway(net::Fabric& fabric, GatewayConfig config, ByteView identity_se
       config_(std::move(config)),
       rng_(identity_seed),
       sessions_(config_.session_policy) {
-  verifier_ = std::make_unique<ra::Verifier>(crypto::ecdsa_keygen(rng_), rng_);
+  ra::ShardedVerifierConfig shard_config;
+  shard_config.shards = config_.ra_shards;
+  shard_config.policy.session_key_reuse = config_.ra_session_key_reuse;
+  shard_config.appraisal_latency_ns = config_.ra_appraisal_latency_ns;
+  verifier_ = std::make_unique<ra::ShardedVerifier>(crypto::ecdsa_keygen(rng_),
+                                                    identity_seed, shard_config);
   // The blob msg3 provisions: a gateway session ticket. The appraisal side
   // effects (endorsement, reference value, MAC and signature checks) are
   // what the handshake is run for.
@@ -62,19 +67,16 @@ Gateway::~Gateway() {
 Status Gateway::start() {
   if (started_) return Status::err("gateway: already started");
 
-  // RA endpoint: the gateway's verifier, appraising devices. Handshakes
-  // arrive concurrently from every backend worker, so the shared verifier
-  // state machine is serialised under ra_mu_.
+  // RA endpoint: the gateway's sharded verifier, appraising devices.
+  // Handshakes arrive concurrently from every backend worker; each routes
+  // to its session's shard and locks only that shard, so the fleet
+  // appraises in parallel (batch frames fan one device's lanes out too).
   Status ra = fabric_.listen(
       config_.hostname, config_.ra_port,
       [this](std::uint64_t conn, ByteView message) -> Result<Bytes> {
-        std::lock_guard<std::mutex> lock(ra_mu_);
         return verifier_->handle(conn, message);
       },
-      [this](std::uint64_t conn) {
-        std::lock_guard<std::mutex> lock(ra_mu_);
-        verifier_->end_session(conn);
-      });
+      [this](std::uint64_t conn) { verifier_->end_session(conn); });
   if (!ra.ok()) return ra;
 
   // Client-facing dispatcher. Application failures travel inside the
@@ -123,7 +125,7 @@ Status Gateway::add_device(core::Device& device) {
   }
   if (fresh) backend->worker = std::thread([this, backend] { worker_loop(*backend); });
 
-  std::lock_guard<std::mutex> lock(ra_mu_);
+  // Broadcast to every shard (ShardedVerifier locks one shard at a time).
   verifier_->endorse_device(device.attestation_service().public_key());
   verifier_->add_reference_measurement(backend->platform_claim);
   return {};
@@ -131,7 +133,8 @@ Status Gateway::add_device(core::Device& device) {
 
 // -- worker fabric -----------------------------------------------------------
 
-Status Gateway::post(Backend& backend, std::function<void()> task, bool force) {
+Status Gateway::post(Backend& backend, std::function<void(std::uint64_t)> task,
+                     bool force) {
   {
     std::lock_guard<std::mutex> lock(backend.queue_mu);
     if (backend.stop) return Status::err("gateway: shutting down");
@@ -145,7 +148,10 @@ Status Gateway::post(Backend& backend, std::function<void()> task, bool force) {
     while (now_inflight > peak &&
            !backend.queue_depth_peak.compare_exchange_weak(peak, now_inflight)) {
     }
-    backend.queue.push_back(std::move(task));
+    // Admission timestamp: the worker measures pickup - admission as the
+    // item's queueing delay (the STATS percentiles and the per-response
+    // queue_delay_ns both come from this stamp).
+    backend.queue.push_back(Backend::WorkItem{hw::monotonic_ns(), std::move(task)});
   }
   backend.queue_cv.notify_one();
   return {};
@@ -153,24 +159,48 @@ Status Gateway::post(Backend& backend, std::function<void()> task, bool force) {
 
 void Gateway::worker_loop(Backend& backend) {
   for (;;) {
-    std::function<void()> task;
+    Backend::WorkItem item;
     {
       std::unique_lock<std::mutex> lock(backend.queue_mu);
       backend.queue_cv.wait(lock,
                             [&] { return backend.stop || !backend.queue.empty(); });
       if (backend.queue.empty()) return;  // stop requested and queue drained
-      task = std::move(backend.queue.front());
+      item = std::move(backend.queue.front());
       backend.queue.pop_front();
     }
+    const std::uint64_t now = hw::monotonic_ns();
+    const std::uint64_t delay =
+        now > item.admitted_ns ? now - item.admitted_ns : 0;
+    record_queue_delay(delay);
     // On shutdown the loop still drains every queued item: each one
     // observes stopping_ and fails fast, fulfilling its promise so no
     // admitted request is ever left dangling. Each task decrements
     // inflight itself, just BEFORE publishing its result — so admission
     // capacity is provably free by the time a waiter observes completion
-    // (decrementing here, after task(), would let a hot client see the
+    // (decrementing here, after the task, would let a hot client see the
     // completion and get bounced before this thread is rescheduled).
-    task();
+    item.run(delay);
   }
+}
+
+void Gateway::record_queue_delay(std::uint64_t delay_ns) {
+  std::size_t bucket = 0;
+  while (bucket + 1 < kDelayBuckets && (1ull << bucket) < delay_ns) ++bucket;
+  queue_delay_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  queue_delay_samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Gateway::queue_delay_percentile(double q) {
+  const std::uint64_t total = queue_delay_samples_.load(std::memory_order_relaxed);
+  if (total == 0) return 0;
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t bucket = 0; bucket < kDelayBuckets; ++bucket) {
+    seen += queue_delay_buckets_[bucket].load(std::memory_order_relaxed);
+    if (seen >= rank) return 1ull << bucket;  // bucket upper bound
+  }
+  return 1ull << (kDelayBuckets - 1);
 }
 
 std::vector<Gateway::Backend*> Gateway::placement_candidates() {
@@ -220,6 +250,7 @@ Result<Bytes> Gateway::handle_request(std::uint64_t conn, ByteView request) {
   if (!op.ok()) return Result<Bytes>::err(op.error());
   switch (*op) {
     case Op::Attach: return handle_attach(conn, request);
+    case Op::AttachBatch: return handle_attach_batch(conn, request);
     case Op::LoadModule: return handle_load_module(request);
     case Op::Invoke: return handle_invoke(request);
     case Op::Stats: return handle_stats(request);
@@ -233,74 +264,148 @@ Result<Bytes> Gateway::handle_request(std::uint64_t conn, ByteView request) {
 Result<Bytes> Gateway::handle_attach(std::uint64_t conn, ByteView request) {
   auto req = AttachRequest::decode(request);
   if (!req.ok()) return Result<Bytes>::err(req.error());
+  // A plain attach is a batch of one: same fan-out, same merge, same
+  // teardown semantics — only the response framing differs.
+  auto batch = attach_sessions(conn, {req->client});
+  if (!batch.ok()) return Result<Bytes>::err(batch.error());
+  const AttachBatchResult& result = batch->results.front();
+  if (!result.ok()) return Result<Bytes>::err(result.error);
+  AttachResponse resp;
+  resp.session_id = result.session_id;
+  resp.devices_attested = result.devices_attested;
+  resp.ra_exchanges = result.ra_exchanges;
+  return ok_envelope(resp.encode());
+}
+
+Result<Bytes> Gateway::handle_attach_batch(std::uint64_t conn, ByteView request) {
+  auto req = AttachBatchRequest::decode(request);
+  if (!req.ok()) return Result<Bytes>::err(req.error());
+  auto resp = attach_sessions(conn, req->clients);
+  if (!resp.ok()) return Result<Bytes>::err(resp.error());
+  return ok_envelope(resp->encode());
+}
+
+Result<AttachBatchResponse> Gateway::attach_sessions(
+    std::uint64_t conn, const std::vector<std::string>& clients) {
+  using R = Result<AttachBatchResponse>;
   std::vector<Backend*> fleet;
   {
     std::lock_guard<std::mutex> lock(backends_mu_);
     fleet = backend_order_;
   }
-  if (fleet.empty()) return Result<Bytes>::err("gateway: no devices enrolled");
+  if (fleet.empty()) return R::err("gateway: no devices enrolled");
 
   const std::uint64_t now = hw::monotonic_ns();
-  SessionPtr session = sessions_.attach(req->client, now);
+  std::vector<SessionPtr> sessions;
+  sessions.reserve(clients.size());
+  for (const std::string& client : clients)
+    sessions.push_back(sessions_.attach(client, now));
 
-  // Attest the whole fleet up front so invokes on this session are RA-free
-  // until the policy invalidates the evidence. Each handshake is a work
-  // item on its device's worker (forced past the bound: attach is control
-  // plane), so the fleet proves itself in parallel.
-  struct Attested {
-    std::shared_ptr<std::promise<Result<std::uint32_t>>> promise;
-    std::future<Result<std::uint32_t>> future;
+  // One forced work item per backend (control plane, like ATTACH): the
+  // item runs a single batched protocol exchange covering EVERY session —
+  // lane i is session i — so each device pays two RA round-trips for the
+  // whole batch instead of two per session, and the fleet's batches run in
+  // parallel across the backend workers.
+  struct DeviceLanes {
+    std::uint32_t fabric_exchanges = 0;
+    std::vector<Result<std::uint32_t>> lanes;  // RA exchanges per session
   };
-  std::vector<Attested> pending;
+  struct Fanned {
+    Backend* backend = nullptr;
+    std::shared_ptr<std::promise<DeviceLanes>> promise;
+    std::future<DeviceLanes> future;
+  };
+  std::vector<Fanned> pending;
   for (Backend* backend : fleet) {
-    auto promise = std::make_shared<std::promise<Result<std::uint32_t>>>();
+    auto promise = std::make_shared<std::promise<DeviceLanes>>();
     auto future = promise->get_future();
     Status admitted = post(
         *backend,
-        [this, backend, session, promise]() {
-          auto outcome = [&]() -> Result<std::uint32_t> {
-            if (stopping_.load(std::memory_order_acquire))
-              return Result<std::uint32_t>::err("gateway: shutting down");
+        [this, backend, sessions, promise](std::uint64_t) {
+          DeviceLanes out;
+          out.lanes.assign(sessions.size(),
+                           Result<std::uint32_t>::err("gateway: shutting down"));
+          if (!stopping_.load(std::memory_order_acquire)) {
             std::uint64_t boot_count = 0;
             {
               std::lock_guard<std::mutex> lock(backend->state_mu);
               boot_count = backend->boot_count;
             }
-            return sessions_.ensure_attested(
-                *session, backend->hostname, boot_count, hw::monotonic_ns(),
-                [&] { return run_handshake(*backend); });
-          }();
+            auto batch = run_handshake_batch(*backend, sessions.size());
+            if (!batch.ok()) {
+              for (auto& lane : out.lanes)
+                lane = Result<std::uint32_t>::err("gateway: " + backend->hostname +
+                                                  " failed appraisal: " + batch.error());
+            } else {
+              out.fabric_exchanges = batch->fabric_exchanges;
+              const std::uint64_t attested_at = hw::monotonic_ns();
+              for (std::size_t i = 0; i < sessions.size(); ++i) {
+                Result<attestation::Evidence>& lane = batch->lanes[i];
+                if (!lane.ok()) {
+                  out.lanes[i] = Result<std::uint32_t>::err(
+                      "gateway: " + backend->hostname + " failed appraisal: " +
+                      lane.error());
+                  continue;
+                }
+                Status recorded = sessions_.record_attestation(
+                    *sessions[i], backend->hostname, boot_count, attested_at,
+                    std::move(*lane));
+                out.lanes[i] = recorded.ok()
+                                   ? Result<std::uint32_t>(kRaExchangesPerHandshake)
+                                   : Result<std::uint32_t>::err(recorded.error());
+              }
+            }
+          }
           backend->inflight.fetch_sub(1, std::memory_order_release);
-          promise->set_value(std::move(outcome));
+          promise->set_value(std::move(out));
         },
         /*force=*/true);
     if (!admitted.ok()) {
-      promise->set_value(Result<std::uint32_t>::err(admitted.error()));
+      DeviceLanes failed;
+      failed.lanes.assign(sessions.size(),
+                          Result<std::uint32_t>::err(admitted.error()));
+      promise->set_value(std::move(failed));
     }
-    pending.push_back(Attested{std::move(promise), std::move(future)});
+    pending.push_back(Fanned{backend, std::move(promise), std::move(future)});
   }
 
-  AttachResponse resp;
-  resp.session_id = session->id;
-  std::string last_error;
-  for (Attested& attested : pending) {
-    auto exchanges = attested.future.get();
-    if (!exchanges.ok()) {
-      last_error = exchanges.error();
+  AttachBatchResponse resp;
+  resp.results.resize(sessions.size());
+  std::vector<std::string> last_error(sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i)
+    resp.results[i].session_id = sessions[i]->id;
+  for (Fanned& fanned : pending) {
+    DeviceLanes outcome = fanned.future.get();
+    resp.ra_fabric_exchanges += outcome.fabric_exchanges;
+    for (std::size_t i = 0; i < outcome.lanes.size(); ++i) {
+      if (outcome.lanes[i].ok()) {
+        ++resp.results[i].devices_attested;
+        resp.results[i].ra_exchanges += *outcome.lanes[i];
+      } else {
+        last_error[i] = outcome.lanes[i].error();
+      }
+    }
+  }
+
+  // Partial success by design: a session no device would attest detaches
+  // and reports its error at its index; its siblings attach normally.
+  std::vector<std::uint64_t> attached;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    if (resp.results[i].devices_attested == 0) {
+      sessions_.detach(sessions[i]->id);
+      resp.results[i].session_id = 0;
+      resp.results[i].error =
+          "gateway: no device passed appraisal: " + last_error[i];
       continue;
     }
-    ++resp.devices_attested;
-    resp.ra_exchanges += *exchanges;
-  }
-  if (resp.devices_attested == 0) {
-    sessions_.detach(session->id);
-    return Result<Bytes>::err("gateway: no device passed appraisal: " + last_error);
+    attached.push_back(sessions[i]->id);
   }
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_sessions_[conn].push_back(session->id);
+    std::vector<std::uint64_t>& linked = conn_sessions_[conn];
+    linked.insert(linked.end(), attached.begin(), attached.end());
   }
-  return ok_envelope(resp.encode());
+  return resp;
 }
 
 Result<Bytes> Gateway::handle_load_module(ByteView request) {
@@ -322,9 +427,10 @@ Result<std::future<Result<InvokeResponse>>> Gateway::post_invoke(
     Backend& backend, const SessionPtr& session, const InvokeRequest& request) {
   auto promise = std::make_shared<std::promise<Result<InvokeResponse>>>();
   auto future = promise->get_future();
-  Status admitted =
-      post(backend, [this, backend = &backend, session, request, promise]() {
-        auto outcome = execute_invoke(*backend, session, request);
+  Status admitted = post(
+      backend, [this, backend = &backend, session, request,
+                promise](std::uint64_t queue_delay_ns) {
+        auto outcome = execute_invoke(*backend, session, request, queue_delay_ns);
         backend->inflight.fetch_sub(1, std::memory_order_release);
         promise->set_value(std::move(outcome));
       });
@@ -432,7 +538,8 @@ Result<Bytes> Gateway::handle_poll(ByteView request) {
 // cache.mu are leaves; neither is held across the guest invoke below.
 Result<InvokeResponse> Gateway::execute_invoke(Backend& backend,
                                                const SessionPtr& session,
-                                               const InvokeRequest& request) {
+                                               const InvokeRequest& request,
+                                               std::uint64_t queue_delay_ns) {
   using R = Result<InvokeResponse>;
   if (stopping_.load(std::memory_order_acquire)) return R::err("gateway: shutting down");
   if (session->closed.load(std::memory_order_acquire))
@@ -489,6 +596,7 @@ Result<InvokeResponse> Gateway::execute_invoke(Backend& backend,
   resp.launch_ns = lease->launch_ns;
   resp.invoke_ns = invoke_ns;
   resp.ra_exchanges = *exchanges;
+  resp.queue_delay_ns = queue_delay_ns;
   return resp;
 }
 
@@ -538,6 +646,105 @@ Result<attestation::Evidence> Gateway::run_handshake(Backend& backend) {
     auto ticket = attester.handle_msg3(*msg3);
     if (!ticket.ok()) return Ev::err(ticket.error());
     return evidence;
+  });
+}
+
+Result<Gateway::BatchHandshake> Gateway::run_handshake_batch(Backend& backend,
+                                                             std::size_t lanes) {
+  using R = Result<BatchHandshake>;
+  const std::string& hostname = backend.hostname;
+  core::Device* device_snapshot = nullptr;
+  std::shared_ptr<crypto::Fortuna> rng;
+  crypto::Sha256Digest claim;
+  {
+    std::lock_guard<std::mutex> lock(backend.state_mu);
+    device_snapshot = backend.device;
+    rng = backend.attester_rng;
+    claim = backend.platform_claim;
+  }
+  core::Device& device = *device_snapshot;
+  // One TEE entry covers the whole batch: `lanes` attester state machines
+  // advance in lockstep, and each protocol step crosses the fabric ONCE as
+  // a batch frame (ra/messages.hpp) instead of once per session.
+  return device.monitor().smc_call([&]() -> R {
+    optee::Supplicant* supplicant = device.os().supplicant();
+    if (!supplicant) return R::err("gateway: " + hostname + ": no supplicant");
+
+    BatchHandshake out;
+    out.lanes.assign(lanes, Result<attestation::Evidence>::err(
+                                "gateway: " + hostname + ": no verifier reply"));
+
+    std::vector<ra::AttesterSession> attesters;
+    attesters.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i)
+      attesters.emplace_back(*rng, verifier_->identity_key());
+
+    auto conn = supplicant->socket_connect(config_.hostname, config_.ra_port);
+    if (!conn.ok()) return R::err(conn.error());
+    struct CloseGuard {
+      optee::Supplicant* s;
+      std::uint32_t handle;
+      ~CloseGuard() { s->socket_close(handle); }
+    } guard{supplicant, *conn};
+
+    // Round-trip 1: every lane's msg0 in one exchange, msg1s back.
+    std::vector<ra::BatchItem> msg0s;
+    msg0s.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i)
+      msg0s.push_back(
+          ra::BatchItem{static_cast<std::uint32_t>(i), attesters[i].make_msg0()});
+    auto reply1 = supplicant->socket_send_recv(*conn, ra::encode_batch(msg0s));
+    if (!reply1.ok()) return R::err(reply1.error());
+    ++out.fabric_exchanges;
+    auto msg1s = ra::decode_batch_reply(*reply1);
+    if (!msg1s.ok()) return R::err(msg1s.error());
+
+    // Evidence is issued per lane while consuming msg1 (the anchor binds it
+    // to that lane's session); failed lanes drop out of round-trip 2.
+    std::vector<attestation::Evidence> evidences(lanes);
+    std::vector<bool> alive(lanes, false);
+    std::vector<ra::BatchItem> msg2s;
+    for (const ra::BatchReplyItem& item : *msg1s) {
+      if (item.lane >= lanes) continue;  // not a lane we opened
+      if (!item.ok) {
+        out.lanes[item.lane] = Result<attestation::Evidence>::err(item.error);
+        continue;
+      }
+      auto msg2 = attesters[item.lane].handle_msg1(
+          item.payload, [&](const std::array<std::uint8_t, 32>& anchor) {
+            evidences[item.lane] =
+                device.attestation_service().issue_evidence(anchor, claim);
+            return evidences[item.lane];
+          });
+      if (!msg2.ok()) {
+        out.lanes[item.lane] = Result<attestation::Evidence>::err(msg2.error());
+        continue;
+      }
+      msg2s.push_back(ra::BatchItem{item.lane, std::move(*msg2)});
+      alive[item.lane] = true;
+    }
+    if (msg2s.empty()) return out;  // every lane failed before appraisal
+
+    // Round-trip 2: surviving msg2s; per-lane msg3 or appraisal rejection.
+    auto reply2 = supplicant->socket_send_recv(*conn, ra::encode_batch(msg2s));
+    if (!reply2.ok()) return R::err(reply2.error());
+    ++out.fabric_exchanges;
+    auto msg3s = ra::decode_batch_reply(*reply2);
+    if (!msg3s.ok()) return R::err(msg3s.error());
+    for (const ra::BatchReplyItem& item : *msg3s) {
+      if (item.lane >= lanes || !alive[item.lane]) continue;
+      if (!item.ok) {
+        out.lanes[item.lane] = Result<attestation::Evidence>::err(item.error);
+        continue;
+      }
+      auto ticket = attesters[item.lane].handle_msg3(item.payload);
+      if (!ticket.ok()) {
+        out.lanes[item.lane] = Result<attestation::Evidence>::err(ticket.error());
+        continue;
+      }
+      out.lanes[item.lane] = std::move(evidences[item.lane]);
+    }
+    return out;
   });
 }
 
@@ -630,6 +837,17 @@ GatewayStats Gateway::stats() {
   stats.invocations = invocations_.load(std::memory_order_relaxed);
   stats.queue_full_rejections =
       queue_full_rejections_.load(std::memory_order_relaxed);
+  stats.queue_delay_p50_ns = queue_delay_percentile(0.50);
+  stats.queue_delay_p90_ns = queue_delay_percentile(0.90);
+  stats.queue_delay_p99_ns = queue_delay_percentile(0.99);
+  for (const ra::VerifierShardStats& s : verifier_->stats()) {
+    RaShardStats shard;
+    shard.msg0s = s.msg0s;
+    shard.handshakes = s.handshakes;
+    shard.rejects = s.rejects;
+    shard.key_rotations = s.key_rotations;
+    stats.ra_shards.push_back(shard);
+  }
   {
     std::lock_guard<std::mutex> lock(binaries_mu_);
     stats.modules_registered = binaries_.size();
@@ -678,10 +896,87 @@ Result<Bytes> GatewayClient::call(ByteView request) {
   return open_envelope(*response);
 }
 
+std::uint64_t GatewayClient::next_jitter() {
+  // xorshift64: cheap, deterministic per client (seeded at construction),
+  // good enough to decorrelate retry storms across client threads.
+  std::uint64_t x = jitter_state_;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  jitter_state_ = x;
+  return x;
+}
+
+void GatewayClient::backoff_sleep(int attempt) {
+  std::uint64_t window = backoff_.base_ns;
+  for (int i = 0; i < attempt && window < backoff_.cap_ns; ++i) window <<= 1;
+  if (window > backoff_.cap_ns) window = backoff_.cap_ns;
+  // Full jitter: sleep uniformly in (0, window] so retries from many
+  // clients spread out instead of re-colliding in lockstep.
+  const std::uint64_t sleep_ns = next_jitter() % window + 1;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+}
+
 Result<AttachResponse> GatewayClient::attach(const std::string& client_name) {
   auto payload = call(AttachRequest{client_name}.encode());
   if (!payload.ok()) return Result<AttachResponse>::err(payload.error());
   return AttachResponse::decode(*payload);
+}
+
+Result<AttachBatchResponse> GatewayClient::attach_all(
+    const std::vector<std::string>& clients) {
+  using R = Result<AttachBatchResponse>;
+  if (clients.empty()) return R::err("gateway client: empty attach batch");
+
+  // Chunk, then pipeline every chunk as a concurrent exchange on the one
+  // connection: wall-clock is the slowest chunk, and the gateway sees the
+  // chunks as parallel ATTACH_BATCH requests fanning across its workers.
+  std::vector<Bytes> frames;
+  for (std::size_t start = 0; start < clients.size(); start += kAttachBatchChunk) {
+    AttachBatchRequest chunk;
+    const std::size_t end = std::min(clients.size(), start + kAttachBatchChunk);
+    chunk.clients.assign(clients.begin() + static_cast<std::ptrdiff_t>(start),
+                         clients.begin() + static_cast<std::ptrdiff_t>(end));
+    frames.push_back(chunk.encode());
+  }
+  if (!connected_) return R::err("gateway client: not connected");
+  std::vector<Result<Bytes>> replies = fabric_.exchange_all(conn_, std::move(frames));
+
+  // Per-chunk failures become per-result errors at that chunk's indices:
+  // sibling chunks may already have attached server-side, and swallowing
+  // their session ids would leak sessions the caller can never detach.
+  // (Partial success is the documented contract — per lane AND per chunk.)
+  AttachBatchResponse merged;
+  for (std::size_t c = 0; c < replies.size(); ++c) {
+    const std::size_t chunk_size =
+        std::min(kAttachBatchChunk, clients.size() - c * kAttachBatchChunk);
+    const auto fail_chunk = [&](const std::string& error) {
+      for (std::size_t i = 0; i < chunk_size; ++i) {
+        AttachBatchResult failed;
+        failed.error = error;
+        merged.results.push_back(std::move(failed));
+      }
+    };
+    if (!replies[c].ok()) {
+      fail_chunk(replies[c].error());
+      continue;
+    }
+    auto payload = open_envelope(*replies[c]);
+    if (!payload.ok()) {
+      fail_chunk(payload.error());
+      continue;
+    }
+    auto chunk = AttachBatchResponse::decode(*payload);
+    if (!chunk.ok() || chunk->results.size() != chunk_size) {
+      fail_chunk(chunk.ok() ? "gateway client: attach batch result count mismatch"
+                            : chunk.error());
+      continue;
+    }
+    merged.ra_fabric_exchanges += chunk->ra_fabric_exchanges;
+    for (AttachBatchResult& result : chunk->results)
+      merged.results.push_back(std::move(result));
+  }
+  return merged;
 }
 
 Result<LoadModuleResponse> GatewayClient::load_module(std::uint64_t session_id,
@@ -695,9 +990,16 @@ Result<LoadModuleResponse> GatewayClient::load_module(std::uint64_t session_id,
 }
 
 Result<InvokeResponse> GatewayClient::invoke(const InvokeRequest& request) {
-  auto payload = call(request.encode());
-  if (!payload.ok()) return Result<InvokeResponse>::err(payload.error());
-  return InvokeResponse::decode(*payload);
+  const Bytes frame = request.encode();
+  for (int attempt = 0;; ++attempt) {
+    auto payload = call(frame);
+    if (payload.ok()) return InvokeResponse::decode(*payload);
+    // QUEUE_FULL is backpressure, not failure: back off (jittered, growing)
+    // and re-admit instead of the old busy-poll. Anything else is final.
+    if (!is_queue_full(payload.error()) || attempt >= backoff_.max_retries)
+      return Result<InvokeResponse>::err(payload.error());
+    backoff_sleep(attempt);
+  }
 }
 
 Result<SubmitResponse> GatewayClient::submit(const InvokeRequest& request) {
@@ -749,11 +1051,13 @@ std::vector<Result<InvokeResponse>> GatewayClient::invoke_batch(
   };
 
   std::size_t next = 0;
+  int stalls = 0;  // consecutive drain passes with no completion
   while (next < requests.size() || !outstanding.empty()) {
     if (next < requests.size()) {
       auto submitted = submit(requests[next]);
       if (submitted.ok()) {
         outstanding[submitted->ticket] = next++;
+        stalls = 0;
         continue;  // pipeline: keep submitting while the gateway admits
       }
       if (!is_queue_full(submitted.error())) {
@@ -762,9 +1066,14 @@ std::vector<Result<InvokeResponse>> GatewayClient::invoke_batch(
       }
       // QUEUE_FULL backpressure: fall through and drain before retrying.
     }
-    // Yield whenever nothing completed — including when outstanding is
-    // empty but SUBMIT keeps bouncing (other clients own every slot).
-    if (!drain()) std::this_thread::yield();
+    // Back off (jittered, growing with consecutive stalls) whenever a
+    // drain pass completes nothing — including when outstanding is empty
+    // but SUBMIT keeps bouncing (other clients own every slot). Progress
+    // resets the curve.
+    if (drain())
+      stalls = 0;
+    else
+      backoff_sleep(stalls++);
   }
   return results;
 }

@@ -5,9 +5,13 @@
 //   * a client-facing dispatcher (GatewayConfig::port) speaking the framed
 //     protocol of protocol.hpp;
 //   * an RA endpoint (GatewayConfig::ra_port) where the gateway's
-//     ra::Verifier listens and enrolled devices prove themselves — the
-//     same four-message WaTZ protocol of SS IV, with the device's
+//     ra::ShardedVerifier listens and enrolled devices prove themselves —
+//     the same four-message WaTZ protocol of SS IV, with the device's
 //     *platform claim* (hash of its measured boot chain) as the claim.
+//     Handshake state is sharded by session id (GatewayConfig::ra_shards)
+//     and whole fleets of handshakes pipeline through the batch frames of
+//     ra/messages.hpp (one fabric exchange carries N msg0s), so attach
+//     storms scale with shards instead of serialising on a verifier lock.
 //
 // Amortisation happens in two layers, one per expensive path:
 //   * SessionManager — the RA handshake runs once per (session, device)
@@ -29,6 +33,7 @@
 // backpressure instead of being admitted unbounded.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -43,7 +48,7 @@
 #include "gateway/module_cache.hpp"
 #include "gateway/protocol.hpp"
 #include "gateway/session_manager.hpp"
-#include "ra/verifier.hpp"
+#include "ra/verifier_shard.hpp"
 
 namespace watz::gateway {
 
@@ -62,6 +67,18 @@ struct GatewayConfig {
   /// Bound of each backend's run queue (queued + executing work items).
   /// INVOKE/SUBMIT admission past it answers QUEUE_FULL.
   std::size_t worker_queue_capacity = 64;
+  /// Verifier shards on the RA endpoint: handshake state is sharded by
+  /// session id so attach storms from many devices appraise in parallel
+  /// instead of serialising on one verifier lock.
+  std::size_t ra_shards = 4;
+  /// Per-shard ephemeral keypair rotation window
+  /// (ra::VerifierPolicy::session_key_reuse; 1 = fresh keypair per
+  /// handshake, the full-PFS default).
+  std::uint64_t ra_session_key_reuse = 1;
+  /// Modeled per-appraisal verifier latency, slept under the owning shard
+  /// lock (see ra::ShardedVerifierConfig::appraisal_latency_ns). Bench
+  /// knob; 0 (default) disables it.
+  std::uint64_t ra_appraisal_latency_ns = 0;
 };
 
 class Gateway {
@@ -83,7 +100,7 @@ class Gateway {
 
   GatewayStats stats();
   SessionManager& sessions() noexcept { return sessions_; }
-  ra::Verifier& verifier() noexcept { return *verifier_; }
+  ra::ShardedVerifier& verifier() noexcept { return *verifier_; }
   const crypto::EcPoint& identity() const noexcept { return verifier_->identity_key(); }
   const GatewayConfig& config() const noexcept { return config_; }
 
@@ -107,10 +124,15 @@ class Gateway {
 
     /// Bounded MPSC run queue: any dispatcher thread posts, the one worker
     /// drains. inflight counts queued + executing and is what admission
-    /// bounds and placement compares.
+    /// bounds and placement compares. Every item carries its admission
+    /// timestamp; the worker hands the measured queueing delay to the task.
+    struct WorkItem {
+      std::uint64_t admitted_ns = 0;
+      std::function<void(std::uint64_t queue_delay_ns)> run;
+    };
     std::mutex queue_mu;
     std::condition_variable queue_cv;
-    std::deque<std::function<void()>> queue;
+    std::deque<WorkItem> queue;
     bool stop = false;
     std::thread worker;
 
@@ -122,6 +144,14 @@ class Gateway {
 
   Result<Bytes> handle_request(std::uint64_t conn, ByteView request);
   Result<Bytes> handle_attach(std::uint64_t conn, ByteView request);
+  Result<Bytes> handle_attach_batch(std::uint64_t conn, ByteView request);
+  /// Shared attach fan-out: creates one session per client, attests the
+  /// whole fleet for all of them through the batched handshake path (one
+  /// forced work item per backend, lane i == session i), detaches sessions
+  /// no device would attest, links survivors to `conn`. A plain ATTACH is
+  /// a batch of one.
+  Result<AttachBatchResponse> attach_sessions(std::uint64_t conn,
+                                              const std::vector<std::string>& clients);
   Result<Bytes> handle_load_module(ByteView request);
   Result<Bytes> handle_invoke(ByteView request);
   Result<Bytes> handle_submit(ByteView request);
@@ -146,16 +176,24 @@ class Gateway {
   /// comparisons in the common case — no per-request sort.
   std::vector<Backend*> placement_candidates();
 
-  /// Enqueues a work item on the backend's run queue. Fails QUEUE_FULL at
-  /// the bound unless `force` (control-plane items: attach attestation).
-  Status post(Backend& backend, std::function<void()> task, bool force = false);
+  /// Enqueues a work item on the backend's run queue, stamping its
+  /// admission time. Fails QUEUE_FULL at the bound unless `force`
+  /// (control-plane items: attach attestation).
+  Status post(Backend& backend, std::function<void(std::uint64_t)> task,
+              bool force = false);
   void worker_loop(Backend& backend);
+
+  /// Folds one measured admission->pickup delay into the log2 histogram
+  /// STATS derives its queueing-delay percentiles from.
+  void record_queue_delay(std::uint64_t delay_ns);
+  std::uint64_t queue_delay_percentile(double q);
 
   /// The INVOKE work item body. Runs ON the backend's worker thread:
   /// attests the session if needed, acquires a cached instance, invokes,
   /// and releases clean exits back to the warm pool.
   Result<InvokeResponse> execute_invoke(Backend& backend, const SessionPtr& session,
-                                        const InvokeRequest& request);
+                                        const InvokeRequest& request,
+                                        std::uint64_t queue_delay_ns);
 
   /// Admits an invoke to the best backend and returns its future, walking
   /// spill-over candidates past full queues. On total backpressure returns
@@ -177,6 +215,22 @@ class Gateway {
   /// en route.
   Result<attestation::Evidence> run_handshake(Backend& backend);
 
+  /// Outcome of one batched protocol run against one device.
+  struct BatchHandshake {
+    /// RA wire round-trips actually spent (2 when any lane reached msg2 —
+    /// independent of the lane count, which is the amortisation).
+    std::uint32_t fabric_exchanges = 0;
+    std::vector<Result<attestation::Evidence>> lanes;
+  };
+
+  /// Batched counterpart of run_handshake: drives `lanes` attester
+  /// sessions in lockstep inside the device's TEE — all msg0s cross in ONE
+  /// fabric exchange, all msg2s in a second (the ra/messages.hpp batch
+  /// frames), so the handshake's two round-trips are amortised across the
+  /// whole batch. Outer error = transport/device failure; per-lane results
+  /// let a batch partially succeed (one stale lane fails alone).
+  Result<BatchHandshake> run_handshake_batch(Backend& backend, std::size_t lanes);
+
   struct RegisteredBinary {
     Bytes bytes;
     std::uint64_t last_used = 0;
@@ -192,11 +246,11 @@ class Gateway {
 
   net::Fabric& fabric_;
   GatewayConfig config_;
-  crypto::Fortuna rng_;  // must outlive verifier_, which holds a reference
-  std::unique_ptr<ra::Verifier> verifier_;
-  /// Serialises the shared verifier: RA-endpoint messages arrive from
-  /// every backend worker concurrently during parallel attach.
-  std::mutex ra_mu_;
+  crypto::Fortuna rng_;  // seeds the shard RNG streams
+  /// RA-endpoint verifier, sharded by session id: each shard locks
+  /// independently, so concurrent handshakes from many backend workers
+  /// appraise in parallel (the old single ra_mu_ serialised them all).
+  std::unique_ptr<ra::ShardedVerifier> verifier_;
   SessionManager sessions_;
 
   mutable std::mutex backends_mu_;  // guards backends_ / backend_order_ shape
@@ -223,6 +277,11 @@ class Gateway {
 
   std::atomic<std::uint64_t> invocations_{0};
   std::atomic<std::uint64_t> queue_full_rejections_{0};
+  /// Log2 histogram of admission->pickup queueing delays: bucket i counts
+  /// delays whose ceil(log2) is i. STATS walks it for p50/p90/p99.
+  static constexpr std::size_t kDelayBuckets = 40;
+  std::array<std::atomic<std::uint64_t>, kDelayBuckets> queue_delay_buckets_{};
+  std::atomic<std::uint64_t> queue_delay_samples_{0};
   std::atomic<bool> stopping_{false};
   bool started_ = false;
 };
@@ -232,6 +291,16 @@ class Gateway {
 /// any number of GatewayClients may drive the same gateway concurrently.
 class GatewayClient {
  public:
+  /// Retry policy for QUEUE_FULL backpressure: exponential backoff with
+  /// full jitter (deterministic xorshift stream per client), replacing the
+  /// old busy-poll. `max_retries` bounds invoke()'s transparent retries;
+  /// invoke_batch uses the same curve between drain passes.
+  struct BackoffConfig {
+    int max_retries = 8;
+    std::uint64_t base_ns = 200'000;     ///< first sleep; doubles per retry
+    std::uint64_t cap_ns = 10'000'000;   ///< sleep ceiling
+  };
+
   explicit GatewayClient(net::Fabric& fabric) : fabric_(fabric) {}
   ~GatewayClient() { close(); }
   GatewayClient(const GatewayClient&) = delete;
@@ -239,9 +308,19 @@ class GatewayClient {
 
   Status connect(const std::string& host, std::uint16_t port);
   void close();
+  void set_backoff(BackoffConfig backoff) { backoff_ = backoff; }
 
   Result<AttachResponse> attach(const std::string& client_name);
+  /// Batched attach: one ATTACH_BATCH op per chunk of kAttachBatchChunk
+  /// names, chunks pipelined concurrently over the connection
+  /// (net::Fabric::exchange_all), results spliced back in order. The call
+  /// succeeds when the wire did — inspect each AttachBatchResult for
+  /// per-session verdicts (partial success is expected behaviour).
+  Result<AttachBatchResponse> attach_all(const std::vector<std::string>& clients);
   Result<LoadModuleResponse> load_module(std::uint64_t session_id, ByteView binary);
+  /// Invokes, transparently absorbing up to max_retries QUEUE_FULL
+  /// rejections with jittered backoff. A still-full fleet surfaces the
+  /// final QUEUE_FULL error (is_queue_full()).
   Result<InvokeResponse> invoke(const InvokeRequest& request);
   /// Async pair: submit returns a ticket immediately (or QUEUE_FULL, see
   /// is_queue_full); poll redeems it.
@@ -255,12 +334,23 @@ class GatewayClient {
   Result<GatewayStats> stats(std::uint64_t session_id);
   Status detach(std::uint64_t session_id);
 
+  /// Names one ATTACH_BATCH frame carries; attach_all pipelines larger
+  /// requests as concurrent chunk exchanges.
+  static constexpr std::size_t kAttachBatchChunk = 32;
+
  private:
   Result<Bytes> call(ByteView request);
+  /// Sleeps the jittered backoff for retry `attempt` (0-based).
+  void backoff_sleep(int attempt);
+  std::uint64_t next_jitter();
 
   net::Fabric& fabric_;
   std::uint64_t conn_ = 0;
   bool connected_ = false;
+  BackoffConfig backoff_{};
+  /// xorshift64 state; `this` decorrelates sibling clients' retry storms.
+  std::uint64_t jitter_state_ =
+      0x9E3779B97F4A7C15ull ^ reinterpret_cast<std::uint64_t>(this);
 };
 
 }  // namespace watz::gateway

@@ -89,7 +89,7 @@ Result<Op> peek_op(ByteView request) {
   if (request.empty()) return Result<Op>::err("gateway: empty request");
   const std::uint8_t op = request[0];
   if (op < static_cast<std::uint8_t>(Op::Attach) ||
-      op > static_cast<std::uint8_t>(Op::Poll))
+      op > static_cast<std::uint8_t>(Op::AttachBatch))
     return Result<Op>::err("gateway: unknown opcode " + std::to_string(op));
   return static_cast<Op>(op);
 }
@@ -166,6 +166,84 @@ Result<AttachResponse> AttachResponse::decode(ByteView data) {
   resp.session_id = get_u64le(data.data());
   resp.devices_attested = get_u32le(data.data() + 8);
   resp.ra_exchanges = get_u32le(data.data() + 12);
+  return resp;
+}
+
+// -- AttachBatch -------------------------------------------------------------
+
+Bytes AttachBatchRequest::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(Op::AttachBatch));
+  write_uleb(out, clients.size());
+  for (const std::string& client : clients) put_string(out, client);
+  return out;
+}
+
+Result<AttachBatchRequest> AttachBatchRequest::decode(ByteView data) {
+  using R = Result<AttachBatchRequest>;
+  auto r = open_request(data, Op::AttachBatch);
+  if (!r.ok()) return R::err(r.error());
+  auto count = r->read_uleb32();
+  if (!count.ok()) return R::err(count.error());
+  if (*count == 0) return R::err("gateway: empty attach batch");
+  if (*count > kMaxAttachBatch) return R::err("gateway: attach batch too large");
+  // Every client name costs at least its 1-byte length prefix; a count the
+  // remaining frame cannot hold is malformed (and must not drive a reserve).
+  if (*count > r->remaining()) return R::err("gateway: attach count exceeds frame");
+  AttachBatchRequest req;
+  req.clients.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto client = read_string(*r);
+    if (!client.ok()) return R::err("gateway: attach batch entry " +
+                                    std::to_string(i) + ": " + client.error());
+    req.clients.push_back(std::move(*client));
+  }
+  // Count and payload must agree exactly — trailing bytes are as malformed
+  // as a short frame.
+  if (!r->at_end()) return R::err("gateway: trailing bytes after attach batch");
+  return req;
+}
+
+Bytes AttachBatchResponse::encode() const {
+  Bytes out;
+  put_u32le(out, ra_fabric_exchanges);
+  write_uleb(out, results.size());
+  for (const AttachBatchResult& result : results) {
+    put_u64le(out, result.session_id);
+    put_u32le(out, result.devices_attested);
+    put_u32le(out, result.ra_exchanges);
+    put_string(out, result.error);
+  }
+  return out;
+}
+
+Result<AttachBatchResponse> AttachBatchResponse::decode(ByteView data) {
+  using R = Result<AttachBatchResponse>;
+  ByteReader r(data);
+  AttachBatchResponse resp;
+  auto fabric = r.read_u32le();
+  if (!fabric.ok()) return R::err(fabric.error());
+  resp.ra_fabric_exchanges = *fabric;
+  auto count = r.read_uleb32();
+  if (!count.ok()) return R::err(count.error());
+  if (*count > kMaxAttachBatch) return R::err("gateway: attach batch too large");
+  resp.results.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    AttachBatchResult result;
+    auto session = read_u64(r);
+    if (!session.ok()) return R::err(session.error());
+    result.session_id = *session;
+    auto attested = r.read_u32le();
+    if (!attested.ok()) return R::err(attested.error());
+    result.devices_attested = *attested;
+    auto ra = r.read_u32le();
+    if (!ra.ok()) return R::err(ra.error());
+    result.ra_exchanges = *ra;
+    auto error = read_string(r);
+    if (!error.ok()) return R::err(error.error());
+    result.error = std::move(*error);
+    resp.results.push_back(std::move(result));
+  }
   return resp;
 }
 
@@ -263,6 +341,7 @@ Bytes InvokeResponse::encode() const {
   put_u64le(out, launch_ns);
   put_u64le(out, invoke_ns);
   put_u32le(out, ra_exchanges);
+  put_u64le(out, queue_delay_ns);
   return out;
 }
 
@@ -290,6 +369,9 @@ Result<InvokeResponse> InvokeResponse::decode(ByteView data) {
   auto ra = r.read_u32le();
   if (!ra.ok()) return Result<InvokeResponse>::err(ra.error());
   resp.ra_exchanges = *ra;
+  auto delay = read_u64(r);
+  if (!delay.ok()) return Result<InvokeResponse>::err(delay.error());
+  resp.queue_delay_ns = *delay;
   return resp;
 }
 
@@ -396,6 +478,9 @@ Bytes GatewayStats::encode() const {
   put_u64le(out, modules_registered);
   put_u64le(out, invocations);
   put_u64le(out, queue_full_rejections);
+  put_u64le(out, queue_delay_p50_ns);
+  put_u64le(out, queue_delay_p90_ns);
+  put_u64le(out, queue_delay_p99_ns);
   write_uleb(out, devices.size());
   for (const DeviceStats& d : devices) {
     put_string(out, d.hostname);
@@ -409,6 +494,13 @@ Bytes GatewayStats::encode() const {
     put_u64le(out, d.cache_evictions);
     put_u64le(out, d.pool_hits);
   }
+  write_uleb(out, ra_shards.size());
+  for (const RaShardStats& s : ra_shards) {
+    put_u64le(out, s.msg0s);
+    put_u64le(out, s.handshakes);
+    put_u64le(out, s.rejects);
+    put_u64le(out, s.key_rotations);
+  }
   return out;
 }
 
@@ -418,7 +510,8 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
   for (std::uint64_t* field :
        {&stats.sessions_active, &stats.sessions_total, &stats.handshakes_run,
         &stats.handshakes_reused, &stats.modules_registered, &stats.invocations,
-        &stats.queue_full_rejections}) {
+        &stats.queue_full_rejections, &stats.queue_delay_p50_ns,
+        &stats.queue_delay_p90_ns, &stats.queue_delay_p99_ns}) {
     auto v = read_u64(r);
     if (!v.ok()) return Result<GatewayStats>::err(v.error());
     *field = *v;
@@ -449,6 +542,18 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
       *field = *v;
     }
     stats.devices.push_back(std::move(d));
+  }
+  auto shard_count = r.read_uleb32();
+  if (!shard_count.ok()) return Result<GatewayStats>::err(shard_count.error());
+  for (std::uint32_t i = 0; i < *shard_count; ++i) {
+    RaShardStats s;
+    for (std::uint64_t* field : {&s.msg0s, &s.handshakes, &s.rejects,
+                                 &s.key_rotations}) {
+      auto v = read_u64(r);
+      if (!v.ok()) return Result<GatewayStats>::err(v.error());
+      *field = *v;
+    }
+    stats.ra_shards.push_back(s);
   }
   return stats;
 }

@@ -46,6 +46,7 @@ enum class Op : std::uint8_t {
   Detach = 0x05,
   Submit = 0x06,
   Poll = 0x07,
+  AttachBatch = 0x08,
 };
 
 /// Reads the opcode of a raw request frame.
@@ -90,6 +91,50 @@ struct AttachResponse {
   static Result<AttachResponse> decode(ByteView data);
 };
 
+/// Batched attach: N client sessions attached — and the whole fleet
+/// attested for each — in one wire exchange. The gateway fans the
+/// handshakes out across its backend workers, and each device amortises
+/// its two RA round-trips across all N sessions via the batch frames of
+/// ra/messages.hpp (N msg0s out, N msg1s back per fabric exchange).
+/// Framing is strict: uleb count followed by exactly `count`
+/// length-prefixed client names; a count/payload mismatch is a protocol
+/// error for the whole request.
+struct AttachBatchRequest {
+  std::vector<std::string> clients;
+
+  Bytes encode() const;
+  static Result<AttachBatchRequest> decode(ByteView data);
+};
+
+/// Sessions the batch cannot exceed (bounds decode-side allocation).
+inline constexpr std::uint32_t kMaxAttachBatch = 256;
+
+/// Per-session outcome of a batched attach. The batch partially succeeds:
+/// a session whose every device failed appraisal reports `error` (and
+/// session_id 0) at its index while its siblings attach normally.
+struct AttachBatchResult {
+  std::uint64_t session_id = 0;
+  std::uint32_t devices_attested = 0;
+  /// RA protocol exchanges this session's attestations consumed (2 per
+  /// fresh handshake — the protocol cost, not the wire cost).
+  std::uint32_t ra_exchanges = 0;
+  std::string error;  ///< non-empty when the session failed to attach
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+struct AttachBatchResponse {
+  /// Actual RA *fabric* round-trips the whole batch spent: 2 per device
+  /// when every lane is fresh — independent of the session count, which is
+  /// the amortisation ATTACH_BATCH exists for (unbatched attach costs
+  /// 2 x devices x sessions).
+  std::uint32_t ra_fabric_exchanges = 0;
+  std::vector<AttachBatchResult> results;  ///< one per requested client, in order
+
+  Bytes encode() const;
+  static Result<AttachBatchResponse> decode(ByteView data);
+};
+
 struct LoadModuleRequest {
   std::uint64_t session_id = 0;
   Bytes binary;
@@ -131,6 +176,10 @@ struct InvokeResponse {
   /// RA message exchanges spent on this request (0 == session evidence was
   /// still fresh; the amortisation the session manager exists for).
   std::uint32_t ra_exchanges = 0;
+  /// Time this request sat in the backend run queue between admission and
+  /// the worker picking it up (the admission timestamp travels with the
+  /// work item; STATS aggregates these into percentiles).
+  std::uint64_t queue_delay_ns = 0;
 
   Bytes encode() const;
   static Result<InvokeResponse> decode(ByteView data);
@@ -190,6 +239,15 @@ struct DeviceStats {
   std::uint64_t pool_hits = 0;
 };
 
+/// Per-verifier-shard counters (the RA endpoint shards handshake state by
+/// session id; see ra/verifier_shard.hpp).
+struct RaShardStats {
+  std::uint64_t msg0s = 0;       ///< handshakes started on this shard
+  std::uint64_t handshakes = 0;  ///< appraisals passed (msg3 issued)
+  std::uint64_t rejects = 0;
+  std::uint64_t key_rotations = 0;
+};
+
 struct GatewayStats {
   std::uint64_t sessions_active = 0;
   std::uint64_t sessions_total = 0;
@@ -199,7 +257,14 @@ struct GatewayStats {
   std::uint64_t invocations = 0;
   /// INVOKE/SUBMIT requests bounced with QUEUE_FULL backpressure.
   std::uint64_t queue_full_rejections = 0;
+  /// Queueing-delay percentiles over every work item admitted to a backend
+  /// run queue (admission timestamp -> worker pickup), from a log2
+  /// histogram: values are bucket upper bounds, 0 when nothing ran yet.
+  std::uint64_t queue_delay_p50_ns = 0;
+  std::uint64_t queue_delay_p90_ns = 0;
+  std::uint64_t queue_delay_p99_ns = 0;
   std::vector<DeviceStats> devices;
+  std::vector<RaShardStats> ra_shards;
 
   Bytes encode() const;
   static Result<GatewayStats> decode(ByteView data);

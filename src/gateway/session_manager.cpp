@@ -74,4 +74,18 @@ Result<std::uint32_t> SessionManager::ensure_attested(Session& session,
   return kRaExchangesPerHandshake;
 }
 
+Status SessionManager::record_attestation(Session& session,
+                                          const std::string& device_name,
+                                          std::uint64_t boot_count,
+                                          std::uint64_t now_ns,
+                                          attestation::Evidence evidence) {
+  std::lock_guard<std::mutex> lock(session.mu);
+  if (session.closed.load(std::memory_order_acquire))
+    return Status::err("gateway: session detached");
+  handshakes_run_.fetch_add(1, std::memory_order_relaxed);
+  session.attested[device_name] =
+      DeviceAttestation{std::move(evidence), now_ns, boot_count};
+  return {};
+}
+
 }  // namespace watz::gateway

@@ -85,6 +85,15 @@ class SessionManager {
                                         std::uint64_t boot_count, std::uint64_t now_ns,
                                         const HandshakeFn& handshake);
 
+  /// Records evidence collected OUTSIDE ensure_attested — the batched
+  /// attach path runs one pipelined protocol exchange covering many
+  /// sessions and then deposits each lane's evidence here. Counts as a run
+  /// handshake; fails without touching the cache when the session was
+  /// detached while the batch was in flight.
+  Status record_attestation(Session& session, const std::string& device_name,
+                            std::uint64_t boot_count, std::uint64_t now_ns,
+                            attestation::Evidence evidence);
+
   const SessionPolicy& policy() const noexcept { return policy_; }
   void set_policy(SessionPolicy policy) noexcept { policy_ = policy; }
 

@@ -77,6 +77,18 @@ std::future<Result<Bytes>> Fabric::send_async(std::uint64_t conn_id, Bytes messa
                     });
 }
 
+std::vector<Result<Bytes>> Fabric::exchange_all(std::uint64_t conn_id,
+                                                std::vector<Bytes> messages) {
+  std::vector<std::future<Result<Bytes>>> inflight;
+  inflight.reserve(messages.size());
+  for (Bytes& message : messages)
+    inflight.push_back(send_async(conn_id, std::move(message)));
+  std::vector<Result<Bytes>> responses;
+  responses.reserve(inflight.size());
+  for (auto& future : inflight) responses.push_back(future.get());
+  return responses;
+}
+
 void Fabric::close(std::uint64_t conn_id) {
   std::shared_ptr<const Endpoint> endpoint;
   {

@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -57,6 +58,14 @@ class Fabric {
   /// client pipeline several in-flight requests over independent
   /// connections without blocking between them.
   std::future<Result<Bytes>> send_async(std::uint64_t conn_id, Bytes message);
+
+  /// Multi-exchange pipelining helper: runs every message as a concurrent
+  /// send_async exchange on `conn_id` and returns the responses in message
+  /// order. Wall-clock is the slowest single exchange, not the sum — the
+  /// peer's service observes genuinely concurrent requests and must be
+  /// thread-safe (the gateway dispatcher and RA endpoints are).
+  std::vector<Result<Bytes>> exchange_all(std::uint64_t conn_id,
+                                          std::vector<Bytes> messages);
 
   void close(std::uint64_t conn_id);
 

@@ -1,7 +1,9 @@
 #include "ra/messages.hpp"
 
 #include <cstring>
+#include <set>
 
+#include "common/leb128.hpp"
 #include "crypto/sha256.hpp"
 
 namespace watz::ra {
@@ -114,6 +116,119 @@ Result<Msg3> Msg3::decode(ByteView data) {
     return Result<Msg3>::err("ra: msg3 length mismatch");
   msg.ciphertext_and_tag.assign(data.begin() + 1 + crypto::kGcmIvSize + 4, data.end());
   return msg;
+}
+
+// -- batched frames ----------------------------------------------------------
+
+namespace {
+
+/// Shared preamble of batch and batch-reply frames: tag + plausible count.
+/// `min_item_bytes` bounds the count against the remaining frame so a
+/// malicious count can neither drive a huge reserve nor claim items the
+/// payload cannot possibly hold.
+Result<std::uint32_t> open_batch(ByteReader& r, std::size_t min_item_bytes) {
+  auto tag = r.read_u8();
+  if (!tag.ok() || *tag != kBatchTag)
+    return Result<std::uint32_t>::err("ra: not a batch frame");
+  auto count = r.read_uleb32();
+  if (!count.ok()) return Result<std::uint32_t>::err("ra: batch count unreadable");
+  if (*count == 0) return Result<std::uint32_t>::err("ra: empty batch");
+  if (*count > kMaxBatchLanes)
+    return Result<std::uint32_t>::err("ra: batch exceeds lane limit");
+  if (*count > r.remaining() / min_item_bytes)
+    return Result<std::uint32_t>::err("ra: batch count exceeds frame");
+  return count;
+}
+
+}  // namespace
+
+bool is_batch_frame(ByteView message) {
+  return !message.empty() && message[0] == kBatchTag;
+}
+
+Bytes encode_batch(const std::vector<BatchItem>& items) {
+  Bytes out;
+  out.push_back(kBatchTag);
+  write_uleb(out, items.size());
+  for (const BatchItem& item : items) {
+    put_u32le(out, item.lane);
+    write_uleb(out, item.frame.size());
+    append(out, item.frame);
+  }
+  return out;
+}
+
+Result<std::vector<BatchItem>> decode_batch(ByteView data) {
+  using R = Result<std::vector<BatchItem>>;
+  ByteReader r(data);
+  auto count = open_batch(r, /*min_item_bytes=*/5);  // lane + len, empty frame
+  if (!count.ok()) return R::err(count.error());
+  std::vector<BatchItem> items;
+  items.reserve(*count);
+  std::set<std::uint32_t> lanes;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    BatchItem item;
+    auto lane = r.read_u32le();
+    if (!lane.ok()) return R::err("ra: batch item " + std::to_string(i) + " truncated");
+    item.lane = *lane;
+    if (item.lane >= kMaxBatchLanes) return R::err("ra: batch lane out of range");
+    if (!lanes.insert(item.lane).second) return R::err("ra: duplicate batch lane");
+    auto len = r.read_uleb32();
+    if (!len.ok()) return R::err("ra: batch item length unreadable");
+    auto frame = r.read_bytes(*len);
+    if (!frame.ok()) return R::err("ra: batch item length exceeds frame");
+    item.frame.assign(frame->begin(), frame->end());
+    items.push_back(std::move(item));
+  }
+  // Count and payload must agree exactly: trailing bytes are as malformed
+  // as a short frame (a count/payload mismatch must never half-parse).
+  if (!r.at_end()) return R::err("ra: trailing bytes after batch");
+  return items;
+}
+
+Bytes encode_batch_reply(const std::vector<BatchReplyItem>& items) {
+  Bytes out;
+  out.push_back(kBatchTag);
+  write_uleb(out, items.size());
+  for (const BatchReplyItem& item : items) {
+    put_u32le(out, item.lane);
+    out.push_back(item.ok ? 0 : 1);
+    const Bytes body = item.ok ? item.payload : to_bytes(item.error);
+    write_uleb(out, body.size());
+    append(out, body);
+  }
+  return out;
+}
+
+Result<std::vector<BatchReplyItem>> decode_batch_reply(ByteView data) {
+  using R = Result<std::vector<BatchReplyItem>>;
+  ByteReader r(data);
+  auto count = open_batch(r, /*min_item_bytes=*/6);  // lane + status + len
+  if (!count.ok()) return R::err(count.error());
+  std::vector<BatchReplyItem> items;
+  items.reserve(*count);
+  std::set<std::uint32_t> lanes;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    BatchReplyItem item;
+    auto lane = r.read_u32le();
+    if (!lane.ok()) return R::err("ra: batch reply truncated");
+    item.lane = *lane;
+    if (!lanes.insert(item.lane).second) return R::err("ra: duplicate batch lane");
+    auto status = r.read_u8();
+    if (!status.ok()) return R::err("ra: batch reply truncated");
+    item.ok = *status == 0;
+    auto len = r.read_uleb32();
+    if (!len.ok()) return R::err("ra: batch reply length unreadable");
+    auto body = r.read_bytes(*len);
+    if (!body.ok()) return R::err("ra: batch reply length exceeds frame");
+    if (item.ok)
+      item.payload.assign(body->begin(), body->end());
+    else
+      item.error.assign(body->begin(), body->end());
+    items.push_back(std::move(item));
+  }
+  if (!r.at_end()) return R::err("ra: trailing bytes after batch");
+  return items;
 }
 
 std::array<std::uint8_t, 32> session_anchor(const crypto::EcPoint& ga,

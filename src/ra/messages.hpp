@@ -10,6 +10,9 @@
 // signatures as raw r||s (64 B), MACs as AES-CMAC (16 B).
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "attestation/evidence.hpp"
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -56,6 +59,47 @@ struct Msg3 {
   Bytes encode() const;
   static Result<Msg3> decode(ByteView data);
 };
+
+// -- batched frames ----------------------------------------------------------
+//
+// The gateway's batched attach pipelines whole fleets of handshakes: one
+// fabric exchange carries N per-lane protocol frames (N msg0s out, N msg1s
+// back; then N msg2s out, N msg3s back), so the two network round-trips of
+// Table II are amortised across N sessions. Framing — strict, any violation
+// rejects the whole exchange as a protocol error:
+//
+//   batch       := 0xAF || uleb(count) || count * item
+//   item        := u32le(lane) || uleb(len) || frame[len]
+//   batch_reply := 0xAF || uleb(count) || count * reply_item
+//   reply_item  := u32le(lane) || status u8 (0 ok / 1 err) || uleb(len) || body[len]
+//
+// Lanes are caller-chosen indices (< kMaxBatchLanes, unique within a frame).
+// The verifier derives an independent virtual session per (connection, lane)
+// and shards those sessions — a lane that fails appraisal fails alone; the
+// rest of the batch proceeds (reply_item status carries the per-lane verdict).
+
+inline constexpr std::uint8_t kBatchTag = 0xAF;
+inline constexpr std::uint32_t kMaxBatchLanes = 1024;
+
+struct BatchItem {
+  std::uint32_t lane = 0;
+  Bytes frame;
+};
+
+struct BatchReplyItem {
+  std::uint32_t lane = 0;
+  bool ok = false;
+  Bytes payload;      ///< the protocol reply frame when ok
+  std::string error;  ///< the per-lane failure when !ok
+};
+
+/// True when `message` starts with the batch tag (dispatch without decode).
+bool is_batch_frame(ByteView message);
+
+Bytes encode_batch(const std::vector<BatchItem>& items);
+Result<std::vector<BatchItem>> decode_batch(ByteView data);
+Bytes encode_batch_reply(const std::vector<BatchReplyItem>& items);
+Result<std::vector<BatchReplyItem>> decode_batch_reply(ByteView data);
 
 /// The transport anchor binding evidence to this session: HASH(Ga || Gv).
 std::array<std::uint8_t, 32> session_anchor(const crypto::EcPoint& ga,

@@ -24,12 +24,29 @@ Result<Bytes> Verifier::handle(std::uint64_t conn_id, ByteView message) {
   }
 }
 
+crypto::KeyPair Verifier::next_session_key() {
+  // Rotation policy: a reuse window > 1 serves several handshakes from one
+  // ephemeral <v, Gv> (anchor freshness still comes from the attester's Ga);
+  // window 1 degenerates to a fresh keypair per handshake.
+  if (policy_.session_key_reuse <= 1) {
+    ++key_rotations_;
+    return crypto::ecdsa_keygen(rng_);
+  }
+  if (cached_key_uses_ == 0 || cached_key_uses_ >= policy_.session_key_reuse) {
+    cached_session_key_ = crypto::ecdsa_keygen(rng_);
+    cached_key_uses_ = 0;
+    ++key_rotations_;
+  }
+  ++cached_key_uses_;
+  return cached_session_key_;
+}
+
 Result<Bytes> Verifier::handle_msg0(std::uint64_t conn_id, ByteView message) {
   auto msg0 = Msg0::decode(message);
   if (!msg0.ok()) return Result<Bytes>::err(msg0.error());
 
   Session session;
-  session.session_key = crypto::ecdsa_keygen(rng_);  // fresh ephemeral <v, Gv>
+  session.session_key = next_session_key();  // ephemeral <v, Gv>
   session.ga = msg0->ga;
 
   auto shared = crypto::ecdh_shared_x(session.session_key.priv, msg0->ga);
@@ -101,6 +118,7 @@ Result<Bytes> Verifier::handle_msg2(std::uint64_t conn_id, ByteView message) {
   const crypto::Aes cipher(session.keys.ke);
   msg3.ciphertext_and_tag = crypto::gcm_seal(cipher, msg3.iv, {}, secret);
   session.handshake_done = true;
+  ++handshakes_completed_;
   return msg3.encode();
 }
 

@@ -26,6 +26,13 @@ struct VerifierPolicy {
   /// Evidence from runtimes older than this is rejected (SS VII: rollback /
   /// unpatched-runtime mitigation).
   std::uint32_t min_watz_version = 0;
+  /// Ephemeral session-keypair rotation window: the verifier serves up to
+  /// this many handshakes from one ephemeral <v, Gv> before generating a
+  /// fresh one (TLS-style ephemeral reuse — ECDHE keygen is the most
+  /// expensive verifier-side step in Tab 3). The session anchor HASH(Ga||Gv)
+  /// stays per-session fresh because Ga is. 1 = a fresh keypair every
+  /// handshake (full per-session forward secrecy, the default).
+  std::uint64_t session_key_reuse = 1;
 };
 
 class Verifier {
@@ -51,6 +58,11 @@ class Verifier {
   void end_session(std::uint64_t conn_id);
 
   std::size_t active_sessions() const noexcept { return sessions_.size(); }
+  /// Fresh ephemeral keypair generations (== handshakes served when
+  /// session_key_reuse is 1; fewer under a reuse window).
+  std::uint64_t key_rotations() const noexcept { return key_rotations_; }
+  /// Handshakes appraised to completion (msg3 issued).
+  std::uint64_t handshakes_completed() const noexcept { return handshakes_completed_; }
 
  private:
   struct Session {
@@ -62,6 +74,8 @@ class Verifier {
 
   Result<Bytes> handle_msg0(std::uint64_t conn_id, ByteView message);
   Result<Bytes> handle_msg2(std::uint64_t conn_id, ByteView message);
+  /// The ephemeral <v, Gv> for a new session, honouring the rotation window.
+  crypto::KeyPair next_session_key();
 
   crypto::KeyPair identity_;
   crypto::Rng& rng_;
@@ -70,6 +84,10 @@ class Verifier {
   SecretProvider provider_;
   VerifierPolicy policy_{};
   std::map<std::uint64_t, Session> sessions_;
+  crypto::KeyPair cached_session_key_{};
+  std::uint64_t cached_key_uses_ = 0;
+  std::uint64_t key_rotations_ = 0;
+  std::uint64_t handshakes_completed_ = 0;
 };
 
 }  // namespace watz::ra

@@ -1,0 +1,188 @@
+// Attach-storm stress: M client threads batch-attach sessions against a
+// K-device fleet concurrently through ATTACH_BATCH, with a forced
+// boot-count bump landing mid-storm. Invariants under fire:
+//   * zero duplicate session ids across every thread's results;
+//   * zero verifier state corruption — the per-shard exchange counters
+//     reconcile exactly with the gateway's handshake ledger, and no RA
+//     session state is left behind;
+//   * after the bump, every surviving session re-attests the rebooted
+//     device on its next invoke instead of riding stale evidence.
+// This suite is ThreadSanitizer payload (CI runs it under TSan and with
+// --repeat until-fail to shake out rare interleavings).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/device.hpp"
+#include "gateway/gateway.hpp"
+#include "wasm/builder.hpp"
+
+namespace watz::gateway {
+namespace {
+
+core::DeviceConfig device_config(const std::string& hostname, std::uint8_t id) {
+  core::DeviceConfig config;
+  config.hostname = hostname;
+  config.otpmk.fill(id);
+  config.latency.enabled = false;
+  return config;
+}
+
+/// Guest exporting add(a, b) -> a + b.
+Bytes adder_app() {
+  wasm::ModuleBuilder b;
+  b.add_memory(1);
+  const auto f = b.add_function({{wasm::ValType::I32, wasm::ValType::I32},
+                                 {wasm::ValType::I32}});
+  wasm::CodeEmitter e;
+  e.local_get(0).local_get(1).op(wasm::kI32Add);
+  b.set_body(f, e.bytes());
+  b.export_function("add", f);
+  return b.build();
+}
+
+TEST(AttachStormTest, ConcurrentBatchedAttachesReconcileAndReattest) {
+  constexpr int kDevices = 3;
+  constexpr int kThreads = 4;
+  constexpr int kBatchesPerThread = 2;
+  constexpr int kNamesPerBatch = 4;
+  constexpr int kSessions = kThreads * kBatchesPerThread * kNamesPerBatch;
+
+  net::Fabric fabric;
+  const core::Vendor vendor = core::Vendor::create(to_bytes("storm-vendor"));
+  std::vector<std::unique_ptr<core::Device>> devices;
+  for (int i = 0; i < kDevices; ++i) {
+    auto device = core::Device::boot(
+        fabric, vendor,
+        device_config("storm-" + std::to_string(i),
+                      static_cast<std::uint8_t>(0x40 + i)));
+    ASSERT_TRUE(device.ok()) << device.error();
+    devices.push_back(std::move(*device));
+  }
+  GatewayConfig config;
+  config.ra_shards = 4;
+  Gateway gateway(fabric, config, to_bytes("storm-identity"));
+  ASSERT_TRUE(gateway.start().ok());
+  for (auto& device : devices) ASSERT_TRUE(gateway.add_device(*device).ok());
+
+  std::mutex ids_mu;
+  std::set<std::uint64_t> ids;
+  std::atomic<int> failures{0};
+  std::atomic<int> duplicate_sessions{0};
+  std::atomic<int> under_attested{0};
+
+  // One long-lived client per thread: dropping the connection would
+  // (correctly) detach everything it attached, so they outlive the storm.
+  std::vector<std::unique_ptr<GatewayClient>> connections;
+  for (int t = 0; t < kThreads; ++t) {
+    connections.push_back(std::make_unique<GatewayClient>(fabric));
+    ASSERT_TRUE(connections.back()->connect(config.hostname, config.port).ok());
+  }
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      GatewayClient& client = *connections[t];
+      for (int b = 0; b < kBatchesPerThread; ++b) {
+        std::vector<std::string> names;
+        for (int n = 0; n < kNamesPerBatch; ++n)
+          names.push_back("storm-tenant-" + std::to_string(t) + "-" +
+                          std::to_string(b) + "-" + std::to_string(n));
+        auto batch = client.attach_all(names);
+        if (!batch.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (const AttachBatchResult& result : batch->results) {
+          if (!result.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          // Mid-storm reboot must not shrink attach coverage: re-enrolment
+          // keeps the same platform claim, so all devices keep appraising.
+          if (result.devices_attested != kDevices) under_attested.fetch_add(1);
+          std::lock_guard<std::mutex> lock(ids_mu);
+          if (!ids.insert(result.session_id).second)
+            duplicate_sessions.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Forced boot-count bump mid-storm: re-enrolling storm-0 models its
+  // reboot. Handshakes in flight snapshot the pre-bump state; sessions
+  // attached before the bump hold evidence at the old boot count.
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  ASSERT_TRUE(gateway.add_device(*devices[0]).ok());
+
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(duplicate_sessions.load(), 0) << "duplicate session ids handed out";
+  EXPECT_EQ(under_attested.load(), 0) << "a batch lost a device mid-storm";
+  ASSERT_EQ(ids.size(), static_cast<std::size_t>(kSessions));
+  EXPECT_EQ(gateway.sessions().active(), static_cast<std::size_t>(kSessions));
+
+  // Verifier state reconciliation, shard by shard: every appraisal the
+  // shards passed is a handshake the session manager recorded (and vice
+  // versa), every handshake started completed, and no per-lane session
+  // state survived the storm.
+  const std::uint64_t recorded = gateway.sessions().handshakes_run();
+  EXPECT_EQ(recorded, static_cast<std::uint64_t>(kSessions) * kDevices);
+  std::uint64_t shard_handshakes = 0;
+  std::uint64_t shard_msg0s = 0;
+  std::uint64_t shard_rejects = 0;
+  for (const ra::VerifierShardStats& shard : gateway.verifier().stats()) {
+    shard_handshakes += shard.handshakes;
+    shard_msg0s += shard.msg0s;
+    shard_rejects += shard.rejects;
+  }
+  EXPECT_EQ(shard_handshakes, recorded) << "shard ledger out of sync";
+  EXPECT_EQ(shard_msg0s, recorded) << "handshakes started != completed";
+  EXPECT_EQ(shard_rejects, 0u);
+  EXPECT_EQ(gateway.verifier().active_sessions(), 0u)
+      << "leaked verifier session state";
+
+  // Re-attestation correctness: bump storm-0 once more (deterministically
+  // AFTER every attach recorded its evidence) — invokes still succeed on
+  // every session, and the ones placed on the rebooted device re-prove it
+  // (the handshake ledger grows; evidence is never served stale).
+  ASSERT_TRUE(gateway.add_device(*devices[0]).ok());
+  GatewayClient admin(fabric);
+  ASSERT_TRUE(admin.connect(config.hostname, config.port).ok());
+  const std::uint64_t any_session = *ids.begin();
+  auto load = admin.load_module(any_session, adder_app());
+  ASSERT_TRUE(load.ok()) << load.error();
+  std::uint32_t reattest_exchanges = 0;
+  int value = 0;
+  for (const std::uint64_t id : ids) {
+    InvokeRequest req;
+    req.session_id = id;
+    req.measurement = load->measurement;
+    req.entry = "add";
+    req.args = {wasm::Value::from_i32(value), wasm::Value::from_i32(1)};
+    req.heap_bytes = 1 << 20;
+    auto r = admin.invoke(req);
+    ASSERT_TRUE(r.ok()) << r.error();
+    ASSERT_EQ(r->results.front().i32(), value + 1);
+    reattest_exchanges += r->ra_exchanges;
+    ++value;
+  }
+  EXPECT_GT(reattest_exchanges, 0u)
+      << "no session re-attested the rebooted device";
+  EXPECT_GT(gateway.sessions().handshakes_run(), recorded);
+  // The re-attestations flowed through the shards too.
+  std::uint64_t shard_handshakes_after = 0;
+  for (const ra::VerifierShardStats& shard : gateway.verifier().stats())
+    shard_handshakes_after += shard.handshakes;
+  EXPECT_EQ(shard_handshakes_after, gateway.sessions().handshakes_run());
+  EXPECT_EQ(gateway.verifier().active_sessions(), 0u);
+}
+
+}  // namespace
+}  // namespace watz::gateway

@@ -127,6 +127,50 @@ TEST_F(GatewayTest, SecondClientAttestsItsOwnSession) {
   EXPECT_EQ(gateway_->sessions().handshakes_run(), 4u);
 }
 
+TEST_F(GatewayTest, BatchedAttachAmortisesRaRoundTrips) {
+  const std::uint64_t fabric_messages_before = fabric_.messages();
+  auto batch = client_->attach_all({"bt-0", "bt-1", "bt-2", "bt-3"});
+  ASSERT_TRUE(batch.ok()) << batch.error();
+  ASSERT_EQ(batch->results.size(), 4u);
+  for (const AttachBatchResult& r : batch->results) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_NE(r.session_id, 0u);
+    EXPECT_EQ(r.devices_attested, 2u);
+    // Protocol cost per session is unchanged (2 exchanges per device)…
+    EXPECT_EQ(r.ra_exchanges, 2u * kRaExchangesPerHandshake);
+  }
+  // …but the WIRE cost is per device, not per session: 2 RA round-trips
+  // x 2 devices for all 4 sessions (unbatched: 2 x 2 x 4 = 16).
+  EXPECT_EQ(batch->ra_fabric_exchanges, 4u);
+  // And those 4 RA exchanges (+ 1 ATTACH_BATCH request) are the only
+  // fabric traffic the whole batch generated.
+  EXPECT_EQ(fabric_.messages() - fabric_messages_before, 5u);
+
+  // Each batched session is a first-class session: invokes ride its
+  // cached evidence with zero further RA exchanges.
+  const Bytes app = adder_app();
+  auto load = client_->load_module(batch->results[0].session_id, app);
+  ASSERT_TRUE(load.ok()) << load.error();
+  for (const AttachBatchResult& r : batch->results) {
+    auto inv = client_->invoke(add_request(r.session_id, load->measurement, 7, 5));
+    ASSERT_TRUE(inv.ok()) << inv.error();
+    EXPECT_EQ(inv->results.front().i32(), 12);
+    EXPECT_EQ(inv->ra_exchanges, 0u);
+  }
+
+  auto stats = client_->stats(batch->results[0].session_id);
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  EXPECT_EQ(stats->handshakes_run, 8u);  // 4 sessions x 2 devices
+  // Per-shard counters travel the wire and reconcile with the ledger.
+  ASSERT_EQ(stats->ra_shards.size(), gateway_->config().ra_shards);
+  std::uint64_t shard_handshakes = 0;
+  for (const RaShardStats& s : stats->ra_shards) shard_handshakes += s.handshakes;
+  EXPECT_EQ(shard_handshakes, stats->handshakes_run);
+  // Queueing-delay percentiles are live once work items have run.
+  EXPECT_GT(stats->queue_delay_p50_ns, 0u);
+  EXPECT_GE(stats->queue_delay_p99_ns, stats->queue_delay_p50_ns);
+}
+
 /// Single-device fleet: deterministic placement for staleness tests.
 class GatewaySingleDeviceTest : public GatewayTest {
  protected:
@@ -349,10 +393,27 @@ TEST_F(GatewaySlowDeviceTest, QueueFullBackpressure) {
   auto bounced = client_->submit(add_request(attach->session_id, load->measurement, 3, 3));
   ASSERT_FALSE(bounced.ok());
   EXPECT_TRUE(is_queue_full(bounced.error())) << bounced.error();
+  // invoke() absorbs QUEUE_FULL with jittered backoff by default; retries
+  // disabled exposes the raw rejection the envelope carries.
+  client_->set_backoff(GatewayClient::BackoffConfig{.max_retries = 0});
   auto bounced_sync =
       client_->invoke(add_request(attach->session_id, load->measurement, 4, 4));
   ASSERT_FALSE(bounced_sync.ok());
   EXPECT_TRUE(is_queue_full(bounced_sync.error())) << bounced_sync.error();
+
+  // With the backoff curve restored, the same invoke rides out the full
+  // queue: the retries outlive the worker's 2 ms/item drain. (Bounded
+  // outer loop: full jitter makes a single invoke's total sleep random,
+  // and this test must not flake on an unlucky run of tiny draws.)
+  client_->set_backoff(GatewayClient::BackoffConfig{});
+  auto absorbed =
+      client_->invoke(add_request(attach->session_id, load->measurement, 6, 6));
+  for (int attempt = 0; attempt < 20 && !absorbed.ok(); ++attempt) {
+    if (!is_queue_full(absorbed.error())) break;
+    absorbed =
+        client_->invoke(add_request(attach->session_id, load->measurement, 6, 6));
+  }
+  EXPECT_TRUE(absorbed.ok()) << absorbed.error();
 
   // Draining the queue reopens admission.
   EXPECT_TRUE(redeem(attach->session_id, first->ticket).error.empty());
@@ -681,6 +742,68 @@ TEST(GatewayProtocolTest, RoundTrips) {
   auto busy_stats2 = GatewayStats::decode(busy_stats.encode());
   ASSERT_TRUE(busy_stats2.ok());
   EXPECT_EQ(busy_stats2->queue_full_rejections, 5u);
+}
+
+TEST(GatewayProtocolTest, AttachBatchFraming) {
+  AttachBatchRequest req;
+  req.clients = {"alpha", "beta", ""};
+  auto req2 = AttachBatchRequest::decode(req.encode());
+  ASSERT_TRUE(req2.ok()) << req2.error();
+  EXPECT_EQ(req2->clients, req.clients);
+
+  // Strictness: the uleb count and the payload must agree exactly.
+  Bytes frame = req.encode();
+  Bytes overcount = frame;
+  overcount[1] = 4;  // claims one more name than the payload holds
+  EXPECT_FALSE(AttachBatchRequest::decode(overcount).ok());
+  Bytes undercount = frame;
+  undercount[1] = 2;  // the leftover name is trailing garbage
+  EXPECT_FALSE(AttachBatchRequest::decode(undercount).ok());
+  Bytes trailing = frame;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(AttachBatchRequest::decode(trailing).ok());
+  EXPECT_FALSE(
+      AttachBatchRequest::decode(Bytes(frame.begin(), frame.end() - 2)).ok());
+  EXPECT_FALSE(AttachBatchRequest::decode(
+                   Bytes{static_cast<std::uint8_t>(Op::AttachBatch), 0x00})
+                   .ok());  // empty batch
+
+  AttachBatchResponse resp;
+  resp.ra_fabric_exchanges = 6;
+  resp.results.push_back(AttachBatchResult{11, 3, 6, ""});
+  resp.results.push_back(AttachBatchResult{0, 0, 0, "gateway: no device passed appraisal"});
+  auto resp2 = AttachBatchResponse::decode(resp.encode());
+  ASSERT_TRUE(resp2.ok()) << resp2.error();
+  EXPECT_EQ(resp2->ra_fabric_exchanges, 6u);
+  ASSERT_EQ(resp2->results.size(), 2u);
+  EXPECT_TRUE(resp2->results[0].ok());
+  EXPECT_EQ(resp2->results[0].session_id, 11u);
+  EXPECT_EQ(resp2->results[0].devices_attested, 3u);
+  EXPECT_FALSE(resp2->results[1].ok());
+  EXPECT_EQ(resp2->results[1].error, "gateway: no device passed appraisal");
+
+  // The new stats surfaces round-trip too.
+  GatewayStats stats;
+  stats.queue_delay_p50_ns = 1 << 10;
+  stats.queue_delay_p90_ns = 1 << 14;
+  stats.queue_delay_p99_ns = 1 << 20;
+  stats.ra_shards.push_back(RaShardStats{10, 9, 1, 9});
+  stats.ra_shards.push_back(RaShardStats{4, 4, 0, 2});
+  auto stats2 = GatewayStats::decode(stats.encode());
+  ASSERT_TRUE(stats2.ok()) << stats2.error();
+  EXPECT_EQ(stats2->queue_delay_p50_ns, 1u << 10);
+  EXPECT_EQ(stats2->queue_delay_p99_ns, 1u << 20);
+  ASSERT_EQ(stats2->ra_shards.size(), 2u);
+  EXPECT_EQ(stats2->ra_shards[0].msg0s, 10u);
+  EXPECT_EQ(stats2->ra_shards[0].handshakes, 9u);
+  EXPECT_EQ(stats2->ra_shards[0].rejects, 1u);
+  EXPECT_EQ(stats2->ra_shards[1].key_rotations, 2u);
+
+  InvokeResponse inv;
+  inv.queue_delay_ns = 4242;
+  auto inv2 = InvokeResponse::decode(inv.encode());
+  ASSERT_TRUE(inv2.ok()) << inv2.error();
+  EXPECT_EQ(inv2->queue_delay_ns, 4242u);
 }
 
 }  // namespace

@@ -1,9 +1,14 @@
-// End-to-end and adversarial tests of the WaTZ remote-attestation protocol.
+// End-to-end and adversarial tests of the WaTZ remote-attestation protocol,
+// including the sharded verifier front-end and the batched (multi-lane)
+// frames the gateway's batched attach pipelines handshakes through.
 #include <gtest/gtest.h>
+
+#include <memory>
 
 #include "crypto/fortuna.hpp"
 #include "ra/attester.hpp"
 #include "ra/verifier.hpp"
+#include "ra/verifier_shard.hpp"
 
 namespace watz::ra {
 namespace {
@@ -242,6 +247,212 @@ TEST(Protocol, MessageOrderingEnforced) {
   // Garbage tag.
   EXPECT_FALSE(verifier.handle(1, Bytes{0x00, 0x01}).ok());
   EXPECT_FALSE(verifier.handle(1, Bytes{}).ok());
+}
+
+TEST(Protocol, TruncatedMsg0RejectedWithoutSessionLeak) {
+  Fixture fx;
+  Verifier verifier = fx.make_verifier();
+  AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+  const Bytes msg0 = attester.make_msg0();
+  // Every proper prefix — including the bare tag — must be rejected, and
+  // none may leave half-created session state behind.
+  for (std::size_t len = 1; len < msg0.size(); ++len) {
+    const Bytes cut(msg0.begin(), msg0.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(verifier.handle(1, cut).ok()) << "prefix " << len;
+  }
+  EXPECT_EQ(verifier.active_sessions(), 0u);
+}
+
+// -- sharded verifier + batched frames ---------------------------------------
+
+struct ShardedFixture : Fixture {
+  std::unique_ptr<ShardedVerifier> make_sharded(std::size_t shards,
+                                                std::uint64_t session_key_reuse = 1,
+                                                std::uint32_t min_version = 0) {
+    ShardedVerifierConfig config;
+    config.shards = shards;
+    config.policy.session_key_reuse = session_key_reuse;
+    config.policy.min_watz_version = min_version;
+    auto verifier = std::make_unique<ShardedVerifier>(verifier_identity,
+                                                      to_bytes("shard-seed"), config);
+    verifier->endorse_device(device_key.pub);
+    verifier->add_reference_measurement(app_claim);
+    verifier->set_secret_provider(
+        [this](const crypto::Sha256Digest&) { return secret; });
+    return verifier;
+  }
+};
+
+TEST(ShardedProtocol, PlainHandshakeSucceedsOnEveryShardCount) {
+  ShardedFixture fx;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    auto verifier = fx.make_sharded(shards);
+    AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+    auto msg1 = verifier->handle(9, attester.make_msg0());
+    ASSERT_TRUE(msg1.ok()) << msg1.error();
+    auto msg2 = attester.handle_msg1(*msg1, fx.quoter());
+    ASSERT_TRUE(msg2.ok()) << msg2.error();
+    auto msg3 = verifier->handle(9, *msg2);
+    ASSERT_TRUE(msg3.ok()) << msg3.error();
+    auto secret = attester.handle_msg3(*msg3);
+    ASSERT_TRUE(secret.ok()) << secret.error();
+    EXPECT_EQ(*secret, fx.secret);
+    EXPECT_EQ(verifier->handshakes_completed(), 1u);
+    EXPECT_EQ(verifier->active_sessions(), 0u);  // completed msg2 drops state
+  }
+}
+
+TEST(ShardedProtocol, BatchPartiallySucceedsAndReportsTheStaleLane) {
+  ShardedFixture fx;
+  // The policy requires the current runtime version; lane 1's evidence
+  // will claim an older one (a stale quote).
+  auto verifier =
+      fx.make_sharded(4, /*session_key_reuse=*/1, attestation::kWatzVersion);
+
+  constexpr std::uint32_t kLanes = 3;
+  std::vector<AttesterSession> attesters;
+  std::vector<BatchItem> msg0s;
+  for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+    attesters.emplace_back(fx.rng, fx.verifier_identity.pub);
+    msg0s.push_back(BatchItem{lane, attesters[lane].make_msg0()});
+  }
+  auto reply1 = verifier->handle(7, encode_batch(msg0s));
+  ASSERT_TRUE(reply1.ok()) << reply1.error();
+  auto msg1s = decode_batch_reply(*reply1);
+  ASSERT_TRUE(msg1s.ok()) << msg1s.error();
+  ASSERT_EQ(msg1s->size(), kLanes);
+
+  std::vector<BatchItem> msg2s;
+  for (const BatchReplyItem& item : *msg1s) {
+    ASSERT_TRUE(item.ok) << item.error;
+    const std::uint32_t version = item.lane == 1 ? attestation::kWatzVersion - 1
+                                                 : attestation::kWatzVersion;
+    auto msg2 = attesters[item.lane].handle_msg1(
+        item.payload, [&](const std::array<std::uint8_t, 32>& anchor) {
+          return fx.make_evidence(anchor, version);
+        });
+    ASSERT_TRUE(msg2.ok()) << msg2.error();
+    msg2s.push_back(BatchItem{item.lane, std::move(*msg2)});
+  }
+  auto reply2 = verifier->handle(7, encode_batch(msg2s));
+  ASSERT_TRUE(reply2.ok()) << reply2.error();
+  auto msg3s = decode_batch_reply(*reply2);
+  ASSERT_TRUE(msg3s.ok()) << msg3s.error();
+  ASSERT_EQ(msg3s->size(), kLanes);
+
+  // The batch must NOT abort wholesale: lanes 0 and 2 complete and decrypt
+  // their secrets; only lane 1 reports the stale-evidence rejection.
+  for (const BatchReplyItem& item : *msg3s) {
+    if (item.lane == 1) {
+      EXPECT_FALSE(item.ok);
+      EXPECT_NE(item.error.find("outdated"), std::string::npos) << item.error;
+      continue;
+    }
+    ASSERT_TRUE(item.ok) << "lane " << item.lane << ": " << item.error;
+    auto secret = attesters[item.lane].handle_msg3(item.payload);
+    ASSERT_TRUE(secret.ok()) << secret.error();
+    EXPECT_EQ(*secret, fx.secret);
+  }
+  EXPECT_EQ(verifier->handshakes_completed(), 2u);
+  EXPECT_EQ(verifier->active_sessions(), 0u);  // failed lane dropped its state too
+}
+
+TEST(ShardedProtocol, BatchLanesAreIndependentSessions) {
+  ShardedFixture fx;
+  auto verifier = fx.make_sharded(4);
+  AttesterSession a0(fx.rng, fx.verifier_identity.pub);
+  AttesterSession a1(fx.rng, fx.verifier_identity.pub);
+  auto reply = verifier->handle(
+      3, encode_batch({BatchItem{0, a0.make_msg0()}, BatchItem{1, a1.make_msg0()}}));
+  ASSERT_TRUE(reply.ok()) << reply.error();
+  auto msg1s = decode_batch_reply(*reply);
+  ASSERT_TRUE(msg1s.ok());
+  ASSERT_TRUE((*msg1s)[0].ok && (*msg1s)[1].ok);
+  // Replaying lane 0's msg1 into lane 1's attester must fail: the msg1
+  // signature covers lane 0's Ga, not lane 1's.
+  EXPECT_FALSE(a1.handle_msg1((*msg1s)[0].payload, fx.quoter()).ok());
+  // Used on the right lane it works.
+  EXPECT_TRUE(a1.handle_msg1((*msg1s)[1].payload, fx.quoter()).ok());
+}
+
+TEST(ShardedProtocol, MalformedBatchFramesRejectedWholesale) {
+  ShardedFixture fx;
+  auto verifier = fx.make_sharded(4);
+  AttesterSession a0(fx.rng, fx.verifier_identity.pub);
+  AttesterSession a1(fx.rng, fx.verifier_identity.pub);
+  const Bytes valid =
+      encode_batch({BatchItem{0, a0.make_msg0()}, BatchItem{1, a1.make_msg0()}});
+
+  // Count claims more items than the payload holds.
+  Bytes overcount = valid;
+  overcount[1] = 3;
+  EXPECT_FALSE(verifier->handle(5, overcount).ok());
+  // Count claims fewer: the leftover item is trailing garbage.
+  Bytes undercount = valid;
+  undercount[1] = 1;
+  EXPECT_FALSE(verifier->handle(5, undercount).ok());
+  // Truncated mid-item.
+  EXPECT_FALSE(
+      verifier->handle(5, Bytes(valid.begin(), valid.end() - 7)).ok());
+  // Trailing bytes after a complete batch.
+  Bytes trailing = valid;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(verifier->handle(5, trailing).ok());
+  // Duplicate lanes.
+  const Bytes msg0 = a0.make_msg0();
+  EXPECT_FALSE(
+      verifier->handle(5, encode_batch({BatchItem{2, msg0}, BatchItem{2, msg0}})).ok());
+  // Zero-item batch.
+  EXPECT_FALSE(verifier->handle(5, Bytes{kBatchTag, 0x00}).ok());
+
+  // Wholesale means wholesale: none of the rejected frames half-parsed
+  // into live per-lane sessions.
+  EXPECT_EQ(verifier->active_sessions(), 0u);
+}
+
+TEST(ShardedProtocol, EphemeralKeypairRotationPolicy) {
+  ShardedFixture fx;
+  // One shard, reuse window of 2: handshakes 1 and 2 must be served from
+  // the same ephemeral Gv, handshake 3 from a fresh one.
+  auto verifier = fx.make_sharded(1, /*session_key_reuse=*/2);
+  std::vector<crypto::EcPoint> gvs;
+  for (std::uint64_t conn = 21; conn < 24; ++conn) {
+    AttesterSession attester(fx.rng, fx.verifier_identity.pub);
+    auto msg1_bytes = verifier->handle(conn, attester.make_msg0());
+    ASSERT_TRUE(msg1_bytes.ok()) << msg1_bytes.error();
+    auto msg1 = Msg1::decode(*msg1_bytes);
+    ASSERT_TRUE(msg1.ok()) << msg1.error();
+    gvs.push_back(msg1->gv);
+    // Finish the handshake: reuse must not break the key agreement.
+    auto msg2 = attester.handle_msg1(*msg1_bytes, fx.quoter());
+    ASSERT_TRUE(msg2.ok()) << msg2.error();
+    auto msg3 = verifier->handle(conn, *msg2);
+    ASSERT_TRUE(msg3.ok()) << msg3.error();
+    auto secret = attester.handle_msg3(*msg3);
+    ASSERT_TRUE(secret.ok()) << secret.error();
+    EXPECT_EQ(*secret, fx.secret);
+  }
+  EXPECT_TRUE(gvs[0] == gvs[1]);
+  EXPECT_FALSE(gvs[1] == gvs[2]);
+  const auto stats = verifier->stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].key_rotations, 2u);
+  EXPECT_EQ(stats[0].handshakes, 3u);
+  EXPECT_EQ(stats[0].msg0s, 3u);
+}
+
+TEST(ShardedProtocol, EndSessionSweepsBatchLanes) {
+  ShardedFixture fx;
+  auto verifier = fx.make_sharded(4);
+  AttesterSession a0(fx.rng, fx.verifier_identity.pub);
+  AttesterSession a1(fx.rng, fx.verifier_identity.pub);
+  auto reply = verifier->handle(
+      11, encode_batch({BatchItem{0, a0.make_msg0()}, BatchItem{1, a1.make_msg0()}}));
+  ASSERT_TRUE(reply.ok());
+  // Two lanes mid-handshake (msg1 issued, msg2 never sent: the device died).
+  EXPECT_EQ(verifier->active_sessions(), 2u);
+  verifier->end_session(11);
+  EXPECT_EQ(verifier->active_sessions(), 0u);
 }
 
 TEST(Messages, EvidenceEncodeDecodeRoundTrip) {
