@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a bench --json report against a baseline.
+
+Usage: check_regression.py <report.json> <baseline.json>
+
+The report is the single-object output of a bench binary run with --json
+(see bench/harness.hpp BenchReport):
+
+    {"bench":"<name>","metrics":{"<key>":{"value":<v>,"unit":"<u>"},...}}
+
+The baseline maps metric keys to bounds:
+
+    {"metrics": {"<key>": {"min": <v>} | {"max": <v>}, ...}}
+
+Every baseline key must be present in the report (a silently dropped
+metric is itself a regression) and must satisfy its bounds. Exit status:
+0 when every gate holds, 1 otherwise — wire it straight into CI.
+"""
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        # The bench may print human tables before the JSON object; the
+        # report line is the last line starting with '{'.
+        lines = [line for line in f if line.lstrip().startswith("{")]
+        if not lines:
+            print(f"FAIL: {argv[1]} contains no JSON report", file=sys.stderr)
+            return 1
+        report = json.loads(lines[-1])
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+
+    metrics = report.get("metrics", {})
+    failures = 0
+    print(f"bench-gate: {report.get('bench', '?')} vs {argv[2]}")
+    for key, bounds in baseline.get("metrics", {}).items():
+        if key not in metrics:
+            print(f"  FAIL {key:45s} missing from report")
+            failures += 1
+            continue
+        value = metrics[key]["value"]
+        verdicts = []
+        ok = True
+        if "min" in bounds:
+            verdicts.append(f">= {bounds['min']}")
+            ok = ok and value >= bounds["min"]
+        if "max" in bounds:
+            verdicts.append(f"<= {bounds['max']}")
+            ok = ok and value <= bounds["max"]
+        status = "ok  " if ok else "FAIL"
+        print(f"  {status} {key:45s} {value:12.4g}  (want {' and '.join(verdicts)})")
+        if not ok:
+            failures += 1
+    if failures:
+        print(f"bench-gate: {failures} gate(s) FAILED", file=sys.stderr)
+        return 1
+    print("bench-gate: all gates hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

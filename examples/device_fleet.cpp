@@ -3,13 +3,17 @@
 // handshake per device, then never again), load a Wasm module once and
 // invoke it many times -- dispatched least-loaded across the boards, with
 // warm module-cache launches after the first touch of each device. The
-// tenant drives the fleet from several client threads at once (each
-// device's worker executes in parallel behind the admission layer) and
-// then pipelines a batch through the async SUBMIT/POLL path. A board
-// whose secure boot was compromised (tampered trusted-OS image) never
-// comes up, so it can never join the fleet.
+// tenant drives the whole session through the async client API: attach
+// and module load ride future-returning calls, several client threads
+// invoke concurrently (each device's worker executes in parallel behind
+// the admission layer), and a batch of readings crosses the wire as ONE
+// INVOKE_BATCH exchange, its results delivered through a completion
+// callback on the client's drain thread. A board whose secure boot was
+// compromised (tampered trusted-OS image) never comes up, so it can
+// never join the fleet.
 //
 //   $ ./examples/example_device_fleet
+#include <condition_variable>
 #include <cstdio>
 #include <mutex>
 #include <thread>
@@ -65,10 +69,13 @@ int main() {
     fleet.push_back(std::move(*node));
   }
 
-  // A tenant attaches: the whole fleet proves itself once, up front.
+  // A tenant attaches: the whole fleet proves itself once, up front. The
+  // async API returns a future immediately — the tenant could prepare its
+  // workload while the RA handshakes run — and the module load chains off
+  // it the same way.
   gateway::GatewayClient client(fabric);
   client.connect(config.hostname, config.port).check();
-  auto session = client.attach("tenant-telemetry");
+  auto session = client.attach_async("tenant-telemetry").get();
   if (!session.ok()) {
     std::fprintf(stderr, "attach failed: %s\n", session.error().c_str());
     return 1;
@@ -79,7 +86,7 @@ int main() {
               session->devices_attested, session->ra_exchanges);
 
   const Bytes app = telemetry_app();
-  auto load = client.load_module(session->session_id, app);
+  auto load = client.load_async(session->session_id, app).get();
   if (!load.ok()) {
     std::fprintf(stderr, "load failed: %s\n", load.error().c_str());
     return 1;
@@ -127,23 +134,43 @@ int main() {
   }
   for (std::thread& tenant : tenants) tenant.join();
 
-  // The async path: a batch of readings pipelined through SUBMIT/POLL on
-  // one connection -- the client keeps the fleet's run queues fed without
-  // blocking on each result in turn.
+  // The batched path: a window of readings crosses the wire as ONE
+  // INVOKE_BATCH exchange; the gateway fans the lanes across the fleet's
+  // run queues in one admission pass and the per-reading results come
+  // back through a completion callback on the client's drain thread —
+  // this thread never blocks on the gateway at all.
   std::vector<gateway::InvokeRequest> batch;
   for (int reading = 9; reading < 15; ++reading)
     batch.push_back(score_request(reading));
-  auto batched = client.invoke_batch(batch);
-  std::printf("\nbatch of %zu pipelined via SUBMIT/POLL:\n", batch.size());
-  for (std::size_t i = 0; i < batched.size(); ++i) {
-    if (!batched[i].ok()) {
-      std::fprintf(stderr, "  batch[%zu] failed: %s\n", i,
-                   batched[i].error().c_str());
-      continue;
-    }
-    std::printf("  score(%zu) = %-3d on %s\n", i + 9,
-                batched[i]->results.front().i32(), batched[i]->device.c_str());
+  std::mutex batch_mu;
+  std::condition_variable batch_cv;
+  std::size_t batch_done = 0;
+  std::vector<std::string> batch_lines(batch.size());
+  Status issued = client.invoke_batch_async(
+      batch, [&](std::size_t index, Result<gateway::InvokeResponse> result) {
+        char line[128];
+        if (result.ok())
+          std::snprintf(line, sizeof line, "  score(%zu) = %-3d on %s", index + 9,
+                        result->results.front().i32(), result->device.c_str());
+        else
+          std::snprintf(line, sizeof line, "  batch[%zu] failed: %s", index,
+                        result.error().c_str());
+        std::lock_guard<std::mutex> lock(batch_mu);
+        batch_lines[index] = line;
+        ++batch_done;
+        batch_cv.notify_one();
+      });
+  if (!issued.ok()) {
+    std::fprintf(stderr, "batch failed: %s\n", issued.error().c_str());
+    return 1;
   }
+  std::printf("\nbatch of %zu fanned out via one INVOKE_BATCH exchange:\n",
+              batch.size());
+  {
+    std::unique_lock<std::mutex> lock(batch_mu);
+    batch_cv.wait(lock, [&] { return batch_done == batch.size(); });
+  }
+  for (const std::string& line : batch_lines) std::printf("%s\n", line.c_str());
 
   auto stats = client.stats(session->session_id);
   if (stats.ok()) {

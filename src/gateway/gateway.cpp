@@ -203,6 +203,26 @@ std::uint64_t Gateway::queue_delay_percentile(double q) {
   return 1ull << (kDelayBuckets - 1);
 }
 
+std::uint64_t Gateway::placement_cost(const Backend& backend) {
+  // Predicted completion of one more admission: every item ahead of it
+  // (queued + executing) plus itself, each costing the device's observed
+  // EWMA service time. Bounded: depth <= queue capacity, EWMA < minutes,
+  // no overflow.
+  const std::uint64_t depth = backend.inflight.load(std::memory_order_relaxed);
+  const std::uint64_t ewma = backend.ewma_invoke_ns.load(std::memory_order_relaxed);
+  if (ewma == 0) {
+    // Unsampled device: probe it ahead of anything measured — but only
+    // with a couple of items. No sample can land until the first probe
+    // completes, so unbounded optimism would let one batch admission
+    // pass pile lanes onto a fresh (possibly slow) board up to the whole
+    // queue bound. Past the probes it scores as a middling ~1 ms board
+    // until real samples take over.
+    constexpr std::uint64_t kUnsampledServiceGuessNs = 1'000'000;
+    return depth < 2 ? depth + 1 : (depth + 1) * kUnsampledServiceGuessNs;
+  }
+  return (depth + 1) * ewma;
+}
+
 std::vector<Gateway::Backend*> Gateway::placement_candidates() {
   std::vector<Backend*> order;
   {
@@ -213,24 +233,15 @@ std::vector<Gateway::Backend*> Gateway::placement_candidates() {
   if (n < 2) return order;
 
   // Sampled two-choice: probe two distinct backends round-robin and take
-  // the less loaded (queue depth, then accumulated busy time, then
-  // enrolment order) — O(1) instead of the former rebuild-and-sort per
-  // request, and provably near-optimal balance under load.
+  // the cheaper by placement_cost (queue depth x EWMA device latency,
+  // then accumulated busy time, then enrolment order) — O(1) instead of
+  // a per-request sort, and provably near-optimal balance under load.
   const std::uint64_t tick = placement_tick_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t i = static_cast<std::size_t>(tick % n);
   const std::size_t j = (i + 1 + static_cast<std::size_t>((tick / n) % (n - 1))) % n;
   Backend* a = order[i];
   Backend* b = order[j];
-  const auto less_loaded = [](Backend* x, Backend* y) {
-    const std::uint32_t xd = x->inflight.load(std::memory_order_relaxed);
-    const std::uint32_t yd = y->inflight.load(std::memory_order_relaxed);
-    if (xd != yd) return xd < yd;
-    const std::uint64_t xb = x->busy_ns.load(std::memory_order_relaxed);
-    const std::uint64_t yb = y->busy_ns.load(std::memory_order_relaxed);
-    if (xb != yb) return xb < yb;
-    return x->enrol_index < y->enrol_index;
-  };
-  if (less_loaded(b, a)) std::swap(a, b);
+  if (score_backend(*b) < score_backend(*a)) std::swap(a, b);
 
   // Spill-over tail in enrolment order, so appraisal failures and full
   // queues walk the whole fleet rather than wedging the request.
@@ -243,6 +254,12 @@ std::vector<Gateway::Backend*> Gateway::placement_candidates() {
   return candidates;
 }
 
+Gateway::ScoredBackend Gateway::score_backend(Backend& backend) {
+  return ScoredBackend{placement_cost(backend),
+                       backend.busy_ns.load(std::memory_order_relaxed),
+                       backend.enrol_index, &backend};
+}
+
 // -- request handling --------------------------------------------------------
 
 Result<Bytes> Gateway::handle_request(std::uint64_t conn, ByteView request) {
@@ -253,6 +270,7 @@ Result<Bytes> Gateway::handle_request(std::uint64_t conn, ByteView request) {
     case Op::AttachBatch: return handle_attach_batch(conn, request);
     case Op::LoadModule: return handle_load_module(request);
     case Op::Invoke: return handle_invoke(request);
+    case Op::InvokeBatch: return handle_invoke_batch(request);
     case Op::Stats: return handle_stats(request);
     case Op::Detach: return handle_detach(request);
     case Op::Submit: return handle_submit(request);
@@ -477,6 +495,98 @@ Result<Bytes> Gateway::handle_invoke(ByteView request) {
   return ok_envelope(result->encode());
 }
 
+Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
+  auto req = InvokeBatchRequest::decode(request);
+  if (!req.ok()) return Result<Bytes>::err(req.error());
+
+  InvokeBatchResponse resp;
+  resp.results.resize(req->lanes.size());
+
+  // One admission pass over one fleet snapshot: every lane is bound to
+  // the cheapest backend by placement_cost. Because post() bumps inflight
+  // at admission, lane k's pick already accounts for lanes 0..k-1 — the
+  // fan spreads by predicted completion time, not by hash. The common
+  // case is one O(fleet) min-element per lane; only a full queue pays a
+  // sort to spill down the cost order. Futures are collected first and
+  // awaited after the whole pass, so the lanes execute concurrently
+  // across the workers.
+  std::vector<Backend*> fleet;
+  {
+    std::lock_guard<std::mutex> lock(backends_mu_);
+    fleet = backend_order_;
+  }
+  struct PendingLane {
+    std::size_t index = 0;
+    SessionPtr session;
+    std::future<Result<InvokeResponse>> future;
+  };
+  std::vector<PendingLane> pending;
+  pending.reserve(req->lanes.size());
+  for (std::size_t i = 0; i < req->lanes.size(); ++i) {
+    const InvokeBatchRequest::Lane& lane = req->lanes[i];
+    resp.results[i].lane = lane.lane;
+    SessionPtr session = sessions_.find(lane.invoke.session_id);
+    if (!session) {
+      resp.results[i].error = "gateway: unknown session";
+      continue;
+    }
+    std::string last_error = "gateway: no devices enrolled";
+    bool admitted = false;
+    if (!fleet.empty()) {
+      std::vector<ScoredBackend> scored;
+      scored.reserve(fleet.size());
+      for (Backend* backend : fleet) scored.push_back(score_backend(*backend));
+      // Common case: the cheapest backend admits (one O(fleet) scan).
+      // Only a full queue pays the sort to spill down the cost order.
+      auto best = std::min_element(scored.begin(), scored.end());
+      std::iter_swap(scored.begin(), best);
+      auto future = post_invoke(*scored.front().backend, session, lane.invoke);
+      if (future.ok()) {
+        pending.push_back(PendingLane{i, session, std::move(*future)});
+        admitted = true;
+      } else {
+        last_error = future.error();
+        std::sort(scored.begin() + 1, scored.end());
+        for (std::size_t s = 1; s < scored.size(); ++s) {
+          auto retry = post_invoke(*scored[s].backend, session, lane.invoke);
+          if (!retry.ok()) {
+            last_error = retry.error();
+            continue;
+          }
+          pending.push_back(PendingLane{i, session, std::move(*retry)});
+          admitted = true;
+          break;
+        }
+      }
+    }
+    if (!admitted) {
+      // Total backpressure (or an empty fleet) fails THIS lane only; its
+      // siblings were already admitted and proceed. The client sees the
+      // failed index and owns the retry.
+      if (is_queue_full(last_error))
+        queue_full_rejections_.fetch_add(1, std::memory_order_relaxed);
+      resp.results[i].error = last_error;
+    }
+  }
+
+  for (PendingLane& lane : pending) {
+    auto outcome = lane.future.get();
+    if (!outcome.ok() && is_appraisal_failure(outcome.error())) {
+      // Trust decides placement, on the batch path too: a lane that
+      // landed on a device failing appraisal is re-dispatched through the
+      // sync path, which skips appraisal failures candidate by candidate
+      // (same invariant as dispatch_invoke_sync for plain INVOKE). Rare —
+      // paid only by the affected lanes, after the healthy fan completed.
+      outcome = dispatch_invoke_sync(lane.session, req->lanes[lane.index].invoke);
+    }
+    if (outcome.ok())
+      resp.results[lane.index].result = std::move(*outcome);
+    else
+      resp.results[lane.index].error = outcome.error();
+  }
+  return ok_envelope(resp.encode());
+}
+
 Result<Bytes> Gateway::handle_submit(ByteView request) {
   auto req = SubmitRequest::decode(request);
   if (!req.ok()) return Result<Bytes>::err(req.error());
@@ -578,7 +688,16 @@ Result<InvokeResponse> Gateway::execute_invoke(Backend& backend,
   auto result = lease->app->invoke(request.entry, request.args);
   const std::uint64_t invoke_ns = hw::monotonic_ns() - t0;
 
-  backend.busy_ns.fetch_add(lease->launch_ns + invoke_ns, std::memory_order_relaxed);
+  const std::uint64_t service_ns = lease->launch_ns + invoke_ns;
+  backend.busy_ns.fetch_add(service_ns, std::memory_order_relaxed);
+  // EWMA (alpha = 1/8) of the device's per-invoke service time, feeding
+  // placement_cost. Plain load/store: only this backend's worker thread
+  // ever writes it (atomic only for the cross-thread placement reads).
+  const std::uint64_t prev_ewma =
+      backend.ewma_invoke_ns.load(std::memory_order_relaxed);
+  backend.ewma_invoke_ns.store(
+      prev_ewma ? prev_ewma - prev_ewma / 8 + service_ns / 8 : service_ns,
+      std::memory_order_relaxed);
   backend.invocations.fetch_add(1, std::memory_order_relaxed);
   invocations_.fetch_add(1, std::memory_order_relaxed);
   session->invocations.fetch_add(1, std::memory_order_relaxed);
@@ -885,8 +1004,45 @@ Status GatewayClient::connect(const std::string& host, std::uint16_t port) {
 }
 
 void GatewayClient::close() {
+  // Retire the drain thread FIRST: it waits out every in-flight wire
+  // exchange and fulfils every issued future/callback before exiting, so
+  // async work is never abandoned mid-air by a teardown. Only then does
+  // the connection go away.
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_stop_ = true;
+  }
+  drain_cv_.notify_all();
+  if (drain_thread_.joinable()) drain_thread_.join();
+  drain_thread_ = std::thread();
+  drain_stop_ = false;  // a later connect() may start async work again
   if (connected_) fabric_.close(conn_);
   connected_ = false;
+}
+
+void GatewayClient::enqueue_completion(std::future<Result<Bytes>> wire,
+                                       std::function<void(Result<Bytes>)> complete) {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  completions_.push_back(Completion{std::move(wire), std::move(complete)});
+  if (!drain_thread_.joinable())
+    drain_thread_ = std::thread([this] { drain_loop(); });
+  drain_cv_.notify_one();
+}
+
+void GatewayClient::drain_loop() {
+  for (;;) {
+    Completion completion;
+    {
+      std::unique_lock<std::mutex> lock(drain_mu_);
+      drain_cv_.wait(lock, [&] { return drain_stop_ || !completions_.empty(); });
+      if (completions_.empty()) return;  // stop requested and queue drained
+      completion = std::move(completions_.front());
+      completions_.pop_front();
+    }
+    // The wire wait and the decode/fulfil step both run OUTSIDE drain_mu_,
+    // so the owning thread keeps issuing async work while this one waits.
+    completion.complete(completion.wire.get());
+  }
 }
 
 Result<Bytes> GatewayClient::call(ByteView request) {
@@ -1018,33 +1174,244 @@ Result<PollResponse> GatewayClient::poll(std::uint64_t session_id,
   return PollResponse::decode(*payload);
 }
 
+// -- async client API --------------------------------------------------------
+
+namespace {
+
+/// Opens the envelope of an async wire reply and decodes the payload,
+/// fulfilling `promise` with the result — the tail every *_async call
+/// shares, run on the client's drain thread.
+template <typename T>
+void fulfil_async(const std::shared_ptr<std::promise<Result<T>>>& promise,
+                  const Result<Bytes>& wire,
+                  Result<T> (*decode)(ByteView)) {
+  if (!wire.ok()) {
+    promise->set_value(Result<T>::err(wire.error()));
+    return;
+  }
+  auto payload = open_envelope(*wire);
+  if (!payload.ok()) {
+    promise->set_value(Result<T>::err(payload.error()));
+    return;
+  }
+  promise->set_value(decode(*payload));
+}
+
+}  // namespace
+
+std::future<Result<AttachResponse>> GatewayClient::attach_async(
+    const std::string& client_name) {
+  auto promise = std::make_shared<std::promise<Result<AttachResponse>>>();
+  auto future = promise->get_future();
+  if (!connected_) {
+    promise->set_value(Result<AttachResponse>::err("gateway client: not connected"));
+    return future;
+  }
+  enqueue_completion(fabric_.send_async(conn_, AttachRequest{client_name}.encode()),
+                     [promise](Result<Bytes> wire) {
+                       fulfil_async(promise, wire, &AttachResponse::decode);
+                     });
+  return future;
+}
+
+std::future<Result<LoadModuleResponse>> GatewayClient::load_async(
+    std::uint64_t session_id, Bytes binary) {
+  auto promise = std::make_shared<std::promise<Result<LoadModuleResponse>>>();
+  auto future = promise->get_future();
+  if (!connected_) {
+    promise->set_value(
+        Result<LoadModuleResponse>::err("gateway client: not connected"));
+    return future;
+  }
+  LoadModuleRequest request;
+  request.session_id = session_id;
+  request.binary = std::move(binary);
+  enqueue_completion(fabric_.send_async(conn_, request.encode()),
+                     [promise](Result<Bytes> wire) {
+                       fulfil_async(promise, wire, &LoadModuleResponse::decode);
+                     });
+  return future;
+}
+
+std::future<Result<InvokeResponse>> GatewayClient::invoke_async(
+    const InvokeRequest& request) {
+  auto promise = std::make_shared<std::promise<Result<InvokeResponse>>>();
+  auto future = promise->get_future();
+  if (!connected_) {
+    promise->set_value(Result<InvokeResponse>::err("gateway client: not connected"));
+    return future;
+  }
+  enqueue_completion(fabric_.send_async(conn_, request.encode()),
+                     [promise](Result<Bytes> wire) {
+                       fulfil_async(promise, wire, &InvokeResponse::decode);
+                     });
+  return future;
+}
+
+std::vector<Bytes> GatewayClient::invoke_chunk_frames(
+    const std::vector<InvokeRequest>& requests) {
+  std::vector<Bytes> frames;
+  for (std::size_t start = 0; start < requests.size(); start += kInvokeBatchChunk) {
+    InvokeBatchRequest chunk;
+    const std::size_t end = std::min(requests.size(), start + kInvokeBatchChunk);
+    for (std::size_t i = start; i < end; ++i)
+      chunk.lanes.push_back(InvokeBatchRequest::Lane{
+          static_cast<std::uint32_t>(i - start), requests[i]});
+    frames.push_back(chunk.encode());
+  }
+  return frames;
+}
+
+void GatewayClient::deliver_invoke_chunk(
+    const Result<Bytes>& reply, std::size_t chunk_size,
+    const std::function<void(std::size_t, Result<InvokeResponse>)>& deliver) {
+  // A chunk-level failure (transport, envelope, malformed frame) becomes a
+  // per-request error at every index the chunk carried: sibling chunks may
+  // already have executed server-side, so swallowing the whole batch would
+  // lose their results.
+  const auto fail_chunk = [&](const std::string& error) {
+    for (std::size_t i = 0; i < chunk_size; ++i)
+      deliver(i, Result<InvokeResponse>::err(error));
+  };
+  if (!reply.ok()) {
+    fail_chunk(reply.error());
+    return;
+  }
+  auto payload = open_envelope(*reply);
+  if (!payload.ok()) {
+    fail_chunk(payload.error());
+    return;
+  }
+  auto chunk = InvokeBatchResponse::decode(*payload);
+  if (!chunk.ok() || chunk->results.size() != chunk_size) {
+    fail_chunk(chunk.ok() ? "gateway client: invoke batch result count mismatch"
+                          : chunk.error());
+    return;
+  }
+  std::vector<bool> delivered(chunk_size, false);
+  for (InvokeBatchResult& result : chunk->results) {
+    // Lane ids were issued as positions within the chunk; an id the chunk
+    // never opened (or a repeat — the decoder already rejects those) must
+    // not scribble over a sibling's slot.
+    if (result.lane >= chunk_size || delivered[result.lane]) continue;
+    delivered[result.lane] = true;
+    deliver(result.lane, result.ok()
+                             ? Result<InvokeResponse>(std::move(result.result))
+                             : Result<InvokeResponse>::err(result.error));
+  }
+  for (std::size_t i = 0; i < chunk_size; ++i)
+    if (!delivered[i])
+      deliver(i, Result<InvokeResponse>::err(
+                     "gateway client: invoke batch reply missing lane"));
+}
+
+std::vector<Result<InvokeResponse>> GatewayClient::invoke_all(
+    const std::vector<InvokeRequest>& requests) {
+  std::vector<Result<InvokeResponse>> results(
+      requests.size(),
+      Result<InvokeResponse>::err("gateway client: not submitted"));
+  if (requests.empty()) return results;
+  if (!connected_) {
+    for (auto& result : results)
+      result = Result<InvokeResponse>::err("gateway client: not connected");
+    return results;
+  }
+  // Chunk, then pipeline every chunk as a concurrent exchange on the one
+  // connection: wall-clock is the slowest chunk, and the gateway fans each
+  // chunk's lanes across its workers in one admission pass — O(1) wire
+  // exchanges in the batch size instead of SUBMIT/POLL's per-item round
+  // trips.
+  std::vector<Result<Bytes>> replies =
+      fabric_.exchange_all(conn_, invoke_chunk_frames(requests));
+  for (std::size_t c = 0; c < replies.size(); ++c) {
+    const std::size_t base = c * kInvokeBatchChunk;
+    const std::size_t chunk_size =
+        std::min(kInvokeBatchChunk, requests.size() - base);
+    deliver_invoke_chunk(replies[c], chunk_size,
+                         [&](std::size_t i, Result<InvokeResponse> result) {
+                           results[base + i] = std::move(result);
+                         });
+  }
+  return results;
+}
+
+Status GatewayClient::invoke_batch_async(const std::vector<InvokeRequest>& requests,
+                                         InvokeBatchCallback on_complete) {
+  if (requests.empty()) return Status::err("gateway client: empty invoke batch");
+  if (!connected_) return Status::err("gateway client: not connected");
+  if (!on_complete) return Status::err("gateway client: null completion callback");
+  // Every chunk rides its own send_async exchange; the drain thread maps
+  // each reply back to per-request callbacks as it lands. Nothing here
+  // blocks on the gateway.
+  std::vector<Bytes> frames = invoke_chunk_frames(requests);
+  for (std::size_t c = 0; c < frames.size(); ++c) {
+    const std::size_t base = c * kInvokeBatchChunk;
+    const std::size_t chunk_size =
+        std::min(kInvokeBatchChunk, requests.size() - base);
+    enqueue_completion(
+        fabric_.send_async(conn_, std::move(frames[c])),
+        [on_complete, base, chunk_size](Result<Bytes> wire) {
+          deliver_invoke_chunk(wire, chunk_size,
+                               [&](std::size_t i, Result<InvokeResponse> result) {
+                                 on_complete(base + i, std::move(result));
+                               });
+        });
+  }
+  return {};
+}
+
 std::vector<Result<InvokeResponse>> GatewayClient::invoke_batch(
     const std::vector<InvokeRequest>& requests) {
   std::vector<Result<InvokeResponse>> results(
       requests.size(), Result<InvokeResponse>::err("gateway client: not submitted"));
   std::map<std::uint64_t, std::size_t> outstanding;  // ticket -> request index
 
-  // Polls every outstanding ticket once, recording completions. Returns
-  // whether anything completed (progress for the backpressure loop).
+  // Polls every outstanding ticket once — in ONE pipelined wire exchange
+  // (Fabric::exchange_all), not one round-trip per ticket: the server
+  // answers all the polls concurrently, so a drain pass costs the slowest
+  // single poll instead of their sum. A lone straggler skips the
+  // pipelining (and its exchange thread) for a plain blocking poll.
+  // Returns whether anything completed (progress for the backpressure
+  // loop).
   const auto drain = [&]() {
+    if (outstanding.empty()) return false;
+    std::vector<std::uint64_t> tickets;
+    std::vector<Bytes> frames;
+    tickets.reserve(outstanding.size());
+    frames.reserve(outstanding.size());
+    for (const auto& [ticket, index] : outstanding) {
+      PollRequest poll_req;
+      poll_req.session_id = requests[index].session_id;
+      poll_req.ticket = ticket;
+      tickets.push_back(ticket);
+      frames.push_back(poll_req.encode());
+    }
+    std::vector<Result<Bytes>> replies;
+    if (frames.size() == 1)
+      replies.push_back(connected_ ? fabric_.send_recv(conn_, frames.front())
+                                   : Result<Bytes>::err(
+                                         "gateway client: not connected"));
+    else
+      replies = fabric_.exchange_all(conn_, std::move(frames));
     bool progressed = false;
-    for (auto it = outstanding.begin(); it != outstanding.end();) {
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+      const auto it = outstanding.find(tickets[i]);
       const std::size_t index = it->second;
-      auto polled = poll(requests[index].session_id, it->first);
+      auto payload = replies[i].ok() ? open_envelope(*replies[i])
+                                     : Result<Bytes>::err(replies[i].error());
+      auto polled = payload.ok() ? PollResponse::decode(*payload)
+                                 : Result<PollResponse>::err(payload.error());
       if (!polled.ok()) {
         results[index] = Result<InvokeResponse>::err(polled.error());
-        it = outstanding.erase(it);
+        outstanding.erase(it);
         progressed = true;
         continue;
       }
-      if (!polled->ready) {
-        ++it;
-        continue;
-      }
+      if (!polled->ready) continue;
       results[index] = polled->error.empty()
                            ? Result<InvokeResponse>(std::move(polled->result))
                            : Result<InvokeResponse>::err(polled->error);
-      it = outstanding.erase(it);
+      outstanding.erase(it);
       progressed = true;
     }
     return progressed;

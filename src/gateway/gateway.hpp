@@ -37,6 +37,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -140,7 +141,22 @@ class Gateway {
     std::atomic<std::uint32_t> queue_depth_peak{0};
     std::atomic<std::uint64_t> busy_ns{0};
     std::atomic<std::uint64_t> invocations{0};
+    /// EWMA (alpha = 1/8) of the observed per-invoke service time
+    /// (launch + guest execution) on this device. Written only by the
+    /// backend's own worker thread; read by placement on any dispatcher
+    /// thread. 0 = never sampled: placement probes such a device ahead
+    /// of anything measured, but only with a bounded couple of items
+    /// (see placement_cost).
+    std::atomic<std::uint64_t> ewma_invoke_ns{0};
   };
+
+  /// Placement cost of admitting one more item to `backend`: predicted
+  /// completion time (queued + executing + the newcomer) x the device's
+  /// EWMA service time — the "Adaptive placement" model that lets
+  /// heterogeneous fleets route around slow boards. Admission bumps
+  /// `inflight` immediately, so lanes a batch pass already admitted are
+  /// visible to the next lane's score with no extra bookkeeping.
+  static std::uint64_t placement_cost(const Backend& backend);
 
   Result<Bytes> handle_request(std::uint64_t conn, ByteView request);
   Result<Bytes> handle_attach(std::uint64_t conn, ByteView request);
@@ -154,6 +170,13 @@ class Gateway {
                                               const std::vector<std::string>& clients);
   Result<Bytes> handle_load_module(ByteView request);
   Result<Bytes> handle_invoke(ByteView request);
+  /// INVOKE_BATCH: fans every lane across the backend run queues in one
+  /// admission pass (each lane takes the cheapest backend by
+  /// placement_cost, spilling past full queues), then waits for the whole
+  /// fan to complete. Per-lane failures — unknown session, total
+  /// backpressure, appraisal, traps — report at that lane's index while
+  /// its siblings succeed.
+  Result<Bytes> handle_invoke_batch(ByteView request);
   Result<Bytes> handle_submit(ByteView request);
   Result<Bytes> handle_poll(ByteView request);
   Result<Bytes> handle_stats(ByteView request);
@@ -170,11 +193,31 @@ class Gateway {
   bool detach_session(std::uint64_t session_id, bool drop_tickets);
 
   /// Placement candidates, best first: a sampled two-choice pick (lower
-  /// queue depth, then lower accumulated busy time, then enrolment order)
-  /// followed by the remaining backends as spill-over, so a device that
-  /// fails appraisal or a full queue doesn't wedge the request. O(1)
-  /// comparisons in the common case — no per-request sort.
+  /// placement_cost — queue depth x EWMA device latency — then lower
+  /// accumulated busy time, then enrolment order) followed by the
+  /// remaining backends as spill-over, so a device that fails appraisal
+  /// or a full queue doesn't wedge the request. O(1) comparisons in the
+  /// common case — no per-request sort.
   std::vector<Backend*> placement_candidates();
+
+  /// Immutable placement snapshot of one backend: the three ranking keys
+  /// read ONCE from the live atomics. Sorting/min-ing snapshots (instead
+  /// of comparing the atomics in the comparator) keeps the order strict-
+  /// weak even while workers mutate inflight/busy/EWMA concurrently —
+  /// comparing live atomics inside std::sort is undefined behaviour.
+  struct ScoredBackend {
+    std::uint64_t cost = 0;   ///< placement_cost at snapshot time
+    std::uint64_t busy = 0;   ///< accumulated busy time tie-break
+    std::size_t enrol = 0;    ///< enrolment-order tie-break
+    Backend* backend = nullptr;
+    /// The one placement order both admission paths share.
+    bool operator<(const ScoredBackend& other) const noexcept {
+      if (cost != other.cost) return cost < other.cost;
+      if (busy != other.busy) return busy < other.busy;
+      return enrol < other.enrol;
+    }
+  };
+  static ScoredBackend score_backend(Backend& backend);
 
   /// Enqueues a work item on the backend's run queue, stamping its
   /// admission time. Fails QUEUE_FULL at the bound unless `force`
@@ -287,8 +330,17 @@ class Gateway {
 };
 
 /// Client-side convenience wrapper: frames requests, opens envelopes.
-/// One instance per client thread — the wrapper itself is not locked, but
-/// any number of GatewayClients may drive the same gateway concurrently.
+///
+/// Threading: one instance per client thread — the blocking calls are not
+/// locked against each other, but any number of GatewayClients may drive
+/// the same gateway concurrently. The *_async calls are the exception:
+/// they are safe to issue from the owning thread while earlier async work
+/// is still in flight, because completions are serviced by ONE internal
+/// drain thread (started lazily on the first async call, joined by
+/// close()/the destructor after every issued future and callback has been
+/// fulfilled). Completion callbacks and future fulfilment run on that
+/// drain thread, in issue order, never concurrently with each other — a
+/// callback must not call back into this client.
 class GatewayClient {
  public:
   /// Retry policy for QUEUE_FULL backpressure: exponential backoff with
@@ -310,6 +362,11 @@ class GatewayClient {
   void close();
   void set_backoff(BackoffConfig backoff) { backoff_ = backoff; }
 
+  /// Per-item completion of invoke_batch_async: the request's index in
+  /// the submitted vector plus its result, delivered on the drain thread.
+  using InvokeBatchCallback =
+      std::function<void(std::size_t index, Result<InvokeResponse> result)>;
+
   Result<AttachResponse> attach(const std::string& client_name);
   /// Batched attach: one ATTACH_BATCH op per chunk of kAttachBatchChunk
   /// names, chunks pipelined concurrently over the connection
@@ -328,21 +385,83 @@ class GatewayClient {
   Result<PollResponse> poll(std::uint64_t session_id, std::uint64_t ticket);
   /// Pipelined batch: keeps up to the gateway's admission bound in flight
   /// via SUBMIT, absorbing QUEUE_FULL backpressure by draining completed
-  /// tickets, and returns one result per request, in order.
+  /// tickets — every outstanding ticket is polled in ONE pipelined
+  /// exchange per drain pass (Fabric::exchange_all), not one round-trip
+  /// per ticket — and returns one result per request, in order.
   std::vector<Result<InvokeResponse>> invoke_batch(
       const std::vector<InvokeRequest>& requests);
+  /// Batched invoke over INVOKE_BATCH frames: one wire exchange per chunk
+  /// of kInvokeBatchChunk requests (chunks pipelined concurrently via
+  /// Fabric::exchange_all), one result per request in order. O(1) wire
+  /// exchanges in the batch size — the amortisation invoke_batch's
+  /// SUBMIT-per-item path cannot reach. Partial success is the contract:
+  /// the call succeeds when the wire did; inspect each Result.
+  std::vector<Result<InvokeResponse>> invoke_all(
+      const std::vector<InvokeRequest>& requests);
+
+  // -- async API -------------------------------------------------------------
+  // Future-returning counterparts of the blocking calls, built on
+  // Fabric::send_async: the wire exchange runs concurrently and the
+  // decoded response arrives through the future, fulfilled by the
+  // client's drain thread. QUEUE_FULL is NOT absorbed here — an async
+  // caller owns its own retry policy, so backpressure surfaces through
+  // the future (is_queue_full()).
+  std::future<Result<AttachResponse>> attach_async(const std::string& client_name);
+  std::future<Result<LoadModuleResponse>> load_async(std::uint64_t session_id,
+                                                     Bytes binary);
+  std::future<Result<InvokeResponse>> invoke_async(const InvokeRequest& request);
+  /// Fully non-blocking batch: chunks `requests` into INVOKE_BATCH frames,
+  /// fires every chunk as a concurrent Fabric::send_async exchange and
+  /// returns immediately; `on_complete` fires once per request (index +
+  /// result) on the drain thread. The chunks EXECUTE concurrently but
+  /// their callbacks are delivered in chunk-issue order (the drain thread
+  /// is FIFO), so one slow early chunk delays delivery — not execution —
+  /// of later ones; total completion time is still the slowest chunk. A
+  /// chunk-level transport failure completes every index of that chunk
+  /// with the error. Fails fast (without issuing anything) when not
+  /// connected or the batch is empty.
+  Status invoke_batch_async(const std::vector<InvokeRequest>& requests,
+                            InvokeBatchCallback on_complete);
+
   Result<GatewayStats> stats(std::uint64_t session_id);
   Status detach(std::uint64_t session_id);
 
   /// Names one ATTACH_BATCH frame carries; attach_all pipelines larger
   /// requests as concurrent chunk exchanges.
   static constexpr std::size_t kAttachBatchChunk = 32;
+  /// Invocations one INVOKE_BATCH frame carries; invoke_all and
+  /// invoke_batch_async pipeline larger batches as concurrent chunks.
+  static constexpr std::size_t kInvokeBatchChunk = 32;
 
  private:
   Result<Bytes> call(ByteView request);
   /// Sleeps the jittered backoff for retry `attempt` (0-based).
   void backoff_sleep(int attempt);
   std::uint64_t next_jitter();
+
+  /// One pending async exchange: the wire future plus the decode/fulfil
+  /// step the drain thread runs when it lands.
+  struct Completion {
+    std::future<Result<Bytes>> wire;
+    std::function<void(Result<Bytes>)> complete;
+  };
+  /// Hands a wire future to the drain thread (started lazily).
+  void enqueue_completion(std::future<Result<Bytes>> wire,
+                          std::function<void(Result<Bytes>)> complete);
+  /// Drain loop: pops completions in issue order, waits for each wire
+  /// exchange OUTSIDE the queue lock, runs the completion step. On stop it
+  /// drains everything still queued before exiting, so no issued future
+  /// or callback is ever abandoned.
+  void drain_loop();
+  /// Encodes `requests` as INVOKE_BATCH chunk frames (lane i == position
+  /// within the chunk). Shared by invoke_all and invoke_batch_async.
+  static std::vector<Bytes> invoke_chunk_frames(
+      const std::vector<InvokeRequest>& requests);
+  /// Maps one chunk's wire-level reply onto per-request results via
+  /// `deliver(index_within_chunk, result)`.
+  static void deliver_invoke_chunk(
+      const Result<Bytes>& reply, std::size_t chunk_size,
+      const std::function<void(std::size_t, Result<InvokeResponse>)>& deliver);
 
   net::Fabric& fabric_;
   std::uint64_t conn_ = 0;
@@ -351,6 +470,13 @@ class GatewayClient {
   /// xorshift64 state; `this` decorrelates sibling clients' retry storms.
   std::uint64_t jitter_state_ =
       0x9E3779B97F4A7C15ull ^ reinterpret_cast<std::uint64_t>(this);
+
+  /// Completion-drain machinery (see class comment for the thread model).
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::deque<Completion> completions_;
+  bool drain_stop_ = false;
+  std::thread drain_thread_;
 };
 
 }  // namespace watz::gateway

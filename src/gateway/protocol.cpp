@@ -1,5 +1,7 @@
 #include "gateway/protocol.hpp"
 
+#include <set>
+
 namespace watz::gateway {
 
 namespace {
@@ -89,7 +91,7 @@ Result<Op> peek_op(ByteView request) {
   if (request.empty()) return Result<Op>::err("gateway: empty request");
   const std::uint8_t op = request[0];
   if (op < static_cast<std::uint8_t>(Op::Attach) ||
-      op > static_cast<std::uint8_t>(Op::AttachBatch))
+      op > static_cast<std::uint8_t>(Op::InvokeBatch))
     return Result<Op>::err("gateway: unknown opcode " + std::to_string(op));
   return static_cast<Op>(op);
 }
@@ -372,6 +374,113 @@ Result<InvokeResponse> InvokeResponse::decode(ByteView data) {
   auto delay = read_u64(r);
   if (!delay.ok()) return Result<InvokeResponse>::err(delay.error());
   resp.queue_delay_ns = *delay;
+  return resp;
+}
+
+// -- InvokeBatch -------------------------------------------------------------
+
+Bytes InvokeBatchRequest::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(Op::InvokeBatch));
+  write_uleb(out, lanes.size());
+  for (const Lane& lane : lanes) {
+    write_uleb(out, lane.lane);
+    Bytes fields;
+    lane.invoke.encode_fields(fields);
+    put_blob(out, fields);
+  }
+  return out;
+}
+
+Result<InvokeBatchRequest> InvokeBatchRequest::decode(ByteView data) {
+  using R = Result<InvokeBatchRequest>;
+  auto r = open_request(data, Op::InvokeBatch);
+  if (!r.ok()) return R::err(r.error());
+  auto count = r->read_uleb32();
+  if (!count.ok()) return R::err(count.error());
+  if (*count == 0) return R::err("gateway: empty invoke batch");
+  if (*count > kMaxInvokeBatch) return R::err("gateway: invoke batch too large");
+  // Every lane costs at least its id + length prefix; a count the
+  // remaining frame cannot hold is malformed (and must not drive a reserve).
+  if (*count > r->remaining()) return R::err("gateway: invoke count exceeds frame");
+  InvokeBatchRequest req;
+  req.lanes.reserve(*count);
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    Lane lane;
+    auto id = r->read_uleb32();
+    if (!id.ok()) return R::err(id.error());
+    lane.lane = *id;
+    // A duplicate lane would make the per-lane results ambiguous; reject
+    // the whole frame, exactly like the RA batch frames do.
+    if (!seen.insert(lane.lane).second)
+      return R::err("gateway: duplicate invoke batch lane " +
+                    std::to_string(lane.lane));
+    auto payload = read_blob(*r);
+    if (!payload.ok()) return R::err("gateway: invoke batch lane " +
+                                     std::to_string(lane.lane) + ": " +
+                                     payload.error());
+    ByteReader fields(*payload);
+    auto invoke = InvokeRequest::decode_fields(fields);
+    if (!invoke.ok()) return R::err("gateway: invoke batch lane " +
+                                    std::to_string(lane.lane) + ": " +
+                                    invoke.error());
+    // The lane's length prefix and its payload must agree exactly.
+    if (!fields.at_end())
+      return R::err("gateway: invoke batch lane " + std::to_string(lane.lane) +
+                    ": trailing bytes");
+    lane.invoke = std::move(*invoke);
+    req.lanes.push_back(std::move(lane));
+  }
+  // Count and payload must agree exactly — trailing bytes are as malformed
+  // as a short frame.
+  if (!r->at_end()) return R::err("gateway: trailing bytes after invoke batch");
+  return req;
+}
+
+Bytes InvokeBatchResponse::encode() const {
+  Bytes out;
+  write_uleb(out, results.size());
+  for (const InvokeBatchResult& result : results) {
+    write_uleb(out, result.lane);
+    put_string(out, result.error);
+    if (result.ok()) put_blob(out, result.result.encode());
+  }
+  return out;
+}
+
+Result<InvokeBatchResponse> InvokeBatchResponse::decode(ByteView data) {
+  using R = Result<InvokeBatchResponse>;
+  ByteReader r(data);
+  auto count = r.read_uleb32();
+  if (!count.ok()) return R::err(count.error());
+  if (*count > kMaxInvokeBatch) return R::err("gateway: invoke batch too large");
+  if (*count > r.remaining())
+    return R::err("gateway: invoke count exceeds frame");
+  InvokeBatchResponse resp;
+  resp.results.reserve(*count);
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    InvokeBatchResult result;
+    auto id = r.read_uleb32();
+    if (!id.ok()) return R::err(id.error());
+    result.lane = *id;
+    if (!seen.insert(result.lane).second)
+      return R::err("gateway: duplicate invoke batch lane " +
+                    std::to_string(result.lane));
+    auto error = read_string(r);
+    if (!error.ok()) return R::err(error.error());
+    result.error = std::move(*error);
+    if (result.error.empty()) {
+      auto payload = read_blob(r);
+      if (!payload.ok()) return R::err(payload.error());
+      auto decoded = InvokeResponse::decode(*payload);
+      if (!decoded.ok()) return R::err(decoded.error());
+      result.result = std::move(*decoded);
+    }
+    resp.results.push_back(std::move(result));
+  }
+  if (!r.at_end()) return R::err("gateway: trailing bytes after invoke batch");
   return resp;
 }
 

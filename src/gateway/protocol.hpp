@@ -21,6 +21,12 @@
 //   SUBMIT      async INVOKE: admits the work item to a backend queue and
 //               returns a ticket immediately (or QUEUE_FULL backpressure).
 //   POLL        redeems a ticket: pending, or the completed result/error.
+//   INVOKE_BATCH
+//               N invocations in one wire exchange: the gateway fans the
+//               lanes across its backend run queues in one admission pass
+//               (least-loaded over queue depth x EWMA device latency) and
+//               answers with one result per lane — partial success with
+//               per-lane failed-index reporting, mirroring ATTACH_BATCH.
 //
 // Backpressure travels in the envelope status byte: when every eligible
 // backend run queue is at its bound, INVOKE/SUBMIT answer with status 0x02
@@ -47,6 +53,7 @@ enum class Op : std::uint8_t {
   Submit = 0x06,
   Poll = 0x07,
   AttachBatch = 0x08,
+  InvokeBatch = 0x09,
 };
 
 /// Reads the opcode of a raw request frame.
@@ -217,6 +224,47 @@ struct PollResponse {
 
   Bytes encode() const;
   static Result<PollResponse> decode(ByteView data);
+};
+
+/// Batched invoke: N invocations cross the wire in ONE exchange and fan
+/// out across the backend run queues in one admission pass — the invoke
+/// path's counterpart of ATTACH_BATCH. Framing mirrors the 0xAF RA batch
+/// frames and is equally strict: uleb count, then exactly `count` lanes of
+/// `uleb(lane) ‖ uleb(len) ‖ len bytes of invoke fields`. A count/payload
+/// mismatch, a duplicate lane id, a lane whose payload under- or
+/// over-fills its length prefix, or trailing bytes after the last lane
+/// reject the WHOLE request as a protocol error before any lane is
+/// admitted. Per-lane *application* failures (unknown session, QUEUE_FULL,
+/// appraisal, traps) travel in the response items instead: the batch
+/// partially succeeds and the client sees each failed index.
+struct InvokeBatchRequest {
+  struct Lane {
+    std::uint32_t lane = 0;
+    InvokeRequest invoke;
+  };
+  std::vector<Lane> lanes;
+
+  Bytes encode() const;
+  static Result<InvokeBatchRequest> decode(ByteView data);
+};
+
+/// Lanes one INVOKE_BATCH frame can carry (bounds decode-side allocation).
+inline constexpr std::uint32_t kMaxInvokeBatch = 256;
+
+/// Per-lane outcome of a batched invoke.
+struct InvokeBatchResult {
+  std::uint32_t lane = 0;
+  std::string error;      ///< non-empty when this lane failed
+  InvokeResponse result;  ///< valid iff error.empty()
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+struct InvokeBatchResponse {
+  std::vector<InvokeBatchResult> results;  ///< one per requested lane, in order
+
+  Bytes encode() const;
+  static Result<InvokeBatchResponse> decode(ByteView data);
 };
 
 struct StatsRequest {
