@@ -5,16 +5,22 @@
 // WaTZ runtime TA in the secure world, TEE supplicant in the normal world
 // bridging sockets and the monotonic clock.
 //
-// Threading contract: a Device is an ACTOR. Its mutable state (secure
-// monitor world-state, runtime, trusted-OS heap bookkeeping) is not
-// locked; instead every TEE entry — launches, invokes, RA handshakes —
-// must happen on the one thread that owns the device (in the gateway:
-// the backend's worker thread). Cross-thread reads are limited to the
-// few counters explicitly made atomic (e.g. TrustedOs::heap_in_use).
+// Threading contract: a bare Device is an ACTOR — its primary secure
+// monitor (world-state, enter/leave counters) is not locked, so every TEE
+// entry through it must come from one thread at a time. Multi-threaded
+// users wrap the device in a DeviceControl: a mutex-guarded control-plane
+// facade (RA handshakes, boot bookkeeping, secure-heap accounting) plus a
+// pool of SandboxSlots, each owning its OWN SecureMonitor (modelling one
+// CPU context of the SoC), so N slots run guest invokes concurrently
+// while control-plane entries serialise on the facade. Cross-thread reads
+// outside that structure are limited to the few counters explicitly made
+// atomic (e.g. TrustedOs::heap_in_use).
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/runtime.hpp"
 #include "net/fabric.hpp"
@@ -72,6 +78,72 @@ class Device {
   std::shared_ptr<attestation::AttestationService> attestation_;
   std::unique_ptr<optee::Supplicant> supplicant_;
   std::unique_ptr<WatzRuntime> runtime_;
+};
+
+/// One reentrant sandbox execution context on a device: models a CPU
+/// context of the SoC with its own security state, so its SecureMonitor is
+/// independent of the device's primary monitor and of every sibling slot.
+/// A slot is owned by exactly one worker thread at a time; apps
+/// instantiated on its monitor (WatzRuntime::instantiate with
+/// slot.monitor()) are bound to the slot and invoke concurrently with
+/// other slots' apps on the same device.
+class SandboxSlot {
+ public:
+  SandboxSlot(std::size_t index, hw::LatencyModel latency)
+      : index_(index), monitor_(std::move(latency)) {}
+  SandboxSlot(const SandboxSlot&) = delete;
+  SandboxSlot& operator=(const SandboxSlot&) = delete;
+
+  std::size_t index() const noexcept { return index_; }
+  tz::SecureMonitor& monitor() noexcept { return monitor_; }
+
+ private:
+  std::size_t index_;
+  tz::SecureMonitor monitor_;
+};
+
+/// Thread-safe facade over one Device for multi-threaded executors (the
+/// gateway's per-device sandbox pool). Splits the device into:
+///
+///   * a CONTROL PLANE — RA handshakes, cold prepares on the primary
+///     monitor, boot bookkeeping — serialised by tee_mutex() (the primary
+///     SecureMonitor is single-threaded state);
+///   * a DATA PLANE — `slots()` SandboxSlots, each with its own monitor,
+///     entered concurrently by their owning worker threads.
+///
+/// Secure-heap accounting stays on the device's TrustedOs (atomic,
+/// CAS-bounded), shared by every slot — the per-device budget is the one
+/// constraint the pool does NOT split.
+class DeviceControl {
+ public:
+  DeviceControl(Device& device, std::size_t slots) : device_(device) {
+    const hw::LatencyModel& latency = device.monitor().latency();
+    if (slots == 0) slots = 1;
+    slots_.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i)
+      slots_.push_back(std::make_unique<SandboxSlot>(i, latency));
+  }
+  DeviceControl(const DeviceControl&) = delete;
+  DeviceControl& operator=(const DeviceControl&) = delete;
+
+  Device& device() noexcept { return device_; }
+  std::size_t slot_count() const noexcept { return slots_.size(); }
+  SandboxSlot& slot(std::size_t index) noexcept { return *slots_[index]; }
+
+  /// Serialises control-plane TEE entry (the primary monitor): hold it
+  /// across every Device::monitor() smc_call — RA attester runs, direct
+  /// runtime launches — made while slot workers are live. Leaf lock: never
+  /// acquire anything under it.
+  std::mutex& tee_mutex() noexcept { return tee_mu_; }
+
+  std::size_t secure_heap_in_use() const noexcept {
+    return device_.os().heap_in_use();
+  }
+
+ private:
+  Device& device_;
+  std::mutex tee_mu_;
+  std::vector<std::unique_ptr<SandboxSlot>> slots_;
 };
 
 }  // namespace watz::core

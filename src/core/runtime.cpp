@@ -21,13 +21,25 @@ Result<std::vector<wasm::Value>> LoadedApp::invoke(const std::string& entry,
   return monitor_->smc_call([&] { return instance_->invoke(entry, args); });
 }
 
+Bytes WatzRuntime::next_app_seed() {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  Bytes seed(32);
+  app_rng_.fill(seed);
+  return seed;
+}
+
 Result<std::shared_ptr<const PreparedModule>> WatzRuntime::prepare(
-    ByteView wasm_binary, wasm::ExecMode mode) {
+    ByteView wasm_binary, wasm::ExecMode mode, tz::SecureMonitor* monitor) {
   using Prepared = std::shared_ptr<const PreparedModule>;
   auto now = [] { return hw::monotonic_ns(); };
+  tz::SecureMonitor& entry = monitor ? *monitor : monitor_;
 
   auto prepared = std::make_shared<PreparedModule>();
   prepared->mode_ = mode;
+
+  // The world-shared staging buffer is one physical region per device;
+  // concurrent prepares (two slots cold-missing at once) serialise here.
+  std::lock_guard<std::mutex> stage_lock(prepare_mu_);
 
   // The normal world stages the binary in a world-shared buffer. OP-TEE
   // caps shared buffers (9 MB): oversized binaries fail here, exactly the
@@ -38,7 +50,7 @@ Result<std::shared_ptr<const PreparedModule>> WatzRuntime::prepare(
 
   const std::uint64_t t_request = now();
 
-  Result<Status> result = monitor_.smc_call([&]() -> Result<Status> {
+  Result<Status> result = entry.smc_call([&]() -> Result<Status> {
     prepared->load_cost_.transition_ns = now() - t_request;
 
     // Phase: memory allocation (code half). The executable pages live as
@@ -76,12 +88,13 @@ Result<std::shared_ptr<const PreparedModule>> WatzRuntime::prepare(
   if (!result.ok()) return Result<Prepared>::err(result.error());
   if (!result->ok()) return Result<Prepared>::err(result->error());
 
-  ++modules_prepared_;
+  modules_prepared_.fetch_add(1, std::memory_order_relaxed);
   return Prepared(std::move(prepared));
 }
 
 Result<std::unique_ptr<LoadedApp>> WatzRuntime::instantiate(
-    std::shared_ptr<const PreparedModule> prepared, AppConfig config) {
+    std::shared_ptr<const PreparedModule> prepared, AppConfig config,
+    tz::SecureMonitor* monitor) {
   using App = std::unique_ptr<LoadedApp>;
   auto now = [] { return hw::monotonic_ns(); };
 
@@ -90,12 +103,13 @@ Result<std::unique_ptr<LoadedApp>> WatzRuntime::instantiate(
         "watz: prepared module mode does not match AppConfig.mode");
 
   auto app = std::make_unique<LoadedApp>();
-  app->monitor_ = &monitor_;
+  app->monitor_ = monitor ? monitor : &monitor_;
   app->prepared_ = std::move(prepared);
+  app->rng_ = std::make_unique<crypto::Fortuna>(next_app_seed());
 
   const std::uint64_t t_request = now();
 
-  Result<Status> result = monitor_.smc_call([&]() -> Result<Status> {
+  Result<Status> result = app->monitor_->smc_call([&]() -> Result<Status> {
     app->startup_.transition_ns = now() - t_request;
 
     // Phase: memory allocation (heap half; SS VI-B's second buffer).
@@ -113,9 +127,9 @@ Result<std::unique_ptr<LoadedApp>> WatzRuntime::instantiate(
           auto t = os->get_system_time();  // charged supplicant RPC (Fig 3a)
           return t.ok() ? t->nanos : hw::monotonic_ns();
         },
-        &app_rng_);
+        app->rng_.get());
     app->wasi_ra_env_ = std::make_unique<WasiRaEnv>(
-        attestation_, *os_.supplicant(), app_rng_, app->prepared_->measurement());
+        attestation_, *os_.supplicant(), *app->rng_, app->prepared_->measurement());
     app->imports_ = std::make_unique<wasm::ImportResolver>();
     app->wasi_env_->register_imports(*app->imports_);
     app->wasi_ra_env_->register_imports(*app->imports_);
@@ -140,7 +154,7 @@ Result<std::unique_ptr<LoadedApp>> WatzRuntime::instantiate(
   if (!result.ok()) return Result<App>::err(result.error());
   if (!result->ok()) return Result<App>::err(result->error());
 
-  ++apps_launched_;
+  apps_launched_.fetch_add(1, std::memory_order_relaxed);
   return app;
 }
 

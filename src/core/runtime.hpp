@@ -20,7 +20,9 @@
 // measurement skip the dominant Loading phase entirely.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "attestation/service.hpp"
@@ -85,6 +87,12 @@ class PreparedModule {
 };
 
 /// One sandboxed Wasm application loaded in the secure world.
+///
+/// Threading: an app is bound at instantiation to ONE secure monitor (a CPU
+/// context of the SoC) and must only ever be driven from the thread that
+/// owns that monitor. Apps bound to different monitors of the same device
+/// invoke concurrently — that is the sandbox-pool execution model; see
+/// core::SandboxSlot.
 class LoadedApp {
  public:
   const crypto::Sha256Digest& measurement() const noexcept {
@@ -100,6 +108,9 @@ class LoadedApp {
   }
   /// Secure-heap charge of the guest heap reservation (pool accounting).
   std::size_t heap_bytes() const noexcept { return heap_memory_.size(); }
+  /// The secure monitor this app is bound to (identifies the sandbox slot
+  /// that may drive it; pool handouts match on it).
+  tz::SecureMonitor* monitor() const noexcept { return monitor_; }
 
   /// Invokes an exported function inside the sandbox, crossing the world
   /// boundary (charged by the monitor).
@@ -111,6 +122,10 @@ class LoadedApp {
   StartupBreakdown startup_{};
   std::shared_ptr<const PreparedModule> prepared_;
   optee::SecureAlloc heap_memory_;  // guest heap reservation
+  /// Per-app RNG stream (WASI random_get etc.). Owned by the app so
+  /// concurrent guests on different slots never contend on — or race —
+  /// one shared generator.
+  std::unique_ptr<crypto::Fortuna> rng_;
   std::unique_ptr<wasi::WasiEnv> wasi_env_;
   std::unique_ptr<WasiRaEnv> wasi_ra_env_;
   std::unique_ptr<wasm::ImportResolver> imports_;
@@ -118,6 +133,13 @@ class LoadedApp {
   tz::SecureMonitor* monitor_ = nullptr;
 };
 
+/// Threading: the runtime itself is thread-safe — prepare() serialises the
+/// shared-memory staging on an internal mutex, counters are atomic, and
+/// every LoadedApp gets its own RNG stream. What stays single-threaded is
+/// each secure monitor: pass a distinct `monitor` (a core::SandboxSlot's)
+/// to prepare()/instantiate() from each concurrent caller; callers that
+/// pass none share the device's primary monitor and must serialise
+/// themselves (gateway: core::DeviceControl's TEE mutex).
 class WatzRuntime {
  public:
   WatzRuntime(optee::TrustedOs& os, tz::SecureMonitor& monitor,
@@ -126,16 +148,22 @@ class WatzRuntime {
   /// Cold half of the pipeline: stages the binary through the shared
   /// buffer, copies it into executable secure pages, measures it and runs
   /// decode + validate (+ AOT translation). The result is immutable and
-  /// shareable across launches.
+  /// shareable across launches. `monitor` is the secure-world entry point
+  /// to charge (nullptr = the device's primary monitor).
   Result<std::shared_ptr<const PreparedModule>> prepare(
-      ByteView wasm_binary, wasm::ExecMode mode = wasm::ExecMode::Aot);
+      ByteView wasm_binary, wasm::ExecMode mode = wasm::ExecMode::Aot,
+      tz::SecureMonitor* monitor = nullptr);
 
   /// Warm half: allocates the guest heap, builds the runtime environment
   /// and instantiates the module. Only Transition + Memory allocation +
   /// Initialisation + Instantiate appear in the resulting startup()
-  /// breakdown -- the Loading phase was paid once, in prepare().
+  /// breakdown -- the Loading phase was paid once, in prepare(). The app
+  /// is bound to `monitor` (nullptr = the device's primary monitor): every
+  /// later invoke crosses that monitor, so apps instantiated on different
+  /// sandbox-slot monitors execute concurrently.
   Result<std::unique_ptr<LoadedApp>> instantiate(
-      std::shared_ptr<const PreparedModule> prepared, AppConfig config);
+      std::shared_ptr<const PreparedModule> prepared, AppConfig config,
+      tz::SecureMonitor* monitor = nullptr);
 
   /// Launches a Wasm application from a normal-world binary. The full
   /// paper flow: shared buffer -> secure copy -> measure -> load -> run
@@ -144,16 +172,32 @@ class WatzRuntime {
   /// instantiate() with the phase costs merged.
   Result<std::unique_ptr<LoadedApp>> launch(ByteView wasm_binary, AppConfig config);
 
-  std::uint64_t apps_launched() const noexcept { return apps_launched_; }
-  std::uint64_t modules_prepared() const noexcept { return modules_prepared_; }
+  /// The device's primary monitor: what prepare()/instantiate() bind to
+  /// when no slot monitor is passed (single-threaded / control-plane use).
+  tz::SecureMonitor& primary_monitor() noexcept { return monitor_; }
+
+  std::uint64_t apps_launched() const noexcept {
+    return apps_launched_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t modules_prepared() const noexcept {
+    return modules_prepared_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Derives a fresh per-app RNG seed from the runtime stream (serialised:
+  /// Fortuna is not thread-safe and instantiates race across slots).
+  Bytes next_app_seed();
+
   optee::TrustedOs& os_;
   tz::SecureMonitor& monitor_;
   const attestation::AttestationService& attestation_;
+  std::mutex rng_mu_;  // guards app_rng_ (seed derivation only)
   crypto::Fortuna app_rng_;
-  std::uint64_t apps_launched_ = 0;
-  std::uint64_t modules_prepared_ = 0;
+  /// Serialises the shared-memory staging of prepare(): the world-shared
+  /// buffer is one physical region per device, not per slot.
+  std::mutex prepare_mu_;
+  std::atomic<std::uint64_t> apps_launched_{0};
+  std::atomic<std::uint64_t> modules_prepared_{0};
 };
 
 }  // namespace watz::core

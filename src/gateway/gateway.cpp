@@ -48,19 +48,28 @@ Gateway::Gateway(net::Fabric& fabric, GatewayConfig config, ByteView identity_se
 Gateway::~Gateway() {
   // Unbind from the fabric FIRST so no new request can reach a handler
   // capturing a dying `this` (clients that outlive the gateway then get
-  // "peer gone" instead of a dangling callback), then drain the workers.
+  // "peer gone" instead of a dangling callback), then retire the renewal
+  // sweeper (it posts control-lane items), then drain the slot workers.
   if (started_) {
     fabric_.unlisten(config_.hostname, config_.port);
     fabric_.unlisten(config_.hostname, config_.ra_port);
   }
   stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(renew_mu_);
+    renew_stop_ = true;
+  }
+  renew_cv_.notify_all();
+  if (renew_thread_.joinable()) renew_thread_.join();
   for (auto& [name, backend] : backends_) {
-    {
-      std::lock_guard<std::mutex> lock(backend.queue_mu);
-      backend.stop = true;
+    for (auto& slot : backend.slots) {
+      {
+        std::lock_guard<std::mutex> lock(slot->queue_mu);
+        slot->stop = true;
+      }
+      slot->queue_cv.notify_all();
+      if (slot->worker.joinable()) slot->worker.join();
     }
-    backend.queue_cv.notify_all();
-    if (backend.worker.joinable()) backend.worker.join();
   }
 }
 
@@ -92,11 +101,18 @@ Status Gateway::start() {
       [this](std::uint64_t conn) { on_client_close(conn); });
   if (!dispatcher.ok()) return dispatcher;
 
+  // Evidence renewal rides a background sweeper only when there is a TTL
+  // to stay ahead of; an infinite TTL never goes stale.
+  if (config_.evidence_renewal &&
+      config_.session_policy.evidence_ttl_ns != ~0ull && !renew_thread_.joinable())
+    renew_thread_ = std::thread([this] { renewal_loop(); });
+
   started_ = true;
   return {};
 }
 
 Status Gateway::add_device(core::Device& device) {
+  const std::size_t pool = config_.slots_per_device ? config_.slots_per_device : 1;
   Backend* backend = nullptr;
   bool fresh = false;
   {
@@ -107,23 +123,43 @@ Status Gateway::add_device(core::Device& device) {
       backend->hostname = device.hostname();
       backend->enrol_index = backend_order_.size();
       backend_order_.push_back(backend);
+      backend->slots.reserve(pool);
+      for (std::size_t i = 0; i < pool; ++i) {
+        auto slot = std::make_unique<Slot>();
+        slot->backend = backend;
+        slot->index = i;
+        slot->global_id = slot_order_.size();
+        slot_order_.push_back(slot.get());
+        backend->slots.push_back(std::move(slot));
+      }
     }
   }
   {
     // Re-enrolment == reboot/board swap: swap in the (possibly new) device
-    // plus a fresh cache + attester RNG, and bump the boot count so cached
-    // evidence goes stale. Workers snapshot all of these under state_mu,
-    // so an invoke mid-flight across the "reboot" finishes on the old
-    // device + cache instead of racing the swap.
+    // plus a fresh control (slot monitors), cache + attester RNG, and bump
+    // the boot count so cached evidence goes stale. Workers snapshot all
+    // of these under state_mu, so an invoke mid-flight across the
+    // "reboot" finishes on the old device + cache + monitors instead of
+    // racing the swap.
     std::lock_guard<std::mutex> lock(backend->state_mu);
     backend->device = &device;
-    backend->cache = std::make_shared<ModuleCache>(device.runtime(), config_.cache);
+    backend->control = std::make_shared<core::DeviceControl>(device, pool);
+    // The warm pool hands instances out per slot; widen the per-module
+    // pool so every slot can park one (0 stays 0: pooling disabled).
+    ModuleCacheConfig cache_config = config_.cache;
+    cache_config.max_pool_per_module =
+        cache_config.max_pool_per_module
+            ? std::max(cache_config.max_pool_per_module, pool)
+            : 0;
+    backend->cache = std::make_shared<ModuleCache>(device.runtime(), cache_config);
     backend->attester_rng = std::make_shared<crypto::Fortuna>(
         device.os().huk_subkey_derive("watz-gateway-attester-v1"));
     backend->platform_claim = platform_claim(device);
     ++backend->boot_count;
   }
-  if (fresh) backend->worker = std::thread([this, backend] { worker_loop(*backend); });
+  if (fresh)
+    for (auto& slot : backend->slots)
+      slot->worker = std::thread([this, s = slot.get()] { worker_loop(*s); });
 
   // Broadcast to every shard (ShardedVerifier locks one shard at a time).
   verifier_->endorse_device(device.attestation_service().public_key());
@@ -133,40 +169,40 @@ Status Gateway::add_device(core::Device& device) {
 
 // -- worker fabric -----------------------------------------------------------
 
-Status Gateway::post(Backend& backend, std::function<void(std::uint64_t)> task,
+Status Gateway::post(Slot& slot, std::function<void(std::uint64_t)> task,
                      bool force) {
   {
-    std::lock_guard<std::mutex> lock(backend.queue_mu);
-    if (backend.stop) return Status::err("gateway: shutting down");
-    const std::uint32_t depth = backend.inflight.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(slot.queue_mu);
+    if (slot.stop) return Status::err("gateway: shutting down");
+    const std::uint32_t depth = slot.inflight.load(std::memory_order_relaxed);
     if (!force && depth >= config_.worker_queue_capacity)
-      return Status::err(std::string(kQueueFullPrefix) + ": " + backend.hostname +
+      return Status::err(std::string(kQueueFullPrefix) + ": " +
+                         slot.backend->hostname + "#" + std::to_string(slot.index) +
                          " run queue at capacity (" + std::to_string(depth) + ")");
     const std::uint32_t now_inflight = depth + 1;
-    backend.inflight.store(now_inflight, std::memory_order_relaxed);
-    std::uint32_t peak = backend.queue_depth_peak.load(std::memory_order_relaxed);
+    slot.inflight.store(now_inflight, std::memory_order_relaxed);
+    std::uint32_t peak = slot.queue_depth_peak.load(std::memory_order_relaxed);
     while (now_inflight > peak &&
-           !backend.queue_depth_peak.compare_exchange_weak(peak, now_inflight)) {
+           !slot.queue_depth_peak.compare_exchange_weak(peak, now_inflight)) {
     }
     // Admission timestamp: the worker measures pickup - admission as the
     // item's queueing delay (the STATS percentiles and the per-response
     // queue_delay_ns both come from this stamp).
-    backend.queue.push_back(Backend::WorkItem{hw::monotonic_ns(), std::move(task)});
+    slot.queue.push_back(Slot::WorkItem{hw::monotonic_ns(), std::move(task)});
   }
-  backend.queue_cv.notify_one();
+  slot.queue_cv.notify_one();
   return {};
 }
 
-void Gateway::worker_loop(Backend& backend) {
+void Gateway::worker_loop(Slot& slot) {
   for (;;) {
-    Backend::WorkItem item;
+    Slot::WorkItem item;
     {
-      std::unique_lock<std::mutex> lock(backend.queue_mu);
-      backend.queue_cv.wait(lock,
-                            [&] { return backend.stop || !backend.queue.empty(); });
-      if (backend.queue.empty()) return;  // stop requested and queue drained
-      item = std::move(backend.queue.front());
-      backend.queue.pop_front();
+      std::unique_lock<std::mutex> lock(slot.queue_mu);
+      slot.queue_cv.wait(lock, [&] { return slot.stop || !slot.queue.empty(); });
+      if (slot.queue.empty()) return;  // stop requested and queue drained
+      item = std::move(slot.queue.front());
+      slot.queue.pop_front();
     }
     const std::uint64_t now = hw::monotonic_ns();
     const std::uint64_t delay =
@@ -203,15 +239,15 @@ std::uint64_t Gateway::queue_delay_percentile(double q) {
   return 1ull << (kDelayBuckets - 1);
 }
 
-std::uint64_t Gateway::placement_cost(const Backend& backend) {
+std::uint64_t Gateway::placement_cost(const Slot& slot) {
   // Predicted completion of one more admission: every item ahead of it
-  // (queued + executing) plus itself, each costing the device's observed
+  // (queued + executing) plus itself, each costing the slot's observed
   // EWMA service time. Bounded: depth <= queue capacity, EWMA < minutes,
   // no overflow.
-  const std::uint64_t depth = backend.inflight.load(std::memory_order_relaxed);
-  const std::uint64_t ewma = backend.ewma_invoke_ns.load(std::memory_order_relaxed);
+  const std::uint64_t depth = slot.inflight.load(std::memory_order_relaxed);
+  const std::uint64_t ewma = slot.ewma_invoke_ns.load(std::memory_order_relaxed);
   if (ewma == 0) {
-    // Unsampled device: probe it ahead of anything measured — but only
+    // Unsampled slot: probe it ahead of anything measured — but only
     // with a couple of items. No sample can land until the first probe
     // completes, so unbounded optimism would let one batch admission
     // pass pile lanes onto a fresh (possibly slow) board up to the whole
@@ -223,41 +259,55 @@ std::uint64_t Gateway::placement_cost(const Backend& backend) {
   return (depth + 1) * ewma;
 }
 
-std::vector<Gateway::Backend*> Gateway::placement_candidates() {
-  std::vector<Backend*> order;
+std::vector<Gateway::Slot*> Gateway::placement_candidates(
+    std::uint64_t affinity_hint) {
+  std::vector<Slot*> order;
   {
     std::lock_guard<std::mutex> lock(backends_mu_);
-    order = backend_order_;
+    order = slot_order_;
   }
   const std::size_t n = order.size();
-  if (n < 2) return order;
+  // The session's warm slot leads the candidate list ONLY when idle:
+  // following the hint into a queue would convoy every repeat invoke of a
+  // hot session onto one slot and forfeit the pool.
+  Slot* warm = nullptr;
+  if (affinity_hint != 0 && affinity_hint <= n) {
+    Slot* hinted = order[affinity_hint - 1];
+    if (hinted->inflight.load(std::memory_order_relaxed) == 0) warm = hinted;
+  }
+  if (n < 2) {
+    if (warm && !order.empty() && order.front() != warm)
+      std::swap(order.front(), *std::find(order.begin(), order.end(), warm));
+    return order;
+  }
 
-  // Sampled two-choice: probe two distinct backends round-robin and take
-  // the cheaper by placement_cost (queue depth x EWMA device latency,
-  // then accumulated busy time, then enrolment order) — O(1) instead of
-  // a per-request sort, and provably near-optimal balance under load.
+  // Sampled two-choice: probe two distinct slots round-robin and take
+  // the cheaper by placement_cost (queue depth x EWMA slot latency,
+  // then accumulated busy time, then global slot order) — O(1) instead
+  // of a per-request sort, and provably near-optimal balance under load.
   const std::uint64_t tick = placement_tick_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t i = static_cast<std::size_t>(tick % n);
   const std::size_t j = (i + 1 + static_cast<std::size_t>((tick / n) % (n - 1))) % n;
-  Backend* a = order[i];
-  Backend* b = order[j];
-  if (score_backend(*b) < score_backend(*a)) std::swap(a, b);
+  Slot* a = order[i];
+  Slot* b = order[j];
+  if (score_slot(*b) < score_slot(*a)) std::swap(a, b);
 
-  // Spill-over tail in enrolment order, so appraisal failures and full
+  // Spill-over tail in global slot order, so appraisal failures and full
   // queues walk the whole fleet rather than wedging the request.
-  std::vector<Backend*> candidates;
+  std::vector<Slot*> candidates;
   candidates.reserve(n);
-  candidates.push_back(a);
-  candidates.push_back(b);
-  for (Backend* rest : order)
-    if (rest != a && rest != b) candidates.push_back(rest);
+  if (warm) candidates.push_back(warm);
+  if (a != warm) candidates.push_back(a);
+  if (b != warm) candidates.push_back(b);
+  for (Slot* rest : order)
+    if (rest != a && rest != b && rest != warm) candidates.push_back(rest);
   return candidates;
 }
 
-Gateway::ScoredBackend Gateway::score_backend(Backend& backend) {
-  return ScoredBackend{placement_cost(backend),
-                       backend.busy_ns.load(std::memory_order_relaxed),
-                       backend.enrol_index, &backend};
+Gateway::ScoredSlot Gateway::score_slot(Slot& slot) {
+  return ScoredSlot{placement_cost(slot),
+                    slot.busy_ns.load(std::memory_order_relaxed),
+                    slot.global_id, &slot};
 }
 
 // -- request handling --------------------------------------------------------
@@ -319,11 +369,11 @@ Result<AttachBatchResponse> Gateway::attach_sessions(
   for (const std::string& client : clients)
     sessions.push_back(sessions_.attach(client, now));
 
-  // One forced work item per backend (control plane, like ATTACH): the
+  // One forced work item per backend, on its control lane (slot 0): the
   // item runs a single batched protocol exchange covering EVERY session —
   // lane i is session i — so each device pays two RA round-trips for the
   // whole batch instead of two per session, and the fleet's batches run in
-  // parallel across the backend workers.
+  // parallel across the backends' control lanes.
   struct DeviceLanes {
     std::uint32_t fabric_exchanges = 0;
     std::vector<Result<std::uint32_t>> lanes;  // RA exchanges per session
@@ -337,9 +387,10 @@ Result<AttachBatchResponse> Gateway::attach_sessions(
   for (Backend* backend : fleet) {
     auto promise = std::make_shared<std::promise<DeviceLanes>>();
     auto future = promise->get_future();
+    Slot* control_lane = backend->slots.front().get();
     Status admitted = post(
-        *backend,
-        [this, backend, sessions, promise](std::uint64_t) {
+        *control_lane,
+        [this, backend, control_lane, sessions, promise](std::uint64_t) {
           DeviceLanes out;
           out.lanes.assign(sessions.size(),
                            Result<std::uint32_t>::err("gateway: shutting down"));
@@ -374,7 +425,7 @@ Result<AttachBatchResponse> Gateway::attach_sessions(
               }
             }
           }
-          backend->inflight.fetch_sub(1, std::memory_order_release);
+          control_lane->inflight.fetch_sub(1, std::memory_order_release);
           promise->set_value(std::move(out));
         },
         /*force=*/true);
@@ -442,14 +493,14 @@ Result<Bytes> Gateway::handle_load_module(ByteView request) {
 }
 
 Result<std::future<Result<InvokeResponse>>> Gateway::post_invoke(
-    Backend& backend, const SessionPtr& session, const InvokeRequest& request) {
+    Slot& slot, const SessionPtr& session, const InvokeRequest& request) {
   auto promise = std::make_shared<std::promise<Result<InvokeResponse>>>();
   auto future = promise->get_future();
   Status admitted = post(
-      backend, [this, backend = &backend, session, request,
-                promise](std::uint64_t queue_delay_ns) {
-        auto outcome = execute_invoke(*backend, session, request, queue_delay_ns);
-        backend->inflight.fetch_sub(1, std::memory_order_release);
+      slot, [this, slot = &slot, session, request,
+             promise](std::uint64_t queue_delay_ns) {
+        auto outcome = execute_invoke(*slot, session, request, queue_delay_ns);
+        slot->inflight.fetch_sub(1, std::memory_order_release);
         promise->set_value(std::move(outcome));
       });
   if (!admitted.ok())
@@ -460,8 +511,9 @@ Result<std::future<Result<InvokeResponse>>> Gateway::post_invoke(
 Result<InvokeResponse> Gateway::dispatch_invoke_sync(const SessionPtr& session,
                                                      const InvokeRequest& request) {
   std::string last_error = "gateway: no devices enrolled";
-  for (Backend* backend : placement_candidates()) {
-    auto future = post_invoke(*backend, session, request);
+  for (Slot* slot : placement_candidates(
+           session->affinity_slot.load(std::memory_order_relaxed))) {
+    auto future = post_invoke(*slot, session, request);
     if (!future.ok()) {
       last_error = future.error();
       continue;  // spill to the next candidate
@@ -503,25 +555,49 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
   resp.results.resize(req->lanes.size());
 
   // One admission pass over one fleet snapshot: every lane is bound to
-  // the cheapest backend by placement_cost. Because post() bumps inflight
+  // the cheapest SLOT by placement_cost. Because post() bumps inflight
   // at admission, lane k's pick already accounts for lanes 0..k-1 — the
   // fan spreads by predicted completion time, not by hash. The common
-  // case is one O(fleet) min-element per lane; only a full queue pays a
+  // case is one O(slots) min-element per lane; only a full queue pays a
   // sort to spill down the cost order. Futures are collected first and
   // awaited after the whole pass, so the lanes execute concurrently
-  // across the workers.
-  std::vector<Backend*> fleet;
+  // across the slot workers.
+  //
+  // Cross-lane dedup: lanes sharing (measurement, entry, args, heap)
+  // execute once per batch — the first admitted lane is the LEADER, and a
+  // later twin whose session already holds fresh evidence for the
+  // leader's device becomes a RIDER: it is never admitted, it just fans
+  // the leader's result (the freshness gate keeps the trust decision per
+  // session — a rider with stale evidence executes normally and pays its
+  // own handshake).
+  std::vector<Slot*> fleet;
   {
     std::lock_guard<std::mutex> lock(backends_mu_);
-    fleet = backend_order_;
+    fleet = slot_order_;
   }
   struct PendingLane {
     std::size_t index = 0;
     SessionPtr session;
     std::future<Result<InvokeResponse>> future;
+    std::string device;            ///< hostname the leader was admitted to
+    std::uint64_t boot_count = 0;  ///< at admission (freshness gate)
+    std::vector<std::size_t> riders;  ///< lane indexes riding this result
   };
   std::vector<PendingLane> pending;
   pending.reserve(req->lanes.size());
+  std::map<std::string, std::size_t> leaders;  // dedup key -> pending index
+  const auto dedup_key = [](const InvokeRequest& invoke) {
+    std::string key(invoke.measurement.begin(), invoke.measurement.end());
+    key += invoke.entry;
+    key.push_back('\0');
+    for (const wasm::Value& v : invoke.args) {
+      key.push_back(static_cast<char>(v.type));
+      key.append(reinterpret_cast<const char*>(&v.bits), sizeof(v.bits));
+    }
+    key.append(reinterpret_cast<const char*>(&invoke.heap_bytes),
+               sizeof(invoke.heap_bytes));
+    return key;
+  };
   for (std::size_t i = 0; i < req->lanes.size(); ++i) {
     const InvokeBatchRequest::Lane& lane = req->lanes[i];
     resp.results[i].lane = lane.lane;
@@ -530,33 +606,56 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
       resp.results[i].error = "gateway: unknown session";
       continue;
     }
+    const std::string key = dedup_key(lane.invoke);
+    const auto leader = leaders.find(key);
+    if (leader != leaders.end()) {
+      PendingLane& lead = pending[leader->second];
+      if (sessions_.has_fresh(*session, lead.device, lead.boot_count,
+                              hw::monotonic_ns())) {
+        lead.riders.push_back(i);
+        continue;
+      }
+    }
     std::string last_error = "gateway: no devices enrolled";
     bool admitted = false;
     if (!fleet.empty()) {
-      std::vector<ScoredBackend> scored;
+      std::vector<ScoredSlot> scored;
       scored.reserve(fleet.size());
-      for (Backend* backend : fleet) scored.push_back(score_backend(*backend));
-      // Common case: the cheapest backend admits (one O(fleet) scan).
+      for (Slot* slot : fleet) scored.push_back(score_slot(*slot));
+      // Common case: the cheapest slot admits (one O(slots) scan).
       // Only a full queue pays the sort to spill down the cost order.
       auto best = std::min_element(scored.begin(), scored.end());
       std::iter_swap(scored.begin(), best);
-      auto future = post_invoke(*scored.front().backend, session, lane.invoke);
-      if (future.ok()) {
-        pending.push_back(PendingLane{i, session, std::move(*future)});
-        admitted = true;
-      } else {
+      std::size_t chosen = 0;
+      auto future = post_invoke(*scored.front().slot, session, lane.invoke);
+      if (!future.ok()) {
         last_error = future.error();
         std::sort(scored.begin() + 1, scored.end());
         for (std::size_t s = 1; s < scored.size(); ++s) {
-          auto retry = post_invoke(*scored[s].backend, session, lane.invoke);
+          auto retry = post_invoke(*scored[s].slot, session, lane.invoke);
           if (!retry.ok()) {
             last_error = retry.error();
             continue;
           }
-          pending.push_back(PendingLane{i, session, std::move(*retry)});
-          admitted = true;
+          future = std::move(retry);
+          chosen = s;
           break;
         }
+      }
+      if (future.ok()) {
+        PendingLane entry;
+        entry.index = i;
+        entry.session = session;
+        entry.future = std::move(*future);
+        Backend* backend = scored[chosen].slot->backend;
+        entry.device = backend->hostname;
+        {
+          std::lock_guard<std::mutex> lock(backend->state_mu);
+          entry.boot_count = backend->boot_count;
+        }
+        leaders.try_emplace(key, pending.size());
+        pending.push_back(std::move(entry));
+        admitted = true;
       }
     }
     if (!admitted) {
@@ -571,6 +670,7 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
 
   for (PendingLane& lane : pending) {
     auto outcome = lane.future.get();
+    bool rerouted = false;
     if (!outcome.ok() && is_appraisal_failure(outcome.error())) {
       // Trust decides placement, on the batch path too: a lane that
       // landed on a device failing appraisal is re-dispatched through the
@@ -578,6 +678,38 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
       // (same invariant as dispatch_invoke_sync for plain INVOKE). Rare —
       // paid only by the affected lanes, after the healthy fan completed.
       outcome = dispatch_invoke_sync(lane.session, req->lanes[lane.index].invoke);
+      rerouted = true;
+    }
+    if (outcome.ok() && !rerouted) {
+      // Riders fan the leader's execution: same results, zero RA traffic
+      // of their own (the freshness gate at admission guaranteed their
+      // evidence).
+      for (const std::size_t rider : lane.riders) {
+        InvokeResponse copy = *outcome;
+        copy.ra_exchanges = 0;
+        resp.results[rider].result = std::move(copy);
+      }
+      if (!lane.riders.empty())
+        deduped_lanes_.fetch_add(lane.riders.size(), std::memory_order_relaxed);
+    } else {
+      // A failed OR re-routed leader never speaks for its riders: the
+      // re-dispatch may have executed on a different device than the one
+      // the riders were freshness-gated against, so each rider re-enters
+      // the normal dispatch path alone — where ensure_attested makes its
+      // own per-session trust decision. Rare — the price of a trap or an
+      // appraisal failure, not of the happy path.
+      for (const std::size_t rider : lane.riders) {
+        SessionPtr rider_session =
+            sessions_.find(req->lanes[rider].invoke.session_id);
+        auto redo = rider_session
+                        ? dispatch_invoke_sync(rider_session,
+                                               req->lanes[rider].invoke)
+                        : Result<InvokeResponse>::err("gateway: unknown session");
+        if (redo.ok())
+          resp.results[rider].result = std::move(*redo);
+        else
+          resp.results[rider].error = redo.error();
+      }
     }
     if (outcome.ok())
       resp.results[lane.index].result = std::move(*outcome);
@@ -594,8 +726,9 @@ Result<Bytes> Gateway::handle_submit(ByteView request) {
   if (!session) return Result<Bytes>::err("gateway: unknown session");
 
   std::string last_error = "gateway: no devices enrolled";
-  for (Backend* backend : placement_candidates()) {
-    auto future = post_invoke(*backend, session, req->invoke);
+  for (Slot* slot : placement_candidates(
+           session->affinity_slot.load(std::memory_order_relaxed))) {
+    auto future = post_invoke(*slot, session, req->invoke);
     if (!future.ok()) {
       last_error = future.error();
       continue;  // spill past full queues
@@ -643,23 +776,29 @@ Result<Bytes> Gateway::handle_poll(ByteView request) {
   return ok_envelope(resp.encode());
 }
 
-// Runs on the backend's worker thread: the only thread that ever enters
-// this device's TEE. Lock discipline (DESIGN.md §2): session.mu and
-// cache.mu are leaves; neither is held across the guest invoke below.
-Result<InvokeResponse> Gateway::execute_invoke(Backend& backend,
+// Runs on the slot's worker thread. The guest executes on the SLOT's
+// monitor (data plane, concurrent across the pool); only a lazy handshake
+// detours through the device's primary monitor, serialised inside
+// run_handshake on the DeviceControl TEE mutex. Lock discipline
+// (DESIGN.md §2): session.mu and cache.mu are leaves; neither is held
+// across the guest invoke below.
+Result<InvokeResponse> Gateway::execute_invoke(Slot& slot,
                                                const SessionPtr& session,
                                                const InvokeRequest& request,
                                                std::uint64_t queue_delay_ns) {
   using R = Result<InvokeResponse>;
+  Backend& backend = *slot.backend;
   if (stopping_.load(std::memory_order_acquire)) return R::err("gateway: shutting down");
   if (session->closed.load(std::memory_order_acquire))
     return R::err("gateway: session detached");
 
   std::shared_ptr<ModuleCache> cache;
+  std::shared_ptr<core::DeviceControl> control;
   std::uint64_t boot_count = 0;
   {
     std::lock_guard<std::mutex> lock(backend.state_mu);
     cache = backend.cache;
+    control = backend.control;
     boot_count = backend.boot_count;
   }
   const std::string& hostname = backend.hostname;
@@ -681,7 +820,10 @@ Result<InvokeResponse> Gateway::execute_invoke(Backend& backend,
   app_config.heap_bytes = request.heap_bytes
                               ? static_cast<std::size_t>(request.heap_bytes)
                               : config_.default_heap_bytes;
-  auto lease = cache->acquire(request.measurement, binary, app_config);
+  // The lease is bound to THIS slot's monitor: pool hits only ever reuse
+  // an instance this slot parked, so no sandbox is driven by two threads.
+  auto lease = cache->acquire(request.measurement, binary, app_config,
+                              &control->slot(slot.index).monitor());
   if (!lease.ok()) return R::err(lease.error());
 
   const std::uint64_t t0 = hw::monotonic_ns();
@@ -689,22 +831,25 @@ Result<InvokeResponse> Gateway::execute_invoke(Backend& backend,
   const std::uint64_t invoke_ns = hw::monotonic_ns() - t0;
 
   const std::uint64_t service_ns = lease->launch_ns + invoke_ns;
-  backend.busy_ns.fetch_add(service_ns, std::memory_order_relaxed);
-  // EWMA (alpha = 1/8) of the device's per-invoke service time, feeding
-  // placement_cost. Plain load/store: only this backend's worker thread
+  slot.busy_ns.fetch_add(service_ns, std::memory_order_relaxed);
+  // EWMA (alpha = 1/8) of the slot's per-invoke service time, feeding
+  // placement_cost. Plain load/store: only this slot's worker thread
   // ever writes it (atomic only for the cross-thread placement reads).
   const std::uint64_t prev_ewma =
-      backend.ewma_invoke_ns.load(std::memory_order_relaxed);
-  backend.ewma_invoke_ns.store(
+      slot.ewma_invoke_ns.load(std::memory_order_relaxed);
+  slot.ewma_invoke_ns.store(
       prev_ewma ? prev_ewma - prev_ewma / 8 + service_ns / 8 : service_ns,
       std::memory_order_relaxed);
-  backend.invocations.fetch_add(1, std::memory_order_relaxed);
+  slot.invocations.fetch_add(1, std::memory_order_relaxed);
   invocations_.fetch_add(1, std::memory_order_relaxed);
   session->invocations.fetch_add(1, std::memory_order_relaxed);
+  // Soft affinity: the next invoke of this session prefers this slot while
+  // it sits idle — its warm pool now holds the instance released below.
+  session->affinity_slot.store(slot.global_id + 1, std::memory_order_relaxed);
 
   if (!result.ok()) return R::err("gateway: " + result.error());
   // Only clean exits go back to the warm pool; trapped instances are torn
-  // down with their sandbox state.
+  // down with their sandbox state (the lease forfeits its live pin).
   cache->release(std::move(lease->app));
 
   InvokeResponse resp;
@@ -723,19 +868,24 @@ Result<attestation::Evidence> Gateway::run_handshake(Backend& backend) {
   using Ev = Result<attestation::Evidence>;
   const std::string& hostname = backend.hostname;
   core::Device* device_snapshot = nullptr;
+  std::shared_ptr<core::DeviceControl> control;
   std::shared_ptr<crypto::Fortuna> rng;
   crypto::Sha256Digest claim;
   {
     std::lock_guard<std::mutex> lock(backend.state_mu);
     device_snapshot = backend.device;
+    control = backend.control;
     rng = backend.attester_rng;
     claim = backend.platform_claim;
   }
   core::Device& device = *device_snapshot;
-  // The attester state machine runs inside the device's TEE; its socket
-  // calls are relayed by the supplicant across the fabric to the gateway's
-  // RA endpoint (exactly the SS V deployment, with the gateway as relying
-  // party).
+  // The attester state machine runs inside the device's TEE on its PRIMARY
+  // monitor (control plane): concurrent slot workers needing a handshake
+  // serialise on the DeviceControl TEE mutex — guest invokes on the slot
+  // monitors are untouched. The attester's socket calls are relayed by the
+  // supplicant across the fabric to the gateway's RA endpoint (exactly the
+  // SS V deployment, with the gateway as relying party).
+  std::lock_guard<std::mutex> tee_lock(control->tee_mutex());
   return device.monitor().smc_call([&]() -> Ev {
     optee::Supplicant* supplicant = device.os().supplicant();
     if (!supplicant) return Ev::err("gateway: " + hostname + ": no supplicant");
@@ -773,18 +923,23 @@ Result<Gateway::BatchHandshake> Gateway::run_handshake_batch(Backend& backend,
   using R = Result<BatchHandshake>;
   const std::string& hostname = backend.hostname;
   core::Device* device_snapshot = nullptr;
+  std::shared_ptr<core::DeviceControl> control;
   std::shared_ptr<crypto::Fortuna> rng;
   crypto::Sha256Digest claim;
   {
     std::lock_guard<std::mutex> lock(backend.state_mu);
     device_snapshot = backend.device;
+    control = backend.control;
     rng = backend.attester_rng;
     claim = backend.platform_claim;
   }
   core::Device& device = *device_snapshot;
   // One TEE entry covers the whole batch: `lanes` attester state machines
   // advance in lockstep, and each protocol step crosses the fabric ONCE as
-  // a batch frame (ra/messages.hpp) instead of once per session.
+  // a batch frame (ra/messages.hpp) instead of once per session. Control
+  // plane: the primary monitor, serialised on the DeviceControl TEE mutex
+  // against lazy per-slot handshakes.
+  std::lock_guard<std::mutex> tee_lock(control->tee_mutex());
   return device.monitor().smc_call([&]() -> R {
     optee::Supplicant* supplicant = device.os().supplicant();
     if (!supplicant) return R::err("gateway: " + hostname + ": no supplicant");
@@ -865,6 +1020,93 @@ Result<Gateway::BatchHandshake> Gateway::run_handshake_batch(Backend& backend,
     }
     return out;
   });
+}
+
+// -- evidence renewal --------------------------------------------------------
+
+std::size_t Gateway::sweep_evidence_renewals() {
+  const std::uint64_t ttl = config_.session_policy.evidence_ttl_ns;
+  if (ttl == ~0ull) return 0;  // infinite TTL: nothing ever goes stale
+  // Renew at ~80% of the TTL: early enough that the batch completes before
+  // expiry, late enough not to double the handshake rate.
+  const std::uint64_t threshold = ttl - ttl / 5;
+
+  std::vector<Backend*> fleet;
+  {
+    std::lock_guard<std::mutex> lock(backends_mu_);
+    fleet = backend_order_;
+  }
+  // Fan first, collect second (the attach_sessions shape): one forced
+  // control-lane item per device, reusing the batched handshake machinery
+  // — all N sessions re-prove in 2 fabric round-trips per device, and the
+  // DEVICES renew in parallel. Waiting inside the loop would serialise
+  // the fleet and let late-ordered devices' evidence lapse before the
+  // sweep reaches them.
+  std::vector<std::future<std::size_t>> fanned;
+  for (Backend* backend : fleet) {
+    std::uint64_t boot_count = 0;
+    {
+      std::lock_guard<std::mutex> lock(backend->state_mu);
+      boot_count = backend->boot_count;
+    }
+    auto due = sessions_.renewal_candidates(backend->hostname, boot_count,
+                                            hw::monotonic_ns(), threshold);
+    if (due.empty()) continue;
+
+    auto promise = std::make_shared<std::promise<std::size_t>>();
+    auto future = promise->get_future();
+    Slot* control_lane = backend->slots.front().get();
+    Status admitted = post(
+        *control_lane,
+        [this, backend, control_lane, due, promise](std::uint64_t) {
+          std::size_t renewed = 0;
+          if (!stopping_.load(std::memory_order_acquire)) {
+            std::uint64_t boot = 0;
+            {
+              std::lock_guard<std::mutex> lock(backend->state_mu);
+              boot = backend->boot_count;
+            }
+            auto batch = run_handshake_batch(*backend, due.size());
+            if (batch.ok()) {
+              const std::uint64_t attested_at = hw::monotonic_ns();
+              for (std::size_t i = 0; i < due.size(); ++i) {
+                if (!batch->lanes[i].ok()) continue;
+                if (sessions_
+                        .record_attestation(*due[i], backend->hostname, boot,
+                                            attested_at,
+                                            std::move(*batch->lanes[i]))
+                        .ok())
+                  ++renewed;
+              }
+            }
+          }
+          control_lane->inflight.fetch_sub(1, std::memory_order_release);
+          promise->set_value(renewed);
+        },
+        /*force=*/true);
+    if (admitted.ok()) fanned.push_back(std::move(future));
+  }
+  std::size_t renewed_total = 0;
+  for (std::future<std::size_t>& future : fanned) renewed_total += future.get();
+  if (renewed_total)
+    evidence_renewals_.fetch_add(renewed_total, std::memory_order_relaxed);
+  return renewed_total;
+}
+
+void Gateway::renewal_loop() {
+  const std::uint64_t ttl = config_.session_policy.evidence_ttl_ns;
+  std::uint64_t interval = config_.renewal_interval_ns;
+  if (interval == 0) interval = ttl / 5;       // several sweeps per TTL
+  if (interval < 100'000) interval = 100'000;  // floor: don't spin
+  std::unique_lock<std::mutex> lock(renew_mu_);
+  while (!renew_stop_) {
+    renew_cv_.wait_for(lock, std::chrono::nanoseconds(interval),
+                       [&] { return renew_stop_; });
+    if (renew_stop_) return;
+    lock.unlock();
+    sweep_evidence_renewals();
+    lock.lock();
+  }
 }
 
 // -- binary registry ---------------------------------------------------------
@@ -956,6 +1198,8 @@ GatewayStats Gateway::stats() {
   stats.invocations = invocations_.load(std::memory_order_relaxed);
   stats.queue_full_rejections =
       queue_full_rejections_.load(std::memory_order_relaxed);
+  stats.deduped_lanes = deduped_lanes_.load(std::memory_order_relaxed);
+  stats.evidence_renewals = evidence_renewals_.load(std::memory_order_relaxed);
   stats.queue_delay_p50_ns = queue_delay_percentile(0.50);
   stats.queue_delay_p90_ns = queue_delay_percentile(0.90);
   stats.queue_delay_p99_ns = queue_delay_percentile(0.99);
@@ -975,9 +1219,18 @@ GatewayStats Gateway::stats() {
   for (auto& [name, backend] : backends_) {
     DeviceStats d;
     d.hostname = name;
-    d.invocations = backend.invocations.load(std::memory_order_relaxed);
-    d.busy_ns = backend.busy_ns.load(std::memory_order_relaxed);
-    d.queue_depth_peak = backend.queue_depth_peak.load(std::memory_order_relaxed);
+    d.pool_slots = static_cast<std::uint32_t>(backend.slots.size());
+    for (const auto& slot : backend.slots) {
+      SlotStats s;
+      s.inflight = slot->inflight.load(std::memory_order_relaxed);
+      s.queue_depth_peak = slot->queue_depth_peak.load(std::memory_order_relaxed);
+      s.invocations = slot->invocations.load(std::memory_order_relaxed);
+      s.busy_ns = slot->busy_ns.load(std::memory_order_relaxed);
+      d.invocations += s.invocations;
+      d.busy_ns += s.busy_ns;
+      d.queue_depth_peak = std::max(d.queue_depth_peak, s.queue_depth_peak);
+      d.slots.push_back(s);
+    }
     {
       std::lock_guard<std::mutex> state(backend.state_mu);
       d.secure_heap_in_use = backend.device->os().heap_in_use();

@@ -22,15 +22,22 @@
 //     pooled instance outright.
 //
 // Execution model (see DESIGN.md §2 "Concurrency model"): every enrolled
-// device is an actor. Its Backend owns a dedicated worker thread draining
-// a bounded run queue; all TEE entry — handshakes and guest invokes — for
-// that device happens on that one thread, so no device state is ever
-// shared mutably. Dispatcher handlers run on the calling client's thread
-// and only ADMIT work: they pick a backend by sampled two-choice load
-// (queue depth, then busy time), enqueue a work item, and either wait for
-// the result (INVOKE) or hand back a ticket (SUBMIT/POLL). When every
+// device runs a POOL of sandbox slots (GatewayConfig::slots_per_device).
+// Each slot is one core::SandboxSlot — its own secure monitor, its own
+// worker thread, its own bounded run queue — so N slots of one device
+// execute guest invokes concurrently, while control-plane TEE entry (RA
+// handshakes on the device's primary monitor) serialises on the device's
+// core::DeviceControl. The warm instance pool is handed out per slot
+// (ModuleCache matches on the slot monitor), and sessions carry a soft
+// slot-affinity hint so repeat invokes reuse a warm instance. Dispatcher
+// handlers run on the calling client's thread and only ADMIT work: they
+// pick a SLOT by sampled two-choice load (queue depth x EWMA slot
+// latency, then busy time), enqueue a work item, and either wait for the
+// result (INVOKE) or hand back a ticket (SUBMIT/POLL). When every
 // eligible queue is at its bound the request is bounced with QUEUE_FULL
-// backpressure instead of being admitted unbounded.
+// backpressure instead of being admitted unbounded. The per-device
+// secure-heap budget stays SHARED across the pool: all slots charge one
+// TrustedOs heap and one ModuleCache budget.
 #pragma once
 
 #include <array>
@@ -65,9 +72,21 @@ struct GatewayConfig {
   /// least-recently-used binaries are dropped beyond it (clients re-upload
   /// on the resulting cold miss).
   std::size_t binary_registry_budget_bytes = 64 * 1024 * 1024;
-  /// Bound of each backend's run queue (queued + executing work items).
+  /// Bound of each slot's run queue (queued + executing work items).
   /// INVOKE/SUBMIT admission past it answers QUEUE_FULL.
   std::size_t worker_queue_capacity = 64;
+  /// Sandbox slots per enrolled device: each slot is one
+  /// core::SandboxSlot (own secure monitor) with its own worker thread
+  /// and run queue, so one device executes up to this many invokes
+  /// concurrently. 1 reproduces the old single-worker actor model.
+  std::size_t slots_per_device = 1;
+  /// Background evidence renewal: re-attest session evidence at ~80% of
+  /// SessionPolicy::evidence_ttl_ns (batched, on the control lane) so the
+  /// invoke hot path never pays a lazy RA handshake. Only meaningful with
+  /// a finite TTL.
+  bool evidence_renewal = true;
+  /// Renewal sweep period; 0 = auto (evidence_ttl_ns / 5).
+  std::uint64_t renewal_interval_ns = 0;
   /// Verifier shards on the RA endpoint: handshake state is sharded by
   /// session id so attach storms from many devices appraise in parallel
   /// instead of serialising on one verifier lock.
@@ -105,23 +124,28 @@ class Gateway {
   const crypto::EcPoint& identity() const noexcept { return verifier_->identity_key(); }
   const GatewayConfig& config() const noexcept { return config_; }
 
- private:
-  /// One enrolled device: an actor with a dedicated worker thread. Only
-  /// that thread enters the device's TEE (handshakes + invokes); the
-  /// dispatcher threads merely enqueue.
-  struct Backend {
-    std::string hostname;         ///< immutable after first enrolment
-    std::size_t enrol_index = 0;  ///< stable placement tie-break
+  /// Runs one evidence-renewal pass NOW (what the background sweeper does
+  /// every renewal interval): for every device, re-attests — through the
+  /// batched handshake machinery, one forced control-lane item per
+  /// backend — every session whose evidence has aged past ~80% of the
+  /// TTL. Returns how many evidences were renewed. Public so tests drive
+  /// renewal deterministically.
+  std::size_t sweep_evidence_renewals();
 
-    /// Re-enrolment swaps these under state_mu; workers snapshot them so
-    /// a mid-flight invoke keeps the pre-reboot cache (and, on a board
-    /// swap, the pre-swap device) alive instead of racing the swap.
-    std::mutex state_mu;
-    core::Device* device = nullptr;
-    std::shared_ptr<ModuleCache> cache;
-    std::shared_ptr<crypto::Fortuna> attester_rng;
-    crypto::Sha256Digest platform_claim{};
-    std::uint64_t boot_count = 0;
+ private:
+  struct Backend;
+
+  /// One sandbox slot of a device's execution pool: a worker thread
+  /// draining a bounded MPSC run queue, bound to one core::SandboxSlot
+  /// (its monitor) of the backend's current DeviceControl. All guest
+  /// execution happens on slot workers; control-plane items (attach
+  /// attestation, evidence renewal) ride slot 0 — the "control lane" —
+  /// with force admission, serialising on the DeviceControl TEE mutex
+  /// inside the item.
+  struct Slot {
+    Backend* backend = nullptr;
+    std::size_t index = 0;      ///< within the device pool (monitor binding)
+    std::size_t global_id = 0;  ///< fleet-wide id (affinity hints, tie-break)
 
     /// Bounded MPSC run queue: any dispatcher thread posts, the one worker
     /// drains. inflight counts queued + executing and is what admission
@@ -142,21 +166,44 @@ class Gateway {
     std::atomic<std::uint64_t> busy_ns{0};
     std::atomic<std::uint64_t> invocations{0};
     /// EWMA (alpha = 1/8) of the observed per-invoke service time
-    /// (launch + guest execution) on this device. Written only by the
-    /// backend's own worker thread; read by placement on any dispatcher
-    /// thread. 0 = never sampled: placement probes such a device ahead
+    /// (launch + guest execution) on this slot. Written only by the
+    /// slot's own worker thread; read by placement on any dispatcher
+    /// thread. 0 = never sampled: placement probes such a slot ahead
     /// of anything measured, but only with a bounded couple of items
     /// (see placement_cost).
     std::atomic<std::uint64_t> ewma_invoke_ns{0};
   };
 
-  /// Placement cost of admitting one more item to `backend`: predicted
-  /// completion time (queued + executing + the newcomer) x the device's
+  /// One enrolled device: the control-plane state shared by its slot pool.
+  struct Backend {
+    std::string hostname;         ///< immutable after first enrolment
+    std::size_t enrol_index = 0;  ///< stable enrolment order
+
+    /// Re-enrolment swaps these under state_mu; workers snapshot them so
+    /// a mid-flight invoke keeps the pre-reboot cache (and, on a board
+    /// swap, the pre-swap device + its slot monitors) alive instead of
+    /// racing the swap.
+    std::mutex state_mu;
+    core::Device* device = nullptr;
+    std::shared_ptr<core::DeviceControl> control;
+    std::shared_ptr<ModuleCache> cache;
+    std::shared_ptr<crypto::Fortuna> attester_rng;
+    crypto::Sha256Digest platform_claim{};
+    std::uint64_t boot_count = 0;
+
+    /// The slot pool: fixed at first enrolment (slots_per_device), the
+    /// worker threads survive re-enrolment the way the old single worker
+    /// did.
+    std::vector<std::unique_ptr<Slot>> slots;
+  };
+
+  /// Placement cost of admitting one more item to `slot`: predicted
+  /// completion time (queued + executing + the newcomer) x the slot's
   /// EWMA service time — the "Adaptive placement" model that lets
   /// heterogeneous fleets route around slow boards. Admission bumps
   /// `inflight` immediately, so lanes a batch pass already admitted are
   /// visible to the next lane's score with no extra bookkeeping.
-  static std::uint64_t placement_cost(const Backend& backend);
+  static std::uint64_t placement_cost(const Slot& slot);
 
   Result<Bytes> handle_request(std::uint64_t conn, ByteView request);
   Result<Bytes> handle_attach(std::uint64_t conn, ByteView request);
@@ -170,12 +217,15 @@ class Gateway {
                                               const std::vector<std::string>& clients);
   Result<Bytes> handle_load_module(ByteView request);
   Result<Bytes> handle_invoke(ByteView request);
-  /// INVOKE_BATCH: fans every lane across the backend run queues in one
-  /// admission pass (each lane takes the cheapest backend by
-  /// placement_cost, spilling past full queues), then waits for the whole
-  /// fan to complete. Per-lane failures — unknown session, total
-  /// backpressure, appraisal, traps — report at that lane's index while
-  /// its siblings succeed.
+  /// INVOKE_BATCH: fans every lane across the per-slot run queues in one
+  /// admission pass (each lane takes the cheapest slot by placement_cost,
+  /// spilling past full queues), then waits for the whole fan to
+  /// complete. Lanes sharing (measurement, entry, args, heap) whose
+  /// sessions all hold fresh evidence for the leader's device execute
+  /// ONCE: the first such lane runs, the riders fan its result
+  /// (deduped_lanes counts them). Per-lane failures — unknown session,
+  /// total backpressure, appraisal, traps — report at that lane's index
+  /// while its siblings succeed.
   Result<Bytes> handle_invoke_batch(ByteView request);
   Result<Bytes> handle_submit(ByteView request);
   Result<Bytes> handle_poll(ByteView request);
@@ -192,53 +242,63 @@ class Gateway {
   /// still redeem the failures of its drained work items.
   bool detach_session(std::uint64_t session_id, bool drop_tickets);
 
-  /// Placement candidates, best first: a sampled two-choice pick (lower
-  /// placement_cost — queue depth x EWMA device latency — then lower
-  /// accumulated busy time, then enrolment order) followed by the
-  /// remaining backends as spill-over, so a device that fails appraisal
-  /// or a full queue doesn't wedge the request. O(1) comparisons in the
-  /// common case — no per-request sort.
-  std::vector<Backend*> placement_candidates();
+  /// Placement candidates, best first: the session's idle affinity slot
+  /// when it has one, then a sampled two-choice pick (lower
+  /// placement_cost — queue depth x EWMA slot latency — then lower
+  /// accumulated busy time, then global slot order) followed by the
+  /// remaining slots as spill-over, so a slot that fails appraisal or a
+  /// full queue doesn't wedge the request. O(1) comparisons in the
+  /// common case — no per-request sort. `affinity_hint` is the session's
+  /// affinity_slot value (0 = none); the hinted slot leads ONLY when
+  /// currently idle — a busy warm slot must not collect a convoy.
+  std::vector<Slot*> placement_candidates(std::uint64_t affinity_hint = 0);
 
-  /// Immutable placement snapshot of one backend: the three ranking keys
+  /// Immutable placement snapshot of one slot: the three ranking keys
   /// read ONCE from the live atomics. Sorting/min-ing snapshots (instead
   /// of comparing the atomics in the comparator) keeps the order strict-
   /// weak even while workers mutate inflight/busy/EWMA concurrently —
   /// comparing live atomics inside std::sort is undefined behaviour.
-  struct ScoredBackend {
+  struct ScoredSlot {
     std::uint64_t cost = 0;   ///< placement_cost at snapshot time
     std::uint64_t busy = 0;   ///< accumulated busy time tie-break
-    std::size_t enrol = 0;    ///< enrolment-order tie-break
-    Backend* backend = nullptr;
+    std::size_t order = 0;    ///< global slot-order tie-break
+    Slot* slot = nullptr;
     /// The one placement order both admission paths share.
-    bool operator<(const ScoredBackend& other) const noexcept {
+    bool operator<(const ScoredSlot& other) const noexcept {
       if (cost != other.cost) return cost < other.cost;
       if (busy != other.busy) return busy < other.busy;
-      return enrol < other.enrol;
+      return order < other.order;
     }
   };
-  static ScoredBackend score_backend(Backend& backend);
+  static ScoredSlot score_slot(Slot& slot);
 
-  /// Enqueues a work item on the backend's run queue, stamping its
+  /// Enqueues a work item on the slot's run queue, stamping its
   /// admission time. Fails QUEUE_FULL at the bound unless `force`
-  /// (control-plane items: attach attestation).
-  Status post(Backend& backend, std::function<void(std::uint64_t)> task,
+  /// (control-plane items: attach attestation, evidence renewal).
+  Status post(Slot& slot, std::function<void(std::uint64_t)> task,
               bool force = false);
-  void worker_loop(Backend& backend);
+  void worker_loop(Slot& slot);
+
+  /// Background evidence-renewal sweeper (started by start() when the
+  /// session policy has a finite TTL and renewal is enabled): wakes every
+  /// renewal interval and runs sweep_evidence_renewals().
+  void renewal_loop();
 
   /// Folds one measured admission->pickup delay into the log2 histogram
   /// STATS derives its queueing-delay percentiles from.
   void record_queue_delay(std::uint64_t delay_ns);
   std::uint64_t queue_delay_percentile(double q);
 
-  /// The INVOKE work item body. Runs ON the backend's worker thread:
-  /// attests the session if needed, acquires a cached instance, invokes,
-  /// and releases clean exits back to the warm pool.
-  Result<InvokeResponse> execute_invoke(Backend& backend, const SessionPtr& session,
+  /// The INVOKE work item body. Runs ON the slot's worker thread: attests
+  /// the session if needed (control plane, serialised on the
+  /// DeviceControl TEE mutex), acquires a cached instance bound to the
+  /// slot's monitor, invokes, releases clean exits back to the warm pool,
+  /// and stamps the session's slot-affinity hint.
+  Result<InvokeResponse> execute_invoke(Slot& slot, const SessionPtr& session,
                                         const InvokeRequest& request,
                                         std::uint64_t queue_delay_ns);
 
-  /// Admits an invoke to the best backend and returns its future, walking
+  /// Admits an invoke to the best slot and returns its future, walking
   /// spill-over candidates past full queues. On total backpressure returns
   /// a QUEUE_FULL error. `sync` also re-admits to the next candidate when
   /// a device fails appraisal (the async path reports the failure through
@@ -246,16 +306,17 @@ class Gateway {
   Result<InvokeResponse> dispatch_invoke_sync(const SessionPtr& session,
                                               const InvokeRequest& request);
 
-  /// Posts an invoke work item to `backend` and returns the future its
+  /// Posts an invoke work item to `slot` and returns the future its
   /// worker will fulfil (QUEUE_FULL Status at the admission bound).
   /// Shared by the sync INVOKE and async SUBMIT paths.
   Result<std::future<Result<InvokeResponse>>> post_invoke(
-      Backend& backend, const SessionPtr& session, const InvokeRequest& request);
+      Slot& slot, const SessionPtr& session, const InvokeRequest& request);
 
   /// Drives the attester side of the WaTZ protocol inside the device's TEE
-  /// against this gateway's RA endpoint. Runs on the backend's worker
-  /// thread. The returned evidence has already been appraised by verifier_
-  /// en route.
+  /// against this gateway's RA endpoint. Runs on a slot worker thread,
+  /// serialised on the DeviceControl TEE mutex (the attester enters the
+  /// device's PRIMARY monitor — control plane, not the slot's). The
+  /// returned evidence has already been appraised by verifier_ en route.
   Result<attestation::Evidence> run_handshake(Backend& backend);
 
   /// Outcome of one batched protocol run against one device.
@@ -296,9 +357,13 @@ class Gateway {
   std::unique_ptr<ra::ShardedVerifier> verifier_;
   SessionManager sessions_;
 
-  mutable std::mutex backends_mu_;  // guards backends_ / backend_order_ shape
+  mutable std::mutex backends_mu_;  // guards backends_ / order vectors' shape
   std::map<std::string, Backend> backends_;  // keyed by device hostname
   std::vector<Backend*> backend_order_;      // enrolment order (stable ptrs)
+  /// Every slot of every backend, flattened in enrolment order — THE
+  /// placement domain (slot global_id indexes into it). Stable pointers:
+  /// slots are never destroyed while the gateway lives.
+  std::vector<Slot*> slot_order_;
   std::atomic<std::uint64_t> placement_tick_{0};
 
   std::mutex binaries_mu_;  // guards the LOAD_MODULE registry
@@ -320,6 +385,15 @@ class Gateway {
 
   std::atomic<std::uint64_t> invocations_{0};
   std::atomic<std::uint64_t> queue_full_rejections_{0};
+  /// INVOKE_BATCH lanes answered by riding a sibling's execution.
+  std::atomic<std::uint64_t> deduped_lanes_{0};
+  /// Evidences re-proved ahead of TTL by the renewal sweep.
+  std::atomic<std::uint64_t> evidence_renewals_{0};
+  /// Renewal sweeper thread state (start()/~Gateway lifecycle).
+  std::mutex renew_mu_;
+  std::condition_variable renew_cv_;
+  bool renew_stop_ = false;
+  std::thread renew_thread_;
   /// Log2 histogram of admission->pickup queueing delays: bucket i counts
   /// delays whose ceil(log2) is i. STATS walks it for p50/p90/p99.
   static constexpr std::size_t kDelayBuckets = 40;

@@ -5,8 +5,10 @@
 namespace watz::gateway {
 
 Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
-                                      ByteView binary, const core::AppConfig& config) {
+                                      ByteView binary, const core::AppConfig& config,
+                                      tz::SecureMonitor* monitor) {
   std::lock_guard<std::mutex> lock(mu_);
+  tz::SecureMonitor* const bound = monitor ? monitor : &runtime_.primary_monitor();
   auto it = entries_.find(measurement);
 
   // Cold miss: run the full pipeline and retain the prepared form.
@@ -15,7 +17,7 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
       return Result<AppLease>::err("module cache: measurement unknown and no binary");
     misses_.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t t0 = hw::monotonic_ns();  // cold launch pays it all
-    auto prepared = runtime_.prepare(binary, config.mode);
+    auto prepared = runtime_.prepare(binary, config.mode, bound);
     if (!prepared.ok()) return Result<AppLease>::err(prepared.error());
     if ((*prepared)->measurement() != measurement)
       return Result<AppLease>::err("module cache: binary does not match measurement");
@@ -26,9 +28,11 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
     charged_bytes_.fetch_add(entry.prepared->code_bytes(), std::memory_order_relaxed);
     it = entries_.emplace(measurement, std::move(entry)).first;
 
-    auto app = runtime_.instantiate(it->second.prepared, config);
+    auto app = runtime_.instantiate(it->second.prepared, config, bound);
     if (!app.ok()) return Result<AppLease>::err(app.error());
+    ++it->second.live;
     AppLease lease;
+    lease.cache = this;
     lease.app = std::move(*app);
     lease.launch_ns = hw::monotonic_ns() - t0;
     return lease;
@@ -45,28 +49,37 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
     return Result<AppLease>::err(
         "module cache: cached module mode does not match AppConfig.mode");
 
-  // Warmest path: a parked instance of this module whose guest heap
-  // matches what the caller asked for (a smaller or larger reservation
-  // than requested would silently change the app's memory ceiling).
+  // Warmest path: an instance of this module parked by the SAME slot (the
+  // monitor an app is bound to is the slot identity — handing it to
+  // another slot would let two threads race one sandbox's monitor) whose
+  // guest heap matches what the caller asked for (a smaller or larger
+  // reservation than requested would silently change the app's memory
+  // ceiling).
   for (auto pooled = entry.pool.begin(); pooled != entry.pool.end(); ++pooled) {
+    if ((*pooled)->monitor() != bound) continue;
     if ((*pooled)->heap_bytes() != config.heap_bytes) continue;
     pool_hits_.fetch_add(1, std::memory_order_relaxed);
     AppLease lease;
+    lease.cache = this;
     lease.app = std::move(*pooled);
     entry.pool.erase(pooled);
     const std::size_t freed = lease.app->heap_bytes();
     entry.pooled_bytes -= freed;
     charged_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+    ++entry.live;
     lease.module_cache_hit = true;
     lease.pool_hit = true;
     return lease;
   }
 
-  // Warm path: instantiate from the cached prepared form (no Loading).
+  // Warm path: instantiate from the cached prepared form (no Loading)
+  // onto the caller's slot monitor.
   const std::uint64_t t0 = hw::monotonic_ns();
-  auto app = runtime_.instantiate(entry.prepared, config);
+  auto app = runtime_.instantiate(entry.prepared, config, bound);
   if (!app.ok()) return Result<AppLease>::err(app.error());
+  ++entry.live;
   AppLease lease;
+  lease.cache = this;
   lease.app = std::move(*app);
   lease.launch_ns = hw::monotonic_ns() - t0;
   lease.module_cache_hit = true;
@@ -79,6 +92,7 @@ void ModuleCache::release(std::unique_ptr<core::LoadedApp> app) {
   const auto it = entries_.find(app->measurement());
   if (it == entries_.end()) return;  // module was evicted meanwhile: drop
   Entry& entry = it->second;
+  if (entry.live > 0) --entry.live;
   if (entry.pool.size() >= config_.max_pool_per_module) return;
   // Scrub the sandbox before the next tenant sees it: rebuild memory,
   // globals, table and segments to the freshly-instantiated state, and
@@ -96,12 +110,21 @@ void ModuleCache::release(std::unique_ptr<core::LoadedApp> app) {
   entry.pool.push_back(std::move(app));
 }
 
+void ModuleCache::forfeit(const crypto::Sha256Digest& measurement) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(measurement);
+  if (it != entries_.end() && it->second.live > 0) --it->second.live;
+}
+
 void ModuleCache::make_room(std::size_t incoming, const crypto::Sha256Digest* keep) {
   while (charged_bytes_.load(std::memory_order_relaxed) + incoming >
          config_.budget_bytes) {
     auto victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
       if (keep && it->first == *keep) continue;
+      // A module live in any slot is pinned: evicting it would strand the
+      // checked-out instances' shared AOT image accounting.
+      if (it->second.live > 0) continue;
       if (victim == entries_.end() || it->second.last_used < victim->second.last_used)
         victim = it;
     }

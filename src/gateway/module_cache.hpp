@@ -5,23 +5,29 @@
 // the cache keeps the PreparedModule of every measurement it has seen and
 // repeat launches pay only Transition + heap allocation + Instantiate. On
 // top of that sits a warm pool of ready LoadedApp instances per
-// measurement: releasing an app parks it for the next invocation of the
-// same module, which then skips instantiation entirely.
+// measurement, handed out PER SLOT: every pooled instance is bound to the
+// secure monitor it was instantiated on (one core::SandboxSlot of the
+// device), and acquire() only hands it back to a caller presenting that
+// same monitor — an instance is never shared across slots, so concurrent
+// slots never race one sandbox's monitor state. Releasing an app parks it
+// for the next invocation of the same (module, slot), which then skips
+// instantiation entirely.
 //
 // Both live in the device's secure heap (27 MB ceiling), so the cache
 // enforces a byte budget: retained code pages plus pooled guest heaps are
 // charged, and least-recently-used measurements are evicted whole when a
-// newcomer would overflow the budget.
+// newcomer would overflow the budget. A module that is LIVE in any slot
+// (checked out via acquire, not yet released or forfeited) is pinned: it
+// is only evictable once no slot holds an instance of it.
 //
 // Concurrency: acquire/release/contains are serialised by a per-cache
 // mutex, held for the whole operation (including prepare/instantiate —
-// the secure world of one device is single-threaded anyway, and holding it
-// is what guarantees a pooled instance is never handed to two tenants and
-// the budget is never overshot by a racing insert). The mutex is a leaf:
-// no fabric, session or gateway lock is ever taken under it, and it is
-// never held across a guest invoke (invokes happen on the lease, outside
-// the cache). Counters are atomic so fleet stats can sample them from
-// other threads without taking the lock.
+// holding it is what guarantees a pooled instance is never handed to two
+// tenants and the budget is never overshot by a racing insert). The mutex
+// is a leaf: no fabric, session or gateway lock is ever taken under it,
+// and it is never held across a guest invoke (invokes happen on the
+// lease, outside the cache). Counters are atomic so fleet stats can
+// sample them from other threads without taking the lock.
 #pragma once
 
 #include <atomic>
@@ -36,17 +42,45 @@ namespace watz::gateway {
 struct ModuleCacheConfig {
   /// Secure-heap budget for retained code pages + pooled instances.
   std::size_t budget_bytes = 8 * 1024 * 1024;
-  /// Warm LoadedApp instances retained per measurement.
+  /// Warm LoadedApp instances retained per measurement (across all slots;
+  /// a pool serving an N-slot device wants at least N so every slot can
+  /// park one — Gateway::add_device widens it accordingly).
   std::size_t max_pool_per_module = 2;
 };
 
-/// What acquire() hands out; give the app back via release() to warm the
-/// pool for the next caller.
+class ModuleCache;
+
+/// What acquire() hands out; give the app back via ModuleCache::release()
+/// to warm the pool for the next caller. A lease destroyed while still
+/// holding its app (guest trap, error path, a test dropping it) forfeits
+/// its live pin automatically, so the module becomes evictable again.
 struct AppLease {
+  AppLease() = default;
+  AppLease(AppLease&& other) noexcept { *this = std::move(other); }
+  AppLease& operator=(AppLease&& other) noexcept {
+    if (this != &other) {
+      drop_pin();
+      app = std::move(other.app);
+      module_cache_hit = other.module_cache_hit;
+      pool_hit = other.pool_hit;
+      launch_ns = other.launch_ns;
+      cache = other.cache;
+      other.cache = nullptr;
+    }
+    return *this;
+  }
+  AppLease(const AppLease&) = delete;
+  AppLease& operator=(const AppLease&) = delete;
+  ~AppLease() { drop_pin(); }
+
   std::unique_ptr<core::LoadedApp> app;
   bool module_cache_hit = false;  ///< prepared module reused (Loading skipped)
   bool pool_hit = false;          ///< whole instance reused (nothing launched)
   std::uint64_t launch_ns = 0;    ///< instantiation cost paid by this acquire
+  ModuleCache* cache = nullptr;   ///< issuing cache (live-pin bookkeeping)
+
+ private:
+  inline void drop_pin() noexcept;
 };
 
 class ModuleCache {
@@ -54,19 +88,35 @@ class ModuleCache {
   ModuleCache(core::WatzRuntime& runtime, ModuleCacheConfig config = {})
       : runtime_(runtime), config_(config) {}
 
-  /// Acquires a ready instance for `measurement`. Pool hit: pops a parked
-  /// instance. Module hit: instantiates from the cached prepared form.
-  /// Miss: runs the full cold pipeline on `binary` (an error if empty).
+  /// Acquires a ready instance for `measurement`, bound to `monitor` (a
+  /// sandbox slot's; nullptr = the device's primary monitor). Pool hit:
+  /// pops an instance parked by the SAME slot. Module hit: instantiates
+  /// from the cached prepared form onto the slot's monitor. Miss: runs the
+  /// full cold pipeline on `binary` (an error if empty). Every successful
+  /// lease pins the module against eviction until release()/forfeit().
   Result<AppLease> acquire(const crypto::Sha256Digest& measurement, ByteView binary,
-                           const core::AppConfig& config);
+                           const core::AppConfig& config,
+                           tz::SecureMonitor* monitor = nullptr);
 
-  /// Parks the instance in the warm pool of its measurement (subject to
-  /// pool-size and budget limits; dropped otherwise).
+  /// Parks the instance in the warm pool of its measurement, tagged with
+  /// the slot monitor it is bound to (subject to pool-size and budget
+  /// limits; dropped otherwise). Drops the lease's live pin.
   void release(std::unique_ptr<core::LoadedApp> app);
+
+  /// Drops the live pin of a lease whose app was torn down instead of
+  /// released (guest trap, shutdown path).
+  void forfeit(const crypto::Sha256Digest& measurement);
 
   bool contains(const crypto::Sha256Digest& measurement) const {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.contains(measurement);
+  }
+
+  /// Instances of `measurement` currently checked out across all slots.
+  std::uint32_t live_leases(const crypto::Sha256Digest& measurement) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(measurement);
+    return it == entries_.end() ? 0 : it->second.live;
   }
 
   std::size_t charged_bytes() const noexcept {
@@ -93,15 +143,18 @@ class ModuleCache {
     std::vector<std::unique_ptr<core::LoadedApp>> pool;
     std::size_t pooled_bytes = 0;  // guest heaps parked in the pool
     std::uint64_t last_used = 0;
+    /// Leases checked out and not yet released/forfeited. A module with
+    /// live instances in any slot is pinned against eviction.
+    std::uint32_t live = 0;
   };
 
   std::size_t entry_bytes(const Entry& entry) const {
     return entry.prepared->code_bytes() + entry.pooled_bytes;
   }
 
-  /// Evicts LRU entries (sparing `keep`) until `incoming` more bytes fit
-  /// the budget. Best effort: stops when nothing evictable remains.
-  /// Caller holds mu_.
+  /// Evicts LRU entries (sparing `keep` and anything live in a slot)
+  /// until `incoming` more bytes fit the budget. Best effort: stops when
+  /// nothing evictable remains. Caller holds mu_.
   void make_room(std::size_t incoming, const crypto::Sha256Digest* keep);
 
   core::WatzRuntime& runtime_;
@@ -115,5 +168,12 @@ class ModuleCache {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> pool_hits_{0};
 };
+
+inline void AppLease::drop_pin() noexcept {
+  // An app still held at destruction was torn down instead of released:
+  // drop its live pin so the module becomes evictable again.
+  if (cache && app) cache->forfeit(app->measurement());
+  cache = nullptr;
+}
 
 }  // namespace watz::gateway

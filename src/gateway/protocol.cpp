@@ -587,6 +587,8 @@ Bytes GatewayStats::encode() const {
   put_u64le(out, modules_registered);
   put_u64le(out, invocations);
   put_u64le(out, queue_full_rejections);
+  put_u64le(out, deduped_lanes);
+  put_u64le(out, evidence_renewals);
   put_u64le(out, queue_delay_p50_ns);
   put_u64le(out, queue_delay_p90_ns);
   put_u64le(out, queue_delay_p99_ns);
@@ -602,6 +604,14 @@ Bytes GatewayStats::encode() const {
     put_u64le(out, d.cache_misses);
     put_u64le(out, d.cache_evictions);
     put_u64le(out, d.pool_hits);
+    put_u32le(out, d.pool_slots);
+    write_uleb(out, d.slots.size());
+    for (const SlotStats& s : d.slots) {
+      put_u32le(out, s.inflight);
+      put_u32le(out, s.queue_depth_peak);
+      put_u64le(out, s.invocations);
+      put_u64le(out, s.busy_ns);
+    }
   }
   write_uleb(out, ra_shards.size());
   for (const RaShardStats& s : ra_shards) {
@@ -619,7 +629,8 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
   for (std::uint64_t* field :
        {&stats.sessions_active, &stats.sessions_total, &stats.handshakes_run,
         &stats.handshakes_reused, &stats.modules_registered, &stats.invocations,
-        &stats.queue_full_rejections, &stats.queue_delay_p50_ns,
+        &stats.queue_full_rejections, &stats.deduped_lanes,
+        &stats.evidence_renewals, &stats.queue_delay_p50_ns,
         &stats.queue_delay_p90_ns, &stats.queue_delay_p99_ns}) {
     auto v = read_u64(r);
     if (!v.ok()) return Result<GatewayStats>::err(v.error());
@@ -649,6 +660,32 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
       auto v = read_u64(r);
       if (!v.ok()) return Result<GatewayStats>::err(v.error());
       *field = *v;
+    }
+    auto pool_slots = r.read_u32le();
+    if (!pool_slots.ok()) return Result<GatewayStats>::err(pool_slots.error());
+    d.pool_slots = *pool_slots;
+    auto slot_count = r.read_uleb32();
+    if (!slot_count.ok()) return Result<GatewayStats>::err(slot_count.error());
+    // Each slot entry occupies 24 bytes; a count the frame cannot hold is
+    // malformed (and must not drive a reserve).
+    if (*slot_count > r.remaining() / 24)
+      return Result<GatewayStats>::err("gateway: slot count exceeds frame");
+    d.slots.reserve(*slot_count);
+    for (std::uint32_t s = 0; s < *slot_count; ++s) {
+      SlotStats slot;
+      auto inflight = r.read_u32le();
+      if (!inflight.ok()) return Result<GatewayStats>::err(inflight.error());
+      slot.inflight = *inflight;
+      auto peak = r.read_u32le();
+      if (!peak.ok()) return Result<GatewayStats>::err(peak.error());
+      slot.queue_depth_peak = *peak;
+      auto inv = read_u64(r);
+      if (!inv.ok()) return Result<GatewayStats>::err(inv.error());
+      slot.invocations = *inv;
+      auto busy = read_u64(r);
+      if (!busy.ok()) return Result<GatewayStats>::err(busy.error());
+      slot.busy_ns = *busy;
+      d.slots.push_back(slot);
     }
     stats.devices.push_back(std::move(d));
   }

@@ -23,10 +23,14 @@
 //   POLL        redeems a ticket: pending, or the completed result/error.
 //   INVOKE_BATCH
 //               N invocations in one wire exchange: the gateway fans the
-//               lanes across its backend run queues in one admission pass
-//               (least-loaded over queue depth x EWMA device latency) and
+//               lanes across its per-slot run queues in one admission pass
+//               (least-loaded over queue depth x EWMA slot latency) and
 //               answers with one result per lane — partial success with
 //               per-lane failed-index reporting, mirroring ATTACH_BATCH.
+//               Lanes sharing (measurement, entry, args, heap) whose
+//               sessions all hold fresh evidence for the chosen device
+//               execute ONCE and fan the result (GatewayStats counts the
+//               riders in deduped_lanes).
 //
 // Backpressure travels in the envelope status byte: when every eligible
 // backend run queue is at its bound, INVOKE/SUBMIT answer with status 0x02
@@ -274,17 +278,29 @@ struct StatsRequest {
   static Result<StatsRequest> decode(ByteView data);
 };
 
+/// Occupancy of one sandbox slot of a device's execution pool.
+struct SlotStats {
+  std::uint32_t inflight = 0;  ///< queued + executing at sample time
+  std::uint32_t queue_depth_peak = 0;
+  std::uint64_t invocations = 0;
+  std::uint64_t busy_ns = 0;
+};
+
 struct DeviceStats {
   std::string hostname;
   std::uint64_t boot_count = 0;
-  std::uint64_t invocations = 0;
-  std::uint64_t busy_ns = 0;
-  std::uint32_t queue_depth_peak = 0;
+  std::uint64_t invocations = 0;  ///< sum over the slot pool
+  std::uint64_t busy_ns = 0;      ///< sum over the slot pool
+  std::uint32_t queue_depth_peak = 0;  ///< max over the slot pool
   std::uint64_t secure_heap_in_use = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
   std::uint64_t pool_hits = 0;
+  /// Pool depth (GatewayConfig::slots_per_device at enrolment) and the
+  /// per-slot occupancy breakdown, in slot order.
+  std::uint32_t pool_slots = 0;
+  std::vector<SlotStats> slots;
 };
 
 /// Per-verifier-shard counters (the RA endpoint shards handshake state by
@@ -305,6 +321,13 @@ struct GatewayStats {
   std::uint64_t invocations = 0;
   /// INVOKE/SUBMIT requests bounced with QUEUE_FULL backpressure.
   std::uint64_t queue_full_rejections = 0;
+  /// INVOKE_BATCH lanes that rode a sibling lane's execution instead of
+  /// running (same measurement/entry/args/heap, fresh evidence): answered
+  /// without entering a sandbox.
+  std::uint64_t deduped_lanes = 0;
+  /// Session evidences re-proved by the background renewal sweep BEFORE
+  /// their TTL lapsed (the hot path never saw the staleness).
+  std::uint64_t evidence_renewals = 0;
   /// Queueing-delay percentiles over every work item admitted to a backend
   /// run queue (admission timestamp -> worker pickup), from a log2
   /// histogram: values are bucket upper bounds, 0 when nothing ran yet.

@@ -74,6 +74,45 @@ Result<std::uint32_t> SessionManager::ensure_attested(Session& session,
   return kRaExchangesPerHandshake;
 }
 
+bool SessionManager::has_fresh(Session& session, const std::string& device_name,
+                               std::uint64_t boot_count,
+                               std::uint64_t now_ns) const {
+  if (session.closed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(session.mu);
+  const auto it = session.attested.find(device_name);
+  if (it == session.attested.end()) return false;
+  const DeviceAttestation& cached = it->second;
+  if (cached.boot_count != boot_count) return false;
+  return policy_.evidence_ttl_ns == ~0ull ||
+         now_ns - cached.attested_at_ns <= policy_.evidence_ttl_ns;
+}
+
+std::vector<SessionPtr> SessionManager::renewal_candidates(
+    const std::string& device_name, std::uint64_t boot_count, std::uint64_t now_ns,
+    std::uint64_t age_threshold_ns) {
+  // Snapshot the table first, inspect each session after releasing the
+  // table lock: mu_ and session.mu never nest.
+  std::vector<SessionPtr> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) all.push_back(session);
+  }
+  std::vector<SessionPtr> due;
+  for (const SessionPtr& session : all) {
+    if (session->closed.load(std::memory_order_acquire)) continue;
+    std::lock_guard<std::mutex> lock(session->mu);
+    const auto it = session->attested.find(device_name);
+    if (it == session->attested.end()) continue;
+    // A stale boot count is not renewable evidence — the next invoke must
+    // run a full fresh handshake anyway (and will, lazily).
+    if (it->second.boot_count != boot_count) continue;
+    if (now_ns - it->second.attested_at_ns < age_threshold_ns) continue;
+    due.push_back(session);
+  }
+  return due;
+}
+
 Status SessionManager::record_attestation(Session& session,
                                           const std::string& device_name,
                                           std::uint64_t boot_count,

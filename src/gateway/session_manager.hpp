@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "attestation/evidence.hpp"
 #include "common/result.hpp"
@@ -50,6 +51,13 @@ struct Session {
   std::atomic<std::uint64_t> invocations{0};
   /// Set by detach; queued work observing it fails instead of executing.
   std::atomic<bool> closed{false};
+  /// Soft slot-affinity hint: 1 + the fleet-wide id of the sandbox slot
+  /// that last completed an invoke for this session (0 = none yet).
+  /// Placement prefers the hinted slot when it is idle, so repeat invokes
+  /// land on the slot whose warm pool already holds this session's
+  /// instance. A hint, not a binding: a busy or vanished slot is simply
+  /// ignored.
+  std::atomic<std::uint64_t> affinity_slot{0};
   std::mutex mu;  ///< guards `attested` (leaf lock; never held across I/O)
   std::map<std::string, DeviceAttestation> attested;  // keyed by device hostname
 };
@@ -93,6 +101,24 @@ class SessionManager {
   Status record_attestation(Session& session, const std::string& device_name,
                             std::uint64_t boot_count, std::uint64_t now_ns,
                             attestation::Evidence evidence);
+
+  /// True when `session` holds evidence for `device_name` that is fresh
+  /// under the policy at `now_ns` (same boot count, TTL not lapsed). Pure
+  /// read — never runs a handshake. The batch-dedup path uses it to decide
+  /// whether a follower lane may ride a leader's execution.
+  bool has_fresh(Session& session, const std::string& device_name,
+                 std::uint64_t boot_count, std::uint64_t now_ns) const;
+
+  /// Sessions whose evidence for `device_name` (at `boot_count`) is older
+  /// than `age_threshold_ns` but not yet detached — what the gateway's
+  /// background renewal sweep re-attests BEFORE the TTL lapses, so the
+  /// invoke hot path never pays a lazy handshake. Lock discipline: the
+  /// session table lock and each session's lock are taken in sequence,
+  /// never nested.
+  std::vector<SessionPtr> renewal_candidates(const std::string& device_name,
+                                             std::uint64_t boot_count,
+                                             std::uint64_t now_ns,
+                                             std::uint64_t age_threshold_ns);
 
   const SessionPolicy& policy() const noexcept { return policy_; }
   void set_policy(SessionPolicy policy) noexcept { policy_ = policy; }

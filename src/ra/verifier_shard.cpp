@@ -20,6 +20,16 @@ std::uint64_t mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+bool is_msg0(ByteView message) {
+  return !message.empty() &&
+         message[0] == static_cast<std::uint8_t>(MsgTag::Msg0);
+}
+
+bool is_msg2(ByteView message) {
+  return !message.empty() &&
+         message[0] == static_cast<std::uint8_t>(MsgTag::Msg2);
+}
+
 Bytes shard_seed(ByteView seed, std::size_t index) {
   crypto::Sha256 hasher;
   hasher.update(seed);
@@ -105,10 +115,51 @@ ShardedVerifier::ShardedVerifier(crypto::KeyPair identity, ByteView seed,
   for (std::size_t i = 0; i < config_.shards; ++i)
     shards_.push_back(std::make_unique<VerifierShard>(identity_, shard_seed(seed, i),
                                                       config_.policy));
+  depths_.assign(config_.shards, 0);
 }
 
 std::size_t ShardedVerifier::shard_for(std::uint64_t session_id) const noexcept {
   return static_cast<std::size_t>(mix(session_id) % shards_.size());
+}
+
+std::vector<std::uint32_t> ShardedVerifier::shard_depths() const {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  return depths_;
+}
+
+std::size_t ShardedVerifier::route_session(std::uint64_t session_id, bool opening) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  const auto it = routes_.find(session_id);
+  if (it != routes_.end()) return it->second.shard;
+  if (!opening) return shard_for(session_id);  // mid-protocol stray: hash
+  std::size_t shard = shard_for(session_id);
+  if (config_.depth_routing) {
+    // Least-open-handshakes placement; the hash shard wins ties so a
+    // quiet verifier still spreads by id instead of piling on shard 0.
+    for (std::size_t s = 0; s < depths_.size(); ++s)
+      if (depths_[s] < depths_[shard]) shard = s;
+  }
+  routes_[session_id] = Route{shard, true};
+  ++depths_[shard];
+  return shard;
+}
+
+void ShardedVerifier::finish_session(std::uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  const auto it = routes_.find(session_id);
+  if (it == routes_.end() || !it->second.open) return;
+  it->second.open = false;
+  --depths_[it->second.shard];
+}
+
+std::size_t ShardedVerifier::erase_route(std::uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  const auto it = routes_.find(session_id);
+  if (it == routes_.end()) return shard_for(session_id);
+  const std::size_t shard = it->second.shard;
+  if (it->second.open) --depths_[shard];
+  routes_.erase(it);
+  return shard;
 }
 
 void ShardedVerifier::endorse_device(const crypto::EcPoint& attestation_key) {
@@ -130,8 +181,14 @@ void ShardedVerifier::set_policy(const VerifierPolicy& policy) {
 
 Result<Bytes> ShardedVerifier::handle(std::uint64_t conn_id, ByteView message) {
   if (is_batch_frame(message)) return handle_batch(conn_id, message);
-  return shards_[shard_for(conn_id)]->handle(conn_id, message,
-                                             config_.appraisal_latency_ns);
+  const std::size_t shard = route_session(conn_id, is_msg0(message));
+  auto reply = shards_[shard]->handle(conn_id, message,
+                                      config_.appraisal_latency_ns);
+  // A handshake is over once its msg2 is answered (msg3 or rejection) —
+  // and a rejected msg0 never opened one. Either way the shard's depth
+  // drops; the sticky mapping survives until the connection sweep.
+  if (is_msg2(message) || !reply.ok()) finish_session(conn_id);
+  return reply;
 }
 
 Result<Bytes> ShardedVerifier::handle_batch(std::uint64_t conn_id, ByteView message) {
@@ -161,18 +218,22 @@ Result<Bytes> ShardedVerifier::handle_batch(std::uint64_t conn_id, ByteView mess
     std::uint64_t id = 0;
     const BatchItem* item = nullptr;
   };
+  // Route every lane first (sticky table hit, or least-deep shard for a
+  // fresh msg0), then group by the PLACED shard — the walk below only ever
+  // locks the shard a lane actually lives on.
   std::vector<std::vector<Pending>> groups(shards_.size());
   for (std::size_t i = 0; i < items->size(); ++i) {
     const BatchItem& item = (*items)[i];
     const std::uint64_t id = lane_session_id(conn_id, item.lane);
-    groups[shard_for(id)].push_back(Pending{i, id, &item});
+    groups[route_session(id, is_msg0(item.frame))].push_back(Pending{i, id, &item});
   }
 
   std::vector<BatchReplyItem> replies(items->size());
-  const auto run_group = [&](const std::vector<Pending>& group) {
+  const auto run_group = [&](std::size_t shard, const std::vector<Pending>& group) {
     for (const Pending& pending : group) {
-      auto reply = shards_[shard_for(pending.id)]->handle(
-          pending.id, pending.item->frame, config_.appraisal_latency_ns);
+      auto reply = shards_[shard]->handle(pending.id, pending.item->frame,
+                                          config_.appraisal_latency_ns);
+      if (is_msg2(pending.item->frame) || !reply.ok()) finish_session(pending.id);
       BatchReplyItem out;
       out.lane = pending.item->lane;
       if (reply.ok()) {
@@ -184,17 +245,22 @@ Result<Bytes> ShardedVerifier::handle_batch(std::uint64_t conn_id, ByteView mess
       replies[pending.index] = std::move(out);
     }
   };
-  std::vector<const std::vector<Pending>*> occupied;
-  for (const std::vector<Pending>& group : groups)
-    if (!group.empty()) occupied.push_back(&group);
+  struct Occupied {
+    std::size_t shard = 0;
+    const std::vector<Pending>* group = nullptr;
+  };
+  std::vector<Occupied> occupied;
+  for (std::size_t s = 0; s < groups.size(); ++s)
+    if (!groups[s].empty()) occupied.push_back(Occupied{s, &groups[s]});
   // Per-exchange threading, bounded by min(lanes, shards) - 1 tasks and
   // gone when the exchange returns — the same thread-per-exchange
   // convention as Fabric::send_async, which every batch already rode in on.
   std::vector<std::future<void>> tasks;
   for (std::size_t g = 1; g < occupied.size(); ++g)
-    tasks.push_back(std::async(std::launch::async,
-                               [&run_group, group = occupied[g]] { run_group(*group); }));
-  if (!occupied.empty()) run_group(*occupied.front());
+    tasks.push_back(std::async(std::launch::async, [&run_group, o = occupied[g]] {
+      run_group(o.shard, *o.group);
+    }));
+  if (!occupied.empty()) run_group(occupied.front().shard, *occupied.front().group);
   for (std::future<void>& task : tasks) task.get();
   return encode_batch_reply(replies);
 }
@@ -209,10 +275,13 @@ void ShardedVerifier::end_session(std::uint64_t conn_id) {
       lanes_.erase(it);
     }
   }
-  shards_[shard_for(conn_id)]->end_session(conn_id);
+  // erase_route resolves the shard a session was actually PLACED on (the
+  // depth-routed one when it exists, the hash shard otherwise) and retires
+  // the sticky mapping.
+  shards_[erase_route(conn_id)]->end_session(conn_id);
   for (const std::uint32_t lane : open) {
     const std::uint64_t id = lane_session_id(conn_id, lane);
-    shards_[shard_for(id)]->end_session(id);
+    shards_[erase_route(id)]->end_session(id);
   }
 }
 

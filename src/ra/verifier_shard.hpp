@@ -3,12 +3,15 @@
 // rotation state, so fleet-wide attach storms scale with cores instead of
 // serialising every handshake on one verifier lock.
 //
-// Sessions are routed by id: a plain connection keeps its whole handshake
-// on one shard (the protocol is stateful per session), and the *batch*
-// frames of ra/messages.hpp derive a virtual session id per
-// (connection, lane) — a mixer spreads consecutive lanes across shards, so
-// one device's batched attach exercises many shards while each individual
-// handshake still lands on exactly one.
+// Sessions are routed by DEPTH, not by hash: a new handshake (msg0, plain
+// or batch lane) is placed on the shard with the fewest open handshakes at
+// that instant, recorded in a routing table so the session's later frames
+// (msg2) land on the same shard — the protocol is stateful per session.
+// Hash routing (splitmix64 of the session id) survives only as the
+// fallback for frames whose session was never depth-routed (and as the
+// `depth_routing = false` escape hatch). Depth routing is what keeps an
+// attach storm's lanes level across shards even when the id structure is
+// skewed or a shard is slowed by a long appraisal.
 //
 // Lock discipline: handling any frame — batched or not — locks exactly ONE
 // shard at a time. The batch handler walks its lanes sequentially,
@@ -43,6 +46,10 @@ struct ShardedVerifierConfig {
   /// into overlap on any host. 0 (the default) disables the charge; tests
   /// keep it off.
   std::uint64_t appraisal_latency_ns = 0;
+  /// Route new handshakes to the shard with the fewest open handshakes
+  /// (recorded in a sticky per-session routing table) instead of by
+  /// splitmix64(session id). false restores pure hash routing.
+  bool depth_routing = true;
 };
 
 struct VerifierShardStats {
@@ -93,8 +100,13 @@ class ShardedVerifier {
 
   const crypto::EcPoint& identity_key() const noexcept { return identity_.pub; }
   std::size_t shard_count() const noexcept { return shards_.size(); }
-  /// The shard a session id routes to (exposed so tests can pin lanes).
+  /// The HASH shard of a session id (the routing fallback; with depth
+  /// routing on, live sessions may be placed elsewhere — see
+  /// shard_depths()).
   std::size_t shard_for(std::uint64_t session_id) const noexcept;
+  /// Open (routed, unfinished) handshakes per shard — what depth routing
+  /// levels. Exposed for tests and the gateway's STATS.
+  std::vector<std::uint32_t> shard_depths() const;
   /// The virtual session id of a batch lane (see ra/messages.hpp framing).
   /// Bit 63 tags the lane id space so no lane can ever alias a plain
   /// connection's session id (fabric conn ids are a small sequential
@@ -136,6 +148,18 @@ class ShardedVerifier {
  private:
   Result<Bytes> handle_batch(std::uint64_t conn_id, ByteView message);
 
+  /// Routes one protocol frame's session: a sticky table hit wins; a msg0
+  /// opens a new route on the least-deep shard (depth routing) or the hash
+  /// shard; anything else falls back to the hash. `opening` marks msg0s.
+  std::size_t route_session(std::uint64_t session_id, bool opening);
+  /// Marks a routed handshake finished (msg2 answered, either way): its
+  /// shard's depth drops but the sticky mapping survives until the
+  /// connection sweep, so late frames still find the right shard.
+  void finish_session(std::uint64_t session_id);
+  /// Drops the sticky mapping (connection sweep) and returns the shard the
+  /// session actually lived on (hash shard when never routed).
+  std::size_t erase_route(std::uint64_t session_id);
+
   crypto::KeyPair identity_;
   ShardedVerifierConfig config_;
   std::vector<std::unique_ptr<VerifierShard>> shards_;
@@ -145,6 +169,17 @@ class ShardedVerifier {
   std::mutex lanes_mu_;
   std::map<std::uint64_t, std::set<std::uint32_t>> lanes_;
   std::atomic<std::uint64_t> batch_framing_rejects_{0};
+
+  /// Depth-routing state: session → placed shard (+ whether the handshake
+  /// is still open) and the per-shard open-handshake counts the placement
+  /// argmin reads. Leaf lock, never held across a shard handle().
+  struct Route {
+    std::size_t shard = 0;
+    bool open = false;
+  };
+  mutable std::mutex routes_mu_;
+  std::map<std::uint64_t, Route> routes_;
+  std::vector<std::uint32_t> depths_;
 };
 
 }  // namespace watz::ra

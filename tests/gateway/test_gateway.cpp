@@ -225,13 +225,18 @@ TEST_F(GatewayTest, InvokeDispatchesAcrossDevices) {
   auto load = client_->load_module(attach->session_id, adder_app());
   ASSERT_TRUE(load.ok());
 
+  // A concurrent fan (one INVOKE_BATCH admission pass) must spread over
+  // the whole fleet: admission bumps inflight, so lane k's cost already
+  // sees lanes 0..k-1 and the batch walks down the fleet's cost gradient.
+  // (Distinct args per lane — identical lanes would dedup instead.)
+  std::vector<InvokeRequest> batch;
+  for (int i = 0; i < 8; ++i)
+    batch.push_back(add_request(attach->session_id, load->measurement, i, i));
   std::map<std::string, int> placements;
-  for (int i = 0; i < 8; ++i) {
-    auto r = client_->invoke(add_request(attach->session_id, load->measurement, i, i));
+  for (auto& r : client_->invoke_all(batch)) {
     ASSERT_TRUE(r.ok()) << r.error();
     ++placements[r->device];
   }
-  // Least-loaded placement spreads the work over the whole fleet.
   EXPECT_EQ(placements.size(), 2u);
   for (const auto& [device, count] : placements) EXPECT_GT(count, 0) << device;
 
@@ -242,7 +247,22 @@ TEST_F(GatewayTest, InvokeDispatchesAcrossDevices) {
   for (const DeviceStats& d : stats->devices) {
     EXPECT_GT(d.invocations, 0u);
     EXPECT_GE(d.queue_depth_peak, 1u);
+    EXPECT_EQ(d.pool_slots, 1u);  // default config: one slot per device
+    ASSERT_EQ(d.slots.size(), 1u);
+    EXPECT_EQ(d.slots[0].invocations, d.invocations);
   }
+
+  // Sequential invokes of one session, by contrast, follow the session's
+  // slot-affinity hint onto their warm slot: same device every time, warm
+  // pool hits after the first.
+  std::map<std::string, int> sequential;
+  for (int i = 0; i < 4; ++i) {
+    auto r = client_->invoke(add_request(attach->session_id, load->measurement, i, 1));
+    ASSERT_TRUE(r.ok()) << r.error();
+    EXPECT_TRUE(r->pool_hit);
+    ++sequential[r->device];
+  }
+  EXPECT_EQ(sequential.size(), 1u);
 }
 
 TEST_F(GatewayTest, UnknownSessionAndModuleAreRejected) {

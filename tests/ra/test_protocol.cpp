@@ -455,6 +455,54 @@ TEST(ShardedProtocol, EndSessionSweepsBatchLanes) {
   EXPECT_EQ(verifier->active_sessions(), 0u);
 }
 
+TEST(ShardedProtocol, DepthRoutingLevelsLanesAcrossShards) {
+  ShardedFixture fx;
+  auto verifier = fx.make_sharded(4);
+
+  // 8 lanes open in one batch: depth routing places each fresh msg0 on the
+  // least-loaded shard at that instant, so the open handshakes land
+  // EXACTLY 2-2-2-2 — hash routing would only approximate that.
+  constexpr std::uint32_t kLanes = 8;
+  std::vector<AttesterSession> attesters;
+  std::vector<BatchItem> msg0s;
+  for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+    attesters.emplace_back(fx.rng, fx.verifier_identity.pub);
+    msg0s.push_back(BatchItem{lane, attesters[lane].make_msg0()});
+  }
+  auto reply1 = verifier->handle(5, encode_batch(msg0s));
+  ASSERT_TRUE(reply1.ok()) << reply1.error();
+  for (const std::uint32_t depth : verifier->shard_depths()) EXPECT_EQ(depth, 2u);
+
+  // Routing is sticky: every lane's msg2 must land on the shard holding
+  // its msg0 state, or the handshake dies mid-protocol.
+  auto msg1s = decode_batch_reply(*reply1);
+  ASSERT_TRUE(msg1s.ok());
+  std::vector<BatchItem> msg2s;
+  for (const BatchReplyItem& item : *msg1s) {
+    ASSERT_TRUE(item.ok) << item.error;
+    auto msg2 = attesters[item.lane].handle_msg1(item.payload, fx.quoter());
+    ASSERT_TRUE(msg2.ok()) << msg2.error();
+    msg2s.push_back(BatchItem{item.lane, std::move(*msg2)});
+  }
+  auto reply2 = verifier->handle(5, encode_batch(msg2s));
+  ASSERT_TRUE(reply2.ok()) << reply2.error();
+  auto msg3s = decode_batch_reply(*reply2);
+  ASSERT_TRUE(msg3s.ok());
+  for (const BatchReplyItem& item : *msg3s)
+    EXPECT_TRUE(item.ok) << "lane " << item.lane << ": " << item.error;
+  EXPECT_EQ(verifier->handshakes_completed(), kLanes);
+  // Every handshake finished: all depths return to zero.
+  for (const std::uint32_t depth : verifier->shard_depths()) EXPECT_EQ(depth, 0u);
+
+  // Plain (non-batch) sessions level the same way: four fresh conns land
+  // one per shard regardless of how their ids hash.
+  for (std::uint64_t conn = 100; conn < 104; ++conn) {
+    AttesterSession plain(fx.rng, fx.verifier_identity.pub);
+    ASSERT_TRUE(verifier->handle(conn, plain.make_msg0()).ok());
+  }
+  for (const std::uint32_t depth : verifier->shard_depths()) EXPECT_EQ(depth, 1u);
+}
+
 TEST(Messages, EvidenceEncodeDecodeRoundTrip) {
   Fixture fx;
   std::array<std::uint8_t, 32> anchor{};
