@@ -637,5 +637,157 @@ int main(int argc, char** argv) {
   }
   report.metric("pool_scaling_4x_over_1x", pool_scaling, "x");
   report.metric("deduped_lanes", deduped_lanes_measured, "lanes");
+
+  // ---- phase 7: invocation tracing ---------------------------------------
+  // Two gateways with the phase-6 4-slot shape. The TRACED one
+  // (trace_sample_n = 1) runs one 32-lane INVOKE_BATCH of unique args
+  // against a warm pool: every lane must share the batch trace_id and
+  // emit its fixed stage-span set (admit, queue, checkout, tee-entry,
+  // guest, tee-exit, exec, respond — no RA, evidence is fresh; no riders,
+  // args are unique), exported as Chrome trace_event JSON. The DISABLED
+  // one (trace_sample_n = 0, the default every other phase ran with)
+  // repeats the phase-6 4-slot throughput workload; its deviation below
+  // the phase-6 number is the cost of carrying the tracing plane unused —
+  // the CI gate holds it at <= 2%.
+  if (tables) std::printf("\n=== Gateway: invocation tracing ===\n");
+  double spans_per_invoke = 0.0;
+  {
+    gateway::GatewayConfig config;
+    config.hostname = "gw-traced";
+    config.port = 7410;
+    config.ra_port = 7411;
+    config.slots_per_device = 4;
+    config.trace_sample_n = 1;  // trace every admission decision
+    gateway::Gateway gw(fabric, config, to_bytes("gw-bench-traced"));
+    gw.start().check();
+    pool_fleet.push_back(bench::boot_device(fabric, vendor, "gw-traced-node",
+                                            pool_otpmk++,
+                                            /*charge_latency=*/true,
+                                            /*device_side_latency=*/true));
+    gw.add_device(*pool_fleet.back()).check();
+
+    gateway::GatewayClient admin(fabric);
+    admin.connect(config.hostname, config.port).check();
+    auto session = admin.attach("bench-trace-tenant");
+    session.ok() ? void() : throw Error("bench: " + session.error());
+    auto module = admin.load_module(session->session_id, pool_module);
+    module.ok() ? void() : throw Error("bench: " + module.error());
+    {
+      std::vector<gateway::InvokeRequest> warm;
+      for (int i = 0; i < 16; ++i)
+        warm.push_back(invoke_request(session->session_id, module->measurement,
+                                      "add", add_args(100 + i)));
+      for (auto& r : admin.invoke_all(warm))
+        r.ok() ? void() : throw Error("bench: " + r.error());
+    }
+    gw.span_sink().drain();  // discard warm-up spans
+
+    constexpr int kTraceLanes = 32;  // one INVOKE_BATCH frame exactly
+    std::vector<gateway::InvokeRequest> batch;
+    for (int i = 0; i < kTraceLanes; ++i)
+      batch.push_back(invoke_request(session->session_id, module->measurement,
+                                     "add", add_args(i)));
+    std::uint64_t batch_trace = 0;
+    for (auto& r : admin.invoke_all(batch)) {
+      r.ok() ? void() : throw Error("bench: " + r.error());
+      if (r->trace_id == 0) throw Error("bench: traced lane lost its trace id");
+      if (batch_trace == 0) batch_trace = r->trace_id;
+      if (r->trace_id != batch_trace)
+        throw Error("bench: batch lanes split across trace ids");
+    }
+
+    std::vector<obs::SpanRecord> spans = gw.span_sink().drain();
+    std::erase_if(spans, [&](const obs::SpanRecord& span) {
+      return span.trace_id != batch_trace;
+    });
+    spans_per_invoke = static_cast<double>(spans.size()) / kTraceLanes;
+    if (gw.span_sink().dropped() != 0)
+      throw Error("bench: span sink dropped records under a 32-lane batch");
+
+    const std::string chrome = obs::SpanSink::to_chrome_trace(spans);
+    const char* trace_path = "trace_invoke_batch.json";
+    if (std::FILE* out = std::fopen(trace_path, "w")) {
+      std::fwrite(chrome.data(), 1, chrome.size(), out);
+      std::fclose(out);
+    } else {
+      throw Error("bench: cannot write trace export");
+    }
+    if (tables)
+      std::printf("  32-lane batch, trace %016llx : %zu spans (%.1f per lane) "
+                  "-> %s\n",
+                  static_cast<unsigned long long>(batch_trace), spans.size(),
+                  spans_per_invoke, trace_path);
+  }
+
+  double disabled_overhead_pct = 0.0;
+  {
+    gateway::GatewayConfig config;
+    config.hostname = "gw-untraced";
+    config.port = 7412;
+    config.ra_port = 7413;
+    config.slots_per_device = 4;  // trace_sample_n stays 0: tracing off
+    gateway::Gateway gw(fabric, config, to_bytes("gw-bench-untraced"));
+    gw.start().check();
+    pool_fleet.push_back(bench::boot_device(fabric, vendor, "gw-untraced-node",
+                                            pool_otpmk++,
+                                            /*charge_latency=*/true,
+                                            /*device_side_latency=*/true));
+    gw.add_device(*pool_fleet.back()).check();
+
+    gateway::GatewayClient admin(fabric);
+    admin.connect(config.hostname, config.port).check();
+    auto session = admin.attach("bench-untraced-tenant");
+    session.ok() ? void() : throw Error("bench: " + session.error());
+    auto module = admin.load_module(session->session_id, pool_module);
+    module.ok() ? void() : throw Error("bench: " + module.error());
+    {
+      std::vector<gateway::InvokeRequest> warm;
+      for (int i = 0; i < 16; ++i)
+        warm.push_back(invoke_request(session->session_id, module->measurement,
+                                      "add", add_args(200 + i)));
+      for (auto& r : admin.invoke_all(warm))
+        r.ok() ? void() : throw Error("bench: " + r.error());
+    }
+
+    const int client_threads = 8;
+    const int invokes_per_thread = 150;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    clients.reserve(client_threads);
+    const std::uint64_t elapsed = bench::time_ns([&] {
+      for (int t = 0; t < client_threads; ++t) {
+        clients.emplace_back([&, t] {
+          gateway::GatewayClient client(fabric);
+          if (!client.connect(config.hostname, config.port).ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          for (int i = 0; i < invokes_per_thread; ++i) {
+            auto r = client.invoke(invoke_request(
+                session->session_id, module->measurement, "add",
+                add_args(t * 1000 + i)));
+            if (!r.ok()) {
+              failures.fetch_add(1);
+              return;
+            }
+          }
+        });
+      }
+      for (std::thread& thread : clients) thread.join();
+    });
+    if (failures.load() != 0) throw Error("bench: untraced client failures");
+    const double untraced_per_sec =
+        (static_cast<double>(client_threads) * invokes_per_thread) /
+        (static_cast<double>(elapsed) / 1e9);
+    if (pool_at_4 > 0.0)
+      disabled_overhead_pct =
+          std::max(0.0, (pool_at_4 - untraced_per_sec) / pool_at_4 * 100.0);
+    if (tables)
+      std::printf("  tracing disabled : %8.0f invokes/sec (phase-6 plane ran "
+                  "%8.0f) -> %.2f%% overhead\n",
+                  untraced_per_sec, pool_at_4, disabled_overhead_pct);
+  }
+  report.metric("trace_spans_per_invoke", spans_per_invoke, "spans");
+  report.metric("tracing_disabled_overhead_pct", disabled_overhead_pct, "%");
   return 0;
 }

@@ -13,6 +13,7 @@
 // never join the fleet.
 //
 //   $ ./examples/example_device_fleet
+#include <algorithm>
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
@@ -44,8 +45,14 @@ int main() {
   net::Fabric fabric;
   const core::Vendor vendor = core::Vendor::create(to_bytes("fleet-vendor"));
 
-  // The gateway: the fleet's single front door.
+  // The gateway: the fleet's single front door. Tracing is sampled on
+  // every invocation here (trace_sample_n = 1) and the slow-invoke log
+  // threshold is 1 ns, so every lane lands in the log with its per-stage
+  // breakdown — a real deployment would sample 1-in-N and set a real
+  // threshold.
   gateway::GatewayConfig config;
+  config.trace_sample_n = 1;
+  config.slow_invoke_threshold_ns = 1;
   gateway::Gateway gw(fabric, config, to_bytes("fleet-gateway-identity"));
   gw.start().check();
 
@@ -172,7 +179,8 @@ int main() {
   }
   for (const std::string& line : batch_lines) std::printf("%s\n", line.c_str());
 
-  auto stats = client.stats(session->session_id);
+  // detail=true additionally pulls the slow-invoke log over the wire.
+  auto stats = client.stats(session->session_id, /*detail=*/true);
   if (stats.ok()) {
     std::printf("\ngateway stats: %llu invocations, %llu handshakes run, "
                 "%llu reused\n",
@@ -181,13 +189,57 @@ int main() {
                 static_cast<unsigned long long>(stats->handshakes_reused));
     for (const gateway::DeviceStats& d : stats->devices)
       std::printf("  %-7s invocations=%llu cache: %llu hit / %llu miss, "
-                  "pool hits=%llu\n",
+                  "pool hits=%llu, queue p99 <= %llu ns\n",
                   d.hostname.c_str(),
                   static_cast<unsigned long long>(d.invocations),
                   static_cast<unsigned long long>(d.cache_hits),
                   static_cast<unsigned long long>(d.cache_misses),
-                  static_cast<unsigned long long>(d.pool_hits));
+                  static_cast<unsigned long long>(d.pool_hits),
+                  static_cast<unsigned long long>(d.queue_delay_p99_ns));
+
+    // Per-stage latency breakdown of the invoke pipeline, straight from
+    // the gateway's metrics registry (histogram percentiles are log2
+    // bucket upper bounds). The same numbers travel the wire as
+    // GatewayStats::stage_queue / stage_exec / stage_tee_entry / stage_ra.
+    std::printf("\nper-stage latency (from the gateway's obs registry):\n");
+    for (const obs::MetricSnapshot& m : gw.registry().snapshot()) {
+      if (m.kind != obs::MetricKind::Histogram) continue;
+      if (m.name.rfind("stage.", 0) != 0) continue;
+      std::printf("  %-16s %6llu samples   p50 <= %-9llu p90 <= %-9llu "
+                  "p99 <= %llu ns\n",
+                  m.name.c_str(), static_cast<unsigned long long>(m.value),
+                  static_cast<unsigned long long>(m.p50),
+                  static_cast<unsigned long long>(m.p90),
+                  static_cast<unsigned long long>(m.p99));
+    }
+
+    // The slow-invoke log: every invocation above the threshold (here:
+    // all of them), newest last, with its stage breakdown and trace id.
+    std::printf("\nslow-invoke log (%zu entries, threshold %llu ns):\n",
+                stats->slow_invokes.size(),
+                static_cast<unsigned long long>(config.slow_invoke_threshold_ns));
+    const std::size_t show = std::min<std::size_t>(stats->slow_invokes.size(), 3);
+    for (std::size_t i = stats->slow_invokes.size() - show;
+         i < stats->slow_invokes.size(); ++i) {
+      const gateway::SlowInvoke& s = stats->slow_invokes[i];
+      std::printf("  trace %016llx %s/%s total=%llu ns (queue=%llu prepare=%llu "
+                  "tee=%llu exec=%llu ra=%llu)\n",
+                  static_cast<unsigned long long>(s.trace_id), s.device.c_str(),
+                  s.entry.c_str(), static_cast<unsigned long long>(s.total_ns),
+                  static_cast<unsigned long long>(s.queue_ns),
+                  static_cast<unsigned long long>(s.prepare_ns),
+                  static_cast<unsigned long long>(s.tee_ns),
+                  static_cast<unsigned long long>(s.exec_ns),
+                  static_cast<unsigned long long>(s.ra_ns));
+    }
   }
+
+  // The span plane: drain the sampled spans and count per-lane flame-graph
+  // rows (the bench exports the same records as Chrome trace_event JSON).
+  const auto spans = gw.span_sink().drain();
+  std::printf("\nspan sink drained %zu stage spans across the session "
+              "(0 dropped: %s)\n",
+              spans.size(), gw.span_sink().dropped() == 0 ? "yes" : "no");
 
   // A compromised board: its trusted-OS image was modified, so secure boot
   // aborts and the device never comes up -- it can never enrol.

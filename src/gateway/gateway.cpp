@@ -156,6 +156,27 @@ Status Gateway::add_device(core::Device& device) {
         device.os().huk_subkey_derive("watz-gateway-attester-v1"));
     backend->platform_claim = platform_claim(device);
     ++backend->boot_count;
+
+    // Wire this enrolment into the metrics plane. The registry hands out
+    // stable addresses, so the monitors and the per-device histogram
+    // pointer stay valid across re-enrolments; the cache/heap links are
+    // re-pointed because a reboot swaps in fresh instances.
+    device.monitor().set_transition_histograms(&stage_tee_entry_hist_,
+                                               &stage_tee_exit_hist_);
+    for (std::size_t i = 0; i < pool; ++i)
+      backend->control->slot(i).monitor().set_transition_histograms(
+          &stage_tee_entry_hist_, &stage_tee_exit_hist_);
+    const std::string prefix = "device." + backend->hostname + ".";
+    if (backend->queue_delay_hist == nullptr)
+      backend->queue_delay_hist = &registry_.histogram(prefix + "queue_delay");
+    const ModuleCache& cache = *backend->cache;
+    registry_.link_counter(prefix + "cache.hits", &cache.hits_counter());
+    registry_.link_counter(prefix + "cache.misses", &cache.misses_counter());
+    registry_.link_counter(prefix + "cache.evictions", &cache.evictions_counter());
+    registry_.link_counter(prefix + "cache.pool_hits", &cache.pool_hits_counter());
+    registry_.link_gauge(prefix + "cache.charged_bytes",
+                         &cache.charged_bytes_gauge());
+    registry_.link_gauge(prefix + "heap_in_use", &device.os().heap_gauge());
   }
   if (fresh)
     for (auto& slot : backend->slots)
@@ -175,10 +196,12 @@ Status Gateway::post(Slot& slot, std::function<void(std::uint64_t)> task,
     std::lock_guard<std::mutex> lock(slot.queue_mu);
     if (slot.stop) return Status::err("gateway: shutting down");
     const std::uint32_t depth = slot.inflight.load(std::memory_order_relaxed);
-    if (!force && depth >= config_.worker_queue_capacity)
+    if (!force && depth >= config_.worker_queue_capacity) {
+      slot.queue_full_rejections.add();
       return Status::err(std::string(kQueueFullPrefix) + ": " +
                          slot.backend->hostname + "#" + std::to_string(slot.index) +
                          " run queue at capacity (" + std::to_string(depth) + ")");
+    }
     const std::uint32_t now_inflight = depth + 1;
     slot.inflight.store(now_inflight, std::memory_order_relaxed);
     std::uint32_t peak = slot.queue_depth_peak.load(std::memory_order_relaxed);
@@ -207,7 +230,9 @@ void Gateway::worker_loop(Slot& slot) {
     const std::uint64_t now = hw::monotonic_ns();
     const std::uint64_t delay =
         now > item.admitted_ns ? now - item.admitted_ns : 0;
-    record_queue_delay(delay);
+    queue_delay_hist_.record(delay);
+    if (slot.backend->queue_delay_hist != nullptr)
+      slot.backend->queue_delay_hist->record(delay);
     // On shutdown the loop still drains every queued item: each one
     // observes stopping_ and fails fast, fulfilling its promise so no
     // admitted request is ever left dangling. Each task decrements
@@ -219,24 +244,21 @@ void Gateway::worker_loop(Slot& slot) {
   }
 }
 
-void Gateway::record_queue_delay(std::uint64_t delay_ns) {
-  std::size_t bucket = 0;
-  while (bucket + 1 < kDelayBuckets && (1ull << bucket) < delay_ns) ++bucket;
-  queue_delay_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-  queue_delay_samples_.fetch_add(1, std::memory_order_relaxed);
+std::uint64_t Gateway::maybe_trace(std::uint64_t wire_trace_id) {
+  // A client-supplied id always wins: the caller is stitching this request
+  // into a trace it owns (batch lanes, cross-service correlation).
+  if (wire_trace_id != 0) return wire_trace_id;
+  const std::uint64_t n = config_.trace_sample_n;
+  if (n == 0) return 0;
+  return trace_tick_.fetch_add(1, std::memory_order_relaxed) % n == 0
+             ? obs::next_trace_id()
+             : 0;
 }
 
-std::uint64_t Gateway::queue_delay_percentile(double q) {
-  const std::uint64_t total = queue_delay_samples_.load(std::memory_order_relaxed);
-  if (total == 0) return 0;
-  const std::uint64_t rank =
-      static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
-  std::uint64_t seen = 0;
-  for (std::size_t bucket = 0; bucket < kDelayBuckets; ++bucket) {
-    seen += queue_delay_buckets_[bucket].load(std::memory_order_relaxed);
-    if (seen >= rank) return 1ull << bucket;  // bucket upper bound
-  }
-  return 1ull << (kDelayBuckets - 1);
+void Gateway::record_slow_invoke(SlowInvoke entry) {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  if (slow_invokes_.size() >= kSlowInvokeRing) slow_invokes_.pop_front();
+  slow_invokes_.push_back(std::move(entry));
 }
 
 std::uint64_t Gateway::placement_cost(const Slot& slot) {
@@ -493,27 +515,49 @@ Result<Bytes> Gateway::handle_load_module(ByteView request) {
 }
 
 Result<std::future<Result<InvokeResponse>>> Gateway::post_invoke(
-    Slot& slot, const SessionPtr& session, const InvokeRequest& request) {
+    Slot& slot, const SessionPtr& session, const InvokeRequest& request,
+    obs::TraceContext trace) {
+  const std::uint64_t admit_start = trace.active() ? hw::monotonic_ns() : 0;
   auto promise = std::make_shared<std::promise<Result<InvokeResponse>>>();
   auto future = promise->get_future();
   Status admitted = post(
-      slot, [this, slot = &slot, session, request,
+      slot, [this, slot = &slot, session, request, trace,
              promise](std::uint64_t queue_delay_ns) {
+        // Install the lane's trace for everything below this frame: the
+        // cache, the monitors, the wasm executor and (via the fabric's
+        // same-thread callback) the verifier shards all emit against it.
+        obs::ScopedTrace scope(trace.active() ? &span_sink_ : nullptr,
+                               trace.trace_id, trace.span_id);
         auto outcome = execute_invoke(*slot, session, request, queue_delay_ns);
         slot->inflight.fetch_sub(1, std::memory_order_release);
         promise->set_value(std::move(outcome));
       });
   if (!admitted.ok())
     return Result<std::future<Result<InvokeResponse>>>::err(admitted.error());
+  if (trace.active()) {
+    // Admission span, recorded by the dispatcher thread (the worker-side
+    // thread trace is not installed here): placement + enqueue, ending at
+    // the hand-off the Queue span picks up from.
+    obs::SpanRecord span;
+    span.trace_id = trace.trace_id;
+    span.span_id = obs::next_span_id();
+    span.parent_id = trace.span_id;
+    span.start_ns = admit_start;
+    span.dur_ns = hw::monotonic_ns() - admit_start;
+    span.stage = obs::Stage::Admit;
+    span.detail = static_cast<std::uint32_t>(slot.index);
+    span_sink_.record(span);
+  }
   return future;
 }
 
 Result<InvokeResponse> Gateway::dispatch_invoke_sync(const SessionPtr& session,
-                                                     const InvokeRequest& request) {
+                                                     const InvokeRequest& request,
+                                                     obs::TraceContext trace) {
   std::string last_error = "gateway: no devices enrolled";
   for (Slot* slot : placement_candidates(
            session->affinity_slot.load(std::memory_order_relaxed))) {
-    auto future = post_invoke(*slot, session, request);
+    auto future = post_invoke(*slot, session, request, trace);
     if (!future.ok()) {
       last_error = future.error();
       continue;  // spill to the next candidate
@@ -528,8 +572,7 @@ Result<InvokeResponse> Gateway::dispatch_invoke_sync(const SessionPtr& session,
   }
   // Whatever the spill path visited, a QUEUE_FULL terminal answer means
   // the client was bounced with backpressure: count it.
-  if (is_queue_full(last_error))
-    queue_full_rejections_.fetch_add(1, std::memory_order_relaxed);
+  if (is_queue_full(last_error)) queue_full_rejections_.add();
   return Result<InvokeResponse>::err(last_error);
 }
 
@@ -539,12 +582,27 @@ Result<Bytes> Gateway::handle_invoke(ByteView request) {
   SessionPtr session = sessions_.find(req->session_id);
   if (!session) return Result<Bytes>::err("gateway: unknown session");
 
-  auto result = dispatch_invoke_sync(session, *req);
+  obs::TraceContext trace;
+  trace.trace_id = maybe_trace(req->trace_id);
+  if (trace.active()) trace.span_id = obs::next_span_id();
+
+  auto result = dispatch_invoke_sync(session, *req, trace);
   if (!result.ok()) {
     if (is_queue_full(result.error())) return busy_envelope(result.error());
     return Result<Bytes>::err(result.error());
   }
-  return ok_envelope(result->encode());
+  if (!trace.active()) return ok_envelope(result->encode());
+  const std::uint64_t respond_start = hw::monotonic_ns();
+  auto payload = ok_envelope(result->encode());
+  obs::SpanRecord span;
+  span.trace_id = trace.trace_id;
+  span.span_id = obs::next_span_id();
+  span.parent_id = trace.span_id;
+  span.start_ns = respond_start;
+  span.dur_ns = hw::monotonic_ns() - respond_start;
+  span.stage = obs::Stage::Respond;
+  span_sink_.record(span);
+  return payload;
 }
 
 Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
@@ -553,6 +611,17 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
 
   InvokeBatchResponse resp;
   resp.results.resize(req->lanes.size());
+
+  // One trace decision covers the whole batch — every traced lane shares
+  // the trace_id (its own root span), so the fan renders as ONE flame
+  // graph. A client-supplied lane id adopts the batch into that trace.
+  std::uint64_t wire_trace = 0;
+  for (const InvokeBatchRequest::Lane& lane : req->lanes)
+    if (lane.invoke.trace_id != 0) {
+      wire_trace = lane.invoke.trace_id;
+      break;
+    }
+  const std::uint64_t batch_trace = maybe_trace(wire_trace);
 
   // One admission pass over one fleet snapshot: every lane is bound to
   // the cheapest SLOT by placement_cost. Because post() bumps inflight
@@ -582,6 +651,7 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
     std::string device;            ///< hostname the leader was admitted to
     std::uint64_t boot_count = 0;  ///< at admission (freshness gate)
     std::vector<std::size_t> riders;  ///< lane indexes riding this result
+    obs::TraceContext trace;          ///< batch trace_id + this lane's root
   };
   std::vector<PendingLane> pending;
   pending.reserve(req->lanes.size());
@@ -616,6 +686,11 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
         continue;
       }
     }
+    obs::TraceContext lane_trace;
+    if (batch_trace != 0) {
+      lane_trace.trace_id = batch_trace;
+      lane_trace.span_id = obs::next_span_id();
+    }
     std::string last_error = "gateway: no devices enrolled";
     bool admitted = false;
     if (!fleet.empty()) {
@@ -627,12 +702,14 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
       auto best = std::min_element(scored.begin(), scored.end());
       std::iter_swap(scored.begin(), best);
       std::size_t chosen = 0;
-      auto future = post_invoke(*scored.front().slot, session, lane.invoke);
+      auto future =
+          post_invoke(*scored.front().slot, session, lane.invoke, lane_trace);
       if (!future.ok()) {
         last_error = future.error();
         std::sort(scored.begin() + 1, scored.end());
         for (std::size_t s = 1; s < scored.size(); ++s) {
-          auto retry = post_invoke(*scored[s].slot, session, lane.invoke);
+          auto retry =
+              post_invoke(*scored[s].slot, session, lane.invoke, lane_trace);
           if (!retry.ok()) {
             last_error = retry.error();
             continue;
@@ -647,6 +724,7 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
         entry.index = i;
         entry.session = session;
         entry.future = std::move(*future);
+        entry.trace = lane_trace;
         Backend* backend = scored[chosen].slot->backend;
         entry.device = backend->hostname;
         {
@@ -662,8 +740,7 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
       // Total backpressure (or an empty fleet) fails THIS lane only; its
       // siblings were already admitted and proceed. The client sees the
       // failed index and owns the retry.
-      if (is_queue_full(last_error))
-        queue_full_rejections_.fetch_add(1, std::memory_order_relaxed);
+      if (is_queue_full(last_error)) queue_full_rejections_.add();
       resp.results[i].error = last_error;
     }
   }
@@ -677,9 +754,12 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
       // sync path, which skips appraisal failures candidate by candidate
       // (same invariant as dispatch_invoke_sync for plain INVOKE). Rare —
       // paid only by the affected lanes, after the healthy fan completed.
-      outcome = dispatch_invoke_sync(lane.session, req->lanes[lane.index].invoke);
+      outcome = dispatch_invoke_sync(lane.session, req->lanes[lane.index].invoke,
+                                     lane.trace);
       rerouted = true;
     }
+    const std::uint64_t respond_start =
+        lane.trace.active() ? hw::monotonic_ns() : 0;
     if (outcome.ok() && !rerouted) {
       // Riders fan the leader's execution: same results, zero RA traffic
       // of their own (the freshness gate at admission guaranteed their
@@ -689,8 +769,7 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
         copy.ra_exchanges = 0;
         resp.results[rider].result = std::move(copy);
       }
-      if (!lane.riders.empty())
-        deduped_lanes_.fetch_add(lane.riders.size(), std::memory_order_relaxed);
+      if (!lane.riders.empty()) deduped_lanes_.add(lane.riders.size());
     } else {
       // A failed OR re-routed leader never speaks for its riders: the
       // re-dispatch may have executed on a different device than the one
@@ -715,6 +794,19 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
       resp.results[lane.index].result = std::move(*outcome);
     else
       resp.results[lane.index].error = outcome.error();
+    if (lane.trace.active()) {
+      // Per-lane Respond span: rider fan + result fold back into the
+      // batch response (the whole-batch encode is not attributable to one
+      // lane, so it stays outside the trace).
+      obs::SpanRecord span;
+      span.trace_id = lane.trace.trace_id;
+      span.span_id = obs::next_span_id();
+      span.parent_id = lane.trace.span_id;
+      span.start_ns = respond_start;
+      span.dur_ns = hw::monotonic_ns() - respond_start;
+      span.stage = obs::Stage::Respond;
+      span_sink_.record(span);
+    }
   }
   return ok_envelope(resp.encode());
 }
@@ -725,10 +817,14 @@ Result<Bytes> Gateway::handle_submit(ByteView request) {
   SessionPtr session = sessions_.find(req->invoke.session_id);
   if (!session) return Result<Bytes>::err("gateway: unknown session");
 
+  obs::TraceContext trace;
+  trace.trace_id = maybe_trace(req->invoke.trace_id);
+  if (trace.active()) trace.span_id = obs::next_span_id();
+
   std::string last_error = "gateway: no devices enrolled";
   for (Slot* slot : placement_candidates(
            session->affinity_slot.load(std::memory_order_relaxed))) {
-    auto future = post_invoke(*slot, session, req->invoke);
+    auto future = post_invoke(*slot, session, req->invoke, trace);
     if (!future.ok()) {
       last_error = future.error();
       continue;  // spill past full queues
@@ -744,7 +840,7 @@ Result<Bytes> Gateway::handle_submit(ByteView request) {
     return ok_envelope(resp.encode());
   }
   if (is_queue_full(last_error)) {
-    queue_full_rejections_.fetch_add(1, std::memory_order_relaxed);
+    queue_full_rejections_.add();
     return busy_envelope(last_error);
   }
   return Result<Bytes>::err(last_error);
@@ -792,6 +888,17 @@ Result<InvokeResponse> Gateway::execute_invoke(Slot& slot,
   if (session->closed.load(std::memory_order_acquire))
     return R::err("gateway: session detached");
 
+  const bool traced = obs::tracing_active();
+  const bool slow_log = config_.slow_invoke_threshold_ns != 0;
+  const std::uint64_t pickup_ns =
+      (traced || slow_log) ? hw::monotonic_ns() : 0;
+  if (traced)
+    // The Queue span is reconstructed from the admission stamp the work
+    // item carried: it ended at pickup and lasted the measured delay.
+    obs::emit_span(obs::Stage::Queue,
+                   pickup_ns - std::min(queue_delay_ns, pickup_ns), pickup_ns,
+                   static_cast<std::uint32_t>(slot.index));
+
   std::shared_ptr<ModuleCache> cache;
   std::shared_ptr<core::DeviceControl> control;
   std::uint64_t boot_count = 0;
@@ -805,10 +912,19 @@ Result<InvokeResponse> Gateway::execute_invoke(Slot& slot,
 
   // Trust first: the session must hold fresh evidence for this device
   // (free when cached; a TTL/boot-count miss re-runs the handshake).
+  const std::uint64_t ra_start = hw::monotonic_ns();
   auto exchanges = sessions_.ensure_attested(
-      *session, hostname, boot_count, hw::monotonic_ns(),
+      *session, hostname, boot_count, ra_start,
       [&] { return run_handshake(backend); });
   if (!exchanges.ok()) return R::err(exchanges.error());
+  std::uint64_t ra_ns = 0;
+  if (*exchanges > 0) {
+    // Only a lazy handshake on the critical path counts as RA latency; a
+    // fresh-evidence hit is the amortisation working as intended.
+    ra_ns = hw::monotonic_ns() - ra_start;
+    stage_ra_hist_.record(ra_ns);
+    if (traced) obs::emit_span(obs::Stage::Ra, ra_start, ra_start + ra_ns);
+  }
 
   // The registry is only consulted on a cold cache miss, and the binary is
   // copied out so the worker never holds a view into a registry another
@@ -822,13 +938,25 @@ Result<InvokeResponse> Gateway::execute_invoke(Slot& slot,
                               : config_.default_heap_bytes;
   // The lease is bound to THIS slot's monitor: pool hits only ever reuse
   // an instance this slot parked, so no sandbox is driven by two threads.
+  tz::SecureMonitor& slot_monitor = control->slot(slot.index).monitor();
+  const std::uint64_t enters_before = slot_monitor.enter_count();
+  const std::uint64_t leaves_before = slot_monitor.leave_count();
+  const std::uint64_t acquire_start = hw::monotonic_ns();
   auto lease = cache->acquire(request.measurement, binary, app_config,
-                              &control->slot(slot.index).monitor());
+                              &slot_monitor);
   if (!lease.ok()) return R::err(lease.error());
+  const std::uint64_t acquire_end = hw::monotonic_ns();
+  if (traced)
+    // A pool hit is a Checkout (nothing launched); anything that paid
+    // instantiation — cold or module-cached — renders as Prepare.
+    obs::emit_span(lease->pool_hit ? obs::Stage::Checkout : obs::Stage::Prepare,
+                   acquire_start, acquire_end);
 
   const std::uint64_t t0 = hw::monotonic_ns();
   auto result = lease->app->invoke(request.entry, request.args);
   const std::uint64_t invoke_ns = hw::monotonic_ns() - t0;
+  stage_exec_hist_.record(invoke_ns);
+  if (traced) obs::emit_span(obs::Stage::Exec, t0, t0 + invoke_ns);
 
   const std::uint64_t service_ns = lease->launch_ns + invoke_ns;
   slot.busy_ns.fetch_add(service_ns, std::memory_order_relaxed);
@@ -841,11 +969,37 @@ Result<InvokeResponse> Gateway::execute_invoke(Slot& slot,
       prev_ewma ? prev_ewma - prev_ewma / 8 + service_ns / 8 : service_ns,
       std::memory_order_relaxed);
   slot.invocations.fetch_add(1, std::memory_order_relaxed);
-  invocations_.fetch_add(1, std::memory_order_relaxed);
+  invocations_.add();
   session->invocations.fetch_add(1, std::memory_order_relaxed);
   // Soft affinity: the next invoke of this session prefers this slot while
   // it sits idle — its warm pool now holds the instance released below.
   session->affinity_slot.store(slot.global_id + 1, std::memory_order_relaxed);
+
+  if (slow_log) {
+    const std::uint64_t end_ns = hw::monotonic_ns();
+    const std::uint64_t total_ns = queue_delay_ns + (end_ns - pickup_ns);
+    if (total_ns >= config_.slow_invoke_threshold_ns) {
+      // World-switch time is reconstructed from the slot monitor's
+      // transition counters (written only by this thread) times the
+      // configured charges — the modeled truth, free of clock jitter.
+      // A disabled latency model charges nothing, so reports nothing.
+      const hw::LatencyConfig& charge = slot_monitor.latency().config();
+      SlowInvoke slow;
+      slow.trace_id = obs::thread_trace().trace_id;
+      slow.total_ns = total_ns;
+      slow.queue_ns = queue_delay_ns;
+      slow.prepare_ns = acquire_end - acquire_start;
+      if (charge.enabled)
+        slow.tee_ns =
+            (slot_monitor.enter_count() - enters_before) * charge.smc_enter_ns +
+            (slot_monitor.leave_count() - leaves_before) * charge.smc_leave_ns;
+      slow.exec_ns = invoke_ns;
+      slow.ra_ns = ra_ns;
+      slow.device = hostname;
+      slow.entry = request.entry;
+      record_slow_invoke(std::move(slow));
+    }
+  }
 
   if (!result.ok()) return R::err("gateway: " + result.error());
   // Only clean exits go back to the warm pool; trapped instances are torn
@@ -861,6 +1015,7 @@ Result<InvokeResponse> Gateway::execute_invoke(Slot& slot,
   resp.invoke_ns = invoke_ns;
   resp.ra_exchanges = *exchanges;
   resp.queue_delay_ns = queue_delay_ns;
+  resp.trace_id = obs::thread_trace().trace_id;
   return resp;
 }
 
@@ -1088,8 +1243,7 @@ std::size_t Gateway::sweep_evidence_renewals() {
   }
   std::size_t renewed_total = 0;
   for (std::future<std::size_t>& future : fanned) renewed_total += future.get();
-  if (renewed_total)
-    evidence_renewals_.fetch_add(renewed_total, std::memory_order_relaxed);
+  if (renewed_total) evidence_renewals_.add(renewed_total);
   return renewed_total;
 }
 
@@ -1178,7 +1332,7 @@ Result<Bytes> Gateway::handle_stats(ByteView request) {
   if (!req.ok()) return Result<Bytes>::err(req.error());
   if (!sessions_.find(req->session_id))
     return Result<Bytes>::err("gateway: unknown session");
-  return ok_envelope(stats().encode());
+  return ok_envelope(stats(req->detail).encode());
 }
 
 Result<Bytes> Gateway::handle_detach(ByteView request) {
@@ -1189,20 +1343,41 @@ Result<Bytes> Gateway::handle_detach(ByteView request) {
   return ok_envelope({});
 }
 
-GatewayStats Gateway::stats() {
+namespace {
+
+/// Percentile summary of one registry histogram, as STATS serialises it.
+StageStats stage_summary(const obs::Histogram& hist) {
+  StageStats summary;
+  summary.count = hist.count();
+  summary.p50_ns = hist.percentile(0.50);
+  summary.p90_ns = hist.percentile(0.90);
+  summary.p99_ns = hist.percentile(0.99);
+  return summary;
+}
+
+}  // namespace
+
+GatewayStats Gateway::stats(bool detail) {
   GatewayStats stats;
   stats.sessions_active = sessions_.active();
   stats.sessions_total = sessions_.sessions_total();
   stats.handshakes_run = sessions_.handshakes_run();
   stats.handshakes_reused = sessions_.handshakes_reused();
-  stats.invocations = invocations_.load(std::memory_order_relaxed);
-  stats.queue_full_rejections =
-      queue_full_rejections_.load(std::memory_order_relaxed);
-  stats.deduped_lanes = deduped_lanes_.load(std::memory_order_relaxed);
-  stats.evidence_renewals = evidence_renewals_.load(std::memory_order_relaxed);
-  stats.queue_delay_p50_ns = queue_delay_percentile(0.50);
-  stats.queue_delay_p90_ns = queue_delay_percentile(0.90);
-  stats.queue_delay_p99_ns = queue_delay_percentile(0.99);
+  stats.invocations = invocations_.get();
+  stats.queue_full_rejections = queue_full_rejections_.get();
+  stats.deduped_lanes = deduped_lanes_.get();
+  stats.evidence_renewals = evidence_renewals_.get();
+  stats.queue_delay_p50_ns = queue_delay_hist_.percentile(0.50);
+  stats.queue_delay_p90_ns = queue_delay_hist_.percentile(0.90);
+  stats.queue_delay_p99_ns = queue_delay_hist_.percentile(0.99);
+  stats.stage_queue = stage_summary(queue_delay_hist_);
+  stats.stage_exec = stage_summary(stage_exec_hist_);
+  stats.stage_tee_entry = stage_summary(stage_tee_entry_hist_);
+  stats.stage_ra = stage_summary(stage_ra_hist_);
+  if (detail) {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    stats.slow_invokes.assign(slow_invokes_.begin(), slow_invokes_.end());
+  }
   for (const ra::VerifierShardStats& s : verifier_->stats()) {
     RaShardStats shard;
     shard.msg0s = s.msg0s;
@@ -1226,10 +1401,16 @@ GatewayStats Gateway::stats() {
       s.queue_depth_peak = slot->queue_depth_peak.load(std::memory_order_relaxed);
       s.invocations = slot->invocations.load(std::memory_order_relaxed);
       s.busy_ns = slot->busy_ns.load(std::memory_order_relaxed);
+      s.queue_full_rejections = slot->queue_full_rejections.get();
       d.invocations += s.invocations;
       d.busy_ns += s.busy_ns;
       d.queue_depth_peak = std::max(d.queue_depth_peak, s.queue_depth_peak);
       d.slots.push_back(s);
+    }
+    if (backend.queue_delay_hist != nullptr) {
+      d.queue_delay_p50_ns = backend.queue_delay_hist->percentile(0.50);
+      d.queue_delay_p90_ns = backend.queue_delay_hist->percentile(0.90);
+      d.queue_delay_p99_ns = backend.queue_delay_hist->percentile(0.99);
     }
     {
       std::lock_guard<std::mutex> state(backend.state_mu);
@@ -1698,8 +1879,11 @@ std::vector<Result<InvokeResponse>> GatewayClient::invoke_batch(
   return results;
 }
 
-Result<GatewayStats> GatewayClient::stats(std::uint64_t session_id) {
-  auto payload = call(StatsRequest{session_id}.encode());
+Result<GatewayStats> GatewayClient::stats(std::uint64_t session_id, bool detail) {
+  StatsRequest request;
+  request.session_id = session_id;
+  request.detail = detail;
+  auto payload = call(request.encode());
   if (!payload.ok()) return Result<GatewayStats>::err(payload.error());
   return GatewayStats::decode(*payload);
 }

@@ -56,6 +56,8 @@
 #include "gateway/module_cache.hpp"
 #include "gateway/protocol.hpp"
 #include "gateway/session_manager.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ra/verifier_shard.hpp"
 
 namespace watz::gateway {
@@ -99,6 +101,15 @@ struct GatewayConfig {
   /// lock (see ra::ShardedVerifierConfig::appraisal_latency_ns). Bench
   /// knob; 0 (default) disables it.
   std::uint64_t ra_appraisal_latency_ns = 0;
+  /// Trace sampling: every Nth admitted INVOKE/SUBMIT decision (and every
+  /// Nth INVOKE_BATCH, whose lanes share one trace) records stage spans
+  /// into the gateway's SpanSink. 0 (default) = tracing off; a non-zero
+  /// trace_id on the wire request forces a trace regardless.
+  std::uint64_t trace_sample_n = 0;
+  /// Invocations whose end-to-end gateway residency (queueing included)
+  /// exceeds this land in the slow-invoke ring dumped by STATS detail.
+  /// 0 disables the log.
+  std::uint64_t slow_invoke_threshold_ns = 0;
 };
 
 class Gateway {
@@ -118,7 +129,15 @@ class Gateway {
   /// evidence for that device (the worker survives the reboot).
   Status add_device(core::Device& device);
 
-  GatewayStats stats();
+  /// Fleet-wide statistics, serialised from the metrics registry. `detail`
+  /// additionally copies out the slow-invoke ring (GatewayStats::slow_invokes).
+  GatewayStats stats(bool detail = false);
+  /// The typed metrics plane: every gateway counter/gauge/histogram lives
+  /// here (or is linked here by its owning layer) under a stable name.
+  obs::Registry& registry() noexcept { return registry_; }
+  /// The span sink sampled invocations record into; drain it (or hand it
+  /// to obs::SpanSink::to_chrome_trace) to render invocation flame graphs.
+  obs::SpanSink& span_sink() noexcept { return span_sink_; }
   SessionManager& sessions() noexcept { return sessions_; }
   ra::ShardedVerifier& verifier() noexcept { return *verifier_; }
   const crypto::EcPoint& identity() const noexcept { return verifier_->identity_key(); }
@@ -172,6 +191,11 @@ class Gateway {
     /// of anything measured, but only with a bounded couple of items
     /// (see placement_cost).
     std::atomic<std::uint64_t> ewma_invoke_ns{0};
+    /// Admissions this slot bounced with QUEUE_FULL. Spill-over admission
+    /// bumps every slot it bounced off, so the per-slot counts expose
+    /// WHICH queues saturate (the gateway-level counter only counts
+    /// requests that exhausted every candidate).
+    obs::Counter queue_full_rejections;
   };
 
   /// One enrolled device: the control-plane state shared by its slot pool.
@@ -195,6 +219,11 @@ class Gateway {
     /// worker threads survive re-enrolment the way the old single worker
     /// did.
     std::vector<std::unique_ptr<Slot>> slots;
+
+    /// This device's admission->pickup delay histogram
+    /// (device.<host>.queue_delay in the gateway registry); set once at
+    /// first enrolment, stable thereafter (registry entries never move).
+    obs::Histogram* queue_delay_hist = nullptr;
   };
 
   /// Placement cost of admitting one more item to `slot`: predicted
@@ -284,16 +313,21 @@ class Gateway {
   /// renewal interval and runs sweep_evidence_renewals().
   void renewal_loop();
 
-  /// Folds one measured admission->pickup delay into the log2 histogram
-  /// STATS derives its queueing-delay percentiles from.
-  void record_queue_delay(std::uint64_t delay_ns);
-  std::uint64_t queue_delay_percentile(double q);
+  /// The trace decision for one admitted request (or one whole batch):
+  /// a non-zero wire id joins that trace; otherwise every trace_sample_n'th
+  /// decision opens a fresh trace. Returns the trace id, 0 = untraced.
+  std::uint64_t maybe_trace(std::uint64_t wire_trace_id);
+
+  /// Folds one completed invocation into the slow-invoke ring when its
+  /// gateway residency exceeded GatewayConfig::slow_invoke_threshold_ns.
+  void record_slow_invoke(SlowInvoke entry);
 
   /// The INVOKE work item body. Runs ON the slot's worker thread: attests
   /// the session if needed (control plane, serialised on the
   /// DeviceControl TEE mutex), acquires a cached instance bound to the
   /// slot's monitor, invokes, releases clean exits back to the warm pool,
-  /// and stamps the session's slot-affinity hint.
+  /// and stamps the session's slot-affinity hint. Emits stage spans when
+  /// the posting dispatcher sampled this invocation into a trace.
   Result<InvokeResponse> execute_invoke(Slot& slot, const SessionPtr& session,
                                         const InvokeRequest& request,
                                         std::uint64_t queue_delay_ns);
@@ -304,13 +338,17 @@ class Gateway {
   /// a device fails appraisal (the async path reports the failure through
   /// the ticket instead).
   Result<InvokeResponse> dispatch_invoke_sync(const SessionPtr& session,
-                                              const InvokeRequest& request);
+                                              const InvokeRequest& request,
+                                              obs::TraceContext trace = {});
 
   /// Posts an invoke work item to `slot` and returns the future its
   /// worker will fulfil (QUEUE_FULL Status at the admission bound).
-  /// Shared by the sync INVOKE and async SUBMIT paths.
+  /// Shared by the sync INVOKE and async SUBMIT paths. A non-zero `trace`
+  /// rides the work item: the slot worker installs it as the thread's
+  /// trace so every layer below records into the gateway sink.
   Result<std::future<Result<InvokeResponse>>> post_invoke(
-      Slot& slot, const SessionPtr& session, const InvokeRequest& request);
+      Slot& slot, const SessionPtr& session, const InvokeRequest& request,
+      obs::TraceContext trace = {});
 
   /// Drives the attester side of the WaTZ protocol inside the device's TEE
   /// against this gateway's RA endpoint. Runs on a slot worker thread,
@@ -383,22 +421,44 @@ class Gateway {
   std::mutex conn_mu_;  // guards conn_sessions_
   std::map<std::uint64_t, std::vector<std::uint64_t>> conn_sessions_;
 
-  std::atomic<std::uint64_t> invocations_{0};
-  std::atomic<std::uint64_t> queue_full_rejections_{0};
+  /// The typed metrics plane. Declared before the references below: the
+  /// named metrics are resolved ONCE here (the registry hands out stable
+  /// addresses), so the hot paths touch a plain atomic — never the
+  /// registry map or its lock.
+  obs::Registry registry_;
+  obs::SpanSink span_sink_;
+  obs::Counter& invocations_ = registry_.counter("gateway.invocations");
+  /// Requests bounced after exhausting every placement candidate (the
+  /// per-slot counters record the individual bounces).
+  obs::Counter& queue_full_rejections_ =
+      registry_.counter("gateway.queue_full_rejections");
   /// INVOKE_BATCH lanes answered by riding a sibling's execution.
-  std::atomic<std::uint64_t> deduped_lanes_{0};
+  obs::Counter& deduped_lanes_ = registry_.counter("gateway.deduped_lanes");
   /// Evidences re-proved ahead of TTL by the renewal sweep.
-  std::atomic<std::uint64_t> evidence_renewals_{0};
+  obs::Counter& evidence_renewals_ =
+      registry_.counter("gateway.evidence_renewals");
+  /// Per-stage latency histograms (log2 buckets; STATS serialises their
+  /// percentiles). stage.queue doubles as the fleet-wide queue-delay
+  /// percentile source the old hand-rolled bucket array fed.
+  obs::Histogram& queue_delay_hist_ = registry_.histogram("stage.queue");
+  obs::Histogram& stage_exec_hist_ = registry_.histogram("stage.exec");
+  obs::Histogram& stage_tee_entry_hist_ =
+      registry_.histogram("stage.tee_entry");
+  obs::Histogram& stage_tee_exit_hist_ = registry_.histogram("stage.tee_exit");
+  obs::Histogram& stage_ra_hist_ = registry_.histogram("stage.ra");
+  /// Sampling clock for maybe_trace (counts trace DECISIONS, not lanes:
+  /// one tick per INVOKE/SUBMIT and one per INVOKE_BATCH).
+  std::atomic<std::uint64_t> trace_tick_{0};
+  /// Slow-invoke ring: the last kSlowInvokeRing invocations that overran
+  /// GatewayConfig::slow_invoke_threshold_ns, oldest evicted first.
+  static constexpr std::size_t kSlowInvokeRing = 32;
+  std::mutex slow_mu_;
+  std::deque<SlowInvoke> slow_invokes_;
   /// Renewal sweeper thread state (start()/~Gateway lifecycle).
   std::mutex renew_mu_;
   std::condition_variable renew_cv_;
   bool renew_stop_ = false;
   std::thread renew_thread_;
-  /// Log2 histogram of admission->pickup queueing delays: bucket i counts
-  /// delays whose ceil(log2) is i. STATS walks it for p50/p90/p99.
-  static constexpr std::size_t kDelayBuckets = 40;
-  std::array<std::atomic<std::uint64_t>, kDelayBuckets> queue_delay_buckets_{};
-  std::atomic<std::uint64_t> queue_delay_samples_{0};
   std::atomic<bool> stopping_{false};
   bool started_ = false;
 };
@@ -497,7 +557,8 @@ class GatewayClient {
   Status invoke_batch_async(const std::vector<InvokeRequest>& requests,
                             InvokeBatchCallback on_complete);
 
-  Result<GatewayStats> stats(std::uint64_t session_id);
+  /// `detail` asks the gateway to include its slow-invoke ring.
+  Result<GatewayStats> stats(std::uint64_t session_id, bool detail = false);
   Status detach(std::uint64_t session_id);
 
   /// Names one ATTACH_BATCH frame carries; attach_all pipelines larger

@@ -15,7 +15,7 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
   if (it == entries_.end()) {
     if (binary.empty())
       return Result<AppLease>::err("module cache: measurement unknown and no binary");
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.add();
     const std::uint64_t t0 = hw::monotonic_ns();  // cold launch pays it all
     auto prepared = runtime_.prepare(binary, config.mode, bound);
     if (!prepared.ok()) return Result<AppLease>::err(prepared.error());
@@ -25,7 +25,7 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
     Entry entry;
     entry.prepared = std::move(*prepared);
     entry.last_used = ++tick_;
-    charged_bytes_.fetch_add(entry.prepared->code_bytes(), std::memory_order_relaxed);
+    charged_bytes_.add(entry.prepared->code_bytes());
     it = entries_.emplace(measurement, std::move(entry)).first;
 
     auto app = runtime_.instantiate(it->second.prepared, config, bound);
@@ -40,7 +40,7 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
 
   Entry& entry = it->second;
   entry.last_used = ++tick_;
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.add();
 
   // The cached prepared form dictates the execution mode, as on the
   // instantiate path (which rejects a mismatch rather than silently
@@ -58,14 +58,14 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
   for (auto pooled = entry.pool.begin(); pooled != entry.pool.end(); ++pooled) {
     if ((*pooled)->monitor() != bound) continue;
     if ((*pooled)->heap_bytes() != config.heap_bytes) continue;
-    pool_hits_.fetch_add(1, std::memory_order_relaxed);
+    pool_hits_.add();
     AppLease lease;
     lease.cache = this;
     lease.app = std::move(*pooled);
     entry.pool.erase(pooled);
     const std::size_t freed = lease.app->heap_bytes();
     entry.pooled_bytes -= freed;
-    charged_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+    charged_bytes_.sub(freed);
     ++entry.live;
     lease.module_cache_hit = true;
     lease.pool_hit = true;
@@ -101,12 +101,12 @@ void ModuleCache::release(std::unique_ptr<core::LoadedApp> app) {
   if (!app->instance().reinitialize().ok()) return;
   app->wasi().clear_output();
   const std::size_t cost = app->heap_bytes();
-  if (charged_bytes_.load(std::memory_order_relaxed) + cost > config_.budget_bytes)
+  if (charged_bytes_.get() + cost > config_.budget_bytes)
     make_room(cost, &it->first);
-  if (charged_bytes_.load(std::memory_order_relaxed) + cost > config_.budget_bytes)
+  if (charged_bytes_.get() + cost > config_.budget_bytes)
     return;  // still no room
   entry.pooled_bytes += cost;
-  charged_bytes_.fetch_add(cost, std::memory_order_relaxed);
+  charged_bytes_.add(cost);
   entry.pool.push_back(std::move(app));
 }
 
@@ -117,7 +117,7 @@ void ModuleCache::forfeit(const crypto::Sha256Digest& measurement) {
 }
 
 void ModuleCache::make_room(std::size_t incoming, const crypto::Sha256Digest* keep) {
-  while (charged_bytes_.load(std::memory_order_relaxed) + incoming >
+  while (charged_bytes_.get() + incoming >
          config_.budget_bytes) {
     auto victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
@@ -129,9 +129,9 @@ void ModuleCache::make_room(std::size_t incoming, const crypto::Sha256Digest* ke
         victim = it;
     }
     if (victim == entries_.end()) return;  // nothing evictable
-    charged_bytes_.fetch_sub(entry_bytes(victim->second), std::memory_order_relaxed);
+    charged_bytes_.sub(entry_bytes(victim->second));
     entries_.erase(victim);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.add();
   }
 }
 

@@ -30,12 +30,12 @@
 // sample them from other threads without taking the lock.
 #pragma once
 
-#include <atomic>
 #include <map>
 #include <mutex>
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "obs/metrics.hpp"
 
 namespace watz::gateway {
 
@@ -120,21 +120,26 @@ class ModuleCache {
   }
 
   std::size_t charged_bytes() const noexcept {
-    return charged_bytes_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(charged_bytes_.get());
   }
   std::size_t cached_modules() const {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.size();
   }
-  std::uint64_t hits() const noexcept { return hits_.load(std::memory_order_relaxed); }
-  std::uint64_t misses() const noexcept {
-    return misses_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t evictions() const noexcept {
-    return evictions_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t pool_hits() const noexcept {
-    return pool_hits_.load(std::memory_order_relaxed);
+  std::uint64_t hits() const noexcept { return hits_.get(); }
+  std::uint64_t misses() const noexcept { return misses_.get(); }
+  std::uint64_t evictions() const noexcept { return evictions_.get(); }
+  std::uint64_t pool_hits() const noexcept { return pool_hits_.get(); }
+
+  /// The cache's own metric instances, exposed so a gateway can link them
+  /// into its obs::Registry under device-scoped names (the cache stays the
+  /// owner; gateway-free users keep working untouched).
+  const obs::Counter& hits_counter() const noexcept { return hits_; }
+  const obs::Counter& misses_counter() const noexcept { return misses_; }
+  const obs::Counter& evictions_counter() const noexcept { return evictions_; }
+  const obs::Counter& pool_hits_counter() const noexcept { return pool_hits_; }
+  const obs::Gauge& charged_bytes_gauge() const noexcept {
+    return charged_bytes_;
   }
 
  private:
@@ -162,11 +167,11 @@ class ModuleCache {
   mutable std::mutex mu_;  // guards entries_ and tick_
   std::map<crypto::Sha256Digest, Entry> entries_;
   std::uint64_t tick_ = 0;
-  std::atomic<std::size_t> charged_bytes_{0};
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-  std::atomic<std::uint64_t> pool_hits_{0};
+  obs::Gauge charged_bytes_;
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter pool_hits_;
 };
 
 inline void AppLease::drop_pin() noexcept {

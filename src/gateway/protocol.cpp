@@ -299,6 +299,14 @@ void InvokeRequest::encode_fields(Bytes& out) const {
   put_string(out, entry);
   put_values(out, args);
   put_u64le(out, heap_bytes);
+  // Optional trace field: presence flag, then the 8-byte id. Untraced
+  // requests pay one byte.
+  if (trace_id != 0) {
+    out.push_back(1);
+    put_u64le(out, trace_id);
+  } else {
+    out.push_back(0);
+  }
 }
 
 Result<InvokeRequest> InvokeRequest::decode_fields(ByteReader& r) {
@@ -318,6 +326,17 @@ Result<InvokeRequest> InvokeRequest::decode_fields(ByteReader& r) {
   auto heap = read_u64(r);
   if (!heap.ok()) return Result<InvokeRequest>::err(heap.error());
   req.heap_bytes = *heap;
+  auto has_trace = r.read_u8();
+  if (!has_trace.ok()) return Result<InvokeRequest>::err(has_trace.error());
+  if (*has_trace > 1)
+    return Result<InvokeRequest>::err("gateway: bad trace flag");
+  if (*has_trace == 1) {
+    auto trace = read_u64(r);
+    if (!trace.ok()) return Result<InvokeRequest>::err(trace.error());
+    if (*trace == 0)
+      return Result<InvokeRequest>::err("gateway: zero trace id");
+    req.trace_id = *trace;
+  }
   return req;
 }
 
@@ -344,6 +363,7 @@ Bytes InvokeResponse::encode() const {
   put_u64le(out, invoke_ns);
   put_u32le(out, ra_exchanges);
   put_u64le(out, queue_delay_ns);
+  put_u64le(out, trace_id);
   return out;
 }
 
@@ -374,6 +394,9 @@ Result<InvokeResponse> InvokeResponse::decode(ByteView data) {
   auto delay = read_u64(r);
   if (!delay.ok()) return Result<InvokeResponse>::err(delay.error());
   resp.queue_delay_ns = *delay;
+  auto trace = read_u64(r);
+  if (!trace.ok()) return Result<InvokeResponse>::err(trace.error());
+  resp.trace_id = *trace;
   return resp;
 }
 
@@ -567,6 +590,7 @@ Bytes StatsRequest::encode() const {
   Bytes out;
   out.push_back(static_cast<std::uint8_t>(Op::Stats));
   put_u64le(out, session_id);
+  out.push_back(detail ? 1 : 0);
   return out;
 }
 
@@ -575,7 +599,10 @@ Result<StatsRequest> StatsRequest::decode(ByteView data) {
   if (!r.ok()) return Result<StatsRequest>::err(r.error());
   auto session = read_u64(*r);
   if (!session.ok()) return Result<StatsRequest>::err(session.error());
-  return StatsRequest{*session};
+  auto detail = r->read_u8();
+  if (!detail.ok()) return Result<StatsRequest>::err(detail.error());
+  if (*detail > 1) return Result<StatsRequest>::err("gateway: bad detail flag");
+  return StatsRequest{*session, *detail != 0};
 }
 
 Bytes GatewayStats::encode() const {
@@ -592,6 +619,13 @@ Bytes GatewayStats::encode() const {
   put_u64le(out, queue_delay_p50_ns);
   put_u64le(out, queue_delay_p90_ns);
   put_u64le(out, queue_delay_p99_ns);
+  for (const StageStats* stage :
+       {&stage_queue, &stage_exec, &stage_tee_entry, &stage_ra}) {
+    put_u64le(out, stage->count);
+    put_u64le(out, stage->p50_ns);
+    put_u64le(out, stage->p90_ns);
+    put_u64le(out, stage->p99_ns);
+  }
   write_uleb(out, devices.size());
   for (const DeviceStats& d : devices) {
     put_string(out, d.hostname);
@@ -604,6 +638,9 @@ Bytes GatewayStats::encode() const {
     put_u64le(out, d.cache_misses);
     put_u64le(out, d.cache_evictions);
     put_u64le(out, d.pool_hits);
+    put_u64le(out, d.queue_delay_p50_ns);
+    put_u64le(out, d.queue_delay_p90_ns);
+    put_u64le(out, d.queue_delay_p99_ns);
     put_u32le(out, d.pool_slots);
     write_uleb(out, d.slots.size());
     for (const SlotStats& s : d.slots) {
@@ -611,6 +648,7 @@ Bytes GatewayStats::encode() const {
       put_u32le(out, s.queue_depth_peak);
       put_u64le(out, s.invocations);
       put_u64le(out, s.busy_ns);
+      put_u64le(out, s.queue_full_rejections);
     }
   }
   write_uleb(out, ra_shards.size());
@@ -619,6 +657,18 @@ Bytes GatewayStats::encode() const {
     put_u64le(out, s.handshakes);
     put_u64le(out, s.rejects);
     put_u64le(out, s.key_rotations);
+  }
+  write_uleb(out, slow_invokes.size());
+  for (const SlowInvoke& s : slow_invokes) {
+    put_u64le(out, s.trace_id);
+    put_u64le(out, s.total_ns);
+    put_u64le(out, s.queue_ns);
+    put_u64le(out, s.prepare_ns);
+    put_u64le(out, s.tee_ns);
+    put_u64le(out, s.exec_ns);
+    put_u64le(out, s.ra_ns);
+    put_string(out, s.device);
+    put_string(out, s.entry);
   }
   return out;
 }
@@ -635,6 +685,15 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
     auto v = read_u64(r);
     if (!v.ok()) return Result<GatewayStats>::err(v.error());
     *field = *v;
+  }
+  for (StageStats* stage : {&stats.stage_queue, &stats.stage_exec,
+                            &stats.stage_tee_entry, &stats.stage_ra}) {
+    for (std::uint64_t* field :
+         {&stage->count, &stage->p50_ns, &stage->p90_ns, &stage->p99_ns}) {
+      auto v = read_u64(r);
+      if (!v.ok()) return Result<GatewayStats>::err(v.error());
+      *field = *v;
+    }
   }
   auto count = r.read_uleb32();
   if (!count.ok()) return Result<GatewayStats>::err(count.error());
@@ -655,8 +714,10 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
     auto peak = r.read_u32le();
     if (!peak.ok()) return Result<GatewayStats>::err(peak.error());
     d.queue_depth_peak = *peak;
-    for (std::uint64_t* field : {&d.secure_heap_in_use, &d.cache_hits, &d.cache_misses,
-                                 &d.cache_evictions, &d.pool_hits}) {
+    for (std::uint64_t* field :
+         {&d.secure_heap_in_use, &d.cache_hits, &d.cache_misses,
+          &d.cache_evictions, &d.pool_hits, &d.queue_delay_p50_ns,
+          &d.queue_delay_p90_ns, &d.queue_delay_p99_ns}) {
       auto v = read_u64(r);
       if (!v.ok()) return Result<GatewayStats>::err(v.error());
       *field = *v;
@@ -666,9 +727,9 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
     d.pool_slots = *pool_slots;
     auto slot_count = r.read_uleb32();
     if (!slot_count.ok()) return Result<GatewayStats>::err(slot_count.error());
-    // Each slot entry occupies 24 bytes; a count the frame cannot hold is
+    // Each slot entry occupies 32 bytes; a count the frame cannot hold is
     // malformed (and must not drive a reserve).
-    if (*slot_count > r.remaining() / 24)
+    if (*slot_count > r.remaining() / 32)
       return Result<GatewayStats>::err("gateway: slot count exceeds frame");
     d.slots.reserve(*slot_count);
     for (std::uint32_t s = 0; s < *slot_count; ++s) {
@@ -685,6 +746,9 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
       auto busy = read_u64(r);
       if (!busy.ok()) return Result<GatewayStats>::err(busy.error());
       slot.busy_ns = *busy;
+      auto rejects = read_u64(r);
+      if (!rejects.ok()) return Result<GatewayStats>::err(rejects.error());
+      slot.queue_full_rejections = *rejects;
       d.slots.push_back(slot);
     }
     stats.devices.push_back(std::move(d));
@@ -700,6 +764,30 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
       *field = *v;
     }
     stats.ra_shards.push_back(s);
+  }
+  auto slow_count = r.read_uleb32();
+  if (!slow_count.ok()) return Result<GatewayStats>::err(slow_count.error());
+  // Each slow-invoke entry occupies at least 58 bytes (7 u64s + two 1-byte
+  // length prefixes); a count the frame cannot hold is malformed.
+  if (*slow_count > r.remaining() / 58)
+    return Result<GatewayStats>::err("gateway: slow-invoke count exceeds frame");
+  stats.slow_invokes.reserve(*slow_count);
+  for (std::uint32_t i = 0; i < *slow_count; ++i) {
+    SlowInvoke s;
+    for (std::uint64_t* field : {&s.trace_id, &s.total_ns, &s.queue_ns,
+                                 &s.prepare_ns, &s.tee_ns, &s.exec_ns,
+                                 &s.ra_ns}) {
+      auto v = read_u64(r);
+      if (!v.ok()) return Result<GatewayStats>::err(v.error());
+      *field = *v;
+    }
+    auto device = read_string(r);
+    if (!device.ok()) return Result<GatewayStats>::err(device.error());
+    s.device = std::move(*device);
+    auto entry = read_string(r);
+    if (!entry.ok()) return Result<GatewayStats>::err(entry.error());
+    s.entry = std::move(*entry);
+    stats.slow_invokes.push_back(std::move(s));
   }
   return stats;
 }

@@ -169,6 +169,11 @@ struct InvokeRequest {
   std::vector<wasm::Value> args;
   /// Guest heap for a fresh instantiation; 0 = gateway default.
   std::uint64_t heap_bytes = 0;
+  /// Optional trace identity (obs::TraceContext::trace_id). 0 = not traced;
+  /// non-zero joins (or forces) a trace — the gateway instruments every
+  /// stage of this lane and the response echoes the id. Batch lanes
+  /// typically share one id so the fan-out renders as a single flame graph.
+  std::uint64_t trace_id = 0;
 
   Bytes encode() const;
   static Result<InvokeRequest> decode(ByteView data);
@@ -191,6 +196,9 @@ struct InvokeResponse {
   /// the worker picking it up (the admission timestamp travels with the
   /// work item; STATS aggregates these into percentiles).
   std::uint64_t queue_delay_ns = 0;
+  /// Echo of the trace that instrumented this invocation (0 = untraced).
+  /// Clients use it to locate their lane in an exported trace file.
+  std::uint64_t trace_id = 0;
 
   Bytes encode() const;
   static Result<InvokeResponse> decode(ByteView data);
@@ -273,6 +281,9 @@ struct InvokeBatchResponse {
 
 struct StatsRequest {
   std::uint64_t session_id = 0;
+  /// When set, the response additionally carries the slow-invoke log
+  /// (GatewayStats::slow_invokes) — bulkier, so off by default.
+  bool detail = false;
 
   Bytes encode() const;
   static Result<StatsRequest> decode(ByteView data);
@@ -284,6 +295,10 @@ struct SlotStats {
   std::uint32_t queue_depth_peak = 0;
   std::uint64_t invocations = 0;
   std::uint64_t busy_ns = 0;
+  /// Admissions bounced off THIS slot's run queue (a single saturated slot
+  /// is visible even when its siblings idle; spill-over admission bumps
+  /// every slot it bounced off before landing).
+  std::uint64_t queue_full_rejections = 0;
 };
 
 struct DeviceStats {
@@ -297,6 +312,12 @@ struct DeviceStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
   std::uint64_t pool_hits = 0;
+  /// Queueing-delay percentiles for THIS device's run queues (log2-bucket
+  /// upper bounds, like the gateway-wide ones), so a slow device is not
+  /// averaged away behind its fleet.
+  std::uint64_t queue_delay_p50_ns = 0;
+  std::uint64_t queue_delay_p90_ns = 0;
+  std::uint64_t queue_delay_p99_ns = 0;
   /// Pool depth (GatewayConfig::slots_per_device at enrolment) and the
   /// per-slot occupancy breakdown, in slot order.
   std::uint32_t pool_slots = 0;
@@ -310,6 +331,30 @@ struct RaShardStats {
   std::uint64_t handshakes = 0;  ///< appraisals passed (msg3 issued)
   std::uint64_t rejects = 0;
   std::uint64_t key_rotations = 0;
+};
+
+/// Percentile summary of one pipeline stage's latency histogram
+/// (obs::Histogram upper bounds; count is the sample count).
+struct StageStats {
+  std::uint64_t count = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p90_ns = 0;
+  std::uint64_t p99_ns = 0;
+};
+
+/// One entry of the slow-invoke log: an invocation whose end-to-end
+/// latency exceeded GatewayConfig::slow_invoke_threshold_ns, with its
+/// per-stage breakdown. Carried by STATS only when StatsRequest::detail.
+struct SlowInvoke {
+  std::uint64_t trace_id = 0;  ///< 0 when the invocation was unsampled
+  std::uint64_t total_ns = 0;  ///< admission -> response
+  std::uint64_t queue_ns = 0;
+  std::uint64_t prepare_ns = 0;  ///< checkout or cold prepare
+  std::uint64_t tee_ns = 0;      ///< world-switch charges (enter + leave)
+  std::uint64_t exec_ns = 0;     ///< sandbox execution
+  std::uint64_t ra_ns = 0;       ///< lazy handshake on the critical path
+  std::string device;
+  std::string entry;
 };
 
 struct GatewayStats {
@@ -334,8 +379,18 @@ struct GatewayStats {
   std::uint64_t queue_delay_p50_ns = 0;
   std::uint64_t queue_delay_p90_ns = 0;
   std::uint64_t queue_delay_p99_ns = 0;
+  /// Per-stage latency histograms of the invoke pipeline, serialised from
+  /// the gateway's obs::Registry (stage.queue / stage.exec /
+  /// stage.tee_entry / stage.ra).
+  StageStats stage_queue;
+  StageStats stage_exec;
+  StageStats stage_tee_entry;
+  StageStats stage_ra;
   std::vector<DeviceStats> devices;
   std::vector<RaShardStats> ra_shards;
+  /// Most recent slow invocations (newest last); populated only when the
+  /// STATS request set its detail flag. The wire always carries the count.
+  std::vector<SlowInvoke> slow_invokes;
 
   Bytes encode() const;
   static Result<GatewayStats> decode(ByteView data);

@@ -1,0 +1,88 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace watz::obs {
+
+std::uint64_t Histogram::percentile(double q) const noexcept {
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t total = 0;
+  for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+    counts[bucket] = buckets_[bucket].load(std::memory_order_relaxed);
+    total += counts[bucket];
+  }
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+    seen += counts[bucket];
+    if (seen >= rank) return 1ull << bucket;
+  }
+  return 1ull << (kBuckets - 1);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::link_counter(const std::string& name, const Counter* counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counter == nullptr)
+    linked_counters_.erase(name);
+  else
+    linked_counters_[name] = counter;
+}
+
+void Registry::link_gauge(const std::string& name, const Gauge* gauge) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gauge == nullptr)
+    linked_gauges_.erase(name);
+  else
+    linked_gauges_[name] = gauge;
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
+              linked_counters_.size() + linked_gauges_.size());
+  for (const auto& [name, counter] : counters_)
+    out.push_back({name, MetricKind::Counter, counter->get(), 0, 0, 0});
+  for (const auto& [name, counter] : linked_counters_)
+    out.push_back({name, MetricKind::Counter, counter->get(), 0, 0, 0});
+  for (const auto& [name, gauge] : gauges_)
+    out.push_back({name, MetricKind::Gauge, gauge->get(), 0, 0, 0});
+  for (const auto& [name, gauge] : linked_gauges_)
+    out.push_back({name, MetricKind::Gauge, gauge->get(), 0, 0, 0});
+  for (const auto& [name, histogram] : histograms_)
+    out.push_back({name, MetricKind::Histogram, histogram->count(),
+                   histogram->percentile(0.50), histogram->percentile(0.90),
+                   histogram->percentile(0.99)});
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace watz::obs

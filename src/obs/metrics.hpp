@@ -1,0 +1,132 @@
+// Typed metrics: named counters, gauges and log2 histograms.
+//
+// One obs::Registry per gateway replaces the ad-hoc std::atomic fields
+// that previously lived in Gateway, ModuleCache, ShardedVerifier and the
+// TrustedOs heap accountant. Metrics are either *owned* by the registry
+// (get-or-create by name, stable addresses, node-based map) or *linked*
+// (externally-owned instances registered by name so they appear in
+// snapshots — e.g. a device's module-cache counters). The hot paths touch
+// only lock-free atomics; the mutex guards name → metric resolution and
+// snapshotting, both cold.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace watz::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Up/down level (bytes in use, inflight lanes, ...).
+class Gauge {
+ public:
+  void add(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::uint64_t n) noexcept {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Atomically adds `delta` unless the result would exceed `bound`;
+  /// returns false (and leaves the gauge unchanged) on overflow. This is
+  /// the reservation primitive behind the secure-heap ceiling.
+  bool try_add_bounded(std::uint64_t delta, std::uint64_t bound) noexcept {
+    std::uint64_t current = value_.load(std::memory_order_relaxed);
+    do {
+      if (current + delta > bound) return false;
+    } while (!value_.compare_exchange_weak(current, current + delta,
+                                           std::memory_order_relaxed));
+    return true;
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log2-bucketed histogram: bucket b holds samples with value <= 1<<b.
+/// Percentiles resolve to the upper bound of the rank's bucket, matching
+/// the queue-delay histogram this class generalises.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void record(std::uint64_t value) noexcept {
+    std::size_t bucket = 0;
+    while (bucket + 1 < kBuckets && (1ull << bucket) < value) ++bucket;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    samples_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound (1<<bucket) of the bucket holding the q-quantile sample;
+  /// 0 when empty. q in [0, 1].
+  std::uint64_t percentile(double q) const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> samples_{0};
+};
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+/// One registry entry flattened for printing / wire export.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  std::uint64_t value = 0;  // counter/gauge value; histogram sample count
+  std::uint64_t p50 = 0;    // histograms only
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+};
+
+class Registry {
+ public:
+  /// Get-or-create by name. Returned references stay valid for the
+  /// registry's lifetime (node-based storage).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Registers an externally-owned metric under `name` so it shows up in
+  /// snapshot(). The caller keeps ownership and must outlive the registry
+  /// or unlink by re-linking nullptr.
+  void link_counter(const std::string& name, const Counter* counter);
+  void link_gauge(const std::string& name, const Gauge* gauge);
+
+  /// All owned + linked metrics, sorted by name.
+  std::vector<MetricSnapshot> snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, const Counter*> linked_counters_;
+  std::map<std::string, const Gauge*> linked_gauges_;
+};
+
+}  // namespace watz::obs

@@ -1,0 +1,191 @@
+// Span tracing: the per-invocation flame-graph plane.
+//
+// A TraceContext is allocated once per sampled invocation (or once per
+// INVOKE_BATCH — every lane of a batch shares the trace_id) at gateway
+// admission and rides the wire protocol end to end. Each pipeline stage
+// emits one fixed-size SpanRecord into a per-thread lock-free ring owned
+// by the gateway's SpanSink; a collector drains the rings and exports
+// Chrome trace_event JSON, so one batch renders as one flame graph in
+// chrome://tracing / Perfetto.
+//
+// Deep layers (tz monitor, wasm executor, RA verifier shards) know nothing
+// about the gateway: they emit through a thread-local ThreadTrace that the
+// owning slot worker installs with ScopedTrace before running the lane.
+// When no trace is installed (unsampled invoke, or any thread outside a
+// traced request) every tracing call is one thread-local load and a branch.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace watz::obs {
+
+/// Pipeline stages, one per span. Values are wire-stable: they appear in
+/// exported traces and in STATS slow-invoke breakdowns.
+enum class Stage : std::uint8_t {
+  Admit = 0,       // gateway admission: decode + placement, pre-queue
+  Queue = 1,       // time spent parked in a slot's run queue
+  Checkout = 2,    // warm-instance checkout from the sandbox pool
+  Prepare = 3,     // cold prepare: module decode/compile + launch
+  TeeEntry = 4,    // secure-monitor enter (world-switch charge)
+  TeeExit = 5,     // secure-monitor leave
+  Guest = 6,       // guest code executing inside the sandbox
+  Exec = 7,        // gateway-side wrapper around the whole TEE invoke
+  Ra = 8,          // full RA handshake (4 messages) on the lane's critical path
+  RaAppraise = 9,  // verifier-shard evidence appraisal (detail = shard index)
+  Respond = 10,    // response fold + encode back to the client
+};
+
+inline constexpr std::size_t kStageCount = 11;
+
+const char* stage_name(Stage stage) noexcept;
+
+/// Wire-propagated trace identity. trace_id == 0 means "not traced".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool active() const noexcept { return trace_id != 0; }
+};
+
+/// One completed span. Fixed-size: packs into six u64 ring words.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  Stage stage = Stage::Admit;
+  std::uint32_t detail = 0;  // stage-specific: shard index, slot index, ...
+};
+
+/// Process-unique, never-zero span-id allocator.
+std::uint64_t next_span_id() noexcept;
+
+/// Process-unique, never-zero trace-id allocator (bit-mixed so ids from
+/// concurrent gateways do not collide visually in merged traces).
+std::uint64_t next_trace_id() noexcept;
+
+/// Per-thread lock-free span rings with a mutex-guarded drain side.
+///
+/// Writer side (any thread, no locks): the first record() on a thread
+/// registers a ring for it; subsequent records are a per-cell seqlock
+/// write — all ring state is std::atomic, so concurrent drains are
+/// data-race-free and torn cells are detected by sequence validation
+/// rather than prevented by blocking. A writer that laps an undrained
+/// reader silently overwrites; drain() reports the overwritten records
+/// through dropped().
+///
+/// Reader side: drain() walks every registered ring under the sink mutex
+/// and returns all records published since the previous drain.
+class SpanSink {
+ public:
+  explicit SpanSink(std::size_t capacity_per_thread = kDefaultCapacity);
+  ~SpanSink();
+  SpanSink(const SpanSink&) = delete;
+  SpanSink& operator=(const SpanSink&) = delete;
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Publishes one span from the calling thread. Lock-free after the
+  /// thread's first call (which registers its ring under the mutex).
+  void record(const SpanRecord& record) noexcept;
+
+  /// Returns every record published since the last drain, across all
+  /// threads. Never blocks writers.
+  std::vector<SpanRecord> drain();
+
+  /// Records overwritten before a drain reached them (plus cells caught
+  /// mid-write). Cumulative.
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity_per_thread() const noexcept { return capacity_; }
+
+  /// Number of per-thread rings registered so far.
+  std::size_t ring_count() const;
+
+  /// Renders spans as Chrome trace_event JSON ("X" complete events, ts/dur
+  /// in microseconds) loadable by chrome://tracing and Perfetto.
+  static std::string to_chrome_trace(const std::vector<SpanRecord>& spans);
+
+ private:
+  struct Cell {
+    // seq == 2m+1 while record m is being written, 2m+2 once published.
+    std::atomic<std::uint64_t> seq{0};
+    std::array<std::atomic<std::uint64_t>, 6> words{};
+  };
+  struct Ring {
+    explicit Ring(std::size_t cap) : cells(cap) {}
+    std::vector<Cell> cells;
+    std::atomic<std::uint64_t> head{0};  // next monotonic write index
+    std::uint64_t cursor = 0;            // writer-private copy of head
+    std::uint64_t watermark = 0;         // drained-up-to (reader, under mu_)
+  };
+
+  Ring* ring_for_this_thread() noexcept;
+
+  const std::size_t capacity_;
+  const std::uint64_t sink_id_;  // process-unique; keys the thread cache
+  mutable std::mutex mu_;        // guards rings_ and watermarks
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// The thread-local trace installed while a traced lane runs on this
+/// thread. Deep layers read it through the free functions below.
+struct ThreadTrace {
+  SpanSink* sink = nullptr;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;  // lane root: parent of emitted stage spans
+};
+
+ThreadTrace& thread_trace() noexcept;
+
+inline bool tracing_active() noexcept { return thread_trace().sink != nullptr; }
+
+/// Emits one stage span under the current thread's trace (no-op when
+/// untraced). `end_ns` may equal `start_ns` for instantaneous events.
+void emit_span(Stage stage, std::uint64_t start_ns, std::uint64_t end_ns,
+               std::uint32_t detail = 0) noexcept;
+
+/// Installs a ThreadTrace for the current scope and restores the previous
+/// one on exit (traces nest across re-dispatch hops).
+class ScopedTrace {
+ public:
+  ScopedTrace(SpanSink* sink, std::uint64_t trace_id,
+              std::uint64_t parent_span) noexcept
+      : saved_(thread_trace()) {
+    thread_trace() = ThreadTrace{sink, trace_id, parent_span};
+  }
+  ~ScopedTrace() { thread_trace() = saved_; }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  ThreadTrace saved_;
+};
+
+/// RAII span covering its lexical scope. Costs one thread-local load when
+/// the thread is untraced.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Stage stage, std::uint32_t detail = 0) noexcept;
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Stage stage_;
+  std::uint32_t detail_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace watz::obs

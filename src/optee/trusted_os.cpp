@@ -37,16 +37,13 @@ Result<std::unique_ptr<TrustedOs>> TrustedOs::boot(
 
 Result<SecureAlloc> TrustedOs::allocate_impl(std::size_t size, bool executable) {
   if (size == 0) return Result<SecureAlloc>::err("TEE_Malloc: zero size");
-  // Reserve with a CAS loop: sandbox slots allocate concurrently, and a
-  // check-then-add pair would let two racing reservations overshoot the
-  // 27 MB ceiling that the whole budget accounting hangs off.
-  std::size_t used = heap_in_use_.load(std::memory_order_relaxed);
-  do {
-    if (used + size > config_.secure_heap_cap)
-      return Result<SecureAlloc>::err(
-          "TEE_ERROR_OUT_OF_MEMORY: secure heap cap exceeded (27 MB OP-TEE limit)");
-  } while (!heap_in_use_.compare_exchange_weak(used, used + size,
-                                               std::memory_order_relaxed));
+  // Bounded reservation (a CAS loop inside the gauge): sandbox slots
+  // allocate concurrently, and a check-then-add pair would let two racing
+  // reservations overshoot the 27 MB ceiling that the whole budget
+  // accounting hangs off.
+  if (!heap_in_use_.try_add_bounded(size, config_.secure_heap_cap))
+    return Result<SecureAlloc>::err(
+        "TEE_ERROR_OUT_OF_MEMORY: secure heap cap exceeded (27 MB OP-TEE limit)");
   SecureAlloc alloc;
   alloc.os_ = this;
   alloc.data_ = std::make_unique<Bytes>(size, 0);

@@ -7,7 +7,6 @@
 // page allocation, nanosecond time passthrough).
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -17,6 +16,7 @@
 #include "crypto/hmac.hpp"
 #include "hw/caam.hpp"
 #include "hw/latency.hpp"
+#include "obs/metrics.hpp"
 #include "optee/gp_api.hpp"
 #include "optee/shared_memory.hpp"
 #include "tz/secure_boot.hpp"
@@ -108,8 +108,12 @@ class TrustedOs {
   /// Atomic so fleet-level stats collectors may sample it from outside the
   /// device's owning worker thread while apps launch and retire.
   std::size_t heap_in_use() const noexcept {
-    return heap_in_use_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(heap_in_use_.get());
   }
+
+  /// The heap gauge itself, for linking into an obs::Registry (the
+  /// trusted OS stays the owner).
+  const obs::Gauge& heap_gauge() const noexcept { return heap_in_use_; }
 
   // -- root of trust ---------------------------------------------------------
 
@@ -147,9 +151,7 @@ class TrustedOs {
         boot_report_(std::move(report)),
         shm_(config_.shared_memory_cap) {}
 
-  void release(std::size_t size) noexcept {
-    heap_in_use_.fetch_sub(size, std::memory_order_relaxed);
-  }
+  void release(std::size_t size) noexcept { heap_in_use_.sub(size); }
   Result<SecureAlloc> allocate_impl(std::size_t size, bool executable);
 
   hw::LatencyModel latency_;
@@ -157,7 +159,7 @@ class TrustedOs {
   crypto::Sha256Digest mkvb_secure_{};
   tz::BootReport boot_report_;
   SharedMemoryPool shm_;
-  std::atomic<std::size_t> heap_in_use_{0};
+  obs::Gauge heap_in_use_;
   std::unordered_map<std::string, std::shared_ptr<KernelModule>> modules_;
   Supplicant* supplicant_ = nullptr;
 };

@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <future>
+#include <optional>
 #include <thread>
 
 #include "crypto/sha256.hpp"
+#include "obs/trace.hpp"
 
 namespace watz::ra {
 
@@ -182,8 +184,16 @@ void ShardedVerifier::set_policy(const VerifierPolicy& policy) {
 Result<Bytes> ShardedVerifier::handle(std::uint64_t conn_id, ByteView message) {
   if (is_batch_frame(message)) return handle_batch(conn_id, message);
   const std::size_t shard = route_session(conn_id, is_msg0(message));
+  // msg2 carries the evidence: the shard's appraisal is the expensive leg
+  // of a handshake, so it gets its own span (detail = shard index) when a
+  // lazy handshake runs on a traced lane's thread.
+  std::optional<obs::ScopedSpan> appraise_span;
+  if (is_msg2(message))
+    appraise_span.emplace(obs::Stage::RaAppraise,
+                          static_cast<std::uint32_t>(shard));
   auto reply = shards_[shard]->handle(conn_id, message,
                                       config_.appraisal_latency_ns);
+  appraise_span.reset();
   // A handshake is over once its msg2 is answered (msg3 or rejection) —
   // and a rejected msg0 never opened one. Either way the shard's depth
   // drops; the sticky mapping survives until the connection sweep.

@@ -10,7 +10,10 @@
 #include <utility>
 
 #include "hw/caam.hpp"
+#include "hw/clock.hpp"
 #include "hw/latency.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace watz::tz {
 
@@ -22,6 +25,16 @@ class SecureMonitor {
   std::uint64_t enter_count() const noexcept { return enters_; }
   std::uint64_t leave_count() const noexcept { return leaves_; }
   const hw::LatencyModel& latency() const noexcept { return latency_; }
+
+  /// Points the monitor at always-on world-switch latency histograms
+  /// (typically the gateway registry's stage.tee_entry / stage.tee_exit).
+  /// Either may be null; the monitor never owns them. Transitions also
+  /// emit TeeEntry/TeeExit spans when the calling thread carries a trace.
+  void set_transition_histograms(obs::Histogram* enter,
+                                 obs::Histogram* leave) noexcept {
+    enter_hist_ = enter;
+    leave_hist_ = leave;
+  }
 
   /// Runs `fn` in the secure world, charging enter/leave costs. Nested
   /// invocations while already secure do not re-cross the boundary.
@@ -38,20 +51,36 @@ class SecureMonitor {
 
  private:
   void enter() {
+    const bool timed = enter_hist_ != nullptr || obs::tracing_active();
+    const std::uint64_t t0 = timed ? hw::monotonic_ns() : 0;
     latency_.charge_enter();
     state_ = hw::SecurityState::Secure;
     ++enters_;
+    if (timed) {
+      const std::uint64_t t1 = hw::monotonic_ns();
+      if (enter_hist_ != nullptr) enter_hist_->record(t1 - t0);
+      obs::emit_span(obs::Stage::TeeEntry, t0, t1);
+    }
   }
   void leave() {
+    const bool timed = leave_hist_ != nullptr || obs::tracing_active();
+    const std::uint64_t t0 = timed ? hw::monotonic_ns() : 0;
     latency_.charge_leave();
     state_ = hw::SecurityState::Normal;
     ++leaves_;
+    if (timed) {
+      const std::uint64_t t1 = hw::monotonic_ns();
+      if (leave_hist_ != nullptr) leave_hist_->record(t1 - t0);
+      obs::emit_span(obs::Stage::TeeExit, t0, t1);
+    }
   }
 
   hw::LatencyModel latency_;
   hw::SecurityState state_ = hw::SecurityState::Normal;
   std::uint64_t enters_ = 0;
   std::uint64_t leaves_ = 0;
+  obs::Histogram* enter_hist_ = nullptr;
+  obs::Histogram* leave_hist_ = nullptr;
 };
 
 }  // namespace watz::tz

@@ -5,7 +5,18 @@
 #include <cstring>
 #include <limits>
 
+#include "hw/clock.hpp"
+#include "obs/trace.hpp"
+
 namespace watz::wasm {
+
+GuestSpan::GuestSpan() noexcept : active_(obs::tracing_active()) {
+  if (active_) start_ns_ = hw::monotonic_ns();
+}
+
+GuestSpan::~GuestSpan() {
+  if (active_) obs::emit_span(obs::Stage::Guest, start_ns_, hw::monotonic_ns());
+}
 
 namespace {
 

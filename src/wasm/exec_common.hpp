@@ -31,4 +31,22 @@ void mem_store(Memory& mem, std::uint8_t op, std::uint32_t addr, std::uint64_t o
 
 [[noreturn]] inline void trap(std::string message) { throw TrapException{std::move(message)}; }
 
+/// RAII span covering one guest entry — the time actually spent running
+/// guest code, common to the interpreter and the AOT executor (constructed
+/// in Instance::invoke_index, so both modes report identically). Emits an
+/// obs Guest span when the calling thread carries a trace; one
+/// thread-local load otherwise. Out-of-line so the executor does not pull
+/// the obs headers into every translation unit.
+class GuestSpan {
+ public:
+  GuestSpan() noexcept;
+  ~GuestSpan();
+  GuestSpan(const GuestSpan&) = delete;
+  GuestSpan& operator=(const GuestSpan&) = delete;
+
+ private:
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
 }  // namespace watz::wasm

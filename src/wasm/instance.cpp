@@ -267,6 +267,7 @@ Result<std::vector<Value>> Instance::invoke_index(std::uint32_t func_index,
   for (const Value& v : args) stack[sp++] = v.bits;
 
   try {
+    GuestSpan guest_span;
     if (mode_ == ExecMode::Aot) {
       exec_call_aot(*this, func_index, stack, sp, 0);
     } else {

@@ -904,7 +904,18 @@ TEST(GatewayProtocolTest, RoundTrips) {
   GatewayStats stats;
   stats.sessions_active = 1;
   stats.handshakes_run = 4;
-  stats.devices.push_back(DeviceStats{"node-0", 1, 10, 999, 3, 4096, 5, 6, 7, 8});
+  DeviceStats node0;
+  node0.hostname = "node-0";
+  node0.boot_count = 1;
+  node0.invocations = 10;
+  node0.busy_ns = 999;
+  node0.queue_depth_peak = 3;
+  node0.secure_heap_in_use = 4096;
+  node0.cache_hits = 5;
+  node0.cache_misses = 6;
+  node0.cache_evictions = 7;
+  node0.pool_hits = 8;
+  stats.devices.push_back(std::move(node0));
   auto stats2 = GatewayStats::decode(stats.encode());
   ASSERT_TRUE(stats2.ok()) << stats2.error();
   EXPECT_EQ(stats2->sessions_active, 1u);
@@ -1135,6 +1146,126 @@ TEST(GatewayProtocolTest, InvokeBatchFraming) {
   EXPECT_FALSE(InvokeBatchResponse::decode(
                    Bytes(resp_frame.begin(), resp_frame.end() - 1))
                    .ok());
+}
+
+/// The observability surfaces on the wire: trace propagation, the STATS
+/// detail flag, the per-stage/per-slot/per-device breakdowns and the
+/// slow-invoke log.
+TEST(GatewayProtocolTest, ObservabilityFraming) {
+  // Trace ids ride INVOKE both ways. Untraced stays a single flag byte.
+  InvokeRequest req;
+  req.session_id = 9;
+  req.entry = "add";
+  auto untraced = InvokeRequest::decode(req.encode());
+  ASSERT_TRUE(untraced.ok()) << untraced.error();
+  EXPECT_EQ(untraced->trace_id, 0u);
+  req.trace_id = 0xDEAD'BEEF'CAFE'F00DULL;
+  auto traced = InvokeRequest::decode(req.encode());
+  ASSERT_TRUE(traced.ok()) << traced.error();
+  EXPECT_EQ(traced->trace_id, 0xDEAD'BEEF'CAFE'F00DULL);
+
+  // A present-flag with a zero id is a malformed frame, not "untraced".
+  Bytes frame = req.encode();
+  const std::size_t id_at = frame.size() - 8;
+  std::fill(frame.begin() + static_cast<std::ptrdiff_t>(id_at), frame.end(), 0);
+  EXPECT_FALSE(InvokeRequest::decode(frame).ok());
+  // So is a trace flag that is neither 0 nor 1.
+  Bytes bad_flag = req.encode();
+  bad_flag[id_at - 1] = 2;
+  EXPECT_FALSE(InvokeRequest::decode(bad_flag).ok());
+
+  InvokeResponse resp;
+  resp.trace_id = 0x1234;
+  auto resp2 = InvokeResponse::decode(resp.encode());
+  ASSERT_TRUE(resp2.ok()) << resp2.error();
+  EXPECT_EQ(resp2->trace_id, 0x1234u);
+
+  // STATS request: the detail flag round-trips; a flag outside {0,1} is
+  // rejected rather than coerced.
+  StatsRequest stats_req;
+  stats_req.session_id = 7;
+  stats_req.detail = true;
+  auto stats_req2 = StatsRequest::decode(stats_req.encode());
+  ASSERT_TRUE(stats_req2.ok()) << stats_req2.error();
+  EXPECT_EQ(stats_req2->session_id, 7u);
+  EXPECT_TRUE(stats_req2->detail);
+  Bytes req_frame = stats_req.encode();
+  req_frame.back() = 2;
+  EXPECT_FALSE(StatsRequest::decode(req_frame).ok());
+
+  // Full GatewayStats round-trip with every observability field populated.
+  GatewayStats stats;
+  stats.invocations = 1000;
+  stats.queue_full_rejections = 3;
+  stats.deduped_lanes = 24;
+  stats.evidence_renewals = 5;
+  stats.queue_delay_p50_ns = 1 << 12;
+  stats.queue_delay_p90_ns = 1 << 16;
+  stats.queue_delay_p99_ns = 1 << 21;
+  stats.stage_queue = StageStats{1000, 1 << 12, 1 << 16, 1 << 21};
+  stats.stage_exec = StageStats{1000, 1 << 15, 1 << 17, 1 << 18};
+  stats.stage_tee_entry = StageStats{2000, 1 << 17, 1 << 17, 1 << 17};
+  stats.stage_ra = StageStats{4, 1 << 22, 1 << 23, 1 << 23};
+  DeviceStats dev;
+  dev.hostname = "node-0";
+  dev.queue_delay_p50_ns = 1 << 11;
+  dev.queue_delay_p90_ns = 1 << 15;
+  dev.queue_delay_p99_ns = 1 << 19;
+  dev.pool_slots = 2;
+  dev.slots.push_back(SlotStats{1, 4, 600, 123456, 2});
+  dev.slots.push_back(SlotStats{0, 3, 400, 98765, 1});
+  stats.devices.push_back(std::move(dev));
+  SlowInvoke slow;
+  slow.trace_id = 0xF00D;
+  slow.total_ns = 5'000'000;
+  slow.queue_ns = 1'000'000;
+  slow.prepare_ns = 500'000;
+  slow.tee_ns = 212'000;
+  slow.exec_ns = 3'000'000;
+  slow.ra_ns = 0;
+  slow.device = "node-0";
+  slow.entry = "add";
+  stats.slow_invokes.push_back(std::move(slow));
+
+  auto stats2 = GatewayStats::decode(stats.encode());
+  ASSERT_TRUE(stats2.ok()) << stats2.error();
+  EXPECT_EQ(stats2->invocations, 1000u);
+  EXPECT_EQ(stats2->deduped_lanes, 24u);
+  EXPECT_EQ(stats2->evidence_renewals, 5u);
+  EXPECT_EQ(stats2->stage_queue.count, 1000u);
+  EXPECT_EQ(stats2->stage_queue.p99_ns, 1u << 21);
+  EXPECT_EQ(stats2->stage_exec.p50_ns, 1u << 15);
+  EXPECT_EQ(stats2->stage_tee_entry.count, 2000u);
+  EXPECT_EQ(stats2->stage_ra.p90_ns, 1u << 23);
+  ASSERT_EQ(stats2->devices.size(), 1u);
+  EXPECT_EQ(stats2->devices[0].queue_delay_p99_ns, 1u << 19);
+  EXPECT_EQ(stats2->devices[0].pool_slots, 2u);
+  ASSERT_EQ(stats2->devices[0].slots.size(), 2u);
+  EXPECT_EQ(stats2->devices[0].slots[0].queue_full_rejections, 2u);
+  EXPECT_EQ(stats2->devices[0].slots[1].invocations, 400u);
+  ASSERT_EQ(stats2->slow_invokes.size(), 1u);
+  EXPECT_EQ(stats2->slow_invokes[0].trace_id, 0xF00Du);
+  EXPECT_EQ(stats2->slow_invokes[0].tee_ns, 212'000u);
+  EXPECT_EQ(stats2->slow_invokes[0].entry, "add");
+
+  // Truncation at EVERY length is malformed — no partial stats, no
+  // out-of-bounds reads on the way to the error.
+  const Bytes full = stats.encode();
+  for (std::size_t cut = 0; cut < full.size(); ++cut)
+    EXPECT_FALSE(GatewayStats::decode(
+                     ByteView(full.data(), cut))
+                     .ok())
+        << "prefix of length " << cut << " decoded";
+
+  // A slow-invoke count the frame cannot hold is rejected before any
+  // reserve (the count rides the wire even when the log is empty).
+  GatewayStats empty;
+  Bytes bloated = empty.encode();
+  ASSERT_EQ(bloated.back(), 0u);  // trailing uleb: zero slow invokes
+  bloated.back() = 0x7F;          // claims 127 entries with 0 bytes left
+  auto bloated2 = GatewayStats::decode(bloated);
+  ASSERT_FALSE(bloated2.ok());
+  EXPECT_NE(bloated2.error().find("slow-invoke"), std::string::npos);
 }
 
 }  // namespace

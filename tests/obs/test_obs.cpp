@@ -1,0 +1,256 @@
+// The observability plane: typed metrics registry + span-sink rings.
+//
+// The SpanSink tests are part of the sanitizer CI payload: record() is a
+// per-cell seqlock publish and drain() validates sequence numbers instead
+// of blocking writers, so the 4-writer stress below is exactly the shape
+// TSan needs to see.
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace watz::obs {
+namespace {
+
+// -- metrics -----------------------------------------------------------------
+
+TEST(Metrics, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.get(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.get(), 42u);
+}
+
+TEST(Metrics, GaugeMovesBothWays) {
+  Gauge g;
+  g.add(100);
+  g.sub(30);
+  EXPECT_EQ(g.get(), 70u);
+}
+
+TEST(Metrics, BoundedGaugeRefusesOvershoot) {
+  Gauge g;
+  EXPECT_TRUE(g.try_add_bounded(20, 27));
+  EXPECT_TRUE(g.try_add_bounded(7, 27));  // lands exactly on the bound
+  EXPECT_EQ(g.get(), 27u);
+  EXPECT_FALSE(g.try_add_bounded(1, 27));
+  EXPECT_EQ(g.get(), 27u);  // a refused reservation leaves no residue
+}
+
+TEST(Metrics, HistogramPercentilesAreBucketUpperBounds) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);  // empty
+  for (int i = 0; i < 99; ++i) h.record(100);  // bucket 7: 100 <= 128
+  h.record(1'000'000);                         // bucket 20
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile(0.5), 1u << 7);
+  EXPECT_EQ(h.percentile(0.9), 1u << 7);
+  EXPECT_EQ(h.percentile(1.0), 1u << 20);  // the outlier owns the tail
+}
+
+TEST(Metrics, RegistryHandsOutStableReferences) {
+  Registry reg;
+  Counter& a = reg.counter("gateway.invocations");
+  a.add(3);
+  Counter& b = reg.counter("gateway.invocations");
+  EXPECT_EQ(&a, &b);  // get-or-create, not create-twice
+  EXPECT_EQ(b.get(), 3u);
+  EXPECT_NE(&reg.counter("gateway.other"), &a);
+}
+
+TEST(Metrics, SnapshotCarriesOwnedAndLinkedSorted) {
+  Registry reg;
+  reg.counter("b.counter").add(2);
+  reg.gauge("c.gauge").add(7);
+  Histogram& h = reg.histogram("d.hist");
+  h.record(100);
+
+  Counter external;  // e.g. a device's module-cache counter
+  external.add(9);
+  reg.link_counter("a.linked", &external);
+
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(
+      snap.begin(), snap.end(),
+      [](const MetricSnapshot& x, const MetricSnapshot& y) { return x.name < y.name; }));
+  EXPECT_EQ(snap[0].name, "a.linked");
+  EXPECT_EQ(snap[0].value, 9u);
+  EXPECT_EQ(snap[1].name, "b.counter");
+  EXPECT_EQ(snap[1].value, 2u);
+  EXPECT_EQ(snap[3].kind, MetricKind::Histogram);
+  EXPECT_EQ(snap[3].value, 1u);  // histogram: sample count
+  EXPECT_EQ(snap[3].p50, 1u << 7);
+
+  reg.link_counter("a.linked", nullptr);  // unlink before `external` dies
+  EXPECT_EQ(reg.snapshot().size(), 3u);
+}
+
+// -- span identity -----------------------------------------------------------
+
+TEST(Trace, IdAllocatorsNeverReturnZero) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t span = next_span_id();
+    const std::uint64_t trace = next_trace_id();
+    EXPECT_NE(span, 0u);
+    EXPECT_NE(trace, 0u);
+    EXPECT_TRUE(seen.insert(trace).second) << "trace-id collision";
+  }
+  TraceContext untraced;
+  EXPECT_FALSE(untraced.active());
+  EXPECT_TRUE((TraceContext{next_trace_id(), 0}.active()));
+}
+
+// -- span sink ---------------------------------------------------------------
+
+SpanRecord make_span(std::uint64_t trace, std::uint64_t span, Stage stage) {
+  SpanRecord r;
+  r.trace_id = trace;
+  r.span_id = span;
+  r.parent_id = span / 2;
+  r.start_ns = span * 3;
+  r.dur_ns = span * 7;
+  r.stage = stage;
+  r.detail = static_cast<std::uint32_t>(span & 0xFF);
+  return r;
+}
+
+TEST(SpanSink, RecordDrainRoundTrip) {
+  SpanSink sink(64);
+  for (std::uint64_t i = 1; i <= 5; ++i)
+    sink.record(make_span(0xABCD, i, Stage::Exec));
+  auto spans = sink.drain();
+  ASSERT_EQ(spans.size(), 5u);
+  EXPECT_EQ(spans[2].trace_id, 0xABCDu);
+  EXPECT_EQ(spans[2].span_id, 3u);
+  EXPECT_EQ(spans[2].parent_id, 1u);
+  EXPECT_EQ(spans[2].start_ns, 9u);
+  EXPECT_EQ(spans[2].dur_ns, 21u);
+  EXPECT_EQ(spans[2].stage, Stage::Exec);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.ring_count(), 1u);
+  EXPECT_TRUE(sink.drain().empty());  // drain is incremental
+}
+
+TEST(SpanSink, RingWrapOverwritesOldestAndCountsDrops) {
+  SpanSink sink(8);
+  EXPECT_EQ(sink.capacity_per_thread(), 8u);
+  for (std::uint64_t i = 1; i <= 20; ++i)
+    sink.record(make_span(1, i, Stage::Queue));
+  auto spans = sink.drain();
+  ASSERT_EQ(spans.size(), 8u);  // only the last ring-full survives
+  EXPECT_EQ(sink.dropped(), 12u);
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    EXPECT_EQ(spans[i].span_id, 13 + i);  // ...in publish order
+}
+
+TEST(SpanSink, FourConcurrentWritersNeverTearRecords) {
+  SpanSink sink(256);
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20'000;  // laps the ring many times
+
+  std::vector<SpanRecord> drained;
+  std::atomic<bool> stop{false};
+  // A concurrent reader races the writers on purpose: the seqlock must
+  // surface torn cells as drops, never as garbled records.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto batch = sink.drain();
+      drained.insert(drained.end(), batch.begin(), batch.end());
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::uint64_t i = 1; i <= kPerWriter; ++i)
+        sink.record(make_span(0x1000 + w, i, Stage::Guest));
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  auto tail = sink.drain();
+  drained.insert(drained.end(), tail.begin(), tail.end());
+
+  EXPECT_EQ(sink.ring_count(), static_cast<std::size_t>(kWriters));
+  // Conservation: every published record either drained intact or was
+  // declared dropped. Nothing vanishes, nothing is invented.
+  EXPECT_EQ(drained.size() + sink.dropped(), kWriters * kPerWriter);
+  // Integrity: each drained record's fields are the deterministic function
+  // of its span_id — a torn read (mixed cells) cannot satisfy all three.
+  for (const SpanRecord& r : drained) {
+    ASSERT_GE(r.trace_id, 0x1000u);
+    ASSERT_LT(r.trace_id, 0x1000u + kWriters);
+    ASSERT_EQ(r.start_ns, r.span_id * 3);
+    ASSERT_EQ(r.dur_ns, r.span_id * 7);
+    ASSERT_EQ(r.parent_id, r.span_id / 2);
+  }
+}
+
+TEST(SpanSink, ChromeExportIsLoadableTraceEventJson) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_span(0xBEEF, 2, Stage::Admit));
+  spans.push_back(make_span(0xBEEF, 4, Stage::TeeEntry));
+  const std::string json = SpanSink::to_chrome_trace(spans);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find(stage_name(Stage::Admit)), std::string::npos);
+  EXPECT_NE(json.find(stage_name(Stage::TeeEntry)), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  // An empty drain still renders a valid (loadable) document.
+  EXPECT_NE(SpanSink::to_chrome_trace({}).find("\"traceEvents\""),
+            std::string::npos);
+}
+
+// -- thread-local trace ------------------------------------------------------
+
+TEST(Trace, EmitSpanIsInertWithoutAnInstalledTrace) {
+  ASSERT_FALSE(tracing_active());
+  emit_span(Stage::Exec, 10, 20);  // must not crash, must not record
+  { ScopedSpan span(Stage::Guest); }
+  EXPECT_FALSE(tracing_active());
+}
+
+TEST(Trace, ScopedTraceInstallsAndRestores) {
+  SpanSink sink(64);
+  const std::uint64_t trace_id = next_trace_id();
+  const std::uint64_t root = next_span_id();
+  {
+    ScopedTrace scope(&sink, trace_id, root);
+    ASSERT_TRUE(tracing_active());
+    EXPECT_EQ(thread_trace().trace_id, trace_id);
+    emit_span(Stage::Queue, 100, 160, /*detail=*/3);
+    {
+      // Nested re-dispatch hop: inner trace wins, outer comes back.
+      ScopedTrace inner(nullptr, 0, 0);
+      EXPECT_FALSE(tracing_active());
+    }
+    ASSERT_TRUE(tracing_active());
+    { ScopedSpan span(Stage::Guest); }
+  }
+  EXPECT_FALSE(tracing_active());
+
+  auto spans = sink.drain();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace_id, trace_id);
+  EXPECT_EQ(spans[0].parent_id, root);  // stage spans hang off the lane root
+  EXPECT_EQ(spans[0].stage, Stage::Queue);
+  EXPECT_EQ(spans[0].start_ns, 100u);
+  EXPECT_EQ(spans[0].dur_ns, 60u);
+  EXPECT_EQ(spans[0].detail, 3u);
+  EXPECT_NE(spans[0].span_id, spans[1].span_id);
+  EXPECT_EQ(spans[1].stage, Stage::Guest);
+  EXPECT_EQ(spans[1].trace_id, trace_id);
+}
+
+}  // namespace
+}  // namespace watz::obs
