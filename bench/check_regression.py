@@ -10,10 +10,14 @@ The report is the single-object output of a bench binary run with --json
 
 The baseline maps metric keys to bounds:
 
-    {"metrics": {"<key>": {"min": <v>} | {"max": <v>} | {"eq": <v>}, ...}}
+    {"metrics": {"<key>": {"min": <v>} | {"max": <v>} | {"eq": <v>}
+                          | {"gt": <v>}, ...}}
 
 "eq" is for exact structural invariants (wire exchange counts, dedup
 arithmetic) where any drift in either direction is a bug, not noise.
+"gt" is a strict lower bound for liveness counters ("the tier-up plane
+compiled *something*") where the exact count is environment-dependent
+but zero means the machinery silently disengaged.
 Every baseline key must be present in the report (a silently dropped
 metric is itself a regression) and must satisfy its bounds. Exit status:
 0 when every gate holds, 1 otherwise — wire it straight into CI.
@@ -57,6 +61,9 @@ def main(argv):
         if "eq" in bounds:
             verdicts.append(f"== {bounds['eq']}")
             ok = ok and value == bounds["eq"]
+        if "gt" in bounds:
+            verdicts.append(f"> {bounds['gt']}")
+            ok = ok and value > bounds["gt"]
         status = "ok  " if ok else "FAIL"
         print(f"  {status} {key:45s} {value:12.4g}  (want {' and '.join(verdicts)})")
         if not ok:

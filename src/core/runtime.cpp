@@ -4,6 +4,7 @@
 
 #include "hw/clock.hpp"
 #include "wasm/decoder.hpp"
+#include "wasm/jit/tier.hpp"
 #include "wasm/validator.hpp"
 
 namespace watz::core {
@@ -81,6 +82,25 @@ Result<std::shared_ptr<const PreparedModule>> WatzRuntime::prepare(
       auto pc = wasm::precompile_module(prepared->module_);
       if (!pc.ok()) return Result<Status>::err("watz: " + pc.error());
       prepared->compiled_ = std::move(*pc);
+      // Native-codegen tier: one TierSet per prepared module, so heat and
+      // compiled images are shared by every instance of this measurement
+      // (codegen paid once fleet-wide). Non-x86-64 hosts or an explicit
+      // WATZ_DISABLE_JIT fall back to the AOT stream wholesale.
+      if (jit_options_.enabled && wasm::jit::jit_available() &&
+          !prepared->compiled_.empty()) {
+        wasm::jit::TierConfig tier_config;
+        tier_config.hot_threshold = jit_options_.hot_threshold;
+        tier_config.charge_code = [os = &os_](std::size_t n) {
+          return os->try_charge_code(n);
+        };
+        tier_config.release_code = [os = &os_](std::size_t n) {
+          os->release_code(n);
+        };
+        prepared->tier_ = std::make_shared<wasm::jit::TierSet>(
+            &prepared->module_,
+            std::span<const wasm::CompiledFunc>(prepared->compiled_),
+            std::move(tier_config));
+      }
     }
     prepared->load_cost_.loading_ns = now() - t0;
     return Status{};
@@ -148,6 +168,9 @@ Result<std::unique_ptr<LoadedApp>> WatzRuntime::instantiate(
         std::move(compiled_ptr), /*already_validated=*/true);
     if (!instance.ok()) return Result<Status>::err("watz: " + instance.error());
     app->instance_ = std::move(*instance);
+    // Warm checkouts inherit any native entries already installed for this
+    // measurement: the tier travels with the prepared module, not the app.
+    app->instance_->tier = app->prepared_->tier_;
     app->startup_.instantiate_ns = now() - t0;
     return Status{};
   });

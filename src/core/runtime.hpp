@@ -59,6 +59,15 @@ struct AppConfig {
   wasm::ExecMode mode = wasm::ExecMode::Aot;
 };
 
+/// Native-codegen tiering knobs (effective only where jit::jit_available():
+/// x86-64 hosts with WATZ_DISABLE_JIT unset; everywhere else execution
+/// falls back to the AOT stream wholesale).
+struct JitTierOptions {
+  bool enabled = true;
+  /// Per-function call count before background compilation is queued.
+  std::uint32_t hot_threshold = 64;
+};
+
 /// The cacheable product of the expensive launch phases: measured bytecode
 /// in executable secure pages plus its decoded + validated + AOT-translated
 /// form. Immutable once built; instantiation copies out of it, so one
@@ -75,6 +84,13 @@ class PreparedModule {
   /// Cost of the cold phases (Transition + Memory allocation + Hashing +
   /// Loading) paid when this module was prepared.
   const StartupBreakdown& load_cost() const noexcept { return load_cost_; }
+  /// Native-codegen tiering state shared by every instance of this module
+  /// (heat counters, compile queue, installed entries). Null when tiering
+  /// is off, the mode is not Aot, or the host cannot run the JIT. The
+  /// per-function entry installs are the only mutation; they are atomic
+  /// and publication-safe, so this does not break module immutability for
+  /// concurrent instances.
+  const std::shared_ptr<wasm::jit::TierSet>& tier() const noexcept { return tier_; }
 
  private:
   friend class WatzRuntime;
@@ -84,6 +100,7 @@ class PreparedModule {
   wasm::ExecMode mode_ = wasm::ExecMode::Aot;
   optee::SecureAlloc code_memory_;  // executable pages holding the bytecode
   StartupBreakdown load_cost_{};
+  std::shared_ptr<wasm::jit::TierSet> tier_;
 };
 
 /// One sandboxed Wasm application loaded in the secure world.
@@ -176,6 +193,11 @@ class WatzRuntime {
   /// when no slot monitor is passed (single-threaded / control-plane use).
   tz::SecureMonitor& primary_monitor() noexcept { return monitor_; }
 
+  /// Tiering knobs for modules prepared AFTER this call (a TierSet is
+  /// built per PreparedModule at prepare() time).
+  void set_jit_options(JitTierOptions options) noexcept { jit_options_ = options; }
+  const JitTierOptions& jit_options() const noexcept { return jit_options_; }
+
   std::uint64_t apps_launched() const noexcept {
     return apps_launched_.load(std::memory_order_relaxed);
   }
@@ -196,6 +218,7 @@ class WatzRuntime {
   /// Serialises the shared-memory staging of prepare(): the world-shared
   /// buffer is one physical region per device, not per slot.
   std::mutex prepare_mu_;
+  JitTierOptions jit_options_{};
   std::atomic<std::uint64_t> apps_launched_{0};
   std::atomic<std::uint64_t> modules_prepared_{0};
 };

@@ -6,6 +6,7 @@
 
 #include "hw/clock.hpp"
 #include "ra/attester.hpp"
+#include "wasm/jit/jit.hpp"
 
 namespace watz::gateway {
 
@@ -23,6 +24,23 @@ crypto::Sha256Digest platform_claim(core::Device& device) {
 
 bool is_appraisal_failure(const std::string& error) {
   return error.find("failed appraisal") != std::string::npos;
+}
+
+/// The semantic identity of one invocation: measurement + entry + args +
+/// heap reservation. Two requests with equal keys run the same function on
+/// the same module with the same inputs — what both the INVOKE_BATCH rider
+/// machinery and the SUBMIT result memo deduplicate on.
+std::string invoke_dedup_key(const InvokeRequest& invoke) {
+  std::string key(invoke.measurement.begin(), invoke.measurement.end());
+  key += invoke.entry;
+  key.push_back('\0');
+  for (const wasm::Value& v : invoke.args) {
+    key.push_back(static_cast<char>(v.type));
+    key.append(reinterpret_cast<const char*>(&v.bits), sizeof(v.bits));
+  }
+  key.append(reinterpret_cast<const char*>(&invoke.heap_bytes),
+             sizeof(invoke.heap_bytes));
+  return key;
 }
 
 }  // namespace
@@ -101,10 +119,14 @@ Status Gateway::start() {
       [this](std::uint64_t conn) { on_client_close(conn); });
   if (!dispatcher.ok()) return dispatcher;
 
-  // Evidence renewal rides a background sweeper only when there is a TTL
-  // to stay ahead of; an infinite TTL never goes stale.
-  if (config_.evidence_renewal &&
-      config_.session_policy.evidence_ttl_ns != ~0ull && !renew_thread_.joinable())
+  // The background sweeper runs when evidence renewal has a finite TTL to
+  // stay ahead of (an infinite TTL never goes stale) and/or JIT tiering
+  // needs its compile pump (only where the host can actually run native
+  // code — elsewhere the heat counters never queue anything).
+  const bool renew_evidence = config_.evidence_renewal &&
+                              config_.session_policy.evidence_ttl_ns != ~0ull;
+  const bool pump_tiering = config_.jit_tiering && wasm::jit::jit_available();
+  if ((renew_evidence || pump_tiering) && !renew_thread_.joinable())
     renew_thread_ = std::thread([this] { renewal_loop(); });
 
   started_ = true;
@@ -151,7 +173,15 @@ Status Gateway::add_device(core::Device& device) {
         cache_config.max_pool_per_module
             ? std::max(cache_config.max_pool_per_module, pool)
             : 0;
+    // Fleet tiering knobs reach the device runtime BEFORE any module is
+    // prepared through the fresh cache (TierSets are built at prepare()
+    // time). jit_available() gates inside the runtime, so this is a no-op
+    // on non-x86-64 hosts / WATZ_DISABLE_JIT.
+    device.runtime().set_jit_options(
+        core::JitTierOptions{config_.jit_tiering, config_.jit_hot_calls});
     backend->cache = std::make_shared<ModuleCache>(device.runtime(), cache_config);
+    backend->cache->bind_tier_metrics(&tier_up_compiles_, &native_entries_,
+                                      &jit_fallback_ops_, &tier_compile_ns_hist_);
     backend->attester_rng = std::make_shared<crypto::Fortuna>(
         device.os().huk_subkey_derive("watz-gateway-attester-v1"));
     backend->platform_claim = platform_claim(device);
@@ -656,18 +686,6 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
   std::vector<PendingLane> pending;
   pending.reserve(req->lanes.size());
   std::map<std::string, std::size_t> leaders;  // dedup key -> pending index
-  const auto dedup_key = [](const InvokeRequest& invoke) {
-    std::string key(invoke.measurement.begin(), invoke.measurement.end());
-    key += invoke.entry;
-    key.push_back('\0');
-    for (const wasm::Value& v : invoke.args) {
-      key.push_back(static_cast<char>(v.type));
-      key.append(reinterpret_cast<const char*>(&v.bits), sizeof(v.bits));
-    }
-    key.append(reinterpret_cast<const char*>(&invoke.heap_bytes),
-               sizeof(invoke.heap_bytes));
-    return key;
-  };
   for (std::size_t i = 0; i < req->lanes.size(); ++i) {
     const InvokeBatchRequest::Lane& lane = req->lanes[i];
     resp.results[i].lane = lane.lane;
@@ -676,7 +694,7 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
       resp.results[i].error = "gateway: unknown session";
       continue;
     }
-    const std::string key = dedup_key(lane.invoke);
+    const std::string key = invoke_dedup_key(lane.invoke);
     const auto leader = leaders.find(key);
     if (leader != leaders.end()) {
       PendingLane& lead = pending[leader->second];
@@ -816,6 +834,26 @@ Result<Bytes> Gateway::handle_submit(ByteView request) {
   if (!req.ok()) return Result<Bytes>::err(req.error());
   SessionPtr session = sessions_.find(req->invoke.session_id);
   if (!session) return Result<Bytes>::err("gateway: unknown session");
+
+  // Memo fast path: an identical invoke executed within the TTL and this
+  // session trusts the device that ran it — hand out a pre-satisfied
+  // ticket, no admission, no sandbox. POLL redeems it like any other.
+  if (config_.invoke_memo_ttl_ns != 0) {
+    if (auto hit = memo_lookup(*session, req->invoke)) {
+      std::promise<Result<InvokeResponse>> ready;
+      ready.set_value(std::move(*hit));
+      const std::uint64_t ticket =
+          next_ticket_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        pending_[ticket] = PendingInvoke{session->id, ready.get_future()};
+      }
+      session->invocations.fetch_add(1, std::memory_order_relaxed);
+      SubmitResponse resp;
+      resp.ticket = ticket;
+      return ok_envelope(resp.encode());
+    }
+  }
 
   obs::TraceContext trace;
   trace.trace_id = maybe_trace(req->invoke.trace_id);
@@ -1016,7 +1054,58 @@ Result<InvokeResponse> Gateway::execute_invoke(Slot& slot,
   resp.ra_exchanges = *exchanges;
   resp.queue_delay_ns = queue_delay_ns;
   resp.trace_id = obs::thread_trace().trace_id;
+  // Feed the SUBMIT result memo: a twin submitted within the TTL by any
+  // session trusting this device rides this execution instead of its own.
+  if (config_.invoke_memo_ttl_ns != 0)
+    memo_store(request, resp, hostname, boot_count);
   return resp;
+}
+
+std::optional<InvokeResponse> Gateway::memo_lookup(Session& session,
+                                                   const InvokeRequest& request) {
+  const std::uint64_t now = hw::monotonic_ns();
+  MemoEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    const auto it = memo_.find(invoke_dedup_key(request));
+    if (it == memo_.end()) return std::nullopt;
+    if (now - it->second.stamp_ns > config_.invoke_memo_ttl_ns) {
+      memo_.erase(it);
+      return std::nullopt;
+    }
+    entry = it->second;
+  }
+  // Same trust gate as an INVOKE_BATCH rider: the session must already
+  // hold fresh evidence for the device (at the boot count) that produced
+  // the memoised result — a session that does not trust that device runs
+  // its own invoke and pays its own handshake.
+  if (!sessions_.has_fresh(session, entry.device, entry.boot_count, now))
+    return std::nullopt;
+  invoke_memo_hits_.add();
+  entry.response.ra_exchanges = 0;
+  entry.response.queue_delay_ns = 0;
+  entry.response.trace_id = 0;
+  return std::move(entry.response);
+}
+
+void Gateway::memo_store(const InvokeRequest& request,
+                         const InvokeResponse& response,
+                         const std::string& device, std::uint64_t boot_count) {
+  MemoEntry entry;
+  entry.response = response;
+  entry.stamp_ns = hw::monotonic_ns();
+  entry.device = device;
+  entry.boot_count = boot_count;
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  if (memo_.size() >= kInvokeMemoCap && !memo_.contains(invoke_dedup_key(request))) {
+    // Stalest-first eviction keeps the memo a short-horizon window, which
+    // is all a TTL this small can serve anyway.
+    auto victim = memo_.begin();
+    for (auto it = memo_.begin(); it != memo_.end(); ++it)
+      if (it->second.stamp_ns < victim->second.stamp_ns) victim = it;
+    memo_.erase(victim);
+  }
+  memo_[invoke_dedup_key(request)] = std::move(entry);
 }
 
 Result<attestation::Evidence> Gateway::run_handshake(Backend& backend) {
@@ -1247,10 +1336,37 @@ std::size_t Gateway::sweep_evidence_renewals() {
   return renewed_total;
 }
 
+std::size_t Gateway::sweep_tier_compiles() {
+  // Codegen never enters a TEE and the per-cache sweep takes only leaf
+  // locks, so the whole fleet compiles on THIS (control-plane) thread —
+  // no slot queue is occupied and no guest invoke is delayed. The compile
+  // metric flushes ride the TierSets' bound registry sinks.
+  std::vector<Backend*> fleet;
+  {
+    std::lock_guard<std::mutex> lock(backends_mu_);
+    fleet = backend_order_;
+  }
+  std::size_t compiled = 0;
+  for (Backend* backend : fleet) {
+    std::shared_ptr<ModuleCache> cache;
+    {
+      std::lock_guard<std::mutex> lock(backend->state_mu);
+      cache = backend->cache;
+    }
+    if (cache) compiled += cache->sweep_tier_compiles();
+  }
+  return compiled;
+}
+
 void Gateway::renewal_loop() {
   const std::uint64_t ttl = config_.session_policy.evidence_ttl_ns;
+  const bool renew_evidence = config_.evidence_renewal && ttl != ~0ull;
+  const bool pump_tiering = config_.jit_tiering && wasm::jit::jit_available();
   std::uint64_t interval = config_.renewal_interval_ns;
-  if (interval == 0) interval = ttl / 5;       // several sweeps per TTL
+  if (interval == 0)
+    // Several sweeps per TTL; with no TTL to chase (tiering-only duty) a
+    // fixed cadence keeps hot functions from waiting long for native code.
+    interval = renew_evidence ? ttl / 5 : 10'000'000;
   if (interval < 100'000) interval = 100'000;  // floor: don't spin
   std::unique_lock<std::mutex> lock(renew_mu_);
   while (!renew_stop_) {
@@ -1258,7 +1374,8 @@ void Gateway::renewal_loop() {
                        [&] { return renew_stop_; });
     if (renew_stop_) return;
     lock.unlock();
-    sweep_evidence_renewals();
+    if (renew_evidence) sweep_evidence_renewals();
+    if (pump_tiering) sweep_tier_compiles();
     lock.lock();
   }
 }
@@ -1367,6 +1484,10 @@ GatewayStats Gateway::stats(bool detail) {
   stats.queue_full_rejections = queue_full_rejections_.get();
   stats.deduped_lanes = deduped_lanes_.get();
   stats.evidence_renewals = evidence_renewals_.get();
+  stats.tier_up_compiles = tier_up_compiles_.get();
+  stats.native_entries = native_entries_.get();
+  stats.jit_fallback_ops = jit_fallback_ops_.get();
+  stats.invoke_memo_hits = invoke_memo_hits_.get();
   stats.queue_delay_p50_ns = queue_delay_hist_.percentile(0.50);
   stats.queue_delay_p90_ns = queue_delay_hist_.percentile(0.90);
   stats.queue_delay_p99_ns = queue_delay_hist_.percentile(0.99);
@@ -1375,6 +1496,9 @@ GatewayStats Gateway::stats(bool detail) {
   stats.stage_tee_entry = stage_summary(stage_tee_entry_hist_);
   stats.stage_ra = stage_summary(stage_ra_hist_);
   if (detail) {
+    // Compile-duration percentiles ride the detail flag like the
+    // slow-invoke ring: bulk diagnostics, not steady-state polling fare.
+    stats.stage_jit_compile = stage_summary(tier_compile_ns_hist_);
     std::lock_guard<std::mutex> lock(slow_mu_);
     stats.slow_invokes.assign(slow_invokes_.begin(), slow_invokes_.end());
   }

@@ -49,6 +49,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -82,6 +83,21 @@ struct GatewayConfig {
   /// and run queue, so one device executes up to this many invokes
   /// concurrently. 1 reproduces the old single-worker actor model.
   std::size_t slots_per_device = 1;
+  /// Native-codegen tiering across the fleet: forwarded to each enrolled
+  /// device's runtime (core::JitTierOptions) at enrolment. Hot functions
+  /// tier up to x86-64 native code, compiled ONCE per measurement by the
+  /// background sweeper and inherited by every warm checkout. No-ops on
+  /// hosts where wasm::jit::jit_available() is false (non-x86-64,
+  /// WATZ_DISABLE_JIT): execution stays on the AOT stream wholesale.
+  bool jit_tiering = true;
+  /// Per-function call count before background native compilation.
+  std::uint32_t jit_hot_calls = 64;
+  /// SUBMIT single-invoke dedup memo: a SUBMIT whose (measurement, entry,
+  /// args, heap) executed this recently — and whose session holds fresh
+  /// evidence for the executing device — is answered with the memoised
+  /// result instead of entering a sandbox (the async counterpart of the
+  /// INVOKE_BATCH rider machinery). 0 (default) disables the memo.
+  std::uint64_t invoke_memo_ttl_ns = 0;
   /// Background evidence renewal: re-attest session evidence at ~80% of
   /// SessionPolicy::evidence_ttl_ns (batched, on the control lane) so the
   /// invoke hot path never pays a lazy RA handshake. Only meaningful with
@@ -150,6 +166,14 @@ class Gateway {
   /// TTL. Returns how many evidences were renewed. Public so tests drive
   /// renewal deterministically.
   std::size_t sweep_evidence_renewals();
+
+  /// Runs one native tier-up pass NOW (what the background sweeper does
+  /// every interval): compiles every function the fleet's heat counters
+  /// queued since the last pass. Codegen never enters a TEE and takes only
+  /// leaf locks, so it runs on the calling (control-plane) thread rather
+  /// than occupying a sandbox slot. Returns functions tiered up. Public so
+  /// tests and benches drive tiering deterministically.
+  std::size_t sweep_tier_compiles();
 
  private:
   struct Backend;
@@ -308,10 +332,20 @@ class Gateway {
               bool force = false);
   void worker_loop(Slot& slot);
 
-  /// Background evidence-renewal sweeper (started by start() when the
-  /// session policy has a finite TTL and renewal is enabled): wakes every
-  /// renewal interval and runs sweep_evidence_renewals().
+  /// Background sweeper (started by start() when evidence renewal has a
+  /// finite TTL to stay ahead of, or JIT tiering needs its compile pump):
+  /// wakes every renewal interval and runs sweep_evidence_renewals()
+  /// and/or sweep_tier_compiles().
   void renewal_loop();
+
+  /// SUBMIT memo lookup: the memoised response for this invoke, if one was
+  /// recorded within the TTL and `session` holds fresh evidence for the
+  /// device that executed it. Bumps invoke_memo_hits on a hit.
+  std::optional<InvokeResponse> memo_lookup(Session& session,
+                                            const InvokeRequest& request);
+  /// Records a successful invoke outcome in the memo (TTL enabled only).
+  void memo_store(const InvokeRequest& request, const InvokeResponse& response,
+                  const std::string& device, std::uint64_t boot_count);
 
   /// The trace decision for one admitted request (or one whole batch):
   /// a non-zero wire id joins that trace; otherwise every trace_sample_n'th
@@ -418,6 +452,21 @@ class Gateway {
   std::map<std::uint64_t, PendingInvoke> pending_;
   std::atomic<std::uint64_t> next_ticket_{1};
 
+  /// SUBMIT single-invoke result memo, keyed by the INVOKE_BATCH dedup key
+  /// (measurement + entry + args + heap). Each entry remembers WHICH device
+  /// executed it at WHAT boot count: a hit is only served to a session
+  /// holding fresh evidence for that device — the same per-session trust
+  /// gate the batch rider path applies. Bounded; stalest evicted first.
+  struct MemoEntry {
+    InvokeResponse response;
+    std::uint64_t stamp_ns = 0;
+    std::string device;
+    std::uint64_t boot_count = 0;
+  };
+  static constexpr std::size_t kInvokeMemoCap = 256;
+  std::mutex memo_mu_;
+  std::map<std::string, MemoEntry> memo_;
+
   std::mutex conn_mu_;  // guards conn_sessions_
   std::map<std::uint64_t, std::vector<std::uint64_t>> conn_sessions_;
 
@@ -437,6 +486,17 @@ class Gateway {
   /// Evidences re-proved ahead of TTL by the renewal sweep.
   obs::Counter& evidence_renewals_ =
       registry_.counter("gateway.evidence_renewals");
+  /// SUBMITs answered from the single-invoke result memo.
+  obs::Counter& invoke_memo_hits_ =
+      registry_.counter("gateway.invoke_memo_hits");
+  /// Fleet-wide native-tiering instruments. Every enrolled device's module
+  /// cache binds its TierSets' metric flushes here (codegen is per
+  /// measurement, so these count tier-ups across the whole fleet).
+  obs::Counter& tier_up_compiles_ = registry_.counter("wasm.tier_up_compiles");
+  obs::Counter& native_entries_ = registry_.counter("wasm.native_entries");
+  obs::Counter& jit_fallback_ops_ = registry_.counter("wasm.jit_fallback_ops");
+  obs::Histogram& tier_compile_ns_hist_ =
+      registry_.histogram("wasm.tier_compile_ns");
   /// Per-stage latency histograms (log2 buckets; STATS serialises their
   /// percentiles). stage.queue doubles as the fleet-wide queue-delay
   /// percentile source the old hand-rolled bucket array fed.

@@ -1,6 +1,7 @@
 #include "gateway/module_cache.hpp"
 
 #include "hw/clock.hpp"
+#include "wasm/jit/tier.hpp"
 
 namespace watz::gateway {
 
@@ -26,6 +27,12 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
     entry.prepared = std::move(*prepared);
     entry.last_used = ++tick_;
     charged_bytes_.add(entry.prepared->code_bytes());
+    // A fresh measurement's tier flushes into the same fleet-wide sinks as
+    // every other cached module from its first compile on.
+    if (entry.prepared->tier())
+      entry.prepared->tier()->bind_metrics(tier_compiles_sink_, tier_entries_sink_,
+                                           tier_fallback_sink_,
+                                           tier_compile_ns_sink_);
     it = entries_.emplace(measurement, std::move(entry)).first;
 
     auto app = runtime_.instantiate(it->second.prepared, config, bound);
@@ -114,6 +121,68 @@ void ModuleCache::forfeit(const crypto::Sha256Digest& measurement) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(measurement);
   if (it != entries_.end() && it->second.live > 0) --it->second.live;
+}
+
+std::size_t ModuleCache::sweep_tier_compiles() {
+  std::vector<std::shared_ptr<wasm::jit::TierSet>> tiers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tiers.reserve(entries_.size());
+    for (const auto& [digest, entry] : entries_)
+      if (entry.prepared->tier()) tiers.push_back(entry.prepared->tier());
+  }
+  // Codegen runs outside mu_: the cache mutex is a leaf held only for map
+  // surgery, and slot workers must keep acquiring/releasing while the
+  // control plane compiles.
+  std::size_t compiled = 0;
+  for (const auto& tier : tiers) compiled += tier->compile_pending();
+  return compiled;
+}
+
+void ModuleCache::bind_tier_metrics(obs::Counter* compiles, obs::Counter* entries,
+                                    obs::Counter* fallback_ops,
+                                    obs::Histogram* compile_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tier_compiles_sink_ = compiles;
+  tier_entries_sink_ = entries;
+  tier_fallback_sink_ = fallback_ops;
+  tier_compile_ns_sink_ = compile_ns;
+  for (const auto& [digest, entry] : entries_)
+    if (entry.prepared->tier())
+      entry.prepared->tier()->bind_metrics(compiles, entries, fallback_ops,
+                                           compile_ns);
+}
+
+std::uint64_t ModuleCache::tier_up_compiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [digest, entry] : entries_)
+    if (entry.prepared->tier()) n += entry.prepared->tier()->tier_up_compiles();
+  return n;
+}
+
+std::uint64_t ModuleCache::native_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [digest, entry] : entries_)
+    if (entry.prepared->tier()) n += entry.prepared->tier()->native_entries();
+  return n;
+}
+
+std::uint64_t ModuleCache::jit_fallback_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [digest, entry] : entries_)
+    if (entry.prepared->tier()) n += entry.prepared->tier()->fallback_ops();
+  return n;
+}
+
+std::size_t ModuleCache::native_code_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [digest, entry] : entries_)
+    if (entry.prepared->tier()) n += entry.prepared->tier()->native_code_bytes();
+  return n;
 }
 
 void ModuleCache::make_room(std::size_t incoming, const crypto::Sha256Digest* keep) {

@@ -107,6 +107,19 @@ class ModuleCache {
   /// released (guest trap, shutdown path).
   void forfeit(const crypto::Sha256Digest& measurement);
 
+  /// Control plane: runs the queued native tier-up compiles of every cached
+  /// measurement. The TierSets are collected under mu_ but compiled OUTSIDE
+  /// it (mu_ is a leaf and codegen is slow); the sets are shared_ptr-held so
+  /// a concurrent eviction cannot pull code pages out from under the
+  /// compiler. Returns the number of functions tiered up by this sweep.
+  std::size_t sweep_tier_compiles();
+
+  /// Routes the tier metric flushes of every cached — and every future —
+  /// measurement into registry-owned instruments (fleet-wide counters; the
+  /// sinks must outlive the cache). Unset sinks are skipped.
+  void bind_tier_metrics(obs::Counter* compiles, obs::Counter* entries,
+                         obs::Counter* fallback_ops, obs::Histogram* compile_ns);
+
   bool contains(const crypto::Sha256Digest& measurement) const {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.contains(measurement);
@@ -130,6 +143,13 @@ class ModuleCache {
   std::uint64_t misses() const noexcept { return misses_.get(); }
   std::uint64_t evictions() const noexcept { return evictions_.get(); }
   std::uint64_t pool_hits() const noexcept { return pool_hits_.get(); }
+
+  /// Tiering aggregates over the measurements currently cached (evicted
+  /// modules' counts live on only in the bound registry sinks).
+  std::uint64_t tier_up_compiles() const;
+  std::uint64_t native_entries() const;
+  std::uint64_t jit_fallback_ops() const;
+  std::size_t native_code_bytes() const;
 
   /// The cache's own metric instances, exposed so a gateway can link them
   /// into its obs::Registry under device-scoped names (the cache stays the
@@ -164,7 +184,7 @@ class ModuleCache {
 
   core::WatzRuntime& runtime_;
   ModuleCacheConfig config_;
-  mutable std::mutex mu_;  // guards entries_ and tick_
+  mutable std::mutex mu_;  // guards entries_, tick_ and the tier sinks
   std::map<crypto::Sha256Digest, Entry> entries_;
   std::uint64_t tick_ = 0;
   obs::Gauge charged_bytes_;
@@ -172,6 +192,10 @@ class ModuleCache {
   obs::Counter misses_;
   obs::Counter evictions_;
   obs::Counter pool_hits_;
+  obs::Counter* tier_compiles_sink_ = nullptr;
+  obs::Counter* tier_entries_sink_ = nullptr;
+  obs::Counter* tier_fallback_sink_ = nullptr;
+  obs::Histogram* tier_compile_ns_sink_ = nullptr;
 };
 
 inline void AppLease::drop_pin() noexcept {

@@ -616,11 +616,15 @@ Bytes GatewayStats::encode() const {
   put_u64le(out, queue_full_rejections);
   put_u64le(out, deduped_lanes);
   put_u64le(out, evidence_renewals);
+  put_u64le(out, tier_up_compiles);
+  put_u64le(out, native_entries);
+  put_u64le(out, jit_fallback_ops);
+  put_u64le(out, invoke_memo_hits);
   put_u64le(out, queue_delay_p50_ns);
   put_u64le(out, queue_delay_p90_ns);
   put_u64le(out, queue_delay_p99_ns);
-  for (const StageStats* stage :
-       {&stage_queue, &stage_exec, &stage_tee_entry, &stage_ra}) {
+  for (const StageStats* stage : {&stage_queue, &stage_exec, &stage_tee_entry,
+                                  &stage_ra, &stage_jit_compile}) {
     put_u64le(out, stage->count);
     put_u64le(out, stage->p50_ns);
     put_u64le(out, stage->p90_ns);
@@ -680,14 +684,17 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
        {&stats.sessions_active, &stats.sessions_total, &stats.handshakes_run,
         &stats.handshakes_reused, &stats.modules_registered, &stats.invocations,
         &stats.queue_full_rejections, &stats.deduped_lanes,
-        &stats.evidence_renewals, &stats.queue_delay_p50_ns,
+        &stats.evidence_renewals, &stats.tier_up_compiles,
+        &stats.native_entries, &stats.jit_fallback_ops,
+        &stats.invoke_memo_hits, &stats.queue_delay_p50_ns,
         &stats.queue_delay_p90_ns, &stats.queue_delay_p99_ns}) {
     auto v = read_u64(r);
     if (!v.ok()) return Result<GatewayStats>::err(v.error());
     *field = *v;
   }
-  for (StageStats* stage : {&stats.stage_queue, &stats.stage_exec,
-                            &stats.stage_tee_entry, &stats.stage_ra}) {
+  for (StageStats* stage :
+       {&stats.stage_queue, &stats.stage_exec, &stats.stage_tee_entry,
+        &stats.stage_ra, &stats.stage_jit_compile}) {
     for (std::uint64_t* field :
          {&stage->count, &stage->p50_ns, &stage->p90_ns, &stage->p99_ns}) {
       auto v = read_u64(r);

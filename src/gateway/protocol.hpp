@@ -373,6 +373,18 @@ struct GatewayStats {
   /// Session evidences re-proved by the background renewal sweep BEFORE
   /// their TTL lapsed (the hot path never saw the staleness).
   std::uint64_t evidence_renewals = 0;
+  /// Functions tiered up to native code across the fleet (one count per
+  /// function per measurement: codegen is paid once fleet-wide).
+  std::uint64_t tier_up_compiles = 0;
+  /// Guest invocations that entered through an installed native entry
+  /// instead of the AOT interpreter stream.
+  std::uint64_t native_entries = 0;
+  /// Opcodes executed through the JIT's per-opcode fallback thunks
+  /// (f32/f64, host calls) rather than inline native code.
+  std::uint64_t jit_fallback_ops = 0;
+  /// SUBMITs answered from the short-TTL single-invoke result memo without
+  /// entering a sandbox (the async-path counterpart of deduped_lanes).
+  std::uint64_t invoke_memo_hits = 0;
   /// Queueing-delay percentiles over every work item admitted to a backend
   /// run queue (admission timestamp -> worker pickup), from a log2
   /// histogram: values are bucket upper bounds, 0 when nothing ran yet.
@@ -386,6 +398,10 @@ struct GatewayStats {
   StageStats stage_exec;
   StageStats stage_tee_entry;
   StageStats stage_ra;
+  /// Native tier-up compile durations (wasm.tier_compile_ns). Populated
+  /// only when the STATS request set its detail flag, like slow_invokes;
+  /// the wire always carries the field.
+  StageStats stage_jit_compile;
   std::vector<DeviceStats> devices;
   std::vector<RaShardStats> ra_shards;
   /// Most recent slow invocations (newest last); populated only when the

@@ -115,6 +115,17 @@ class TrustedOs {
   /// trusted OS stays the owner).
   const obs::Gauge& heap_gauge() const noexcept { return heap_in_use_; }
 
+  /// Secure-heap accounting for native-tier code pages. The JIT maps its
+  /// W^X images directly (they need PROT_EXEC, not SecureAlloc's byte
+  /// store), but the bytes still count against the same 27 MB ceiling:
+  /// try_charge_code reserves, release_code undoes. False means the
+  /// reservation would overflow the cap — the function stays on the AOT
+  /// stream.
+  bool try_charge_code(std::size_t size) noexcept {
+    return heap_in_use_.try_add_bounded(size, config_.secure_heap_cap);
+  }
+  void release_code(std::size_t size) noexcept { heap_in_use_.sub(size); }
+
   // -- root of trust ---------------------------------------------------------
 
   /// huk_subkey_derive: a usage-bound secret derived from the secure-world

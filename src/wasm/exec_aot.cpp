@@ -5,6 +5,7 @@
 
 #include "wasm/compile.hpp"
 #include "wasm/exec_common.hpp"
+#include "wasm/jit/tier.hpp"
 
 namespace watz::wasm {
 
@@ -30,20 +31,26 @@ void call_host(Instance& inst, const FuncSlot& slot, std::vector<std::uint64_t>&
   if (!results.ok()) trap(results.error());
   if (results->size() != slot.type.results.size())
     trap("host function returned wrong result count");
-  for (const Value& v : *results) stack[sp++] = v.bits;
+  for (const Value& v : *results) {
+    // A host function may return more values than it consumed; mirror the
+    // interpreter's growth guard instead of relying on frame headroom.
+    if (sp >= stack.size()) stack.resize(stack.size() * 2 + 16);
+    stack[sp++] = v.bits;
+  }
 }
 
-}  // namespace
-
-void exec_call_aot(Instance& inst, std::uint32_t func_index,
-                   std::vector<std::uint64_t>& stack, std::size_t& sp, int depth) {
-  if (depth > kMaxCallDepth) trap("call stack exhausted");
-  const FuncSlot& slot = inst.funcs[func_index];
-  if (slot.is_host) {
-    call_host(inst, slot, stack, sp);
-    return;
-  }
-
+/// Runs the resolved instruction stream (the pre-JIT tier). Pointer
+/// lifetime audit for the duration of the dispatch loop:
+///   * `mem` (Memory*) is stable — memory.grow reallocates the backing
+///     store inside the Memory object, never the object itself;
+///   * `code` (Instr*) is stable — the compiled store is immutable and
+///     shared, nested calls never mutate it;
+///   * the operand stack is only ever touched through `stack[...]`
+///     indexing, never through a cached element pointer, because any
+///     nested call (kCall/kCallIndirect/call_host) may resize the vector.
+void exec_call_aot_stream(Instance& inst, const FuncSlot& slot,
+                          std::vector<std::uint64_t>& stack, std::size_t& sp,
+                          int depth) {
   const CompiledFunc& cf = inst.compiled[slot.module_func_index];
   const std::size_t base = sp - cf.num_params;
   const std::size_t need = base + cf.num_locals + cf.max_operand_height + 8;
@@ -182,6 +189,33 @@ void exec_call_aot(Instance& inst, std::uint32_t func_index,
         break;
     }
   }
+}
+
+}  // namespace
+
+void exec_call_aot(Instance& inst, std::uint32_t func_index,
+                   std::vector<std::uint64_t>& stack, std::size_t& sp, int depth) {
+  if (depth > kMaxCallDepth) trap("call stack exhausted");
+  const FuncSlot& slot = inst.funcs[func_index];
+  if (slot.is_host) {
+    call_host(inst, slot, stack, sp);
+    return;
+  }
+
+  // Tiered dispatch: a function whose native entry has been installed
+  // (release-store by the control plane) runs machine code; everything
+  // else runs the AOT stream and feeds the heat counter that eventually
+  // queues it for background compilation.
+  if (jit::TierSet* tier = inst.tier.get()) {
+    const std::uint32_t module_index = slot.module_func_index;
+    if (const void* entry = tier->entry_for(module_index)) {
+      jit::exec_call_native(inst, *tier, entry, inst.compiled[module_index],
+                            stack, sp, depth);
+      return;
+    }
+    tier->note_call(module_index);
+  }
+  exec_call_aot_stream(inst, slot, stack, sp, depth);
 }
 
 }  // namespace watz::wasm

@@ -22,6 +22,10 @@ namespace watz::wasm {
 
 class Instance;
 
+namespace jit {
+class TierSet;
+}
+
 /// Host (native) function: receives the instance (for memory access) and the
 /// argument values; returns results or a trap message.
 using HostFn =
@@ -174,6 +178,11 @@ class Instance {
   /// Parallel to module().code (AOT mode). A view into the shared compiled
   /// store: instances of one prepared module all read the same image.
   std::span<const CompiledFunc> compiled;
+  /// Optional native-codegen tier shared by every instance of one prepared
+  /// module (owned by the embedder, e.g. PreparedModule). When set, the AOT
+  /// entry point dispatches hot functions to installed native entries and
+  /// feeds the per-function heat counters. Null means pure AOT-stream.
+  std::shared_ptr<jit::TierSet> tier;
 
  private:
   Instance() = default;

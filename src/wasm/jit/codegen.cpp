@@ -1,0 +1,802 @@
+// One-pass baseline codegen: lowers a validated AOT-stream function
+// (`CompiledFunc`) to x86-64 via the Emitter.
+//
+// The key trick is STATIC OPERAND-HEIGHT TRACKING. The resolved stream has
+// exactly one operand-stack height per pc (the prescan derives it, seeding
+// branch targets and verifying joins), so every push/pop becomes a move
+// to/from a fixed frame slot [rbp + (num_locals + h)*8] and the dynamic sp
+// only exists at helper-call boundaries, where it is spilled to
+// JitContext::sp and re-derived afterwards. Functions whose streams violate
+// the invariants the baseline relies on (multi-value branches, height
+// joins that disagree) are refused — compile_function returns empty and
+// the tier keeps them on the AOT stream.
+//
+// Frame/register map (see jit.hpp): r15 = JitContext*, rbp = &stack[base],
+// r13 = memory base, r14 = memory size; rax/rcx/rdx are scratch. After any
+// helper call the pinned rbp/r13/r14 are reloaded from the context and the
+// trap flag is checked (helpers do not unwind; see exec_native.cpp).
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <optional>
+
+#include "wasm/compile.hpp"
+#include "wasm/jit/emitter.hpp"
+#include "wasm/jit/jit.hpp"
+#include "wasm/opcodes.hpp"
+
+namespace watz::wasm::jit {
+
+// Generated code hard-codes these offsets; a layout change must show up as
+// a compile error here, not as memory corruption at run time.
+static_assert(offsetof(JitContext, stack_base) == 0);
+static_assert(offsetof(JitContext, sp) == 8);
+static_assert(offsetof(JitContext, base) == 16);
+static_assert(offsetof(JitContext, mem_base) == 24);
+static_assert(offsetof(JitContext, mem_size) == 32);
+static_assert(offsetof(JitContext, trap_code) == 72);
+static_assert(offsetof(JitContext, globals) == 48);
+static_assert(sizeof(GlobalSlot) == 16);
+static_assert(offsetof(GlobalSlot, bits) == 8);
+
+namespace {
+
+struct CmpInfo {
+  Cond cc;
+  bool wide;
+  bool eqz;
+};
+
+std::optional<CmpInfo> cmp_info(std::uint16_t op) {
+  switch (op) {
+    case kI32Eqz: return CmpInfo{CC_E, false, true};
+    case kI64Eqz: return CmpInfo{CC_E, true, true};
+    default: break;
+  }
+  if (op >= kI32Eq && op <= kI64GeU) {
+    const bool wide = op >= kI64Eq;
+    static constexpr Cond kOrder[10] = {CC_E, CC_NE, CC_L,  CC_B,  CC_G,
+                                        CC_A, CC_LE, CC_BE, CC_GE, CC_AE};
+    const std::uint16_t rel = op - (wide ? kI64Eq : kI32Eq);
+    return CmpInfo{kOrder[rel], wide, false};
+  }
+  return std::nullopt;
+}
+
+/// Net operand-stack effect of a non-branching op, or nullopt for an op the
+/// prescan does not recognise (=> refuse the function).
+std::optional<int> op_delta(const Module& m, const Instr& ins) {
+  const std::uint16_t op = ins.op;
+  switch (op) {
+    case kNop: return 0;
+    case kDrop: return -1;
+    case kSelect: return -2;
+    case kLocalGet:
+    case kGlobalGet:
+    case kMemorySize:
+    case kI32Const:
+    case kI64Const:
+    case kF32Const:
+    case kF64Const: return 1;
+    case kLocalSet:
+    case kGlobalSet: return -1;
+    case kLocalTee:
+    case kMemoryGrow: return 0;
+    case kInstrMemCopy:
+    case kInstrMemFill: return -3;
+    case kCall: {
+      const FuncType& t = m.func_type(ins.a);
+      return static_cast<int>(t.results.size()) - static_cast<int>(t.params.size());
+    }
+    case kCallIndirect: {
+      if (ins.a >= m.types.size()) return std::nullopt;
+      const FuncType& t = m.types[ins.a];
+      return -1 + static_cast<int>(t.results.size()) -
+             static_cast<int>(t.params.size());
+    }
+    default: break;
+  }
+  if (op >= kI32Load && op <= kI64Load32U) return 0;
+  if (op >= kI32Store && op <= kI64Store32) return -2;
+  if (op == kI32Eqz || op == kI64Eqz) return 0;
+  if (op >= kI32Eq && op <= kI64GeU) return -1;   // binary int comparisons
+  if (op >= kF32Eq && op <= kF64Ge) return -1;    // binary float comparisons
+  if (op >= kI32Clz && op <= kI32Popcnt) return 0;
+  if (op >= kI32Add && op <= kI32Rotr) return -1;
+  if (op >= kI64Clz && op <= kI64Popcnt) return 0;
+  if (op >= kI64Add && op <= kI64Rotr) return -1;
+  if (op >= kF32Abs && op <= kF32Sqrt) return 0;
+  if (op >= kF32Add && op <= kF32Copysign) return -1;
+  if (op >= kF64Abs && op <= kF64Sqrt) return 0;
+  if (op >= kF64Add && op <= kF64Copysign) return -1;
+  if (op >= kI32WrapI64 && op <= kI64Extend32S) return 0;  // conversions
+  if (op >= kInstrTruncSatBase && op < kInstrTruncSatBase + 8) return 0;
+  return std::nullopt;
+}
+
+class FnCompiler {
+ public:
+  FnCompiler(const Module& module, const CompiledFunc& func)
+      : module_(module), func_(func), num_locals_(func.num_locals) {}
+
+  bool run() {
+    if (!prescan()) return false;
+    emit_prologue();
+    if (!emit_body()) return false;
+    emit_tail();
+    return true;
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(e_.buf); }
+
+ private:
+  // -- prescan ----------------------------------------------------------------
+
+  bool prescan() {
+    const auto& code = func_.code;
+    const std::size_t n = code.size();
+    if (n == 0 || func_.result_arity > 1) return false;
+    height_.assign(n, -1);
+    is_target_.assign(n, 0);
+    dead_.assign(n, 0);
+    int cur = 0;
+    bool known = true;  // false after an unconditional control transfer
+    for (std::size_t pc = 0; pc < n; ++pc) {
+      if (height_[pc] >= 0) {
+        if (known && cur != height_[pc]) return false;  // join disagrees
+        cur = height_[pc];
+        known = true;
+      } else if (!known) {
+        // Unreachable and never branched to (e.g. the implicit end-return
+        // after an explicit `return`): control cannot arrive here, so the
+        // instruction is simply not emitted. Branches inside a dead region
+        // are skipped too — they cannot execute, so they seed nothing.
+        dead_[pc] = 1;
+        continue;
+      } else {
+        height_[pc] = cur;
+      }
+      const Instr& ins = code[pc];
+      auto seed = [&](std::uint32_t target, int h) {
+        if (target >= n || h < 0) return false;
+        is_target_[target] = 1;
+        if (target <= pc) return height_[target] == h;  // backward edge
+        if (height_[target] >= 0 && height_[target] != h) return false;
+        height_[target] = h;
+        return true;
+      };
+      switch (ins.op) {
+        case kUnreachable:
+          known = false;
+          break;
+        case kBr:
+          if (ins.aux > 1) return false;
+          if (!seed(ins.a, cur - static_cast<int>(ins.imm))) return false;
+          known = false;
+          break;
+        case kBrIf:
+          if (ins.aux > 1) return false;
+          if (!seed(ins.a, (cur - 1) - static_cast<int>(ins.imm))) return false;
+          cur -= 1;
+          break;
+        case kInstrBrIfFalse:
+          if (!seed(ins.a, cur - 1)) return false;
+          cur -= 1;
+          break;
+        case kBrTable: {
+          if (ins.a + ins.imm >= func_.tables.size()) return false;
+          for (std::uint64_t i = 0; i <= ins.imm; ++i) {
+            const BrTableEntry& entry = func_.tables[ins.a + i];
+            if (entry.keep > 1) return false;
+            if (!seed(entry.target, (cur - 1) - static_cast<int>(entry.drop)))
+              return false;
+          }
+          known = false;
+          break;
+        }
+        case kReturn:
+          if (ins.aux > 1) return false;
+          known = false;
+          break;
+        default: {
+          const auto delta = op_delta(module_, ins);
+          if (!delta) return false;
+          cur += *delta;
+          break;
+        }
+      }
+      if (known &&
+          (cur < 0 || cur > static_cast<int>(func_.max_operand_height))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // -- frame helpers ----------------------------------------------------------
+
+  std::int32_t slot_disp(int h) const {
+    return static_cast<std::int32_t>((num_locals_ + h) * 8);
+  }
+  void load_slot(Reg r, int h, bool wide = true) {
+    if (wide)
+      e_.load64(r, RBP, slot_disp(h));
+    else
+      e_.load32(r, RBP, slot_disp(h));
+  }
+  void store_slot(int h, Reg r) { e_.store64(RBP, slot_disp(h), r); }
+
+  /// ctx->sp = ctx->base + num_locals + h (the dynamic height helpers see).
+  void spill_sp(int h) {
+    e_.load64(RAX, R15, 16);
+    e_.lea_disp(RAX, RAX, static_cast<std::int32_t>(num_locals_ + h));
+    e_.store64(R15, 8, RAX);
+  }
+
+  /// Re-derives rbp/r13/r14 from the context (a helper may have moved the
+  /// operand-stack storage or grown memory).
+  void reload_pinned() {
+    e_.load64(RAX, R15, 0);   // stack_base
+    e_.load64(RCX, R15, 16);  // base
+    e_.lea_scaled8(RBP, RAX, RCX);
+    e_.load64(R13, R15, 24);  // mem_base
+    e_.load64(R14, R15, 32);  // mem_size
+  }
+
+  void trap_check() {
+    e_.cmp_m64_imm8(R15, 72, 0);
+    exit_sites_.push_back(e_.jcc(CC_NE));
+  }
+
+  template <typename Fn>
+  void call_helper(Fn* fn) {
+    e_.mov_ri64(RAX, reinterpret_cast<std::uint64_t>(fn));
+    e_.call_r(RAX);
+  }
+
+  void emit_trap_jump(int code) {
+    trap_sites_[code].push_back(e_.jmp());
+  }
+
+  /// Computes the effective address (addr32 + offset) into rax and emits
+  /// the bounds check `ea + width <= mem_size` (clobbers rcx).
+  void emit_addr(int h_addr, std::uint64_t offset, std::uint32_t width) {
+    e_.load32(RAX, RBP, slot_disp(h_addr));
+    if (offset != 0) {
+      if (offset <= 0x7fffffff) {
+        e_.lea_disp(RAX, RAX, static_cast<std::int32_t>(offset));
+      } else {
+        e_.mov_ri32(RCX, static_cast<std::uint32_t>(offset));
+        e_.add_rr(RAX, RCX, true);
+      }
+    }
+    e_.lea_disp(RCX, RAX, static_cast<std::int32_t>(width));
+    e_.cmp_rr(RCX, R14, true);
+    trap_sites_[kTrapOob].push_back(e_.jcc(CC_A));
+  }
+
+  void emit_compare_bool(const CmpInfo& ci, int h) {
+    if (ci.eqz) {
+      load_slot(RAX, h - 1, ci.wide);
+      e_.test_rr(RAX, RAX, ci.wide);
+      e_.setcc(CC_E, RAX);
+      e_.movzx8_rr(RAX, RAX);
+      store_slot(h - 1, RAX);
+    } else {
+      load_slot(RAX, h - 2, ci.wide);
+      load_slot(RCX, h - 1, ci.wide);
+      e_.cmp_rr(RAX, RCX, ci.wide);
+      e_.setcc(ci.cc, RAX);
+      e_.movzx8_rr(RAX, RAX);
+      store_slot(h - 2, RAX);
+    }
+  }
+
+  /// div/rem with the wasm trap/edge semantics (divide-by-zero trap,
+  /// INT_MIN/-1 overflow trap for div_s, INT_MIN%-1 == 0 for rem_s).
+  void emit_div(int h, bool wide, bool is_signed, bool is_rem) {
+    load_slot(RAX, h - 2, wide);
+    load_slot(RCX, h - 1, wide);
+    e_.test_rr(RCX, RCX, wide);
+    trap_sites_[kTrapDivZero].push_back(e_.jcc(CC_E));
+    Reg result = RAX;
+    if (is_signed) {
+      if (is_rem) {
+        // divisor == -1 => remainder 0 (also sidesteps the INT_MIN idiv #DE)
+        e_.cmp_ri(RCX, -1, wide);
+        const std::size_t zero_site = e_.jcc(CC_E);
+        if (wide)
+          e_.cqo();
+        else
+          e_.cdq();
+        e_.idiv(RCX, wide);
+        const std::size_t done_site = e_.jmp();
+        e_.patch_rel32(zero_site, e_.size());
+        e_.xor_rr(RDX, RDX, false);
+        e_.patch_rel32(done_site, e_.size());
+        result = RDX;
+      } else {
+        if (wide) {
+          e_.mov_ri64(RDX, 0x8000000000000000ull);
+          e_.cmp_rr(RAX, RDX, true);
+        } else {
+          e_.cmp_ri(RAX, std::numeric_limits<std::int32_t>::min(), false);
+        }
+        const std::size_t ok_site = e_.jcc(CC_NE);
+        e_.cmp_ri(RCX, -1, wide);
+        trap_sites_[kTrapOverflow].push_back(e_.jcc(CC_E));
+        e_.patch_rel32(ok_site, e_.size());
+        if (wide)
+          e_.cqo();
+        else
+          e_.cdq();
+        e_.idiv(RCX, wide);
+      }
+    } else {
+      e_.xor_rr(RDX, RDX, false);
+      e_.div(RCX, wide);
+      if (is_rem) result = RDX;
+    }
+    store_slot(h - 2, result);
+  }
+
+  void emit_fallback(const Instr& ins, int h) {
+    spill_sp(h);
+    e_.mov_rr(RDI, R15);
+    e_.mov_ri32(RSI, ins.op);
+    call_helper(&jit_helper_fallback);
+    reload_pinned();
+    trap_check();
+  }
+
+  // -- emission ---------------------------------------------------------------
+
+  void emit_prologue() {
+    e_.push_r(RBP);
+    e_.push_r(RBX);
+    e_.push_r(R12);
+    e_.push_r(R13);
+    e_.push_r(R14);
+    e_.push_r(R15);
+    e_.sub_rsp8();  // keeps rsp 16-byte aligned at helper call sites
+    e_.mov_rr(R15, RDI);
+    reload_pinned();
+  }
+
+  bool emit_body() {
+    const auto& code = func_.code;
+    const std::size_t n = code.size();
+    offsets_.assign(n, 0);
+    for (std::size_t pc = 0; pc < n; ++pc) {
+      offsets_[pc] = e_.size();
+      if (dead_[pc]) continue;  // unreachable: prescan proved nothing lands here
+      const Instr& ins = code[pc];
+      const int h = height_[pc];
+
+      // Fuse comparison + conditional branch into cmp+jcc when nothing can
+      // jump between them and the taken edge needs no stack adjustment.
+      if (const auto ci = cmp_info(ins.op); ci && pc + 1 < n && !is_target_[pc + 1]) {
+        const Instr& br = code[pc + 1];
+        const bool brif = br.op == kBrIf && br.imm == 0;
+        const bool brif_false = br.op == kInstrBrIfFalse;
+        if (brif || brif_false) {
+          if (ci->eqz) {
+            load_slot(RAX, h - 1, ci->wide);
+            e_.test_rr(RAX, RAX, ci->wide);
+            fixups_.push_back({e_.jcc(brif ? CC_E : CC_NE), br.a});
+          } else {
+            load_slot(RAX, h - 2, ci->wide);
+            load_slot(RCX, h - 1, ci->wide);
+            e_.cmp_rr(RAX, RCX, ci->wide);
+            const Cond cc = brif ? ci->cc : static_cast<Cond>(ci->cc ^ 1);
+            fixups_.push_back({e_.jcc(cc), br.a});
+          }
+          ++pc;
+          offsets_[pc] = e_.size();
+          continue;
+        }
+      }
+
+      switch (ins.op) {
+        case kNop:
+          break;
+        case kUnreachable:
+          emit_trap_jump(kTrapUnreachable);
+          break;
+
+        case kBr: {
+          if (ins.aux == 1 && ins.imm > 0) {
+            load_slot(RAX, h - 1);
+            store_slot(h - 1 - static_cast<int>(ins.imm), RAX);
+          }
+          fixups_.push_back({e_.jmp(), ins.a});
+          break;
+        }
+        case kBrIf: {
+          load_slot(RAX, h - 1);
+          e_.test_rr(RAX, RAX, true);
+          if (ins.aux == 1 && ins.imm > 0) {
+            const std::size_t skip = e_.jcc(CC_E);
+            load_slot(RAX, h - 2);
+            store_slot(h - 2 - static_cast<int>(ins.imm), RAX);
+            fixups_.push_back({e_.jmp(), ins.a});
+            e_.patch_rel32(skip, e_.size());
+          } else {
+            fixups_.push_back({e_.jcc(CC_NE), ins.a});
+          }
+          break;
+        }
+        case kInstrBrIfFalse: {
+          load_slot(RAX, h - 1);
+          e_.test_rr(RAX, RAX, true);
+          fixups_.push_back({e_.jcc(CC_E), ins.a});
+          break;
+        }
+        case kBrTable: {
+          spill_sp(h);
+          e_.mov_rr(RDI, R15);
+          e_.mov_ri64(RSI, reinterpret_cast<std::uint64_t>(&func_.tables[ins.a]));
+          e_.mov_ri32(RDX, static_cast<std::uint32_t>(ins.imm));
+          call_helper(&jit_helper_br_table);
+          // rax = target pc. The helper only memmoves within the stack, so
+          // the pinned registers stay valid — dispatch straight through the
+          // appended pc->offset table (position-independent via rip).
+          const std::size_t table_at = e_.lea_rip(RCX);
+          e_.load32_scaled4(RDX, RCX, RAX);
+          const std::size_t base_at = e_.lea_rip(RCX);
+          e_.add_rr(RCX, RDX, true);
+          e_.jmp_r(RCX);
+          table_sites_.push_back({table_at, base_at});
+          break;
+        }
+        case kReturn: {
+          if (ins.aux == 1) {
+            load_slot(RAX, h - 1);
+            e_.store64(RBP, 0, RAX);  // result to stack[base]
+          }
+          e_.load64(RAX, R15, 16);
+          if (ins.aux != 0)
+            e_.lea_disp(RAX, RAX, static_cast<std::int32_t>(ins.aux));
+          e_.store64(R15, 8, RAX);  // ctx->sp = base + keep
+          exit_sites_.push_back(e_.jmp());
+          break;
+        }
+
+        case kCall: {
+          spill_sp(h);
+          e_.mov_rr(RDI, R15);
+          e_.mov_ri32(RSI, ins.a);
+          call_helper(&jit_helper_call);
+          reload_pinned();
+          trap_check();
+          break;
+        }
+        case kCallIndirect: {
+          spill_sp(h);
+          e_.mov_rr(RDI, R15);
+          e_.mov_ri32(RSI, ins.a);
+          call_helper(&jit_helper_call_indirect);
+          reload_pinned();
+          trap_check();
+          break;
+        }
+
+        case kDrop:
+          break;
+        case kSelect: {
+          load_slot(RAX, h - 1);  // condition
+          load_slot(RCX, h - 2);  // v2
+          load_slot(RDX, h - 3);  // v1
+          e_.test_rr(RAX, RAX, true);
+          e_.cmovcc(CC_E, RDX, RCX, true);
+          store_slot(h - 3, RDX);
+          break;
+        }
+
+        case kLocalGet:
+          e_.load64(RAX, RBP, static_cast<std::int32_t>(ins.a * 8));
+          store_slot(h, RAX);
+          break;
+        case kLocalSet:
+          load_slot(RAX, h - 1);
+          e_.store64(RBP, static_cast<std::int32_t>(ins.a * 8), RAX);
+          break;
+        case kLocalTee:
+          load_slot(RAX, h - 1);
+          e_.store64(RBP, static_cast<std::int32_t>(ins.a * 8), RAX);
+          break;
+        case kGlobalGet:
+          e_.load64(RAX, R15, 48);
+          e_.load64(RAX, RAX, static_cast<std::int32_t>(ins.a * 16 + 8));
+          store_slot(h, RAX);
+          break;
+        case kGlobalSet:
+          e_.load64(RCX, R15, 48);
+          load_slot(RAX, h - 1);
+          e_.store64(RCX, static_cast<std::int32_t>(ins.a * 16 + 8), RAX);
+          break;
+
+        case kMemorySize:
+          e_.mov_rr(RAX, R14);
+          e_.mov_ri32(RCX, 16);  // bytes -> 64 KiB pages
+          e_.shift_cl(5, RAX, true);
+          store_slot(h, RAX);
+          break;
+        case kMemoryGrow:
+          spill_sp(h);
+          e_.mov_rr(RDI, R15);
+          call_helper(&jit_helper_memory_grow);
+          reload_pinned();  // memory may have moved; grow itself never traps
+          break;
+
+        case kI32Const:
+        case kI64Const:
+        case kF32Const:
+        case kF64Const:
+          if (ins.imm <= 0xffffffffull)
+            e_.mov_ri32(RAX, static_cast<std::uint32_t>(ins.imm));
+          else
+            e_.mov_ri64(RAX, ins.imm);
+          store_slot(h, RAX);
+          break;
+
+        case kInstrMemCopy:
+          spill_sp(h);
+          e_.mov_rr(RDI, R15);
+          call_helper(&jit_helper_mem_copy);
+          reload_pinned();
+          trap_check();
+          break;
+        case kInstrMemFill:
+          spill_sp(h);
+          e_.mov_rr(RDI, R15);
+          call_helper(&jit_helper_mem_fill);
+          reload_pinned();
+          trap_check();
+          break;
+
+        default:
+          if (!emit_default(ins, h)) return false;
+          break;
+      }
+    }
+    return true;
+  }
+
+  /// Loads, stores, numeric ops, conversions — everything table-shaped.
+  bool emit_default(const Instr& ins, int h) {
+    const std::uint16_t op = ins.op;
+
+    if (op >= kI32Load && op <= kI64Load32U) {
+      struct Shape {
+        std::uint8_t width_log2;
+        bool sign, wide;
+      };
+      static constexpr Shape kLoads[14] = {
+          {2, false, false},  // i32.load
+          {3, false, true},   // i64.load
+          {2, false, false},  // f32.load (raw bits)
+          {3, false, true},   // f64.load
+          {0, true, false},   // i32.load8_s
+          {0, false, false},  // i32.load8_u
+          {1, true, false},   // i32.load16_s
+          {1, false, false},  // i32.load16_u
+          {0, true, true},    // i64.load8_s
+          {0, false, false},  // i64.load8_u
+          {1, true, true},    // i64.load16_s
+          {1, false, false},  // i64.load16_u
+          {2, true, true},    // i64.load32_s
+          {2, false, false},  // i64.load32_u
+      };
+      const Shape s = kLoads[op - kI32Load];
+      emit_addr(h - 1, ins.imm, 1u << s.width_log2);
+      e_.load_mem_extend(RAX, R13, RAX, s.width_log2, s.sign, s.wide);
+      store_slot(h - 1, RAX);
+      return true;
+    }
+
+    if (op >= kI32Store && op <= kI64Store32) {
+      static constexpr std::uint8_t kStoreWidthLog2[9] = {
+          2,  // i32.store
+          3,  // i64.store
+          2,  // f32.store
+          3,  // f64.store
+          0,  // i32.store8
+          1,  // i32.store16
+          0,  // i64.store8
+          1,  // i64.store16
+          2,  // i64.store32
+      };
+      const std::uint8_t w = kStoreWidthLog2[op - kI32Store];
+      emit_addr(h - 2, ins.imm, 1u << w);
+      load_slot(RCX, h - 1);
+      e_.store_mem(R13, RAX, w, RCX);
+      return true;
+    }
+
+    if (const auto ci = cmp_info(op)) {
+      emit_compare_bool(*ci, h);
+      return true;
+    }
+
+    const bool i32_bin = op >= kI32Add && op <= kI32Rotr;
+    const bool i64_bin = op >= kI64Add && op <= kI64Rotr;
+    if (i32_bin || i64_bin) {
+      const bool wide = i64_bin;
+      // rel: 0 add, 1 sub, 2 mul, 3 div_s, 4 div_u, 5 rem_s, 6 rem_u,
+      //      7 and, 8 or, 9 xor, 10 shl, 11 shr_s, 12 shr_u, 13 rotl, 14 rotr
+      const std::uint16_t rel = op - (wide ? kI64Add : kI32Add);
+      switch (rel) {
+        case 0:
+        case 1:
+        case 7:
+        case 8:
+        case 9: {
+          static constexpr std::uint8_t kAlu[10] = {0x01, 0x29, 0, 0,    0,
+                                                    0,    0,    0x21, 0x09, 0x31};
+          load_slot(RAX, h - 2, wide);
+          load_slot(RCX, h - 1, wide);
+          e_.alu_rr(kAlu[rel], RAX, RCX, wide);
+          store_slot(h - 2, RAX);
+          return true;
+        }
+        case 2:  // mul
+          load_slot(RAX, h - 2, wide);
+          load_slot(RCX, h - 1, wide);
+          e_.imul_rr(RAX, RCX, wide);
+          store_slot(h - 2, RAX);
+          return true;
+        case 3:  // div_s
+          emit_div(h, wide, true, false);
+          return true;
+        case 4:  // div_u
+          emit_div(h, wide, false, false);
+          return true;
+        case 5:  // rem_s
+          emit_div(h, wide, true, true);
+          return true;
+        case 6:  // rem_u
+          emit_div(h, wide, false, true);
+          return true;
+        default: {
+          // shl / shr_s / shr_u / rotl / rotr — x86 masks the count exactly
+          // as wasm requires (&31 / &63).
+          static constexpr std::uint8_t kShiftExt[5] = {4, 7, 5, 0, 1};
+          load_slot(RAX, h - 2, wide);
+          load_slot(RCX, h - 1, false);
+          e_.shift_cl(kShiftExt[rel - 10], RAX, wide);
+          store_slot(h - 2, RAX);
+          return true;
+        }
+      }
+    }
+
+    switch (op) {
+      case kI32WrapI64:
+      case kI64ExtendI32U:
+      case kI32ReinterpretF32:
+      case kF32ReinterpretI32:
+        load_slot(RAX, h - 1, false);  // low 32 bits, zero-extended
+        store_slot(h - 1, RAX);
+        return true;
+      case kI64ReinterpretF64:
+      case kF64ReinterpretI64:
+        return true;  // identity on the 64-bit slot
+      case kI64ExtendI32S:
+        load_slot(RAX, h - 1, false);
+        e_.movsx_rr(RAX, RAX, 2, true);
+        store_slot(h - 1, RAX);
+        return true;
+      case kI32Extend8S:
+        load_slot(RAX, h - 1, false);
+        e_.movsx_rr(RAX, RAX, 0, false);
+        store_slot(h - 1, RAX);
+        return true;
+      case kI32Extend16S:
+        load_slot(RAX, h - 1, false);
+        e_.movsx_rr(RAX, RAX, 1, false);
+        store_slot(h - 1, RAX);
+        return true;
+      case kI64Extend8S:
+        load_slot(RAX, h - 1);
+        e_.movsx_rr(RAX, RAX, 0, true);
+        store_slot(h - 1, RAX);
+        return true;
+      case kI64Extend16S:
+        load_slot(RAX, h - 1);
+        e_.movsx_rr(RAX, RAX, 1, true);
+        store_slot(h - 1, RAX);
+        return true;
+      case kI64Extend32S:
+        load_slot(RAX, h - 1, false);
+        e_.movsx_rr(RAX, RAX, 2, true);
+        store_slot(h - 1, RAX);
+        return true;
+      default:
+        break;
+    }
+
+    // Everything else the stream can legally contain — float arithmetic and
+    // comparisons, clz/ctz/popcnt, float<->int conversions, saturating
+    // truncation — runs through the per-opcode fallback thunk. The prescan
+    // already priced its stack effect, so tier-up is never blocked.
+    if (op_delta(module_, ins).has_value()) {
+      emit_fallback(ins, h);
+      return true;
+    }
+    return false;
+  }
+
+  void emit_tail() {
+    // Epilogue (every exit funnels here, including trap paths).
+    const std::size_t epilogue = e_.size();
+    e_.add_rsp8();
+    e_.pop_r(R15);
+    e_.pop_r(R14);
+    e_.pop_r(R13);
+    e_.pop_r(R12);
+    e_.pop_r(RBX);
+    e_.pop_r(RBP);
+    e_.ret();
+
+    // Trap stubs: set the code, exit. One stub per trap kind in use.
+    for (int code = kTrapOob; code <= kTrapUnreachable; ++code) {
+      if (trap_sites_[code].empty()) continue;
+      const std::size_t stub = e_.size();
+      e_.store_imm32(R15, 72, code);
+      e_.patch_rel32(e_.jmp(), epilogue);
+      for (const std::size_t at : trap_sites_[code]) e_.patch_rel32(at, stub);
+    }
+
+    for (const std::size_t at : exit_sites_) e_.patch_rel32(at, epilogue);
+    for (const auto& [at, target_pc] : fixups_)
+      e_.patch_rel32(at, offsets_[target_pc]);
+
+    // br_table dispatch data: one u32 code offset per pc, appended after
+    // the code and addressed rip-relatively (position-independent image).
+    if (!table_sites_.empty()) {
+      e_.align(4);
+      const std::size_t table = e_.size();
+      for (const std::size_t off : offsets_)
+        e_.u32(static_cast<std::uint32_t>(off));
+      for (const auto& [table_at, base_at] : table_sites_) {
+        e_.patch_rel32(table_at, table);
+        e_.patch_rel32(base_at, 0);  // rcx = image base
+      }
+    }
+  }
+
+  const Module& module_;
+  const CompiledFunc& func_;
+  const std::uint32_t num_locals_;
+  Emitter e_;
+
+  std::vector<int> height_;         // operand height at each pc
+  std::vector<std::uint8_t> is_target_;
+  std::vector<std::uint8_t> dead_;  // unreachable pcs: emitted as nothing
+  std::vector<std::size_t> offsets_;  // emitted offset of each pc
+
+  struct Fixup {
+    std::size_t at;
+    std::uint32_t target_pc;
+  };
+  std::vector<Fixup> fixups_;
+  std::vector<std::size_t> exit_sites_;           // -> epilogue
+  std::array<std::vector<std::size_t>, 5> trap_sites_;  // [trap code]
+  struct TableSite {
+    std::size_t table_at;
+    std::size_t base_at;
+  };
+  std::vector<TableSite> table_sites_;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> compile_function(const Module& module,
+                                           const CompiledFunc& func) {
+  FnCompiler compiler(module, func);
+  if (!compiler.run()) return {};
+  return compiler.take();
+}
+
+}  // namespace watz::wasm::jit

@@ -1,0 +1,398 @@
+// Minimal x86-64 machine-code emitter for the baseline JIT tier.
+//
+// Plain-struct encodings appended to a byte buffer: REX prefixes, ModRM/SIB
+// addressing and rel32 control flow — just enough of the ISA for the
+// codegen in codegen.cpp. No external dependencies, no assembler: every
+// helper writes the exact bytes of one instruction form, so the emitted
+// stream is auditable against the Intel SDM opcode tables. Labels are the
+// caller's problem (codegen records patch sites and back-patches rel32 /
+// disp32 fields after layout), which keeps this layer stateless.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace watz::wasm::jit {
+
+/// Register numbers as encoded in ModRM (REX.B/R extends to r8-r15).
+enum Reg : std::uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+/// Condition codes (the low nibble of the 0F 8x / 0F 9x opcodes).
+enum Cond : std::uint8_t {
+  CC_O = 0x0,
+  CC_NO = 0x1,
+  CC_B = 0x2,   // unsigned <
+  CC_AE = 0x3,  // unsigned >=
+  CC_E = 0x4,
+  CC_NE = 0x5,
+  CC_BE = 0x6,  // unsigned <=
+  CC_A = 0x7,   // unsigned >
+  CC_S = 0x8,
+  CC_NS = 0x9,
+  CC_L = 0xc,   // signed <
+  CC_GE = 0xd,  // signed >=
+  CC_LE = 0xe,  // signed <=
+  CC_G = 0xf,   // signed >
+};
+
+class Emitter {
+ public:
+  std::vector<std::uint8_t> buf;
+
+  std::size_t size() const noexcept { return buf.size(); }
+  void u8(std::uint8_t b) { buf.push_back(b); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  /// Back-patches a 32-bit little-endian field written earlier.
+  void patch32(std::size_t at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+
+  // -- prefixes / ModRM --------------------------------------------------------
+
+  /// Emits a REX prefix when any bit is needed (or forced by `w`).
+  void rex(bool w, std::uint8_t reg, std::uint8_t index, std::uint8_t base) {
+    const std::uint8_t r = (w ? 0x8 : 0) | ((reg & 8) >> 1) | ((index & 8) >> 2) |
+                           ((base & 8) >> 3);
+    if (r || w) u8(0x40 | r);
+  }
+
+  void modrm(std::uint8_t mod, std::uint8_t reg, std::uint8_t rm) {
+    u8(static_cast<std::uint8_t>((mod << 6) | ((reg & 7) << 3) | (rm & 7)));
+  }
+
+  /// ModRM (+SIB +disp) for a [base + index*scale + disp] memory operand.
+  /// `index` = 0xff for none. Handles the RSP/R12 SIB requirement and the
+  /// RBP/R13 no-mod-00 rule.
+  void mem(std::uint8_t reg, Reg base, std::uint8_t index, std::uint8_t scale_log2,
+           std::int32_t disp) {
+    const bool need_sib = index != 0xff || (base & 7) == 4;
+    const bool no_disp0 = (base & 7) == 5;  // rbp/r13: mod 00 means rip/disp32
+    std::uint8_t mod;
+    if (disp == 0 && !no_disp0)
+      mod = 0;
+    else if (disp >= -128 && disp <= 127)
+      mod = 1;
+    else
+      mod = 2;
+    if (need_sib) {
+      modrm(mod, reg, 4);
+      u8(static_cast<std::uint8_t>((scale_log2 << 6) | ((index == 0xff ? 4 : (index & 7)) << 3) |
+                                   (base & 7)));
+    } else {
+      modrm(mod, reg, base);
+    }
+    if (mod == 1)
+      u8(static_cast<std::uint8_t>(disp));
+    else if (mod == 2)
+      u32(static_cast<std::uint32_t>(disp));
+  }
+
+  // -- moves -------------------------------------------------------------------
+
+  void mov_ri64(Reg r, std::uint64_t imm) {  // movabs r64, imm64
+    rex(true, 0, 0, r);
+    u8(static_cast<std::uint8_t>(0xB8 | (r & 7)));
+    u64(imm);
+  }
+  void mov_ri32(Reg r, std::uint32_t imm) {  // mov r32, imm32 (zero-extends)
+    rex(false, 0, 0, r);
+    u8(static_cast<std::uint8_t>(0xB8 | (r & 7)));
+    u32(imm);
+  }
+  void mov_rr(Reg dst, Reg src) {  // mov r64, r64
+    rex(true, src, 0, dst);
+    u8(0x89);
+    modrm(3, src, dst);
+  }
+  /// mov r64, [base + disp]
+  void load64(Reg dst, Reg base, std::int32_t disp) {
+    rex(true, dst, 0, base);
+    u8(0x8B);
+    mem(dst, base, 0xff, 0, disp);
+  }
+  /// mov r32, [base + disp] — zero-extends into the full register.
+  void load32(Reg dst, Reg base, std::int32_t disp) {
+    rex(false, dst, 0, base);
+    u8(0x8B);
+    mem(dst, base, 0xff, 0, disp);
+  }
+  /// mov [base + disp], r64
+  void store64(Reg base, std::int32_t disp, Reg src) {
+    rex(true, src, 0, base);
+    u8(0x89);
+    mem(src, base, 0xff, 0, disp);
+  }
+  /// Sized load from [base + index] with sign/zero extension.
+  /// width_log2: 0/1/2/3 bytes; sign extends to 32 (`wide`=false) or 64.
+  void load_mem_extend(Reg dst, Reg base, Reg index, std::uint8_t width_log2,
+                       bool sign, bool wide) {
+    switch (width_log2) {
+      case 0:
+        rex(sign ? wide : false, dst, index, base);
+        u8(0x0F);
+        u8(sign ? 0xBE : 0xB6);
+        break;
+      case 1:
+        rex(sign ? wide : false, dst, index, base);
+        u8(0x0F);
+        u8(sign ? 0xBF : 0xB7);
+        break;
+      case 2:
+        if (sign) {
+          rex(true, dst, index, base);  // movsxd r64, r/m32
+          u8(0x63);
+        } else {
+          rex(false, dst, index, base);  // mov r32, r/m32
+          u8(0x8B);
+        }
+        break;
+      default:
+        rex(true, dst, index, base);
+        u8(0x8B);
+        break;
+    }
+    mem(dst, base, index, 0, 0);
+  }
+  /// Sized store of the low bytes of `src` to [base + index].
+  void store_mem(Reg base, Reg index, std::uint8_t width_log2, Reg src) {
+    switch (width_log2) {
+      case 0:
+        // SPL/BPL/SIL/DIL would need a REX; we only ever store from rcx (CL).
+        rex(false, src, index, base);
+        u8(0x88);
+        break;
+      case 1:
+        u8(0x66);
+        rex(false, src, index, base);
+        u8(0x89);
+        break;
+      case 2:
+        rex(false, src, index, base);
+        u8(0x89);
+        break;
+      default:
+        rex(true, src, index, base);
+        u8(0x89);
+        break;
+    }
+    mem(src, base, index, 0, 0);
+  }
+  /// mov r32, [base + index*4] (zero-extends) — br_table offset fetch.
+  void load32_scaled4(Reg dst, Reg base, Reg index) {
+    rex(false, dst, index, base);
+    u8(0x8B);
+    mem(dst, base, index, 2, 0);
+  }
+
+  // -- ALU ---------------------------------------------------------------------
+
+  /// Two-register ALU op (MR form: dst = dst OP src). `op` is the 32-bit
+  /// opcode byte: add 01, or 09, and 21, sub 29, xor 31, cmp 39.
+  void alu_rr(std::uint8_t op, Reg dst, Reg src, bool wide) {
+    rex(wide, src, 0, dst);
+    u8(op);
+    modrm(3, src, dst);
+  }
+  void add_rr(Reg dst, Reg src, bool wide = true) { alu_rr(0x01, dst, src, wide); }
+  void sub_rr(Reg dst, Reg src, bool wide = true) { alu_rr(0x29, dst, src, wide); }
+  void and_rr(Reg dst, Reg src, bool wide = true) { alu_rr(0x21, dst, src, wide); }
+  void or_rr(Reg dst, Reg src, bool wide = true) { alu_rr(0x09, dst, src, wide); }
+  void xor_rr(Reg dst, Reg src, bool wide = true) { alu_rr(0x31, dst, src, wide); }
+  void cmp_rr(Reg a, Reg b, bool wide = true) { alu_rr(0x39, a, b, wide); }
+  void test_rr(Reg a, Reg b, bool wide = true) {
+    rex(wide, b, 0, a);
+    u8(0x85);
+    modrm(3, b, a);
+  }
+  /// ALU with immediate (81 /ext id or 83 /ext ib). ext: add 0, sub 5, cmp 7.
+  void alu_ri(std::uint8_t ext, Reg r, std::int32_t imm, bool wide) {
+    rex(wide, 0, 0, r);
+    if (imm >= -128 && imm <= 127) {
+      u8(0x83);
+      modrm(3, ext, r);
+      u8(static_cast<std::uint8_t>(imm));
+    } else {
+      u8(0x81);
+      modrm(3, ext, r);
+      u32(static_cast<std::uint32_t>(imm));
+    }
+  }
+  void add_ri(Reg r, std::int32_t imm, bool wide = true) { alu_ri(0, r, imm, wide); }
+  void cmp_ri(Reg r, std::int32_t imm, bool wide = true) { alu_ri(7, r, imm, wide); }
+  void imul_rr(Reg dst, Reg src, bool wide) {  // imul r, r/m
+    rex(wide, dst, 0, src);
+    u8(0x0F);
+    u8(0xAF);
+    modrm(3, dst, src);
+  }
+  /// Shift/rotate by CL: ext — rol 0, ror 1, shl 4, shr 5, sar 7.
+  void shift_cl(std::uint8_t ext, Reg r, bool wide) {
+    rex(wide, 0, 0, r);
+    u8(0xD3);
+    modrm(3, ext, r);
+  }
+  void cdq() { u8(0x99); }
+  void cqo() {
+    u8(0x48);
+    u8(0x99);
+  }
+  void idiv(Reg r, bool wide) {  // F7 /7
+    rex(wide, 0, 0, r);
+    u8(0xF7);
+    modrm(3, 7, r);
+  }
+  void div(Reg r, bool wide) {  // F7 /6
+    rex(wide, 0, 0, r);
+    u8(0xF7);
+    modrm(3, 6, r);
+  }
+  /// movsx within/into a register: 8->32/64, 16->32/64, 32->64.
+  void movsx_rr(Reg dst, Reg src, std::uint8_t from_log2, bool wide) {
+    if (from_log2 == 2) {
+      rex(true, dst, 0, src);  // movsxd
+      u8(0x63);
+    } else {
+      // 8-bit source: low byte of rax..r15 needs REX when src >= 4.
+      if (from_log2 == 0 && src >= RSP && !wide && !(dst & 8) && !(src & 8)) u8(0x40);
+      rex(wide, dst, 0, src);
+      u8(0x0F);
+      u8(from_log2 == 0 ? 0xBE : 0xBF);
+    }
+    modrm(3, dst, src);
+  }
+  void setcc(Cond cc, Reg r) {  // setcc r8 (use rax..rdx only: no REX handling)
+    u8(0x0F);
+    u8(static_cast<std::uint8_t>(0x90 | cc));
+    modrm(3, 0, r);
+  }
+  void movzx8_rr(Reg dst, Reg src) {  // movzx r32, r8
+    rex(false, dst, 0, src);
+    u8(0x0F);
+    u8(0xB6);
+    modrm(3, dst, src);
+  }
+  void cmovcc(Cond cc, Reg dst, Reg src, bool wide = true) {
+    rex(wide, dst, 0, src);
+    u8(0x0F);
+    u8(static_cast<std::uint8_t>(0x40 | cc));
+    modrm(3, dst, src);
+  }
+  /// lea dst, [base + index*8]
+  void lea_scaled8(Reg dst, Reg base, Reg index) {
+    rex(true, dst, index, base);
+    u8(0x8D);
+    mem(dst, base, index, 3, 0);
+  }
+  /// lea dst, [base + disp]
+  void lea_disp(Reg dst, Reg base, std::int32_t disp) {
+    rex(true, dst, 0, base);
+    u8(0x8D);
+    mem(dst, base, 0xff, 0, disp);
+  }
+  /// lea dst, [rip + disp32]; returns the patch offset of the disp32 field.
+  /// The final displacement is relative to the END of this instruction.
+  std::size_t lea_rip(Reg dst) {
+    rex(true, dst, 0, 0);
+    u8(0x8D);
+    modrm(0, dst, 5);
+    const std::size_t at = size();
+    u32(0);
+    return at;
+  }
+  /// cmp qword [base + disp], imm8
+  void cmp_m64_imm8(Reg base, std::int32_t disp, std::int8_t imm) {
+    rex(true, 0, 0, base);
+    u8(0x83);
+    mem(7, base, 0xff, 0, disp);
+    u8(static_cast<std::uint8_t>(imm));
+  }
+  /// mov qword [base + disp], imm32 (sign-extended)
+  void store_imm32(Reg base, std::int32_t disp, std::int32_t imm) {
+    rex(true, 0, 0, base);
+    u8(0xC7);
+    mem(0, base, 0xff, 0, disp);
+    u32(static_cast<std::uint32_t>(imm));
+  }
+
+  // -- control flow ------------------------------------------------------------
+
+  /// jcc rel32; returns the patch offset of the rel32 field.
+  std::size_t jcc(Cond cc) {
+    u8(0x0F);
+    u8(static_cast<std::uint8_t>(0x80 | cc));
+    const std::size_t at = size();
+    u32(0);
+    return at;
+  }
+  /// jmp rel32; returns the patch offset of the rel32 field.
+  std::size_t jmp() {
+    u8(0xE9);
+    const std::size_t at = size();
+    u32(0);
+    return at;
+  }
+  /// Resolves a rel32 patch site against a target buffer offset.
+  void patch_rel32(std::size_t at, std::size_t target) {
+    patch32(at, static_cast<std::uint32_t>(target - (at + 4)));
+  }
+  void jmp_r(Reg r) {  // jmp r64
+    rex(false, 0, 0, r);
+    u8(0xFF);
+    modrm(3, 4, r);
+  }
+  void call_r(Reg r) {  // call r64
+    rex(false, 0, 0, r);
+    u8(0xFF);
+    modrm(3, 2, r);
+  }
+  void push_r(Reg r) {
+    if (r & 8) u8(0x41);
+    u8(static_cast<std::uint8_t>(0x50 | (r & 7)));
+  }
+  void pop_r(Reg r) {
+    if (r & 8) u8(0x41);
+    u8(static_cast<std::uint8_t>(0x58 | (r & 7)));
+  }
+  void ret() { u8(0xC3); }
+  void sub_rsp8() {  // sub rsp, 8 (alignment slot)
+    u8(0x48);
+    u8(0x83);
+    u8(0xEC);
+    u8(0x08);
+  }
+  void add_rsp8() {
+    u8(0x48);
+    u8(0x83);
+    u8(0xC4);
+    u8(0x08);
+  }
+  /// Pads with int3 to the given alignment (between code and data tables).
+  void align(std::size_t a) {
+    while (buf.size() % a) u8(0xCC);
+  }
+};
+
+}  // namespace watz::wasm::jit

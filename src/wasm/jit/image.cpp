@@ -1,0 +1,54 @@
+#include "wasm/jit/jit.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define WATZ_JIT_HAS_MMAP 1
+#else
+#define WATZ_JIT_HAS_MMAP 0
+#endif
+
+namespace watz::wasm::jit {
+
+bool jit_available() noexcept {
+#if defined(__x86_64__) && WATZ_JIT_HAS_MMAP
+  static const bool enabled = std::getenv("WATZ_DISABLE_JIT") == nullptr;
+  return enabled;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<ExecutableImage> ExecutableImage::create(
+    const std::uint8_t* code, std::size_t size) {
+#if WATZ_JIT_HAS_MMAP
+  if (size == 0) return nullptr;
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t map_bytes = (size + page - 1) & ~(page - 1);
+  void* pages = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (pages == MAP_FAILED) return nullptr;
+  std::memcpy(pages, code, size);
+  if (::mprotect(pages, map_bytes, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(pages, map_bytes);
+    return nullptr;
+  }
+  return std::unique_ptr<ExecutableImage>(
+      new ExecutableImage(static_cast<std::uint8_t*>(pages), map_bytes));
+#else
+  (void)code;
+  (void)size;
+  return nullptr;
+#endif
+}
+
+ExecutableImage::~ExecutableImage() {
+#if WATZ_JIT_HAS_MMAP
+  ::munmap(pages_, map_bytes_);
+#endif
+}
+
+}  // namespace watz::wasm::jit

@@ -1,0 +1,133 @@
+// Baseline native-codegen tier: shared definitions between the codegen
+// (codegen.cpp), the W^X image holder (image.cpp) and the runtime glue
+// (exec_native.cpp).
+//
+// Execution model: a compiled function is a single `NativeFn` entered with
+// a JitContext describing the frame — the operand-stack storage, the frame
+// base, the linear memory window and the trap flag. The generated code
+// keeps hot state in callee-saved registers:
+//
+//   r15 = JitContext*              (never reloaded)
+//   rbp = &stack[base]             (locals + operand slots at fixed offsets)
+//   r13 = linear memory base       r14 = linear memory size (bytes)
+//
+// Operand-stack heights are resolved STATICALLY (the validated stream has
+// one height per pc), so pushes/pops become moves to fixed [rbp + disp]
+// slots and the dynamic sp only materialises at callout boundaries.
+// Anything the baseline does not lower natively — f32/f64 arithmetic,
+// clz/ctz/popcnt, saturating truncation, calls, br_table unwinding,
+// memory.grow/copy/fill — goes through the jit_helper_* thunks below,
+// which run ordinary C++ against the same operand stack. Traps NEVER
+// unwind through native frames (there is no unwind info): helpers catch
+// TrapException into `trap_code`/`trap_msg`, inline checks set the code
+// directly, and generated code tests the flag after every callout and
+// branches to the epilogue; the C++ entry thunk rethrows.
+//
+// Reload discipline (the pinned pointers of ISSUE 7's satellite fix): a
+// helper that can move the operand-stack storage or linear memory
+// (nested calls can resize the stack; a callee can memory.grow) updates
+// stack_base/mem_base/mem_size in the context, and generated code reloads
+// rbp/r13/r14 from the context after EVERY helper call before touching
+// either again.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wasm/instance.hpp"
+
+namespace watz::wasm::jit {
+
+class TierSet;
+
+/// Trap codes generated code writes into JitContext::trap_code. Positive
+/// codes map to the canonical trap messages (bit-identical with the
+/// interpreter and the AOT stream); kTrapCustom carries the message in
+/// *trap_msg (helper-caught TrapException).
+inline constexpr std::int64_t kTrapNone = 0;
+inline constexpr std::int64_t kTrapOob = 1;          // "out of bounds memory access"
+inline constexpr std::int64_t kTrapDivZero = 2;      // "integer divide by zero"
+inline constexpr std::int64_t kTrapOverflow = 3;     // "integer overflow"
+inline constexpr std::int64_t kTrapUnreachable = 4;  // "unreachable executed"
+inline constexpr std::int64_t kTrapCustom = -1;
+
+/// The native frame descriptor. Field offsets are baked into generated
+/// code — static_asserts in codegen.cpp pin the layout.
+struct JitContext {
+  std::uint64_t* stack_base = nullptr;  // 0: operand-stack storage
+  std::uint64_t sp = 0;                 // 8: dynamic height (callouts only)
+  std::uint64_t base = 0;               // 16: frame base index
+  std::uint8_t* mem_base = nullptr;     // 24: linear memory window
+  std::uint64_t mem_size = 0;           // 32
+  Instance* inst = nullptr;             // 40
+  GlobalSlot* globals = nullptr;        // 48 (stride 16, bits at +8)
+  std::vector<std::uint64_t>* stack = nullptr;  // 56: for resizing helpers
+  std::int64_t depth = 0;               // 64
+  std::int64_t trap_code = kTrapNone;   // 72
+  std::uint64_t fallback_ops = 0;       // 80: per-opcode thunk invocations
+  TierSet* tier = nullptr;              // 88: nested tiered dispatch
+  Memory* memory = nullptr;             // 96
+  std::string* trap_msg = nullptr;      // 104: kTrapCustom message
+};
+
+using NativeFn = void (*)(JitContext*);
+
+/// True when this host can run the baseline tier: x86-64 and not opted out
+/// via the WATZ_DISABLE_JIT environment variable (the CI lever for the
+/// non-x86-64 wholesale-fallback path). Checked once per process.
+bool jit_available() noexcept;
+
+/// W^X executable pages: mapped RW, filled, then flipped to RX — the image
+/// is never writable and executable at once. create() returns null when
+/// the platform cannot provide executable pages (the caller falls back to
+/// the AOT stream wholesale).
+class ExecutableImage {
+ public:
+  static std::unique_ptr<ExecutableImage> create(const std::uint8_t* code,
+                                                 std::size_t size);
+  ~ExecutableImage();
+  ExecutableImage(const ExecutableImage&) = delete;
+  ExecutableImage& operator=(const ExecutableImage&) = delete;
+
+  const std::uint8_t* entry() const noexcept { return pages_; }
+  /// Page-rounded footprint (what the secure-heap gauge is charged).
+  std::size_t bytes() const noexcept { return map_bytes_; }
+
+ private:
+  ExecutableImage(std::uint8_t* pages, std::size_t map_bytes)
+      : pages_(pages), map_bytes_(map_bytes) {}
+  std::uint8_t* pages_;
+  std::size_t map_bytes_;
+};
+
+/// Lowers one validated AOT-stream function to x86-64. Returns the
+/// position-independent code bytes (entry at offset 0), or an empty vector
+/// when the function uses a shape the baseline refuses (multi-value
+/// branches, inconsistent static heights) — the caller keeps that function
+/// on the AOT stream forever.
+std::vector<std::uint8_t> compile_function(const Module& module,
+                                           const CompiledFunc& func);
+
+// -- helper thunks (addresses embedded in generated code) ---------------------
+
+void jit_helper_call(JitContext* ctx, std::uint32_t func_index);
+void jit_helper_call_indirect(JitContext* ctx, std::uint32_t type_index);
+void jit_helper_fallback(JitContext* ctx, std::uint32_t op);
+void jit_helper_memory_grow(JitContext* ctx);
+void jit_helper_mem_copy(JitContext* ctx);
+void jit_helper_mem_fill(JitContext* ctx);
+/// Pops the selector, unwinds per the chosen BrTableEntry and returns the
+/// target pc (generated code indirects through its pc->offset table).
+std::uint64_t jit_helper_br_table(JitContext* ctx, const BrTableEntry* entries,
+                                  std::uint64_t count);
+
+/// Entry thunk: builds the native frame (mirrors the AOT-stream prologue,
+/// including the operand-stack resize), runs `entry`, flushes metrics and
+/// rethrows any recorded trap with its canonical message.
+void exec_call_native(Instance& inst, TierSet& tier, const void* entry,
+                      const CompiledFunc& cf, std::vector<std::uint64_t>& stack,
+                      std::size_t& sp, int depth);
+
+}  // namespace watz::wasm::jit

@@ -1,0 +1,127 @@
+// Per-module tiering state: heat counters, the compile queue and the
+// installed native entry pointers.
+//
+// One TierSet exists per prepared module (owned by PreparedModule, shared
+// into every Instance via `Instance::tier`), so codegen is paid once per
+// measurement fleet-wide and warm pool checkouts inherit native entries.
+//
+// Concurrency contract:
+//   * note_call()/entry_for() run on SandboxSlot workers — lock-free.
+//   * compile_pending()/compile_all() run on the control plane (the
+//     gateway's background sweeper or an explicit test/bench call), never
+//     on a worker. A mutex serialises compilers; installation is a single
+//     release-store into the per-function entry pointer, which workers
+//     load-acquire. A worker that reads the old null simply runs the AOT
+//     stream one more time — there is no blocking anywhere on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "wasm/jit/jit.hpp"
+
+namespace watz::wasm::jit {
+
+struct TierConfig {
+  bool enabled = true;
+  /// Calls to one function before it is queued for native compilation.
+  std::uint32_t hot_threshold = 64;
+  /// Secure-heap accounting for executable pages: charge returns false when
+  /// the reservation would exceed the enclave heap bound (the function then
+  /// stays on the AOT stream); release undoes the charge (TierSet dtor).
+  std::function<bool(std::size_t)> charge_code;
+  std::function<void(std::size_t)> release_code;
+};
+
+class TierSet {
+ public:
+  TierSet(const Module* module, std::span<const CompiledFunc> compiled,
+          TierConfig config);
+  ~TierSet();
+  TierSet(const TierSet&) = delete;
+  TierSet& operator=(const TierSet&) = delete;
+
+  /// Hot path: the installed native entry for a module-local function
+  /// index, or null while the function is still on the AOT stream.
+  const void* entry_for(std::uint32_t index) const noexcept {
+    return funcs_[index].entry.load(std::memory_order_acquire);
+  }
+
+  /// Hot path: bump the heat counter; queues the function for background
+  /// compilation when it crosses the threshold (exactly once).
+  void note_call(std::uint32_t index) noexcept;
+
+  /// Control plane: compile everything the heat counters queued. Returns
+  /// the number of functions tiered up by this call.
+  std::size_t compile_pending();
+
+  /// Control plane / tests: force-compile every eligible function now.
+  std::size_t compile_all();
+
+  /// Points the metric flushes at registry-owned instruments (fleet-wide
+  /// counters). Unbound sinks are skipped; local totals always accumulate.
+  void bind_metrics(obs::Counter* compiles, obs::Counter* native_entries,
+                    obs::Counter* fallback_ops,
+                    obs::Histogram* compile_ns) noexcept;
+
+  /// Called by the native entry thunk per invocation / at frame exit.
+  void count_native_entry() noexcept;
+  void add_fallback_ops(std::uint64_t n) noexcept;
+
+  std::uint64_t tier_up_compiles() const noexcept {
+    return compiles_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t native_entries() const noexcept {
+    return entries_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fallback_ops() const noexcept {
+    return fallback_total_.load(std::memory_order_relaxed);
+  }
+  /// Page-rounded executable bytes currently mapped (charged to the
+  /// secure heap).
+  std::size_t native_code_bytes() const noexcept {
+    return code_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t hot_threshold() const noexcept { return config_.hot_threshold; }
+  bool enabled() const noexcept { return config_.enabled; }
+
+ private:
+  struct TierFunc {
+    std::atomic<const void*> entry{nullptr};
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<bool> requested{false};
+    std::atomic<bool> failed{false};
+  };
+
+  /// Compile + W^X-map + charge + install one function. compile_mu_ held.
+  bool compile_one(std::uint32_t index);
+
+  const Module* module_;
+  std::span<const CompiledFunc> compiled_;
+  TierConfig config_;
+  std::unique_ptr<TierFunc[]> funcs_;
+
+  std::mutex pending_mu_;
+  std::vector<std::uint32_t> pending_;
+
+  std::mutex compile_mu_;  // serialises compilers; images_ lives under it
+  std::vector<std::unique_ptr<ExecutableImage>> images_;
+
+  std::atomic<std::size_t> code_bytes_{0};
+  std::atomic<std::uint64_t> compiles_total_{0};
+  std::atomic<std::uint64_t> entries_total_{0};
+  std::atomic<std::uint64_t> fallback_total_{0};
+
+  std::atomic<obs::Counter*> sink_compiles_{nullptr};
+  std::atomic<obs::Counter*> sink_entries_{nullptr};
+  std::atomic<obs::Counter*> sink_fallback_{nullptr};
+  std::atomic<obs::Histogram*> sink_compile_ns_{nullptr};
+};
+
+}  // namespace watz::wasm::jit

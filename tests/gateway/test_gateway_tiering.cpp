@@ -1,0 +1,235 @@
+// Gateway-level native tiering + SUBMIT memo tests: heat counters trip
+// background compilation through Gateway::sweep_tier_compiles, native
+// entries are inherited by warm pool checkouts, the tiering counters ride
+// the STATS wire frame, and the single-invoke result memo answers twin
+// SUBMITs without entering a sandbox.
+//
+// Every native-specific assertion is gated on wasm::jit::jit_available():
+// under WATZ_DISABLE_JIT (the CI fallback leg) or on non-x86-64 hosts the
+// suite still runs end to end and asserts the degraded-to-AOT behaviour
+// (zero compiles, correct results).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/device.hpp"
+#include "gateway/gateway.hpp"
+#include "wasm/builder.hpp"
+#include "wasm/jit/jit.hpp"
+
+namespace watz::gateway {
+namespace {
+
+core::DeviceConfig device_config(const std::string& hostname, std::uint8_t id) {
+  core::DeviceConfig config;
+  config.hostname = hostname;
+  config.otpmk.fill(id);
+  config.latency.enabled = false;
+  return config;
+}
+
+/// Guest exporting work(n) -> sum(1..n): an integer loop the baseline JIT
+/// lowers entirely to native code (no fallback thunks).
+Bytes compute_app() {
+  wasm::ModuleBuilder b;
+  b.add_memory(1);
+  const auto f = b.add_function(
+      {{wasm::ValType::I32}, {wasm::ValType::I32}},
+      {wasm::ValType::I32, wasm::ValType::I32});  // locals: 1 = i, 2 = acc
+  wasm::CodeEmitter e;
+  e.block(0x40);
+  e.loop(0x40);
+  e.local_get(1).local_get(0).op(wasm::kI32GeS).br_if(1);
+  e.local_get(1).i32_const(1).op(wasm::kI32Add).local_tee(1);
+  e.local_get(2).op(wasm::kI32Add).local_set(2);
+  e.br(0);
+  e.end();
+  e.end();
+  e.local_get(2);
+  b.set_body(f, e.bytes());
+  b.export_function("work", f);
+  return b.build();
+}
+
+class GatewayTieringTest : public ::testing::Test {
+ protected:
+  void SetUpFleet(GatewayConfig config) {
+    vendor_ = core::Vendor::create(to_bytes("gw-tier-vendor"));
+    auto device =
+        core::Device::boot(fabric_, vendor_, device_config("tier-node", 0x61));
+    ASSERT_TRUE(device.ok()) << device.error();
+    devices_.push_back(std::move(*device));
+    gateway_ = std::make_unique<Gateway>(fabric_, config, to_bytes("gw-tier-id"));
+    ASSERT_TRUE(gateway_->start().ok());
+    for (auto& d : devices_) ASSERT_TRUE(gateway_->add_device(*d).ok());
+    client_ = std::make_unique<GatewayClient>(fabric_);
+    ASSERT_TRUE(client_->connect(config.hostname, config.port).ok());
+  }
+
+  /// Attach + upload compute_app; fills session_ and measurement_.
+  void AttachAndLoad() {
+    auto attach = client_->attach("tier-tenant");
+    ASSERT_TRUE(attach.ok()) << attach.error();
+    session_ = attach->session_id;
+    auto load = client_->load_module(session_, compute_app());
+    ASSERT_TRUE(load.ok()) << load.error();
+    measurement_ = load->measurement;
+  }
+
+  InvokeRequest work_request(std::int32_t n) {
+    InvokeRequest req;
+    req.session_id = session_;
+    req.measurement = measurement_;
+    req.entry = "work";
+    req.args = {wasm::Value::from_i32(n)};
+    req.heap_bytes = 1 << 20;
+    return req;
+  }
+
+  /// Polls a SUBMIT ticket to completion (bounded spin: the in-process
+  /// fabric makes results land in microseconds).
+  Result<InvokeResponse> redeem(std::uint64_t ticket) {
+    for (int spin = 0; spin < 20000; ++spin) {
+      auto poll = client_->poll(session_, ticket);
+      if (!poll.ok()) return Result<InvokeResponse>::err(poll.error());
+      if (poll->ready) {
+        if (!poll->error.empty()) return Result<InvokeResponse>::err(poll->error);
+        return std::move(poll->result);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    return Result<InvokeResponse>::err("test: poll timed out");
+  }
+
+  net::Fabric fabric_;
+  core::Vendor vendor_;
+  std::vector<std::unique_ptr<core::Device>> devices_;
+  std::unique_ptr<Gateway> gateway_;
+  std::unique_ptr<GatewayClient> client_;
+  std::uint64_t session_ = 0;
+  crypto::Sha256Digest measurement_{};
+};
+
+TEST_F(GatewayTieringTest, HotInvokesTierUpViaControlPlaneSweep) {
+  GatewayConfig config;
+  config.jit_hot_calls = 1;  // first touch marks the function hot
+  SetUpFleet(config);
+  AttachAndLoad();
+
+  // First invoke runs on the AOT stream and trips the heat counter.
+  auto first = client_->invoke(work_request(1000));
+  ASSERT_TRUE(first.ok()) << first.error();
+  EXPECT_EQ(first->results.front().i32(), 500500);
+
+  // The explicit sweep is what the background sweeper does every interval;
+  // driving it here makes the tier-up deterministic.
+  const std::size_t compiled = gateway_->sweep_tier_compiles();
+  auto second = client_->invoke(work_request(2000));
+  ASSERT_TRUE(second.ok()) << second.error();
+  EXPECT_EQ(second->results.front().i32(), 2001000);
+
+  GatewayStats stats = gateway_->stats();
+  if (wasm::jit::jit_available()) {
+    EXPECT_GT(compiled, 0u);
+    EXPECT_GT(stats.tier_up_compiles, 0u);
+    EXPECT_GT(stats.native_entries, 0u);
+    // Pure-integer module: nothing should have gone through the thunks.
+    EXPECT_EQ(stats.jit_fallback_ops, 0u);
+    // Idempotent: nothing left pending after the sweep.
+    EXPECT_EQ(gateway_->sweep_tier_compiles(), 0u);
+  } else {
+    // Fallback leg (WATZ_DISABLE_JIT / non-x86-64): wholesale AOT stream,
+    // results identical, tiering plane quiescent.
+    EXPECT_EQ(compiled, 0u);
+    EXPECT_EQ(stats.tier_up_compiles, 0u);
+    EXPECT_EQ(stats.native_entries, 0u);
+  }
+}
+
+TEST_F(GatewayTieringTest, TieringCountersRideTheStatsWire) {
+  GatewayConfig config;
+  config.jit_hot_calls = 1;
+  SetUpFleet(config);
+  AttachAndLoad();
+
+  ASSERT_TRUE(client_->invoke(work_request(10)).ok());
+  gateway_->sweep_tier_compiles();
+  ASSERT_TRUE(client_->invoke(work_request(10)).ok());
+
+  // Round-trip through the wire encoding: the client-side decode must see
+  // what the gateway serialised, including the detail-gated compile stage.
+  auto wire = client_->stats(session_, /*detail=*/true);
+  ASSERT_TRUE(wire.ok()) << wire.error();
+  GatewayStats local = gateway_->stats(true);
+  EXPECT_EQ(wire->tier_up_compiles, local.tier_up_compiles);
+  EXPECT_EQ(wire->native_entries, local.native_entries);
+  EXPECT_EQ(wire->jit_fallback_ops, local.jit_fallback_ops);
+  EXPECT_EQ(wire->invoke_memo_hits, local.invoke_memo_hits);
+  EXPECT_EQ(wire->stage_jit_compile.count, local.stage_jit_compile.count);
+  if (wasm::jit::jit_available()) {
+    EXPECT_GT(wire->tier_up_compiles, 0u);
+    EXPECT_GT(wire->stage_jit_compile.count, 0u);
+    // Without detail the compile histogram stays unserialised.
+    auto plain = client_->stats(session_, /*detail=*/false);
+    ASSERT_TRUE(plain.ok()) << plain.error();
+    EXPECT_EQ(plain->stage_jit_compile.count, 0u);
+    EXPECT_EQ(plain->tier_up_compiles, wire->tier_up_compiles);
+  }
+}
+
+TEST_F(GatewayTieringTest, SubmitMemoServesTwinWithoutExecuting) {
+  GatewayConfig config;
+  config.invoke_memo_ttl_ns = 60ull * 1'000'000'000;  // generous: no expiry here
+  SetUpFleet(config);
+  AttachAndLoad();
+
+  auto ticket = client_->submit(work_request(100));
+  ASSERT_TRUE(ticket.ok()) << ticket.error();
+  auto first = redeem(ticket->ticket);
+  ASSERT_TRUE(first.ok()) << first.error();
+  EXPECT_EQ(first->results.front().i32(), 5050);
+  const std::uint64_t executed = gateway_->stats().invocations;
+
+  // The twin rides the memo: same results, no new sandbox execution, and
+  // its pre-satisfied ticket is ready on the first poll.
+  auto twin = client_->submit(work_request(100));
+  ASSERT_TRUE(twin.ok()) << twin.error();
+  auto poll = client_->poll(session_, twin->ticket);
+  ASSERT_TRUE(poll.ok()) << poll.error();
+  ASSERT_TRUE(poll->ready);
+  ASSERT_TRUE(poll->error.empty()) << poll->error;
+  EXPECT_EQ(poll->result.results.front().i32(), 5050);
+  EXPECT_EQ(poll->result.ra_exchanges, 0u);
+
+  GatewayStats stats = gateway_->stats();
+  EXPECT_EQ(stats.invoke_memo_hits, 1u);
+  EXPECT_EQ(stats.invocations, executed);  // nothing executed for the twin
+
+  // Different arguments are a different semantic identity: full execution.
+  auto other = client_->submit(work_request(101));
+  ASSERT_TRUE(other.ok()) << other.error();
+  auto other_result = redeem(other->ticket);
+  ASSERT_TRUE(other_result.ok()) << other_result.error();
+  EXPECT_EQ(other_result->results.front().i32(), 5151);
+  EXPECT_EQ(gateway_->stats().invocations, executed + 1);
+}
+
+TEST_F(GatewayTieringTest, SubmitMemoOffByDefault) {
+  SetUpFleet(GatewayConfig{});
+  AttachAndLoad();
+
+  for (int i = 0; i < 2; ++i) {
+    auto ticket = client_->submit(work_request(7));
+    ASSERT_TRUE(ticket.ok()) << ticket.error();
+    auto r = redeem(ticket->ticket);
+    ASSERT_TRUE(r.ok()) << r.error();
+    EXPECT_EQ(r->results.front().i32(), 28);
+  }
+  GatewayStats stats = gateway_->stats();
+  EXPECT_EQ(stats.invoke_memo_hits, 0u);
+  EXPECT_EQ(stats.invocations, 2u);  // both executed, nothing memoised
+}
+
+}  // namespace
+}  // namespace watz::gateway

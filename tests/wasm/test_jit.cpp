@@ -1,0 +1,692 @@
+// Native-codegen tier: direct correctness tests for the baseline x86-64
+// JIT. Every test builds a module programmatically, runs it once on the
+// plain AOT stream and once with a force-compiled TierSet attached, and
+// requires identical results (and identical trap messages).
+//
+// Native-specific assertions are gated on jit::jit_available() so the suite
+// stays green on non-x86-64 hosts and under WATZ_DISABLE_JIT — there the
+// AOT-stream half still runs, which is exactly the fallback contract.
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "wasm/builder.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/instance.hpp"
+#include "wasm/jit/tier.hpp"
+#include "wasm/opcodes.hpp"
+#include "wasm/validator.hpp"
+
+namespace watz::wasm {
+namespace {
+
+const ImportResolver& no_imports() {
+  static ImportResolver r;
+  return r;
+}
+
+std::unique_ptr<Instance> instantiate_aot(const Bytes& bin,
+                                          const ImportResolver& imports) {
+  auto mod = decode_module(bin);
+  EXPECT_TRUE(mod.ok()) << mod.error();
+  if (!mod.ok()) return nullptr;
+  auto inst = Instance::instantiate(std::move(*mod), imports, ExecMode::Aot);
+  EXPECT_TRUE(inst.ok()) << inst.error();
+  if (!inst.ok()) return nullptr;
+  return std::move(*inst);
+}
+
+/// Builds a TierSet over the instance's own module/compiled store and
+/// force-compiles everything, so the very first invoke runs native code.
+std::shared_ptr<jit::TierSet> force_tier(Instance& inst,
+                                         std::uint32_t hot_threshold = 1) {
+  jit::TierConfig config;
+  config.hot_threshold = hot_threshold;
+  auto tier = std::make_shared<jit::TierSet>(&inst.module(), inst.compiled,
+                                             std::move(config));
+  tier->compile_all();
+  inst.tier = tier;
+  return tier;
+}
+
+struct Tiered {
+  std::unique_ptr<Instance> aot;  // plain AOT stream
+  std::unique_ptr<Instance> nat;  // force-compiled tier attached (if available)
+  std::shared_ptr<jit::TierSet> tier;
+};
+
+Tiered make_tiered(const Bytes& bin, const ImportResolver& imports = no_imports()) {
+  Tiered t;
+  t.aot = instantiate_aot(bin, imports);
+  t.nat = instantiate_aot(bin, imports);
+  if (t.nat && jit::jit_available()) t.tier = force_tier(*t.nat);
+  return t;
+}
+
+/// Invokes `name` on both instances and asserts bit-identical outcomes
+/// (results or trap messages).
+void check_both(Tiered& t, const std::string& name, std::vector<Value> args) {
+  ASSERT_TRUE(t.aot && t.nat);
+  auto a = t.aot->invoke(name, args);
+  auto b = t.nat->invoke(name, args);
+  ASSERT_EQ(a.ok(), b.ok()) << name << ": aot="
+                            << (a.ok() ? "ok" : a.error()) << " native="
+                            << (b.ok() ? "ok" : b.error());
+  if (!a.ok()) {
+    EXPECT_EQ(a.error(), b.error()) << name;
+    return;
+  }
+  ASSERT_EQ(a->size(), b->size()) << name;
+  for (std::size_t i = 0; i < a->size(); ++i)
+    EXPECT_EQ((*a)[i].bits, (*b)[i].bits) << name << " result " << i;
+}
+
+FuncType sig(std::vector<ValType> params, std::vector<ValType> results) {
+  return FuncType{std::move(params), std::move(results)};
+}
+
+/// The trap message of an invocation expected to trap ("(ok)" otherwise).
+std::string trap_of(Instance& inst, const std::string& name,
+                    std::vector<Value> args) {
+  auto r = inst.invoke(name, args);
+  return r.ok() ? std::string("(ok)") : r.error();
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(JitCodegen, IntegerArithmetic32) {
+  ModuleBuilder mb;
+  // f(a, b) = ((a + b) * 7 - (a & b)) ^ (a | b) + (a << (b & 31)) etc.,
+  // exercising the whole 32-bit ALU surface in one expression tree.
+  auto f = mb.add_function(sig({ValType::I32, ValType::I32}, {ValType::I32}));
+  CodeEmitter ce;
+  ce.local_get(0).local_get(1).op(kI32Add);
+  ce.i32_const(7).op(kI32Mul);
+  ce.local_get(0).local_get(1).op(kI32And).op(kI32Sub);
+  ce.local_get(0).local_get(1).op(kI32Or).op(kI32Xor);
+  ce.local_get(0).local_get(1).op(kI32Shl).op(kI32Add);
+  ce.local_get(0).local_get(1).op(kI32ShrU).op(kI32Add);
+  ce.local_get(0).local_get(1).op(kI32ShrS).op(kI32Sub);
+  ce.local_get(0).local_get(1).op(kI32Rotl).op(kI32Xor);
+  ce.local_get(0).local_get(1).op(kI32Rotr).op(kI32Add);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("f", f);
+
+  Tiered t = make_tiered(mb.build());
+  for (auto [a, b] : std::vector<std::pair<std::int32_t, std::int32_t>>{
+           {0, 0}, {1, 1}, {-1, 1}, {12345, -678}, {INT32_MIN, 31},
+           {INT32_MAX, 33}, {0x77777777, 131}, {-19, 5}}) {
+    check_both(t, "f", {Value::from_i32(a), Value::from_i32(b)});
+  }
+  if (t.tier) {
+    EXPECT_GT(t.tier->native_entries(), 0u);
+  }
+}
+
+TEST(JitCodegen, IntegerArithmetic64) {
+  ModuleBuilder mb;
+  auto f = mb.add_function(sig({ValType::I64, ValType::I64}, {ValType::I64}));
+  CodeEmitter ce;
+  ce.local_get(0).local_get(1).op(kI64Add);
+  ce.local_get(0).op(kI64Mul);
+  ce.local_get(1).op(kI64Xor);
+  ce.local_get(0).local_get(1).op(kI64Shl).op(kI64Add);
+  ce.local_get(0).local_get(1).op(kI64ShrS).op(kI64Sub);
+  ce.local_get(0).local_get(1).op(kI64Rotl).op(kI64Or);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("f", f);
+
+  Tiered t = make_tiered(mb.build());
+  for (auto [a, b] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {0, 0}, {-1, 65}, {INT64_MIN, 1}, {0x123456789abcdef0LL, 17},
+           {INT64_MAX, -3}}) {
+    check_both(t, "f", {Value::from_i64(a), Value::from_i64(b)});
+  }
+}
+
+TEST(JitCodegen, DivRemEdgeCases) {
+  ModuleBuilder mb;
+  auto mk = [&](Op op) {
+    auto f = mb.add_function(sig({ValType::I32, ValType::I32}, {ValType::I32}));
+    CodeEmitter ce;
+    ce.local_get(0).local_get(1).op(op);
+    mb.set_body(f, ce.bytes());
+    return f;
+  };
+  mb.export_function("div_s", mk(kI32DivS));
+  mb.export_function("div_u", mk(kI32DivU));
+  mb.export_function("rem_s", mk(kI32RemS));
+  mb.export_function("rem_u", mk(kI32RemU));
+
+  auto f64d = mb.add_function(sig({ValType::I64, ValType::I64}, {ValType::I64}));
+  CodeEmitter ce;
+  ce.local_get(0).local_get(1).op(kI64DivS);
+  mb.set_body(f64d, ce.bytes());
+  mb.export_function("div_s64", f64d);
+
+  Tiered t = make_tiered(mb.build());
+  // Normal division both signs.
+  check_both(t, "div_s", {Value::from_i32(-7), Value::from_i32(2)});
+  check_both(t, "div_u", {Value::from_i32(-7), Value::from_i32(2)});
+  check_both(t, "rem_s", {Value::from_i32(-7), Value::from_i32(3)});
+  check_both(t, "rem_u", {Value::from_i32(-7), Value::from_i32(3)});
+  // Divide by zero traps.
+  check_both(t, "div_s", {Value::from_i32(1), Value::from_i32(0)});
+  check_both(t, "rem_u", {Value::from_i32(1), Value::from_i32(0)});
+  // INT_MIN / -1 overflows; INT_MIN % -1 == 0 (must NOT trap).
+  check_both(t, "div_s", {Value::from_i32(INT32_MIN), Value::from_i32(-1)});
+  check_both(t, "rem_s", {Value::from_i32(INT32_MIN), Value::from_i32(-1)});
+  check_both(t, "div_s64", {Value::from_i64(INT64_MIN), Value::from_i64(-1)});
+
+  // Exact spec trap strings survive the native tier.
+  if (t.tier) {
+    EXPECT_EQ(trap_of(*t.nat, "div_s", {Value::from_i32(1), Value::from_i32(0)}),
+              "trap: integer divide by zero");
+    EXPECT_EQ(trap_of(*t.nat, "div_s",
+                      {Value::from_i32(INT32_MIN), Value::from_i32(-1)}),
+              "trap: integer overflow");
+  }
+}
+
+TEST(JitCodegen, ComparisonsAndSelect) {
+  ModuleBuilder mb;
+  auto mk = [&](Op op, bool wide) {
+    ValType vt = wide ? ValType::I64 : ValType::I32;
+    auto f = mb.add_function(sig({vt, vt}, {ValType::I32}));
+    CodeEmitter ce;
+    ce.local_get(0).local_get(1).op(op);
+    mb.set_body(f, ce.bytes());
+    return f;
+  };
+  mb.export_function("lt_s", mk(kI32LtS, false));
+  mb.export_function("gt_u", mk(kI32GtU, false));
+  mb.export_function("le_s", mk(kI32LeS, false));
+  mb.export_function("ge_u", mk(kI32GeU, false));
+  mb.export_function("eq64", mk(kI64Eq, true));
+  mb.export_function("lt_u64", mk(kI64LtU, true));
+
+  // select(a, b, a < b)
+  auto fs = mb.add_function(sig({ValType::I32, ValType::I32}, {ValType::I32}));
+  CodeEmitter ce;
+  ce.local_get(0).local_get(1).local_get(0).local_get(1).op(kI32LtS).op(kSelect);
+  mb.set_body(fs, ce.bytes());
+  mb.export_function("min_s", fs);
+
+  // eqz
+  auto fz = mb.add_function(sig({ValType::I64}, {ValType::I32}));
+  CodeEmitter cz;
+  cz.local_get(0).op(kI64Eqz);
+  mb.set_body(fz, cz.bytes());
+  mb.export_function("eqz64", fz);
+
+  Tiered t = make_tiered(mb.build());
+  for (auto [a, b] : std::vector<std::pair<std::int32_t, std::int32_t>>{
+           {-1, 1}, {1, -1}, {5, 5}, {INT32_MIN, INT32_MAX}, {0, 0}}) {
+    check_both(t, "lt_s", {Value::from_i32(a), Value::from_i32(b)});
+    check_both(t, "gt_u", {Value::from_i32(a), Value::from_i32(b)});
+    check_both(t, "le_s", {Value::from_i32(a), Value::from_i32(b)});
+    check_both(t, "ge_u", {Value::from_i32(a), Value::from_i32(b)});
+    check_both(t, "min_s", {Value::from_i32(a), Value::from_i32(b)});
+  }
+  check_both(t, "eq64", {Value::from_i64(-1), Value::from_i64(-1)});
+  check_both(t, "lt_u64", {Value::from_i64(-1), Value::from_i64(1)});
+  check_both(t, "eqz64", {Value::from_i64(0)});
+  check_both(t, "eqz64", {Value::from_i64(1ull << 40)});
+}
+
+TEST(JitCodegen, FusedBranchesAndLoops) {
+  ModuleBuilder mb;
+  // sum(n) = 1 + 2 + ... + n via a loop with a fused cmp+br_if back edge.
+  auto f = mb.add_function(sig({ValType::I32}, {ValType::I32}),
+                           {ValType::I32, ValType::I32});
+  CodeEmitter ce;
+  ce.block();
+  ce.loop();
+  ce.local_get(1).local_get(0).op(kI32GeS).br_if(1);  // i >= n -> exit
+  ce.local_get(1).i32_const(1).op(kI32Add).local_tee(1);
+  ce.local_get(2).op(kI32Add).local_set(2);
+  ce.br(0);
+  ce.end();
+  ce.end();
+  ce.local_get(2);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("sum", f);
+
+  // if/else lowered through kInstrBrIfFalse (the fused-false form).
+  auto g = mb.add_function(sig({ValType::I32, ValType::I32}, {ValType::I32}));
+  CodeEmitter cg;
+  cg.local_get(0).local_get(1).op(kI32Eq);
+  cg.if_(0x7f);  // result i32
+  cg.i32_const(100);
+  cg.else_();
+  cg.i32_const(-100);
+  cg.end();
+  mb.set_body(g, cg.bytes());
+  mb.export_function("pick", g);
+
+  Tiered t = make_tiered(mb.build());
+  check_both(t, "sum", {Value::from_i32(0)});
+  check_both(t, "sum", {Value::from_i32(1)});
+  check_both(t, "sum", {Value::from_i32(1000)});
+  check_both(t, "pick", {Value::from_i32(3), Value::from_i32(3)});
+  check_both(t, "pick", {Value::from_i32(3), Value::from_i32(4)});
+}
+
+TEST(JitCodegen, MemoryLoadsStores) {
+  ModuleBuilder mb;
+  mb.add_memory(1, 2);
+  // store_load(addr, v): i32.store at addr+4, reload with i32.load8_u,
+  // i32.load16_s and a full i32.load; combine.
+  auto f = mb.add_function(sig({ValType::I32, ValType::I32}, {ValType::I32}));
+  CodeEmitter ce;
+  ce.local_get(0).local_get(1).store(kI32Store, 4);
+  ce.local_get(0).load(kI32Load8U, 4);
+  ce.local_get(0).load(kI32Load16S, 4).op(kI32Add);
+  ce.local_get(0).load(kI32Load, 4).op(kI32Xor);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("f", f);
+
+  // 64-bit round trip including i64.load32_s sign extension.
+  auto g = mb.add_function(sig({ValType::I64}, {ValType::I64}));
+  CodeEmitter cg;
+  cg.i32_const(64).local_get(0).store(kI64Store, 0);
+  cg.i32_const(64).load(kI64Load32S, 0);
+  cg.i32_const(64).load(kI64Load, 0).op(kI64Add);
+  mb.set_body(g, cg.bytes());
+  mb.export_function("g", g);
+
+  Tiered t = make_tiered(mb.build());
+  check_both(t, "f", {Value::from_i32(0), Value::from_i32(0x12f48623)});
+  check_both(t, "f", {Value::from_i32(1000), Value::from_i32(-1)});
+  // Last in-bounds word and first out-of-bounds address.
+  check_both(t, "f", {Value::from_i32(65536 - 8), Value::from_i32(7)});
+  check_both(t, "f", {Value::from_i32(65536 - 7), Value::from_i32(7)});
+  check_both(t, "f", {Value::from_i32(-4), Value::from_i32(7)});
+  check_both(t, "g", {Value::from_i64(-0x1234567890LL)});
+
+  if (t.tier) {
+    EXPECT_EQ(trap_of(*t.nat, "f", {Value::from_i32(-4), Value::from_i32(7)}),
+              "trap: out of bounds memory access");
+  }
+}
+
+TEST(JitCodegen, Globals) {
+  ModuleBuilder mb;
+  mb.add_global(ValType::I32, true, 17);
+  mb.add_global(ValType::I64, true, -5);
+  auto f = mb.add_function(sig({ValType::I32}, {ValType::I32}));
+  CodeEmitter ce;
+  ce.global_get(0).local_get(0).op(kI32Add).global_set(0);
+  ce.global_get(1).i64_const(1).op(kI64Add).global_set(1);
+  ce.global_get(0);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("bump", f);
+
+  Tiered t = make_tiered(mb.build());
+  // Globals are per-instance state: run the same sequence on both.
+  check_both(t, "bump", {Value::from_i32(3)});
+  check_both(t, "bump", {Value::from_i32(100)});
+  check_both(t, "bump", {Value::from_i32(-120)});
+}
+
+TEST(JitCodegen, BrTable) {
+  ModuleBuilder mb;
+  auto f = mb.add_function(sig({ValType::I32}, {ValType::I32}));
+  CodeEmitter ce;
+  ce.block();  // depth 2 -> 30
+  ce.block();  // depth 1 -> 20
+  ce.block();  // depth 0 -> 10
+  ce.local_get(0).br_table({0, 1, 2}, 1);
+  ce.end();
+  ce.i32_const(10).op(kReturn);
+  ce.end();
+  ce.i32_const(20).op(kReturn);
+  ce.end();
+  ce.i32_const(30).op(kReturn);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("switch", f);
+
+  Tiered t = make_tiered(mb.build());
+  for (std::int32_t v : {0, 1, 2, 3, -1, 1000}) {
+    check_both(t, "switch", {Value::from_i32(v)});
+  }
+}
+
+TEST(JitCodegen, CallsAndRecursion) {
+  ModuleBuilder mb;
+  auto fib = mb.add_function(sig({ValType::I32}, {ValType::I32}));
+  CodeEmitter ce;
+  ce.local_get(0).i32_const(2).op(kI32LtS);
+  ce.if_(0x7f);
+  ce.local_get(0);
+  ce.else_();
+  ce.local_get(0).i32_const(1).op(kI32Sub).call(fib);
+  ce.local_get(0).i32_const(2).op(kI32Sub).call(fib);
+  ce.op(kI32Add);
+  ce.end();
+  mb.set_body(fib, ce.bytes());
+  mb.export_function("fib", fib);
+
+  // Unbounded recursion must trap identically through native frames.
+  auto inf = mb.add_function(sig({}, {ValType::I32}));
+  CodeEmitter ci;
+  ci.call(inf);
+  mb.set_body(inf, ci.bytes());
+  mb.export_function("inf", inf);
+
+  Tiered t = make_tiered(mb.build());
+  check_both(t, "fib", {Value::from_i32(0)});
+  check_both(t, "fib", {Value::from_i32(10)});
+  check_both(t, "fib", {Value::from_i32(20)});
+  check_both(t, "inf", {});
+  if (t.tier) {
+    EXPECT_EQ(trap_of(*t.nat, "inf", {}), "trap: call stack exhausted");
+  }
+}
+
+TEST(JitCodegen, CallIndirect) {
+  ModuleBuilder mb;
+  mb.add_table(4, 4);
+  FuncType binop = sig({ValType::I32, ValType::I32}, {ValType::I32});
+  std::uint32_t binop_type = mb.add_type(binop);
+  auto add = mb.add_function(binop);
+  {
+    CodeEmitter ce;
+    ce.local_get(0).local_get(1).op(kI32Add);
+    mb.set_body(add, ce.bytes());
+  }
+  auto sub = mb.add_function(binop);
+  {
+    CodeEmitter ce;
+    ce.local_get(0).local_get(1).op(kI32Sub);
+    mb.set_body(sub, ce.bytes());
+  }
+  // Slot 3 holds a function of a DIFFERENT type (for the mismatch trap).
+  auto nul = mb.add_function(sig({}, {}));
+  {
+    CodeEmitter ce;
+    mb.set_body(nul, ce.bytes());
+  }
+  mb.add_element(0, {add, sub});  // slot 2 stays uninitialized
+  mb.add_element(3, {nul});
+
+  auto f = mb.add_function(sig({ValType::I32, ValType::I32, ValType::I32},
+                               {ValType::I32}));
+  CodeEmitter ce;
+  ce.local_get(1).local_get(2).local_get(0).call_indirect(binop_type);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("dispatch", f);
+
+  Tiered t = make_tiered(mb.build());
+  auto arg = [](std::int32_t s, std::int32_t a, std::int32_t b) {
+    return std::vector<Value>{Value::from_i32(s), Value::from_i32(a),
+                              Value::from_i32(b)};
+  };
+  check_both(t, "dispatch", arg(0, 30, 12));   // add
+  check_both(t, "dispatch", arg(1, 30, 12));   // sub
+  check_both(t, "dispatch", arg(2, 1, 1));     // uninitialized element
+  check_both(t, "dispatch", arg(3, 1, 1));     // type mismatch
+  check_both(t, "dispatch", arg(9, 1, 1));     // undefined element
+  if (t.tier) {
+    EXPECT_EQ(trap_of(*t.nat, "dispatch", arg(2, 1, 1)),
+              "trap: uninitialized element");
+    EXPECT_EQ(trap_of(*t.nat, "dispatch", arg(3, 1, 1)),
+              "trap: indirect call type mismatch");
+    EXPECT_EQ(trap_of(*t.nat, "dispatch", arg(9, 1, 1)),
+              "trap: undefined element");
+  }
+}
+
+TEST(JitCodegen, MemoryGrowRebindsBase) {
+  ModuleBuilder mb;
+  mb.add_memory(1, 4);
+  // grow(1), then store/load beyond the old limit: the native frame must
+  // re-pin mem_base/mem_size after the helper call or this faults.
+  auto f = mb.add_function(sig({}, {ValType::I32}));
+  CodeEmitter ce;
+  ce.i32_const(1).memory_grow().op(kDrop);
+  ce.i32_const(65536 + 16).i32_const(4242).store(kI32Store, 0);
+  ce.i32_const(65536 + 16).load(kI32Load, 0);
+  ce.memory_size().op(kI32Add);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("grow_rw", f);
+
+  // Failed grow (beyond max) returns -1 and must not rebind anything odd.
+  auto g = mb.add_function(sig({}, {ValType::I32}));
+  CodeEmitter cg;
+  cg.i32_const(100).memory_grow();
+  mb.set_body(g, cg.bytes());
+  mb.export_function("grow_fail", g);
+
+  Tiered t = make_tiered(mb.build());
+  check_both(t, "grow_rw", {});
+  check_both(t, "grow_fail", {});
+}
+
+TEST(JitCodegen, MemCopyFill) {
+  ModuleBuilder mb;
+  mb.add_memory(1, 1);
+  auto f = mb.add_function(sig({ValType::I32}, {ValType::I32}));
+  CodeEmitter ce;
+  ce.i32_const(8).i32_const(0x5a).i32_const(16).memory_fill();
+  ce.i32_const(100).i32_const(8).local_get(0).memory_copy();
+  ce.i32_const(100).load(kI32Load, 0);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("f", f);
+
+  Tiered t = make_tiered(mb.build());
+  check_both(t, "f", {Value::from_i32(16)});
+  check_both(t, "f", {Value::from_i32(0)});
+  check_both(t, "f", {Value::from_i32(-1)});  // oob copy traps
+}
+
+TEST(JitCodegen, FloatOpsFallBackToThunks) {
+  ModuleBuilder mb;
+  // f64 arithmetic is not in the first-release native surface: it must run
+  // through the per-opcode fallback thunk and still be bit-identical.
+  auto f = mb.add_function(sig({ValType::F64, ValType::F64}, {ValType::F64}));
+  CodeEmitter ce;
+  ce.local_get(0).local_get(1).op(kF64Add);
+  ce.local_get(0).op(kF64Mul);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("f", f);
+
+  Tiered t = make_tiered(mb.build());
+  check_both(t, "f", {Value::from_f64(1.5), Value::from_f64(2.25)});
+  check_both(t, "f", {Value::from_f64(-0.0), Value::from_f64(1e300)});
+  if (t.tier) {
+    EXPECT_GT(t.tier->fallback_ops(), 0u);
+  }
+}
+
+TEST(JitCodegen, Conversions) {
+  ModuleBuilder mb;
+  auto wrap = mb.add_function(sig({ValType::I64}, {ValType::I32}));
+  {
+    CodeEmitter ce;
+    ce.local_get(0).op(kI32WrapI64);
+    mb.set_body(wrap, ce.bytes());
+  }
+  mb.export_function("wrap", wrap);
+  auto ext_s = mb.add_function(sig({ValType::I32}, {ValType::I64}));
+  {
+    CodeEmitter ce;
+    ce.local_get(0).op(kI64ExtendI32S);
+    mb.set_body(ext_s, ce.bytes());
+  }
+  mb.export_function("ext_s", ext_s);
+  auto ext_u = mb.add_function(sig({ValType::I32}, {ValType::I64}));
+  {
+    CodeEmitter ce;
+    ce.local_get(0).op(kI64ExtendI32U);
+    mb.set_body(ext_u, ce.bytes());
+  }
+  mb.export_function("ext_u", ext_u);
+  auto sx8 = mb.add_function(sig({ValType::I32}, {ValType::I32}));
+  {
+    CodeEmitter ce;
+    ce.local_get(0).op(kI32Extend8S);
+    mb.set_body(sx8, ce.bytes());
+  }
+  mb.export_function("sx8", sx8);
+
+  Tiered t = make_tiered(mb.build());
+  check_both(t, "wrap", {Value::from_i64(0x1ffffffffLL)});
+  check_both(t, "wrap", {Value::from_i64(-1)});
+  check_both(t, "ext_s", {Value::from_i32(-2)});
+  check_both(t, "ext_u", {Value::from_i32(-2)});
+  check_both(t, "sx8", {Value::from_i32(0x1ff)});
+  check_both(t, "sx8", {Value::from_i32(0x17f)});
+}
+
+TEST(JitCodegen, UnreachableTrap) {
+  ModuleBuilder mb;
+  auto f = mb.add_function(sig({ValType::I32}, {ValType::I32}));
+  CodeEmitter ce;
+  ce.local_get(0);
+  ce.if_(0x7f);
+  ce.local_get(0);
+  ce.else_();
+  ce.op(kUnreachable);
+  ce.end();
+  mb.set_body(f, ce.bytes());
+  mb.export_function("f", f);
+
+  Tiered t = make_tiered(mb.build());
+  check_both(t, "f", {Value::from_i32(1)});
+  check_both(t, "f", {Value::from_i32(0)});
+  if (t.tier) {
+    EXPECT_EQ(trap_of(*t.nat, "f", {Value::from_i32(0)}),
+              "trap: unreachable executed");
+  }
+}
+
+TEST(JitCodegen, HostCallFromNativeFrame) {
+  ModuleBuilder mb;
+  auto host = mb.import_function("env", "twice",
+                                 sig({ValType::I32}, {ValType::I32}));
+  auto f = mb.add_function(sig({ValType::I32}, {ValType::I32}));
+  CodeEmitter ce;
+  ce.local_get(0).call(host).i32_const(1).op(kI32Add);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("f", f);
+
+  ImportResolver imports;
+  imports.add_function("env", "twice", sig({ValType::I32}, {ValType::I32}),
+                       [](Instance&, std::span<const Value> args) {
+                         return Result<std::vector<Value>>{std::vector<Value>{
+                             Value::from_i32(args[0].i32() * 2)}};
+                       });
+  Tiered t = make_tiered(mb.build(), imports);
+  check_both(t, "f", {Value::from_i32(21)});
+  check_both(t, "f", {Value::from_i32(-1)});
+}
+
+// ---------------------------------------------------------------------------
+// Tiering machinery (heat counters, background compile, entry install).
+
+TEST(JitTiering, HeatThresholdTripsBackgroundCompile) {
+  if (!jit::jit_available()) GTEST_SKIP() << "JIT unavailable on this host";
+
+  ModuleBuilder mb;
+  auto f = mb.add_function(sig({ValType::I32}, {ValType::I32}));
+  CodeEmitter ce;
+  ce.local_get(0).i32_const(3).op(kI32Mul);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("f", f);
+
+  auto inst = instantiate_aot(mb.build(), no_imports());
+  ASSERT_TRUE(inst);
+  jit::TierConfig config;
+  config.hot_threshold = 3;
+  auto tier = std::make_shared<jit::TierSet>(&inst->module(), inst->compiled,
+                                             std::move(config));
+  inst->tier = tier;
+
+  // Below the threshold: nothing queued, nothing compiled.
+  auto args = std::vector<Value>{Value::from_i32(5)};
+  ASSERT_TRUE(inst->invoke("f", args).ok());
+  ASSERT_TRUE(inst->invoke("f", args).ok());
+  EXPECT_EQ(tier->compile_pending(), 0u);
+  EXPECT_EQ(tier->entry_for(0), nullptr);
+
+  // Third call crosses hot_threshold=3 -> queued; the control-plane sweep
+  // compiles and installs exactly one entry.
+  ASSERT_TRUE(inst->invoke("f", args).ok());
+  EXPECT_EQ(tier->compile_pending(), 1u);
+  EXPECT_NE(tier->entry_for(0), nullptr);
+  EXPECT_EQ(tier->tier_up_compiles(), 1u);
+  EXPECT_GT(tier->native_code_bytes(), 0u);
+
+  // Re-sweeping is idempotent; the next invoke runs native.
+  EXPECT_EQ(tier->compile_pending(), 0u);
+  auto r = inst->invoke("f", args);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].i32(), 15);
+  EXPECT_EQ(tier->native_entries(), 1u);
+}
+
+TEST(JitTiering, CodeChargeRefusalKeepsAotStream) {
+  if (!jit::jit_available()) GTEST_SKIP() << "JIT unavailable on this host";
+
+  ModuleBuilder mb;
+  auto f = mb.add_function(sig({}, {ValType::I32}));
+  CodeEmitter ce;
+  ce.i32_const(7);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("f", f);
+
+  auto inst = instantiate_aot(mb.build(), no_imports());
+  ASSERT_TRUE(inst);
+  jit::TierConfig config;
+  config.hot_threshold = 1;
+  config.charge_code = [](std::size_t) { return false; };  // heap cap exceeded
+  auto tier = std::make_shared<jit::TierSet>(&inst->module(), inst->compiled,
+                                             std::move(config));
+  tier->compile_all();
+  inst->tier = tier;
+
+  EXPECT_EQ(tier->entry_for(0), nullptr);
+  EXPECT_EQ(tier->tier_up_compiles(), 0u);
+  auto r = inst->invoke("f", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].i32(), 7);  // still correct on the AOT stream
+}
+
+TEST(JitTiering, MetricSinksReceiveFlushes) {
+  if (!jit::jit_available()) GTEST_SKIP() << "JIT unavailable on this host";
+
+  ModuleBuilder mb;
+  auto f = mb.add_function(sig({ValType::F64}, {ValType::F64}));
+  CodeEmitter ce;
+  ce.local_get(0).local_get(0).op(kF64Add);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("f", f);
+
+  auto inst = instantiate_aot(mb.build(), no_imports());
+  ASSERT_TRUE(inst);
+  jit::TierConfig config;
+  config.hot_threshold = 1;
+  auto tier = std::make_shared<jit::TierSet>(&inst->module(), inst->compiled,
+                                             std::move(config));
+  obs::Counter compiles, entries, fallback;
+  obs::Histogram compile_ns;
+  tier->bind_metrics(&compiles, &entries, &fallback, &compile_ns);
+  tier->compile_all();
+  inst->tier = tier;
+
+  std::vector<Value> fargs{Value::from_f64(2.5)};
+  auto r = inst->invoke("f", fargs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].f64(), 5.0);
+  EXPECT_EQ(compiles.get(), 1u);
+  EXPECT_EQ(compile_ns.count(), 1u);
+  EXPECT_GE(entries.get(), 1u);
+  EXPECT_GE(fallback.get(), 1u);  // kF64Add runs through the thunk
+}
+
+}  // namespace
+}  // namespace watz::wasm

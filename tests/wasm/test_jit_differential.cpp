@@ -1,0 +1,401 @@
+// Differential execution fuzzing across the three tiers.
+//
+// A seeded generator produces small, always-valid functions (expression
+// trees emitted post-order, so the operand stack discipline holds by
+// construction) and every module is executed on:
+//   1. the bytecode interpreter          (ExecMode::Interp),
+//   2. the AOT instruction stream        (ExecMode::Aot, no tier),
+//   3. the native JIT                    (ExecMode::Aot, force-compiled tier).
+// Results must be bit-identical and traps must carry identical messages.
+// On hosts without the JIT (non-x86-64 or WATZ_DISABLE_JIT) tier 3 degrades
+// to tier 2 and the suite still checks interp-vs-AOT equivalence.
+//
+// The generator deliberately produces trapping programs too: unguarded
+// divisions and occasionally-unmasked memory addresses, so divide-by-zero,
+// overflow and out-of-bounds behaviour is compared across tiers as well.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wasm/builder.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/instance.hpp"
+#include "wasm/jit/tier.hpp"
+#include "wasm/opcodes.hpp"
+
+namespace watz::wasm {
+namespace {
+
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed * 0x9e3779b97f4a7c15ull + 1) {}
+  std::uint32_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<std::uint32_t>(state >> 32);
+  }
+  std::uint32_t below(std::uint32_t n) { return next() % n; }
+  bool chance(std::uint32_t num, std::uint32_t den) { return below(den) < num; }
+};
+
+/// Emits one random expression of a requested type. Locals:
+///   0: i32 param a   1: i32 param b   2: i64 param c
+///   3: i32 scratch   4: i64 scratch
+class ExprGen {
+ public:
+  ExprGen(CodeEmitter& ce, Rng& rng) : ce_(ce), rng_(rng) {}
+
+  void i32(int depth) {
+    if (depth <= 0 || budget_-- <= 0) return i32_terminal();
+    switch (rng_.below(12)) {
+      case 0:
+        return i32_terminal();
+      case 1: {  // plain binary ALU
+        static const Op kOps[] = {kI32Add,  kI32Sub,  kI32Mul,  kI32And,
+                                  kI32Or,   kI32Xor,  kI32Shl,  kI32ShrS,
+                                  kI32ShrU, kI32Rotl, kI32Rotr};
+        i32(depth - 1);
+        i32(depth - 1);
+        ce_.op(kOps[rng_.below(11)]);
+        return;
+      }
+      case 2: {  // division family, divisor usually (not always) nonzero
+        static const Op kOps[] = {kI32DivS, kI32DivU, kI32RemS, kI32RemU};
+        i32(depth - 1);
+        i32(depth - 1);
+        if (rng_.chance(3, 4)) ce_.i32_const(1).op(kI32Or);
+        ce_.op(kOps[rng_.below(4)]);
+        return;
+      }
+      case 3: {  // i32 comparison
+        static const Op kOps[] = {kI32Eq,  kI32Ne,  kI32LtS, kI32LtU,
+                                  kI32GtS, kI32GtU, kI32LeS, kI32LeU,
+                                  kI32GeS, kI32GeU};
+        i32(depth - 1);
+        i32(depth - 1);
+        ce_.op(kOps[rng_.below(10)]);
+        return;
+      }
+      case 4: {  // i64 comparison
+        static const Op kOps[] = {kI64Eq,  kI64Ne,  kI64LtS, kI64LtU,
+                                  kI64GtS, kI64GtU, kI64LeS, kI64LeU,
+                                  kI64GeS, kI64GeU};
+        i64(depth - 1);
+        i64(depth - 1);
+        ce_.op(kOps[rng_.below(10)]);
+        return;
+      }
+      case 5:
+        if (rng_.chance(1, 2)) {
+          i32(depth - 1);
+          ce_.op(kI32Eqz);
+        } else {
+          i64(depth - 1);
+          ce_.op(kI64Eqz);
+        }
+        return;
+      case 6:
+        i64(depth - 1);
+        ce_.op(kI32WrapI64);
+        return;
+      case 7:
+        i32(depth - 1);
+        i32(depth - 1);
+        i32(depth - 1);
+        ce_.op(kSelect);
+        return;
+      case 8:  // if/else expression
+        i32(depth - 1);
+        ce_.if_(0x7f);
+        i32(depth - 1);
+        ce_.else_();
+        i32(depth - 1);
+        ce_.end();
+        return;
+      case 9: {  // load (address usually masked in bounds, sometimes not)
+        static const Op kOps[] = {kI32Load, kI32Load8U, kI32Load8S,
+                                  kI32Load16U, kI32Load16S};
+        i32(depth - 1);
+        if (rng_.chance(7, 8)) ce_.i32_const(0xffc0).op(kI32And);
+        ce_.load(kOps[rng_.below(5)], rng_.next() & 0x3f);
+        return;
+      }
+      case 10:
+        i32(depth - 1);
+        ce_.op(rng_.chance(1, 2) ? kI32Extend8S : kI32Extend16S);
+        return;
+      default:
+        ce_.global_get(0);
+        return;
+    }
+  }
+
+  void i64(int depth) {
+    if (depth <= 0 || budget_-- <= 0) return i64_terminal();
+    switch (rng_.below(10)) {
+      case 0:
+        return i64_terminal();
+      case 1: {
+        static const Op kOps[] = {kI64Add,  kI64Sub,  kI64Mul,  kI64And,
+                                  kI64Or,   kI64Xor,  kI64Shl,  kI64ShrS,
+                                  kI64ShrU, kI64Rotl, kI64Rotr};
+        i64(depth - 1);
+        i64(depth - 1);
+        ce_.op(kOps[rng_.below(11)]);
+        return;
+      }
+      case 2: {
+        static const Op kOps[] = {kI64DivS, kI64DivU, kI64RemS, kI64RemU};
+        i64(depth - 1);
+        i64(depth - 1);
+        if (rng_.chance(3, 4)) ce_.i64_const(1).op(kI64Or);
+        ce_.op(kOps[rng_.below(4)]);
+        return;
+      }
+      case 3:
+        i32(depth - 1);
+        ce_.op(rng_.chance(1, 2) ? kI64ExtendI32S : kI64ExtendI32U);
+        return;
+      case 4: {
+        static const Op kOps[] = {kI64Load,    kI64Load8U,  kI64Load8S,
+                                  kI64Load16U, kI64Load32S, kI64Load32U};
+        i32(depth - 1);
+        if (rng_.chance(7, 8)) ce_.i32_const(0xffc0).op(kI32And);
+        ce_.load(kOps[rng_.below(6)], rng_.next() & 0x3f);
+        return;
+      }
+      case 5:
+        i64(depth - 1);
+        i64(depth - 1);
+        i32(depth - 1);
+        ce_.op(kSelect);
+        return;
+      case 6:
+        i32(depth - 1);
+        ce_.if_(0x7e);
+        i64(depth - 1);
+        ce_.else_();
+        i64(depth - 1);
+        ce_.end();
+        return;
+      case 7: {
+        static const Op kOps[] = {kI64Extend8S, kI64Extend16S, kI64Extend32S};
+        i64(depth - 1);
+        ce_.op(kOps[rng_.below(3)]);
+        return;
+      }
+      case 8:
+        if (!callees_.empty()) {  // call an earlier generated function
+          i32(depth - 1);
+          i32(depth - 1);
+          i64(depth - 1);
+          ce_.call(callees_[rng_.below(
+              static_cast<std::uint32_t>(callees_.size()))]);
+          return;
+        }
+        return i64_terminal();
+      default:
+        ce_.global_get(1);
+        return;
+    }
+  }
+
+  /// Side-effect statement: a store, a scratch-local update or a global
+  /// update (no net stack effect).
+  void statement(int depth) {
+    switch (rng_.below(5)) {
+      case 0: {
+        static const Op kOps[] = {kI32Store, kI32Store8, kI32Store16};
+        i32(depth);
+        if (rng_.chance(7, 8)) ce_.i32_const(0xffc0).op(kI32And);
+        i32(depth);
+        ce_.store(kOps[rng_.below(3)], rng_.next() & 0x3f);
+        return;
+      }
+      case 1: {
+        static const Op kOps[] = {kI64Store, kI64Store8, kI64Store32};
+        i32(depth);
+        if (rng_.chance(7, 8)) ce_.i32_const(0xffc0).op(kI32And);
+        i64(depth);
+        ce_.store(kOps[rng_.below(3)], rng_.next() & 0x3f);
+        return;
+      }
+      case 2:
+        i32(depth);
+        ce_.local_set(3);
+        return;
+      case 3:
+        i64(depth);
+        ce_.local_set(4);
+        return;
+      default:
+        i32(depth);
+        ce_.global_set(0);
+        return;
+    }
+  }
+
+  void set_callees(std::vector<std::uint32_t> callees) {
+    callees_ = std::move(callees);
+  }
+
+ private:
+  void i32_terminal() {
+    switch (rng_.below(6)) {
+      case 0:
+        ce_.i32_const(static_cast<std::int32_t>(rng_.next()));
+        return;
+      case 1:
+        ce_.i32_const(static_cast<std::int32_t>(rng_.below(8)) - 2);
+        return;
+      case 2:
+        ce_.local_get(0);
+        return;
+      case 3:
+        ce_.local_get(1);
+        return;
+      default:
+        ce_.local_get(3);
+        return;
+    }
+  }
+  void i64_terminal() {
+    switch (rng_.below(5)) {
+      case 0:
+        ce_.i64_const((static_cast<std::int64_t>(rng_.next()) << 32) |
+                      rng_.next());
+        return;
+      case 1:
+        ce_.i64_const(static_cast<std::int64_t>(rng_.below(8)) - 2);
+        return;
+      case 2:
+        ce_.local_get(2);
+        return;
+      default:
+        ce_.local_get(4);
+        return;
+    }
+  }
+
+  CodeEmitter& ce_;
+  Rng& rng_;
+  std::vector<std::uint32_t> callees_;
+  int budget_ = 96;  // caps body size regardless of depth
+};
+
+/// One generated module: a chain of (i32, i32, i64) -> i64 functions where
+/// later functions may call earlier ones; the last is exported as "main".
+Bytes generate_module(std::uint64_t seed) {
+  Rng rng(seed);
+  ModuleBuilder mb;
+  mb.add_memory(1, 2);
+  mb.add_global(ValType::I32, true,
+                static_cast<std::int32_t>(rng.next()));
+  mb.add_global(ValType::I64, true,
+                static_cast<std::int64_t>(rng.next()));
+
+  FuncType ft{{ValType::I32, ValType::I32, ValType::I64}, {ValType::I64}};
+  const std::uint32_t num_funcs = 1 + rng.below(3);
+  std::vector<std::uint32_t> funcs;
+  for (std::uint32_t i = 0; i < num_funcs; ++i) {
+    auto f = mb.add_function(ft, {ValType::I32, ValType::I64});
+    CodeEmitter ce;
+    ExprGen gen(ce, rng);
+    gen.set_callees(funcs);
+    const std::uint32_t stmts = rng.below(3);
+    for (std::uint32_t s = 0; s < stmts; ++s) gen.statement(2);
+    gen.i64(4);
+    mb.set_body(f, ce.bytes());
+    funcs.push_back(f);
+  }
+  mb.export_function("main", funcs.back());
+  return mb.build();
+}
+
+struct Outcome {
+  bool trapped = false;
+  std::string detail;  // hex result bits or the trap message
+};
+
+Outcome run_one(Instance& inst, std::span<const Value> args) {
+  auto r = inst.invoke("main", args);
+  if (!r.ok()) return {true, r.error()};
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>((*r)[0].bits));
+  return {false, buf};
+}
+
+TEST(JitDifferential, ThreeTiersAgreeOnSeededPrograms) {
+  const ImportResolver imports;
+  const bool native = jit::jit_available();
+  int trapping_runs = 0, clean_runs = 0, native_funcs = 0;
+
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    Bytes bin = generate_module(seed);
+
+    auto make = [&](ExecMode mode) -> std::unique_ptr<Instance> {
+      auto mod = decode_module(bin);
+      EXPECT_TRUE(mod.ok()) << "seed " << seed << ": " << mod.error();
+      if (!mod.ok()) return nullptr;
+      auto inst = Instance::instantiate(std::move(*mod), imports, mode);
+      EXPECT_TRUE(inst.ok()) << "seed " << seed << ": " << inst.error();
+      return inst.ok() ? std::move(*inst) : nullptr;
+    };
+    auto interp = make(ExecMode::Interp);
+    auto aot = make(ExecMode::Aot);
+    auto jitted = make(ExecMode::Aot);
+    ASSERT_TRUE(interp && aot && jitted) << "seed " << seed;
+
+    std::shared_ptr<jit::TierSet> tier;
+    if (native) {
+      jit::TierConfig config;
+      config.hot_threshold = 1;
+      tier = std::make_shared<jit::TierSet>(&jitted->module(), jitted->compiled,
+                                            std::move(config));
+      // Every generated shape must be within the native surface: a refusal
+      // here is a codegen coverage bug, not an acceptable fallback.
+      const std::size_t compiled = tier->compile_all();
+      EXPECT_EQ(compiled, jitted->compiled.size()) << "seed " << seed;
+      native_funcs += static_cast<int>(compiled);
+      jitted->tier = tier;
+    }
+
+    static const std::int32_t kI32s[] = {0, 1, -1, 7, INT32_MIN, 0x1234};
+    static const std::int64_t kI64s[] = {0, -1, 1LL << 40, INT64_MIN};
+    Rng pick(seed ^ 0xabcdef);
+    for (int v = 0; v < 6; ++v) {
+      std::vector<Value> args{Value::from_i32(kI32s[pick.below(6)]),
+                              Value::from_i32(kI32s[pick.below(6)]),
+                              Value::from_i64(kI64s[pick.below(4)])};
+      Outcome a = run_one(*interp, args);
+      Outcome b = run_one(*aot, args);
+      Outcome c = run_one(*jitted, args);
+      EXPECT_EQ(a.trapped, b.trapped) << "seed " << seed << " run " << v
+                                      << ": interp=" << a.detail
+                                      << " aot=" << b.detail;
+      EXPECT_EQ(a.detail, b.detail) << "seed " << seed << " run " << v;
+      EXPECT_EQ(b.trapped, c.trapped) << "seed " << seed << " run " << v
+                                      << ": aot=" << b.detail
+                                      << " native=" << c.detail;
+      EXPECT_EQ(b.detail, c.detail) << "seed " << seed << " run " << v;
+      (a.trapped ? trapping_runs : clean_runs)++;
+    }
+    if (HasFatalFailure()) return;
+  }
+
+  // The corpus must actually exercise both behaviours and (when available)
+  // the native tier, or the differential assertions are vacuous.
+  EXPECT_GT(trapping_runs, 10);
+  EXPECT_GT(clean_runs, 100);
+  if (native) {
+    EXPECT_GT(native_funcs, 100);
+  }
+}
+
+}  // namespace
+}  // namespace watz::wasm
