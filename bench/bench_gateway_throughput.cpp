@@ -27,6 +27,7 @@
 
 #include "bench/harness.hpp"
 #include "gateway/gateway.hpp"
+#include "net/chaos_fabric.hpp"
 #include "polybench/suite.hpp"
 #include "wasm/builder.hpp"
 #include "wasm/jit/jit.hpp"
@@ -885,5 +886,79 @@ int main(int argc, char** argv) {
   }
   report.metric("native_speedup_over_aot_stream", native_speedup, "x");
   report.metric("tier_up_compiles", tier_compiles, "functions");
+
+  // ---- phase 9: chaos failover on the prewarmed path ----------------------
+  // A 2-device fleet behind a ChaosFabric with cross-device module prewarm
+  // on. Device 0 is rebooted and its RA link hard-dropped, so every
+  // placement onto it fails appraisal and the session migrates to device 1
+  // — which the prewarm sweep already warmed. The gate: migrations > 0
+  // (recovery actually re-placed the session) and fleet-wide cold cache
+  // misses == 0 (failover landed on the prewarmed module, never paying a
+  // cold Loading phase).
+  if (tables) std::printf("\n=== Gateway: chaos failover on prewarmed fleet ===\n");
+  double failover_migrations = 0.0;
+  double prewarm_cold_misses = 0.0;
+  double failover_per_sec = 0.0;
+  {
+    net::ChaosFabric chaos;
+    gateway::GatewayConfig config;
+    config.hostname = "gw-chaos";
+    config.port = 7430;
+    config.ra_port = 7431;
+    config.slots_per_device = 2;
+    config.module_prewarm = true;
+    config.invoke_memo_ttl_ns = 60'000'000'000ull;
+    gateway::Gateway gw(chaos, config, to_bytes("gw-bench-chaos"));
+    gw.start().check();
+    auto live = bench::boot_device(chaos, vendor, "gw-chaos-node-1", 0x31);
+    auto doomed = bench::boot_device(chaos, vendor, "gw-chaos-node-0", 0x30);
+    gw.add_device(*doomed).check();
+    gw.add_device(*live).check();
+
+    gateway::GatewayClient admin(chaos);
+    admin.connect(config.hostname, config.port).check();
+    auto session = admin.attach("bench-chaos-tenant");
+    session.ok() ? void() : throw Error("bench: " + session.error());
+    const Bytes chaos_module = adder_module();
+    auto module = admin.load_module(session->session_id, chaos_module);
+    module.ok() ? void() : throw Error("bench: " + module.error());
+    if (gw.sweep_module_prewarms() != 2)
+      throw Error("bench: prewarm sweep missed a device");
+
+    // Kill device 0's trust path: stale evidence + an RA link that drops
+    // every re-handshake frame.
+    gw.add_device(*doomed).check();  // reboot: boot count bumps
+    gw.sweep_module_prewarms();      // its rebuilt cache re-warmed
+    net::ChaosPolicy ra_down;
+    ra_down.drop_permille = 1000;
+    chaos.set_policy(config.hostname, config.ra_port, ra_down);
+
+    constexpr int kFailoverInvokes = 200;
+    const std::uint64_t elapsed_chaos = bench::time_ns([&] {
+      for (int i = 0; i < kFailoverInvokes; ++i) {
+        auto r = admin.invoke(invoke_request(session->session_id,
+                                             module->measurement, "add",
+                                             add_args(i)));
+        r.ok() ? void() : throw Error("bench: " + r.error());
+      }
+    });
+    chaos.clear_policies();
+    failover_per_sec =
+        kFailoverInvokes / (static_cast<double>(elapsed_chaos) / 1e9);
+
+    auto chaos_stats = admin.stats(session->session_id);
+    chaos_stats.ok() ? void() : throw Error("bench: " + chaos_stats.error());
+    failover_migrations = static_cast<double>(chaos_stats->migrations);
+    for (const gateway::DeviceStats& d : chaos_stats->devices)
+      prewarm_cold_misses += static_cast<double>(d.cache_misses);
+    if (tables)
+      std::printf("  %d invokes through a dead device's shadow : %8.0f "
+                  "invokes/sec (migrations=%.0f, cold misses=%.0f)\n",
+                  kFailoverInvokes, failover_per_sec, failover_migrations,
+                  prewarm_cold_misses);
+  }
+  report.metric("failover_invokes_per_sec", failover_per_sec, "1/s");
+  report.metric("failover_migrations", failover_migrations, "count");
+  report.metric("prewarm_cold_misses", prewarm_cold_misses, "count");
   return 0;
 }

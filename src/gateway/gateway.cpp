@@ -126,7 +126,8 @@ Status Gateway::start() {
   const bool renew_evidence = config_.evidence_renewal &&
                               config_.session_policy.evidence_ttl_ns != ~0ull;
   const bool pump_tiering = config_.jit_tiering && wasm::jit::jit_available();
-  if ((renew_evidence || pump_tiering) && !renew_thread_.joinable())
+  if ((renew_evidence || pump_tiering || config_.module_prewarm) &&
+      !renew_thread_.joinable())
     renew_thread_ = std::thread([this] { renewal_loop(); });
 
   started_ = true;
@@ -204,6 +205,7 @@ Status Gateway::add_device(core::Device& device) {
     registry_.link_counter(prefix + "cache.misses", &cache.misses_counter());
     registry_.link_counter(prefix + "cache.evictions", &cache.evictions_counter());
     registry_.link_counter(prefix + "cache.pool_hits", &cache.pool_hits_counter());
+    registry_.link_counter(prefix + "cache.prewarms", &cache.prewarms_counter());
     registry_.link_gauge(prefix + "cache.charged_bytes",
                          &cache.charged_bytes_gauge());
     registry_.link_gauge(prefix + "heap_in_use", &device.os().heap_gauge());
@@ -585,6 +587,12 @@ Result<InvokeResponse> Gateway::dispatch_invoke_sync(const SessionPtr& session,
                                                      const InvokeRequest& request,
                                                      obs::TraceContext trace) {
   std::string last_error = "gateway: no devices enrolled";
+  // Migration detection: remember the first device that failed appraisal;
+  // a later success on a DIFFERENT device means this session was
+  // transparently re-placed onto a live board (its evidence for the new
+  // device is established by ensure_attested inside the work item).
+  std::string failed_device;
+  const std::uint64_t migrate_start = hw::monotonic_ns();
   for (Slot* slot : placement_candidates(
            session->affinity_slot.load(std::memory_order_relaxed))) {
     auto future = post_invoke(*slot, session, request, trace);
@@ -593,12 +601,28 @@ Result<InvokeResponse> Gateway::dispatch_invoke_sync(const SessionPtr& session,
       continue;  // spill to the next candidate
     }
     auto result = future->get();
-    if (result.ok()) return result;
+    if (result.ok()) {
+      if (!failed_device.empty() && slot->backend->hostname != failed_device) {
+        migrations_.add();
+        if (trace.active()) {
+          obs::SpanRecord span;
+          span.trace_id = trace.trace_id;
+          span.span_id = obs::next_span_id();
+          span.parent_id = trace.span_id;
+          span.start_ns = migrate_start;
+          span.dur_ns = hw::monotonic_ns() - migrate_start;
+          span.stage = obs::Stage::Migrate;
+          span_sink_.record(span);
+        }
+      }
+      return result;
+    }
     last_error = result.error();
     // Trust decides placement: a device failing appraisal is skipped in
     // favour of the next candidate rather than wedging the session.
     if (!is_appraisal_failure(last_error))
       return Result<InvokeResponse>::err(last_error);
+    if (failed_device.empty()) failed_device = slot->backend->hostname;
   }
   // Whatever the spill path visited, a QUEUE_FULL terminal answer means
   // the client was bounced with backpressure: count it.
@@ -611,6 +635,19 @@ Result<Bytes> Gateway::handle_invoke(ByteView request) {
   if (!req.ok()) return Result<Bytes>::err(req.error());
   SessionPtr session = sessions_.find(req->session_id);
   if (!session) return Result<Bytes>::err("gateway: unknown session");
+
+  // Memo fast path: an identical invoke executed within the TTL and the
+  // trust gate passes (fresh evidence for the executing device, or this
+  // session produced the result itself) — answer without entering a
+  // sandbox. This is what makes a transport-level retry after a dropped
+  // or stalled response idempotent: the replayed request redeems the
+  // memoised result instead of executing a second time.
+  if (config_.invoke_memo_ttl_ns != 0) {
+    if (auto hit = memo_lookup(*session, *req)) {
+      session->invocations.fetch_add(1, std::memory_order_relaxed);
+      return ok_envelope(hit->encode());
+    }
+  }
 
   obs::TraceContext trace;
   trace.trace_id = maybe_trace(req->trace_id);
@@ -693,6 +730,19 @@ Result<Bytes> Gateway::handle_invoke_batch(ByteView request) {
     if (!session) {
       resp.results[i].error = "gateway: unknown session";
       continue;
+    }
+    // Memo fast path, per lane: a lane whose invoke executed within the
+    // TTL (and whose session passes the trust gate) is answered at
+    // admission — it never becomes a leader or a rider. This is what
+    // makes client-side retry of REPORTED-FAILED lanes idempotent: a lane
+    // whose first delivery executed but whose response was lost re-enters
+    // here and redeems the memo instead of executing again.
+    if (config_.invoke_memo_ttl_ns != 0) {
+      if (auto hit = memo_lookup(*session, lane.invoke)) {
+        session->invocations.fetch_add(1, std::memory_order_relaxed);
+        resp.results[i].result = std::move(*hit);
+        continue;
+      }
     }
     const std::string key = invoke_dedup_key(lane.invoke);
     const auto leader = leaders.find(key);
@@ -1054,33 +1104,38 @@ Result<InvokeResponse> Gateway::execute_invoke(Slot& slot,
   resp.ra_exchanges = *exchanges;
   resp.queue_delay_ns = queue_delay_ns;
   resp.trace_id = obs::thread_trace().trace_id;
-  // Feed the SUBMIT result memo: a twin submitted within the TTL by any
-  // session trusting this device rides this execution instead of its own.
+  // Feed the result memo: a twin submitted within the TTL by any session
+  // trusting this device rides this execution instead of its own — and a
+  // chaos-replayed delivery of THIS request redeems it instead of
+  // executing again.
   if (config_.invoke_memo_ttl_ns != 0)
-    memo_store(request, resp, hostname, boot_count);
+    memo_store(request, resp, hostname, boot_count, session->id);
   return resp;
 }
 
 std::optional<InvokeResponse> Gateway::memo_lookup(Session& session,
                                                    const InvokeRequest& request) {
   const std::uint64_t now = hw::monotonic_ns();
-  MemoEntry entry;
-  {
-    std::lock_guard<std::mutex> lock(memo_mu_);
-    const auto it = memo_.find(invoke_dedup_key(request));
-    if (it == memo_.end()) return std::nullopt;
-    if (now - it->second.stamp_ns > config_.invoke_memo_ttl_ns) {
-      memo_.erase(it);
-      return std::nullopt;
-    }
-    entry = it->second;
-  }
-  // Same trust gate as an INVOKE_BATCH rider: the session must already
-  // hold fresh evidence for the device (at the boot count) that produced
-  // the memoised result — a session that does not trust that device runs
-  // its own invoke and pays its own handshake.
-  if (!sessions_.has_fresh(session, entry.device, entry.boot_count, now))
+  const std::string key = invoke_dedup_key(request);
+  auto hit = memo_.lookup(key, now, config_.invoke_memo_ttl_ns);
+  if (!hit) return std::nullopt;
+  InvokeMemo::Entry entry = std::move(*hit);
+  // Trust gate, decided OUTSIDE the memo lock (has_fresh takes the
+  // session lock; the memo's mutex stays a leaf):
+  //   * the producer redeeming its OWN result needs no freshness check —
+  //     the result was produced under evidence fresh at execution time,
+  //     and the TTL bounds the redemption window. This is the replay
+  //     absorber: after a dropped/stalled response (or even a device
+  //     reboot that bumped the boot count), the producer's retry is
+  //     answered from the memo instead of executing a second time;
+  //   * any OTHER session must hold fresh evidence for the device (at the
+  //     boot count) that produced the result — the same per-session trust
+  //     gate as an INVOKE_BATCH rider.
+  const bool producer = entry.producer_session == session.id;
+  if (!producer &&
+      !sessions_.has_fresh(session, entry.device, entry.boot_count, now))
     return std::nullopt;
+  memo_.note_hit(key, now);
   invoke_memo_hits_.add();
   entry.response.ra_exchanges = 0;
   entry.response.queue_delay_ns = 0;
@@ -1090,22 +1145,14 @@ std::optional<InvokeResponse> Gateway::memo_lookup(Session& session,
 
 void Gateway::memo_store(const InvokeRequest& request,
                          const InvokeResponse& response,
-                         const std::string& device, std::uint64_t boot_count) {
-  MemoEntry entry;
+                         const std::string& device, std::uint64_t boot_count,
+                         std::uint64_t producer_session) {
+  InvokeMemo::Entry entry;
   entry.response = response;
-  entry.stamp_ns = hw::monotonic_ns();
   entry.device = device;
   entry.boot_count = boot_count;
-  std::lock_guard<std::mutex> lock(memo_mu_);
-  if (memo_.size() >= kInvokeMemoCap && !memo_.contains(invoke_dedup_key(request))) {
-    // Stalest-first eviction keeps the memo a short-horizon window, which
-    // is all a TTL this small can serve anyway.
-    auto victim = memo_.begin();
-    for (auto it = memo_.begin(); it != memo_.end(); ++it)
-      if (it->second.stamp_ns < victim->second.stamp_ns) victim = it;
-    memo_.erase(victim);
-  }
-  memo_[invoke_dedup_key(request)] = std::move(entry);
+  entry.producer_session = producer_session;
+  memo_.store(invoke_dedup_key(request), std::move(entry), hw::monotonic_ns());
 }
 
 Result<attestation::Evidence> Gateway::run_handshake(Backend& backend) {
@@ -1336,6 +1383,63 @@ std::size_t Gateway::sweep_evidence_renewals() {
   return renewed_total;
 }
 
+std::size_t Gateway::sweep_module_prewarms() {
+  // Snapshot the registered binaries once (copies — a worker must never
+  // hold a view into a registry another client may be evicting), then fan
+  // one forced control-lane item per backend, each preparing whatever its
+  // cache does not hold yet, and collect. The prepares run on the
+  // backends' control lanes CONCURRENTLY across the fleet; within one
+  // device they serialise behind that device's control-plane work, which
+  // is exactly where a Loading-phase burn belongs (never on a data slot
+  // mid-storm).
+  std::vector<std::pair<crypto::Sha256Digest, Bytes>> binaries;
+  {
+    std::lock_guard<std::mutex> lock(binaries_mu_);
+    binaries.reserve(binaries_.size());
+    for (const auto& [measurement, registered] : binaries_)
+      binaries.emplace_back(measurement, registered.bytes);
+  }
+  if (binaries.empty()) return 0;
+  std::vector<Backend*> fleet;
+  {
+    std::lock_guard<std::mutex> lock(backends_mu_);
+    fleet = backend_order_;
+  }
+  const wasm::ExecMode mode = core::AppConfig{}.mode;
+  std::vector<std::future<std::size_t>> fanned;
+  for (Backend* backend : fleet) {
+    auto promise = std::make_shared<std::promise<std::size_t>>();
+    auto future = promise->get_future();
+    Slot* control_lane = backend->slots.front().get();
+    Status admitted = post(
+        *control_lane,
+        [this, backend, control_lane, binaries, mode, promise](std::uint64_t) {
+          std::size_t prepared = 0;
+          if (!stopping_.load(std::memory_order_acquire)) {
+            std::shared_ptr<ModuleCache> cache;
+            {
+              std::lock_guard<std::mutex> lock(backend->state_mu);
+              cache = backend->cache;
+            }
+            if (cache) {
+              for (const auto& [measurement, binary] : binaries) {
+                if (cache->contains(measurement)) continue;
+                if (cache->prepare(measurement, binary, mode).ok()) ++prepared;
+              }
+            }
+          }
+          control_lane->inflight.fetch_sub(1, std::memory_order_release);
+          promise->set_value(prepared);
+        },
+        /*force=*/true);
+    if (admitted.ok()) fanned.push_back(std::move(future));
+  }
+  std::size_t prepared_total = 0;
+  for (std::future<std::size_t>& future : fanned) prepared_total += future.get();
+  if (prepared_total) prewarm_prepares_.add(prepared_total);
+  return prepared_total;
+}
+
 std::size_t Gateway::sweep_tier_compiles() {
   // Codegen never enters a TEE and the per-cache sweep takes only leaf
   // locks, so the whole fleet compiles on THIS (control-plane) thread —
@@ -1376,6 +1480,7 @@ void Gateway::renewal_loop() {
     lock.unlock();
     if (renew_evidence) sweep_evidence_renewals();
     if (pump_tiering) sweep_tier_compiles();
+    if (config_.module_prewarm) sweep_module_prewarms();
     lock.lock();
   }
 }
@@ -1488,6 +1593,8 @@ GatewayStats Gateway::stats(bool detail) {
   stats.native_entries = native_entries_.get();
   stats.jit_fallback_ops = jit_fallback_ops_.get();
   stats.invoke_memo_hits = invoke_memo_hits_.get();
+  stats.migrations = migrations_.get();
+  stats.prewarm_prepares = prewarm_prepares_.get();
   stats.queue_delay_p50_ns = queue_delay_hist_.percentile(0.50);
   stats.queue_delay_p90_ns = queue_delay_hist_.percentile(0.90);
   stats.queue_delay_p99_ns = queue_delay_hist_.percentile(0.99);
@@ -1545,6 +1652,22 @@ GatewayStats Gateway::stats(bool detail) {
       d.cache_misses = cache.misses();
       d.cache_evictions = cache.evictions();
       d.pool_hits = cache.pool_hits();
+      d.cache_prewarms = cache.prewarms();
+      if (detail) {
+        // Per-measurement tier states ride the detail flag like the
+        // slow-invoke ring: which tier each cached module executes on
+        // (interp / AOT / native entries installed) and how hot it runs.
+        for (const ModuleCache::TierState& t : cache.tier_states()) {
+          ModuleTierStats m;
+          m.measurement = t.measurement;
+          m.mode = static_cast<std::uint8_t>(t.mode);
+          m.functions = t.functions;
+          m.native_functions = t.native_functions;
+          m.hot_threshold = t.hot_threshold;
+          m.calls = t.total_calls;
+          d.modules.push_back(m);
+        }
+      }
     }
     stats.devices.push_back(std::move(d));
   }

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "core/device.hpp"
+#include "gateway/invoke_memo.hpp"
 #include "gateway/module_cache.hpp"
 #include "gateway/protocol.hpp"
 #include "gateway/session_manager.hpp"
@@ -105,6 +106,13 @@ struct GatewayConfig {
   bool evidence_renewal = true;
   /// Renewal sweep period; 0 = auto (evidence_ttl_ns / 5).
   std::uint64_t renewal_interval_ns = 0;
+  /// Cross-device module prewarm: the background sweeper pushes every
+  /// registered LOAD_MODULE binary through ModuleCache::prepare() on every
+  /// enrolled device (prepare-only — no instantiation), so a session that
+  /// fails over to another device lands on a warm cache instead of paying
+  /// the ~73% Loading phase cold. Off by default; tests/benches can also
+  /// drive sweep_module_prewarms() directly.
+  bool module_prewarm = false;
   /// Verifier shards on the RA endpoint: handshake state is sharded by
   /// session id so attach storms from many devices appraise in parallel
   /// instead of serialising on one verifier lock.
@@ -174,6 +182,15 @@ class Gateway {
   /// than occupying a sandbox slot. Returns functions tiered up. Public so
   /// tests and benches drive tiering deterministically.
   std::size_t sweep_tier_compiles();
+
+  /// Runs one cross-device prewarm pass NOW (what the background sweeper
+  /// does when GatewayConfig::module_prewarm is on): for every enrolled
+  /// device, pushes every registered binary the device's cache does not
+  /// hold through ModuleCache::prepare() — one forced control-lane item
+  /// per backend, prepares fanned across backends and collected like the
+  /// renewal sweep. Returns how many modules were freshly prepared across
+  /// the fleet. Public so tests drive prewarm deterministically.
+  std::size_t sweep_module_prewarms();
 
  private:
   struct Backend;
@@ -338,14 +355,22 @@ class Gateway {
   /// and/or sweep_tier_compiles().
   void renewal_loop();
 
-  /// SUBMIT memo lookup: the memoised response for this invoke, if one was
-  /// recorded within the TTL and `session` holds fresh evidence for the
-  /// device that executed it. Bumps invoke_memo_hits on a hit.
+  /// Result-memo lookup (INVOKE, INVOKE_BATCH lanes and SUBMIT, gated on
+  /// invoke_memo_ttl_ns != 0): the memoised response for this invoke, if
+  /// one was recorded within the TTL and the trust gate passes — either
+  /// `session` holds fresh evidence for the device that executed it, or
+  /// `session` IS the producer redeeming its own result (a retry after a
+  /// chaos-dropped response; its result was produced under evidence that
+  /// was fresh at execution time, so no freshness re-check can invalidate
+  /// it — this is what absorbs duplicate deliveries without
+  /// double-executing). Bumps invoke_memo_hits on a hit.
   std::optional<InvokeResponse> memo_lookup(Session& session,
                                             const InvokeRequest& request);
   /// Records a successful invoke outcome in the memo (TTL enabled only).
+  /// `producer_session` is the session whose invoke produced the result.
   void memo_store(const InvokeRequest& request, const InvokeResponse& response,
-                  const std::string& device, std::uint64_t boot_count);
+                  const std::string& device, std::uint64_t boot_count,
+                  std::uint64_t producer_session);
 
   /// The trace decision for one admitted request (or one whole batch):
   /// a non-zero wire id joins that trace; otherwise every trace_sample_n'th
@@ -452,20 +477,12 @@ class Gateway {
   std::map<std::uint64_t, PendingInvoke> pending_;
   std::atomic<std::uint64_t> next_ticket_{1};
 
-  /// SUBMIT single-invoke result memo, keyed by the INVOKE_BATCH dedup key
-  /// (measurement + entry + args + heap). Each entry remembers WHICH device
-  /// executed it at WHAT boot count: a hit is only served to a session
-  /// holding fresh evidence for that device — the same per-session trust
-  /// gate the batch rider path applies. Bounded; stalest evicted first.
-  struct MemoEntry {
-    InvokeResponse response;
-    std::uint64_t stamp_ns = 0;
-    std::string device;
-    std::uint64_t boot_count = 0;
-  };
+  /// Single-invoke result memo, keyed by the INVOKE_BATCH dedup key
+  /// (measurement + entry + args + heap). Trust gating and hot-aware
+  /// eviction live in InvokeMemo; the gateway applies the trust gate in
+  /// memo_lookup before note_hit. Bounded at kInvokeMemoCap.
   static constexpr std::size_t kInvokeMemoCap = 256;
-  std::mutex memo_mu_;
-  std::map<std::string, MemoEntry> memo_;
+  InvokeMemo memo_{kInvokeMemoCap};
 
   std::mutex conn_mu_;  // guards conn_sessions_
   std::map<std::uint64_t, std::vector<std::uint64_t>> conn_sessions_;
@@ -486,9 +503,17 @@ class Gateway {
   /// Evidences re-proved ahead of TTL by the renewal sweep.
   obs::Counter& evidence_renewals_ =
       registry_.counter("gateway.evidence_renewals");
-  /// SUBMITs answered from the single-invoke result memo.
+  /// Requests answered from the single-invoke result memo.
   obs::Counter& invoke_memo_hits_ =
       registry_.counter("gateway.invoke_memo_hits");
+  /// Sync invokes transparently re-placed onto a DIFFERENT device after
+  /// their first-choice device failed appraisal (reboot storm, expired
+  /// evidence, dead link) — the session-migration counter the chaos suite
+  /// asserts on.
+  obs::Counter& migrations_ = registry_.counter("gateway.migrations");
+  /// Modules freshly prepared by the cross-device prewarm sweep.
+  obs::Counter& prewarm_prepares_ =
+      registry_.counter("gateway.prewarm_prepares");
   /// Fleet-wide native-tiering instruments. Every enrolled device's module
   /// cache binds its TierSets' metric flushes here (codegen is per
   /// measurement, so these count tier-ups across the whole fleet).

@@ -1,0 +1,58 @@
+#include "gateway/invoke_memo.hpp"
+
+namespace watz::gateway {
+
+std::optional<InvokeMemo::Entry> InvokeMemo::lookup(const std::string& key,
+                                                    std::uint64_t now_ns,
+                                                    std::uint64_t ttl_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  if (now_ns - it->second.entry.stamp_ns > ttl_ns) {
+    map_.erase(it);
+    return std::nullopt;
+  }
+  return it->second.entry;
+}
+
+void InvokeMemo::note_hit(const std::string& key, std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return;  // evicted between lookup and the gate
+  ++it->second.hits;
+  it->second.last_touch = now_ns;
+}
+
+void InvokeMemo::store(const std::string& key, Entry entry,
+                       std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.size() >= capacity_ && !map_.contains(key)) {
+    // Hot-aware eviction: fewest hits first, stalest last-touch breaking
+    // ties — repeat-deduplicated results outlive one-shot ones.
+    auto victim = map_.begin();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second.hits < victim->second.hits ||
+          (it->second.hits == victim->second.hits &&
+           it->second.last_touch < victim->second.last_touch))
+        victim = it;
+    }
+    map_.erase(victim);
+  }
+  Slot slot;
+  slot.entry = std::move(entry);
+  slot.entry.stamp_ns = now_ns;  // TTL anchors on the store, not the caller
+  slot.last_touch = now_ns;
+  map_[key] = std::move(slot);
+}
+
+std::size_t InvokeMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+bool InvokeMemo::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.contains(key);
+}
+
+}  // namespace watz::gateway

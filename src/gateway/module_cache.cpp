@@ -93,6 +93,30 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
   return lease;
 }
 
+Status ModuleCache::prepare(const crypto::Sha256Digest& measurement,
+                            ByteView binary, wasm::ExecMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.contains(measurement)) return Status{};
+  if (binary.empty())
+    return Status::err("module cache: prewarm needs the module binary");
+  prewarms_.add();
+  auto prepared = runtime_.prepare(binary, mode, &runtime_.primary_monitor());
+  if (!prepared.ok()) return Status::err(prepared.error());
+  if ((*prepared)->measurement() != measurement)
+    return Status::err("module cache: binary does not match measurement");
+  make_room((*prepared)->code_bytes(), nullptr);
+  Entry entry;
+  entry.prepared = std::move(*prepared);
+  entry.last_used = ++tick_;
+  charged_bytes_.add(entry.prepared->code_bytes());
+  if (entry.prepared->tier())
+    entry.prepared->tier()->bind_metrics(tier_compiles_sink_, tier_entries_sink_,
+                                         tier_fallback_sink_,
+                                         tier_compile_ns_sink_);
+  entries_.emplace(measurement, std::move(entry));
+  return Status{};
+}
+
 void ModuleCache::release(std::unique_ptr<core::LoadedApp> app) {
   if (!app) return;
   std::lock_guard<std::mutex> lock(mu_);
@@ -183,6 +207,26 @@ std::size_t ModuleCache::native_code_bytes() const {
   for (const auto& [digest, entry] : entries_)
     if (entry.prepared->tier()) n += entry.prepared->tier()->native_code_bytes();
   return n;
+}
+
+std::vector<ModuleCache::TierState> ModuleCache::tier_states() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TierState> states;
+  states.reserve(entries_.size());
+  for (const auto& [digest, entry] : entries_) {
+    TierState state;
+    state.measurement = digest;
+    state.mode = entry.prepared->mode();
+    state.functions =
+        static_cast<std::uint32_t>(entry.prepared->compiled().size());
+    if (const auto& tier = entry.prepared->tier()) {
+      state.native_functions = tier->native_functions();
+      state.hot_threshold = tier->hot_threshold();
+      state.total_calls = tier->total_calls();
+    }
+    states.push_back(state);
+  }
+  return states;
 }
 
 void ModuleCache::make_room(std::size_t incoming, const crypto::Sha256Digest* keep) {

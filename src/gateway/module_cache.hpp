@@ -98,6 +98,17 @@ class ModuleCache {
                            const core::AppConfig& config,
                            tz::SecureMonitor* monitor = nullptr);
 
+  /// Prewarm: runs the Loading phase for `measurement` and retains the
+  /// prepared form WITHOUT instantiating anything — what the gateway's
+  /// cross-device prewarm sweep pushes to every enrolled device so a
+  /// session failing over lands on a warm cache (its first invoke is a
+  /// cache HIT). A measurement already cached is a no-op success; a fresh
+  /// prepare counts in prewarms(), NOT misses() — the whole point is that
+  /// failover pays zero cold misses. The prepared form binds to the
+  /// device's primary monitor, like any acquire-path prepare.
+  Status prepare(const crypto::Sha256Digest& measurement, ByteView binary,
+                 wasm::ExecMode mode);
+
   /// Parks the instance in the warm pool of its measurement, tagged with
   /// the slot monitor it is bound to (subject to pool-size and budget
   /// limits; dropped otherwise). Drops the lease's live pin.
@@ -143,6 +154,7 @@ class ModuleCache {
   std::uint64_t misses() const noexcept { return misses_.get(); }
   std::uint64_t evictions() const noexcept { return evictions_.get(); }
   std::uint64_t pool_hits() const noexcept { return pool_hits_.get(); }
+  std::uint64_t prewarms() const noexcept { return prewarms_.get(); }
 
   /// Tiering aggregates over the measurements currently cached (evicted
   /// modules' counts live on only in the bound registry sinks).
@@ -158,9 +170,23 @@ class ModuleCache {
   const obs::Counter& misses_counter() const noexcept { return misses_; }
   const obs::Counter& evictions_counter() const noexcept { return evictions_; }
   const obs::Counter& pool_hits_counter() const noexcept { return pool_hits_; }
+  const obs::Counter& prewarms_counter() const noexcept { return prewarms_; }
   const obs::Gauge& charged_bytes_gauge() const noexcept {
     return charged_bytes_;
   }
+
+  /// Per-measurement execution-tier snapshot of every cached module, for
+  /// the STATS detail surface: which tier it runs on (interp / AOT /
+  /// native entries installed) and how hot it is.
+  struct TierState {
+    crypto::Sha256Digest measurement{};
+    wasm::ExecMode mode = wasm::ExecMode::Aot;
+    std::uint32_t functions = 0;
+    std::uint32_t native_functions = 0;
+    std::uint32_t hot_threshold = 0;
+    std::uint64_t total_calls = 0;
+  };
+  std::vector<TierState> tier_states() const;
 
  private:
   struct Entry {
@@ -192,6 +218,7 @@ class ModuleCache {
   obs::Counter misses_;
   obs::Counter evictions_;
   obs::Counter pool_hits_;
+  obs::Counter prewarms_;
   obs::Counter* tier_compiles_sink_ = nullptr;
   obs::Counter* tier_entries_sink_ = nullptr;
   obs::Counter* tier_fallback_sink_ = nullptr;

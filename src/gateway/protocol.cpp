@@ -620,6 +620,8 @@ Bytes GatewayStats::encode() const {
   put_u64le(out, native_entries);
   put_u64le(out, jit_fallback_ops);
   put_u64le(out, invoke_memo_hits);
+  put_u64le(out, migrations);
+  put_u64le(out, prewarm_prepares);
   put_u64le(out, queue_delay_p50_ns);
   put_u64le(out, queue_delay_p90_ns);
   put_u64le(out, queue_delay_p99_ns);
@@ -642,6 +644,7 @@ Bytes GatewayStats::encode() const {
     put_u64le(out, d.cache_misses);
     put_u64le(out, d.cache_evictions);
     put_u64le(out, d.pool_hits);
+    put_u64le(out, d.cache_prewarms);
     put_u64le(out, d.queue_delay_p50_ns);
     put_u64le(out, d.queue_delay_p90_ns);
     put_u64le(out, d.queue_delay_p99_ns);
@@ -653,6 +656,15 @@ Bytes GatewayStats::encode() const {
       put_u64le(out, s.invocations);
       put_u64le(out, s.busy_ns);
       put_u64le(out, s.queue_full_rejections);
+    }
+    write_uleb(out, d.modules.size());
+    for (const ModuleTierStats& m : d.modules) {
+      put_digest(out, m.measurement);
+      out.push_back(m.mode);
+      put_u32le(out, m.functions);
+      put_u32le(out, m.native_functions);
+      put_u32le(out, m.hot_threshold);
+      put_u64le(out, m.calls);
     }
   }
   write_uleb(out, ra_shards.size());
@@ -686,8 +698,9 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
         &stats.queue_full_rejections, &stats.deduped_lanes,
         &stats.evidence_renewals, &stats.tier_up_compiles,
         &stats.native_entries, &stats.jit_fallback_ops,
-        &stats.invoke_memo_hits, &stats.queue_delay_p50_ns,
-        &stats.queue_delay_p90_ns, &stats.queue_delay_p99_ns}) {
+        &stats.invoke_memo_hits, &stats.migrations, &stats.prewarm_prepares,
+        &stats.queue_delay_p50_ns, &stats.queue_delay_p90_ns,
+        &stats.queue_delay_p99_ns}) {
     auto v = read_u64(r);
     if (!v.ok()) return Result<GatewayStats>::err(v.error());
     *field = *v;
@@ -723,8 +736,9 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
     d.queue_depth_peak = *peak;
     for (std::uint64_t* field :
          {&d.secure_heap_in_use, &d.cache_hits, &d.cache_misses,
-          &d.cache_evictions, &d.pool_hits, &d.queue_delay_p50_ns,
-          &d.queue_delay_p90_ns, &d.queue_delay_p99_ns}) {
+          &d.cache_evictions, &d.pool_hits, &d.cache_prewarms,
+          &d.queue_delay_p50_ns, &d.queue_delay_p90_ns,
+          &d.queue_delay_p99_ns}) {
       auto v = read_u64(r);
       if (!v.ok()) return Result<GatewayStats>::err(v.error());
       *field = *v;
@@ -757,6 +771,32 @@ Result<GatewayStats> GatewayStats::decode(ByteView data) {
       if (!rejects.ok()) return Result<GatewayStats>::err(rejects.error());
       slot.queue_full_rejections = *rejects;
       d.slots.push_back(slot);
+    }
+    auto module_count = r.read_uleb32();
+    if (!module_count.ok()) return Result<GatewayStats>::err(module_count.error());
+    // Each module-tier entry occupies 53 bytes (digest + mode + 3 u32 +
+    // u64); a count the frame cannot hold is malformed.
+    if (*module_count > r.remaining() / 53)
+      return Result<GatewayStats>::err("gateway: module count exceeds frame");
+    d.modules.reserve(*module_count);
+    for (std::uint32_t m = 0; m < *module_count; ++m) {
+      ModuleTierStats mod;
+      auto digest = read_digest(r);
+      if (!digest.ok()) return Result<GatewayStats>::err(digest.error());
+      mod.measurement = *digest;
+      auto mode = r.read_u8();
+      if (!mode.ok()) return Result<GatewayStats>::err(mode.error());
+      mod.mode = *mode;
+      for (std::uint32_t* field :
+           {&mod.functions, &mod.native_functions, &mod.hot_threshold}) {
+        auto v = r.read_u32le();
+        if (!v.ok()) return Result<GatewayStats>::err(v.error());
+        *field = *v;
+      }
+      auto calls = read_u64(r);
+      if (!calls.ok()) return Result<GatewayStats>::err(calls.error());
+      mod.calls = *calls;
+      d.modules.push_back(mod);
     }
     stats.devices.push_back(std::move(d));
   }

@@ -301,6 +301,18 @@ struct SlotStats {
   std::uint64_t queue_full_rejections = 0;
 };
 
+/// Per-measurement execution-tier snapshot of one device's module cache,
+/// carried by STATS detail: which tier the module runs on (interp / AOT /
+/// AOT + native entries) and how hot it is.
+struct ModuleTierStats {
+  crypto::Sha256Digest measurement{};
+  std::uint8_t mode = 0;  ///< wasm::ExecMode (0 = Interp, 1 = Aot)
+  std::uint32_t functions = 0;         ///< functions in the module
+  std::uint32_t native_functions = 0;  ///< with an installed native entry
+  std::uint32_t hot_threshold = 0;     ///< calls before tier-up queues
+  std::uint64_t calls = 0;             ///< heat: sum of per-function calls
+};
+
 struct DeviceStats {
   std::string hostname;
   std::uint64_t boot_count = 0;
@@ -312,6 +324,10 @@ struct DeviceStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
   std::uint64_t pool_hits = 0;
+  /// Modules pushed into this device's cache by the background prewarm
+  /// sweep (prepared ahead of any invoke, so failover lands warm — a
+  /// prewarmed module's first invoke is a cache HIT, not a miss).
+  std::uint64_t cache_prewarms = 0;
   /// Queueing-delay percentiles for THIS device's run queues (log2-bucket
   /// upper bounds, like the gateway-wide ones), so a slow device is not
   /// averaged away behind its fleet.
@@ -322,6 +338,10 @@ struct DeviceStats {
   /// per-slot occupancy breakdown, in slot order.
   std::uint32_t pool_slots = 0;
   std::vector<SlotStats> slots;
+  /// Per-measurement tier state of this device's module cache (interp /
+  /// AOT / native + heat). Populated only when the STATS request set its
+  /// detail flag; the wire always carries the count.
+  std::vector<ModuleTierStats> modules;
 };
 
 /// Per-verifier-shard counters (the RA endpoint shards handshake state by
@@ -382,9 +402,19 @@ struct GatewayStats {
   /// Opcodes executed through the JIT's per-opcode fallback thunks
   /// (f32/f64, host calls) rather than inline native code.
   std::uint64_t jit_fallback_ops = 0;
-  /// SUBMITs answered from the short-TTL single-invoke result memo without
-  /// entering a sandbox (the async-path counterpart of deduped_lanes).
+  /// INVOKE/SUBMIT/INVOKE_BATCH lanes answered from the short-TTL
+  /// single-invoke result memo without entering a sandbox: twins riding a
+  /// recent execution, and retries whose first attempt executed but lost
+  /// its response in flight (the exactly-once replay absorber).
   std::uint64_t invoke_memo_hits = 0;
+  /// Invocations that recovered on a DIFFERENT device after their placed
+  /// device failed appraisal (reboot mid-flight, expired evidence the
+  /// handshake could not refresh): the session was transparently
+  /// re-placed and the lane replayed on a live device.
+  std::uint64_t migrations = 0;
+  /// Module prepares pushed to enrolled devices by the background prewarm
+  /// sweep (cross-device ModuleCache::prepare, so failover lands warm).
+  std::uint64_t prewarm_prepares = 0;
   /// Queueing-delay percentiles over every work item admitted to a backend
   /// run queue (admission timestamp -> worker pickup), from a log2
   /// histogram: values are bucket upper bounds, 0 when nothing ran yet.

@@ -1,0 +1,185 @@
+#include "net/chaos_fabric.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace watz::net {
+
+namespace {
+
+std::string link_key(const std::string& host, std::uint16_t port) {
+  return host + ":" + std::to_string(port);
+}
+
+/// How long a reorder-parked frame waits for a later frame to overtake it
+/// before delivering anyway. A sequential sender has no later frame in
+/// flight, so the timeout is what keeps single-threaded chaos tests from
+/// deadlocking on their own parked frame.
+constexpr std::chrono::microseconds kReorderWindow{200};
+
+}  // namespace
+
+ChaosFabric::ChaosFabric(std::uint64_t seed) : rng_state_(seed ? seed : 1) {}
+
+void ChaosFabric::reseed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_state_ = seed ? seed : 1;
+}
+
+void ChaosFabric::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = on;
+}
+
+void ChaosFabric::set_policy(const std::string& host, std::uint16_t port,
+                             ChaosPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policies_[link_key(host, port)] = policy;
+}
+
+void ChaosFabric::set_default_policy(ChaosPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_policy_ = policy;
+  has_default_ = true;
+}
+
+void ChaosFabric::clear_policies() {
+  std::lock_guard<std::mutex> lock(mu_);
+  policies_.clear();
+  default_policy_ = ChaosPolicy{};
+  has_default_ = false;
+}
+
+void ChaosFabric::set_reboot_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reboot_hook_ = std::move(hook);
+}
+
+ChaosStats ChaosFabric::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t ChaosFabric::roll() {
+  // xorshift64: deterministic per seed, one stream for every decision so
+  // an iteration's whole fault schedule replays from reseed(seed).
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  return rng_state_;
+}
+
+bool ChaosFabric::hit(std::uint32_t permille) {
+  if (permille == 0) return false;
+  return roll() % 1000 < permille;
+}
+
+Result<std::uint64_t> ChaosFabric::connect(const std::string& host,
+                                           std::uint16_t port) {
+  auto conn = Fabric::connect(host, port);
+  if (conn.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    links_[*conn] = link_key(host, port);
+  }
+  return conn;
+}
+
+void ChaosFabric::close(std::uint64_t conn_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    links_.erase(conn_id);
+  }
+  Fabric::close(conn_id);
+}
+
+Result<Bytes> ChaosFabric::send_recv(std::uint64_t conn_id, ByteView message) {
+  // Decide the frame's whole fate under mu_, then act on it outside the
+  // lock: delivery re-enters the fabric (and may trigger nested sends
+  // through a gateway relaying RA traffic), so no chaos lock is held
+  // across it.
+  ChaosPolicy policy;
+  std::string link;
+  bool do_reboot = false, do_drop = false, do_delay = false;
+  bool do_reorder = false, do_duplicate = false, do_stall = false;
+  std::function<void()> reboot_hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (enabled_) {
+      const auto linked = links_.find(conn_id);
+      if (linked != links_.end()) {
+        link = linked->second;
+        const auto it = policies_.find(link);
+        if (it != policies_.end())
+          policy = it->second;
+        else if (has_default_)
+          policy = default_policy_;
+      }
+    }
+    if (policy.any()) {
+      // Roll order is part of the seed contract: reboot, drop, delay,
+      // reorder, duplicate, stall — changing it changes every seeded
+      // schedule.
+      do_reboot = hit(policy.reboot_permille);
+      do_drop = hit(policy.drop_permille);
+      do_delay = hit(policy.delay_permille);
+      do_reorder = hit(policy.reorder_permille);
+      do_duplicate = hit(policy.duplicate_permille);
+      do_stall = hit(policy.stall_permille);
+      if (do_reboot) {
+        ++stats_.reboots;
+        reboot_hook = reboot_hook_;
+      }
+      if (do_drop) ++stats_.dropped;
+      if (do_delay) ++stats_.delayed;
+      if (do_reorder) ++stats_.reordered;
+      if (do_duplicate) ++stats_.duplicated;
+      if (do_stall) ++stats_.stalled;
+    }
+  }
+
+  // Reboot storms: the device re-enrols (boot-count bump) on the sender's
+  // thread before this frame lands, so the frame runs against the
+  // post-reboot fleet — the worst-case interleaving for cached evidence.
+  if (reboot_hook) reboot_hook();
+
+  // Drop: the request never reaches the peer. Nothing executed, so the
+  // sender's retry is the FIRST execution.
+  if (do_drop)
+    return Result<Bytes>::err("chaos: frame dropped on " + link);
+
+  if (do_delay)
+    std::this_thread::sleep_for(std::chrono::nanoseconds(policy.delay_ns));
+
+  if (do_reorder) {
+    // Park until a later frame on this link completes first (delivery
+    // generation advances), or the window lapses for a sequential sender.
+    std::unique_lock<std::mutex> lock(order_mu_);
+    const std::uint64_t gen = deliveries_[link];
+    order_cv_.wait_for(lock, kReorderWindow,
+                       [&] { return deliveries_[link] != gen; });
+  }
+
+  auto response = Fabric::send_recv(conn_id, message);
+
+  // Duplicate: the identical frame arrives again immediately — the peer's
+  // dedup (invoke memo, leader/rider machinery) must absorb the replay.
+  // The duplicate's own response is discarded, as a real network would
+  // orphan it.
+  if (do_duplicate) (void)Fabric::send_recv(conn_id, message);
+
+  {
+    std::lock_guard<std::mutex> lock(order_mu_);
+    ++deliveries_[link];
+  }
+  order_cv_.notify_all();
+
+  // Stall: the peer executed (state changed, response computed) but the
+  // sender never hears back — the at-most-once hazard a blind retry turns
+  // into double execution.
+  if (do_stall)
+    return Result<Bytes>::err("chaos: response stalled on " + link);
+
+  return response;
+}
+
+}  // namespace watz::net

@@ -1,0 +1,139 @@
+// Fault-injecting wrapper over the in-process fabric.
+//
+// ChaosFabric subclasses net::Fabric and interposes on the connection
+// primitives: every send_recv first rolls a seeded PRNG against the
+// per-link ChaosPolicy of the destination endpoint and may drop the
+// request before the peer sees it, deliver it twice, delay it, hold it
+// until a later frame on the same link overtakes it, fire a "device
+// reboot" hook, or execute the service but withhold the response. The
+// faults map onto the failure modes a real fleet sees:
+//
+//   drop      the request is lost in flight: the service NEVER runs and
+//             the sender gets a transport error. A retry re-executes the
+//             operation — exactly once overall, because nothing ran.
+//   stall     the response is lost in flight: the service RAN to
+//             completion but the sender gets a transport error. This is
+//             the dangerous half of at-most-once delivery — a blind retry
+//             double-executes unless the receiver deduplicates (the
+//             gateway's invoke memo absorbs the replay).
+//   duplicate the frame arrives twice: the service runs a second time
+//             with identical bytes right after the first; the first
+//             response is returned. Receiver-side dedup must make the
+//             second delivery a no-op.
+//   delay     delivery is late by ChaosPolicy::delay_ns (queue pressure,
+//             slow boards, stalled slot workers when aimed at the RA
+//             link).
+//   reorder   the frame is parked until another frame on the same link
+//             overtakes it (or a timeout passes — a sequential sender
+//             must not deadlock on its own parked frame).
+//   reboot    the reboot hook fires on the sender's thread BEFORE
+//             delivery — tests wire it to Gateway::add_device so a
+//             mid-storm frame observes a boot-count bump and every
+//             cached evidence for that device going stale.
+//
+// Determinism: one xorshift64 stream seeded by reseed() drives every
+// fault decision, so a failing chaos iteration replays from its seed.
+// All fault state is mutex-guarded; delivery itself delegates to the
+// base Fabric (traffic counters and endpoint resolution are untouched).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "net/fabric.hpp"
+
+namespace watz::net {
+
+/// Per-link fault probabilities in permille (0 = never, 1000 = always).
+/// Faults are rolled independently per send in the order: reboot, drop,
+/// delay, reorder, duplicate, stall.
+struct ChaosPolicy {
+  std::uint32_t drop_permille = 0;       ///< lose the request pre-delivery
+  std::uint32_t duplicate_permille = 0;  ///< deliver the frame twice
+  std::uint32_t delay_permille = 0;      ///< sleep delay_ns before delivery
+  std::uint32_t reorder_permille = 0;    ///< park until a later frame passes
+  std::uint32_t stall_permille = 0;      ///< execute, lose the response
+  std::uint32_t reboot_permille = 0;     ///< fire the reboot hook pre-delivery
+  std::uint64_t delay_ns = 100'000;      ///< charge per delayed frame
+
+  bool any() const noexcept {
+    return drop_permille || duplicate_permille || delay_permille ||
+           reorder_permille || stall_permille || reboot_permille;
+  }
+};
+
+/// Cumulative fault counters (what the chaos suite reconciles its lane
+/// ledger against).
+struct ChaosStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t reboots = 0;
+
+  std::uint64_t total() const noexcept {
+    return dropped + duplicated + delayed + reordered + stalled + reboots;
+  }
+};
+
+class ChaosFabric final : public Fabric {
+ public:
+  explicit ChaosFabric(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Restarts the fault PRNG (each chaos iteration reseeds so a CI
+  /// failure replays locally from the echoed seed). Counters keep
+  /// accumulating across reseeds.
+  void reseed(std::uint64_t seed);
+
+  /// Enables/disables injection wholesale without touching policies —
+  /// tests bracket the storm window and verify over a clean fabric.
+  void set_enabled(bool on);
+
+  /// Policy for one destination endpoint ("host:port" link). Overrides
+  /// the default policy for frames sent to that endpoint.
+  void set_policy(const std::string& host, std::uint16_t port, ChaosPolicy policy);
+  /// Fallback policy for links without their own entry.
+  void set_default_policy(ChaosPolicy policy);
+  /// Drops every per-link policy and the default one.
+  void clear_policies();
+
+  /// Runs on the SENDING thread just before a reboot-rolled frame is
+  /// delivered. Must be safe to call from any fabric client (tests wire
+  /// it to Gateway::add_device + a module prewarm sweep). Fires at most
+  /// once per send.
+  void set_reboot_hook(std::function<void()> hook);
+
+  ChaosStats stats() const;
+
+  Result<std::uint64_t> connect(const std::string& host, std::uint16_t port) override;
+  Result<Bytes> send_recv(std::uint64_t conn_id, ByteView message) override;
+  void close(std::uint64_t conn_id) override;
+
+ private:
+  std::uint64_t roll();  ///< caller holds mu_
+  bool hit(std::uint32_t permille);  ///< caller holds mu_
+
+  mutable std::mutex mu_;  // guards rng_, policies_, links_, stats_
+  std::uint64_t rng_state_;
+  bool enabled_ = true;
+  std::map<std::string, ChaosPolicy> policies_;  // keyed "host:port"
+  ChaosPolicy default_policy_{};
+  bool has_default_ = false;
+  std::map<std::uint64_t, std::string> links_;  // conn_id -> link key
+  ChaosStats stats_;
+  std::function<void()> reboot_hook_;
+
+  /// Reorder barrier: a parked frame waits until the per-link delivery
+  /// generation advances past the one it read (i.e. a later frame on the
+  /// same link completed first) or the timeout passes.
+  std::mutex order_mu_;
+  std::condition_variable order_cv_;
+  std::map<std::string, std::uint64_t> deliveries_;
+};
+
+}  // namespace watz::net

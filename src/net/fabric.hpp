@@ -36,22 +36,31 @@ using Service = std::function<Result<Bytes>(std::uint64_t conn_id, ByteView requ
 /// Invoked when a connection closes, so services can drop session state.
 using CloseHook = std::function<void(std::uint64_t conn_id)>;
 
+/// The five primitive operations are virtual so a fault-injecting wrapper
+/// (net::ChaosFabric) can interpose per-link failure policies; the
+/// pipelining helpers (send_async / exchange_all) are built on the virtual
+/// send_recv and inherit whatever the wrapper injects.
 class Fabric {
  public:
+  Fabric() = default;
+  virtual ~Fabric() = default;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
   /// Binds `service` to host:port; fails if already bound.
-  Status listen(const std::string& host, std::uint16_t port, Service service,
-                CloseHook on_close = nullptr);
+  virtual Status listen(const std::string& host, std::uint16_t port, Service service,
+                        CloseHook on_close = nullptr);
 
   /// Unbinds an endpoint and drops its connections (no close hooks fire:
   /// the service is going away). A dying service calls this so the fabric
   /// never invokes a dangling handler; later sends fail with "peer gone".
-  void unlisten(const std::string& host, std::uint16_t port);
+  virtual void unlisten(const std::string& host, std::uint16_t port);
 
-  Result<std::uint64_t> connect(const std::string& host, std::uint16_t port);
+  virtual Result<std::uint64_t> connect(const std::string& host, std::uint16_t port);
 
   /// Sends a message on a connection and returns the peer's response.
   /// Blocks the calling thread for the duration of the service call.
-  Result<Bytes> send_recv(std::uint64_t conn_id, ByteView message);
+  virtual Result<Bytes> send_recv(std::uint64_t conn_id, ByteView message);
 
   /// Asynchronous counterpart of send_recv: the exchange runs on its own
   /// thread and the response arrives through the returned future. Lets a
@@ -67,7 +76,7 @@ class Fabric {
   std::vector<Result<Bytes>> exchange_all(std::uint64_t conn_id,
                                           std::vector<Bytes> messages);
 
-  void close(std::uint64_t conn_id);
+  virtual void close(std::uint64_t conn_id);
 
   std::uint64_t bytes_sent() const noexcept {
     return bytes_sent_.load(std::memory_order_relaxed);

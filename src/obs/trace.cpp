@@ -20,6 +20,7 @@ const char* stage_name(Stage stage) noexcept {
     case Stage::Ra: return "ra";
     case Stage::RaAppraise: return "ra-appraise";
     case Stage::Respond: return "respond";
+    case Stage::Migrate: return "migrate";
   }
   return "unknown";
 }

@@ -39,9 +39,10 @@ enum class Stage : std::uint8_t {
   Ra = 8,          // full RA handshake (4 messages) on the lane's critical path
   RaAppraise = 9,  // verifier-shard evidence appraisal (detail = shard index)
   Respond = 10,    // response fold + encode back to the client
+  Migrate = 11,    // session re-placement after a device failed appraisal
 };
 
-inline constexpr std::size_t kStageCount = 11;
+inline constexpr std::size_t kStageCount = 12;
 
 const char* stage_name(Stage stage) noexcept;
 

@@ -6,6 +6,7 @@
 // Transition counters feed the evaluation harness.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <utility>
 
@@ -30,10 +31,12 @@ class SecureMonitor {
   /// (typically the gateway registry's stage.tee_entry / stage.tee_exit).
   /// Either may be null; the monitor never owns them. Transitions also
   /// emit TeeEntry/TeeExit spans when the calling thread carries a trace.
+  /// Atomic: a re-enrolment rebinds these while slot workers may be
+  /// mid-transition on the same monitor.
   void set_transition_histograms(obs::Histogram* enter,
                                  obs::Histogram* leave) noexcept {
-    enter_hist_ = enter;
-    leave_hist_ = leave;
+    enter_hist_.store(enter, std::memory_order_release);
+    leave_hist_.store(leave, std::memory_order_release);
   }
 
   /// Runs `fn` in the secure world, charging enter/leave costs. Nested
@@ -51,26 +54,28 @@ class SecureMonitor {
 
  private:
   void enter() {
-    const bool timed = enter_hist_ != nullptr || obs::tracing_active();
+    obs::Histogram* hist = enter_hist_.load(std::memory_order_acquire);
+    const bool timed = hist != nullptr || obs::tracing_active();
     const std::uint64_t t0 = timed ? hw::monotonic_ns() : 0;
     latency_.charge_enter();
     state_ = hw::SecurityState::Secure;
     ++enters_;
     if (timed) {
       const std::uint64_t t1 = hw::monotonic_ns();
-      if (enter_hist_ != nullptr) enter_hist_->record(t1 - t0);
+      if (hist != nullptr) hist->record(t1 - t0);
       obs::emit_span(obs::Stage::TeeEntry, t0, t1);
     }
   }
   void leave() {
-    const bool timed = leave_hist_ != nullptr || obs::tracing_active();
+    obs::Histogram* hist = leave_hist_.load(std::memory_order_acquire);
+    const bool timed = hist != nullptr || obs::tracing_active();
     const std::uint64_t t0 = timed ? hw::monotonic_ns() : 0;
     latency_.charge_leave();
     state_ = hw::SecurityState::Normal;
     ++leaves_;
     if (timed) {
       const std::uint64_t t1 = hw::monotonic_ns();
-      if (leave_hist_ != nullptr) leave_hist_->record(t1 - t0);
+      if (hist != nullptr) hist->record(t1 - t0);
       obs::emit_span(obs::Stage::TeeExit, t0, t1);
     }
   }
@@ -79,8 +84,8 @@ class SecureMonitor {
   hw::SecurityState state_ = hw::SecurityState::Normal;
   std::uint64_t enters_ = 0;
   std::uint64_t leaves_ = 0;
-  obs::Histogram* enter_hist_ = nullptr;
-  obs::Histogram* leave_hist_ = nullptr;
+  std::atomic<obs::Histogram*> enter_hist_{nullptr};
+  std::atomic<obs::Histogram*> leave_hist_{nullptr};
 };
 
 }  // namespace watz::tz

@@ -9,7 +9,8 @@ TierSet::TierSet(const Module* module, std::span<const CompiledFunc> compiled,
     : module_(module),
       compiled_(compiled),
       config_(std::move(config)),
-      funcs_(std::make_unique<TierFunc[]>(compiled.size())) {}
+      funcs_(std::make_unique<TierFunc[]>(compiled.size())),
+      func_count_(static_cast<std::uint32_t>(compiled.size())) {}
 
 TierSet::~TierSet() {
   const std::size_t bytes = code_bytes_.load(std::memory_order_relaxed);

@@ -91,6 +91,25 @@ class TierSet {
   std::uint32_t hot_threshold() const noexcept { return config_.hot_threshold; }
   bool enabled() const noexcept { return config_.enabled; }
 
+  /// Snapshot accessors for the STATS tier-state surface (relaxed scans
+  /// over the per-function atomics; approximate under concurrent calls,
+  /// which is all a stats sample needs).
+  std::uint32_t func_count() const noexcept { return func_count_; }
+  /// Functions currently dispatching through an installed native entry.
+  std::uint32_t native_functions() const noexcept {
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < func_count_; ++i)
+      if (funcs_[i].entry.load(std::memory_order_relaxed) != nullptr) ++n;
+    return n;
+  }
+  /// Module heat: the sum of every function's call counter.
+  std::uint64_t total_calls() const noexcept {
+    std::uint64_t n = 0;
+    for (std::uint32_t i = 0; i < func_count_; ++i)
+      n += funcs_[i].calls.load(std::memory_order_relaxed);
+    return n;
+  }
+
  private:
   struct TierFunc {
     std::atomic<const void*> entry{nullptr};
@@ -106,6 +125,7 @@ class TierSet {
   std::span<const CompiledFunc> compiled_;
   TierConfig config_;
   std::unique_ptr<TierFunc[]> funcs_;
+  std::uint32_t func_count_ = 0;  ///< size of funcs_ (snapshot scans)
 
   std::mutex pending_mu_;
   std::vector<std::uint32_t> pending_;

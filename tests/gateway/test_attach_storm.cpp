@@ -20,6 +20,7 @@
 
 #include "core/device.hpp"
 #include "gateway/gateway.hpp"
+#include "tests/support/lane_ledger.hpp"
 #include "wasm/builder.hpp"
 
 namespace watz::gateway {
@@ -159,6 +160,10 @@ TEST(AttachStormTest, ConcurrentBatchedAttachesReconcileAndReattest) {
   auto load = admin.load_module(any_session, adder_app());
   ASSERT_TRUE(load.ok()) << load.error();
   std::uint32_t reattest_exchanges = 0;
+  // One lane per surviving session, pinned exactly-once by the ledger:
+  // re-attestation must neither drop a session's invoke nor answer it
+  // twice.
+  testing::LaneLedger ledger;
   int value = 0;
   for (const std::uint64_t id : ids) {
     InvokeRequest req;
@@ -167,12 +172,17 @@ TEST(AttachStormTest, ConcurrentBatchedAttachesReconcileAndReattest) {
     req.entry = "add";
     req.args = {wasm::Value::from_i32(value), wasm::Value::from_i32(1)};
     req.heap_bytes = 1 << 20;
+    ledger.issue(std::to_string(id));
     auto r = admin.invoke(req);
     ASSERT_TRUE(r.ok()) << r.error();
     ASSERT_EQ(r->results.front().i32(), value + 1);
+    ledger.complete(std::to_string(id), true);
     reattest_exchanges += r->ra_exchanges;
     ++value;
   }
+  EXPECT_EQ(ledger.issued(), static_cast<std::uint64_t>(kSessions));
+  EXPECT_EQ(ledger.lost(), 0u);
+  EXPECT_EQ(ledger.double_completed(), 0u);
   EXPECT_GT(reattest_exchanges, 0u)
       << "no session re-attested the rebooted device";
   EXPECT_GT(gateway.sessions().handshakes_run(), recorded);

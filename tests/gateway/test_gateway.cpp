@@ -985,6 +985,62 @@ TEST(GatewayProtocolTest, RoundTrips) {
   EXPECT_EQ(busy_stats2->queue_full_rejections, 5u);
 }
 
+TEST(GatewayProtocolTest, MigrationPrewarmAndTierStatsFraming) {
+  // The chaos-era stats surfaces round-trip too: the gateway-wide
+  // migration / prewarm / memo counters, the per-device prewarm counter,
+  // and the per-measurement tier-state vector STATS detail carries.
+  GatewayStats stats;
+  stats.migrations = 3;
+  stats.prewarm_prepares = 7;
+  stats.invoke_memo_hits = 11;
+  DeviceStats node;
+  node.hostname = "node-0";
+  node.cache_prewarms = 9;
+  ModuleTierStats tier;
+  tier.measurement.fill(0xAB);
+  tier.mode = 1;  // Aot
+  tier.functions = 12;
+  tier.native_functions = 5;
+  tier.hot_threshold = 64;
+  tier.calls = 4096;
+  node.modules.push_back(tier);
+  stats.devices.push_back(std::move(node));
+
+  const Bytes frame = stats.encode();
+  auto stats2 = GatewayStats::decode(frame);
+  ASSERT_TRUE(stats2.ok()) << stats2.error();
+  EXPECT_EQ(stats2->migrations, 3u);
+  EXPECT_EQ(stats2->prewarm_prepares, 7u);
+  EXPECT_EQ(stats2->invoke_memo_hits, 11u);
+  ASSERT_EQ(stats2->devices.size(), 1u);
+  EXPECT_EQ(stats2->devices[0].cache_prewarms, 9u);
+  ASSERT_EQ(stats2->devices[0].modules.size(), 1u);
+  const ModuleTierStats& tier2 = stats2->devices[0].modules[0];
+  EXPECT_EQ(tier2.measurement, tier.measurement);
+  EXPECT_EQ(tier2.mode, 1);
+  EXPECT_EQ(tier2.functions, 12u);
+  EXPECT_EQ(tier2.native_functions, 5u);
+  EXPECT_EQ(tier2.hot_threshold, 64u);
+  EXPECT_EQ(tier2.calls, 4096u);
+
+  // Framing strictness. A truncated frame (cut mid-module or cutting the
+  // trailing section counts) must fail decode, never mis-read.
+  EXPECT_FALSE(GatewayStats::decode(Bytes(frame.begin(), frame.end() - 2)).ok());
+  EXPECT_FALSE(GatewayStats::decode(Bytes(frame.begin(), frame.end() - 10)).ok());
+
+  // The per-entry bounds guard: each tier record occupies exactly 53 bytes
+  // (digest + mode + 3 u32 + u64), so a module count the frame cannot hold
+  // is rejected up front. With one device, one module and empty trailing
+  // sections the frame ends [count=1][53-byte record][0x00][0x00] — the
+  // count byte sits 56 bytes from the end; inflate it.
+  Bytes overcount = frame;
+  ASSERT_EQ(overcount[overcount.size() - 56], 0x01);
+  overcount[overcount.size() - 56] = 0x7F;
+  auto bad = GatewayStats::decode(overcount);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().find("module count"), std::string::npos) << bad.error();
+}
+
 TEST(GatewayProtocolTest, AttachBatchFraming) {
   AttachBatchRequest req;
   req.clients = {"alpha", "beta", ""};

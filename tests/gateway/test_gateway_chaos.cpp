@@ -1,0 +1,382 @@
+// The seeded chaos suite: drives a gateway fleet through injected fabric
+// faults — dropped, duplicated, delayed and reordered frames, mid-batch
+// device reboots, evidence expiry mid-flight and stalled responses under
+// batch load — and proves EXACTLY-ONCE invocation through all of them:
+//
+//   * a lane ledger (tests/support/lane_ledger.hpp) asserts no lane was
+//     lost and none was answered twice;
+//   * the gateway's `invocations` counter (sandbox entries) must equal
+//     the number of unique lanes issued — with globally-unique per-lane
+//     args this pins "each lane entered a sandbox exactly once", i.e. a
+//     replayed delivery was absorbed by the result memo rather than
+//     re-executed, and a dropped delivery was re-executed exactly once;
+//   * fleet-wide cache cold misses must stay ZERO: the cross-device
+//     module prewarm ran before the storm (and re-runs from the reboot
+//     hook), so every failover and reboot lands on a warm cache.
+//
+// Every iteration reseeds the chaos PRNG and echoes its seed to stdout
+// ("chaos seed: family=<f> seed=0x<s>"), so a CI failure replays locally:
+// WATZ_CHAOS_SEED=0x<s> overrides the base seed. 7 fault families x
+// kSeedsPerFamily seeds = 105 distinct seeded storms per run.
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/device.hpp"
+#include "gateway/gateway.hpp"
+#include "net/chaos_fabric.hpp"
+#include "tests/support/lane_ledger.hpp"
+#include "wasm/builder.hpp"
+
+namespace watz::gateway {
+namespace {
+
+constexpr int kSeedsPerFamily = 15;
+constexpr int kLanesPerSeed = 8;
+constexpr int kMaxAttempts = 200;
+
+std::uint64_t base_seed() {
+  if (const char* env = std::getenv("WATZ_CHAOS_SEED"))
+    return std::strtoull(env, nullptr, 0);
+  return 0xC0FFEE5EEDull;
+}
+
+core::DeviceConfig device_config(const std::string& hostname, std::uint8_t id) {
+  core::DeviceConfig config;
+  config.hostname = hostname;
+  config.otpmk.fill(id);
+  config.latency.enabled = false;
+  return config;
+}
+
+Bytes adder_app() {
+  wasm::ModuleBuilder b;
+  b.add_memory(1);
+  const auto f = b.add_function({{wasm::ValType::I32, wasm::ValType::I32},
+                                 {wasm::ValType::I32}});
+  wasm::CodeEmitter e;
+  e.local_get(0).local_get(1).op(wasm::kI32Add);
+  b.set_body(f, e.bytes());
+  b.export_function("add", f);
+  return b.build();
+}
+
+/// Baseline fleet config for chaos storms: a pooled fleet with the result
+/// memo on (the replay absorber), cross-device prewarm on (failover lands
+/// warm) and background renewal off (storm determinism — the expiry
+/// family drives staleness itself).
+GatewayConfig chaos_config() {
+  GatewayConfig config;
+  config.slots_per_device = 2;
+  config.invoke_memo_ttl_ns = 60'000'000'000ull;
+  config.module_prewarm = true;
+  config.evidence_renewal = false;
+  return config;
+}
+
+class GatewayChaosTest : public ::testing::Test {
+ protected:
+  void SetUpFleet(int devices, GatewayConfig config) {
+    config_ = config;
+    vendor_ = core::Vendor::create(to_bytes("gw-chaos-vendor"));
+    for (int i = 0; i < devices; ++i) {
+      auto device = core::Device::boot(
+          chaos_, vendor_, device_config("chaos-node-" + std::to_string(i),
+                                         static_cast<std::uint8_t>(0x90 + i)));
+      ASSERT_TRUE(device.ok()) << device.error();
+      devices_.push_back(std::move(*device));
+    }
+    gateway_ = std::make_unique<Gateway>(chaos_, config, to_bytes("gw-chaos-id"));
+    ASSERT_TRUE(gateway_->start().ok());
+    for (auto& device : devices_) ASSERT_TRUE(gateway_->add_device(*device).ok());
+    client_ = std::make_unique<GatewayClient>(chaos_);
+    ASSERT_TRUE(client_->connect(config.hostname, config.port).ok());
+
+    auto attach = client_->attach("chaos-tenant");
+    ASSERT_TRUE(attach.ok()) << attach.error();
+    session_ = attach->session_id;
+    auto load = client_->load_module(session_, adder_app());
+    ASSERT_TRUE(load.ok()) << load.error();
+    measurement_ = load->measurement;
+    // Prewarm the whole fleet BEFORE any invoke: from here on, zero cold
+    // cache misses is an invariant every storm re-asserts. The background
+    // prewarm pump may have beaten this manual sweep to some devices —
+    // prepares are idempotent per device, so the cumulative counter lands
+    // at exactly fleet size no matter who swept first.
+    gateway_->sweep_module_prewarms();
+    EXPECT_EQ(gateway_->stats().prewarm_prepares,
+              static_cast<std::uint64_t>(devices));
+  }
+
+  InvokeRequest add_request(std::int32_t a) const {
+    InvokeRequest req;
+    req.session_id = session_;
+    req.measurement = measurement_;
+    req.entry = "add";
+    req.args = {wasm::Value::from_i32(a), wasm::Value::from_i32(1)};
+    req.heap_bytes = 1 << 20;
+    return req;
+  }
+
+  /// Lane args are globally unique across families, seeds and lanes, so
+  /// the memo can never alias two distinct lanes and the `invocations`
+  /// delta counts THIS storm's sandbox entries alone.
+  static std::int32_t lane_arg(int family_id, int iter, int lane) {
+    return family_id * 1'000'000 + iter * 1'000 + lane;
+  }
+
+  /// Fleet-wide warm-cache invariant: the prewarm sweep (setup + reboot
+  /// hook) beat every cold path, so no device ever paid a cold Loading
+  /// phase on the invoke path.
+  void expect_warm_fleet(const GatewayStats& stats) const {
+    std::uint64_t misses = 0, prewarms = 0;
+    for (const DeviceStats& d : stats.devices) {
+      misses += d.cache_misses;
+      prewarms += d.cache_prewarms;
+    }
+    EXPECT_EQ(misses, 0u) << "a storm paid a cold module miss";
+    EXPECT_GE(prewarms, devices_.size());
+  }
+
+  /// One seeded storm of sequential INVOKEs with test-level retry: every
+  /// transport error (chaos drop/stall) is retried with the SAME request
+  /// bytes until it completes, then the ledger + invocation counter prove
+  /// exactly-once execution.
+  void run_sync_storms(const char* family, int family_id,
+                       net::ChaosPolicy policy) {
+    for (int iter = 0; iter < kSeedsPerFamily; ++iter) {
+      const std::uint64_t seed =
+          base_seed() + static_cast<std::uint64_t>(family_id * 1000 + iter);
+      std::printf("chaos seed: family=%s seed=0x%" PRIx64 "\n", family, seed);
+      chaos_.reseed(seed);
+      chaos_.set_policy(config_.hostname, config_.port, policy);
+
+      const std::uint64_t executed_before = gateway_->stats().invocations;
+      testing::LaneLedger ledger;
+      for (int lane = 0; lane < kLanesPerSeed; ++lane) {
+        const std::int32_t arg = lane_arg(family_id, iter, lane);
+        const std::string key = std::to_string(arg);
+        ledger.issue(key);
+        bool done = false;
+        for (int attempt = 0; attempt < kMaxAttempts && !done; ++attempt) {
+          auto r = client_->invoke(add_request(arg));
+          if (!r.ok()) continue;  // chaos ate a frame: replay, same bytes
+          EXPECT_EQ(r->results.front().i32(), arg + 1);
+          ledger.complete(key, true);
+          done = true;
+        }
+        if (!done) ledger.complete(key, false);
+      }
+      chaos_.clear_policies();
+
+      EXPECT_EQ(ledger.lost(), 0u)
+          << family << ": lane lost (seed 0x" << std::hex << seed << ")";
+      EXPECT_EQ(ledger.double_completed(), 0u);
+      const GatewayStats stats = gateway_->stats();
+      EXPECT_EQ(stats.invocations - executed_before,
+                static_cast<std::uint64_t>(kLanesPerSeed))
+          << family << ": lanes executed != lanes issued — a replay "
+          << "double-executed or a lane vanished (seed 0x" << std::hex << seed
+          << ")";
+      expect_warm_fleet(stats);
+    }
+  }
+
+  net::ChaosFabric chaos_;
+  core::Vendor vendor_;
+  GatewayConfig config_;
+  std::vector<std::unique_ptr<core::Device>> devices_;
+  std::unique_ptr<Gateway> gateway_;
+  std::unique_ptr<GatewayClient> client_;
+  std::uint64_t session_ = 0;
+  crypto::Sha256Digest measurement_{};
+};
+
+TEST_F(GatewayChaosTest, DropStormNeverLosesOrDoublesLanes) {
+  SetUpFleet(3, chaos_config());
+  net::ChaosPolicy policy;
+  policy.drop_permille = 250;  // request lost pre-delivery: retry re-executes
+  run_sync_storms("drop", 0, policy);
+  EXPECT_GT(chaos_.stats().dropped, 0u);
+}
+
+TEST_F(GatewayChaosTest, DuplicateStormSecondDeliveryIsAbsorbed) {
+  SetUpFleet(3, chaos_config());
+  net::ChaosPolicy policy;
+  policy.duplicate_permille = 300;  // frame arrives twice, back to back
+  run_sync_storms("duplicate", 1, policy);
+  EXPECT_GT(chaos_.stats().duplicated, 0u);
+}
+
+TEST_F(GatewayChaosTest, DelayStormOnlyAddsLatency) {
+  SetUpFleet(3, chaos_config());
+  net::ChaosPolicy policy;
+  policy.delay_permille = 400;
+  policy.delay_ns = 50'000;
+  run_sync_storms("delay", 2, policy);
+  EXPECT_GT(chaos_.stats().delayed, 0u);
+}
+
+TEST_F(GatewayChaosTest, ReorderStormOvertakenFramesStillComplete) {
+  SetUpFleet(3, chaos_config());
+  net::ChaosPolicy policy;
+  policy.reorder_permille = 300;  // parked until overtaken (or the window)
+  run_sync_storms("reorder", 3, policy);
+  EXPECT_GT(chaos_.stats().reordered, 0u);
+}
+
+TEST_F(GatewayChaosTest, RebootStormReplaysAcrossBootCountBumps) {
+  SetUpFleet(3, chaos_config());
+  // The reboot hook re-enrols a round-robin device mid-storm (boot count
+  // bumps, every session's evidence for it goes stale, its module cache
+  // is rebuilt EMPTY) and immediately re-runs the prewarm sweep so the
+  // fresh cache is warm before any invoke reaches it. The stall component
+  // forces replays ACROSS those reboots — the memo's producer bypass is
+  // what keeps them single-execution (the has_fresh gate alone would fail
+  // at the new boot count and silently re-execute).
+  std::size_t reboot_tick = 0;
+  chaos_.set_reboot_hook([this, &reboot_tick] {
+    core::Device& victim = *devices_[reboot_tick++ % devices_.size()];
+    ASSERT_TRUE(gateway_->add_device(victim).ok());
+    gateway_->sweep_module_prewarms();
+  });
+  net::ChaosPolicy policy;
+  policy.reboot_permille = 40;
+  policy.stall_permille = 150;
+  run_sync_storms("reboot", 4, policy);
+  EXPECT_GT(chaos_.stats().reboots, 0u);
+  chaos_.set_reboot_hook({});
+}
+
+TEST_F(GatewayChaosTest, EvidenceExpiryMidFlightReattestsNotReexecutes) {
+  GatewayConfig config = chaos_config();
+  config.session_policy.evidence_ttl_ns = 2'000'000;  // 2 ms: expires mid-storm
+  SetUpFleet(3, config);
+  // Evidence lapses between lanes, so invokes keep paying lazy
+  // re-handshakes on the control lane — while drop + stall chaos forces
+  // replays whose memo redemptions must ignore the staleness (producer
+  // bypass) instead of re-executing.
+  net::ChaosPolicy policy;
+  policy.drop_permille = 150;
+  policy.stall_permille = 150;
+  run_sync_storms("expiry", 5, policy);
+}
+
+TEST_F(GatewayChaosTest, StallStormBatchRetriesOnlyFailedLanes) {
+  GatewayConfig config = chaos_config();
+  config.session_policy.evidence_ttl_ns = 5'000'000;  // handshakes mid-storm
+  SetUpFleet(3, config);
+  // Slot-worker stalls under load: the RA link is slowed (handshakes on
+  // the control lane crawl) while the dispatcher link stalls/drops whole
+  // INVOKE_BATCH exchanges. The client replays ONLY the failed-index
+  // lanes; a stalled batch EXECUTED all its lanes, so the replay must be
+  // answered entirely from the memo.
+  net::ChaosPolicy ra_slow;
+  ra_slow.delay_permille = 500;
+  ra_slow.delay_ns = 200'000;
+  net::ChaosPolicy batch_chaos;
+  batch_chaos.stall_permille = 200;
+  batch_chaos.drop_permille = 100;
+
+  constexpr int kBatchLanes = 32;
+  const int family_id = 6;
+  for (int iter = 0; iter < kSeedsPerFamily; ++iter) {
+    const std::uint64_t seed =
+        base_seed() + static_cast<std::uint64_t>(family_id * 1000 + iter);
+    std::printf("chaos seed: family=stall-batch seed=0x%" PRIx64 "\n", seed);
+    chaos_.reseed(seed);
+    chaos_.set_policy(config_.hostname, config_.ra_port, ra_slow);
+    chaos_.set_policy(config_.hostname, config_.port, batch_chaos);
+
+    const std::uint64_t executed_before = gateway_->stats().invocations;
+    testing::LaneLedger ledger;
+    std::vector<std::int32_t> todo;
+    for (int lane = 0; lane < kBatchLanes; ++lane) {
+      const std::int32_t arg = lane_arg(family_id, iter, lane);
+      ledger.issue(std::to_string(arg));
+      todo.push_back(arg);
+    }
+    for (int attempt = 0; attempt < kMaxAttempts && !todo.empty(); ++attempt) {
+      std::vector<InvokeRequest> batch;
+      batch.reserve(todo.size());
+      for (const std::int32_t arg : todo) batch.push_back(add_request(arg));
+      auto results = client_->invoke_all(batch);
+      std::vector<std::int32_t> failed;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].ok()) {
+          EXPECT_EQ(results[i]->results.front().i32(), todo[i] + 1);
+          ledger.complete(std::to_string(todo[i]), true);
+        } else {
+          failed.push_back(todo[i]);  // failed-index replay, same bytes
+        }
+      }
+      todo = std::move(failed);
+    }
+    for (const std::int32_t arg : todo)
+      ledger.complete(std::to_string(arg), false);
+    chaos_.clear_policies();
+
+    EXPECT_EQ(ledger.lost(), 0u)
+        << "stall-batch: lane lost (seed 0x" << std::hex << seed << ")";
+    EXPECT_EQ(ledger.double_completed(), 0u);
+    const GatewayStats stats = gateway_->stats();
+    EXPECT_EQ(stats.invocations - executed_before,
+              static_cast<std::uint64_t>(kBatchLanes))
+        << "stall-batch: a failed-index replay re-executed a lane that had "
+        << "already run (seed 0x" << std::hex << seed << ")";
+    expect_warm_fleet(stats);
+  }
+  EXPECT_GT(chaos_.stats().stalled + chaos_.stats().dropped, 0u);
+}
+
+TEST_F(GatewayChaosTest, MidStormMigrationLandsOnPrewarmedDevice) {
+  SetUpFleet(2, chaos_config());
+  const std::uint64_t seed = base_seed() + 9999;
+  std::printf("chaos seed: family=migration seed=0x%" PRIx64 "\n", seed);
+  chaos_.reseed(seed);
+
+  // Kill device 0's trust path: reboot it (boot count bumps, the
+  // session's evidence for it goes stale) and drop EVERY frame on the RA
+  // link, so its lazy re-handshake can never complete — every placement
+  // onto it fails appraisal. Device 1's evidence is still fresh from
+  // attach, so the dispatcher must transparently migrate the session
+  // there; the prewarm sweep already warmed device-1's cache, so the
+  // failover pays no cold Loading phase.
+  ASSERT_TRUE(gateway_->add_device(*devices_[0]).ok());
+  gateway_->sweep_module_prewarms();  // rebuilt (empty) cache re-warmed
+  EXPECT_EQ(gateway_->stats().prewarm_prepares, 3u);  // 2 at setup + this one
+  net::ChaosPolicy ra_down;
+  ra_down.drop_permille = 1000;
+  chaos_.set_policy(config_.hostname, config_.ra_port, ra_down);
+
+  const std::uint64_t executed_before = gateway_->stats().invocations;
+  constexpr int kLanes = 24;
+  for (int lane = 0; lane < kLanes; ++lane) {
+    const std::int32_t arg = 8'000'000 + lane;
+    auto r = client_->invoke(add_request(arg));
+    ASSERT_TRUE(r.ok()) << "migration must be transparent: " << r.error();
+    EXPECT_EQ(r->results.front().i32(), arg + 1);
+    EXPECT_EQ(r->device, "chaos-node-1");
+  }
+  chaos_.clear_policies();
+
+  const GatewayStats stats = gateway_->stats();
+  EXPECT_GT(stats.migrations, 0u);
+  EXPECT_EQ(stats.invocations - executed_before,
+            static_cast<std::uint64_t>(kLanes));
+  // "Cold prepares on failover == 0": the landing device served every
+  // migrated invoke from its prewarmed cache.
+  expect_warm_fleet(stats);
+  for (const DeviceStats& d : stats.devices) {
+    if (d.hostname == "chaos-node-1") {
+      EXPECT_GT(d.cache_prewarms, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace watz::gateway

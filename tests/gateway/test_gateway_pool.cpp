@@ -11,6 +11,7 @@
 
 #include "core/device.hpp"
 #include "gateway/gateway.hpp"
+#include "tests/support/lane_ledger.hpp"
 #include "wasm/builder.hpp"
 
 namespace watz::gateway {
@@ -92,7 +93,9 @@ TEST_F(GatewayPoolTest, SlotAffinityReusesWarmInstance) {
     auto r = client_->invoke(add_request(attach->session_id, load->measurement, i, 1));
     ASSERT_TRUE(r.ok()) << r.error();
     EXPECT_EQ(r->results.front().i32(), i + 1);
-    if (i > 0) EXPECT_TRUE(r->pool_hit) << "invoke " << i;
+    if (i > 0) {
+      EXPECT_TRUE(r->pool_hit) << "invoke " << i;
+    }
   }
 
   auto stats = client_->stats(attach->session_id);
@@ -118,9 +121,12 @@ TEST_F(GatewayPoolTest, BatchFansOutAcrossOneDevicesSlots) {
   auto load = client_->load_module(attach->session_id, adder_app());
   ASSERT_TRUE(load.ok());
 
-  // 8 distinct lanes in one admission pass: the fan must use the whole
-  // pool of ONE device, not just its first slot (admission bumps inflight,
-  // so lane k's cost snapshot already sees lanes 0..k-1).
+  // 8 distinct lanes in one admission pass: the fan must spread over the
+  // pool of ONE device, not serialise on its first slot (admission bumps
+  // inflight, so lane k's cost snapshot already sees lanes 0..k-1). The
+  // spread is NOT deterministically even: a fast slot can retire a lane
+  // mid-admission and win later lanes back through affinity — so pin
+  // "multiple slots ran the batch", not an exact 2/2/2/2 split.
   std::vector<InvokeRequest> batch;
   for (int i = 0; i < 8; ++i)
     batch.push_back(add_request(attach->session_id, load->measurement, i, 100));
@@ -132,7 +138,11 @@ TEST_F(GatewayPoolTest, BatchFansOutAcrossOneDevicesSlots) {
   const DeviceStats& d = stats->devices[0];
   EXPECT_EQ(d.invocations, 8u);
   ASSERT_EQ(d.slots.size(), 4u);
-  for (const SlotStats& s : d.slots) EXPECT_EQ(s.invocations, 2u);
+  int busy_slots = 0;
+  for (const SlotStats& s : d.slots) {
+    if (s.invocations > 0) ++busy_slots;
+  }
+  EXPECT_GE(busy_slots, 2) << "the batch serialised on one slot";
 }
 
 TEST_F(GatewayPoolTest, DedupedLanesShareOneExecution) {
@@ -328,6 +338,13 @@ TEST_F(GatewayPoolTest, FourThreadStressOverPooledFleet) {
   constexpr int kRounds = 12;
   std::atomic<int> failures{0};
   std::atomic<std::uint64_t> completed{0};
+  // Every lane (plain invoke and batch lane alike) is registered with the
+  // exactly-once ledger before dispatch and completed by whichever path
+  // answered it; the storm must end with zero lost and zero doubled.
+  testing::LaneLedger ledger;
+  const auto lane_key = [](int t, int round, const char* lane) {
+    return std::to_string(t) + "/" + std::to_string(round) + "/" + lane;
+  };
   std::vector<std::thread> drivers;
   for (int t = 0; t < kThreads; ++t) {
     drivers.emplace_back([&, t] {
@@ -342,22 +359,29 @@ TEST_F(GatewayPoolTest, FourThreadStressOverPooledFleet) {
         return;
       }
       for (int round = 0; round < kRounds; ++round) {
+        ledger.issue(lane_key(t, round, "sync"));
         auto r = client.invoke(add_request(attach->session_id, measurement,
                                            t * 1000 + round, 1));
         if (!r.ok()) {
           failures.fetch_add(1);
           return;
         }
+        ledger.complete(lane_key(t, round, "sync"), true);
         completed.fetch_add(1);
         std::vector<InvokeRequest> batch;
-        for (int lane = 0; lane < 4; ++lane)
+        for (int lane = 0; lane < 4; ++lane) {
           batch.push_back(add_request(attach->session_id, measurement,
                                       t * 1000 + round, 10 + lane));
-        for (auto& lane_result : client.invoke_all(batch)) {
-          if (!lane_result.ok()) {
+          ledger.issue(lane_key(t, round, std::to_string(lane).c_str()));
+        }
+        auto lane_results = client.invoke_all(batch);
+        for (std::size_t lane = 0; lane < lane_results.size(); ++lane) {
+          if (!lane_results[lane].ok()) {
             failures.fetch_add(1);
             return;
           }
+          ledger.complete(
+              lane_key(t, round, std::to_string(lane).c_str()), true);
           completed.fetch_add(1);
         }
       }
@@ -376,6 +400,10 @@ TEST_F(GatewayPoolTest, FourThreadStressOverPooledFleet) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(completed.load(),
             static_cast<std::uint64_t>(kThreads) * kRounds * 5);
+  EXPECT_EQ(ledger.issued(), static_cast<std::uint64_t>(kThreads) * kRounds * 5);
+  EXPECT_EQ(ledger.double_issued(), 0u);
+  EXPECT_EQ(ledger.lost(), 0u) << "a lane vanished mid-storm";
+  EXPECT_EQ(ledger.double_completed(), 0u) << "a lane was answered twice";
   auto stats = client_->stats(seed_attach->session_id);
   ASSERT_TRUE(stats.ok());
   // Dedup never fires (every batch's lanes are distinct), so each

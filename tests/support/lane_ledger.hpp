@@ -1,0 +1,112 @@
+// Lane ledger: a reusable exactly-once invariant checker for gateway
+// tests. Every logical invocation ("lane") a driver issues is first
+// registered with issue(); whichever path eventually answers it —
+// first-try success, spill-over, chaos-forced retry, memo redemption —
+// reports through complete(). At the end of the storm the ledger answers
+// the two questions the chaos suite (and any storm test) must pin:
+//
+//   * lost()             — lanes issued but never completed (a dropped
+//                          frame the retry machinery failed to recover);
+//   * double_completed() — lanes completed MORE than once successfully (a
+//                          duplicate delivery that executed twice instead
+//                          of being absorbed by the result memo).
+//
+// The ledger tracks COMPLETIONS, not executions: pair it with the
+// gateway's `invocations` counter (sandbox entries) to close the loop —
+// with globally-unique per-lane args, counter delta == unique completed
+// lanes proves each lane entered a sandbox exactly once.
+//
+// Thread safety: all methods lock the internal mutex; drivers on any
+// number of threads may issue/complete concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace watz::testing {
+
+class LaneLedger {
+ public:
+  /// Registers a lane before it is dispatched. Issuing the same key twice
+  /// is the caller's bug and counts toward double_issued().
+  void issue(const std::string& lane_key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& lane = lanes_[lane_key];
+    if (lane.issued) ++double_issued_;
+    lane.issued = true;
+  }
+
+  /// Reports the final outcome of one delivery attempt that produced an
+  /// answer for the lane. `ok` = the lane's result arrived (whether by
+  /// execution or memo redemption); false = the driver gave up on it.
+  void complete(const std::string& lane_key, bool ok) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& lane = lanes_[lane_key];
+    if (ok) {
+      ++lane.completions;
+    } else {
+      lane.failed = true;
+    }
+  }
+
+  /// Lanes issued but never successfully completed.
+  std::uint64_t lost() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& [key, lane] : lanes_)
+      if (lane.issued && lane.completions == 0) ++n;
+    return n;
+  }
+
+  /// Lanes successfully completed more than once.
+  std::uint64_t double_completed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& [key, lane] : lanes_)
+      if (lane.completions > 1) ++n;
+    return n;
+  }
+
+  /// Lanes with at least one successful completion.
+  std::uint64_t completed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& [key, lane] : lanes_)
+      if (lane.completions > 0) ++n;
+    return n;
+  }
+
+  /// Lanes whose driver reported a terminal failure.
+  std::uint64_t failed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& [key, lane] : lanes_)
+      if (lane.failed) ++n;
+    return n;
+  }
+
+  std::uint64_t issued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lanes_.size();
+  }
+
+  std::uint64_t double_issued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return double_issued_;
+  }
+
+ private:
+  struct Lane {
+    bool issued = false;
+    bool failed = false;
+    std::uint64_t completions = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Lane> lanes_;
+  std::uint64_t double_issued_ = 0;
+};
+
+}  // namespace watz::testing
