@@ -25,12 +25,15 @@
 #include <atomic>
 #include <thread>
 
+#include "ann/dataset.hpp"
+#include "ann/guest.hpp"
 #include "bench/harness.hpp"
 #include "gateway/gateway.hpp"
 #include "net/chaos_fabric.hpp"
 #include "polybench/suite.hpp"
 #include "wasm/builder.hpp"
 #include "wasm/jit/jit.hpp"
+#include "wasm/jit/tier.hpp"
 #include "wcc/compiler.hpp"
 
 namespace {
@@ -795,39 +798,42 @@ int main(int argc, char** argv) {
   report.metric("tracing_disabled_overhead_pct", disabled_overhead_pct, "%");
 
   // ---- phase 8: native tier-up -------------------------------------------
-  // Two single-board gateways with latency charging off (the phase isolates
-  // guest compute, not world-switch accounting), both running the
-  // floyd-warshall PolyBench kernel — an integer triple loop, exactly the
-  // core the baseline JIT lowers without thunks. The BASELINE gateway pins
+  // Pairs of single-board gateways with latency charging off (the phase
+  // isolates guest compute, not world-switch accounting), each pair running
+  // one PolyBench kernel: gem — the fig5 double-precision mul-add triple
+  // loop, the phase-2 float surface — and flo — the integer floyd-warshall
+  // core the phase-1 JIT already lowered. Per pair the BASELINE gateway pins
   // jit_tiering off, so every invoke rides the AOT stream; the TIERED one
   // marks the function hot on first touch, lets the control-plane sweep
   // compile it (the background sweeper may already have — the explicit call
   // just bounds the race), and times the same invoke on the native entry.
-  // The ratio is the CI gate: tier-up must buy >= 2x on a real kernel, and
-  // the tiered gateway's tier_up_compiles counter must be > 0 for the ratio
-  // to mean anything. On hosts where the JIT cannot run (non-x86-64 or
-  // WATZ_DISABLE_JIT) the phase still executes — wholesale AOT fallback —
-  // and reports speedup ~1 / compiles 0; the gating leg of CI never sees
-  // that because it pins the JIT on.
-  if (tables) std::printf("\n=== Gateway: native tier-up (PolyBench flo) ===\n");
-  double native_speedup = 1.0;
+  // The ratios are CI gates: the double kernel must buy >= 4x (floats lower
+  // inline now, not through thunks) with ZERO jit_fallback_float traffic in
+  // steady state, the int kernel >= 2x, and the tiered gateway's
+  // tier_up_compiles counter must be > 0 for the ratios to mean anything.
+  // On hosts where the JIT cannot run (non-x86-64 or WATZ_DISABLE_JIT) the
+  // phase still executes — wholesale AOT fallback — and reports speedup ~1 /
+  // compiles 0; the gating leg of CI never sees that because it pins the
+  // JIT on.
+  if (tables)
+    std::printf("\n=== Gateway: native tier-up (PolyBench gem + flo) ===\n");
+  double native_speedup = 1.0;   // gem, the double-precision headline gate
+  double int_speedup = 1.0;      // flo, the phase-1 integer floor
   double tier_compiles = 0.0;
+  double float_fallbacks = 0.0;  // steady-state jit_fallback_float on gem
   {
-    const polybench::KernelDef* kernel = polybench::find_kernel("flo");
-    if (kernel == nullptr) throw Error("bench: flo kernel missing");
-    wcc::CompileOptions options;
-    options.memory_pages = 16;  // flo n=60 touches ~14 KB; keep the per-invoke
-                                // instantiation cost out of the compute ratio
-    auto binary = wcc::compile(kernel->source, options);
-    binary.ok() ? void() : throw Error("bench: " + binary.error());
     const int reps = 3;
-
-    // Boots a gateway + board pair, loads the kernel, and returns the
-    // median gateway-invoke latency after `pre_measure` ran once.
     std::uint8_t tier_otpmk = 0xF8;
-    auto measure = [&](gateway::GatewayConfig config,
+    int tier_port = 7420;
+
+    // Boots a gateway + board pair, loads `binary`, and returns the median
+    // gateway-invoke latency after `pre_measure` ran once. The fallback
+    // delta is taken across the measured reps only: the warm-up invoke may
+    // legally ride the AOT stream, steady state must not thunk.
+    auto measure = [&](gateway::GatewayConfig config, const Bytes& binary,
+                       int kernel_n,
                        const std::function<void(gateway::Gateway&)>& pre,
-                       double* compiles_out) {
+                       double* compiles_out, double* float_fallback_out) {
       gateway::Gateway gw(fabric, config, to_bytes("gw-bench-" + config.hostname));
       gw.start().check();
       auto board = bench::boot_device(fabric, vendor, config.hostname + "-node",
@@ -838,54 +844,134 @@ int main(int argc, char** argv) {
       admin.connect(config.hostname, config.port).check();
       auto session = admin.attach("bench-tier-tenant");
       session.ok() ? void() : throw Error("bench: " + session.error());
-      auto module = admin.load_module(session->session_id, *binary);
+      auto module = admin.load_module(session->session_id, binary);
       module.ok() ? void() : throw Error("bench: " + module.error());
 
       auto run_once = [&] {
         gateway::InvokeRequest req =
             invoke_request(session->session_id, module->measurement, "run",
-                           {wasm::Value::from_i32(kernel->n)});
+                           {wasm::Value::from_i32(kernel_n)});
         req.heap_bytes = 2 << 20;  // comfortably holds the 16-page memory
         auto r = admin.invoke(req);
         r.ok() ? void() : throw Error("bench: " + r.error());
       };
       run_once();  // warms the pool slot (and, tiered, trips the heat counter)
       pre(gw);
+      const std::uint64_t float_before = gw.stats().jit_fallback_float;
       const std::uint64_t ns = bench::median_ns(reps, run_once);
       if (compiles_out != nullptr)
         *compiles_out = static_cast<double>(gw.stats().tier_up_compiles);
+      if (float_fallback_out != nullptr)
+        *float_fallback_out =
+            static_cast<double>(gw.stats().jit_fallback_float - float_before);
       return ns;
     };
 
-    gateway::GatewayConfig baseline;
-    baseline.hostname = "gw-aot";
-    baseline.port = 7420;
-    baseline.ra_port = 7421;
-    baseline.jit_tiering = false;  // the pure AOT-stream yardstick
-    const std::uint64_t aot_ns =
-        measure(baseline, [](gateway::Gateway&) {}, nullptr);
+    auto kernel_pair = [&](const char* name, double* speedup_out,
+                           double* compiles_out, double* float_fallback_out) {
+      const polybench::KernelDef* kernel = polybench::find_kernel(name);
+      if (kernel == nullptr)
+        throw Error("bench: kernel missing: " + std::string(name));
+      wcc::CompileOptions options;
+      options.memory_pages = 16;  // both kernels touch well under 16 pages;
+                                  // keeps per-invoke instantiation cost out
+                                  // of the compute ratio
+      auto binary = wcc::compile(kernel->source, options);
+      binary.ok() ? void() : throw Error("bench: " + binary.error());
 
-    gateway::GatewayConfig tiered;
-    tiered.hostname = "gw-tier";
-    tiered.port = 7422;
-    tiered.ra_port = 7423;
-    tiered.jit_hot_calls = 1;  // first touch marks the function hot
-    const std::uint64_t native_ns = measure(
-        tiered, [](gateway::Gateway& gw) { gw.sweep_tier_compiles(); },
-        &tier_compiles);
+      gateway::GatewayConfig baseline;
+      baseline.hostname = std::string("gw-aot-") + name;
+      baseline.port = tier_port++;
+      baseline.ra_port = tier_port++;
+      baseline.jit_tiering = false;  // the pure AOT-stream yardstick
+      const std::uint64_t aot_ns =
+          measure(baseline, *binary, kernel->n, [](gateway::Gateway&) {},
+                  nullptr, nullptr);
 
-    if (native_ns > 0)
-      native_speedup =
-          static_cast<double>(aot_ns) / static_cast<double>(native_ns);
+      gateway::GatewayConfig tiered;
+      tiered.hostname = std::string("gw-tier-") + name;
+      tiered.port = tier_port++;
+      tiered.ra_port = tier_port++;
+      tiered.jit_hot_calls = 1;  // first touch marks the function hot
+      const std::uint64_t native_ns = measure(
+          tiered, *binary, kernel->n,
+          [](gateway::Gateway& gw) { gw.sweep_tier_compiles(); }, compiles_out,
+          float_fallback_out);
+
+      if (native_ns > 0)
+        *speedup_out =
+            static_cast<double>(aot_ns) / static_cast<double>(native_ns);
+      if (tables)
+        std::printf("  %s n=%d : AOT stream %8.2f ms | native %8.2f ms -> "
+                    "%.2fx%s\n",
+                    name, kernel->n, aot_ns / 1e6, native_ns / 1e6,
+                    *speedup_out,
+                    wasm::jit::jit_available() ? "" : " (JIT unavailable)");
+    };
+
+    kernel_pair("gem", &native_speedup, &tier_compiles, &float_fallbacks);
+    kernel_pair("flo", &int_speedup, nullptr, nullptr);
     if (tables)
-      std::printf("  flo n=%d : AOT stream %8.2f ms | native %8.2f ms -> "
-                  "%.2fx (%.0f function(s) compiled%s)\n",
-                  kernel->n, aot_ns / 1e6, native_ns / 1e6, native_speedup,
-                  tier_compiles,
-                  wasm::jit::jit_available() ? "" : "; JIT unavailable");
+      std::printf("  gem steady state: %.0f float-thunk op(s), %.0f "
+                  "function(s) compiled\n",
+                  float_fallbacks, tier_compiles);
   }
   report.metric("native_speedup_over_aot_stream", native_speedup, "x");
+  report.metric("native_speedup_int_kernel", int_speedup, "x");
   report.metric("tier_up_compiles", tier_compiles, "functions");
+  report.metric("jit_fallback_float", float_fallbacks, "ops");
+
+  // ---- phase 8b: fig8 genann training step, AOT-pinned vs tiered ---------
+  // The paper's genann workload is double-heavy guest compute (sigmoid
+  // forward passes and backprop deltas, plus (int)<->(double) conversions in
+  // the dataset walk) — exactly the phase-2 surface. Run one training step
+  // on a REE instance pinned to the AOT stream and one with a
+  // force-compiled tier, and gate the ratio: if float lowering regresses,
+  // this collapses toward 1 long before the differential suite notices
+  // anything functionally wrong.
+  if (tables)
+    std::printf("\n=== Gateway: genann training step, AOT vs tiered ===\n");
+  double genann_speedup = 1.0;
+  {
+    static const wasm::ImportResolver kNoImports;
+    const Bytes module = ann::training_module();
+    const Bytes wire = ann::encode_dataset(ann::make_iris_like(150));
+    const int kIters = 3;
+
+    auto train_median_ns = [&](bool tiered) {
+      auto inst = bench::instantiate_ree(module, kNoImports);
+      inst->memory()->copy_in(ann::GuestLayout::kDatasetPtr, wire).check();
+      if (tiered && wasm::jit::jit_available()) {
+        wasm::jit::TierConfig config;
+        config.hot_threshold = 1;
+        auto tier = std::make_shared<wasm::jit::TierSet>(
+            &inst->module(), inst->compiled, std::move(config));
+        tier->compile_all();
+        inst->tier = tier;
+      }
+      auto run_once = [&] {
+        const int correct = bench::invoke_i32(
+            *inst, "train_at",
+            {wasm::Value::from_i32(ann::GuestLayout::kDatasetPtr),
+             wasm::Value::from_i32(kIters)});
+        if (correct <= 0) throw Error("bench: genann training went sideways");
+      };
+      run_once();  // warm (weights move, but per-step cost is stable)
+      return bench::median_ns(3, run_once);
+    };
+
+    const std::uint64_t aot_ns = train_median_ns(false);
+    const std::uint64_t native_ns = train_median_ns(true);
+    if (native_ns > 0)
+      genann_speedup =
+          static_cast<double>(aot_ns) / static_cast<double>(native_ns);
+    if (tables)
+      std::printf("  train_at x%d : AOT stream %8.2f ms | tiered %8.2f ms -> "
+                  "%.2fx%s\n",
+                  kIters, aot_ns / 1e6, native_ns / 1e6, genann_speedup,
+                  wasm::jit::jit_available() ? "" : " (JIT unavailable)");
+  }
+  report.metric("genann_native_speedup", genann_speedup, "x");
 
   // ---- phase 9: chaos failover on the prewarmed path ----------------------
   // A 2-device fleet behind a ChaosFabric with cross-device module prewarm

@@ -61,7 +61,9 @@ Result<std::int64_t> ByteReader::read_sleb64() {
     shift += 7;
     if ((byte & 0x80) == 0) {
       if (shift < 64 && (byte & 0x40) != 0)
-        result |= -(static_cast<std::int64_t>(1) << shift);
+        // Sign-extension mask built in unsigned space: at shift 63 the
+        // signed form would negate INT64_MIN, which overflows.
+        result |= static_cast<std::int64_t>(~std::uint64_t{0} << shift);
       return result;
     }
   }

@@ -182,7 +182,9 @@ Status Gateway::add_device(core::Device& device) {
         core::JitTierOptions{config_.jit_tiering, config_.jit_hot_calls});
     backend->cache = std::make_shared<ModuleCache>(device.runtime(), cache_config);
     backend->cache->bind_tier_metrics(&tier_up_compiles_, &native_entries_,
-                                      &jit_fallback_ops_, &tier_compile_ns_hist_);
+                                      &jit_fallback_ops_, &tier_compile_ns_hist_,
+                                      &jit_fallback_float_, &jit_fallback_conv_,
+                                      &jit_fallback_call_, &jit_fallback_other_);
     backend->attester_rng = std::make_shared<crypto::Fortuna>(
         device.os().huk_subkey_derive("watz-gateway-attester-v1"));
     backend->platform_claim = platform_claim(device);
@@ -1592,6 +1594,10 @@ GatewayStats Gateway::stats(bool detail) {
   stats.tier_up_compiles = tier_up_compiles_.get();
   stats.native_entries = native_entries_.get();
   stats.jit_fallback_ops = jit_fallback_ops_.get();
+  stats.jit_fallback_float = jit_fallback_float_.get();
+  stats.jit_fallback_conv = jit_fallback_conv_.get();
+  stats.jit_fallback_call = jit_fallback_call_.get();
+  stats.jit_fallback_other = jit_fallback_other_.get();
   stats.invoke_memo_hits = invoke_memo_hits_.get();
   stats.migrations = migrations_.get();
   stats.prewarm_prepares = prewarm_prepares_.get();

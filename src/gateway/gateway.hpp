@@ -520,6 +520,14 @@ class Gateway {
   obs::Counter& tier_up_compiles_ = registry_.counter("wasm.tier_up_compiles");
   obs::Counter& native_entries_ = registry_.counter("wasm.native_entries");
   obs::Counter& jit_fallback_ops_ = registry_.counter("wasm.jit_fallback_ops");
+  /// The per-class split of jit_fallback_ops (float + conv + other; calls
+  /// are counted separately — dispatch is expected, not missing coverage).
+  obs::Counter& jit_fallback_float_ =
+      registry_.counter("wasm.jit_fallback_float");
+  obs::Counter& jit_fallback_conv_ = registry_.counter("wasm.jit_fallback_conv");
+  obs::Counter& jit_fallback_call_ = registry_.counter("wasm.jit_fallback_call");
+  obs::Counter& jit_fallback_other_ =
+      registry_.counter("wasm.jit_fallback_other");
   obs::Histogram& tier_compile_ns_hist_ =
       registry_.histogram("wasm.tier_compile_ns");
   /// Per-stage latency histograms (log2 buckets; STATS serialises their

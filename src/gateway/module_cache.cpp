@@ -30,9 +30,11 @@ Result<AppLease> ModuleCache::acquire(const crypto::Sha256Digest& measurement,
     // A fresh measurement's tier flushes into the same fleet-wide sinks as
     // every other cached module from its first compile on.
     if (entry.prepared->tier())
-      entry.prepared->tier()->bind_metrics(tier_compiles_sink_, tier_entries_sink_,
-                                           tier_fallback_sink_,
-                                           tier_compile_ns_sink_);
+      entry.prepared->tier()->bind_metrics(
+          tier_compiles_sink_, tier_entries_sink_, tier_fallback_sink_,
+          tier_compile_ns_sink_,
+          {tier_fallback_float_sink_, tier_fallback_conv_sink_,
+           tier_fallback_call_sink_, tier_fallback_other_sink_});
     it = entries_.emplace(measurement, std::move(entry)).first;
 
     auto app = runtime_.instantiate(it->second.prepared, config, bound);
@@ -110,9 +112,11 @@ Status ModuleCache::prepare(const crypto::Sha256Digest& measurement,
   entry.last_used = ++tick_;
   charged_bytes_.add(entry.prepared->code_bytes());
   if (entry.prepared->tier())
-    entry.prepared->tier()->bind_metrics(tier_compiles_sink_, tier_entries_sink_,
-                                         tier_fallback_sink_,
-                                         tier_compile_ns_sink_);
+    entry.prepared->tier()->bind_metrics(
+        tier_compiles_sink_, tier_entries_sink_, tier_fallback_sink_,
+        tier_compile_ns_sink_,
+        {tier_fallback_float_sink_, tier_fallback_conv_sink_,
+         tier_fallback_call_sink_, tier_fallback_other_sink_});
   entries_.emplace(measurement, std::move(entry));
   return Status{};
 }
@@ -165,16 +169,25 @@ std::size_t ModuleCache::sweep_tier_compiles() {
 
 void ModuleCache::bind_tier_metrics(obs::Counter* compiles, obs::Counter* entries,
                                     obs::Counter* fallback_ops,
-                                    obs::Histogram* compile_ns) {
+                                    obs::Histogram* compile_ns,
+                                    obs::Counter* fallback_float,
+                                    obs::Counter* fallback_conv,
+                                    obs::Counter* fallback_call,
+                                    obs::Counter* fallback_other) {
   std::lock_guard<std::mutex> lock(mu_);
   tier_compiles_sink_ = compiles;
   tier_entries_sink_ = entries;
   tier_fallback_sink_ = fallback_ops;
+  tier_fallback_float_sink_ = fallback_float;
+  tier_fallback_conv_sink_ = fallback_conv;
+  tier_fallback_call_sink_ = fallback_call;
+  tier_fallback_other_sink_ = fallback_other;
   tier_compile_ns_sink_ = compile_ns;
   for (const auto& [digest, entry] : entries_)
     if (entry.prepared->tier())
-      entry.prepared->tier()->bind_metrics(compiles, entries, fallback_ops,
-                                           compile_ns);
+      entry.prepared->tier()->bind_metrics(
+          compiles, entries, fallback_ops, compile_ns,
+          {fallback_float, fallback_conv, fallback_call, fallback_other});
 }
 
 std::uint64_t ModuleCache::tier_up_compiles() const {
@@ -198,6 +211,38 @@ std::uint64_t ModuleCache::jit_fallback_ops() const {
   std::uint64_t n = 0;
   for (const auto& [digest, entry] : entries_)
     if (entry.prepared->tier()) n += entry.prepared->tier()->fallback_ops();
+  return n;
+}
+
+std::uint64_t ModuleCache::jit_fallback_float() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [digest, entry] : entries_)
+    if (entry.prepared->tier()) n += entry.prepared->tier()->fallback_float();
+  return n;
+}
+
+std::uint64_t ModuleCache::jit_fallback_conv() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [digest, entry] : entries_)
+    if (entry.prepared->tier()) n += entry.prepared->tier()->fallback_conv();
+  return n;
+}
+
+std::uint64_t ModuleCache::jit_fallback_call() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [digest, entry] : entries_)
+    if (entry.prepared->tier()) n += entry.prepared->tier()->fallback_call();
+  return n;
+}
+
+std::uint64_t ModuleCache::jit_fallback_other() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [digest, entry] : entries_)
+    if (entry.prepared->tier()) n += entry.prepared->tier()->fallback_other();
   return n;
 }
 

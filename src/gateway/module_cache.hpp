@@ -127,9 +127,15 @@ class ModuleCache {
 
   /// Routes the tier metric flushes of every cached — and every future —
   /// measurement into registry-owned instruments (fleet-wide counters; the
-  /// sinks must outlive the cache). Unset sinks are skipped.
+  /// sinks must outlive the cache). Unset sinks are skipped. The trailing
+  /// four split `fallback_ops` by thunk class so remaining coverage holes
+  /// stay visible per class on the STATS wire.
   void bind_tier_metrics(obs::Counter* compiles, obs::Counter* entries,
-                         obs::Counter* fallback_ops, obs::Histogram* compile_ns);
+                         obs::Counter* fallback_ops, obs::Histogram* compile_ns,
+                         obs::Counter* fallback_float = nullptr,
+                         obs::Counter* fallback_conv = nullptr,
+                         obs::Counter* fallback_call = nullptr,
+                         obs::Counter* fallback_other = nullptr);
 
   bool contains(const crypto::Sha256Digest& measurement) const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -161,6 +167,10 @@ class ModuleCache {
   std::uint64_t tier_up_compiles() const;
   std::uint64_t native_entries() const;
   std::uint64_t jit_fallback_ops() const;
+  std::uint64_t jit_fallback_float() const;
+  std::uint64_t jit_fallback_conv() const;
+  std::uint64_t jit_fallback_call() const;
+  std::uint64_t jit_fallback_other() const;
   std::size_t native_code_bytes() const;
 
   /// The cache's own metric instances, exposed so a gateway can link them
@@ -222,6 +232,10 @@ class ModuleCache {
   obs::Counter* tier_compiles_sink_ = nullptr;
   obs::Counter* tier_entries_sink_ = nullptr;
   obs::Counter* tier_fallback_sink_ = nullptr;
+  obs::Counter* tier_fallback_float_sink_ = nullptr;
+  obs::Counter* tier_fallback_conv_sink_ = nullptr;
+  obs::Counter* tier_fallback_call_sink_ = nullptr;
+  obs::Counter* tier_fallback_other_sink_ = nullptr;
   obs::Histogram* tier_compile_ns_sink_ = nullptr;
 };
 

@@ -47,6 +47,8 @@ enum Cond : std::uint8_t {
   CC_A = 0x7,   // unsigned >
   CC_S = 0x8,
   CC_NS = 0x9,
+  CC_P = 0xa,   // parity (unordered after ucomis)
+  CC_NP = 0xb,  // no parity (ordered)
   CC_L = 0xc,   // signed <
   CC_GE = 0xd,  // signed >=
   CC_LE = 0xe,  // signed <=
@@ -122,8 +124,8 @@ class Emitter {
     u8(static_cast<std::uint8_t>(0xB8 | (r & 7)));
     u32(imm);
   }
-  void mov_rr(Reg dst, Reg src) {  // mov r64, r64
-    rex(true, src, 0, dst);
+  void mov_rr(Reg dst, Reg src, bool wide = true) {  // mov r64/r32, r64/r32
+    rex(wide, src, 0, dst);
     u8(0x89);
     modrm(3, src, dst);
   }
@@ -254,6 +256,13 @@ class Emitter {
     u8(0xD3);
     modrm(3, ext, r);
   }
+  /// Shift/rotate by immediate (C1 /ext ib), same ext codes as shift_cl.
+  void shift_ri(std::uint8_t ext, Reg r, std::uint8_t imm, bool wide) {
+    rex(wide, 0, 0, r);
+    u8(0xC1);
+    modrm(3, ext, r);
+    u8(imm);
+  }
   void cdq() { u8(0x99); }
   void cqo() {
     u8(0x48);
@@ -336,6 +345,105 @@ class Emitter {
     mem(0, base, 0xff, 0, disp);
     u32(static_cast<std::uint32_t>(imm));
   }
+
+  /// Two-register ALU op, RM form (dst = dst OP [base + disp]). `op` is the
+  /// RM opcode byte: add 03, or 0B, and 23, sub 2B, xor 33, cmp 3B.
+  void alu_rm(std::uint8_t op, Reg dst, Reg base, std::int32_t disp, bool wide) {
+    rex(wide, dst, 0, base);
+    u8(op);
+    mem(dst, base, 0xff, 0, disp);
+  }
+  void imul_rm(Reg dst, Reg base, std::int32_t disp, bool wide) {
+    rex(wide, dst, 0, base);
+    u8(0x0F);
+    u8(0xAF);
+    mem(dst, base, 0xff, 0, disp);
+  }
+
+  // -- SSE2 scalar float -------------------------------------------------------
+  // XMM registers share the GPR ModRM/REX numbering; the `x` parameters are
+  // xmm indices. The mandatory prefix (F2/F3/66, 0 = none) always precedes
+  // any REX byte.
+
+  /// Generic xmm, xmm form: prefix 0F opc /r.
+  void sse_rr(std::uint8_t prefix, std::uint8_t opc, std::uint8_t xdst,
+              std::uint8_t xsrc) {
+    if (prefix) u8(prefix);
+    rex(false, xdst, 0, xsrc);
+    u8(0x0F);
+    u8(opc);
+    modrm(3, xdst, xsrc);
+  }
+  /// Generic xmm, [base + disp] form.
+  void sse_rm(std::uint8_t prefix, std::uint8_t opc, std::uint8_t x, Reg base,
+              std::int32_t disp) {
+    if (prefix) u8(prefix);
+    rex(false, x, 0, base);
+    u8(0x0F);
+    u8(opc);
+    mem(x, base, 0xff, 0, disp);
+  }
+
+  /// movsd/movss xmm, [mem] (scalar load; zeroes the upper lanes).
+  void movf_load(bool f64, std::uint8_t x, Reg base, std::int32_t disp) {
+    sse_rm(f64 ? 0xF2 : 0xF3, 0x10, x, base, disp);
+  }
+  /// movsd/movss [mem], xmm (scalar store).
+  void movf_store(bool f64, Reg base, std::int32_t disp, std::uint8_t x) {
+    sse_rm(f64 ? 0xF2 : 0xF3, 0x11, x, base, disp);
+  }
+  void movaps_rr(std::uint8_t xdst, std::uint8_t xsrc) { sse_rr(0, 0x28, xdst, xsrc); }
+  /// movq/movd xmm, r64/r32 (66 [REX.W] 0F 6E; zeroes the upper lanes).
+  void mov_xr(std::uint8_t x, Reg r, bool wide) {
+    u8(0x66);
+    rex(wide, x, 0, r);
+    u8(0x0F);
+    u8(0x6E);
+    modrm(3, x, r);
+  }
+  /// movq/movd r64/r32, xmm (66 [REX.W] 0F 7E; the r32 form zero-extends).
+  void mov_rx(Reg r, std::uint8_t x, bool wide) {
+    u8(0x66);
+    rex(wide, x, 0, r);
+    u8(0x0F);
+    u8(0x7E);
+    modrm(3, x, r);
+  }
+  /// Scalar arith xmm, xmm. opc: sqrt 51, add 58, mul 59, sub 5C, min 5D,
+  /// div 5E, max 5F.
+  void sse_arith_rr(bool f64, std::uint8_t opc, std::uint8_t xdst, std::uint8_t xsrc) {
+    sse_rr(f64 ? 0xF2 : 0xF3, opc, xdst, xsrc);
+  }
+  /// Scalar arith xmm, [mem] — the load-op fusion form.
+  void sse_arith_rm(bool f64, std::uint8_t opc, std::uint8_t x, Reg base,
+                    std::int32_t disp) {
+    sse_rm(f64 ? 0xF2 : 0xF3, opc, x, base, disp);
+  }
+  /// ucomisd/ucomiss xmm(a), xmm(b): compares a against b; unordered sets
+  /// ZF=PF=CF=1.
+  void ucomis_rr(bool f64, std::uint8_t xa, std::uint8_t xb) {
+    sse_rr(f64 ? 0x66 : 0x00, 0x2E, xa, xb);
+  }
+  void andpd_rr(std::uint8_t xdst, std::uint8_t xsrc) { sse_rr(0x66, 0x54, xdst, xsrc); }
+  void orpd_rr(std::uint8_t xdst, std::uint8_t xsrc) { sse_rr(0x66, 0x56, xdst, xsrc); }
+  /// cvttsd2si/cvttss2si r32/r64, xmm (truncating float -> int).
+  void cvtt_f2i(bool f64_src, bool wide, Reg dst, std::uint8_t x) {
+    u8(f64_src ? 0xF2 : 0xF3);
+    rex(wide, dst, 0, x);
+    u8(0x0F);
+    u8(0x2C);
+    modrm(3, dst, x);
+  }
+  /// cvtsi2sd/cvtsi2ss xmm, r32/r64 (int -> float).
+  void cvt_i2f(bool f64_dst, bool wide, std::uint8_t x, Reg src) {
+    u8(f64_dst ? 0xF2 : 0xF3);
+    rex(wide, x, 0, src);
+    u8(0x0F);
+    u8(0x2A);
+    modrm(3, x, src);
+  }
+  void cvtsd2ss(std::uint8_t xdst, std::uint8_t xsrc) { sse_rr(0xF2, 0x5A, xdst, xsrc); }
+  void cvtss2sd(std::uint8_t xdst, std::uint8_t xsrc) { sse_rr(0xF3, 0x5A, xdst, xsrc); }
 
   // -- control flow ------------------------------------------------------------
 

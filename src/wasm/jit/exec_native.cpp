@@ -35,6 +35,34 @@ inline void record_trap(JitContext* ctx, const TrapException& t) {
   *ctx->trap_msg = t.message;
 }
 
+/// Which per-class counter a thunked opcode charges: the split keeps the
+/// remaining coverage holes visible per class as the lowered core widens.
+inline std::uint64_t* fallback_class(JitContext* ctx, std::uint32_t op) {
+  if ((op >= kF32Eq && op <= kF64Ge) ||
+      (op >= kF32Abs && op <= kF32Copysign) ||
+      (op >= kF64Abs && op <= kF64Copysign))
+    return &ctx->fallback_float;
+  if ((op >= kI32WrapI64 && op <= kI64Extend32S) ||
+      (op >= kInstrTruncSatBase && op < kInstrTruncSatBase + 8))
+    return &ctx->fallback_conv;
+  return &ctx->fallback_other;
+}
+
+/// The wasm name of a trapping truncation opcode, for rebuilding the
+/// interpreter's exact trap message.
+inline const char* trunc_op_name(std::int64_t op) {
+  switch (op) {
+    case kI32TruncF32S: return "i32.trunc_f32_s";
+    case kI32TruncF32U: return "i32.trunc_f32_u";
+    case kI32TruncF64S: return "i32.trunc_f64_s";
+    case kI32TruncF64U: return "i32.trunc_f64_u";
+    case kI64TruncF32S: return "i64.trunc_f32_s";
+    case kI64TruncF32U: return "i64.trunc_f32_u";
+    case kI64TruncF64S: return "i64.trunc_f64_s";
+    default: return "i64.trunc_f64_u";
+  }
+}
+
 }  // namespace
 
 void jit_helper_call(JitContext* ctx, std::uint32_t func_index) {
@@ -47,6 +75,7 @@ void jit_helper_call(JitContext* ctx, std::uint32_t func_index) {
     record_trap(ctx, t);
   }
   ctx->sp = sp;
+  ++ctx->fallback_call;
   refresh(ctx);
 }
 
@@ -68,6 +97,7 @@ void jit_helper_call_indirect(JitContext* ctx, std::uint32_t type_index) {
     record_trap(ctx, t);
   }
   ctx->sp = sp;
+  ++ctx->fallback_call;
   refresh(ctx);
 }
 
@@ -85,6 +115,7 @@ void jit_helper_fallback(JitContext* ctx, std::uint32_t op) {
   }
   ctx->sp = sp;
   ++ctx->fallback_ops;
+  ++*fallback_class(ctx, op);
   // exec_numeric never resizes the stack or touches memory; the pinned
   // registers stay valid, but keep the context consistent regardless.
 }
@@ -173,6 +204,8 @@ void exec_call_native(Instance& inst, TierSet& tier, const void* entry,
   tier.count_native_entry();
   reinterpret_cast<NativeFn>(reinterpret_cast<std::uintptr_t>(entry))(&ctx);
   tier.add_fallback_ops(ctx.fallback_ops);
+  tier.add_fallback_classes(ctx.fallback_float, ctx.fallback_conv,
+                            ctx.fallback_call, ctx.fallback_other);
 
   switch (ctx.trap_code) {
     case kTrapNone:
@@ -185,6 +218,11 @@ void exec_call_native(Instance& inst, TierSet& tier, const void* entry,
       trap("integer overflow");
     case kTrapUnreachable:
       trap("unreachable executed");
+    case kTrapTruncNan:
+      trap(std::string("invalid conversion to integer: NaN in ") +
+           trunc_op_name(ctx.trap_aux));
+    case kTrapTruncOverflow:
+      trap(std::string("integer overflow in ") + trunc_op_name(ctx.trap_aux));
     default:
       throw TrapException{std::move(trap_msg)};
   }

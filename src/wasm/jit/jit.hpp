@@ -51,6 +51,11 @@ inline constexpr std::int64_t kTrapOob = 1;          // "out of bounds memory ac
 inline constexpr std::int64_t kTrapDivZero = 2;      // "integer divide by zero"
 inline constexpr std::int64_t kTrapOverflow = 3;     // "integer overflow"
 inline constexpr std::int64_t kTrapUnreachable = 4;  // "unreachable executed"
+// Trapping float->int truncation: the offending opcode is recorded in
+// JitContext::trap_aux so the entry thunk can rebuild the interpreter's
+// per-opcode message ("invalid conversion to integer: NaN in i32.trunc_f64_s").
+inline constexpr std::int64_t kTrapTruncNan = 5;
+inline constexpr std::int64_t kTrapTruncOverflow = 6;
 inline constexpr std::int64_t kTrapCustom = -1;
 
 /// The native frame descriptor. Field offsets are baked into generated
@@ -70,6 +75,13 @@ struct JitContext {
   TierSet* tier = nullptr;              // 88: nested tiered dispatch
   Memory* memory = nullptr;             // 96
   std::string* trap_msg = nullptr;      // 104: kTrapCustom message
+  // Per-class thunk counters (fallback_ops = float + conv + other; calls are
+  // counted separately since call dispatch is expected, not missing coverage).
+  std::uint64_t fallback_float = 0;     // 112: float arith/cmp still thunked
+  std::uint64_t fallback_conv = 0;      // 120: conversions still thunked
+  std::uint64_t fallback_other = 0;     // 128: clz/ctz/popcnt/...
+  std::uint64_t fallback_call = 0;      // 136: call/call_indirect helpers
+  std::int64_t trap_aux = 0;            // 144: opcode behind kTrapTrunc*
 };
 
 using NativeFn = void (*)(JitContext*);
@@ -106,9 +118,13 @@ class ExecutableImage {
 /// position-independent code bytes (entry at offset 0), or an empty vector
 /// when the function uses a shape the baseline refuses (multi-value
 /// branches, inconsistent static heights) — the caller keeps that function
-/// on the AOT stream forever.
+/// on the AOT stream forever. On refusal, `refused_op` (when non-null)
+/// receives the opcode that stopped lowering (0xffff for structural
+/// refusals with no single opcode to blame) so coverage regressions are
+/// debuggable instead of silent.
 std::vector<std::uint8_t> compile_function(const Module& module,
-                                           const CompiledFunc& func);
+                                           const CompiledFunc& func,
+                                           std::uint16_t* refused_op = nullptr);
 
 // -- helper thunks (addresses embedded in generated code) ---------------------
 

@@ -61,9 +61,13 @@ bool TierSet::compile_one(std::uint32_t index) {
     return false;
   }
   const std::uint64_t start_ns = hw::monotonic_ns();
-  std::vector<std::uint8_t> code = compile_function(*module_, compiled_[index]);
+  std::uint16_t refused_op = 0xffff;
+  std::vector<std::uint8_t> code =
+      compile_function(*module_, compiled_[index], &refused_op);
   if (code.empty()) {  // shape the baseline refuses: stays on the AOT stream
     f.failed.store(true, std::memory_order_relaxed);
+    refused_functions_.fetch_add(1, std::memory_order_relaxed);
+    last_refused_op_.store(refused_op, std::memory_order_relaxed);
     return false;
   }
   auto image = ExecutableImage::create(code.data(), code.size());
@@ -89,10 +93,15 @@ bool TierSet::compile_one(std::uint32_t index) {
 
 void TierSet::bind_metrics(obs::Counter* compiles, obs::Counter* native_entries,
                            obs::Counter* fallback_ops,
-                           obs::Histogram* compile_ns) noexcept {
+                           obs::Histogram* compile_ns,
+                           ClassSinks classes) noexcept {
   sink_compiles_.store(compiles, std::memory_order_relaxed);
   sink_entries_.store(native_entries, std::memory_order_relaxed);
   sink_fallback_.store(fallback_ops, std::memory_order_relaxed);
+  sink_fallback_float_.store(classes.float_ops, std::memory_order_relaxed);
+  sink_fallback_conv_.store(classes.conv_ops, std::memory_order_relaxed);
+  sink_fallback_call_.store(classes.call_ops, std::memory_order_relaxed);
+  sink_fallback_other_.store(classes.other_ops, std::memory_order_relaxed);
   sink_compile_ns_.store(compile_ns, std::memory_order_relaxed);
 }
 
@@ -105,6 +114,32 @@ void TierSet::add_fallback_ops(std::uint64_t n) noexcept {
   if (n == 0) return;
   fallback_total_.fetch_add(n, std::memory_order_relaxed);
   if (auto* c = sink_fallback_.load(std::memory_order_relaxed)) c->add(n);
+}
+
+void TierSet::add_fallback_classes(std::uint64_t float_ops,
+                                   std::uint64_t conv_ops,
+                                   std::uint64_t call_ops,
+                                   std::uint64_t other_ops) noexcept {
+  if (float_ops != 0) {
+    fallback_float_.fetch_add(float_ops, std::memory_order_relaxed);
+    if (auto* c = sink_fallback_float_.load(std::memory_order_relaxed))
+      c->add(float_ops);
+  }
+  if (conv_ops != 0) {
+    fallback_conv_.fetch_add(conv_ops, std::memory_order_relaxed);
+    if (auto* c = sink_fallback_conv_.load(std::memory_order_relaxed))
+      c->add(conv_ops);
+  }
+  if (call_ops != 0) {
+    fallback_call_.fetch_add(call_ops, std::memory_order_relaxed);
+    if (auto* c = sink_fallback_call_.load(std::memory_order_relaxed))
+      c->add(call_ops);
+  }
+  if (other_ops != 0) {
+    fallback_other_.fetch_add(other_ops, std::memory_order_relaxed);
+    if (auto* c = sink_fallback_other_.load(std::memory_order_relaxed))
+      c->add(other_ops);
+  }
 }
 
 }  // namespace watz::wasm::jit

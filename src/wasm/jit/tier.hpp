@@ -39,6 +39,18 @@ struct TierConfig {
   std::function<void(std::size_t)> release_code;
 };
 
+/// Per-class fallback sinks: the split of `wasm.jit_fallback_ops` that
+/// keeps remaining thunk hotspots visible as the lowered core widens.
+/// (Namespace scope, not nested: a nested class's default member
+/// initializers are parsed only once the enclosing class is complete,
+/// which would break the `= {}` default argument on bind_metrics.)
+struct ClassSinks {
+  obs::Counter* float_ops = nullptr;
+  obs::Counter* conv_ops = nullptr;
+  obs::Counter* call_ops = nullptr;
+  obs::Counter* other_ops = nullptr;
+};
+
 class TierSet {
  public:
   TierSet(const Module* module, std::span<const CompiledFunc> compiled,
@@ -67,12 +79,15 @@ class TierSet {
   /// Points the metric flushes at registry-owned instruments (fleet-wide
   /// counters). Unbound sinks are skipped; local totals always accumulate.
   void bind_metrics(obs::Counter* compiles, obs::Counter* native_entries,
-                    obs::Counter* fallback_ops,
-                    obs::Histogram* compile_ns) noexcept;
+                    obs::Counter* fallback_ops, obs::Histogram* compile_ns,
+                    ClassSinks classes = {}) noexcept;
 
   /// Called by the native entry thunk per invocation / at frame exit.
   void count_native_entry() noexcept;
   void add_fallback_ops(std::uint64_t n) noexcept;
+  void add_fallback_classes(std::uint64_t float_ops, std::uint64_t conv_ops,
+                            std::uint64_t call_ops,
+                            std::uint64_t other_ops) noexcept;
 
   std::uint64_t tier_up_compiles() const noexcept {
     return compiles_total_.load(std::memory_order_relaxed);
@@ -82,6 +97,27 @@ class TierSet {
   }
   std::uint64_t fallback_ops() const noexcept {
     return fallback_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fallback_float() const noexcept {
+    return fallback_float_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fallback_conv() const noexcept {
+    return fallback_conv_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fallback_call() const noexcept {
+    return fallback_call_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fallback_other() const noexcept {
+    return fallback_other_.load(std::memory_order_relaxed);
+  }
+  /// Coverage diagnostics: how many functions codegen refused, and the
+  /// opcode that stopped the most recent refusal (0xffffffff while no
+  /// function has refused; 0xffff for structural refusals).
+  std::uint64_t refused_functions() const noexcept {
+    return refused_functions_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t last_refused_op() const noexcept {
+    return last_refused_op_.load(std::memory_order_relaxed);
   }
   /// Page-rounded executable bytes currently mapped (charged to the
   /// secure heap).
@@ -137,10 +173,20 @@ class TierSet {
   std::atomic<std::uint64_t> compiles_total_{0};
   std::atomic<std::uint64_t> entries_total_{0};
   std::atomic<std::uint64_t> fallback_total_{0};
+  std::atomic<std::uint64_t> fallback_float_{0};
+  std::atomic<std::uint64_t> fallback_conv_{0};
+  std::atomic<std::uint64_t> fallback_call_{0};
+  std::atomic<std::uint64_t> fallback_other_{0};
+  std::atomic<std::uint64_t> refused_functions_{0};
+  std::atomic<std::uint32_t> last_refused_op_{0xffffffff};
 
   std::atomic<obs::Counter*> sink_compiles_{nullptr};
   std::atomic<obs::Counter*> sink_entries_{nullptr};
   std::atomic<obs::Counter*> sink_fallback_{nullptr};
+  std::atomic<obs::Counter*> sink_fallback_float_{nullptr};
+  std::atomic<obs::Counter*> sink_fallback_conv_{nullptr};
+  std::atomic<obs::Counter*> sink_fallback_call_{nullptr};
+  std::atomic<obs::Counter*> sink_fallback_other_{nullptr};
   std::atomic<obs::Histogram*> sink_compile_ns_{nullptr};
 };
 

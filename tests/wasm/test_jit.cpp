@@ -10,6 +10,7 @@
 
 #include <climits>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -483,23 +484,305 @@ TEST(JitCodegen, MemCopyFill) {
   check_both(t, "f", {Value::from_i32(-1)});  // oob copy traps
 }
 
-TEST(JitCodegen, FloatOpsFallBackToThunks) {
+TEST(JitCodegen, FloatOpsLowerNatively) {
   ModuleBuilder mb;
-  // f64 arithmetic is not in the first-release native surface: it must run
-  // through the per-opcode fallback thunk and still be bit-identical.
+  // The phase-2 surface lowers f32/f64 arithmetic inline (SSE2 scalar ops):
+  // bit-identical with the AOT stream AND zero fallback-thunk traffic.
   auto f = mb.add_function(sig({ValType::F64, ValType::F64}, {ValType::F64}));
   CodeEmitter ce;
   ce.local_get(0).local_get(1).op(kF64Add);
   ce.local_get(0).op(kF64Mul);
+  ce.local_get(1).op(kF64Div);
+  ce.local_get(0).local_get(1).op(kF64Sub).op(kF64Add);
   mb.set_body(f, ce.bytes());
   mb.export_function("f", f);
+
+  auto g = mb.add_function(sig({ValType::F32, ValType::F32}, {ValType::F32}));
+  CodeEmitter cg;
+  cg.local_get(0).local_get(1).op(kF32Mul);
+  cg.local_get(0).op(kF32Add);
+  cg.op(kF32Sqrt);
+  mb.set_body(g, cg.bytes());
+  mb.export_function("g", g);
 
   Tiered t = make_tiered(mb.build());
   check_both(t, "f", {Value::from_f64(1.5), Value::from_f64(2.25)});
   check_both(t, "f", {Value::from_f64(-0.0), Value::from_f64(1e300)});
+  check_both(t, "f", {Value::from_f64(1e-320), Value::from_f64(3.0)});  // subnormal
+  const double inf = std::numeric_limits<double>::infinity();
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  check_both(t, "f", {Value::from_f64(inf), Value::from_f64(-inf)});
+  check_both(t, "f", {Value::from_f64(qnan), Value::from_f64(1.0)});
+  check_both(t, "g", {Value::from_f32(3.5f), Value::from_f32(-0.25f)});
+  check_both(t, "g", {Value::from_f32(-1.0f), Value::from_f32(0.0f)});  // sqrt(<0)
   if (t.tier) {
-    EXPECT_GT(t.tier->fallback_ops(), 0u);
+    EXPECT_EQ(t.tier->fallback_ops(), 0u);
+    EXPECT_EQ(t.tier->fallback_float(), 0u);
   }
+}
+
+TEST(JitCodegen, FloatMinMaxNanAndSignedZero) {
+  ModuleBuilder mb;
+  auto mk = [&](Op op, bool wide) {
+    ValType vt = wide ? ValType::F64 : ValType::F32;
+    auto f = mb.add_function(sig({vt, vt}, {vt}));
+    CodeEmitter ce;
+    ce.local_get(0).local_get(1).op(op);
+    mb.set_body(f, ce.bytes());
+    return f;
+  };
+  mb.export_function("min64", mk(kF64Min, true));
+  mb.export_function("max64", mk(kF64Max, true));
+  mb.export_function("min32", mk(kF32Min, false));
+  mb.export_function("max32", mk(kF32Max, false));
+
+  Tiered t = make_tiered(mb.build());
+  const double inf = std::numeric_limits<double>::infinity();
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  // Every zero pairing: wasm min(-0,+0) = -0, max(-0,+0) = +0.
+  for (auto [a, b] : std::vector<std::pair<double, double>>{
+           {0.0, -0.0}, {-0.0, 0.0}, {0.0, 0.0}, {-0.0, -0.0},
+           {1.0, 2.0}, {2.0, 1.0}, {-inf, inf}, {inf, 3.0},
+           {qnan, 1.0}, {1.0, qnan}, {qnan, qnan}}) {
+    check_both(t, "min64", {Value::from_f64(a), Value::from_f64(b)});
+    check_both(t, "max64", {Value::from_f64(a), Value::from_f64(b)});
+    check_both(t, "min32", {Value::from_f32(static_cast<float>(a)),
+                            Value::from_f32(static_cast<float>(b))});
+    check_both(t, "max32", {Value::from_f32(static_cast<float>(a)),
+                            Value::from_f32(static_cast<float>(b))});
+  }
+  // A signalling-ish NaN payload must canonicalise identically both ways.
+  Value snan;
+  snan.bits = 0x7ff0000000000001ull;  // f64 sNaN
+  check_both(t, "min64", {snan, Value::from_f64(2.0)});
+  check_both(t, "max64", {Value::from_f64(2.0), snan});
+  if (t.tier) EXPECT_EQ(t.tier->fallback_float(), 0u);
+}
+
+TEST(JitCodegen, FloatComparisonsUnordered) {
+  ModuleBuilder mb;
+  auto mk = [&](Op op) {
+    auto f = mb.add_function(sig({ValType::F64, ValType::F64}, {ValType::I32}));
+    CodeEmitter ce;
+    ce.local_get(0).local_get(1).op(op);
+    mb.set_body(f, ce.bytes());
+    return f;
+  };
+  mb.export_function("eq", mk(kF64Eq));
+  mb.export_function("ne", mk(kF64Ne));
+  mb.export_function("lt", mk(kF64Lt));
+  mb.export_function("gt", mk(kF64Gt));
+  mb.export_function("le", mk(kF64Le));
+  mb.export_function("ge", mk(kF64Ge));
+
+  Tiered t = make_tiered(mb.build());
+  const double inf = std::numeric_limits<double>::infinity();
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  for (auto [a, b] : std::vector<std::pair<double, double>>{
+           {1.0, 2.0}, {2.0, 1.0}, {1.0, 1.0}, {0.0, -0.0},
+           {qnan, 1.0}, {1.0, qnan}, {qnan, qnan}, {-inf, inf}}) {
+    for (const char* name : {"eq", "ne", "lt", "gt", "le", "ge"})
+      check_both(t, name, {Value::from_f64(a), Value::from_f64(b)});
+  }
+  if (t.tier) EXPECT_EQ(t.tier->fallback_float(), 0u);
+}
+
+TEST(JitCodegen, FloatAbsNegCopysign) {
+  ModuleBuilder mb;
+  auto f = mb.add_function(sig({ValType::F64, ValType::F64}, {ValType::F64}));
+  CodeEmitter ce;
+  ce.local_get(0).op(kF64Abs).op(kF64Neg);
+  ce.local_get(1).op(kF64Copysign);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("f", f);
+
+  auto g = mb.add_function(sig({ValType::F32, ValType::F32}, {ValType::F32}));
+  CodeEmitter cg;
+  cg.local_get(0).op(kF32Neg).op(kF32Abs);
+  cg.local_get(1).op(kF32Copysign);
+  mb.set_body(g, cg.bytes());
+  mb.export_function("g", g);
+
+  Tiered t = make_tiered(mb.build());
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  for (auto [a, b] : std::vector<std::pair<double, double>>{
+           {1.5, -1.0}, {-1.5, 1.0}, {-0.0, 0.0}, {0.0, -0.0},
+           {qnan, -1.0}, {-qnan, 1.0}}) {
+    check_both(t, "f", {Value::from_f64(a), Value::from_f64(b)});
+    check_both(t, "g", {Value::from_f32(static_cast<float>(a)),
+                        Value::from_f32(static_cast<float>(b))});
+  }
+  // abs/neg/copysign are pure bit ops: NaN payloads pass through untouched.
+  Value payload;
+  payload.bits = 0xfff8dead00000001ull;
+  check_both(t, "f", {payload, payload});
+  if (t.tier) EXPECT_EQ(t.tier->fallback_float(), 0u);
+}
+
+TEST(JitCodegen, FloatConversions) {
+  ModuleBuilder mb;
+  auto mk1 = [&](Op op, ValType from, ValType to) {
+    auto f = mb.add_function(sig({from}, {to}));
+    CodeEmitter ce;
+    ce.local_get(0).op(op);
+    mb.set_body(f, ce.bytes());
+    return f;
+  };
+  mb.export_function("cvt_s32", mk1(kF64ConvertI32S, ValType::I32, ValType::F64));
+  mb.export_function("cvt_u32", mk1(kF64ConvertI32U, ValType::I32, ValType::F64));
+  mb.export_function("cvt_s64", mk1(kF64ConvertI64S, ValType::I64, ValType::F64));
+  mb.export_function("cvt_u64", mk1(kF64ConvertI64U, ValType::I64, ValType::F64));
+  mb.export_function("cvtf_u64", mk1(kF32ConvertI64U, ValType::I64, ValType::F32));
+  mb.export_function("promote", mk1(kF64PromoteF32, ValType::F32, ValType::F64));
+  mb.export_function("demote", mk1(kF32DemoteF64, ValType::F64, ValType::F32));
+  mb.export_function("bits_fi", mk1(kI64ReinterpretF64, ValType::F64, ValType::I64));
+  mb.export_function("bits_if", mk1(kF64ReinterpretI64, ValType::I64, ValType::F64));
+
+  Tiered t = make_tiered(mb.build());
+  for (std::int32_t v : {0, 1, -1, INT32_MIN, INT32_MAX}) {
+    check_both(t, "cvt_s32", {Value::from_i32(v)});
+    check_both(t, "cvt_u32", {Value::from_i32(v)});
+  }
+  // u64 -> float crosses the 2^63 split path; 0x8000000000000401 exercises
+  // the round-to-odd sticky bit in the f32 demotion of the same path.
+  for (std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1}, INT64_MIN, INT64_MAX,
+        static_cast<std::int64_t>(0x8000000000000401ull),
+        static_cast<std::int64_t>(0xfffffffffffff400ull)}) {
+    check_both(t, "cvt_s64", {Value::from_i64(v)});
+    check_both(t, "cvt_u64", {Value::from_i64(v)});
+    check_both(t, "cvtf_u64", {Value::from_i64(v)});
+  }
+  check_both(t, "promote", {Value::from_f32(1.5f)});
+  check_both(t, "demote", {Value::from_f64(1e300)});   // -> inf
+  check_both(t, "demote", {Value::from_f64(1e-300)});  // -> 0 (underflow)
+  Value nan64;
+  nan64.bits = 0x7ff8000000000001ull;
+  check_both(t, "bits_fi", {nan64});
+  check_both(t, "bits_if", {Value::from_i64(0x7ff8000000000001ll)});
+  if (t.tier) {
+    EXPECT_EQ(t.tier->fallback_float(), 0u);
+    EXPECT_EQ(t.tier->fallback_conv(), 0u);
+  }
+}
+
+TEST(JitCodegen, TruncTrapsMatchInterpreterMessages) {
+  ModuleBuilder mb;
+  auto mk = [&](Op op, ValType from, ValType to) {
+    auto f = mb.add_function(sig({from}, {to}));
+    CodeEmitter ce;
+    ce.local_get(0).op(op);
+    mb.set_body(f, ce.bytes());
+    return f;
+  };
+  mb.export_function("i32_f64_s", mk(kI32TruncF64S, ValType::F64, ValType::I32));
+  mb.export_function("i32_f64_u", mk(kI32TruncF64U, ValType::F64, ValType::I32));
+  mb.export_function("i32_f32_s", mk(kI32TruncF32S, ValType::F32, ValType::I32));
+  mb.export_function("i64_f64_s", mk(kI64TruncF64S, ValType::F64, ValType::I64));
+  mb.export_function("i64_f64_u", mk(kI64TruncF64U, ValType::F64, ValType::I64));
+  mb.export_function("i64_f32_u", mk(kI64TruncF32U, ValType::F32, ValType::I64));
+
+  Tiered t = make_tiered(mb.build());
+  const double inf = std::numeric_limits<double>::infinity();
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  // In-range values, the exact edges, one-past edges, NaN and infinities.
+  for (double v : {0.0, -0.5, 2147483647.0, -2147483648.0, 2147483648.0,
+                   -2147483649.0, 4294967295.0, 4294967296.0, -1.0, -0.9,
+                   9.2233720368547738e18, -9.2233720368547758e18,
+                   1.8446744073709552e19, inf, -inf, qnan}) {
+    check_both(t, "i32_f64_s", {Value::from_f64(v)});
+    check_both(t, "i32_f64_u", {Value::from_f64(v)});
+    check_both(t, "i64_f64_s", {Value::from_f64(v)});
+    check_both(t, "i64_f64_u", {Value::from_f64(v)});
+    check_both(t, "i32_f32_s", {Value::from_f32(static_cast<float>(v))});
+    check_both(t, "i64_f32_u", {Value::from_f32(static_cast<float>(v))});
+  }
+  if (t.tier) {
+    EXPECT_EQ(trap_of(*t.nat, "i32_f64_s", {Value::from_f64(qnan)}),
+              "trap: invalid conversion to integer: NaN in i32.trunc_f64_s");
+    EXPECT_EQ(trap_of(*t.nat, "i32_f64_s", {Value::from_f64(2147483648.0)}),
+              "trap: integer overflow in i32.trunc_f64_s");
+    EXPECT_EQ(trap_of(*t.nat, "i64_f64_u", {Value::from_f64(-1.0)}),
+              "trap: integer overflow in i64.trunc_f64_u");
+    EXPECT_EQ(trap_of(*t.nat, "i64_f32_u", {Value::from_f32(-2.0f)}),
+              "trap: integer overflow in i64.trunc_f32_u");
+    EXPECT_EQ(t.tier->fallback_conv(), 0u);
+  }
+}
+
+TEST(JitCodegen, FusedLoadOpStoreAndResultSink) {
+  ModuleBuilder mb;
+  mb.add_memory(1, 1);
+  // An accumulation loop shaped exactly like the fusion window: local.get
+  // feeding ALU ops (memory-operand fusion) and op results consumed by
+  // local.set (result sink). 10 locals defeat register residency so the
+  // frame-slot peepholes are the ones under test.
+  auto f = mb.add_function(
+      sig({ValType::I32}, {ValType::I32}),
+      {ValType::I32, ValType::I32, ValType::I32, ValType::I32, ValType::I32,
+       ValType::I32, ValType::I32, ValType::I32, ValType::I32});
+  CodeEmitter ce;
+  ce.block();
+  ce.loop();
+  ce.local_get(1).local_get(0).op(kI32GeS).br_if(1);
+  // acc2 = acc2 + i * 3 (get -> mul -> add -> set: both peepholes fire)
+  ce.local_get(2).local_get(1).i32_const(3).op(kI32Mul).op(kI32Add);
+  ce.local_set(2);
+  // acc3 ^= acc2 - i
+  ce.local_get(3).local_get(2).local_get(1).op(kI32Sub).op(kI32Xor);
+  ce.local_set(3);
+  // Store/reload through memory so fused loads see fresh slot values.
+  ce.i32_const(16).local_get(2).store(kI32Store, 0);
+  ce.local_get(3).i32_const(16).load(kI32Load, 0).op(kI32Add).local_set(4);
+  ce.local_get(1).i32_const(1).op(kI32Add).local_set(1);
+  ce.br(0);
+  ce.end();
+  ce.end();
+  ce.local_get(2).local_get(3).op(kI32Add).local_get(4).op(kI32Xor);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("f", f);
+
+  Tiered t = make_tiered(mb.build());
+  check_both(t, "f", {Value::from_i32(0)});
+  check_both(t, "f", {Value::from_i32(1)});
+  check_both(t, "f", {Value::from_i32(57)});
+  check_both(t, "f", {Value::from_i32(1000)});
+}
+
+TEST(JitCodegen, RegisterResidentSmallFunctions) {
+  ModuleBuilder mb;
+  // Small call-free int/float bodies whose locals + operand stack fit the
+  // slot-register file: the whole frame stays in registers.
+  auto f = mb.add_function(sig({ValType::I32, ValType::I32}, {ValType::I32}),
+                           {ValType::I32});
+  CodeEmitter ce;
+  ce.block();
+  ce.loop();
+  ce.local_get(1).i32_const(0).op(kI32LeS).br_if(1);
+  ce.local_get(2).local_get(0).op(kI32Add).local_set(2);
+  ce.local_get(1).i32_const(1).op(kI32Sub).local_set(1);
+  ce.br(0);
+  ce.end();
+  ce.end();
+  ce.local_get(2);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("mul_by_add", f);
+
+  auto g = mb.add_function(sig({ValType::F64, ValType::F64}, {ValType::F64}));
+  CodeEmitter cg;
+  cg.local_get(0).local_get(1).op(kF64Mul);
+  cg.local_get(0).op(kF64Add);
+  cg.op(kF64Sqrt);
+  mb.set_body(g, cg.bytes());
+  mb.export_function("fma_sqrt", g);
+
+  Tiered t = make_tiered(mb.build());
+  check_both(t, "mul_by_add", {Value::from_i32(7), Value::from_i32(6)});
+  check_both(t, "mul_by_add", {Value::from_i32(-3), Value::from_i32(1000)});
+  check_both(t, "mul_by_add", {Value::from_i32(5), Value::from_i32(0)});
+  check_both(t, "fma_sqrt", {Value::from_f64(3.0), Value::from_f64(4.0)});
+  check_both(t, "fma_sqrt", {Value::from_f64(-8.0), Value::from_f64(1.0)});
+  if (t.tier) EXPECT_EQ(t.tier->fallback_ops(), 0u);
 }
 
 TEST(JitCodegen, Conversions) {
@@ -660,9 +943,12 @@ TEST(JitTiering, MetricSinksReceiveFlushes) {
   if (!jit::jit_available()) GTEST_SKIP() << "JIT unavailable on this host";
 
   ModuleBuilder mb;
+  // f64.nearest stays outside the lowered surface (round-to-even needs
+  // SSE4.1 roundsd), so it is a stable thunk driver; f64.add lowers inline
+  // and must NOT count.
   auto f = mb.add_function(sig({ValType::F64}, {ValType::F64}));
   CodeEmitter ce;
-  ce.local_get(0).local_get(0).op(kF64Add);
+  ce.local_get(0).local_get(0).op(kF64Add).op(kF64Nearest);
   mb.set_body(f, ce.bytes());
   mb.export_function("f", f);
 
@@ -673,8 +959,10 @@ TEST(JitTiering, MetricSinksReceiveFlushes) {
   auto tier = std::make_shared<jit::TierSet>(&inst->module(), inst->compiled,
                                              std::move(config));
   obs::Counter compiles, entries, fallback;
+  obs::Counter fb_float, fb_conv, fb_call, fb_other;
   obs::Histogram compile_ns;
-  tier->bind_metrics(&compiles, &entries, &fallback, &compile_ns);
+  tier->bind_metrics(&compiles, &entries, &fallback, &compile_ns,
+                     {&fb_float, &fb_conv, &fb_call, &fb_other});
   tier->compile_all();
   inst->tier = tier;
 
@@ -685,7 +973,49 @@ TEST(JitTiering, MetricSinksReceiveFlushes) {
   EXPECT_EQ(compiles.get(), 1u);
   EXPECT_EQ(compile_ns.count(), 1u);
   EXPECT_GE(entries.get(), 1u);
-  EXPECT_GE(fallback.get(), 1u);  // kF64Add runs through the thunk
+  EXPECT_EQ(fallback.get(), 1u);  // exactly the f64.nearest thunk
+  EXPECT_EQ(fb_float.get(), 1u);  // ...classified as a float op
+  EXPECT_EQ(fb_conv.get(), 0u);
+  EXPECT_EQ(fb_call.get(), 0u);
+  EXPECT_EQ(fb_other.get(), 0u);
+}
+
+TEST(JitTiering, RefusalRecordsOffendingOpcode) {
+  if (!jit::jit_available()) GTEST_SKIP() << "JIT unavailable on this host";
+
+  ModuleBuilder mb;
+  auto f = mb.add_function(sig({ValType::I32}, {ValType::I32}));
+  CodeEmitter ce;
+  ce.local_get(0).i32_const(1).op(kI32Add);
+  mb.set_body(f, ce.bytes());
+  mb.export_function("f", f);
+
+  auto inst = instantiate_aot(mb.build(), no_imports());
+  ASSERT_TRUE(inst);
+  // Every validated shape currently lowers, so synthesise a refusal: patch
+  // the compiled stream with an opcode the prescan does not recognise and
+  // tier over the patched copy. The refusal must name the opcode instead of
+  // silently falling back wholesale.
+  std::vector<CompiledFunc> patched(inst->compiled.begin(),
+                                    inst->compiled.end());
+  ASSERT_FALSE(patched.empty());
+  ASSERT_FALSE(patched[0].code.empty());
+  patched[0].code[0].op = 0x3fe;  // not a real instruction
+  jit::TierConfig config;
+  config.hot_threshold = 1;
+  jit::TierSet tier(&inst->module(), patched, std::move(config));
+  EXPECT_EQ(tier.refused_functions(), 0u);
+  EXPECT_EQ(tier.last_refused_op(), 0xffffffffu);  // nothing refused yet
+  tier.compile_all();
+  EXPECT_EQ(tier.tier_up_compiles(), 0u);
+  EXPECT_EQ(tier.refused_functions(), 1u);
+  EXPECT_EQ(tier.last_refused_op(), 0x3feu);
+
+  // The unpatched instance still runs fine on the AOT stream.
+  std::vector<Value> args{Value::from_i32(9)};
+  auto r = inst->invoke("f", args);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].i32(), 10);
 }
 
 }  // namespace

@@ -11,11 +11,16 @@
 // to tier 2 and the suite still checks interp-vs-AOT equivalence.
 //
 // The generator deliberately produces trapping programs too: unguarded
-// divisions and occasionally-unmasked memory addresses, so divide-by-zero,
-// overflow and out-of-bounds behaviour is compared across tiers as well.
+// divisions, occasionally-unmasked memory addresses and float->int
+// truncations whose inputs are only usually clamped, so divide-by-zero,
+// overflow, out-of-bounds and truncation-range behaviour is compared
+// across tiers as well. The float mix (phase 2) feeds NaN payloads, signed
+// zeroes, infinities and out-of-range truncation inputs through the f32/f64
+// arithmetic, min/max, comparison and conversion surface.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,16 +47,29 @@ struct Rng {
   bool chance(std::uint32_t num, std::uint32_t den) { return below(den) < num; }
 };
 
+/// Bit-casts payload bits into a double, for NaN-payload terminals.
+inline double f64_from_bits(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+inline float f32_from_bits(std::uint32_t bits) {
+  float v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
 /// Emits one random expression of a requested type. Locals:
 ///   0: i32 param a   1: i32 param b   2: i64 param c
-///   3: i32 scratch   4: i64 scratch
+///   3: i32 scratch   4: i64 scratch   5: f64 scratch   6: f32 scratch
 class ExprGen {
  public:
   ExprGen(CodeEmitter& ce, Rng& rng) : ce_(ce), rng_(rng) {}
 
   void i32(int depth) {
     if (depth <= 0 || budget_-- <= 0) return i32_terminal();
-    switch (rng_.below(12)) {
+    switch (rng_.below(15)) {
       case 0:
         return i32_terminal();
       case 1: {  // plain binary ALU
@@ -128,6 +146,28 @@ class ExprGen {
         i32(depth - 1);
         ce_.op(rng_.chance(1, 2) ? kI32Extend8S : kI32Extend16S);
         return;
+      case 11: {  // f64 comparison (unordered semantics cross the tiers)
+        static const Op kOps[] = {kF64Eq, kF64Ne, kF64Lt,
+                                  kF64Gt, kF64Le, kF64Ge};
+        f64(depth - 1);
+        f64(depth - 1);
+        ce_.op(kOps[rng_.below(6)]);
+        return;
+      }
+      case 12: {  // f32 comparison
+        static const Op kOps[] = {kF32Eq, kF32Ne, kF32Lt,
+                                  kF32Gt, kF32Le, kF32Ge};
+        f32(depth - 1);
+        f32(depth - 1);
+        ce_.op(kOps[rng_.below(6)]);
+        return;
+      }
+      case 13:  // trunc, input usually (not always) clamped into range
+        f64(depth - 1);
+        if (rng_.chance(3, 4))
+          ce_.f64_const(100000.0).op(kF64Min).f64_const(-100000.0).op(kF64Max);
+        ce_.op(rng_.chance(1, 2) ? kI32TruncF64S : kI32TruncF64U);
+        return;
       default:
         ce_.global_get(0);
         return;
@@ -136,7 +176,7 @@ class ExprGen {
 
   void i64(int depth) {
     if (depth <= 0 || budget_-- <= 0) return i64_terminal();
-    switch (rng_.below(10)) {
+    switch (rng_.below(12)) {
       case 0:
         return i64_terminal();
       case 1: {
@@ -198,8 +238,101 @@ class ExprGen {
           return;
         }
         return i64_terminal();
+      case 9:
+        f64(depth - 1);
+        ce_.op(kI64ReinterpretF64);
+        return;
+      case 10:  // trunc, input usually (not always) clamped into range
+        f64(depth - 1);
+        if (rng_.chance(3, 4))
+          ce_.f64_const(1e9).op(kF64Min).f64_const(0.0).op(kF64Max);
+        ce_.op(rng_.chance(1, 2) ? kI64TruncF64S : kI64TruncF64U);
+        return;
       default:
         ce_.global_get(1);
+        return;
+    }
+  }
+
+  void f64(int depth) {
+    if (depth <= 0 || budget_-- <= 0) return f64_terminal();
+    switch (rng_.below(8)) {
+      case 0:
+        return f64_terminal();
+      case 1: {  // binary arithmetic incl. the NaN-canonicalising min/max
+        static const Op kOps[] = {kF64Add, kF64Sub, kF64Mul,     kF64Div,
+                                  kF64Min, kF64Max, kF64Copysign};
+        f64(depth - 1);
+        f64(depth - 1);
+        ce_.op(kOps[rng_.below(7)]);
+        return;
+      }
+      case 2: {  // unary (sqrt of a negative produces NaN)
+        static const Op kOps[] = {kF64Abs, kF64Neg, kF64Sqrt};
+        f64(depth - 1);
+        ce_.op(kOps[rng_.below(3)]);
+        return;
+      }
+      case 3:
+        if (rng_.chance(1, 2)) {
+          i32(depth - 1);
+          ce_.op(rng_.chance(1, 2) ? kF64ConvertI32S : kF64ConvertI32U);
+        } else {
+          i64(depth - 1);
+          ce_.op(rng_.chance(1, 2) ? kF64ConvertI64S : kF64ConvertI64U);
+        }
+        return;
+      case 4:
+        f32(depth - 1);
+        ce_.op(kF64PromoteF32);
+        return;
+      case 5:
+        i64(depth - 1);
+        ce_.op(kF64ReinterpretI64);
+        return;
+      case 6:
+        i32(depth - 1);
+        ce_.if_(0x7c);  // result f64
+        f64(depth - 1);
+        ce_.else_();
+        f64(depth - 1);
+        ce_.end();
+        return;
+      default:
+        ce_.local_get(5);
+        return;
+    }
+  }
+
+  void f32(int depth) {
+    if (depth <= 0 || budget_-- <= 0) return f32_terminal();
+    switch (rng_.below(6)) {
+      case 0:
+        return f32_terminal();
+      case 1: {
+        static const Op kOps[] = {kF32Add, kF32Sub, kF32Mul,     kF32Div,
+                                  kF32Min, kF32Max, kF32Copysign};
+        f32(depth - 1);
+        f32(depth - 1);
+        ce_.op(kOps[rng_.below(7)]);
+        return;
+      }
+      case 2: {
+        static const Op kOps[] = {kF32Abs, kF32Neg, kF32Sqrt};
+        f32(depth - 1);
+        ce_.op(kOps[rng_.below(3)]);
+        return;
+      }
+      case 3:  // demotion rounds (and overflows to inf)
+        f64(depth - 1);
+        ce_.op(kF32DemoteF64);
+        return;
+      case 4:  // u64 -> f32 crosses the round-to-odd split path
+        i64(depth - 1);
+        ce_.op(rng_.chance(1, 2) ? kF32ConvertI64U : kF32ConvertI64S);
+        return;
+      default:
+        ce_.local_get(6);
         return;
     }
   }
@@ -207,7 +340,7 @@ class ExprGen {
   /// Side-effect statement: a store, a scratch-local update or a global
   /// update (no net stack effect).
   void statement(int depth) {
-    switch (rng_.below(5)) {
+    switch (rng_.below(8)) {
       case 0: {
         static const Op kOps[] = {kI32Store, kI32Store8, kI32Store16};
         i32(depth);
@@ -232,6 +365,23 @@ class ExprGen {
         i64(depth);
         ce_.local_set(4);
         return;
+      case 4:
+        f64(depth);
+        ce_.local_set(5);
+        return;
+      case 5:
+        f32(depth);
+        ce_.local_set(6);
+        return;
+      case 6: {  // f64 store/load round trips through linear memory
+        f64(depth);
+        ce_.local_set(5);
+        i32(depth);
+        if (rng_.chance(7, 8)) ce_.i32_const(0xffc0).op(kI32And);
+        ce_.local_get(5);
+        ce_.store(kF64Store, rng_.next() & 0x3f);
+        return;
+      }
       default:
         i32(depth);
         ce_.global_set(0);
@@ -280,6 +430,69 @@ class ExprGen {
         return;
     }
   }
+  void f64_terminal() {
+    // The adversarial corner corpus: NaNs with payloads, signed zeroes,
+    // infinities, subnormals and the exact trunc-range edges.
+    static const double kCorners[] = {
+        0.0,
+        -0.0,
+        1.5,
+        -2.25,
+        1e300,
+        1e-320,                                 // subnormal
+        f64_from_bits(0x7ff0000000000000ull),   // +inf
+        f64_from_bits(0xfff0000000000000ull),   // -inf
+        f64_from_bits(0x7ff8000000000000ull),   // canonical qNaN
+        f64_from_bits(0x7ff8dead00000001ull),   // qNaN with payload
+        f64_from_bits(0xfff4000000000001ull),   // negative sNaN pattern
+        2147483648.0,                           // INT32_MAX + 1
+        -2147483649.0,                          // INT32_MIN - 1
+        4294967296.0,                           // UINT32_MAX + 1
+        9.2233720368547758e18,                  // ~INT64_MAX edge
+        1.8446744073709552e19,                  // ~UINT64_MAX edge
+        -1.0,
+    };
+    switch (rng_.below(4)) {
+      case 0:
+      case 1:
+        ce_.f64_const(kCorners[rng_.below(17)]);
+        return;
+      case 2:
+        ce_.local_get(5);
+        return;
+      default:  // small "normal" value so arithmetic stays meaningful
+        ce_.f64_const(static_cast<double>(rng_.below(64)) * 0.25 - 4.0);
+        return;
+    }
+  }
+  void f32_terminal() {
+    static const float kCorners[] = {
+        0.0f,
+        -0.0f,
+        1.5f,
+        3.4e38f,
+        1e-44f,                        // subnormal
+        f32_from_bits(0x7f800000u),    // +inf
+        f32_from_bits(0xff800000u),    // -inf
+        f32_from_bits(0x7fc00000u),    // canonical qNaN
+        f32_from_bits(0x7fc00dedu),    // qNaN with payload
+        f32_from_bits(0xffa00001u),    // negative sNaN pattern
+        2147483648.0f,                 // 2^31
+        -1.0f,
+    };
+    switch (rng_.below(4)) {
+      case 0:
+      case 1:
+        ce_.f32_const(kCorners[rng_.below(12)]);
+        return;
+      case 2:
+        ce_.local_get(6);
+        return;
+      default:
+        ce_.f32_const(static_cast<float>(rng_.below(64)) * 0.5f - 8.0f);
+        return;
+    }
+  }
 
   CodeEmitter& ce_;
   Rng& rng_;
@@ -302,7 +515,8 @@ Bytes generate_module(std::uint64_t seed) {
   const std::uint32_t num_funcs = 1 + rng.below(3);
   std::vector<std::uint32_t> funcs;
   for (std::uint32_t i = 0; i < num_funcs; ++i) {
-    auto f = mb.add_function(ft, {ValType::I32, ValType::I64});
+    auto f = mb.add_function(
+        ft, {ValType::I32, ValType::I64, ValType::F64, ValType::F32});
     CodeEmitter ce;
     ExprGen gen(ce, rng);
     gen.set_callees(funcs);
